@@ -1,0 +1,42 @@
+// Reproduces Fig. 1: fraction of inferred links and validation coverage per
+// regional link class.
+//
+// Paper reference values (April 2018 snapshot):
+//   shares:   R° .39  AR° .15  L° .14  AP° .08  AR-R .08  AP-R .06
+//             AP-AR .03  AF-R .02  AR-L .02  AF° .01  L-R .01
+//   coverage: R° .15  AR° .31  L° .00  AP° .05  AR-R .32  AP-R .07
+//             AP-AR .17  AF-R .04  AR-L .18  AF° .00  L-R .08
+// Expected shape: L° holds a large share of links with ~zero coverage while
+// AR° coverage is the highest among the intra-region classes.
+#include "bench_common.hpp"
+#include "eval/coverage.hpp"
+
+int main() {
+  using namespace asrel;
+  const auto& audit = bench::audit();
+  const auto report = audit.regional_coverage();
+
+  std::printf("\n=== Fig. 1 — regional imbalance ===\n");
+  std::printf("%s", eval::render_coverage(report).c_str());
+
+  double lacnic_share = 0, lacnic_cov = 0, arin_cov = 0, ripe_cov = 0;
+  for (const auto& row : report.rows) {
+    if (row.name == "L°") {
+      lacnic_share = row.share;
+      lacnic_cov = row.coverage;
+    }
+    if (row.name == "AR°") arin_cov = row.coverage;
+    if (row.name == "R°") ripe_cov = row.coverage;
+  }
+  std::printf(
+      "\nHeadline check (paper: L° share .14 / coverage .00; AR° coverage "
+      ".31):\n  L° share %.2f, coverage %.3f | AR° coverage %.2f | R° "
+      "coverage %.2f\n",
+      lacnic_share, lacnic_cov, arin_cov, ripe_cov);
+  std::printf("  shape holds: %s\n",
+              (lacnic_share > 0.05 && lacnic_cov < 0.01 &&
+               arin_cov > ripe_cov)
+                  ? "YES"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Fig. 3: heatmaps of TR° links binned by the transit degrees of
+// their incident ASes (x = larger side capped at 1500, y = smaller side
+// capped at 150), for all inferred links (top) vs the validatable subset
+// (bottom).
+//
+// Expected shape: the inferred population concentrates in the bottom-left
+// corner (small transit providers peering with each other), while the
+// validated subset is spread more uniformly toward larger degrees.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace asrel;
+  const auto& audit = bench::audit();
+  // The paper caps the axes at 1500/150 for the real Internet's degree
+  // range; our simulated world is ~5x smaller, so scale the caps to the
+  // observed 99th percentile to keep the binning comparable.
+  const auto spec = bench::adaptive_spec([&](asn::Asn asn) -> std::uint32_t {
+    const auto index = bench::scenario().observed().index_of(asn);
+    return index ? bench::scenario().observed().transit_degree(*index) : 0;
+  });
+  std::printf("axis caps: larger side %u, smaller side %u\n", spec.x_cap,
+              spec.y_cap);
+  const auto maps = audit.transit_degree_heatmaps(spec);
+
+  std::printf("\n=== Fig. 3 — transit-degree imbalance for TR° links ===\n");
+  bench::print_heatmap_pair("transit degree", maps);
+
+  std::printf("\nCSV (inferred):\n%s", maps.inferred.to_csv().c_str());
+  std::printf("\nCSV (validated):\n%s", maps.validated.to_csv().c_str());
+
+  std::printf("\nHeadline check — the inferred TR° population sits between "
+              "smaller ASes than the validatable one:\n");
+  bench::print_median_shift("transit degree", [&](asn::Asn asn) {
+    const auto index = bench::scenario().observed().index_of(asn);
+    return index ? bench::scenario().observed().transit_degree(*index) : 0u;
+  });
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces the §4.2 label-quality census (in-text numbers) and the
+// ambiguous-label treatment comparison.
+//
+// Paper reference: 15 relationships with AS_TRANS (AS23456), 112 involving
+// reserved ASNs, 246 multi-label relationships across 233 ASes, 210 sibling
+// relationships to remove. Treating multi-label entries as "P2P if the
+// entry starts with P2P" reproduces the TopoScope counts; "always P2C"
+// reproduces the ProbLink counts. (Our absolute numbers scale with the
+// world size; the classes of defects and the policy effects are the point.)
+#include "bench_common.hpp"
+#include "validation/cleaner.hpp"
+
+int main() {
+  using namespace asrel;
+  const auto& scenario = bench::scenario();
+  const auto& stats = scenario.cleaning_stats();
+
+  std::printf("\n=== §4.2 — label quality & treatment ===\n");
+  std::printf("raw validation entries:             %zu\n",
+              stats.input_entries);
+  std::printf("AS_TRANS (AS23456) entries removed: %zu (paper: 15)\n",
+              stats.as_trans_removed);
+  std::printf("reserved-ASN entries removed:       %zu (paper: 112)\n",
+              stats.reserved_removed);
+  std::printf("multi-label entries:                %zu across %zu ASes "
+              "(paper: 246 / 233)\n",
+              stats.multi_label_entries, stats.multi_label_ases);
+  std::printf("sibling entries removed (as2org):   %zu (paper: 210)\n",
+              stats.sibling_removed);
+  std::printf("explicit S2S labels removed:        %zu\n",
+              stats.s2s_label_removed);
+  std::printf("entries kept:                       %zu\n", stats.kept);
+
+  std::printf("\n--- ambiguous-label policy comparison ---\n");
+  std::printf("%-16s %10s %10s %10s\n", "policy", "kept", "P2P", "P2C");
+  for (const auto policy :
+       {val::AmbiguityPolicy::kIgnore, val::AmbiguityPolicy::kFirstP2PWins,
+        val::AmbiguityPolicy::kAlwaysP2C}) {
+    val::CleaningOptions options;
+    options.ambiguity = policy;
+    const auto labels =
+        val::clean(scenario.raw_validation(), scenario.orgs(), options);
+    std::size_t p2p = 0;
+    std::size_t p2c = 0;
+    for (const auto& label : labels) {
+      label.rel == topo::RelType::kP2P ? ++p2p : ++p2c;
+    }
+    std::printf("%-16s %10zu %10zu %10zu\n",
+                std::string{val::to_string(policy)}.c_str(), labels.size(),
+                p2p, p2c);
+  }
+  std::printf("\nNote: the policy choice silently changes the P2P/P2C split "
+              "— exactly the discrepancy the paper found between the "
+              "TopoScope and ProbLink evaluation numbers.\n");
+  return 0;
+}

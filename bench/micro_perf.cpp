@@ -1,0 +1,157 @@
+// google-benchmark micro-benchmarks for the performance-critical kernels:
+// topology generation, single-origin propagation, full path collection,
+// sanitization, community extraction, clique inference, and the three
+// classifiers. Runs on a small world so a full pass stays under a minute.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "infer/asrank.hpp"
+#include "infer/clique.hpp"
+#include "infer/gao.hpp"
+#include "infer/problink.hpp"
+#include "infer/toposcope.hpp"
+#include "topology/cone.hpp"
+#include "validation/extract.hpp"
+
+namespace {
+
+using namespace asrel;
+
+const core::Scenario& small_scenario() {
+  static const std::unique_ptr<core::Scenario> instance = [] {
+    core::ScenarioParams params;
+    params.topology.as_count = 2000;
+    params.vantage.target_count = 100;
+    return core::Scenario::build(params);
+  }();
+  return *instance;
+}
+
+void BM_TopologyGenerate(benchmark::State& state) {
+  topo::TopologyParams params;
+  params.as_count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto world = topo::generate(params);
+    benchmark::DoNotOptimize(world.graph.edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopologyGenerate)->Arg(1000)->Arg(4000)->Iterations(3)->Unit(
+    benchmark::kMillisecond);
+
+void BM_PropagateOneOrigin(benchmark::State& state) {
+  const auto& scenario = small_scenario();
+  const auto propagator = scenario.propagator();
+  const auto origins = scenario.world().graph.nodes();
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const auto rib = propagator.propagate(origins[index % origins.size()]);
+    benchmark::DoNotOptimize(rib.dist.data());
+    ++index;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          scenario.world().graph.edge_count());
+}
+BENCHMARK(BM_PropagateOneOrigin)->Unit(benchmark::kMicrosecond);
+
+void BM_CollectAllPaths(benchmark::State& state) {
+  const auto& scenario = small_scenario();
+  const auto propagator = scenario.propagator();
+  for (auto _ : state) {
+    auto table = bgp::collect_paths(
+        propagator, std::vector<bgp::VantagePoint>(
+                        scenario.vantage_points().begin(),
+                        scenario.vantage_points().end()));
+    benchmark::DoNotOptimize(table.path_count());
+  }
+}
+BENCHMARK(BM_CollectAllPaths)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_SanitizePaths(benchmark::State& state) {
+  const auto& scenario = small_scenario();
+  for (auto _ : state) {
+    auto observed = infer::ObservedPaths::build(scenario.paths());
+    benchmark::DoNotOptimize(observed.link_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          scenario.paths().path_count());
+}
+BENCHMARK(BM_SanitizePaths)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_CommunityExtraction(benchmark::State& state) {
+  const auto& scenario = small_scenario();
+  const auto propagator = scenario.propagator();
+  for (auto _ : state) {
+    auto set = val::extract_from_communities(propagator, scenario.paths(),
+                                             scenario.schemes(), {});
+    benchmark::DoNotOptimize(set.size());
+  }
+}
+BENCHMARK(BM_CommunityExtraction)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_CliqueInference(benchmark::State& state) {
+  const auto& scenario = small_scenario();
+  for (auto _ : state) {
+    auto clique = infer::infer_clique(scenario.observed(), {});
+    benchmark::DoNotOptimize(clique.size());
+  }
+}
+BENCHMARK(BM_CliqueInference)->Unit(benchmark::kMillisecond);
+
+void BM_AsRank(benchmark::State& state) {
+  const auto& scenario = small_scenario();
+  for (auto _ : state) {
+    auto result = infer::run_asrank(scenario.observed());
+    benchmark::DoNotOptimize(result.inference.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          scenario.observed().link_count());
+}
+BENCHMARK(BM_AsRank)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_Gao(benchmark::State& state) {
+  const auto& scenario = small_scenario();
+  for (auto _ : state) {
+    auto inference = infer::run_gao(scenario.observed());
+    benchmark::DoNotOptimize(inference.size());
+  }
+}
+BENCHMARK(BM_Gao)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_ProbLink(benchmark::State& state) {
+  const auto& scenario = small_scenario();
+  const auto asrank = infer::run_asrank(scenario.observed());
+  for (auto _ : state) {
+    auto result =
+        infer::run_problink(scenario.observed(), asrank,
+                            scenario.validation());
+    benchmark::DoNotOptimize(result.inference.size());
+  }
+}
+BENCHMARK(BM_ProbLink)->Iterations(2)->Unit(benchmark::kMillisecond);
+
+void BM_TopoScope(benchmark::State& state) {
+  const auto& scenario = small_scenario();
+  const auto asrank = infer::run_asrank(scenario.observed());
+  for (auto _ : state) {
+    auto result = infer::run_toposcope(scenario.observed(), asrank,
+                                       scenario.validation());
+    benchmark::DoNotOptimize(result.inference.size());
+  }
+}
+BENCHMARK(BM_TopoScope)->Iterations(2)->Unit(benchmark::kMillisecond);
+
+void BM_CustomerConeSizes(benchmark::State& state) {
+  const auto& world = small_scenario().world();
+  for (auto _ : state) {
+    auto sizes = topo::customer_cone_sizes(world.graph);
+    benchmark::DoNotOptimize(sizes.data());
+  }
+}
+BENCHMARK(BM_CustomerConeSizes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

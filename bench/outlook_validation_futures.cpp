@@ -1,0 +1,94 @@
+// §7 "Discussion & Outlook": what would less biased validation data look
+// like? This bench compares four validation-compilation strategies on the
+// same world:
+//
+//   1. communities-only          — what recent efforts actually use (§3.2)
+//   2. + IRR/RPSL records        — Luckie et al.'s second source
+//   3. + direct operator reports — their first source
+//   4. + targeted LACNIC outreach — the paper's §7 proposal: active
+//      discourse with operators of an uncovered region (modeled as LACNIC
+//      operators starting to document communities and report directly)
+//
+// Reported per strategy: validation size, LACNIC-internal coverage, and the
+// coverage of the two majority classes — showing which gaps each source
+// actually closes.
+//
+// Runs on a reduced world (ASREL_ABLATION_AS, default 6000).
+#include "bench_common.hpp"
+#include "eval/coverage.hpp"
+
+namespace {
+
+using namespace asrel;
+
+struct Row {
+  const char* name;
+  std::size_t labels = 0;
+  double lacnic = 0;
+  double s_tr = 0;
+  double tr = 0;
+};
+
+Row measure(const char* name, const core::ScenarioParams& params) {
+  const auto scenario = core::Scenario::build(params);
+  const core::BiasAudit audit{*scenario};
+  Row row;
+  row.name = name;
+  row.labels = scenario->validation().size();
+  for (const auto& r : audit.regional_coverage().rows) {
+    if (r.name == "L°") row.lacnic = r.coverage;
+  }
+  for (const auto& r : audit.topological_coverage().rows) {
+    if (r.name == "S-TR") row.s_tr = r.coverage;
+    if (r.name == "TR°") row.tr = r.coverage;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace asrel;
+  core::ScenarioParams base = bench::default_params();
+  base.topology.as_count = bench::env_int("ASREL_ABLATION_AS", 6000);
+
+  std::vector<Row> rows;
+  rows.push_back(measure("communities only", base));
+
+  auto with_rpsl = base;
+  with_rpsl.include_rpsl_source = true;
+  rows.push_back(measure("+ IRR/RPSL", with_rpsl));
+
+  auto with_reports = with_rpsl;
+  with_reports.include_direct_reports = true;
+  rows.push_back(measure("+ direct reports", with_reports));
+
+  auto outreach = with_reports;
+  {
+    // §7: do-ut-des engagement with LACNIC operators — they start
+    // documenting communities and reporting relationships at RIPE-like
+    // rates.
+    auto& lacnic = outreach.topology
+                       .regions[static_cast<std::size_t>(
+                           rir::Region::kLacnic)];
+    lacnic.doc_communities_transit = 0.5;
+    lacnic.doc_communities_stub = 0.06;
+    lacnic.attends_meetings = 0.18;
+    lacnic.maintains_rpsl = 0.45;
+  }
+  rows.push_back(measure("+ LACNIC outreach", outreach));
+
+  std::printf("\n=== §7 — paths to less biased validation data ===\n");
+  std::printf("%-22s %10s %12s %12s %12s\n", "strategy", "labels",
+              "L° cov.", "S-TR cov.", "TR° cov.");
+  for (const auto& row : rows) {
+    std::printf("%-22s %10zu %12.3f %12.3f %12.3f\n", row.name, row.labels,
+                row.lacnic, row.s_tr, row.tr);
+  }
+  std::printf(
+      "\nReading: the secondary sources widen coverage overall, but only "
+      "the targeted engagement closes the regional hole — the paper's "
+      "core §7 argument (passive scraping cannot fix a bias that operators'"
+      " behaviour creates).\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Table 2: per-group validation metrics for ProbLink.
+//
+// Paper reference (excerpt): Total° PPV_P .966 TPR_P .976, T1-TR PPV_P .718
+// TPR_P .670, S-T1 PPV_P .295 TPR_P .650, AR-L PPV_P .619. Expected shape:
+// ProbLink partially recovers S-T1 recall (it is probabilistic, not
+// rule-bound) but loses more precision than ASRank on the thin classes it
+// never saw in training.
+#include "table_common.hpp"
+
+int main() {
+  using namespace asrel;
+  bench::print_validation_table("Table 2 — per group validation for ProbLink",
+                                bench::problink().inference);
+  std::printf("\nProbLink: %d iterations, trained on %zu validated links\n",
+              bench::problink().iterations_used,
+              bench::problink().training_links);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Table 3: per-group validation metrics for TopoScope.
+//
+// Paper reference (excerpt): Total° PPV_P .976 TPR_P .988, T1-TR PPV_P .798
+// TPR_P .947, S-T1 PPV_P .042 TPR_P .043. Expected shape: between ASRank
+// and ProbLink overall, S-T1 nearly as collapsed as ASRank, T1-TR precision
+// clearly below the total.
+#include "table_common.hpp"
+
+int main() {
+  using namespace asrel;
+  bench::print_validation_table(
+      "Table 3 — per group validation for TopoScope",
+      bench::toposcope().inference);
+  std::printf("\nTopoScope: %d vantage-point groups, %zu hidden links "
+              "predicted (top confidence %.2f)\n",
+              bench::toposcope().groups_used,
+              bench::toposcope().hidden_links.size(),
+              bench::toposcope().hidden_links.empty()
+                  ? 0.0
+                  : bench::toposcope().hidden_links.front().confidence);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared row-printing for the Table 1/2/3 reproduction binaries.
+#pragma once
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+
+namespace asrel::bench {
+
+inline void print_validation_table(const char* title,
+                                   const infer::Inference& inference) {
+  const auto table = audit().validation_table(inference, /*min_links=*/500);
+  std::printf("\n=== %s ===\n%s", title,
+              eval::render_validation_table(table).c_str());
+
+  // Headline digest: the paper's problem classes vs the total.
+  double t1_tr = -1;
+  double s_t1 = -1;
+  for (const auto& row : table.rows) {
+    if (row.name == "T1-TR") t1_tr = row.p2p.ppv();
+    if (row.name == "S-T1") s_t1 = row.p2p.ppv();
+  }
+  std::printf("\nTotal° PPV_P %.3f | T1-TR PPV_P %s | S-T1 PPV_P %s\n",
+              table.total.p2p.ppv(),
+              t1_tr < 0 ? "(class <500 links)"
+                        : std::to_string(t1_tr).substr(0, 5).c_str(),
+              s_t1 < 0 ? "(class <500 links)"
+                       : std::to_string(s_t1).substr(0, 5).c_str());
+  if (t1_tr >= 0) {
+    std::printf("T1-TR precision gap vs Total°: %.1f%% (paper: 14-25%% "
+                "depending on the algorithm)\n",
+                100.0 * (table.total.p2p.ppv() - t1_tr));
+  }
+}
+
+}  // namespace asrel::bench

@@ -1,0 +1,57 @@
+// IPv6 vs IPv4 relationship congruence (Giotsas et al. 2015, cited in the
+// paper's §3.1): build the v6 sub-world, observe and infer it separately,
+// and compare the two stacks' inferred relationships on shared links.
+//
+//   ./examples/v6_congruence [as_count] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bgp/propagation.hpp"
+#include "bgp/vantage.hpp"
+#include "core/scenario.hpp"
+#include "core/v6_world.hpp"
+#include "infer/asrank.hpp"
+
+int main(int argc, char** argv) {
+  using namespace asrel;
+
+  core::ScenarioParams params;
+  params.topology.as_count = argc > 1 ? std::atoi(argv[1]) : 6000;
+  params.topology.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  const auto scenario = core::Scenario::build(params);
+  const auto v4 = infer::run_asrank(scenario->observed());
+
+  std::printf("Building the IPv6 sub-world...\n");
+  const auto v6_world = core::build_v6_world(scenario->world());
+  std::printf("  v6-capable: %zu of %zu ASes, %zu of %zu sessions "
+              "dual-stacked, clique %zu of %zu\n",
+              v6_world.graph.node_count(),
+              scenario->world().graph.node_count(),
+              v6_world.graph.edge_count(),
+              scenario->world().graph.edge_count(),
+              v6_world.clique.size(), scenario->world().clique.size());
+
+  // Independent v6 observation: same collector infrastructure model.
+  const auto v6_vps = bgp::select_vantage_points(v6_world, params.vantage);
+  const bgp::Propagator v6_prop{v6_world, params.propagation};
+  const auto v6_paths = bgp::collect_paths(v6_prop, v6_vps);
+  const auto v6_observed = infer::ObservedPaths::build(v6_paths);
+  const auto v6 = infer::run_asrank(v6_observed);
+  std::printf("  v6 view: %zu paths, %zu visible links, inferred clique "
+              "%zu\n",
+              v6_observed.path_count(), v6_observed.link_count(),
+              v6.clique.size());
+
+  const auto report = core::compare_stacks(v4.inference, v6.inference);
+  std::printf("\nCongruence of the two stacks:\n");
+  std::printf("  v4 links %zu | v6 links %zu | shared %zu\n", report.v4_links,
+              report.v6_links, report.shared_links);
+  std::printf("  congruent %zu (%.1f%%) | type mismatches %zu | flipped "
+              "P2C %zu\n",
+              report.congruent, 100.0 * report.congruence(),
+              report.type_mismatch, report.flipped_p2c);
+  std::printf("\nGiotsas et al. found v4/v6 relationships highly — but not "
+              "perfectly — congruent; the mismatches here come from the "
+              "thinner v6 observation base, not from different policies.\n");
+  return 0;
+}

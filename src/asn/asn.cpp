@@ -1,0 +1,47 @@
+#include "asn/asn.hpp"
+
+#include <charconv>
+#include <cstdint>
+
+namespace asrel::asn {
+
+std::string to_string(Asn asn) { return std::to_string(asn.value()); }
+
+std::string to_asdot(Asn asn) {
+  if (asn.is_16bit()) return to_string(asn);
+  const std::uint32_t high = asn.value() >> 16;
+  const std::uint32_t low = asn.value() & 0xFFFFu;
+  return std::to_string(high) + "." + std::to_string(low);
+}
+
+namespace {
+
+std::optional<std::uint32_t> parse_u32(std::string_view text,
+                                       std::uint32_t max) {
+  if (text.empty()) return std::nullopt;
+  std::uint32_t value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end || value > max) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<Asn> parse_asn(std::string_view text) {
+  if (text.size() >= 2 && (text[0] == 'A' || text[0] == 'a') &&
+      (text[1] == 'S' || text[1] == 's')) {
+    text.remove_prefix(2);
+  }
+  if (const auto dot = text.find('.'); dot != std::string_view::npos) {
+    const auto high = parse_u32(text.substr(0, dot), 0xFFFFu);
+    const auto low = parse_u32(text.substr(dot + 1), 0xFFFFu);
+    if (!high || !low) return std::nullopt;
+    return Asn{(*high << 16) | *low};
+  }
+  const auto value = parse_u32(text, 0xFFFFFFFFu);
+  if (!value) return std::nullopt;
+  return Asn{*value};
+}
+
+}  // namespace asrel::asn

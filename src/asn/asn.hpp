@@ -1,0 +1,116 @@
+// Strong type and classification helpers for Autonomous System Numbers.
+//
+// The paper (§4.2) removes validation entries involving AS_TRANS (AS 23456)
+// and IANA-reserved ASNs before computing any metric; this module is the
+// single source of truth for those classifications.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asrel::asn {
+
+/// A 32-bit Autonomous System Number (RFC 6793).
+///
+/// A deliberately small value type: comparable, hashable, and printable, so
+/// it can be used as a map key everywhere without implicit conversion from
+/// unrelated integers.
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// True if this ASN fits in the original 16-bit number space.
+  [[nodiscard]] constexpr bool is_16bit() const { return value_ <= 0xFFFFu; }
+
+  friend constexpr auto operator<=>(Asn, Asn) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// AS_TRANS (RFC 6793): placeholder a 16-bit speaker uses to represent any
+/// 32-bit ASN. It never identifies a real network and can hold no business
+/// relationship.
+inline constexpr Asn kAsTrans{23456};
+
+/// Half-open classification of the IANA special-purpose ASN registry.
+enum class AsnCategory : std::uint8_t {
+  kPublic,         ///< globally assignable / routable
+  kZero,           ///< AS 0 (RFC 7607)
+  kAsTrans,        ///< AS 23456 (RFC 6793)
+  kDocumentation,  ///< 64496-64511 and 65536-65551 (RFC 5398)
+  kPrivateUse,     ///< 64512-65534 and 4200000000-4294967294 (RFC 6996)
+  kLast16,         ///< AS 65535 (RFC 7300)
+  kLast32,         ///< AS 4294967295 (RFC 7300)
+  kIanaReserved,   ///< 65552-131071 (IANA reserved, unallocated)
+};
+
+[[nodiscard]] constexpr AsnCategory category(Asn asn) {
+  const std::uint32_t v = asn.value();
+  if (v == 0) return AsnCategory::kZero;
+  if (v == 23456) return AsnCategory::kAsTrans;
+  if (v >= 64496 && v <= 64511) return AsnCategory::kDocumentation;
+  if (v >= 64512 && v <= 65534) return AsnCategory::kPrivateUse;
+  if (v == 65535) return AsnCategory::kLast16;
+  if (v >= 65536 && v <= 65551) return AsnCategory::kDocumentation;
+  if (v >= 65552 && v <= 131071) return AsnCategory::kIanaReserved;
+  if (v >= 4200000000u && v <= 4294967294u) return AsnCategory::kPrivateUse;
+  if (v == 4294967295u) return AsnCategory::kLast32;
+  return AsnCategory::kPublic;
+}
+
+/// True for any ASN that must never appear in a validated business
+/// relationship (everything except kPublic; AS_TRANS included).
+[[nodiscard]] constexpr bool is_reserved(Asn asn) {
+  return category(asn) != AsnCategory::kPublic;
+}
+
+[[nodiscard]] constexpr bool is_as_trans(Asn asn) { return asn == kAsTrans; }
+
+[[nodiscard]] constexpr bool is_private_use(Asn asn) {
+  return category(asn) == AsnCategory::kPrivateUse;
+}
+
+[[nodiscard]] constexpr bool is_documentation(Asn asn) {
+  return category(asn) == AsnCategory::kDocumentation;
+}
+
+/// An inclusive ASN range, e.g. an IANA assignment block.
+struct AsnRange {
+  Asn first;
+  Asn last;
+
+  [[nodiscard]] constexpr bool contains(Asn asn) const {
+    return first <= asn && asn <= last;
+  }
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{last.value()} - first.value() + 1;
+  }
+  friend constexpr auto operator<=>(const AsnRange&, const AsnRange&) = default;
+};
+
+/// Formats as plain decimal ("asplain", RFC 5396): "3356".
+[[nodiscard]] std::string to_string(Asn asn);
+
+/// Formats in "asdot" notation (RFC 5396): 16-bit ASNs print plain,
+/// 32-bit ones print as "<high>.<low>", e.g. 65536 -> "1.0".
+[[nodiscard]] std::string to_asdot(Asn asn);
+
+/// Parses "3356", "AS3356" / "as3356", or asdot "1.0". Returns nullopt on any
+/// syntax error or overflow.
+[[nodiscard]] std::optional<Asn> parse_asn(std::string_view text);
+
+}  // namespace asrel::asn
+
+template <>
+struct std::hash<asrel::asn::Asn> {
+  std::size_t operator()(asrel::asn::Asn asn) const noexcept {
+    return std::hash<std::uint32_t>{}(asn.value());
+  }
+};

@@ -1,0 +1,55 @@
+#include "bgp/community.hpp"
+
+#include <charconv>
+
+namespace asrel::bgp {
+
+namespace {
+
+std::optional<std::uint32_t> parse_part(std::string_view text,
+                                        std::uint32_t max) {
+  if (text.empty()) return std::nullopt;
+  std::uint32_t value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end || value > max) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string to_string(Community community) {
+  return std::to_string(community.high()) + ":" +
+         std::to_string(community.low());
+}
+
+std::string to_string(const LargeCommunity& community) {
+  return std::to_string(community.global) + ":" +
+         std::to_string(community.data1) + ":" +
+         std::to_string(community.data2);
+}
+
+std::optional<Community> parse_community(std::string_view text) {
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto high = parse_part(text.substr(0, colon), 0xFFFFu);
+  const auto low = parse_part(text.substr(colon + 1), 0xFFFFu);
+  if (!high || !low) return std::nullopt;
+  return Community{static_cast<std::uint16_t>(*high),
+                   static_cast<std::uint16_t>(*low)};
+}
+
+std::optional<LargeCommunity> parse_large_community(std::string_view text) {
+  const auto first = text.find(':');
+  if (first == std::string_view::npos) return std::nullopt;
+  const auto second = text.find(':', first + 1);
+  if (second == std::string_view::npos) return std::nullopt;
+  const auto global = parse_part(text.substr(0, first), 0xFFFFFFFFu);
+  const auto data1 =
+      parse_part(text.substr(first + 1, second - first - 1), 0xFFFFFFFFu);
+  const auto data2 = parse_part(text.substr(second + 1), 0xFFFFFFFFu);
+  if (!global || !data1 || !data2) return std::nullopt;
+  return LargeCommunity{*global, *data1, *data2};
+}
+
+}  // namespace asrel::bgp

@@ -1,0 +1,67 @@
+// BGP community attributes (RFC 1997) and large communities (RFC 8092).
+//
+// Communities are the raw material of the paper's "best-effort" validation
+// data (§3.2): colon-separated value pairs whose meaning is defined only by
+// the AS that sets or reads them — the same value can mean "blackhole" to
+// one community of ASes and "peering route" to another (the 3356:666
+// example).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asrel::bgp {
+
+/// Classic 32-bit community, conventionally written "<asn16>:<value16>".
+class Community {
+ public:
+  constexpr Community() = default;
+  constexpr Community(std::uint16_t high, std::uint16_t low)
+      : bits_((std::uint32_t{high} << 16) | low) {}
+  constexpr explicit Community(std::uint32_t bits) : bits_(bits) {}
+
+  [[nodiscard]] constexpr std::uint16_t high() const {
+    return static_cast<std::uint16_t>(bits_ >> 16);
+  }
+  [[nodiscard]] constexpr std::uint16_t low() const {
+    return static_cast<std::uint16_t>(bits_ & 0xFFFFu);
+  }
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+
+  friend constexpr auto operator<=>(Community, Community) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// RFC 8092 large community: three 32-bit words "<asn>:<v1>:<v2>".
+struct LargeCommunity {
+  std::uint32_t global = 0;
+  std::uint32_t data1 = 0;
+  std::uint32_t data2 = 0;
+  friend constexpr auto operator<=>(const LargeCommunity&,
+                                    const LargeCommunity&) = default;
+};
+
+// Well-known communities (RFC 1997 / RFC 7999).
+inline constexpr Community kNoExport{0xFFFF, 0xFF01};
+inline constexpr Community kNoAdvertise{0xFFFF, 0xFF02};
+inline constexpr Community kBlackhole{0xFFFF, 0x029A};  // 65535:666
+
+[[nodiscard]] std::string to_string(Community community);
+[[nodiscard]] std::string to_string(const LargeCommunity& community);
+[[nodiscard]] std::optional<Community> parse_community(std::string_view text);
+[[nodiscard]] std::optional<LargeCommunity> parse_large_community(
+    std::string_view text);
+
+}  // namespace asrel::bgp
+
+template <>
+struct std::hash<asrel::bgp::Community> {
+  std::size_t operator()(asrel::bgp::Community community) const noexcept {
+    return std::hash<std::uint32_t>{}(community.bits());
+  }
+};

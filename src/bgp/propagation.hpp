@@ -1,0 +1,156 @@
+// Valley-free BGP route propagation over the ground-truth graph.
+//
+// One announcement per origin AS is propagated in the classic three phases
+// (Gao-Rexford export policies):
+//   1. up    — customer routes climb provider chains (and cross siblings),
+//   2. across — one peer hop for ASes holding a customer route,
+//   3. down  — everything descends provider->customer edges.
+// Route selection at every AS: prefer customer > peer > provider routes,
+// then shorter AS path, then lowest next-hop ASN.
+//
+// The engine honors the paper's §6.1 mechanics: a P2C edge with a restricted
+// export scope stops the provider from redistributing that customer's routes
+// to its peers (kCustomersOnly) and/or providers (both restricted scopes) —
+// exactly what a 174:990-style action community does. Hybrid links resolve
+// to one of their two relationships per origin (PoP-dependent routing).
+// Deterministic AS-path prepending models region-dependent traffic
+// engineering (Marcos et al., cited in §2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "bgp/vantage.hpp"
+#include "topology/generator.hpp"
+#include "topology/graph.hpp"
+
+namespace asrel::bgp {
+
+/// Preference class of a selected route (higher is preferred).
+enum class RoutePref : std::uint8_t {
+  kNone = 0,
+  kProvider = 1,
+  kPeer = 2,
+  kCustomer = 3,  ///< includes sibling-learned and self-originated routes
+};
+
+struct PropagationParams {
+  bool honor_export_scopes = true;  ///< ablation: ignore partial transit
+  bool enable_prepending = true;
+  /// Probability that an origin's announcement leaks an internal private
+  /// ASN as an extra final hop (produces the paper's "reserved ASN"
+  /// spurious validation entries, §4.2).
+  double private_asn_leak = 0.02;
+  /// Probability that a legacy 16-bit collector session fails to reconstruct
+  /// the 32-bit path (AS4_PATH loss) and shows AS_TRANS placeholders.
+  double legacy_mangle = 0.005;
+  std::uint64_t salt = 0x9E3779B97F4A7C15ull;  ///< hash salt for det. choices
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Best routes of every AS toward one origin.
+struct OriginRib {
+  topo::NodeId origin = topo::kInvalidNode;
+  std::vector<topo::NodeId> parent;   ///< next hop toward origin (or invalid)
+  std::vector<topo::EdgeId> via_edge; ///< edge to parent
+  std::vector<std::uint8_t> pref;     ///< RoutePref as integer
+  std::vector<std::uint16_t> dist;    ///< AS-path length incl. prepending
+
+  [[nodiscard]] bool reachable(topo::NodeId node) const {
+    return pref[node] != 0;
+  }
+};
+
+class Propagator {
+ public:
+  Propagator(const topo::World& world, PropagationParams params);
+
+  /// Full best-route computation for one origin (O(E)).
+  [[nodiscard]] OriginRib propagate(asn::Asn origin) const;
+
+  /// AS path `node` uses toward the rib's origin: [node, ..., origin],
+  /// with prepending expanded. Empty if unreachable.
+  [[nodiscard]] std::vector<asn::Asn> path_at(const OriginRib& rib,
+                                              topo::NodeId node) const;
+
+  /// Extra prepends AS `node` applies when exporting routes of `origin`.
+  [[nodiscard]] unsigned prepend_count(topo::NodeId node,
+                                       asn::Asn origin) const;
+
+  /// Effective relationship of `edge` for this origin (hybrid resolution).
+  /// Returns the relationship and, for kP2C, whether edge.u is the provider.
+  [[nodiscard]] topo::RelType effective_rel(const topo::Edge& edge,
+                                            asn::Asn origin) const;
+
+  /// The private ASN leaked by this origin, or nullopt (deterministic).
+  [[nodiscard]] std::optional<asn::Asn> leaked_private_asn(
+      asn::Asn origin) const;
+
+  [[nodiscard]] const topo::World& world() const { return *world_; }
+  [[nodiscard]] const PropagationParams& params() const { return params_; }
+
+ private:
+  const topo::World* world_;
+  PropagationParams params_;
+  std::vector<double> prepend_propensity_;  // by NodeId
+};
+
+/// All AS paths observed by a set of collector vantage points.
+///
+/// Paths are stored origin-major: for each origin node, the (vp, path)
+/// pairs of every VP that exported a route for it. Paths run collector-side
+/// first: path[0] is the VP's ASN, path.back() the origin (or a leaked
+/// private ASN). Legacy 16-bit VP sessions show 32-bit ASNs as AS_TRANS.
+class PathTable {
+ public:
+  struct PathRef {
+    std::uint32_t vp_index;
+    topo::NodeId origin;  ///< originating node (pre-mangling identity)
+    std::span<const asn::Asn> path;
+  };
+
+  [[nodiscard]] std::size_t origin_count() const { return per_origin_.size(); }
+  [[nodiscard]] std::size_t path_count() const { return path_count_; }
+  [[nodiscard]] std::span<const VantagePoint> vantage_points() const {
+    return vps_;
+  }
+
+  /// Iterates over every stored path in deterministic order.
+  void for_each_path(
+      const std::function<void(const PathRef&)>& visit) const;
+
+  /// Paths for one origin node.
+  [[nodiscard]] std::vector<PathRef> paths_for_origin(
+      topo::NodeId origin) const;
+
+  /// Builder interface (used by collect_paths).
+  void set_vantage_points(std::vector<VantagePoint> vps) {
+    vps_ = std::move(vps);
+  }
+  void resize_origins(std::size_t count) { per_origin_.resize(count); }
+  void add_path(topo::NodeId origin, std::uint32_t vp_index,
+                std::span<const asn::Asn> path);
+  /// Rebuilds path_count_ after parallel filling (add_path's counter is not
+  /// synchronized across threads).
+  void recount();
+
+ private:
+  struct OriginPaths {
+    std::vector<std::uint32_t> offsets;  // into arena; parallel to vp_ids
+    std::vector<std::uint32_t> vp_ids;
+    std::vector<asn::Asn> arena;
+  };
+  std::vector<VantagePoint> vps_;
+  std::vector<OriginPaths> per_origin_;
+  std::size_t path_count_ = 0;
+};
+
+/// Propagates every origin and harvests the VP paths (parallelized across
+/// origins; result independent of thread count).
+[[nodiscard]] PathTable collect_paths(const Propagator& propagator,
+                                      std::vector<VantagePoint> vps);
+
+}  // namespace asrel::bgp

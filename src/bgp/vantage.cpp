@@ -1,0 +1,102 @@
+#include "bgp/vantage.hpp"
+
+#include <algorithm>
+
+#include "topology/random.hpp"
+
+namespace asrel::bgp {
+
+namespace {
+
+double tier_pull(topo::Tier tier) {
+  switch (tier) {
+    case topo::Tier::kClique:
+      return 1.0;
+    case topo::Tier::kLargeTransit:
+      return 0.8;
+    case topo::Tier::kMidTransit:
+      return 0.45;
+    case topo::Tier::kSmallTransit:
+      return 0.45;  // most collector peers are small ISPs at IXPs
+    case topo::Tier::kStub:
+      return 0.05;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<VantagePoint> select_vantage_points(const topo::World& world,
+                                                const VantageParams& params) {
+  topo::Rng rng{params.seed};
+  std::vector<VantagePoint> points;
+
+  const auto full_feed_prob = [&](topo::Tier tier) {
+    switch (tier) {
+      case topo::Tier::kClique:
+        return params.full_feed_clique;
+      case topo::Tier::kLargeTransit:
+        return params.full_feed_large;
+      case topo::Tier::kMidTransit:
+        return params.full_feed_mid;
+      default:
+        return params.full_feed_other;
+    }
+  };
+
+  const auto add = [&](asn::Asn asn, topo::Tier tier) {
+    VantagePoint vp;
+    vp.asn = asn;
+    vp.full_feed = rng.chance(full_feed_prob(tier));
+    vp.legacy_16bit = rng.chance(params.legacy_fraction);
+    points.push_back(vp);
+  };
+
+  // Every clique member peers with the collectors.
+  for (const auto asn : world.clique) add(asn, topo::Tier::kClique);
+
+  // Candidate pool: everything else, scored by region pull * tier pull.
+  struct Candidate {
+    asn::Asn asn;
+    topo::Tier tier;
+    double weight;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto asn : world.graph.nodes()) {
+    const auto& attrs = world.attrs.at(asn);
+    if (attrs.tier == topo::Tier::kClique) continue;
+    const double weight =
+        world.params.profile(attrs.region).vp_weight * tier_pull(attrs.tier);
+    if (weight <= 0) continue;
+    candidates.push_back({asn, attrs.tier, weight});
+  }
+  // Stable order before sampling (graph.nodes() is already deterministic,
+  // but make the contract explicit).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.asn < b.asn; });
+
+  // Weighted sampling without replacement until target_count is reached.
+  const int wanted = params.target_count - static_cast<int>(points.size());
+  double total = 0;
+  for (const auto& c : candidates) total += c.weight;
+  std::vector<bool> taken(candidates.size(), false);
+  for (int i = 0; i < wanted && total > 1e-12; ++i) {
+    double target = rng.uniform() * total;
+    std::size_t chosen = candidates.size();
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (taken[j]) continue;
+      target -= candidates[j].weight;
+      if (target < 0) {
+        chosen = j;
+        break;
+      }
+    }
+    if (chosen == candidates.size()) break;
+    taken[chosen] = true;
+    total -= candidates[chosen].weight;
+    add(candidates[chosen].asn, candidates[chosen].tier);
+  }
+  return points;
+}
+
+}  // namespace asrel::bgp

@@ -1,0 +1,45 @@
+// Route-collector vantage-point selection.
+//
+// Public BGP data comes from ASes that peer with collectors (RIPE RIS,
+// Route Views, Isolario, ...). Their placement is heavily skewed toward the
+// RIPE and ARIN regions and toward well-connected transit networks — one of
+// the visibility biases the paper builds on. Feed type matters just as much:
+// an AS that treats the collector like a peer exports only its customer
+// cone ("partial feed"); only some export everything ("full feed").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "topology/generator.hpp"
+
+namespace asrel::bgp {
+
+struct VantagePoint {
+  asn::Asn asn;
+  bool full_feed = false;    ///< exports its entire RIB to the collector
+  bool legacy_16bit = false; ///< 16-bit speaker: 32-bit ASNs appear as 23456
+};
+
+struct VantageParams {
+  std::uint64_t seed = 7;
+  int target_count = 320;
+
+  /// Probability that a selected VP of a given tier gives a full feed.
+  double full_feed_clique = 1.0;
+  double full_feed_large = 0.7;
+  double full_feed_mid = 0.65;
+  double full_feed_other = 0.7;
+
+  /// Fraction of VPs whose collector session still runs 16-bit BGP.
+  double legacy_fraction = 0.05;
+};
+
+/// Chooses vantage points: every clique member, then transit ASes sampled
+/// with probability proportional to their region's `vp_weight` (euro/US
+/// skew), preferring larger tiers. Deterministic in (world, params).
+[[nodiscard]] std::vector<VantagePoint> select_vantage_points(
+    const topo::World& world, const VantageParams& params);
+
+}  // namespace asrel::bgp

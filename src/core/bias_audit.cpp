@@ -1,0 +1,145 @@
+#include "core/bias_audit.hpp"
+
+#include <unordered_set>
+
+#include "eval/ppdc.hpp"
+
+namespace asrel::core {
+
+BiasAudit::BiasAudit(const Scenario& scenario)
+    : scenario_(&scenario),
+      topo_(eval::TopoClassifier::from_world(scenario.world())) {
+  const auto& observed = scenario.observed();
+  inferred_links_.assign(observed.link_order().begin(),
+                         observed.link_order().end());
+
+  std::unordered_set<val::AsLink> validated;
+  for (const auto& label : scenario.validation()) validated.insert(label.link);
+
+  for (const auto& link : inferred_links_) {
+    if (topological_class_of(link) == "TR°") {
+      transit_links_.push_back(link);
+      if (validated.contains(link)) validated_transit_links_.push_back(link);
+    }
+  }
+}
+
+std::string BiasAudit::regional_class_of(const val::AsLink& link) const {
+  return eval::regional_class(scenario_->region_mapper(), link);
+}
+
+std::string BiasAudit::topological_class_of(const val::AsLink& link) const {
+  return topo_.class_of(link);
+}
+
+eval::CoverageReport BiasAudit::regional_coverage() const {
+  return eval::coverage_by_class(
+      inferred_links_, scenario_->validation(),
+      [this](const val::AsLink& link) { return regional_class_of(link); });
+}
+
+eval::CoverageReport BiasAudit::topological_coverage() const {
+  return eval::coverage_by_class(
+      inferred_links_, scenario_->validation(),
+      [this](const val::AsLink& link) { return topological_class_of(link); });
+}
+
+namespace {
+
+eval::Heatmap build_for(
+    const std::vector<val::AsLink>& links,
+    const std::function<std::uint32_t(asn::Asn)>& metric,
+    const eval::HeatmapSpec& spec) {
+  return eval::build_link_heatmap(links, metric, spec);
+}
+
+}  // namespace
+
+BiasAudit::HeatmapPair BiasAudit::transit_degree_heatmaps(
+    const eval::HeatmapSpec& spec) const {
+  const auto& observed = scenario_->observed();
+  const auto metric = [&observed](asn::Asn asn) -> std::uint32_t {
+    const auto index = observed.index_of(asn);
+    return index ? observed.transit_degree(*index) : 0;
+  };
+  return {build_for(transit_links_, metric, spec),
+          build_for(validated_transit_links_, metric, spec)};
+}
+
+BiasAudit::HeatmapPair BiasAudit::node_degree_heatmaps(
+    const eval::HeatmapSpec& spec) const {
+  const auto& observed = scenario_->observed();
+  const auto metric = [&observed](asn::Asn asn) -> std::uint32_t {
+    const auto index = observed.index_of(asn);
+    return index ? observed.node_degree(*index) : 0;
+  };
+  return {build_for(transit_links_, metric, spec),
+          build_for(validated_transit_links_, metric, spec)};
+}
+
+BiasAudit::HeatmapPair BiasAudit::ppdc_heatmaps(
+    const infer::Inference& inference, bool ignore_vp_links,
+    const eval::HeatmapSpec& spec) const {
+  const auto sizes = eval::ppdc_sizes(scenario_->observed(), inference);
+  const auto metric = [&sizes](asn::Asn asn) -> std::uint32_t {
+    const auto it = sizes.find(asn);
+    return it == sizes.end() ? 0 : it->second;
+  };
+  if (!ignore_vp_links) {
+    return {build_for(transit_links_, metric, spec),
+            build_for(validated_transit_links_, metric, spec)};
+  }
+  // Fig. 8 variant: drop links incident to a route-collector peer.
+  std::unordered_set<asn::Asn> vp_set;
+  for (const auto& vp : scenario_->vantage_points()) vp_set.insert(vp.asn);
+  const auto filter = [&vp_set](const std::vector<val::AsLink>& links) {
+    std::vector<val::AsLink> kept;
+    for (const auto& link : links) {
+      if (!vp_set.contains(link.a) && !vp_set.contains(link.b)) {
+        kept.push_back(link);
+      }
+    }
+    return kept;
+  };
+  return {build_for(filter(transit_links_), metric, spec),
+          build_for(filter(validated_transit_links_), metric, spec)};
+}
+
+eval::ValidationTable BiasAudit::validation_table(
+    const infer::Inference& inference, std::size_t min_links) const {
+  const auto pairs =
+      eval::make_eval_pairs(scenario_->validation(), inference);
+
+  eval::ValidationTable table;
+  table.total = eval::compute_class_metrics(pairs, "Total°");
+
+  const auto regional = eval::build_validation_table(
+      pairs,
+      [this](const val::AsLink& link) { return regional_class_of(link); },
+      min_links);
+  const auto topological = eval::build_validation_table(
+      pairs,
+      [this](const val::AsLink& link) { return topological_class_of(link); },
+      min_links);
+  table.rows = regional.rows;
+  table.rows.insert(table.rows.end(), topological.rows.begin(),
+                    topological.rows.end());
+  return table;
+}
+
+eval::SamplingResult BiasAudit::sampling_experiment(
+    const infer::Inference& inference, const std::string& class_name,
+    const eval::SamplingParams& params) const {
+  const auto pairs =
+      eval::make_eval_pairs(scenario_->validation(), inference);
+  std::vector<eval::EvalPair> in_class;
+  for (const auto& pair : pairs) {
+    if (regional_class_of(pair.link) == class_name ||
+        topological_class_of(pair.link) == class_name) {
+      in_class.push_back(pair);
+    }
+  }
+  return eval::run_sampling_experiment(in_class, params);
+}
+
+}  // namespace asrel::core

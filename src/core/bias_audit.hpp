@@ -1,0 +1,81 @@
+// BiasAudit: the paper's analysis toolkit over one Scenario.
+//
+// Produces every §5/§6/appendix artifact: regional and topological
+// coverage reports (Fig. 1/2), metric heatmaps over TR° links (Fig. 3 and
+// Figs. 7-9), combined per-class validation tables (Tables 1-3), and the
+// Appendix A sampling experiment.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "eval/coverage.hpp"
+#include "eval/heatmap.hpp"
+#include "eval/link_class.hpp"
+#include "eval/report.hpp"
+#include "eval/sampling.hpp"
+#include "infer/inference.hpp"
+
+namespace asrel::core {
+
+class BiasAudit {
+ public:
+  explicit BiasAudit(const Scenario& scenario);
+
+  // ---- §5: is the validation data biased? ----
+  [[nodiscard]] eval::CoverageReport regional_coverage() const;    // Fig. 1
+  [[nodiscard]] eval::CoverageReport topological_coverage() const; // Fig. 2
+
+  /// Metric heatmaps over TR° links, inferred vs validated (Fig. 3/7/8/9).
+  struct HeatmapPair {
+    eval::Heatmap inferred;
+    eval::Heatmap validated;
+  };
+  [[nodiscard]] HeatmapPair transit_degree_heatmaps(
+      const eval::HeatmapSpec& spec = {}) const;  // Fig. 3
+  [[nodiscard]] HeatmapPair node_degree_heatmaps(
+      const eval::HeatmapSpec& spec = {}) const;  // Fig. 9
+  /// PPDC variants need an inference (the metric depends on inferred rels).
+  [[nodiscard]] HeatmapPair ppdc_heatmaps(
+      const infer::Inference& inference, bool ignore_vp_links,
+      const eval::HeatmapSpec& spec = {.x_cap = 750,
+                                       .y_cap = 45}) const;  // Fig. 7/8
+
+  // ---- §6: is the validation biased? ----
+  /// Combined table: Total° + regional classes + topological classes with
+  /// at least `min_links` validated links (Tables 1-3).
+  [[nodiscard]] eval::ValidationTable validation_table(
+      const infer::Inference& inference, std::size_t min_links = 500) const;
+
+  /// Appendix A: sampling correlation for one class (e.g. "T1-TR").
+  [[nodiscard]] eval::SamplingResult sampling_experiment(
+      const infer::Inference& inference, const std::string& class_name,
+      const eval::SamplingParams& params = {}) const;
+
+  // ---- shared helpers ----
+  [[nodiscard]] std::string regional_class_of(const val::AsLink& link) const;
+  [[nodiscard]] std::string topological_class_of(
+      const val::AsLink& link) const;
+  /// All visible ("inferred") links, the §5 denominator.
+  [[nodiscard]] const std::vector<val::AsLink>& inferred_links() const {
+    return inferred_links_;
+  }
+  /// The visible TR° links (both endpoints transit, not T1/hypergiant).
+  [[nodiscard]] const std::vector<val::AsLink>& transit_links() const {
+    return transit_links_;
+  }
+  [[nodiscard]] const eval::TopoClassifier& topo_classifier() const {
+    return topo_;
+  }
+
+ private:
+  const Scenario* scenario_;
+  eval::TopoClassifier topo_;
+  std::vector<val::AsLink> inferred_links_;
+  std::vector<val::AsLink> transit_links_;
+  std::vector<val::AsLink> validated_transit_links_;
+};
+
+}  // namespace asrel::core

@@ -1,0 +1,49 @@
+// The §6.1 case study, generalized: explain why a classifier wrongly calls
+// T1-TR links P2P.
+//
+// Steps mirror the paper: collect the wrongly-inferred-P2P T1-TR links
+// ("target links"), find the Tier-1 that dominates them, check the observed
+// paths for `C|T1|X` triplets with another clique AS C (the evidence ASRank
+// needs for a P2C verdict), then query the looking glass for each target
+// link and classify the root cause: a no-export-to-peers action community
+// (partial transit), a silent provider-side arrangement, or inaccurate
+// validation data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/bias_audit.hpp"
+#include "core/looking_glass.hpp"
+#include "core/scenario.hpp"
+#include "infer/inference.hpp"
+
+namespace asrel::core {
+
+struct TargetLink {
+  asn::Asn tier1;
+  asn::Asn other;
+  bool clique_triplet_found = false;  ///< some C|T1|other with C in clique
+  bool action_community_seen = false; ///< looking glass shows the 990 tag
+  bool silent_partial_transit = false;///< restricted scope w/o community
+  bool validation_was_wrong = false;  ///< ground truth really is P2P
+};
+
+struct CaseStudyReport {
+  std::size_t wrong_p2p_t1_tr = 0;  ///< all target links
+  asn::Asn dominant_tier1;
+  std::size_t dominant_count = 0;   ///< targets involving the dominant T1
+  std::vector<TargetLink> targets;  ///< targets of the dominant T1
+  std::size_t with_clique_triplet = 0;
+  std::size_t with_action_community = 0;
+  std::size_t with_silent_partial_transit = 0;
+  std::size_t with_wrong_validation = 0;
+};
+
+[[nodiscard]] CaseStudyReport run_case_study(const Scenario& scenario,
+                                             const BiasAudit& audit,
+                                             const infer::Inference& inference);
+
+[[nodiscard]] std::string render(const CaseStudyReport& report);
+
+}  // namespace asrel::core

@@ -1,0 +1,71 @@
+// Appendix C: the twelve per-link features the paper proposes for
+// identifying further groups of "hard links".
+//
+// Each feature is computed from data a researcher could actually obtain:
+// collector paths, originated-prefix tables (route objects / RIBs), IXP
+// membership lists (PeeringDB), and public behaviour lists (MANRS
+// participation). Two substitutions, documented per field: feature 1
+// (visibility over time) uses single-snapshot VP visibility — the simulator
+// has one snapshot; feature 11 (common private facilities) is not modeled
+// and always 0 (our co-location substrate is IXPs only).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "eval/ppdc.hpp"
+#include "infer/inference.hpp"
+#include "validation/label.hpp"
+
+namespace asrel::core {
+
+struct LinkFeatures {
+  // (1) visibility: distinct vantage points observing the link
+  //     (single-snapshot stand-in for "visibility over time").
+  std::uint32_t vp_visibility = 0;
+  // (2)/(3) prefixes redistributed via the link and the address space they
+  //     cover (prefixes of every origin whose observed paths cross it).
+  std::uint32_t prefixes_redistributed = 0;
+  std::uint64_t addresses_redistributed = 0;
+  // (4)/(5) prefixes originated through the link (link adjacent to the
+  //     origin) and their address space.
+  std::uint32_t prefixes_originated = 0;
+  std::uint64_t addresses_originated = 0;
+  // (6) ASes that can observe the link (occur left of it in a path).
+  std::uint32_t ases_left = 0;
+  // (7) ASes that may receive traffic via it (occur right of it).
+  std::uint32_t ases_right = 0;
+  // (8) relative transit-degree difference of the incident ASes, in [0, 1].
+  double transit_degree_diff = 0.0;
+  // (9) relative PPDC-size difference, in [0, 1].
+  double ppdc_diff = 0.0;
+  // (10) IXPs where both incident ASes are members.
+  std::uint32_t common_ixps = 0;
+  // (11) common private peering facilities — not modeled, always 0.
+  std::uint32_t common_facilities = 0;
+  // (12) operator hygiene: how many of the two incident ASes are
+  //     MANRS-style participants (attend meetings + maintain RPSL).
+  std::uint32_t manrs_participants = 0;
+};
+
+/// Computes the features for every visible link in one pass over the
+/// observed paths. The `inference` parameter feeds the PPDC metric (which,
+/// as §B notes, depends on inferred relationships and inherits their bias).
+class LinkFeatureExtractor {
+ public:
+  LinkFeatureExtractor(const Scenario& scenario,
+                       const infer::Inference& inference);
+
+  [[nodiscard]] const LinkFeatures* find(const val::AsLink& link) const;
+  [[nodiscard]] const std::unordered_map<val::AsLink, LinkFeatures>& all()
+      const {
+    return features_;
+  }
+
+ private:
+  std::unordered_map<val::AsLink, LinkFeatures> features_;
+};
+
+}  // namespace asrel::core

@@ -1,0 +1,81 @@
+#include "core/looking_glass.hpp"
+
+#include <algorithm>
+
+namespace asrel::core {
+
+LookingGlass::LookingGlass(const topo::World& world,
+                           const val::SchemeDirectory& schemes,
+                           bgp::PropagationParams params)
+    : world_(&world), schemes_(&schemes), propagator_(world, params) {}
+
+RouteView LookingGlass::query(asn::Asn at, asn::Asn origin) const {
+  RouteView view;
+  view.at = at;
+  view.origin = origin;
+
+  const auto& graph = world_->graph;
+  const auto at_node = graph.node_of(at);
+  const auto origin_node = graph.node_of(origin);
+  if (!at_node || !origin_node) return view;
+
+  const auto rib = propagator_.propagate(origin);
+  if (!rib.reachable(*at_node)) return view;
+  view.reachable = true;
+  view.path = propagator_.path_at(rib, *at_node);
+
+  // Collapsed hop sequence for community reconstruction.
+  std::vector<asn::Asn> hops;
+  for (const asn::Asn hop : view.path) {
+    if (hops.empty() || hops.back() != hop) hops.push_back(hop);
+  }
+
+  bool survives = true;  // no stripper between the tagger and `at` yet
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (i > 0 && world_->attrs.at(hops[i - 1]).strips_communities) {
+      survives = false;
+    }
+    const auto edge_id = graph.find_edge(hops[i], hops[i + 1]);
+    if (!edge_id) continue;
+    const auto& edge = graph.edge(*edge_id);
+
+    // Informational ingress tag attached by hops[i].
+    if (survives || i == 0) {
+      if (const auto* scheme = schemes_->scheme_of(hops[i])) {
+        const auto rel = propagator_.effective_rel(edge, origin);
+        val::TagMeaning meaning = val::TagMeaning::kFromCustomer;
+        const auto tagger_node = *graph.node_of(hops[i]);
+        switch (rel) {
+          case topo::RelType::kP2C:
+            meaning = edge.u == tagger_node
+                          ? val::TagMeaning::kFromCustomer
+                          : val::TagMeaning::kFromProvider;
+            break;
+          case topo::RelType::kP2P:
+            meaning = val::TagMeaning::kFromPeer;
+            break;
+          case topo::RelType::kS2S:
+            meaning = val::TagMeaning::kFromCustomer;
+            break;
+        }
+        view.communities.push_back(scheme->tag_for(meaning));
+      }
+    }
+
+    // The customer-attached action community (the 174:990 analogue) is
+    // visible only on the provider's own routers: it is stripped before any
+    // redistribution.
+    if (i == 0 && edge.scope_via_community &&
+        edge.rel == topo::RelType::kP2C &&
+        graph.asn_of(edge.u) == at) {
+      view.communities.push_back(val::no_export_to_peers_community(at));
+    }
+  }
+  std::sort(view.communities.begin(), view.communities.end());
+  view.communities.erase(
+      std::unique(view.communities.begin(), view.communities.end()),
+      view.communities.end());
+  return view;
+}
+
+}  // namespace asrel::core

@@ -1,0 +1,43 @@
+// LookingGlass: the §6.1 investigation tool. Real looking glasses let
+// anyone inspect the routes (and attached communities) a network's routers
+// hold; the paper used Cogent's to discover the 174:990 tagging. This one
+// answers the same queries against the simulated world, reconstructing the
+// communities a route would carry at the queried AS — including action
+// communities that are stripped before further redistribution and hence
+// invisible in public collector data.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/community.hpp"
+#include "bgp/propagation.hpp"
+#include "topology/generator.hpp"
+#include "validation/scheme.hpp"
+
+namespace asrel::core {
+
+struct RouteView {
+  asn::Asn at;                            ///< queried AS
+  asn::Asn origin;
+  std::vector<asn::Asn> path;             ///< [at, ..., origin]
+  std::vector<bgp::Community> communities;
+  bool reachable = false;
+};
+
+class LookingGlass {
+ public:
+  LookingGlass(const topo::World& world, const val::SchemeDirectory& schemes,
+               bgp::PropagationParams params);
+
+  /// The best route `at` holds toward `origin`, with communities as the
+  /// queried router would display them.
+  [[nodiscard]] RouteView query(asn::Asn at, asn::Asn origin) const;
+
+ private:
+  const topo::World* world_;
+  const val::SchemeDirectory* schemes_;
+  bgp::Propagator propagator_;
+};
+
+}  // namespace asrel::core

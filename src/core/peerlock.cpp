@@ -1,0 +1,149 @@
+#include "core/peerlock.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "topology/random.hpp"
+
+namespace asrel::core {
+
+namespace {
+
+using asn::Asn;
+
+}  // namespace
+
+RelLookup lookup_from_inference(const infer::Inference& inference) {
+  return [&inference](const val::AsLink& link) {
+    return inference.find(link);
+  };
+}
+
+RelLookup lookup_from_validation(
+    std::span<const val::CleanLabel> validation) {
+  auto map = std::make_shared<
+      std::unordered_map<val::AsLink, infer::InferredRel>>();
+  for (const auto& label : validation) {
+    infer::InferredRel rel;
+    rel.rel = label.rel;
+    rel.provider = label.provider;
+    (*map)[label.link] = rel;
+  }
+  return [map](const val::AsLink& link) -> const infer::InferredRel* {
+    const auto it = map->find(link);
+    return it == map->end() ? nullptr : &it->second;
+  };
+}
+
+RelLookup lookup_from_ground_truth(const topo::World& world) {
+  // The returned pointer aliases a thread-local scratch slot: it is valid
+  // until the next lookup on the same thread, which matches how policies
+  // and the leak simulator consume it (read-and-discard).
+  return [&world](const val::AsLink& link) -> const infer::InferredRel* {
+    static thread_local infer::InferredRel scratch;
+    const auto edge_id = world.graph.find_edge(link.a, link.b);
+    if (!edge_id) return nullptr;
+    const auto& edge = world.graph.edge(*edge_id);
+    scratch.rel = edge.rel;
+    if (edge.rel == topo::RelType::kP2C) {
+      scratch.provider = world.graph.asn_of(edge.u);
+    }
+    return &scratch;
+  };
+}
+
+PeerlockPolicy build_peerlock_policy(const topo::World& world,
+                                     const RelLookup& rel_of, Asn owner) {
+  PeerlockPolicy policy;
+  policy.owner = owner;
+  const auto node = world.graph.node_of(owner);
+  if (!node) return policy;
+  for (const auto& neighbor : world.graph.neighbors(*node)) {
+    const Asn peer = world.graph.asn_of(neighbor.node);
+    const auto* rel = rel_of(val::AsLink{owner, peer});
+    if (rel == nullptr) {
+      policy.unknown_sessions.push_back(peer);
+      continue;
+    }
+    // A Tier-1-bearing path is legitimate only on a session the operator
+    // believes to be a provider (or sibling) session.
+    const bool session_is_provider =
+        rel->rel == topo::RelType::kP2C && rel->provider == peer;
+    const bool session_is_sibling = rel->rel == topo::RelType::kS2S;
+    if (!session_is_provider && !session_is_sibling) {
+      policy.filtered_sessions.push_back(peer);
+    }
+  }
+  std::sort(policy.filtered_sessions.begin(), policy.filtered_sessions.end());
+  std::sort(policy.unknown_sessions.begin(), policy.unknown_sessions.end());
+  return policy;
+}
+
+std::string render_peerlock_config(const topo::World& world,
+                                   const PeerlockPolicy& policy) {
+  std::string out;
+  out += "! peerlock filters for AS" + std::to_string(policy.owner.value()) +
+         " (generated)\n";
+  out += "as-path access-list PROTECTED-T1 deny _(";
+  for (std::size_t i = 0; i < world.clique.size(); ++i) {
+    if (i > 0) out += "|";
+    out += std::to_string(world.clique[i].value());
+  }
+  out += ")_\n";
+  for (const Asn session : policy.filtered_sessions) {
+    out += "neighbor AS" + std::to_string(session.value()) +
+           " filter-list PROTECTED-T1 in\n";
+  }
+  for (const Asn session : policy.unknown_sessions) {
+    out += "! neighbor AS" + std::to_string(session.value()) +
+           " UNFILTERED (relationship unknown)\n";
+  }
+  return out;
+}
+
+LeakReport simulate_route_leaks(const Scenario& scenario,
+                                const RelLookup& rel_of, int max_leaks,
+                                std::uint64_t seed) {
+  const auto& world = scenario.world();
+  topo::Rng rng{seed};
+  LeakReport report;
+
+  // Candidate leakers: ASes with at least two providers (the classic
+  // "multihomed customer re-exports provider routes" incident).
+  std::vector<Asn> leakers;
+  for (const Asn asn : world.graph.nodes()) {
+    if (world.graph.providers_of(asn).size() >= 2) leakers.push_back(asn);
+  }
+  if (leakers.empty()) return report;
+
+  for (int i = 0; i < max_leaks; ++i) {
+    const Asn leaker = rng.pick(leakers);
+    const auto providers = world.graph.providers_of(leaker);
+    const Asn from = providers[rng.below(providers.size())];
+    const Asn to = providers[rng.below(providers.size())];
+    if (from == to) continue;
+    ++report.leaks_simulated;
+
+    // The leaked announcement [leaker, from, ..., T1] arrives at `to` over
+    // its session with the leaker. `to`'s Peerlock policy filters the
+    // session iff its relationship source labels the leaker as customer or
+    // peer.
+    const auto* rel = rel_of(val::AsLink{to, leaker});
+    if (rel == nullptr) {
+      ++report.passed_unknown_session;
+      continue;
+    }
+    const bool session_is_provider =
+        rel->rel == topo::RelType::kP2C && rel->provider == leaker;
+    const bool session_is_sibling = rel->rel == topo::RelType::kS2S;
+    if (session_is_provider || session_is_sibling) {
+      ++report.passed_wrong_label;
+    } else {
+      ++report.blocked;
+    }
+  }
+  return report;
+}
+
+}  // namespace asrel::core

@@ -1,0 +1,76 @@
+// Peerlock (McDaniel et al., cited as [47]/[48]): router-configuration
+// snippets that reject route leaks — paths that carry a protected Tier-1
+// through a session where no Tier-1 should ever appear (customer or peer
+// sessions). §7 proposes Peerlock-config generation as the do-ut-des
+// incentive for operators to share accurate relationships: the filters are
+// only as good as the relationship data behind them.
+//
+// This module generates the per-AS session filters from *any* relationship
+// source (ground truth, a classifier's output, or the validated subset)
+// and scores them against simulated route leaks, quantifying the §7 claim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "infer/inference.hpp"
+
+namespace asrel::core {
+
+/// Relationship oracle: returns the label for a link, or nullptr when the
+/// source has no opinion (e.g. the link is not in the validation data).
+using RelLookup =
+    std::function<const infer::InferredRel*(const val::AsLink&)>;
+
+/// Adapters for the three interesting sources.
+[[nodiscard]] RelLookup lookup_from_inference(const infer::Inference& inference);
+[[nodiscard]] RelLookup lookup_from_validation(
+    std::span<const val::CleanLabel> validation);
+[[nodiscard]] RelLookup lookup_from_ground_truth(const topo::World& world);
+
+/// One AS's Peerlock policy: the sessions on which paths containing a
+/// protected ASN are rejected (customer and peer sessions per the
+/// relationship source; sessions with unknown relationships stay open —
+/// an operator will not filter a session it cannot classify).
+struct PeerlockPolicy {
+  asn::Asn owner;
+  std::vector<asn::Asn> filtered_sessions;
+  std::vector<asn::Asn> unknown_sessions;
+};
+
+[[nodiscard]] PeerlockPolicy build_peerlock_policy(const topo::World& world,
+                                                   const RelLookup& rel_of,
+                                                   asn::Asn owner);
+
+/// Renders the policy as a router-config-style snippet (protected set =
+/// the world's clique).
+[[nodiscard]] std::string render_peerlock_config(
+    const topo::World& world, const PeerlockPolicy& policy);
+
+struct LeakReport {
+  std::size_t leaks_simulated = 0;
+  std::size_t blocked = 0;
+  std::size_t passed_unknown_session = 0;  ///< no label -> session open
+  std::size_t passed_wrong_label = 0;      ///< labeled provider, so no filter
+  [[nodiscard]] double block_rate() const {
+    return leaks_simulated == 0
+               ? 0.0
+               : static_cast<double>(blocked) /
+                     static_cast<double>(leaks_simulated);
+  }
+};
+
+/// Simulates classic route leaks: a multihomed customer re-announces a
+/// Tier-1-bearing path learned from one provider to another provider. The
+/// receiving provider blocks it iff its Peerlock policy filters the
+/// leaker's session. Deterministic in `seed`.
+[[nodiscard]] LeakReport simulate_route_leaks(const Scenario& scenario,
+                                              const RelLookup& rel_of,
+                                              int max_leaks = 2000,
+                                              std::uint64_t seed = 31337);
+
+}  // namespace asrel::core

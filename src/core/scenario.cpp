@@ -1,0 +1,50 @@
+#include "core/scenario.hpp"
+
+namespace asrel::core {
+
+std::unique_ptr<Scenario> Scenario::build(const ScenarioParams& params) {
+  auto scenario = std::unique_ptr<Scenario>(new Scenario);
+  scenario->params_ = params;
+
+  // 1. The world and its companion data sets.
+  scenario->world_ = topo::generate(params.topology);
+
+  // 2. Observation: collectors, propagation, sanitized paths.
+  scenario->vps_ = bgp::select_vantage_points(scenario->world_,
+                                              params.vantage);
+  const bgp::Propagator propagator{scenario->world_, params.propagation};
+  scenario->paths_ = bgp::collect_paths(propagator, scenario->vps_);
+  scenario->observed_ = infer::ObservedPaths::build(
+      scenario->paths_, &scenario->sanitize_stats_);
+
+  // 3. Validation compilation (Luckie-style communities, plus optional
+  //    secondary sources).
+  scenario->schemes_ =
+      val::SchemeDirectory::build(scenario->world_, params.scheme_seed);
+  scenario->raw_validation_ = val::extract_from_communities(
+      propagator, scenario->paths_, scenario->schemes_, params.extract,
+      &scenario->extract_stats_);
+  if (params.include_rpsl_source) {
+    const auto irr = rpsl::synthesize_irr(scenario->world_, params.irr);
+    scenario->raw_validation_.merge(val::extract_from_rpsl(irr));
+  }
+  if (params.include_direct_reports) {
+    scenario->raw_validation_.merge(
+        val::collect_direct_reports(scenario->world_, params.reports));
+  }
+
+  // 4. Cleaning (§4.2) against the as2org data.
+  scenario->orgs_ = org::OrgMap{scenario->world_.as2org};
+  scenario->validation_ =
+      val::clean(scenario->raw_validation_, scenario->orgs_, params.cleaning,
+                 &scenario->cleaning_stats_);
+
+  // 5. ASN -> region mapping: IANA bootstrap refined by the synthesized
+  //    delegation files (§5).
+  for (const auto& file : scenario->world_.delegations) {
+    scenario->mapper_.apply(file);
+  }
+  return scenario;
+}
+
+}  // namespace asrel::core

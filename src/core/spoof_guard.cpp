@@ -1,0 +1,131 @@
+#include "core/spoof_guard.hpp"
+
+#include <algorithm>
+
+#include "topology/cone.hpp"
+
+namespace asrel::core {
+
+namespace {
+
+using asn::Asn;
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  return x ^ (x >> 31);
+}
+
+/// Customer cone under an arbitrary relationship labeling: BFS over the
+/// inferred provider->customer edges.
+std::vector<Asn> cone_under(const infer::Inference& inference,
+                            const std::unordered_map<Asn, std::vector<Asn>>&
+                                inferred_customers,
+                            Asn root) {
+  (void)inference;
+  std::vector<Asn> out;
+  std::unordered_set<Asn> seen{root};
+  std::vector<Asn> stack{root};
+  while (!stack.empty()) {
+    const Asn node = stack.back();
+    stack.pop_back();
+    const auto it = inferred_customers.find(node);
+    if (it == inferred_customers.end()) continue;
+    for (const Asn customer : it->second) {
+      if (!seen.insert(customer).second) continue;
+      out.push_back(customer);
+      stack.push_back(customer);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+SpoofGuard::SpoofGuard(const Scenario& scenario,
+                       const infer::Inference& inference)
+    : scenario_(&scenario) {
+  // Index the inferred provider->customer edges once.
+  std::unordered_map<Asn, std::vector<Asn>> inferred_customers;
+  for (const auto& link : inference.order()) {
+    const auto* rel = inference.find(link);
+    if (rel->rel != topo::RelType::kP2C) continue;
+    const Asn customer = rel->provider == link.a ? link.b : link.a;
+    inferred_customers[rel->provider].push_back(customer);
+  }
+
+  const auto& world = scenario.world();
+  for (const auto& ixp : world.ixps) {
+    for (const Asn member : ixp.members) {
+      if (filters_.contains(member)) continue;
+      auto cone = cone_under(inference, inferred_customers, member);
+      auto& filter = filters_[member];
+      filter.insert(member);
+      filter.insert(cone.begin(), cone.end());
+      true_cones_[member] = topo::customer_cone(world.graph, member);
+    }
+  }
+}
+
+bool SpoofGuard::would_flag(Asn member, Asn source_as) const {
+  const auto it = filters_.find(member);
+  if (it == filters_.end()) return true;  // no filter: flag everything
+  return !it->second.contains(source_as);
+}
+
+void SpoofGuard::score_member(Asn member, int spoof_samples,
+                              SpoofGuardStats& stats) const {
+  const auto cone_it = true_cones_.find(member);
+  if (cone_it == true_cones_.end()) return;
+
+  // Legitimate traffic: the member plus every true-cone AS sources once.
+  ++stats.legitimate_total;
+  if (would_flag(member, member)) ++stats.legitimate_flagged;
+  for (const Asn source : cone_it->second) {
+    ++stats.legitimate_total;
+    if (would_flag(member, source)) ++stats.legitimate_flagged;
+  }
+
+  // Spoofed traffic: deterministic out-of-cone sources.
+  const auto& nodes = scenario_->world().graph.nodes();
+  std::unordered_set<Asn> cone_set(cone_it->second.begin(),
+                                   cone_it->second.end());
+  cone_set.insert(member);
+  int produced = 0;
+  for (std::uint64_t i = 0; produced < spoof_samples && i < 64; ++i) {
+    const Asn source =
+        nodes[mix(member.value(), i) % nodes.size()];
+    if (cone_set.contains(source)) continue;
+    ++produced;
+    ++stats.spoofed_total;
+    if (would_flag(member, source)) ++stats.spoofed_caught;
+  }
+}
+
+SpoofGuardStats SpoofGuard::evaluate(int ixp_id, int spoof_samples) const {
+  SpoofGuardStats stats;
+  for (const auto& ixp : scenario_->world().ixps) {
+    if (ixp_id >= 0 && ixp.id != ixp_id) continue;
+    for (const Asn member : ixp.members) {
+      score_member(member, spoof_samples, stats);
+    }
+  }
+  return stats;
+}
+
+std::unordered_map<rir::Region, SpoofGuardStats>
+SpoofGuard::evaluate_by_region(int spoof_samples) const {
+  std::unordered_map<rir::Region, SpoofGuardStats> by_region;
+  for (const auto& ixp : scenario_->world().ixps) {
+    auto& stats = by_region[ixp.region];
+    for (const Asn member : ixp.members) {
+      score_member(member, spoof_samples, stats);
+    }
+  }
+  return by_region;
+}
+
+}  // namespace asrel::core

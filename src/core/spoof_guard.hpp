@@ -1,0 +1,81 @@
+// The paper's §2 motivating example, made executable.
+//
+// Müller et al. (cited as [50]) infer spoofed traffic at IXPs: a packet a
+// member sends into the fabric is "spoofed" if its source address does not
+// belong to the member's customer cone — where the cone is computed from
+// *inferred* AS relationships. §2 warns that misclassifying a P2C link as
+// P2P shrinks the computed cone and falsely flags the customer's legitimate
+// traffic, with reputational consequences.
+//
+// SpoofGuard builds the per-member source filters from any relationship
+// labeling and scores them against ground truth: legitimate traffic =
+// sources drawn from the member's *true* cone; spoofed traffic = sources
+// drawn outside it. The false-flag rate per region then connects the
+// regional validation bias of Fig. 1 to a concrete operational harm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "infer/inference.hpp"
+
+namespace asrel::core {
+
+struct SpoofGuardStats {
+  std::uint64_t legitimate_total = 0;
+  std::uint64_t legitimate_flagged = 0;  ///< false positives (§2's harm)
+  std::uint64_t spoofed_total = 0;
+  std::uint64_t spoofed_caught = 0;
+
+  [[nodiscard]] double false_flag_rate() const {
+    return legitimate_total == 0
+               ? 0.0
+               : static_cast<double>(legitimate_flagged) /
+                     static_cast<double>(legitimate_total);
+  }
+  [[nodiscard]] double detection_rate() const {
+    return spoofed_total == 0
+               ? 0.0
+               : static_cast<double>(spoofed_caught) /
+                     static_cast<double>(spoofed_total);
+  }
+};
+
+class SpoofGuard {
+ public:
+  /// Builds per-AS source filters (the AS itself plus its customer cone)
+  /// from the given relationship labeling.
+  SpoofGuard(const Scenario& scenario, const infer::Inference& inference);
+
+  /// True if the filter for `member` would flag a packet sourced at
+  /// `source_as` as spoofed.
+  [[nodiscard]] bool would_flag(asn::Asn member, asn::Asn source_as) const;
+
+  /// Scores the filters for the members of one IXP (or all IXPs when
+  /// `ixp_id` < 0): for every member, every true-cone AS is sent once as
+  /// legitimate traffic, and `spoof_samples` deterministic out-of-cone
+  /// sources are sent as spoofed traffic.
+  [[nodiscard]] SpoofGuardStats evaluate(int ixp_id,
+                                         int spoof_samples = 4) const;
+
+  /// §2 meets Fig. 1: false-flag rates split by the IXP's service region.
+  [[nodiscard]] std::unordered_map<rir::Region, SpoofGuardStats>
+  evaluate_by_region(int spoof_samples = 4) const;
+
+ private:
+  [[nodiscard]] std::vector<asn::Asn> inferred_cone(asn::Asn member) const;
+  void score_member(asn::Asn member, int spoof_samples,
+                    SpoofGuardStats& stats) const;
+
+  const Scenario* scenario_;
+  /// member -> allowed source set (member + inferred customer cone)
+  std::unordered_map<asn::Asn, std::unordered_set<asn::Asn>> filters_;
+  /// member -> true cone (ground truth)
+  std::unordered_map<asn::Asn, std::vector<asn::Asn>> true_cones_;
+};
+
+}  // namespace asrel::core

@@ -1,0 +1,121 @@
+#include "core/v6_world.hpp"
+
+#include <algorithm>
+
+namespace asrel::core {
+
+namespace {
+
+using asn::Asn;
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  return x ^ (x >> 31);
+}
+
+double roll(std::uint64_t a, std::uint64_t b) {
+  return static_cast<double>(mix(a, b) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool v6_capable(const topo::World& world, Asn asn, const V6Params& params) {
+  const auto& attrs = world.attrs.at(asn);
+  double p = params.adoption_stub;
+  switch (attrs.tier) {
+    case topo::Tier::kClique:
+      p = params.adoption_clique;
+      break;
+    case topo::Tier::kLargeTransit:
+      p = params.adoption_large;
+      break;
+    case topo::Tier::kMidTransit:
+      p = params.adoption_mid;
+      break;
+    case topo::Tier::kSmallTransit:
+      p = params.adoption_small;
+      break;
+    case topo::Tier::kStub:
+      break;
+  }
+  if (attrs.hypergiant) p = params.adoption_large;
+  if (attrs.region == rir::Region::kLacnic ||
+      attrs.region == rir::Region::kApnic) {
+    p = std::min(1.0, p * params.scarce_region_bonus);
+  }
+  return roll(asn.value(), params.salt) < p;
+}
+
+topo::World build_v6_world(const topo::World& world, const V6Params& params) {
+  topo::World v6;
+  v6.params = world.params;
+  v6.cogent_like = world.cogent_like;
+
+  for (const Asn asn : world.graph.nodes()) {
+    if (!v6_capable(world, asn, params)) continue;
+    v6.graph.add_node(asn);
+    v6.attrs[asn] = world.attrs.at(asn);
+  }
+  for (const auto& edge : world.graph.edges()) {
+    const Asn a = world.graph.asn_of(edge.u);
+    const Asn b = world.graph.asn_of(edge.v);
+    if (!v6.graph.node_of(a) || !v6.graph.node_of(b)) continue;
+    if (roll(mix(a.value(), b.value()), params.salt ^ 0xD5ull) >=
+        params.session_dual_stack) {
+      continue;
+    }
+    // add_edge rebuilds the node ids; the relationship payload carries
+    // over, and a == asn_of(edge.u) keeps the provider side for kP2C.
+    v6.graph.add_edge(a, b, edge);
+  }
+  for (const Asn member : world.clique) {
+    if (v6.graph.node_of(member)) v6.clique.push_back(member);
+  }
+  for (const Asn giant : world.hypergiants) {
+    if (v6.graph.node_of(giant)) v6.hypergiants.push_back(giant);
+  }
+  for (const auto& ixp : world.ixps) {
+    topo::Ixp filtered;
+    filtered.id = ixp.id;
+    filtered.region = ixp.region;
+    for (const Asn member : ixp.members) {
+      if (v6.graph.node_of(member)) filtered.members.push_back(member);
+    }
+    if (!filtered.members.empty()) v6.ixps.push_back(std::move(filtered));
+  }
+  v6.as2org = world.as2org;
+  v6.delegations = world.delegations;
+  for (const auto& [asn, prefixes] : world.prefixes) {
+    if (v6.graph.node_of(asn)) v6.prefixes.emplace(asn, prefixes);
+  }
+  return v6;
+}
+
+CongruenceReport compare_stacks(const infer::Inference& v4,
+                                const infer::Inference& v6) {
+  CongruenceReport report;
+  report.v4_links = v4.size();
+  report.v6_links = v6.size();
+  for (const auto& link : v6.order()) {
+    const auto* rel6 = v6.find(link);
+    const auto* rel4 = v4.find(link);
+    if (rel4 == nullptr) continue;
+    ++report.shared_links;
+    if (rel4->rel == rel6->rel) {
+      if (rel4->rel != topo::RelType::kP2C ||
+          rel4->provider == rel6->provider) {
+        ++report.congruent;
+      } else {
+        ++report.flipped_p2c;
+      }
+    } else {
+      ++report.type_mismatch;
+    }
+  }
+  return report;
+}
+
+}  // namespace asrel::core

@@ -1,0 +1,63 @@
+// The IPv6 routing ecosystem as a derived sub-world, after Giotsas et al.
+// 2015 ("IPv6 AS relationships, cliques, and congruence", cited in §3.1):
+// only part of the Internet is v6-capable, not every session is dual-stack,
+// and the v4/v6 relationship *congruence* of a link is itself a research
+// question.
+//
+// Adoption is derived from deterministic per-AS hashes (not the generator's
+// RNG stream), so building a v6 view never perturbs the v4 world.
+#pragma once
+
+#include <cstdint>
+
+#include "infer/inference.hpp"
+#include "topology/generator.hpp"
+
+namespace asrel::core {
+
+struct V6Params {
+  std::uint64_t salt = 0x1965ADD6ull;
+  /// Adoption probability per tier (clique leads, stubs trail).
+  double adoption_clique = 1.0;
+  double adoption_large = 0.9;
+  double adoption_mid = 0.7;
+  double adoption_small = 0.5;
+  double adoption_stub = 0.35;
+  /// Regional multiplier bonus for LACNIC/APNIC (v4 scarcity pushed them).
+  double scarce_region_bonus = 1.3;
+  /// Probability that a link between two capable ASes is dual-stacked.
+  double session_dual_stack = 0.85;
+};
+
+/// True iff the AS announces IPv6 in this parameterization.
+[[nodiscard]] bool v6_capable(const topo::World& world, asn::Asn asn,
+                              const V6Params& params);
+
+/// The v6 sub-world: capable ASes, dual-stacked sessions, same ground-truth
+/// relationship semantics. Clique/hypergiant/IXP membership and companion
+/// data sets are filtered accordingly.
+[[nodiscard]] topo::World build_v6_world(const topo::World& world,
+                                         const V6Params& params = {});
+
+/// v4/v6 congruence of two inferences over their shared links
+/// (Giotsas et al. report high but not perfect congruence).
+struct CongruenceReport {
+  std::size_t v4_links = 0;
+  std::size_t v6_links = 0;
+  std::size_t shared_links = 0;
+  std::size_t congruent = 0;      ///< same relationship in both stacks
+  std::size_t flipped_p2c = 0;    ///< P2C in both but opposite providers
+  std::size_t type_mismatch = 0;  ///< P2P in one stack, P2C in the other
+
+  [[nodiscard]] double congruence() const {
+    return shared_links == 0
+               ? 1.0
+               : static_cast<double>(congruent) /
+                     static_cast<double>(shared_links);
+  }
+};
+
+[[nodiscard]] CongruenceReport compare_stacks(const infer::Inference& v4,
+                                              const infer::Inference& v6);
+
+}  // namespace asrel::core

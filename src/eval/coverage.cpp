@@ -1,0 +1,82 @@
+#include "eval/coverage.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+namespace asrel::eval {
+
+CoverageReport coverage_by_class(
+    std::span<const val::AsLink> inferred,
+    std::span<const val::CleanLabel> validated,
+    const std::function<std::string(const val::AsLink&)>& class_of) {
+  CoverageReport report;
+
+  std::map<std::string, CoverageRow> rows;
+  std::unordered_set<val::AsLink> inferred_set;
+  for (const auto& link : inferred) {
+    const auto name = class_of(link);
+    if (name == "?") continue;
+    auto& row = rows[name];
+    row.name = name;
+    ++row.inferred_links;
+    ++report.total_inferred;
+    inferred_set.insert(link);
+  }
+  for (const auto& label : validated) {
+    // Coverage counts validated links among the *inferred* ones, matching
+    // "fraction of links in a class for which we have validation labels".
+    if (!inferred_set.contains(label.link)) continue;
+    const auto name = class_of(label.link);
+    if (name == "?") continue;
+    auto& row = rows[name];
+    ++row.validated_links;
+    ++report.total_validated;
+  }
+
+  for (auto& [name, row] : rows) {
+    row.share = report.total_inferred == 0
+                    ? 0.0
+                    : static_cast<double>(row.inferred_links) /
+                          static_cast<double>(report.total_inferred);
+    row.coverage = row.inferred_links == 0
+                       ? 0.0
+                       : static_cast<double>(row.validated_links) /
+                             static_cast<double>(row.inferred_links);
+    report.rows.push_back(row);
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const CoverageRow& a, const CoverageRow& b) {
+              if (a.share != b.share) return a.share > b.share;
+              return a.name < b.name;
+            });
+  return report;
+}
+
+std::string render_coverage(const CoverageReport& report,
+                            std::size_t max_classes) {
+  std::string out;
+  char buffer[64];
+  const std::size_t count = std::min(max_classes, report.rows.size());
+
+  out += "Class:      ";
+  for (std::size_t i = 0; i < count; ++i) {
+    std::snprintf(buffer, sizeof buffer, "%8s", report.rows[i].name.c_str());
+    out += buffer;
+  }
+  out += "\nLink share: ";
+  for (std::size_t i = 0; i < count; ++i) {
+    std::snprintf(buffer, sizeof buffer, "%8.2f", report.rows[i].share);
+    out += buffer;
+  }
+  out += "\nVal. cov.:  ";
+  for (std::size_t i = 0; i < count; ++i) {
+    std::snprintf(buffer, sizeof buffer, "%8.2f", report.rows[i].coverage);
+    out += buffer;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace asrel::eval

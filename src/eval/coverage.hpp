@@ -1,0 +1,43 @@
+// §5 coverage analysis: for a set of link classes, the share of inferred
+// links per class (Fig. 1/2 top) and the validation coverage per class
+// (Fig. 1/2 bottom).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "validation/cleaner.hpp"
+#include "validation/label.hpp"
+
+namespace asrel::eval {
+
+struct CoverageRow {
+  std::string name;
+  std::size_t inferred_links = 0;
+  std::size_t validated_links = 0;
+  double share = 0.0;     ///< inferred_links / total inferred
+  double coverage = 0.0;  ///< validated_links / inferred_links
+};
+
+struct CoverageReport {
+  std::vector<CoverageRow> rows;  ///< sorted by share, descending
+  std::size_t total_inferred = 0;
+  std::size_t total_validated = 0;
+};
+
+/// `inferred` is the full set of visible links ("inferred links" in the
+/// paper's terminology); `validated` the cleaned validation data. Links
+/// whose class is "?" (reserved/unknown endpoints) are discarded, as in §5.
+[[nodiscard]] CoverageReport coverage_by_class(
+    std::span<const val::AsLink> inferred,
+    std::span<const val::CleanLabel> validated,
+    const std::function<std::string(const val::AsLink&)>& class_of);
+
+/// Two-row rendering in the style of Fig. 1/2: shares on top, coverage
+/// below.
+[[nodiscard]] std::string render_coverage(const CoverageReport& report,
+                                          std::size_t max_classes = 12);
+
+}  // namespace asrel::eval

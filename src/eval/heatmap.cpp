@@ -1,0 +1,110 @@
+#include "eval/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace asrel::eval {
+
+Heatmap::Heatmap(const HeatmapSpec& spec)
+    : spec_(spec), counts_(spec.x_bins * spec.y_bins, 0) {}
+
+std::size_t Heatmap::x_bin(std::uint32_t value) const {
+  const std::size_t width =
+      std::max<std::size_t>(1, spec_.x_cap / spec_.x_bins);
+  return std::min(spec_.x_bins - 1, static_cast<std::size_t>(value) / width);
+}
+
+std::size_t Heatmap::y_bin(std::uint32_t value) const {
+  const std::size_t width =
+      std::max<std::size_t>(1, spec_.y_cap / spec_.y_bins);
+  return std::min(spec_.y_bins - 1, static_cast<std::size_t>(value) / width);
+}
+
+void Heatmap::add(std::uint32_t metric_1, std::uint32_t metric_2) {
+  const std::uint32_t larger = std::max(metric_1, metric_2);
+  const std::uint32_t smaller = std::min(metric_1, metric_2);
+  ++counts_[x_bin(larger) * spec_.y_bins + y_bin(smaller)];
+  ++total_;
+}
+
+double Heatmap::fraction(std::size_t x, std::size_t y) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[x * spec_.y_bins + y]) /
+         static_cast<double>(total_);
+}
+
+std::uint64_t Heatmap::count(std::size_t x, std::size_t y) const {
+  return counts_[x * spec_.y_bins + y];
+}
+
+double Heatmap::bottom_left_mass(double quarter) const {
+  const auto x_limit = static_cast<std::size_t>(
+      quarter * static_cast<double>(spec_.x_bins));
+  const auto y_limit = static_cast<std::size_t>(
+      quarter * static_cast<double>(spec_.y_bins));
+  double mass = 0.0;
+  for (std::size_t x = 0; x < std::max<std::size_t>(1, x_limit); ++x) {
+    for (std::size_t y = 0; y < std::max<std::size_t>(1, y_limit); ++y) {
+      mass += fraction(x, y);
+    }
+  }
+  return mass;
+}
+
+std::string Heatmap::render() const {
+  // Shade per cell by fraction; rows printed top (largest y) to bottom.
+  static constexpr const char* kShades = " .:-=+*#%@";
+  std::string out;
+  char buffer[64];
+  for (std::size_t y = spec_.y_bins; y-- > 0;) {
+    std::snprintf(buffer, sizeof buffer, "%5zu |",
+                  y * (spec_.y_cap / spec_.y_bins));
+    out += buffer;
+    for (std::size_t x = 0; x < spec_.x_bins; ++x) {
+      const double f = fraction(x, y);
+      int shade = 0;
+      if (f > 0) {
+        shade = 1 + static_cast<int>(f * 80.0);
+        shade = std::min(shade, 9);
+      }
+      out += kShades[shade];
+      out += kShades[shade];
+    }
+    out += '\n';
+  }
+  out += "      +";
+  for (std::size_t x = 0; x < spec_.x_bins; ++x) out += "--";
+  out += '\n';
+  std::snprintf(buffer, sizeof buffer, "       0 .. %u (larger metric)\n",
+                spec_.x_cap);
+  out += buffer;
+  return out;
+}
+
+std::string Heatmap::to_csv() const {
+  std::string out = "x_low,y_low,fraction\n";
+  char buffer[96];
+  const std::size_t x_width = spec_.x_cap / spec_.x_bins;
+  const std::size_t y_width = spec_.y_cap / spec_.y_bins;
+  for (std::size_t x = 0; x < spec_.x_bins; ++x) {
+    for (std::size_t y = 0; y < spec_.y_bins; ++y) {
+      std::snprintf(buffer, sizeof buffer, "%zu,%zu,%.6f\n", x * x_width,
+                    y * y_width, fraction(x, y));
+      out += buffer;
+    }
+  }
+  return out;
+}
+
+Heatmap build_link_heatmap(
+    std::span<const val::AsLink> links,
+    const std::function<std::uint32_t(asn::Asn)>& metric,
+    const HeatmapSpec& spec) {
+  Heatmap map(spec);
+  for (const auto& link : links) {
+    map.add(metric(link.a), metric(link.b));
+  }
+  return map;
+}
+
+}  // namespace asrel::eval

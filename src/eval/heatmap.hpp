@@ -1,0 +1,63 @@
+// 2-D link heatmaps for Fig. 3 (transit degree) and Appendix B Figs. 7-9
+// (customer-cone size, node degree): links binned by (larger metric,
+// smaller metric) of their incident ASes, with catch-all top bins, values
+// normalized to fractions of all binned links.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "validation/label.hpp"
+
+namespace asrel::eval {
+
+struct HeatmapSpec {
+  std::uint32_t x_cap = 1500;  ///< larger-metric catch-all boundary
+  std::uint32_t y_cap = 150;   ///< smaller-metric catch-all boundary
+  std::size_t x_bins = 30;
+  std::size_t y_bins = 15;
+};
+
+class Heatmap {
+ public:
+  explicit Heatmap(const HeatmapSpec& spec);
+
+  /// Adds one link with its two metric values (order-free).
+  void add(std::uint32_t metric_1, std::uint32_t metric_2);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] const HeatmapSpec& spec() const { return spec_; }
+
+  /// Fraction of links in bin (x, y); x indexes the larger metric.
+  [[nodiscard]] double fraction(std::size_t x, std::size_t y) const;
+  [[nodiscard]] std::uint64_t count(std::size_t x, std::size_t y) const;
+
+  /// Mass concentrated in the lowest quarter of both axes — the summary
+  /// statistic the paper's Fig. 3 discussion rests on ("the vast majority
+  /// of TR° links that we infer are between relatively small ASes").
+  [[nodiscard]] double bottom_left_mass(double quarter = 0.25) const;
+
+  /// ASCII-art rendering (rows = smaller metric, top = largest bin).
+  [[nodiscard]] std::string render() const;
+  /// "x_low,y_low,fraction" CSV for external plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  [[nodiscard]] std::size_t x_bin(std::uint32_t value) const;
+  [[nodiscard]] std::size_t y_bin(std::uint32_t value) const;
+
+  HeatmapSpec spec_;
+  std::vector<std::uint64_t> counts_;  // x-major
+  std::size_t total_ = 0;
+};
+
+/// Builds a heatmap over `links` using a per-AS metric.
+[[nodiscard]] Heatmap build_link_heatmap(
+    std::span<const val::AsLink> links,
+    const std::function<std::uint32_t(asn::Asn)>& metric,
+    const HeatmapSpec& spec);
+
+}  // namespace asrel::eval

@@ -1,0 +1,77 @@
+// Binary confusion matrices and the correctness metrics of §6: precision
+// (PPV), recall (TPR), F1, balanced accuracy, Matthews correlation
+// coefficient, and the Fowlkes-Mallows index.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace asrel::eval {
+
+struct ConfusionMatrix {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+
+  [[nodiscard]] std::uint64_t total() const { return tp + fp + tn + fn; }
+  [[nodiscard]] std::uint64_t positives() const { return tp + fn; }
+  [[nodiscard]] std::uint64_t negatives() const { return tn + fp; }
+
+  /// Precision / positive predictive value. 0 when undefined.
+  [[nodiscard]] double ppv() const {
+    return tp + fp == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fp);
+  }
+  /// Recall / true positive rate. 0 when undefined.
+  [[nodiscard]] double tpr() const {
+    return tp + fn == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fn);
+  }
+  [[nodiscard]] double tnr() const {
+    return tn + fp == 0 ? 0.0
+                        : static_cast<double>(tn) /
+                              static_cast<double>(tn + fp);
+  }
+  [[nodiscard]] double f1() const {
+    const double p = ppv();
+    const double r = tpr();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  [[nodiscard]] double balanced_accuracy() const {
+    return 0.5 * (tpr() + tnr());
+  }
+
+  /// Matthews correlation coefficient in [-1, 1]; 0 when any marginal is
+  /// empty (coin-toss behaviour, matching the paper's interpretation).
+  [[nodiscard]] double mcc() const {
+    const double tpd = static_cast<double>(tp);
+    const double fpd = static_cast<double>(fp);
+    const double tnd = static_cast<double>(tn);
+    const double fnd = static_cast<double>(fn);
+    const double denominator = std::sqrt((tpd + fpd) * (tpd + fnd) *
+                                         (tnd + fpd) * (tnd + fnd));
+    if (denominator == 0.0) return 0.0;
+    return (tpd * tnd - fpd * fnd) / denominator;
+  }
+
+  /// Fowlkes-Mallows index (the paper's footnote 10 alternative).
+  [[nodiscard]] double fowlkes_mallows() const {
+    return std::sqrt(ppv() * tpr());
+  }
+
+  /// The same matrix with positive and negative classes swapped.
+  [[nodiscard]] ConfusionMatrix inverted() const { return {tn, fn, tp, fp}; }
+
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other) {
+    tp += other.tp;
+    fp += other.fp;
+    tn += other.tn;
+    fn += other.fn;
+    return *this;
+  }
+};
+
+}  // namespace asrel::eval

@@ -1,0 +1,21 @@
+// PPDC: the provider/peer observed customer cone (Luckie et al.), used by
+// Appendix B Figs. 7-8. An AS's PPDC contains every AS that appears behind
+// it (toward the origin) on a path where the AS in front of it is — per the
+// given inference — its provider or peer. The paper notes this metric
+// "relies on the correctness of the inferred business relationships and
+// might hence be biased"; computing it from an Inference keeps that caveat
+// intact.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "infer/inference.hpp"
+#include "infer/observed.hpp"
+
+namespace asrel::eval {
+
+[[nodiscard]] std::unordered_map<asn::Asn, std::uint32_t> ppdc_sizes(
+    const infer::ObservedPaths& observed, const infer::Inference& inference);
+
+}  // namespace asrel::eval

@@ -1,0 +1,144 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace asrel::eval {
+
+std::vector<EvalPair> make_eval_pairs(
+    std::span<const val::CleanLabel> validation,
+    const infer::Inference& inference) {
+  std::vector<EvalPair> pairs;
+  pairs.reserve(validation.size());
+  for (const auto& label : validation) {
+    const auto* inferred = inference.find(label.link);
+    if (inferred == nullptr) continue;  // link not visible to the classifier
+    EvalPair pair;
+    pair.link = label.link;
+    pair.validated = label.rel;
+    pair.validated_provider = label.provider;
+    pair.inferred = inferred->rel;
+    pair.inferred_provider = inferred->provider;
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+ClassMetrics compute_class_metrics(
+    std::span<const EvalPair> pairs, std::string name,
+    const std::function<bool(const EvalPair&)>& in_class) {
+  ClassMetrics metrics;
+  metrics.name = std::move(name);
+  std::uint64_t oriented_ok = 0;
+  std::uint64_t oriented_total = 0;
+
+  for (const auto& pair : pairs) {
+    if (in_class && !in_class(pair)) continue;
+    const bool val_p2p = pair.validated == topo::RelType::kP2P;
+    const bool inf_p2p = pair.inferred == topo::RelType::kP2P;
+    if (val_p2p) {
+      ++metrics.p2p_links;
+      inf_p2p ? ++metrics.p2p.tp : ++metrics.p2p.fn;
+    } else {
+      ++metrics.p2c_links;
+      inf_p2p ? ++metrics.p2p.fp : ++metrics.p2p.tn;
+      if (!inf_p2p) {
+        ++oriented_total;
+        if (pair.inferred_provider == pair.validated_provider) ++oriented_ok;
+      }
+    }
+  }
+  metrics.p2c = metrics.p2p.inverted();
+  metrics.mcc = metrics.p2p.mcc();
+  metrics.orientation_accuracy =
+      oriented_total == 0 ? 1.0
+                          : static_cast<double>(oriented_ok) /
+                                static_cast<double>(oriented_total);
+  return metrics;
+}
+
+ValidationTable build_validation_table(
+    std::span<const EvalPair> pairs,
+    const std::function<std::string(const val::AsLink&)>& class_of,
+    std::size_t min_links) {
+  ValidationTable table;
+  table.total = compute_class_metrics(pairs, "Total°");
+
+  // Group pairs by class name (ordered map: deterministic row order).
+  std::map<std::string, std::vector<EvalPair>> by_class;
+  for (const auto& pair : pairs) {
+    by_class[class_of(pair.link)].push_back(pair);
+  }
+  for (const auto& [name, members] : by_class) {
+    if (members.size() < min_links) continue;
+    if (name == "?") continue;
+    table.rows.push_back(compute_class_metrics(members, name));
+  }
+  return table;
+}
+
+namespace {
+
+/// Paper-style coloring against the Total° value.
+const char* color_for(double value, double reference) {
+  const double delta = value - reference;
+  if (delta >= 0.01) return "\x1b[32m";   // green
+  if (delta <= -0.10) return "\x1b[31m";  // red
+  if (delta <= -0.05) return "\x1b[33;1m";  // orange (bright yellow)
+  if (delta <= -0.01) return "\x1b[33m";  // yellow
+  return "";
+}
+
+void append_metric(std::string& out, double value, double reference,
+                   bool color) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%6.3f", value);
+  if (color) {
+    const char* code = color_for(value, reference);
+    if (code[0] != '\0') {
+      out += code;
+      out += buffer;
+      out += "\x1b[0m";
+      return;
+    }
+  }
+  out += buffer;
+}
+
+}  // namespace
+
+std::string render_validation_table(const ValidationTable& table,
+                                    bool color) {
+  std::string out;
+  char buffer[64];
+  out += "Class      PPV_P  TPR_P    LC_P  PPV_C  TPR_C    LC_C    MCC\n";
+
+  const auto row = [&](const ClassMetrics& metrics, bool is_total) {
+    std::snprintf(buffer, sizeof buffer, "%-10s ", metrics.name.c_str());
+    out += buffer;
+    const auto& reference = table.total;
+    append_metric(out, metrics.p2p.ppv(), reference.p2p.ppv(),
+                  color && !is_total);
+    out += ' ';
+    append_metric(out, metrics.p2p.tpr(), reference.p2p.tpr(),
+                  color && !is_total);
+    std::snprintf(buffer, sizeof buffer, " %7zu ", metrics.p2p_links);
+    out += buffer;
+    append_metric(out, metrics.p2c.ppv(), reference.p2c.ppv(),
+                  color && !is_total);
+    out += ' ';
+    append_metric(out, metrics.p2c.tpr(), reference.p2c.tpr(),
+                  color && !is_total);
+    std::snprintf(buffer, sizeof buffer, " %7zu ", metrics.p2c_links);
+    out += buffer;
+    append_metric(out, metrics.mcc, reference.mcc, color && !is_total);
+    out += '\n';
+  };
+  row(table.total, true);
+  for (const auto& metrics : table.rows) row(metrics, false);
+  return out;
+}
+
+}  // namespace asrel::eval

@@ -1,0 +1,70 @@
+// Per-class correctness evaluation (§6, Tables 1-3).
+//
+// Builds (validated, inferred) pairs, partitions them into link classes,
+// and computes the table rows: PPV/TPR with P2P as positive class, PPV/TPR
+// with P2C as positive class, link counts, and MCC. Rendering colors each
+// cell against the Total° row exactly as the paper does (green >= +1%,
+// yellow <= -1%, orange <= -5%, red <= -10%).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "infer/inference.hpp"
+#include "validation/cleaner.hpp"
+
+namespace asrel::eval {
+
+/// One link that is both validated and inferred.
+struct EvalPair {
+  val::AsLink link;
+  topo::RelType validated = topo::RelType::kP2P;
+  asn::Asn validated_provider;  // valid when validated == kP2C
+  topo::RelType inferred = topo::RelType::kP2P;
+  asn::Asn inferred_provider;
+};
+
+/// Intersects the cleaned validation data with an inference.
+[[nodiscard]] std::vector<EvalPair> make_eval_pairs(
+    std::span<const val::CleanLabel> validation,
+    const infer::Inference& inference);
+
+struct ClassMetrics {
+  std::string name;
+  ConfusionMatrix p2p;  ///< P2P as positive class
+  ConfusionMatrix p2c;  ///< P2C as positive class (the inverted matrix)
+  std::size_t p2p_links = 0;   ///< LC_P: validated P2P links in the class
+  std::size_t p2c_links = 0;   ///< LC_C
+  double mcc = 0.0;
+  /// Extra (not in the paper's tables): among correctly-typed P2C links,
+  /// the fraction with the provider on the right side.
+  double orientation_accuracy = 1.0;
+};
+
+/// Computes metrics over pairs selected by `in_class` (nullptr = all).
+[[nodiscard]] ClassMetrics compute_class_metrics(
+    std::span<const EvalPair> pairs, std::string name,
+    const std::function<bool(const EvalPair&)>& in_class = nullptr);
+
+/// Full per-group validation table: Total° plus every class (regional and
+/// topological, via `class_of`) with at least `min_links` validated links.
+struct ValidationTable {
+  ClassMetrics total;
+  std::vector<ClassMetrics> rows;
+};
+
+[[nodiscard]] ValidationTable build_validation_table(
+    std::span<const EvalPair> pairs,
+    const std::function<std::string(const val::AsLink&)>& class_of,
+    std::size_t min_links = 500);
+
+/// Renders in the paper's layout. `color` enables ANSI coloring of the
+/// deltas against the Total° row.
+[[nodiscard]] std::string render_validation_table(const ValidationTable& table,
+                                                  bool color = true);
+
+}  // namespace asrel::eval

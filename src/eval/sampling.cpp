@@ -1,0 +1,125 @@
+#include "eval/sampling.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "topology/random.hpp"
+
+namespace asrel::eval {
+
+namespace {
+
+struct Quartiles {
+  double q1 = 0, median = 0, q3 = 0;
+};
+
+Quartiles quartiles(std::vector<double>& values) {
+  std::sort(values.begin(), values.end());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, values.size() - 1);
+    const double t = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - t) + values[hi] * t;
+  };
+  return {at(0.25), at(0.5), at(0.75)};
+}
+
+double slope(const std::vector<std::pair<double, double>>& xy) {
+  if (xy.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [x, y] : xy) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(xy.size());
+  const double denominator = n * sxx - sx * sx;
+  return denominator == 0.0 ? 0.0 : (n * sxy - sx * sy) / denominator;
+}
+
+}  // namespace
+
+SamplingResult run_sampling_experiment(std::span<const EvalPair> pairs,
+                                       const SamplingParams& params) {
+  SamplingResult result;
+  if (pairs.empty()) return result;
+  topo::Rng rng{params.seed};
+
+  std::vector<std::size_t> indices(pairs.size());
+  std::vector<EvalPair> sample;
+
+  std::vector<std::pair<double, double>> ppv_xy, tpr_xy, mcc_xy;
+
+  for (int percent = params.min_percent; percent <= params.max_percent;
+       percent += params.step) {
+    const auto size = std::max<std::size_t>(
+        1, pairs.size() * static_cast<std::size_t>(percent) / 100);
+    std::vector<double> ppv, tpr, mcc;
+    ppv.reserve(params.repetitions);
+    tpr.reserve(params.repetitions);
+    mcc.reserve(params.repetitions);
+
+    for (int rep = 0; rep < params.repetitions; ++rep) {
+      // Partial Fisher-Yates: the first `size` entries form the sample.
+      indices.resize(pairs.size());
+      for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+      for (std::size_t i = 0; i < size; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.below(indices.size() - i));
+        std::swap(indices[i], indices[j]);
+      }
+      sample.clear();
+      for (std::size_t i = 0; i < size; ++i) sample.push_back(pairs[indices[i]]);
+
+      const auto metrics = compute_class_metrics(sample, "sample");
+      ppv.push_back(metrics.p2p.ppv());
+      tpr.push_back(metrics.p2p.tpr());
+      mcc.push_back(metrics.mcc);
+    }
+
+    SamplingPoint point;
+    point.percent = percent;
+    const auto p = quartiles(ppv);
+    const auto t = quartiles(tpr);
+    const auto m = quartiles(mcc);
+    point.ppv_p_q1 = p.q1;
+    point.ppv_p_median = p.median;
+    point.ppv_p_q3 = p.q3;
+    point.tpr_p_q1 = t.q1;
+    point.tpr_p_median = t.median;
+    point.tpr_p_q3 = t.q3;
+    point.mcc_q1 = m.q1;
+    point.mcc_median = m.median;
+    point.mcc_q3 = m.q3;
+    result.points.push_back(point);
+
+    ppv_xy.emplace_back(percent, point.ppv_p_median);
+    tpr_xy.emplace_back(percent, point.tpr_p_median);
+    mcc_xy.emplace_back(percent, point.mcc_median);
+  }
+  result.ppv_p_slope = slope(ppv_xy);
+  result.tpr_p_slope = slope(tpr_xy);
+  result.mcc_slope = slope(mcc_xy);
+  return result;
+}
+
+std::string to_csv(const SamplingResult& result) {
+  std::string out =
+      "percent,ppv_q1,ppv_median,ppv_q3,tpr_q1,tpr_median,tpr_q3,"
+      "mcc_q1,mcc_median,mcc_q3\n";
+  char buffer[192];
+  for (const auto& point : result.points) {
+    std::snprintf(buffer, sizeof buffer,
+                  "%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+                  point.percent, point.ppv_p_q1, point.ppv_p_median,
+                  point.ppv_p_q3, point.tpr_p_q1, point.tpr_p_median,
+                  point.tpr_p_q3, point.mcc_q1, point.mcc_median,
+                  point.mcc_q3);
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace asrel::eval

@@ -1,0 +1,46 @@
+// Appendix A experiment: does validation coverage correlate with measured
+// performance? Uniformly down-sample a class's evaluation pairs to
+// 50..99 % (step 1 %), repeat each size 100 times, and track the median and
+// IQR of PPV_P, TPR_P, and MCC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/report.hpp"
+
+namespace asrel::eval {
+
+struct SamplingParams {
+  std::uint64_t seed = 99;
+  int min_percent = 50;
+  int max_percent = 99;
+  int step = 1;
+  int repetitions = 100;
+};
+
+struct SamplingPoint {
+  int percent = 0;
+  double ppv_p_median = 0, ppv_p_q1 = 0, ppv_p_q3 = 0;
+  double tpr_p_median = 0, tpr_p_q1 = 0, tpr_p_q3 = 0;
+  double mcc_median = 0, mcc_q1 = 0, mcc_q3 = 0;
+};
+
+struct SamplingResult {
+  std::vector<SamplingPoint> points;
+  /// Least-squares slope of the medians over the sample size — the paper's
+  /// conclusion is that these are ~0 (no trend).
+  double ppv_p_slope = 0;
+  double tpr_p_slope = 0;
+  double mcc_slope = 0;
+};
+
+[[nodiscard]] SamplingResult run_sampling_experiment(
+    std::span<const EvalPair> pairs, const SamplingParams& params = {});
+
+/// CSV: percent, metric medians and quartiles per row.
+[[nodiscard]] std::string to_csv(const SamplingResult& result);
+
+}  // namespace asrel::eval

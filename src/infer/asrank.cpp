@@ -1,0 +1,274 @@
+#include "infer/asrank.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asrel::infer {
+
+namespace {
+
+using asn::Asn;
+
+std::uint64_t directed_key(Asn a, Asn b) {
+  return (std::uint64_t{a.value()} << 32) | b.value();
+}
+
+AsRankResult run_impl(const ObservedPaths& observed,
+                      const AsRankParams& params,
+                      std::span<const std::uint32_t> path_ids,
+                      std::span<const asn::Asn> clique_override,
+                      bool subset_mode) {
+  AsRankResult result;
+  if (clique_override.empty()) {
+    result.clique = infer_clique(observed, params.clique);
+  } else {
+    result.clique.assign(clique_override.begin(), clique_override.end());
+  }
+  std::unordered_set<Asn> clique_set(result.clique.begin(),
+                                     result.clique.end());
+
+  // Directed provider->customer evidence. `inferred` holds pairs accepted
+  // as descents (continuation triggers); `votes` counts supporting path
+  // positions for majority resolution. A pair inferred in *both* directions
+  // (siblings, mutual-transit artifacts) is ambiguous and must never act as
+  // a descent trigger: treating it as one lets an ascending occurrence start
+  // a bogus descent that cascades up entire provider chains.
+  std::unordered_set<std::uint64_t> inferred;
+  std::unordered_map<std::uint64_t, std::uint32_t> votes;
+
+  const auto trigger_ok = [&](Asn x, Asn y) {
+    return inferred.contains(directed_key(x, y)) &&
+           !inferred.contains(directed_key(y, x));
+  };
+
+  // One sweep over the paths. Always extends `inferred`; only counts votes
+  // when `record` is set (the final sweep, once the trigger set is stable
+  // and self-consistent — early sweeps can contain transient bad triggers).
+  const auto descent_pass = [&](bool record) {
+    const std::size_t before = inferred.size();
+    for (const std::uint32_t p : path_ids) {
+      const auto path = observed.path(p);
+      bool descending = false;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const Asn x = path[i];
+        const Asn y = path[i + 1];
+        if (descending) {
+          // Consistency guard: no valley-free descent ever enters a clique
+          // member (it is provider-free). Hitting one means the descent was
+          // started by a bad trigger — abandon it instead of voting
+          // "x provides a Tier-1" and cascading garbage.
+          if (clique_set.contains(y)) {
+            descending = false;
+            continue;
+          }
+          inferred.insert(directed_key(x, y));
+          if (record) ++votes[directed_key(x, y)];
+          continue;
+        }
+        if (clique_set.contains(x) && clique_set.contains(y)) {
+          descending = true;  // peak crossed; votes start at the next pair
+          continue;
+        }
+        if (trigger_ok(x, y)) {
+          descending = true;  // known descent continues after this pair
+        }
+      }
+    }
+    return inferred.size() != before;
+  };
+
+  // ---- Step 4: clique-pair seeded descents, to a fixpoint ----------------
+  int pass = 0;
+  for (; pass < params.max_passes; ++pass) {
+    if (!descent_pass(/*record=*/false)) break;
+  }
+  result.passes_used = pass + 1;
+
+  // ---- Step 5: dominant peaks of clique-free paths -----------------------
+  {
+    bool seeded = false;
+    for (const std::uint32_t p : path_ids) {
+      const auto path = observed.path(p);
+      if (path.size() < 3) continue;
+      bool touches_clique = false;
+      for (const Asn hop : path) {
+        if (clique_set.contains(hop)) {
+          touches_clique = true;
+          break;
+        }
+      }
+      if (touches_clique) continue;
+
+      std::size_t peak = 0;
+      std::uint32_t peak_td = 0;
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        const auto index = observed.index_of(path[i]);
+        const std::uint32_t td = index ? observed.transit_degree(*index) : 0;
+        if (td > peak_td) {
+          peak_td = td;
+          peak = i;
+        }
+      }
+      if (peak + 1 >= path.size()) continue;
+      if (peak_td < params.peak_min_transit_degree) continue;
+      const auto right = observed.index_of(path[peak + 1]);
+      const std::uint32_t right_td =
+          right ? observed.transit_degree(*right) : 0;
+      if (static_cast<double>(peak_td) <
+          params.peak_degree_ratio * std::max(1u, right_td)) {
+        continue;
+      }
+      // Visibility gate: a transit link below a peak is seen by most
+      // collectors; a peering link is only seen from inside the peak's
+      // customer cone. Without this, IXP peers of regional transits would
+      // be swallowed as customers.
+      const auto* info = observed.link(AsLink{path[peak], path[peak + 1]});
+      if (info == nullptr ||
+          static_cast<double>(info->vp_count) <
+              params.stub_provider_vp_share *
+                  static_cast<double>(observed.vp_count())) {
+        continue;
+      }
+      inferred.insert(directed_key(path[peak], path[peak + 1]));
+      ++votes[directed_key(path[peak], path[peak + 1])];
+      seeded = true;
+    }
+    if (seeded) {
+      for (int extra = 0; extra < params.max_passes; ++extra) {
+        if (!descent_pass(/*record=*/false)) break;
+      }
+    }
+  }
+
+  // ---- Final vote sweep: the trigger set is stable, count the evidence ----
+  descent_pass(/*record=*/true);
+
+  // ---- Step 6: relationships of vantage points from feed sizes ------------
+  // A VP's first-hop coverage tells how much of a table each neighbor gives
+  // it: a (near) full table marks a provider, a small slice marks a peer
+  // announcing only its own cone (Luckie et al. classify collector-peer
+  // sessions the same way). Customer sessions are left to the descent votes.
+  std::unordered_set<std::uint64_t> vp_peer_links;
+  if (!subset_mode) {
+    for (std::uint16_t vp = 0; vp < observed.vp_count(); ++vp) {
+      const Asn vp_asn = observed.vp_asns()[vp];
+      const std::uint32_t origins = observed.origin_count(vp);
+      if (origins == 0 || clique_set.contains(vp_asn)) continue;
+      const auto vp_index = observed.index_of(vp_asn);
+      if (!vp_index) continue;
+      for (const Asn neighbor : observed.ases()) {
+        // Clique neighbors are judged by triplet evidence only: a Tier-1
+        // peer's customer cone can rival a backup provider's selected share,
+        // so feed size cannot separate the two.
+        if (clique_set.contains(neighbor)) continue;
+        const std::uint32_t covered = observed.first_hop_count(vp, neighbor);
+        if (covered < params.vp_min_first_hops) continue;
+        const double share =
+            static_cast<double>(covered) / static_cast<double>(origins);
+        if (share >= params.vp_full_table_share) {
+          inferred.insert(directed_key(neighbor, vp_asn));
+          votes[directed_key(neighbor, vp_asn)] += 2;  // full table: provider
+        } else if (share <= params.vp_peer_max_share) {
+          const AsLink link{vp_asn, neighbor};
+          vp_peer_links.insert(
+              (std::uint64_t{link.a.value()} << 32) | link.b.value());
+        }
+      }
+    }
+  }
+
+  // ---- Step 7: per-link resolution ----------------------------------------
+  // Subset runs label only the links their paths actually contain.
+  std::vector<AsLink> scope;
+  if (subset_mode) {
+    std::unordered_set<AsLink> seen;
+    for (const std::uint32_t p : path_ids) {
+      const auto path = observed.path(p);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const AsLink link{path[i], path[i + 1]};
+        if (seen.insert(link).second) scope.push_back(link);
+      }
+    }
+  } else {
+    scope.assign(observed.link_order().begin(), observed.link_order().end());
+  }
+
+  for (const auto& link : scope) {
+    InferredRel rel;
+    const bool a_clique = clique_set.contains(link.a);
+    const bool b_clique = clique_set.contains(link.b);
+    if (a_clique && b_clique) {
+      rel.rel = topo::RelType::kP2P;
+      result.inference.set(link, rel);
+      continue;
+    }
+    const auto count_votes = [&](Asn from, Asn to) {
+      const auto it = votes.find(directed_key(from, to));
+      return it == votes.end() ? 0u : it->second;
+    };
+    const std::uint32_t va = count_votes(link.a, link.b);
+    const std::uint32_t vb = count_votes(link.b, link.a);
+    if (va > vb) {
+      rel.rel = topo::RelType::kP2C;
+      rel.provider = link.a;
+    } else if (vb > va) {
+      rel.rel = topo::RelType::kP2C;
+      rel.provider = link.b;
+    } else if (va > 0) {
+      rel.rel = topo::RelType::kP2P;  // perfectly conflicting evidence
+    } else if (vp_peer_links.contains(
+                   (std::uint64_t{link.a.value()} << 32) | link.b.value())) {
+      rel.rel = topo::RelType::kP2P;  // small feed into a collector peer
+    } else {
+      // No votes at all.
+      const auto ia = observed.index_of(link.a);
+      const auto ib = observed.index_of(link.b);
+      const std::uint32_t ta = ia ? observed.transit_degree(*ia) : 0;
+      const std::uint32_t tb = ib ? observed.transit_degree(*ib) : 0;
+      const auto* info = observed.link(link);
+      const bool widely_seen =
+          info != nullptr &&
+          static_cast<double>(info->vp_count) >=
+              params.stub_provider_vp_share *
+                  static_cast<double>(observed.vp_count());
+      if ((a_clique && tb <= params.clique_customer_td_max) ||
+          (b_clique && ta <= params.clique_customer_td_max)) {
+        // Clique-adjacent small AS: assumed customer. This is precisely the
+        // aggregation error behind the paper's S-T1 finding.
+        rel.rel = topo::RelType::kP2C;
+        rel.provider = a_clique ? link.a : link.b;
+      } else if (ta == 0 && tb > 0 && widely_seen) {
+        rel.rel = topo::RelType::kP2C;  // broadly visible stub uplink
+        rel.provider = link.b;
+      } else if (tb == 0 && ta > 0 && widely_seen) {
+        rel.rel = topo::RelType::kP2C;
+        rel.provider = link.a;
+      } else {
+        rel.rel = topo::RelType::kP2P;
+      }
+    }
+    result.inference.set(link, rel);
+  }
+  return result;
+}
+
+}  // namespace
+
+AsRankResult run_asrank(const ObservedPaths& observed,
+                        const AsRankParams& params) {
+  std::vector<std::uint32_t> all(observed.path_count());
+  std::iota(all.begin(), all.end(), 0u);
+  return run_impl(observed, params, all, {}, /*subset_mode=*/false);
+}
+
+AsRankResult run_asrank_subset(const ObservedPaths& observed,
+                               const AsRankParams& params,
+                               std::span<const std::uint32_t> path_ids,
+                               std::span<const asn::Asn> clique_override) {
+  return run_impl(observed, params, path_ids, clique_override,
+                  /*subset_mode=*/true);
+}
+
+}  // namespace asrel::infer

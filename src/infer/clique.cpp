@@ -1,0 +1,165 @@
+#include "infer/clique.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asrel::infer {
+
+namespace {
+
+/// Exact Bron-Kerbosch (no pivoting; the pool is tiny) collecting the
+/// largest clique in the pool.
+void bron_kerbosch(const std::vector<std::vector<bool>>& adjacent,
+                   std::vector<std::size_t>& current,
+                   std::vector<std::size_t> candidates,
+                   std::vector<std::size_t> excluded,
+                   std::vector<std::size_t>& best) {
+  if (candidates.empty() && excluded.empty()) {
+    // Largest clique wins; ties resolve to the lexicographically smallest
+    // (by pool rank) member set for determinism.
+    if (current.size() > best.size() ||
+        (current.size() == best.size() && current < best)) {
+      best = current;
+    }
+    return;
+  }
+  // Iterate over a copy; candidates shrinks as we go.
+  const std::vector<std::size_t> iteration = candidates;
+  for (const std::size_t v : iteration) {
+    std::vector<std::size_t> next_candidates;
+    std::vector<std::size_t> next_excluded;
+    for (const std::size_t u : candidates) {
+      if (adjacent[v][u]) next_candidates.push_back(u);
+    }
+    for (const std::size_t u : excluded) {
+      if (adjacent[v][u]) next_excluded.push_back(u);
+    }
+    current.push_back(v);
+    bron_kerbosch(adjacent, current, std::move(next_candidates),
+                  std::move(next_excluded), best);
+    current.pop_back();
+    candidates.erase(std::find(candidates.begin(), candidates.end(), v));
+    excluded.push_back(v);
+  }
+}
+
+/// How often each AS appears directly after two consecutive members of
+/// `clique` in a path — i.e. receives transit through the top of the
+/// hierarchy. Provider-free ASes never do; customers of clique members do.
+std::unordered_map<asn::Asn, std::uint32_t> transit_evidence(
+    const ObservedPaths& observed,
+    const std::unordered_set<asn::Asn>& clique) {
+  std::unordered_map<asn::Asn, std::uint32_t> counts;
+  for (std::size_t p = 0; p < observed.path_count(); ++p) {
+    const auto path = observed.path(p);
+    for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+      if (clique.contains(path[i]) && clique.contains(path[i + 1]) &&
+          path[i] != path[i + 1]) {
+        ++counts[path[i + 2]];
+      }
+    }
+  }
+  return counts;
+}
+
+constexpr std::uint32_t kTransitedThreshold = 2;
+
+}  // namespace
+
+std::vector<asn::Asn> infer_clique(const ObservedPaths& observed,
+                                   const CliqueParams& params) {
+  const auto rank = observed.rank_order();
+  const std::size_t pool =
+      std::min(params.seed_pool, static_cast<std::size_t>(rank.size()));
+  if (pool == 0) return {};
+
+  const auto linked = [&](AsIndex a, AsIndex b) {
+    return observed.link(AsLink{observed.asn_at(a), observed.asn_at(b)}) !=
+           nullptr;
+  };
+
+  std::vector<std::vector<bool>> adjacent(pool, std::vector<bool>(pool));
+  for (std::size_t i = 0; i < pool; ++i) {
+    for (std::size_t j = i + 1; j < pool; ++j) {
+      adjacent[i][j] = adjacent[j][i] = linked(rank[i], rank[j]);
+    }
+  }
+
+  std::vector<std::size_t> current;
+  std::vector<std::size_t> candidates(pool);
+  for (std::size_t i = 0; i < pool; ++i) candidates[i] = i;
+  std::vector<std::size_t> best;
+  bron_kerbosch(adjacent, current, std::move(candidates), {}, best);
+  if (best.empty()) best.push_back(0);  // degenerate: just the top AS
+
+  std::unordered_set<asn::Asn> clique;
+  for (const std::size_t i : best) clique.insert(observed.asn_at(rank[i]));
+
+  // A member that receives transit *through* two other members is not
+  // provider-free; purge the worst offender at a time so the evidence gets
+  // cleaner as the seed purifies.
+  const auto purify = [&] {
+    bool removed_any = false;
+    while (clique.size() > 1) {
+      const auto evidence = transit_evidence(observed, clique);
+      asn::Asn worst;
+      std::uint32_t worst_count = 0;
+      for (const asn::Asn member : clique) {
+        const auto it = evidence.find(member);
+        const std::uint32_t count = it == evidence.end() ? 0 : it->second;
+        if (count > worst_count ||
+            (count == worst_count && count > 0 && member < worst)) {
+          worst_count = count;
+          worst = member;
+        }
+      }
+      if (worst_count < kTransitedThreshold) break;
+      clique.erase(worst);
+      removed_any = true;
+    }
+    return removed_any;
+  };
+
+  // Greedy extension over the next ranks: fully linked to the current
+  // clique and never transited through it.
+  const std::size_t extension =
+      std::min(params.extension_pool, static_cast<std::size_t>(rank.size()));
+  const auto extend = [&] {
+    bool added_any = false;
+    for (std::size_t i = 0; i < extension; ++i) {
+      const asn::Asn candidate = observed.asn_at(rank[i]);
+      if (clique.contains(candidate)) continue;
+      bool connected_to_all = true;
+      for (const asn::Asn member : clique) {
+        if (observed.link(AsLink{candidate, member}) == nullptr) {
+          connected_to_all = false;
+          break;
+        }
+      }
+      if (!connected_to_all) continue;
+      const auto evidence = transit_evidence(observed, clique);
+      const auto it = evidence.find(candidate);
+      if (it != evidence.end() && it->second >= kTransitedThreshold) continue;
+      clique.insert(candidate);
+      added_any = true;
+    }
+    return added_any;
+  };
+
+  // Alternate purification and extension until stable: a new member's
+  // peering paths can expose an earlier member as a customer, and a purge
+  // can unblock a candidate that failed the fully-linked test before.
+  purify();
+  for (int round = 0; round < 4; ++round) {
+    const bool grew = extend();
+    const bool shrank = purify();
+    if (!grew && !shrank) break;
+  }
+
+  std::vector<asn::Asn> out(clique.begin(), clique.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace asrel::infer

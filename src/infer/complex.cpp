@@ -1,0 +1,123 @@
+#include "infer/complex.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asrel::infer {
+
+namespace {
+
+using asn::Asn;
+
+struct Evidence {
+  std::uint32_t descent_xy = 0;  // [C,C,...] descent crossing x->y
+  std::uint32_t descent_yx = 0;
+  std::uint32_t peak = 0;        // link is the local peak of a clique-free path
+  std::uint32_t after_clique_member_xy = 0;  // [T1, y] with x == T1
+  std::uint32_t after_clique_member_yx = 0;
+};
+
+}  // namespace
+
+std::vector<ComplexCandidate> detect_complex_relationships(
+    const ObservedPaths& observed, std::span<const asn::Asn> clique,
+    const ComplexParams& params) {
+  std::unordered_set<Asn> clique_set(clique.begin(), clique.end());
+  std::unordered_map<val::AsLink, Evidence> evidence;
+
+  for (std::size_t p = 0; p < observed.path_count(); ++p) {
+    const auto path = observed.path(p);
+    if (path.size() < 2) continue;
+
+    bool touches_clique = false;
+    bool descending = false;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const Asn x = path[i];
+      const Asn y = path[i + 1];
+      if (clique_set.contains(x)) touches_clique = true;
+      const val::AsLink link{x, y};
+      if (descending) {
+        auto& entry = evidence[link];
+        (x == link.a) ? ++entry.descent_xy : ++entry.descent_yx;
+      }
+      if (clique_set.contains(x) && clique_set.contains(y)) {
+        descending = true;
+        continue;
+      }
+      if (clique_set.contains(x) && !clique_set.contains(y)) {
+        auto& entry = evidence[link];
+        (x == link.a) ? ++entry.after_clique_member_xy
+                      : ++entry.after_clique_member_yx;
+      }
+    }
+    if (clique_set.contains(path.back())) touches_clique = true;
+
+    // Local-peak evidence: in a clique-free path, the adjacent pair with
+    // the two highest transit degrees behaves like the peering at the top.
+    if (!touches_clique && path.size() >= 3) {
+      std::size_t best = 0;
+      std::uint64_t best_score = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto ia = observed.index_of(path[i]);
+        const auto ib = observed.index_of(path[i + 1]);
+        const std::uint64_t score =
+            (ia ? observed.transit_degree(*ia) : 0) +
+            (ib ? observed.transit_degree(*ib) : 0);
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      if (best > 0 && best + 2 < path.size()) {
+        ++evidence[val::AsLink{path[best], path[best + 1]}].peak;
+      }
+    }
+  }
+
+  std::vector<ComplexCandidate> out;
+  for (const auto& [link, entry] : evidence) {
+    const std::uint32_t descent =
+        std::max(entry.descent_xy, entry.descent_yx);
+    // Hybrid: transit behaviour for some origins, peering for others.
+    if (descent >= params.min_descent_evidence &&
+        entry.peak >= params.min_peak_evidence) {
+      ComplexCandidate candidate;
+      candidate.link = link;
+      candidate.kind = ComplexKind::kHybrid;
+      candidate.evidence = std::min(descent, entry.peak);
+      out.push_back(candidate);
+      continue;
+    }
+    // Partial transit: a clique member repeatedly carries this neighbor's
+    // routes downward, yet no clique pair ever precedes the link (no
+    // export across the top) and the neighbor clearly has a cone.
+    const bool a_clique = clique_set.contains(link.a);
+    const bool b_clique = clique_set.contains(link.b);
+    if (a_clique == b_clique) continue;
+    const Asn customer = a_clique ? link.b : link.a;
+    const std::uint32_t after_member = a_clique
+                                           ? entry.after_clique_member_xy
+                                           : entry.after_clique_member_yx;
+    const auto customer_index = observed.index_of(customer);
+    const std::uint32_t customer_td =
+        customer_index ? observed.transit_degree(*customer_index) : 0;
+    if (descent == 0 && after_member >= params.min_partial_transit_occurrences &&
+        customer_td >= params.min_customer_transit_degree) {
+      ComplexCandidate candidate;
+      candidate.link = link;
+      candidate.kind = ComplexKind::kPartialTransit;
+      candidate.evidence = after_member;
+      candidate.provider = a_clique ? link.a : link.b;
+      out.push_back(candidate);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ComplexCandidate& a, const ComplexCandidate& b) {
+              if (a.evidence != b.evidence) return a.evidence > b.evidence;
+              return a.link < b.link;
+            });
+  return out;
+}
+
+}  // namespace asrel::infer

@@ -1,0 +1,53 @@
+// Complex-relationship detection (Giotsas et al. 2014, discussed in §3.1
+// and §3.3 of the paper): hybrid links (different relationships at
+// different PoPs) and partial-transit links.
+//
+// Both kinds are exactly the entries the paper says must be handled
+// explicitly during validation (§4.2); this detector lets a pipeline flag
+// them *before* a simple per-link label is forced on them.
+//
+// Observable signals, per link (x, y):
+//  * hybrid: the link shows transit evidence (it appears in paths right
+//    after two consecutive clique members — a descent) AND peering
+//    evidence (it appears as the local peak of clique-free paths whose
+//    joint endpoints dominate the path's transit degrees).
+//  * partial transit: the link is clique-adjacent, carries enough transit
+//    volume on the customer side, but is never exported across the top —
+//    no clique triplet exists (the §6.1 signature).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "infer/asrank.hpp"
+#include "infer/observed.hpp"
+
+namespace asrel::infer {
+
+enum class ComplexKind : std::uint8_t { kHybrid, kPartialTransit };
+
+struct ComplexCandidate {
+  val::AsLink link;
+  ComplexKind kind = ComplexKind::kHybrid;
+  /// For kHybrid: min(descent, peak) occurrence count.
+  /// For kPartialTransit: customer-side occurrence count.
+  std::uint32_t evidence = 0;
+  /// For kPartialTransit: the provider side.
+  asn::Asn provider;
+};
+
+struct ComplexParams {
+  std::uint32_t min_descent_evidence = 2;
+  std::uint32_t min_peak_evidence = 2;
+  /// Partial transit: minimum transit degree for the customer side (pure
+  /// stubs are indistinguishable from plain peering here).
+  std::uint32_t min_customer_transit_degree = 5;
+  std::uint32_t min_partial_transit_occurrences = 3;
+};
+
+[[nodiscard]] std::vector<ComplexCandidate> detect_complex_relationships(
+    const ObservedPaths& observed, std::span<const asn::Asn> clique,
+    const ComplexParams& params = {});
+
+}  // namespace asrel::infer

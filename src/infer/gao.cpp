@@ -1,0 +1,79 @@
+#include "infer/gao.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace asrel::infer {
+
+namespace {
+
+using asn::Asn;
+
+std::uint64_t directed_key(Asn a, Asn b) {
+  return (std::uint64_t{a.value()} << 32) | b.value();
+}
+
+}  // namespace
+
+Inference run_gao(const ObservedPaths& observed, const GaoParams& params) {
+  std::unordered_map<std::uint64_t, std::uint32_t> votes;
+
+  for (std::size_t p = 0; p < observed.path_count(); ++p) {
+    const auto path = observed.path(p);
+    if (path.size() < 2) continue;
+    // Top of the hill: highest node degree.
+    std::size_t top = 0;
+    std::uint32_t top_degree = 0;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const auto index = observed.index_of(path[i]);
+      const std::uint32_t degree = index ? observed.node_degree(*index) : 0;
+      if (degree > top_degree) {
+        top_degree = degree;
+        top = i;
+      }
+    }
+    // Left of the top the path ascends, right of it it descends.
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (i + 1 <= top) {
+        ++votes[directed_key(path[i + 1], path[i])];  // right provides left
+      } else {
+        ++votes[directed_key(path[i], path[i + 1])];  // left provides right
+      }
+    }
+  }
+
+  Inference inference;
+  for (const auto& link : observed.link_order()) {
+    const auto va = [&] {
+      const auto it = votes.find(directed_key(link.a, link.b));
+      return it == votes.end() ? 0u : it->second;
+    }();
+    const auto vb = [&] {
+      const auto it = votes.find(directed_key(link.b, link.a));
+      return it == votes.end() ? 0u : it->second;
+    }();
+    InferredRel rel;
+    const auto ia = observed.index_of(link.a);
+    const auto ib = observed.index_of(link.b);
+    const double da = ia ? observed.node_degree(*ia) : 0;
+    const double db = ib ? observed.node_degree(*ib) : 0;
+    const double band = std::fabs(std::log2((da + 1.0) / (db + 1.0)));
+
+    if (va > 0 && vb > 0 &&
+        static_cast<double>(std::max(va, vb)) <
+            params.dominance * static_cast<double>(std::min(va, vb)) &&
+        band < params.peer_degree_band) {
+      rel.rel = topo::RelType::kP2P;
+    } else if (va >= vb) {
+      rel.rel = topo::RelType::kP2C;
+      rel.provider = link.a;
+    } else {
+      rel.rel = topo::RelType::kP2C;
+      rel.provider = link.b;
+    }
+    inference.set(link, rel);
+  }
+  return inference;
+}
+
+}  // namespace asrel::infer

@@ -1,0 +1,24 @@
+// Gao's original valley-free heuristic (ToN 2001): the historical baseline
+// the paper's §3.1 opens with. For every path, the AS with the highest
+// (node) degree is the top of the hill; every pair left of it votes
+// "right provider of left", every pair right of it votes "left provider of
+// right". Majority voting settles each link; near-ties become peers.
+#pragma once
+
+#include "infer/inference.hpp"
+#include "infer/observed.hpp"
+
+namespace asrel::infer {
+
+struct GaoParams {
+  /// A link is a peer when neither direction dominates by this factor and
+  /// the endpoint degrees are within `peer_degree_band` of each other
+  /// (Gao's "not too different in size" condition).
+  double dominance = 2.0;
+  double peer_degree_band = 0.5;  ///< |log2(da/db)| below this => comparable
+};
+
+[[nodiscard]] Inference run_gao(const ObservedPaths& observed,
+                                const GaoParams& params = {});
+
+}  // namespace asrel::infer

@@ -1,0 +1,22 @@
+#include "infer/inference.hpp"
+
+namespace asrel::infer {
+
+double Inference::agreement_with(const Inference& other) const {
+  std::size_t shared = 0;
+  std::size_t agree = 0;
+  for (const auto& link : order_) {
+    const auto* mine = find(link);
+    const auto* theirs = other.find(link);
+    if (theirs == nullptr) continue;
+    ++shared;
+    const bool same =
+        mine->rel == theirs->rel &&
+        (mine->rel != topo::RelType::kP2C || mine->provider == theirs->provider);
+    if (same) ++agree;
+  }
+  return shared == 0 ? 1.0
+                     : static_cast<double>(agree) / static_cast<double>(shared);
+}
+
+}  // namespace asrel::infer

@@ -1,0 +1,49 @@
+// Common result type for all relationship-inference algorithms.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "topology/rel_type.hpp"
+#include "validation/label.hpp"
+
+namespace asrel::infer {
+
+/// One inferred relationship. For kP2C, `provider` names the provider side.
+struct InferredRel {
+  topo::RelType rel = topo::RelType::kP2P;
+  asn::Asn provider;
+};
+
+/// The output of a classifier: a label for every visible link.
+class Inference {
+ public:
+  void set(const val::AsLink& link, const InferredRel& rel) {
+    const auto [it, inserted] = map_.try_emplace(link, rel);
+    if (!inserted) it->second = rel;
+    if (inserted) order_.push_back(link);
+  }
+
+  [[nodiscard]] const InferredRel* find(const val::AsLink& link) const {
+    const auto it = map_.find(link);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] const std::vector<val::AsLink>& order() const {
+    return order_;
+  }
+
+  /// Fraction of links on which two inferences agree (shared links only).
+  [[nodiscard]] double agreement_with(const Inference& other) const;
+
+ private:
+  std::unordered_map<val::AsLink, InferredRel> map_;
+  std::vector<val::AsLink> order_;
+};
+
+}  // namespace asrel::infer

@@ -1,0 +1,168 @@
+#include "infer/observed.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace asrel::infer {
+
+namespace {
+
+using asn::Asn;
+
+/// Inserts into a sorted vector iff absent; returns true when inserted.
+template <typename T>
+bool insert_sorted_unique(std::vector<T>& values, const T& value) {
+  const auto it = std::lower_bound(values.begin(), values.end(), value);
+  if (it != values.end() && *it == value) return false;
+  values.insert(it, value);
+  return true;
+}
+
+}  // namespace
+
+ObservedPaths ObservedPaths::build(const bgp::PathTable& table,
+                                   SanitizeStats* stats) {
+  ObservedPaths out;
+  SanitizeStats local;
+
+  const auto vps = table.vantage_points();
+  out.vp_asns_.reserve(vps.size());
+  for (const auto& vp : vps) out.vp_asns_.push_back(vp.asn);
+  out.first_hop_.resize(vps.size());
+  out.origins_per_vp_.assign(vps.size(), 0);
+
+  // Pass 1: sanitize and store paths; collect the AS universe.
+  std::unordered_set<Asn> as_set;
+  std::vector<Asn> hops;
+  std::unordered_set<Asn> seen_in_path;
+  table.for_each_path([&](const bgp::PathTable::PathRef& ref) {
+    ++local.input_paths;
+    hops.clear();
+    for (const Asn hop : ref.path) {
+      if (hops.empty() || hops.back() != hop) hops.push_back(hop);
+    }
+    bool reserved = false;
+    for (const Asn hop : hops) {
+      if (asn::is_reserved(hop)) {
+        reserved = true;
+        break;
+      }
+    }
+    if (reserved) {
+      ++local.dropped_reserved;
+      return;
+    }
+    seen_in_path.clear();
+    for (const Asn hop : hops) {
+      if (!seen_in_path.insert(hop).second) {
+        ++local.dropped_loop;
+        return;
+      }
+    }
+    ++local.kept;
+    out.arena_.insert(out.arena_.end(), hops.begin(), hops.end());
+    out.offsets_.push_back(static_cast<std::uint32_t>(out.arena_.size()));
+    out.path_vp_.push_back(static_cast<std::uint16_t>(ref.vp_index));
+    for (const Asn hop : hops) as_set.insert(hop);
+
+    // VP first-hop statistics.
+    if (hops.size() >= 2) {
+      ++out.first_hop_[ref.vp_index][hops[1]];
+    }
+    ++out.origins_per_vp_[ref.vp_index];
+  });
+
+  out.ases_.assign(as_set.begin(), as_set.end());
+  std::sort(out.ases_.begin(), out.ases_.end());
+  const auto index_of = [&](Asn asn) {
+    return static_cast<AsIndex>(
+        std::lower_bound(out.ases_.begin(), out.ases_.end(), asn) -
+        out.ases_.begin());
+  };
+
+  // Pass 2: degrees, transit degrees, link statistics.
+  const std::size_t n = out.ases_.size();
+  std::vector<std::vector<AsIndex>> neighbor_sets(n);
+  std::vector<std::vector<AsIndex>> transit_sets(n);
+  std::vector<std::vector<std::uint16_t>> link_vps;
+
+  for (std::size_t p = 0; p < out.path_count(); ++p) {
+    const auto path = out.path(p);
+    const std::uint16_t vp = out.path_vp_[p];
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const AsIndex a = index_of(path[i]);
+      const AsIndex b = index_of(path[i + 1]);
+      insert_sorted_unique(neighbor_sets[a], b);
+      insert_sorted_unique(neighbor_sets[b], a);
+      if (i + 2 < path.size()) {
+        const AsIndex c = index_of(path[i + 2]);
+        insert_sorted_unique(transit_sets[b], a);
+        insert_sorted_unique(transit_sets[b], c);
+      }
+      const AsLink link{path[i], path[i + 1]};
+      auto [it, inserted] = out.links_.try_emplace(link);
+      if (inserted) {
+        it->second.link_id = static_cast<std::uint32_t>(out.link_order_.size());
+        out.link_order_.push_back(link);
+        link_vps.emplace_back();
+      }
+      ++it->second.occurrences;
+      auto& vps_of_link = link_vps[it->second.link_id];
+      const auto pos =
+          std::lower_bound(vps_of_link.begin(), vps_of_link.end(), vp);
+      if (pos == vps_of_link.end() || *pos != vp) {
+        vps_of_link.insert(pos, vp);
+      }
+    }
+  }
+  for (auto& [link, info] : out.links_) {
+    info.vp_count = static_cast<std::uint16_t>(link_vps[info.link_id].size());
+  }
+
+  out.node_degree_.resize(n);
+  out.transit_degree_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.node_degree_[i] = static_cast<std::uint32_t>(neighbor_sets[i].size());
+    out.transit_degree_[i] =
+        static_cast<std::uint32_t>(transit_sets[i].size());
+  }
+
+  out.rank_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.rank_[i] = static_cast<AsIndex>(i);
+  std::sort(out.rank_.begin(), out.rank_.end(), [&](AsIndex a, AsIndex b) {
+    if (out.transit_degree_[a] != out.transit_degree_[b]) {
+      return out.transit_degree_[a] > out.transit_degree_[b];
+    }
+    if (out.node_degree_[a] != out.node_degree_[b]) {
+      return out.node_degree_[a] > out.node_degree_[b];
+    }
+    return out.ases_[a] < out.ases_[b];
+  });
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::optional<AsIndex> ObservedPaths::index_of(asn::Asn asn) const {
+  const auto it = std::lower_bound(ases_.begin(), ases_.end(), asn);
+  if (it == ases_.end() || *it != asn) return std::nullopt;
+  return static_cast<AsIndex>(it - ases_.begin());
+}
+
+const LinkInfo* ObservedPaths::link(const AsLink& link) const {
+  const auto it = links_.find(link);
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+std::uint32_t ObservedPaths::first_hop_count(std::uint16_t vp,
+                                             asn::Asn neighbor) const {
+  const auto& map = first_hop_[vp];
+  const auto it = map.find(neighbor);
+  return it == map.end() ? 0 : it->second;
+}
+
+std::uint32_t ObservedPaths::origin_count(std::uint16_t vp) const {
+  return origins_per_vp_[vp];
+}
+
+}  // namespace asrel::infer

@@ -1,0 +1,117 @@
+// The observed world: sanitized collector paths and the statistics every
+// inference algorithm consumes (visible links, node/transit degrees, VP
+// visibility). Inference algorithms operate on *this* view only — they never
+// touch the ground-truth graph, mirroring how the real tools consume
+// Route Views / RIS dumps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "bgp/propagation.hpp"
+#include "validation/label.hpp"
+
+namespace asrel::infer {
+
+using val::AsLink;
+
+struct SanitizeStats {
+  std::size_t input_paths = 0;
+  std::size_t dropped_loop = 0;
+  std::size_t dropped_reserved = 0;  ///< AS_TRANS / private / documentation
+  std::size_t kept = 0;
+};
+
+/// Dense AS index local to the observed data set.
+using AsIndex = std::uint32_t;
+inline constexpr AsIndex kNoAs = ~AsIndex{0};
+
+struct LinkInfo {
+  std::uint32_t link_id = 0;      ///< dense id
+  std::uint32_t occurrences = 0;  ///< path positions where the link appears
+  std::uint16_t vp_count = 0;     ///< distinct VPs that observed the link
+};
+
+class ObservedPaths {
+ public:
+  /// Sanitization (the first step of every published pipeline):
+  ///  * prepending collapsed,
+  ///  * paths with loops (non-consecutive repeats) dropped,
+  ///  * paths containing reserved ASNs or AS_TRANS dropped.
+  [[nodiscard]] static ObservedPaths build(const bgp::PathTable& table,
+                                           SanitizeStats* stats = nullptr);
+
+  // ---- paths ----
+  [[nodiscard]] std::size_t path_count() const { return offsets_.size() - 1; }
+  [[nodiscard]] std::span<const asn::Asn> path(std::size_t i) const {
+    return std::span{arena_}.subspan(offsets_[i],
+                                     offsets_[i + 1] - offsets_[i]);
+  }
+  [[nodiscard]] std::uint16_t vp_of_path(std::size_t i) const {
+    return path_vp_[i];
+  }
+
+  // ---- AS universe ----
+  [[nodiscard]] std::size_t as_count() const { return ases_.size(); }
+  [[nodiscard]] asn::Asn asn_at(AsIndex index) const { return ases_[index]; }
+  [[nodiscard]] std::optional<AsIndex> index_of(asn::Asn asn) const;
+  [[nodiscard]] std::span<const asn::Asn> ases() const { return ases_; }
+
+  /// Number of distinct neighbors observed next to this AS while it is in
+  /// the middle of a path — Luckie et al.'s "transit degree".
+  [[nodiscard]] std::uint32_t transit_degree(AsIndex index) const {
+    return transit_degree_[index];
+  }
+  [[nodiscard]] std::uint32_t node_degree(AsIndex index) const {
+    return node_degree_[index];
+  }
+
+  /// ASes sorted by (transit degree desc, node degree desc, asn asc) — the
+  /// processing order of the ASRank pipeline.
+  [[nodiscard]] std::span<const AsIndex> rank_order() const { return rank_; }
+
+  // ---- links ----
+  [[nodiscard]] const std::unordered_map<AsLink, LinkInfo>& links() const {
+    return links_;
+  }
+  [[nodiscard]] const LinkInfo* link(const AsLink& link) const;
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Links in deterministic (first-observed) order.
+  [[nodiscard]] std::span<const AsLink> link_order() const {
+    return link_order_;
+  }
+
+  // ---- vantage points ----
+  [[nodiscard]] std::span<const asn::Asn> vp_asns() const { return vp_asns_; }
+  [[nodiscard]] std::size_t vp_count() const { return vp_asns_.size(); }
+
+  /// Distinct origins for which `neighbor` is the VP's first hop — the
+  /// "full table?" signal used to infer VP-adjacent relationships.
+  [[nodiscard]] std::uint32_t first_hop_count(std::uint16_t vp,
+                                              asn::Asn neighbor) const;
+  [[nodiscard]] std::uint32_t origin_count(std::uint16_t vp) const;
+
+ private:
+  std::vector<asn::Asn> arena_;
+  std::vector<std::uint32_t> offsets_{0};
+  std::vector<std::uint16_t> path_vp_;
+
+  std::vector<asn::Asn> ases_;  // sorted
+  std::vector<std::uint32_t> transit_degree_;
+  std::vector<std::uint32_t> node_degree_;
+  std::vector<AsIndex> rank_;
+
+  std::unordered_map<AsLink, LinkInfo> links_;
+  std::vector<AsLink> link_order_;
+
+  std::vector<asn::Asn> vp_asns_;
+  std::vector<std::unordered_map<asn::Asn, std::uint32_t>> first_hop_;
+  std::vector<std::uint32_t> origins_per_vp_;
+};
+
+}  // namespace asrel::infer

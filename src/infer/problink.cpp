@@ -1,0 +1,299 @@
+#include "infer/problink.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asrel::infer {
+
+namespace {
+
+using asn::Asn;
+using val::AsLink;
+
+/// Class labels, relative to the canonical (a < b) link orientation.
+enum Class : int { kP2cAB = 0, kP2cBA = 1, kP2P = 2 };
+constexpr int kClassCount = 3;
+
+Class class_of(const AsLink& link, const InferredRel& rel) {
+  if (rel.rel != topo::RelType::kP2C) return kP2P;
+  return rel.provider == link.a ? kP2cAB : kP2cBA;
+}
+
+InferredRel rel_of(const AsLink& link, Class cls) {
+  InferredRel rel;
+  switch (cls) {
+    case kP2cAB:
+      rel.rel = topo::RelType::kP2C;
+      rel.provider = link.a;
+      break;
+    case kP2cBA:
+      rel.rel = topo::RelType::kP2C;
+      rel.provider = link.b;
+      break;
+    case kP2P:
+      rel.rel = topo::RelType::kP2P;
+      break;
+  }
+  return rel;
+}
+
+/// Feature value counts per feature family (categorical naive Bayes).
+struct FeatureSpec {
+  int cardinality;
+};
+constexpr std::array<FeatureSpec, 5> kFeatures{{
+    {16},  // 0: triplet context (4 predecessor categories x 2 orientations)
+    {4},   // 1: distance to clique {adjacent,1,2,3+/none}
+    {5},   // 2: VP visibility bucket
+    {9},   // 3: signed transit-degree log-ratio bucket
+    {3},   // 4: path position {origin-side, mixed, middle}
+}};
+
+struct LinkFeatures {
+  std::array<int, kFeatures.size()> value{};
+};
+
+/// Predecessor category for the triplet feature.
+enum Pred : int { kPredNone = 0, kPredDown = 1, kPredUp = 2, kPredPeer = 3 };
+
+int bucket_visibility(std::uint32_t vp_count) {
+  if (vp_count <= 1) return 0;
+  if (vp_count <= 3) return 1;
+  if (vp_count <= 7) return 2;
+  if (vp_count <= 15) return 3;
+  return 4;
+}
+
+int bucket_ratio(std::uint32_t td_a, std::uint32_t td_b) {
+  const double r = std::log2(static_cast<double>(td_a + 1) /
+                             static_cast<double>(td_b + 1));
+  const int clamped = static_cast<int>(std::clamp(std::round(r), -4.0, 4.0));
+  return clamped + 4;
+}
+
+}  // namespace
+
+ProbLinkResult run_problink(const ObservedPaths& observed,
+                            const AsRankResult& initial,
+                            std::span<const val::CleanLabel> training,
+                            const ProbLinkParams& params) {
+  ProbLinkResult result;
+  const auto& links = observed.link_order();
+  const std::size_t link_count = links.size();
+
+  // Current labels, indexed like link_order.
+  std::vector<InferredRel> current(link_count);
+  std::unordered_map<AsLink, std::uint32_t> link_index;
+  link_index.reserve(link_count);
+  for (std::size_t i = 0; i < link_count; ++i) {
+    link_index.emplace(links[i], static_cast<std::uint32_t>(i));
+    const auto* rel = initial.inference.find(links[i]);
+    current[i] = rel != nullptr ? *rel : InferredRel{};
+  }
+
+  // ---- Static features -----------------------------------------------------
+  std::unordered_set<Asn> clique_set(initial.clique.begin(),
+                                     initial.clique.end());
+
+  // Distance to clique and position statistics, one path sweep.
+  std::vector<int> clique_distance(link_count, 3);  // 3 == "3+/none"
+  std::vector<std::uint32_t> end_occurrences(link_count, 0);
+  std::vector<std::uint32_t> total_occurrences(link_count, 0);
+
+  // Triplet-context adjacency: for every (predecessor link, this link,
+  // orientation) pair, how often it occurs. Orientation 0 = traversed a->b.
+  struct AdjKey {
+    std::uint32_t prev;
+    std::uint32_t cur;
+    std::uint8_t prev_forward;  // predecessor traversed in canonical order?
+    std::uint8_t cur_forward;
+    bool operator==(const AdjKey&) const = default;
+  };
+  struct AdjKeyHash {
+    std::size_t operator()(const AdjKey& k) const {
+      std::uint64_t x = (std::uint64_t{k.prev} << 32) | k.cur;
+      x ^= (std::uint64_t{k.prev_forward} << 1 | k.cur_forward) << 62;
+      x *= 0x9E3779B97F4A7C15ull;
+      return static_cast<std::size_t>(x ^ (x >> 32));
+    }
+  };
+  std::unordered_map<AdjKey, std::uint32_t, AdjKeyHash> adjacency;
+
+  for (std::size_t p = 0; p < observed.path_count(); ++p) {
+    const auto path = observed.path(p);
+    int last_clique = -1;
+    std::uint32_t prev_id = ~std::uint32_t{0};
+    std::uint8_t prev_forward = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (clique_set.contains(path[i])) last_clique = static_cast<int>(i);
+      const AsLink link{path[i], path[i + 1]};
+      const auto it = link_index.find(link);
+      if (it == link_index.end()) continue;
+      const std::uint32_t id = it->second;
+      const std::uint8_t forward = path[i] == link.a ? 1 : 0;
+
+      ++total_occurrences[id];
+      if (i + 2 == path.size()) ++end_occurrences[id];
+      const int distance =
+          last_clique < 0 ? 3
+                          : std::min(3, static_cast<int>(i) - last_clique);
+      clique_distance[id] = std::min(clique_distance[id], distance);
+
+      if (prev_id != ~std::uint32_t{0}) {
+        ++adjacency[AdjKey{prev_id, id, prev_forward, forward}];
+      }
+      prev_id = id;
+      prev_forward = forward;
+    }
+  }
+
+  // Assemble static feature parts.
+  std::vector<LinkFeatures> features(link_count);
+  for (std::size_t i = 0; i < link_count; ++i) {
+    const auto& link = links[i];
+    const auto* info = observed.link(link);
+    features[i].value[1] = clique_distance[i];
+    features[i].value[2] = bucket_visibility(info ? info->vp_count : 0);
+    const auto ia = observed.index_of(link.a);
+    const auto ib = observed.index_of(link.b);
+    features[i].value[3] =
+        bucket_ratio(ia ? observed.transit_degree(*ia) : 0,
+                     ib ? observed.transit_degree(*ib) : 0);
+    const double end_share =
+        total_occurrences[i] == 0
+            ? 0.0
+            : static_cast<double>(end_occurrences[i]) / total_occurrences[i];
+    features[i].value[4] = end_share > 0.8 ? 0 : end_share > 0.2 ? 1 : 2;
+  }
+
+  // Dynamic feature 0 (triplet context) from the current labeling.
+  const auto refresh_triplet_feature = [&] {
+    // Per (link, orientation): counts of predecessor categories.
+    std::vector<std::array<std::array<std::uint32_t, 4>, 2>> counts(
+        link_count, {{{0, 0, 0, 0}, {0, 0, 0, 0}}});
+    for (const auto& [key, count] : adjacency) {
+      const auto& prev_link = links[key.prev];
+      const auto& prev_rel = current[key.prev];
+      // Direction of travel across the predecessor: from x to y where the
+      // pair (x, y) is (a, b) if prev_forward, else (b, a).
+      const Asn from = key.prev_forward ? prev_link.a : prev_link.b;
+      Pred category = kPredPeer;
+      if (prev_rel.rel == topo::RelType::kP2C) {
+        category = prev_rel.provider == from ? kPredDown : kPredUp;
+      }
+      counts[key.cur][key.cur_forward][static_cast<int>(category)] += count;
+    }
+    for (std::size_t i = 0; i < link_count; ++i) {
+      std::array<int, 2> dominant{kPredNone, kPredNone};
+      for (int orient = 0; orient < 2; ++orient) {
+        std::uint32_t best = 0;
+        for (int c = 1; c < 4; ++c) {
+          if (counts[i][orient][c] > best) {
+            best = counts[i][orient][c];
+            dominant[orient] = c;
+          }
+        }
+      }
+      features[i].value[0] = dominant[0] * 4 + dominant[1];
+    }
+  };
+
+  // ---- Training labels ------------------------------------------------------
+  std::vector<std::pair<std::uint32_t, Class>> train;
+  for (const auto& label : training) {
+    const auto it = link_index.find(label.link);
+    if (it == link_index.end()) continue;
+    InferredRel rel;
+    rel.rel = label.rel;
+    rel.provider = label.provider;
+    train.emplace_back(it->second, class_of(label.link, rel));
+  }
+  result.training_links = train.size();
+
+  // ---- Iterative classification ---------------------------------------------
+  int iteration = 0;
+  for (; iteration < params.max_iterations; ++iteration) {
+    refresh_triplet_feature();
+
+    // Estimate priors and conditionals from the training set under the
+    // *current* dynamic features.
+    std::array<double, kClassCount> prior{};
+    std::array<std::vector<std::array<double, kClassCount>>, kFeatures.size()>
+        conditional;
+    for (std::size_t f = 0; f < kFeatures.size(); ++f) {
+      conditional[f].assign(kFeatures[f].cardinality, {});
+    }
+    for (const auto& [index, cls] : train) {
+      prior[cls] += 1.0;
+      for (std::size_t f = 0; f < kFeatures.size(); ++f) {
+        conditional[f][features[index].value[f]][cls] += 1.0;
+      }
+    }
+    std::array<double, kClassCount> log_prior{};
+    const double total = prior[0] + prior[1] + prior[2];
+    for (int c = 0; c < kClassCount; ++c) {
+      log_prior[c] = std::log((prior[c] + params.laplace) /
+                              (total + kClassCount * params.laplace));
+    }
+    std::array<std::vector<std::array<double, kClassCount>>,
+               kFeatures.size()>
+        log_cond;
+    for (std::size_t f = 0; f < kFeatures.size(); ++f) {
+      log_cond[f].assign(kFeatures[f].cardinality, {});
+      for (int v = 0; v < kFeatures[f].cardinality; ++v) {
+        for (int c = 0; c < kClassCount; ++c) {
+          log_cond[f][v][c] =
+              std::log((conditional[f][v][c] + params.laplace) /
+                       (prior[c] + kFeatures[f].cardinality * params.laplace));
+        }
+      }
+    }
+
+    // Re-classify every link.
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < link_count; ++i) {
+      std::array<double, kClassCount> score = log_prior;
+      for (std::size_t f = 0; f < kFeatures.size(); ++f) {
+        for (int c = 0; c < kClassCount; ++c) {
+          score[c] += log_cond[f][features[i].value[f]][c];
+        }
+      }
+      const Class best = static_cast<Class>(
+          std::max_element(score.begin(), score.end()) - score.begin());
+      // Normalized posterior of the winning class (softmax over the three
+      // log scores, stabilized by the max).
+      {
+        const double peak = score[best];
+        double total = 0;
+        for (int c = 0; c < kClassCount; ++c) {
+          total += std::exp(score[c] - peak);
+        }
+        result.confidence[links[i]] = 1.0 / total;
+      }
+      const InferredRel updated = rel_of(links[i], best);
+      const bool same = updated.rel == current[i].rel &&
+                        (updated.rel != topo::RelType::kP2C ||
+                         updated.provider == current[i].provider);
+      if (!same) {
+        current[i] = updated;
+        ++changed;
+      }
+    }
+    if (static_cast<double>(changed) <
+        params.convergence_fraction * static_cast<double>(link_count)) {
+      ++iteration;
+      break;
+    }
+  }
+  result.iterations_used = iteration;
+
+  for (std::size_t i = 0; i < link_count; ++i) {
+    result.inference.set(links[i], current[i]);
+  }
+  return result;
+}
+
+}  // namespace asrel::infer

@@ -1,0 +1,249 @@
+#include "infer/toposcope.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asrel::infer {
+
+namespace {
+
+using asn::Asn;
+using val::AsLink;
+
+enum Class : int { kP2cAB = 0, kP2cBA = 1, kP2P = 2 };
+constexpr int kClassCount = 3;
+
+Class class_of(const AsLink& link, const InferredRel& rel) {
+  if (rel.rel != topo::RelType::kP2C) return kP2P;
+  return rel.provider == link.a ? kP2cAB : kP2cBA;
+}
+
+InferredRel rel_of(const AsLink& link, Class cls) {
+  InferredRel rel;
+  switch (cls) {
+    case kP2cAB:
+      rel.rel = topo::RelType::kP2C;
+      rel.provider = link.a;
+      break;
+    case kP2cBA:
+      rel.rel = topo::RelType::kP2C;
+      rel.provider = link.b;
+      break;
+    default:
+      rel.rel = topo::RelType::kP2P;
+  }
+  return rel;
+}
+
+int bucket_votes(int votes) { return std::min(votes, 4); }
+
+int bucket_visibility(std::uint32_t vp_count) {
+  if (vp_count <= 1) return 0;
+  if (vp_count <= 3) return 1;
+  if (vp_count <= 7) return 2;
+  if (vp_count <= 15) return 3;
+  return 4;
+}
+
+}  // namespace
+
+TopoScopeResult run_toposcope(const ObservedPaths& observed,
+                              const AsRankResult& global,
+                              std::span<const val::CleanLabel> training,
+                              const TopoScopeParams& params) {
+  TopoScopeResult result;
+  result.clique = global.clique;
+
+  // ---- Vantage-point grouping ----------------------------------------------
+  // Sort VPs by feed size, deal them round-robin so groups get comparable
+  // coverage (the original groups by view similarity; round-robin over the
+  // size ranking is the deterministic equivalent for our purposes).
+  const int group_count =
+      std::max(1, std::min<int>(params.vp_groups,
+                                static_cast<int>(observed.vp_count())));
+  result.groups_used = group_count;
+
+  std::vector<std::uint16_t> vp_order(observed.vp_count());
+  for (std::size_t i = 0; i < vp_order.size(); ++i) {
+    vp_order[i] = static_cast<std::uint16_t>(i);
+  }
+  std::sort(vp_order.begin(), vp_order.end(),
+            [&](std::uint16_t a, std::uint16_t b) {
+              if (observed.origin_count(a) != observed.origin_count(b)) {
+                return observed.origin_count(a) > observed.origin_count(b);
+              }
+              return observed.vp_asns()[a] < observed.vp_asns()[b];
+            });
+  std::vector<int> group_of_vp(observed.vp_count(), 0);
+  for (std::size_t i = 0; i < vp_order.size(); ++i) {
+    group_of_vp[vp_order[i]] = static_cast<int>(i % group_count);
+  }
+
+  std::vector<std::vector<std::uint32_t>> group_paths(group_count);
+  for (std::size_t p = 0; p < observed.path_count(); ++p) {
+    group_paths[group_of_vp[observed.vp_of_path(p)]].push_back(
+        static_cast<std::uint32_t>(p));
+  }
+
+  // ---- Per-group base inference ---------------------------------------------
+  std::vector<Inference> group_inference;
+  group_inference.reserve(group_count);
+  for (int g = 0; g < group_count; ++g) {
+    group_inference.push_back(
+        run_asrank_subset(observed, params.base, group_paths[g],
+                          global.clique)
+            .inference);
+  }
+
+  // ---- Feature assembly -------------------------------------------------------
+  const auto& links = observed.link_order();
+  struct Features {
+    int votes_ab, votes_ba, votes_p2p;  // bucketed group votes
+    int global_class;
+    int visibility;
+  };
+  std::vector<Features> features(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    int ab = 0;
+    int ba = 0;
+    int pp = 0;
+    for (const auto& inference : group_inference) {
+      const auto* rel = inference.find(links[i]);
+      if (rel == nullptr) continue;
+      switch (class_of(links[i], *rel)) {
+        case kP2cAB:
+          ++ab;
+          break;
+        case kP2cBA:
+          ++ba;
+          break;
+        default:
+          ++pp;
+      }
+    }
+    const auto* global_rel = global.inference.find(links[i]);
+    const auto* info = observed.link(links[i]);
+    features[i] = {bucket_votes(ab), bucket_votes(ba), bucket_votes(pp),
+                   global_rel ? class_of(links[i], *global_rel) : kP2P,
+                   bucket_visibility(info ? info->vp_count : 0)};
+  }
+
+  // ---- Ensemble: naive Bayes trained on the validation data -----------------
+  std::unordered_map<AsLink, std::uint32_t> link_index;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    link_index.emplace(links[i], static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::pair<std::uint32_t, Class>> train;
+  for (const auto& label : training) {
+    const auto it = link_index.find(label.link);
+    if (it == link_index.end()) continue;
+    InferredRel rel;
+    rel.rel = label.rel;
+    rel.provider = label.provider;
+    train.emplace_back(it->second, class_of(label.link, rel));
+  }
+  result.training_links = train.size();
+
+  constexpr std::array<int, 5> kCardinality{5, 5, 5, 3, 5};
+  const auto value_of = [&](const Features& f, int feature) {
+    switch (feature) {
+      case 0:
+        return f.votes_ab;
+      case 1:
+        return f.votes_ba;
+      case 2:
+        return f.votes_p2p;
+      case 3:
+        return f.global_class;
+      default:
+        return f.visibility;
+    }
+  };
+
+  std::array<double, kClassCount> prior{};
+  std::array<std::vector<std::array<double, kClassCount>>, 5> conditional;
+  for (int f = 0; f < 5; ++f) conditional[f].assign(kCardinality[f], {});
+  for (const auto& [index, cls] : train) {
+    prior[cls] += 1.0;
+    for (int f = 0; f < 5; ++f) {
+      conditional[f][value_of(features[index], f)][cls] += 1.0;
+    }
+  }
+  const double total = prior[0] + prior[1] + prior[2];
+  std::array<double, kClassCount> log_prior{};
+  for (int c = 0; c < kClassCount; ++c) {
+    log_prior[c] = std::log((prior[c] + params.laplace) /
+                            (total + kClassCount * params.laplace));
+  }
+  std::array<std::vector<std::array<double, kClassCount>>, 5> log_cond;
+  for (int f = 0; f < 5; ++f) {
+    log_cond[f].assign(kCardinality[f], {});
+    for (int v = 0; v < kCardinality[f]; ++v) {
+      for (int c = 0; c < kClassCount; ++c) {
+        log_cond[f][v][c] =
+            std::log((conditional[f][v][c] + params.laplace) /
+                     (prior[c] + kCardinality[f] * params.laplace));
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    std::array<double, kClassCount> score = log_prior;
+    for (int f = 0; f < 5; ++f) {
+      for (int c = 0; c < kClassCount; ++c) {
+        score[c] += log_cond[f][value_of(features[i], f)][c];
+      }
+    }
+    const Class best = static_cast<Class>(
+        std::max_element(score.begin(), score.end()) - score.begin());
+    result.inference.set(links[i], rel_of(links[i], best));
+  }
+
+  // ---- Hidden-link prediction -------------------------------------------------
+  // Collector peers have (near) complete neighbor sets; two of them sharing
+  // many neighbors without an observed link between them very likely
+  // interconnect privately or via an IXP the collectors miss.
+  {
+    // Neighbor sets from observed links.
+    std::unordered_map<Asn, std::vector<Asn>> neighbors;
+    for (const auto& link : links) {
+      neighbors[link.a].push_back(link.b);
+      neighbors[link.b].push_back(link.a);
+    }
+    for (auto& [asn, list] : neighbors) std::sort(list.begin(), list.end());
+
+    const auto vp_asns = observed.vp_asns();
+    for (std::size_t i = 0; i < vp_asns.size(); ++i) {
+      for (std::size_t j = i + 1; j < vp_asns.size(); ++j) {
+        const AsLink link{vp_asns[i], vp_asns[j]};
+        if (link.a == link.b) continue;
+        if (observed.link(link) != nullptr) continue;
+        const auto ita = neighbors.find(vp_asns[i]);
+        const auto itb = neighbors.find(vp_asns[j]);
+        if (ita == neighbors.end() || itb == neighbors.end()) continue;
+        std::vector<Asn> common;
+        std::set_intersection(ita->second.begin(), ita->second.end(),
+                              itb->second.begin(), itb->second.end(),
+                              std::back_inserter(common));
+        if (common.size() < params.hidden_min_common_neighbors) continue;
+        const double unions = static_cast<double>(
+            ita->second.size() + itb->second.size() - common.size());
+        result.hidden_links.push_back(
+            {link, static_cast<double>(common.size()) / unions});
+      }
+    }
+    std::sort(result.hidden_links.begin(), result.hidden_links.end(),
+              [](const HiddenLink& a, const HiddenLink& b) {
+                if (a.confidence != b.confidence) {
+                  return a.confidence > b.confidence;
+                }
+                return a.link < b.link;
+              });
+  }
+  return result;
+}
+
+}  // namespace asrel::infer

@@ -1,0 +1,53 @@
+// TopoScope (Jin et al., IMC 2020) reimplementation.
+//
+// Structure follows the published system: vantage points are split into
+// groups to fight observation bias; a base inference runs per group; an
+// ensemble classifier reconciles the per-group verdicts with global link
+// features; a final stage predicts *hidden* links that no collector saw.
+//
+// Documented simplification: the original's gradient-boosted trees are
+// replaced by a calibrated categorical naive-Bayes over the same feature
+// families (group-vote distribution, global base verdict, visibility,
+// clique distance). Like the original, the ensemble is trained on the
+// available validation data — inheriting its bias, which is the paper's §6
+// point.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "infer/asrank.hpp"
+#include "infer/inference.hpp"
+#include "infer/observed.hpp"
+#include "validation/cleaner.hpp"
+
+namespace asrel::infer {
+
+struct TopoScopeParams {
+  int vp_groups = 8;
+  AsRankParams base;
+  double laplace = 1.0;
+  /// Hidden-link prediction: two collector peers sharing at least this many
+  /// observed neighbors (but no observed link) are predicted to interconnect.
+  std::uint32_t hidden_min_common_neighbors = 8;
+};
+
+struct HiddenLink {
+  val::AsLink link;
+  double confidence = 0.0;  ///< Jaccard similarity of neighbor sets
+};
+
+struct TopoScopeResult {
+  Inference inference;
+  std::vector<asn::Asn> clique;
+  std::vector<HiddenLink> hidden_links;
+  int groups_used = 0;
+  std::size_t training_links = 0;
+};
+
+[[nodiscard]] TopoScopeResult run_toposcope(
+    const ObservedPaths& observed, const AsRankResult& global,
+    std::span<const val::CleanLabel> training,
+    const TopoScopeParams& params = {});
+
+}  // namespace asrel::infer

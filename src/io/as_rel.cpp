@@ -1,0 +1,82 @@
+#include "io/as_rel.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace asrel::io {
+
+namespace {
+
+void write_line(std::ostream& out, asn::Asn a, asn::Asn b, int code) {
+  out << a.value() << '|' << b.value() << '|' << code << '\n';
+}
+
+}  // namespace
+
+void write_as_rel(const infer::Inference& inference, std::ostream& out) {
+  out << "# inferred AS relationships (CAIDA as-rel serial-1 format)\n";
+  out << "# <provider>|<customer>|-1 or <peer>|<peer>|0\n";
+  for (const auto& link : inference.order()) {
+    const auto* rel = inference.find(link);
+    if (rel->rel == topo::RelType::kP2C) {
+      const asn::Asn customer =
+          rel->provider == link.a ? link.b : link.a;
+      write_line(out, rel->provider, customer, -1);
+    } else {
+      write_line(out, link.a, link.b,
+                 rel->rel == topo::RelType::kS2S ? 1 : 0);
+    }
+  }
+}
+
+void write_as_rel(const topo::AsGraph& graph, std::ostream& out) {
+  out << "# ground-truth AS relationships (CAIDA as-rel serial-1 format)\n";
+  for (const auto& edge : graph.edges()) {
+    const asn::Asn u = graph.asn_of(edge.u);
+    const asn::Asn v = graph.asn_of(edge.v);
+    write_line(out, u, v, topo::to_caida_code(edge.rel));
+  }
+}
+
+std::string to_as_rel_text(const infer::Inference& inference) {
+  std::ostringstream out;
+  write_as_rel(inference, out);
+  return out.str();
+}
+
+infer::Inference parse_as_rel(std::istream& in) {
+  infer::Inference inference;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto first = line.find('|');
+    if (first == std::string::npos) continue;
+    const auto second = line.find('|', first + 1);
+    if (second == std::string::npos) continue;
+    const auto a = asn::parse_asn(std::string_view{line}.substr(0, first));
+    const auto b = asn::parse_asn(
+        std::string_view{line}.substr(first + 1, second - first - 1));
+    if (!a || !b) continue;
+    int code = 0;
+    const auto tail = std::string_view{line}.substr(second + 1);
+    const auto [ptr, ec] =
+        std::from_chars(tail.data(), tail.data() + tail.size(), code);
+    if (ec != std::errc{}) continue;
+    const auto rel_type = topo::from_caida_code(code);
+    if (!rel_type) continue;
+    infer::InferredRel rel;
+    rel.rel = *rel_type;
+    if (*rel_type == topo::RelType::kP2C) rel.provider = *a;
+    inference.set(val::AsLink{*a, *b}, rel);
+  }
+  return inference;
+}
+
+infer::Inference parse_as_rel_text(std::string_view text) {
+  std::istringstream in{std::string{text}};
+  return parse_as_rel(in);
+}
+
+}  // namespace asrel::io

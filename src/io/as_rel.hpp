@@ -1,0 +1,26 @@
+// CAIDA "as-rel" serialization (serial-1 format): lines of
+//   <provider-asn>|<customer-asn>|-1   (P2C)
+//   <asn>|<asn>|0                      (P2P)
+//   <asn>|<asn>|1                      (S2S extension)
+// with '#' comment headers — the format of the public data sets at
+// publicdata.caida.org/datasets/as-relationships/ referenced in §4.1.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "infer/inference.hpp"
+#include "topology/graph.hpp"
+
+namespace asrel::io {
+
+void write_as_rel(const infer::Inference& inference, std::ostream& out);
+void write_as_rel(const topo::AsGraph& graph, std::ostream& out);
+[[nodiscard]] std::string to_as_rel_text(const infer::Inference& inference);
+
+/// Parses an as-rel stream; malformed lines are skipped.
+[[nodiscard]] infer::Inference parse_as_rel(std::istream& in);
+[[nodiscard]] infer::Inference parse_as_rel_text(std::string_view text);
+
+}  // namespace asrel::io

@@ -1,0 +1,202 @@
+#include "io/rib_dump.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "netbase/ip.hpp"
+
+namespace asrel::io {
+
+namespace {
+
+using asn::Asn;
+
+/// Reconstructs the informational communities surviving at the collector
+/// for one (collapsed) path — the same semantics as the validation
+/// extractor, shared here for dump fidelity.
+void append_communities(const bgp::Propagator& propagator,
+                        const val::SchemeDirectory& schemes,
+                        const std::vector<Asn>& hops, Asn origin,
+                        std::ostream& out) {
+  const auto& world = propagator.world();
+  const auto& graph = world.graph;
+  bool first = true;
+  bool survives = true;
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (i > 0 && graph.node_of(hops[i - 1]).has_value() &&
+        world.attrs.at(hops[i - 1]).strips_communities) {
+      survives = false;
+    }
+    if (!survives) break;
+    if (i == 0 && graph.node_of(hops[0]).has_value() &&
+        world.attrs.at(hops[0]).strips_communities) {
+      break;
+    }
+    const auto* scheme = schemes.scheme_of(hops[i]);
+    if (scheme == nullptr) continue;
+    val::TagMeaning meaning = val::TagMeaning::kFromCustomer;
+    if (const auto edge_id = graph.find_edge(hops[i], hops[i + 1])) {
+      const auto& edge = graph.edge(*edge_id);
+      switch (propagator.effective_rel(edge, origin)) {
+        case topo::RelType::kP2C:
+          meaning = edge.u == *graph.node_of(hops[i])
+                        ? val::TagMeaning::kFromCustomer
+                        : val::TagMeaning::kFromProvider;
+          break;
+        case topo::RelType::kP2P:
+          meaning = val::TagMeaning::kFromPeer;
+          break;
+        case topo::RelType::kS2S:
+          meaning = val::TagMeaning::kFromCustomer;
+          break;
+      }
+    }
+    if (!first) out << ' ';
+    out << bgp::to_string(scheme->tag_for(meaning));
+    first = false;
+  }
+}
+
+std::vector<std::string_view> split_pipe(std::string_view line) {
+  std::vector<std::string_view> fields;
+  while (true) {
+    const auto bar = line.find('|');
+    if (bar == std::string_view::npos) {
+      fields.push_back(line);
+      return fields;
+    }
+    fields.push_back(line.substr(0, bar));
+    line.remove_prefix(bar + 1);
+  }
+}
+
+}  // namespace
+
+void write_rib_dump(const bgp::Propagator& propagator,
+                    const bgp::PathTable& paths,
+                    const val::SchemeDirectory& schemes,
+                    const RibDumpOptions& options, std::ostream& out) {
+  const auto& world = propagator.world();
+  std::size_t written = 0;
+  std::vector<Asn> hops;
+  paths.for_each_path([&](const bgp::PathTable::PathRef& ref) {
+    if (options.max_routes != 0 && written >= options.max_routes) return;
+    ++written;
+
+    // Synthesized peer IP: one /32 per vantage point in 10.255/16.
+    const auto vp = ref.vp_index;
+    out << "TABLE_DUMP2|" << options.timestamp << "|B|10.255."
+        << (vp >> 8) << '.' << (vp & 0xFF) << '|'
+        << ref.path.front().value() << '|';
+
+    // Announced prefix: the origin's first allocation, or a synthetic /20.
+    const Asn origin = world.graph.asn_of(ref.origin);
+    const auto it = world.prefixes.find(origin);
+    if (it != world.prefixes.end() && !it->second.empty()) {
+      out << net::to_string(it->second.front());
+    } else {
+      out << "10." << (ref.origin >> 8 & 0xFF) << '.'
+          << (ref.origin & 0xFF) << ".0/24";
+    }
+    out << '|';
+
+    for (std::size_t i = 0; i < ref.path.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << ref.path[i].value();
+    }
+    out << "|IGP|10.255." << (vp >> 8) << '.' << (vp & 0xFF) << "|0|0|";
+
+    if (options.include_communities) {
+      hops.clear();
+      for (const Asn hop : ref.path) {
+        if (hops.empty() || hops.back() != hop) hops.push_back(hop);
+      }
+      append_communities(propagator, schemes, hops, origin, out);
+    }
+    out << "|NAG||\n";
+  });
+}
+
+bgp::PathTable parse_rib_dump(std::istream& in, RibParseStats* stats) {
+  RibParseStats local;
+
+  struct Route {
+    Asn peer;
+    std::vector<Asn> path;
+  };
+  std::vector<Route> routes;
+  std::map<Asn, std::uint32_t> vp_index;   // ordered: deterministic
+  std::map<Asn, topo::NodeId> origin_index;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++local.lines;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_pipe(line);
+    if (fields.size() < 7 || fields[0] != "TABLE_DUMP2") {
+      ++local.malformed;
+      continue;
+    }
+    Route route;
+    const auto peer = asn::parse_asn(fields[4]);
+    if (!peer) {
+      ++local.malformed;
+      continue;
+    }
+    route.peer = *peer;
+    std::string_view path_field = fields[6];
+    bool broken = false;
+    while (!path_field.empty()) {
+      const auto space = path_field.find(' ');
+      const auto token = space == std::string_view::npos
+                             ? path_field
+                             : path_field.substr(0, space);
+      const auto hop = asn::parse_asn(token);
+      if (!hop) {
+        broken = true;
+        break;
+      }
+      route.path.push_back(*hop);
+      if (space == std::string_view::npos) break;
+      path_field.remove_prefix(space + 1);
+    }
+    if (broken || route.path.empty()) {
+      ++local.malformed;
+      continue;
+    }
+    ++local.routes;
+    vp_index.try_emplace(route.peer,
+                         static_cast<std::uint32_t>(vp_index.size()));
+    origin_index.try_emplace(
+        route.path.back(),
+        static_cast<topo::NodeId>(origin_index.size()));
+    routes.push_back(std::move(route));
+  }
+
+  bgp::PathTable table;
+  std::vector<bgp::VantagePoint> vps(vp_index.size());
+  for (const auto& [asn, index] : vp_index) {
+    vps[index] = bgp::VantagePoint{asn, /*full_feed=*/true,
+                                   /*legacy_16bit=*/false};
+  }
+  table.set_vantage_points(std::move(vps));
+  table.resize_origins(origin_index.size());
+  for (const auto& route : routes) {
+    table.add_path(origin_index.at(route.path.back()),
+                   vp_index.at(route.peer), route.path);
+  }
+  table.recount();
+  if (stats != nullptr) *stats = local;
+  return table;
+}
+
+bgp::PathTable parse_rib_dump_text(std::string_view text,
+                                   RibParseStats* stats) {
+  std::istringstream in{std::string{text}};
+  return parse_rib_dump(in, stats);
+}
+
+}  // namespace asrel::io

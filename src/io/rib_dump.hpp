@@ -1,0 +1,57 @@
+// bgpdump-style textual RIB dumps.
+//
+// Real reproduction pipelines ingest Route Views / RIPE RIS table dumps
+// through `bgpdump -m`, one route per line:
+//
+//   TABLE_DUMP2|<unix-time>|B|<peer-ip>|<peer-asn>|<prefix>|<as-path>|IGP|
+//   <next-hop>|0|0|<communities>|NAG||
+//
+// This module writes the simulated collector view in that exact format and
+// parses it back into a PathTable, so the whole inference stack can also be
+// driven from on-disk dumps (or, with a real bgpdump file, from actual
+// collector data).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "bgp/propagation.hpp"
+#include "validation/scheme.hpp"
+
+namespace asrel::io {
+
+struct RibDumpOptions {
+  std::uint64_t timestamp = 1522886400;  // 2018-04-05 00:00:00 UTC
+  /// Reconstruct and emit the informational communities that survive to the
+  /// collector (needs the scheme directory and the propagator's world).
+  bool include_communities = true;
+  /// Emit at most this many routes (0 = all). Dumps grow large quickly.
+  std::size_t max_routes = 0;
+};
+
+/// Writes every collected path as one TABLE_DUMP2 line. Peer IPs are
+/// synthesized deterministically from the vantage-point index.
+void write_rib_dump(const bgp::Propagator& propagator,
+                    const bgp::PathTable& paths,
+                    const val::SchemeDirectory& schemes,
+                    const RibDumpOptions& options, std::ostream& out);
+
+struct RibParseStats {
+  std::size_t lines = 0;
+  std::size_t routes = 0;
+  std::size_t malformed = 0;
+};
+
+/// Parses a bgpdump -m style stream back into a PathTable. Vantage points
+/// are discovered from the peer-ASN column (full feed assumed); origins are
+/// the last hop of each AS path. Prepending is preserved.
+[[nodiscard]] bgp::PathTable parse_rib_dump(std::istream& in,
+                                            RibParseStats* stats = nullptr);
+
+[[nodiscard]] bgp::PathTable parse_rib_dump_text(std::string_view text,
+                                                 RibParseStats* stats =
+                                                     nullptr);
+
+}  // namespace asrel::io

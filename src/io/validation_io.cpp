@@ -1,0 +1,93 @@
+#include "io/validation_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace asrel::io {
+
+namespace {
+
+std::vector<std::string_view> split_pipe(std::string_view line) {
+  std::vector<std::string_view> fields;
+  while (true) {
+    const auto bar = line.find('|');
+    if (bar == std::string_view::npos) {
+      fields.push_back(line);
+      return fields;
+    }
+    fields.push_back(line.substr(0, bar));
+    line.remove_prefix(bar + 1);
+  }
+}
+
+}  // namespace
+
+void write_validation(const val::ValidationSet& set, std::ostream& out) {
+  out << "# validation data: <asn>|<asn>|<provider-asn|p2p|s2s>|<source>\n";
+  for (const auto& entry : set.entries()) {
+    for (const auto& label : entry.labels) {
+      out << entry.link.a.value() << '|' << entry.link.b.value() << '|';
+      switch (label.rel) {
+        case topo::RelType::kP2C:
+          out << label.provider.value();
+          break;
+        case topo::RelType::kP2P:
+          out << "p2p";
+          break;
+        case topo::RelType::kS2S:
+          out << "s2s";
+          break;
+      }
+      out << '|' << val::to_string(label.source) << '\n';
+    }
+  }
+}
+
+std::string to_validation_text(const val::ValidationSet& set) {
+  std::ostringstream out;
+  write_validation(set, out);
+  return out.str();
+}
+
+val::ValidationSet parse_validation(std::istream& in) {
+  val::ValidationSet set;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_pipe(line);
+    if (fields.size() < 4) continue;
+    const auto a = asn::parse_asn(fields[0]);
+    const auto b = asn::parse_asn(fields[1]);
+    if (!a || !b) continue;
+
+    val::Label label;
+    if (fields[2] == "p2p") {
+      label.rel = topo::RelType::kP2P;
+    } else if (fields[2] == "s2s") {
+      label.rel = topo::RelType::kS2S;
+    } else {
+      const auto provider = asn::parse_asn(fields[2]);
+      if (!provider) continue;
+      label.rel = topo::RelType::kP2C;
+      label.provider = *provider;
+    }
+    if (fields[3] == "communities") {
+      label.source = val::Source::kCommunities;
+    } else if (fields[3] == "rpsl") {
+      label.source = val::Source::kRpsl;
+    } else {
+      label.source = val::Source::kDirectReport;
+    }
+    set.add(val::AsLink{*a, *b}, label);
+  }
+  return set;
+}
+
+val::ValidationSet parse_validation_text(std::string_view text) {
+  std::istringstream in{std::string{text}};
+  return parse_validation(in);
+}
+
+}  // namespace asrel::io

@@ -1,0 +1,21 @@
+// Validation-set serialization: one line per label,
+//   <asn>|<asn>|<p2c-provider-asn or "p2p" or "s2s">|<source>
+// Multi-label entries serialize as consecutive lines for the same link, in
+// acquisition order (which §4.2 shows is semantically meaningful).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "validation/label.hpp"
+
+namespace asrel::io {
+
+void write_validation(const val::ValidationSet& set, std::ostream& out);
+[[nodiscard]] std::string to_validation_text(const val::ValidationSet& set);
+
+[[nodiscard]] val::ValidationSet parse_validation(std::istream& in);
+[[nodiscard]] val::ValidationSet parse_validation_text(std::string_view text);
+
+}  // namespace asrel::io

@@ -1,0 +1,208 @@
+#include "netbase/ip.hpp"
+
+#include <charconv>
+#include <vector>
+
+namespace asrel::net {
+
+namespace {
+
+std::optional<std::uint32_t> parse_decimal(std::string_view text,
+                                           std::uint32_t max) {
+  if (text.empty()) return std::nullopt;
+  std::uint32_t value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end || value > max) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint32_t> parse_hex16(std::string_view text) {
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  std::uint32_t value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value, 16);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> parse_ipv4(std::string_view text) {
+  std::uint32_t bits = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    const auto dot = text.find('.');
+    const bool last = octet == 3;
+    if (last != (dot == std::string_view::npos)) return std::nullopt;
+    const auto part = last ? text : text.substr(0, dot);
+    const auto value = parse_decimal(part, 255);
+    if (!value) return std::nullopt;
+    bits = (bits << 8) | *value;
+    if (!last) text.remove_prefix(dot + 1);
+  }
+  return Ipv4Addr{bits};
+}
+
+std::optional<Ipv6Addr> parse_ipv6(std::string_view text) {
+  // Split on "::" first; each side is a run of ':'-separated hex groups.
+  std::vector<std::uint32_t> head;
+  std::vector<std::uint32_t> tail;
+  bool compressed = false;
+
+  const auto parse_groups = [](std::string_view part,
+                               std::vector<std::uint32_t>& out) {
+    if (part.empty()) return true;
+    while (true) {
+      const auto colon = part.find(':');
+      const auto group =
+          colon == std::string_view::npos ? part : part.substr(0, colon);
+      const auto value = parse_hex16(group);
+      if (!value) return false;
+      out.push_back(*value);
+      if (colon == std::string_view::npos) return true;
+      part.remove_prefix(colon + 1);
+    }
+  };
+
+  if (const auto gap = text.find("::"); gap != std::string_view::npos) {
+    compressed = true;
+    if (text.find("::", gap + 1) != std::string_view::npos)
+      return std::nullopt;  // at most one "::"
+    if (!parse_groups(text.substr(0, gap), head)) return std::nullopt;
+    if (!parse_groups(text.substr(gap + 2), tail)) return std::nullopt;
+  } else {
+    if (!parse_groups(text, head)) return std::nullopt;
+  }
+
+  const std::size_t given = head.size() + tail.size();
+  if (compressed ? given > 7 : given != 8) return std::nullopt;
+
+  std::array<std::uint32_t, 8> groups{};
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i)
+    groups[8 - tail.size() + i] = tail[i];
+
+  std::uint64_t high = 0;
+  std::uint64_t low = 0;
+  for (int i = 0; i < 4; ++i) high = (high << 16) | groups[i];
+  for (int i = 4; i < 8; ++i) low = (low << 16) | groups[i];
+  return Ipv6Addr{high, low};
+}
+
+std::string to_string(Ipv4Addr addr) {
+  const std::uint32_t b = addr.bits();
+  return std::to_string((b >> 24) & 0xFF) + "." +
+         std::to_string((b >> 16) & 0xFF) + "." +
+         std::to_string((b >> 8) & 0xFF) + "." + std::to_string(b & 0xFF);
+}
+
+std::string to_string(Ipv6Addr addr) {
+  std::array<std::uint32_t, 8> groups{};
+  for (int i = 0; i < 4; ++i)
+    groups[i] = static_cast<std::uint32_t>((addr.high() >> (48 - 16 * i)) &
+                                           0xFFFFu);
+  for (int i = 0; i < 4; ++i)
+    groups[4 + i] =
+        static_cast<std::uint32_t>((addr.low() >> (48 - 16 * i)) & 0xFFFFu);
+
+  // Find the longest run of zero groups (>= 2) to compress as "::".
+  int best_start = -1;
+  int best_len = 1;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+
+  const auto hex = [](std::uint32_t value) {
+    char buffer[5];
+    auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, value, 16);
+    (void)ec;
+    return std::string(buffer, ptr);
+  };
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      // The group before the run omitted its separator, so the compressed
+      // run always contributes both colons.
+      out += "::";
+      i += best_len;
+      if (i == 8) return out;
+      continue;
+    }
+    out += hex(groups[i]);
+    if (++i < 8 && i != best_start) out += ":";
+  }
+  return out;
+}
+
+Prefix6::Prefix6(Ipv6Addr addr, unsigned length)
+    : length_(static_cast<std::uint8_t>(length)) {
+  std::uint64_t high = addr.high();
+  std::uint64_t low = addr.low();
+  if (length == 0) {
+    high = low = 0;
+  } else if (length <= 64) {
+    high &= length == 64 ? ~std::uint64_t{0}
+                         : ~std::uint64_t{0} << (64 - length);
+    low = 0;
+  } else if (length < 128) {
+    low &= ~std::uint64_t{0} << (128 - length);
+  }
+  addr_ = Ipv6Addr{high, low};
+}
+
+bool Prefix6::contains(Ipv6Addr addr) const {
+  return Prefix6{addr, length_}.network() == addr_;
+}
+
+bool Prefix6::contains(const Prefix6& other) const {
+  return other.length_ >= length_ && contains(other.addr_);
+}
+
+namespace {
+
+template <typename Addr, typename Parser>
+std::optional<std::pair<Addr, unsigned>> split_cidr(std::string_view text,
+                                                    Parser parse,
+                                                    unsigned max_length) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = parse(text.substr(0, slash));
+  const auto length = parse_decimal(text.substr(slash + 1), max_length);
+  if (!addr || !length) return std::nullopt;
+  return std::pair{*addr, *length};
+}
+
+}  // namespace
+
+std::optional<Prefix4> parse_prefix4(std::string_view text) {
+  const auto parts = split_cidr<Ipv4Addr>(text, parse_ipv4, 32);
+  if (!parts) return std::nullopt;
+  return Prefix4{parts->first, parts->second};
+}
+
+std::optional<Prefix6> parse_prefix6(std::string_view text) {
+  const auto parts = split_cidr<Ipv6Addr>(text, parse_ipv6, 128);
+  if (!parts) return std::nullopt;
+  return Prefix6{parts->first, parts->second};
+}
+
+std::string to_string(const Prefix4& prefix) {
+  return to_string(prefix.network()) + "/" + std::to_string(prefix.length());
+}
+
+std::string to_string(const Prefix6& prefix) {
+  return to_string(prefix.network()) + "/" + std::to_string(prefix.length());
+}
+
+}  // namespace asrel::net

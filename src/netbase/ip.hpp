@@ -1,0 +1,147 @@
+// IPv4/IPv6 address and prefix value types.
+//
+// Used by the RIR substrate (delegated address blocks), the RPSL substrate
+// (route objects), and the BGP substrate (announced prefixes).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asrel::net {
+
+/// An IPv4 address held in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+
+  /// The `index`-th bit counted from the most significant end (0-based).
+  [[nodiscard]] constexpr bool bit(unsigned index) const {
+    return ((bits_ >> (31 - index)) & 1u) != 0;
+  }
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// An IPv6 address held as two 64-bit halves in host byte order.
+class Ipv6Addr {
+ public:
+  constexpr Ipv6Addr() = default;
+  constexpr Ipv6Addr(std::uint64_t high, std::uint64_t low)
+      : high_(high), low_(low) {}
+
+  [[nodiscard]] constexpr std::uint64_t high() const { return high_; }
+  [[nodiscard]] constexpr std::uint64_t low() const { return low_; }
+
+  [[nodiscard]] constexpr bool bit(unsigned index) const {
+    return index < 64 ? ((high_ >> (63 - index)) & 1u) != 0
+                      : ((low_ >> (127 - index)) & 1u) != 0;
+  }
+
+  friend constexpr auto operator<=>(Ipv6Addr, Ipv6Addr) = default;
+
+ private:
+  std::uint64_t high_ = 0;
+  std::uint64_t low_ = 0;
+};
+
+/// "10.2.0.1" -> Ipv4Addr. Rejects anything that is not a dotted quad.
+[[nodiscard]] std::optional<Ipv4Addr> parse_ipv4(std::string_view text);
+
+/// RFC 4291 textual form, including "::" compression and mixed case hex.
+/// (No embedded-IPv4 tail form; the data sets here never use it.)
+[[nodiscard]] std::optional<Ipv6Addr> parse_ipv6(std::string_view text);
+
+[[nodiscard]] std::string to_string(Ipv4Addr addr);
+[[nodiscard]] std::string to_string(Ipv6Addr addr);
+
+/// An IPv4 CIDR prefix. The network address is kept canonical (host bits
+/// outside the mask are zeroed on construction).
+class Prefix4 {
+ public:
+  constexpr Prefix4() = default;
+  constexpr Prefix4(Ipv4Addr addr, unsigned length)
+      : addr_(Ipv4Addr{length == 0 ? 0 : (addr.bits() & mask_bits(length))}),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  [[nodiscard]] constexpr Ipv4Addr network() const { return addr_; }
+  [[nodiscard]] constexpr unsigned length() const { return length_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Addr addr) const {
+    if (length_ == 0) return true;
+    return (addr.bits() & mask_bits(length_)) == addr_.bits();
+  }
+  [[nodiscard]] constexpr bool contains(const Prefix4& other) const {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  /// Number of addresses covered: 2^(32-length).
+  [[nodiscard]] constexpr std::uint64_t address_count() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  friend constexpr auto operator<=>(const Prefix4&, const Prefix4&) = default;
+
+ private:
+  static constexpr std::uint32_t mask_bits(unsigned length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+  Ipv4Addr addr_;
+  std::uint8_t length_ = 0;
+};
+
+/// An IPv6 CIDR prefix, canonicalized like Prefix4.
+class Prefix6 {
+ public:
+  constexpr Prefix6() = default;
+  Prefix6(Ipv6Addr addr, unsigned length);
+
+  [[nodiscard]] Ipv6Addr network() const { return addr_; }
+  [[nodiscard]] unsigned length() const { return length_; }
+  [[nodiscard]] bool contains(Ipv6Addr addr) const;
+  [[nodiscard]] bool contains(const Prefix6& other) const;
+
+  friend auto operator<=>(const Prefix6&, const Prefix6&) = default;
+
+ private:
+  Ipv6Addr addr_;
+  std::uint8_t length_ = 0;
+};
+
+/// "10.0.0.0/8" -> Prefix4 (network part canonicalized). Length > 32 rejected.
+[[nodiscard]] std::optional<Prefix4> parse_prefix4(std::string_view text);
+[[nodiscard]] std::optional<Prefix6> parse_prefix6(std::string_view text);
+
+[[nodiscard]] std::string to_string(const Prefix4& prefix);
+[[nodiscard]] std::string to_string(const Prefix6& prefix);
+
+}  // namespace asrel::net
+
+template <>
+struct std::hash<asrel::net::Ipv4Addr> {
+  std::size_t operator()(asrel::net::Ipv4Addr addr) const noexcept {
+    return std::hash<std::uint32_t>{}(addr.bits());
+  }
+};
+
+template <>
+struct std::hash<asrel::net::Prefix4> {
+  std::size_t operator()(const asrel::net::Prefix4& prefix) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{prefix.network().bits()} << 8) | prefix.length());
+  }
+};

@@ -1,0 +1,112 @@
+// A binary (unibit) trie over IPv4 prefixes with longest-prefix-match lookup.
+//
+// The RIR substrate uses it to answer "which service region delegated this
+// address block"; the BGP substrate uses it for per-AS originated address
+// space accounting.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netbase/ip.hpp"
+
+namespace asrel::net {
+
+/// Maps IPv4 prefixes to values of type T with exact-match and
+/// longest-prefix-match queries. Inserting an existing prefix overwrites.
+template <typename T>
+class PrefixTrie4 {
+ public:
+  void insert(const Prefix4& prefix, T value) {
+    Node* node = &root_;
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      auto& child = node->children[prefix.network().bit(depth) ? 1 : 0];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// The value stored at exactly this prefix, if any.
+  [[nodiscard]] const T* find_exact(const Prefix4& prefix) const {
+    const Node* node = &root_;
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      node = node->children[prefix.network().bit(depth) ? 1 : 0].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  /// The value of the most specific prefix containing `addr`, if any.
+  [[nodiscard]] const T* longest_match(Ipv4Addr addr) const {
+    const Node* node = &root_;
+    const T* best = node->value ? &*node->value : nullptr;
+    for (unsigned depth = 0; depth < 32; ++depth) {
+      node = node->children[addr.bit(depth) ? 1 : 0].get();
+      if (node == nullptr) break;
+      if (node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// The value of the most specific strict or equal covering prefix.
+  [[nodiscard]] const T* longest_match(const Prefix4& prefix) const {
+    const Node* node = &root_;
+    const T* best = node->value ? &*node->value : nullptr;
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      node = node->children[prefix.network().bit(depth) ? 1 : 0].get();
+      if (node == nullptr) break;
+      if (node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Removes a prefix; returns whether it was present. (Interior nodes are
+  /// left in place; fine for the build-once-query-many usage here.)
+  bool erase(const Prefix4& prefix) {
+    Node* node = &root_;
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      node = node->children[prefix.network().bit(depth) ? 1 : 0].get();
+      if (node == nullptr) return false;
+    }
+    if (!node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Visits all (prefix, value) pairs in lexicographic (prefix) order.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    visit_node(root_, Ipv4Addr{0}, 0, visit);
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::array<std::unique_ptr<Node>, 2> children;
+  };
+
+  template <typename Visitor>
+  static void visit_node(const Node& node, Ipv4Addr addr, unsigned depth,
+                         Visitor& visit) {
+    if (node.value) visit(Prefix4{addr, depth}, *node.value);
+    for (int bit = 0; bit < 2; ++bit) {
+      if (!node.children[bit]) continue;
+      const std::uint32_t bits =
+          bit ? addr.bits() | (std::uint32_t{1} << (31 - depth)) : addr.bits();
+      visit_node(*node.children[bit], Ipv4Addr{bits}, depth + 1, visit);
+    }
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace asrel::net

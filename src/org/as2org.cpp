@@ -1,0 +1,108 @@
+#include "org/as2org.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace asrel::org {
+
+namespace {
+
+std::vector<std::string> split_pipe(std::string_view line) {
+  std::vector<std::string> fields;
+  while (true) {
+    const auto bar = line.find('|');
+    if (bar == std::string_view::npos) {
+      fields.emplace_back(line);
+      return fields;
+    }
+    fields.emplace_back(line.substr(0, bar));
+    line.remove_prefix(bar + 1);
+  }
+}
+
+}  // namespace
+
+As2OrgFile parse_as2org(std::istream& in) {
+  As2OrgFile file;
+  enum class Section { kNone, kOrg, kAs } section = Section::kNone;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.find("org_id|changed|org_name") != std::string::npos) {
+        section = Section::kOrg;
+      } else if (line.find("aut|changed|aut_name") != std::string::npos) {
+        section = Section::kAs;
+      }
+      continue;
+    }
+    auto fields = split_pipe(line);
+    if (section == Section::kOrg && fields.size() >= 5) {
+      file.organizations.push_back({std::move(fields[0]), std::move(fields[1]),
+                                    std::move(fields[2]), std::move(fields[3]),
+                                    std::move(fields[4])});
+    } else if (section == Section::kAs && fields.size() >= 6) {
+      const auto asn = asn::parse_asn(fields[0]);
+      if (!asn) continue;
+      file.ases.push_back({*asn, std::move(fields[1]), std::move(fields[2]),
+                           std::move(fields[3]), std::move(fields[4]),
+                           std::move(fields[5])});
+    }
+  }
+  return file;
+}
+
+As2OrgFile parse_as2org_text(std::string_view text) {
+  std::istringstream in{std::string{text}};
+  return parse_as2org(in);
+}
+
+void write_as2org(const As2OrgFile& file, std::ostream& out) {
+  out << "# format: org_id|changed|org_name|country|source\n";
+  for (const auto& org : file.organizations) {
+    out << org.org_id << '|' << org.changed << '|' << org.name << '|'
+        << org.country << '|' << org.source << '\n';
+  }
+  out << "# format: aut|changed|aut_name|org_id|opaque_id|source\n";
+  for (const auto& entry : file.ases) {
+    out << entry.asn.value() << '|' << entry.changed << '|' << entry.name
+        << '|' << entry.org_id << '|' << entry.opaque_id << '|' << entry.source
+        << '\n';
+  }
+}
+
+std::string to_text(const As2OrgFile& file) {
+  std::ostringstream out;
+  write_as2org(file, out);
+  return out.str();
+}
+
+OrgMap::OrgMap(const As2OrgFile& file) {
+  for (const auto& entry : file.ases) {
+    as_to_org_[entry.asn] = entry.org_id;
+    org_to_ases_[entry.org_id].push_back(entry.asn);
+  }
+  for (auto& [org, ases] : org_to_ases_) std::sort(ases.begin(), ases.end());
+}
+
+std::string_view OrgMap::org_of(asn::Asn asn) const {
+  const auto it = as_to_org_.find(asn);
+  return it == as_to_org_.end() ? std::string_view{} : it->second;
+}
+
+bool OrgMap::are_siblings(asn::Asn a, asn::Asn b) const {
+  const auto org_a = org_of(a);
+  return !org_a.empty() && org_a == org_of(b);
+}
+
+std::vector<asn::Asn> OrgMap::siblings_of(asn::Asn asn) const {
+  const auto it = as_to_org_.find(asn);
+  if (it == as_to_org_.end()) return {};
+  const auto org_it = org_to_ases_.find(it->second);
+  return org_it == org_to_ases_.end() ? std::vector<asn::Asn>{}
+                                      : org_it->second;
+}
+
+}  // namespace asrel::org

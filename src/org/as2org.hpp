@@ -1,0 +1,74 @@
+// CAIDA AS-to-Organization data set: model, parser, writer.
+//
+// The paper (§4.2) uses this data set to find sibling (S2S) relationships —
+// links between two ASes of the same organization — which must be removed
+// from validation unless the classifier handles them explicitly.
+//
+// File layout (pipe-separated, two sections introduced by format comments):
+//   # format: org_id|changed|org_name|country|source
+//   # format: aut|changed|aut_name|org_id|opaque_id|source
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.hpp"
+
+namespace asrel::org {
+
+struct Organization {
+  std::string org_id;
+  std::string changed;  // YYYYMMDD
+  std::string name;
+  std::string country;  // ISO alpha-2
+  std::string source;
+};
+
+struct AsEntry {
+  asn::Asn asn;
+  std::string changed;
+  std::string name;
+  std::string org_id;
+  std::string opaque_id;
+  std::string source;
+};
+
+struct As2OrgFile {
+  std::vector<Organization> organizations;
+  std::vector<AsEntry> ases;
+};
+
+[[nodiscard]] As2OrgFile parse_as2org(std::istream& in);
+[[nodiscard]] As2OrgFile parse_as2org_text(std::string_view text);
+void write_as2org(const As2OrgFile& file, std::ostream& out);
+[[nodiscard]] std::string to_text(const As2OrgFile& file);
+
+/// Indexed view used by the validation cleaner.
+class OrgMap {
+ public:
+  OrgMap() = default;
+  explicit OrgMap(const As2OrgFile& file);
+
+  /// Org id for an ASN, empty if unmapped.
+  [[nodiscard]] std::string_view org_of(asn::Asn asn) const;
+
+  /// True iff both ASNs are mapped and share an organization.
+  [[nodiscard]] bool are_siblings(asn::Asn a, asn::Asn b) const;
+
+  /// All ASNs of the organization that owns `asn` (including itself);
+  /// empty if unmapped.
+  [[nodiscard]] std::vector<asn::Asn> siblings_of(asn::Asn asn) const;
+
+  [[nodiscard]] std::size_t as_count() const { return as_to_org_.size(); }
+  [[nodiscard]] std::size_t org_count() const { return org_to_ases_.size(); }
+
+ private:
+  std::unordered_map<asn::Asn, std::string> as_to_org_;
+  std::unordered_map<std::string, std::vector<asn::Asn>> org_to_ases_;
+};
+
+}  // namespace asrel::org

@@ -1,0 +1,187 @@
+#include "rir/delegation.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace asrel::rir {
+
+namespace {
+
+std::vector<std::string_view> split_pipe(std::string_view line) {
+  std::vector<std::string_view> fields;
+  while (true) {
+    const auto bar = line.find('|');
+    if (bar == std::string_view::npos) {
+      fields.push_back(line);
+      return fields;
+    }
+    fields.push_back(line.substr(0, bar));
+    line.remove_prefix(bar + 1);
+  }
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<ResourceType> parse_type(std::string_view text) {
+  if (text == "asn") return ResourceType::kAsn;
+  if (text == "ipv4") return ResourceType::kIpv4;
+  if (text == "ipv6") return ResourceType::kIpv6;
+  return std::nullopt;
+}
+
+std::optional<AllocationStatus> parse_status(std::string_view text) {
+  if (text == "allocated") return AllocationStatus::kAllocated;
+  if (text == "assigned") return AllocationStatus::kAssigned;
+  if (text == "available") return AllocationStatus::kAvailable;
+  if (text == "reserved") return AllocationStatus::kReserved;
+  return std::nullopt;
+}
+
+void report(ParseDiagnostics* diag, std::size_t line, std::string message) {
+  if (diag != nullptr) diag->issues.push_back({line, std::move(message)});
+}
+
+}  // namespace
+
+std::string_view to_string(ResourceType type) {
+  switch (type) {
+    case ResourceType::kAsn:
+      return "asn";
+    case ResourceType::kIpv4:
+      return "ipv4";
+    case ResourceType::kIpv6:
+      return "ipv6";
+  }
+  return "asn";
+}
+
+std::string_view to_string(AllocationStatus status) {
+  switch (status) {
+    case AllocationStatus::kAllocated:
+      return "allocated";
+    case AllocationStatus::kAssigned:
+      return "assigned";
+    case AllocationStatus::kAvailable:
+      return "available";
+    case AllocationStatus::kReserved:
+      return "reserved";
+  }
+  return "allocated";
+}
+
+std::optional<asn::AsnRange> DelegationRecord::asn_range() const {
+  if (type != ResourceType::kAsn || count == 0) return std::nullopt;
+  const auto first = asn::parse_asn(start);
+  if (!first) return std::nullopt;
+  const std::uint64_t last = first->value() + count - 1;
+  if (last > 0xFFFFFFFFu) return std::nullopt;
+  return asn::AsnRange{*first, asn::Asn{static_cast<std::uint32_t>(last)}};
+}
+
+std::size_t DelegationFile::record_count(ResourceType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(records.begin(), records.end(),
+                    [type](const auto& r) { return r.type == type; }));
+}
+
+DelegationFile parse_delegation_file(std::istream& in,
+                                     ParseDiagnostics* diag) {
+  DelegationFile file;
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_version = false;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_pipe(line);
+
+    if (!saw_version && !fields.empty() && fields[0] == "2") {
+      // 2|registry|serial|records|startdate|enddate|UTCoffset
+      if (fields.size() < 6) {
+        report(diag, line_number, "short version line");
+        continue;
+      }
+      if (const auto reg = parse_registry(fields[1])) file.registry = *reg;
+      file.serial = std::string{fields[2]};
+      file.start_date = std::string{fields[4]};
+      file.end_date = std::string{fields[5]};
+      saw_version = true;
+      continue;
+    }
+
+    if (fields.size() >= 6 && fields[1] == "*") continue;  // summary line
+
+    if (fields.size() < 7) {
+      report(diag, line_number, "record with fewer than 7 fields");
+      continue;
+    }
+    DelegationRecord record;
+    const auto reg = parse_registry(fields[0]);
+    const auto type = parse_type(fields[2]);
+    const auto count = parse_u64(fields[4]);
+    const auto status = parse_status(fields[6]);
+    if (!reg || !type || !count || !status) {
+      report(diag, line_number, "unparsable registry/type/count/status");
+      continue;
+    }
+    record.registry = *reg;
+    record.country_code = std::string{fields[1]};
+    record.type = *type;
+    record.start = std::string{fields[3]};
+    record.count = *count;
+    record.date = std::string{fields[5]};
+    record.status = *status;
+    if (fields.size() >= 8) record.opaque_id = std::string{fields[7]};
+
+    if (record.type == ResourceType::kAsn && !record.asn_range()) {
+      report(diag, line_number, "asn record with invalid range");
+      continue;
+    }
+    file.records.push_back(std::move(record));
+  }
+  if (!saw_version) report(diag, 0, "missing version line");
+  return file;
+}
+
+DelegationFile parse_delegation_text(std::string_view text,
+                                     ParseDiagnostics* diag) {
+  std::istringstream in{std::string{text}};
+  return parse_delegation_file(in, diag);
+}
+
+void write_delegation_file(const DelegationFile& file, std::ostream& out) {
+  out << "2|" << registry_name(file.registry) << '|' << file.serial << '|'
+      << file.records.size() << '|' << file.start_date << '|' << file.end_date
+      << "|+0000\n";
+  for (const auto type :
+       {ResourceType::kAsn, ResourceType::kIpv4, ResourceType::kIpv6}) {
+    out << registry_name(file.registry) << "|*|" << to_string(type) << "|*|"
+        << file.record_count(type) << "|summary\n";
+  }
+  for (const auto& record : file.records) {
+    out << registry_name(record.registry) << '|' << record.country_code << '|'
+        << to_string(record.type) << '|' << record.start << '|' << record.count
+        << '|' << record.date << '|' << to_string(record.status);
+    if (!record.opaque_id.empty()) out << '|' << record.opaque_id;
+    out << '\n';
+  }
+}
+
+std::string to_text(const DelegationFile& file) {
+  std::ostringstream out;
+  write_delegation_file(file, out);
+  return out.str();
+}
+
+}  // namespace asrel::rir

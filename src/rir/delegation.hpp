@@ -1,0 +1,90 @@
+// RIR "delegated-extended" statistics files: record model, parser, writer.
+//
+// Format (one record per line, pipe-separated):
+//   registry|cc|type|start|value|date|status[|opaque-id]
+// preceded by a version line
+//   2|registry|serial|records|startdate|enddate|UTCoffset
+// and per-type summary lines
+//   registry|*|type|*|count|summary
+// Comment lines start with '#'. This matches the files published at
+// ftp.{arin,apnic,lacnic,afrinic,ripe}.net that the paper uses to refine its
+// ASN -> region mapping (§5).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "netbase/ip.hpp"
+#include "rir/region.hpp"
+
+namespace asrel::rir {
+
+enum class ResourceType : std::uint8_t { kAsn, kIpv4, kIpv6 };
+
+enum class AllocationStatus : std::uint8_t {
+  kAllocated,
+  kAssigned,
+  kAvailable,
+  kReserved,
+};
+
+[[nodiscard]] std::string_view to_string(ResourceType type);
+[[nodiscard]] std::string_view to_string(AllocationStatus status);
+
+/// One delegation record. For ASN records, `start` is the first ASN and
+/// `count` the number of consecutive ASNs. For IPv4, `start` is the first
+/// address and `count` the number of addresses; for IPv6, `count` is the
+/// prefix length.
+struct DelegationRecord {
+  Region registry = Region::kUnknown;
+  std::string country_code;  // ISO 3166-1 alpha-2, or "ZZ"
+  ResourceType type = ResourceType::kAsn;
+  std::string start;  // textual, as in the file
+  std::uint64_t count = 0;
+  std::string date;  // YYYYMMDD, empty for available/reserved
+  AllocationStatus status = AllocationStatus::kAllocated;
+  std::string opaque_id;
+
+  /// For ASN records: the covered range. nullopt for non-ASN records or
+  /// unparsable starts.
+  [[nodiscard]] std::optional<asn::AsnRange> asn_range() const;
+};
+
+/// A parsed delegation file: header plus records, in file order.
+struct DelegationFile {
+  Region registry = Region::kUnknown;
+  std::string serial;     // YYYYMMDD
+  std::string start_date; // coverage window
+  std::string end_date;
+  std::vector<DelegationRecord> records;
+
+  [[nodiscard]] std::size_t record_count(ResourceType type) const;
+};
+
+/// Errors are collected (line number + message) rather than thrown so a
+/// single malformed line cannot discard an otherwise usable file — matching
+/// how real consumers treat these (frequently slightly broken) files.
+struct ParseDiagnostics {
+  struct Issue {
+    std::size_t line;
+    std::string message;
+  };
+  std::vector<Issue> issues;
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+};
+
+[[nodiscard]] DelegationFile parse_delegation_file(std::istream& in,
+                                                   ParseDiagnostics* diag);
+[[nodiscard]] DelegationFile parse_delegation_text(std::string_view text,
+                                                   ParseDiagnostics* diag);
+
+/// Serializes with version and summary lines, in the official layout.
+void write_delegation_file(const DelegationFile& file, std::ostream& out);
+[[nodiscard]] std::string to_text(const DelegationFile& file);
+
+}  // namespace asrel::rir

@@ -1,0 +1,149 @@
+#include "rir/iana_table.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace asrel::rir {
+
+namespace {
+
+using asn::Asn;
+using asn::AsnRange;
+
+constexpr IanaBlock kBlocks[] = {
+    // --- legacy 16-bit space (pre-RIR allocations, mostly ARIN/RIPE) ---
+    {{Asn{1}, Asn{1876}}, Region::kArin},
+    {{Asn{1877}, Asn{1901}}, Region::kRipe},
+    {{Asn{1902}, Asn{2042}}, Region::kArin},
+    {{Asn{2043}, Asn{2043}}, Region::kRipe},
+    {{Asn{2044}, Asn{2046}}, Region::kArin},
+    {{Asn{2047}, Asn{2047}}, Region::kRipe},
+    {{Asn{2048}, Asn{2106}}, Region::kArin},
+    {{Asn{2107}, Asn{2136}}, Region::kRipe},
+    {{Asn{2137}, Asn{2584}}, Region::kArin},
+    {{Asn{2585}, Asn{2614}}, Region::kRipe},
+    {{Asn{2615}, Asn{2772}}, Region::kArin},
+    {{Asn{2773}, Asn{2822}}, Region::kRipe},
+    {{Asn{2823}, Asn{2829}}, Region::kArin},
+    {{Asn{2830}, Asn{2879}}, Region::kRipe},
+    {{Asn{2880}, Asn{3153}}, Region::kArin},
+    {{Asn{3154}, Asn{3353}}, Region::kRipe},
+    {{Asn{3354}, Asn{4607}}, Region::kArin},
+    {{Asn{4608}, Asn{4865}}, Region::kApnic},
+    {{Asn{4866}, Asn{5376}}, Region::kArin},
+    {{Asn{5377}, Asn{5631}}, Region::kRipe},
+    {{Asn{5632}, Asn{6655}}, Region::kArin},
+    {{Asn{6656}, Asn{6911}}, Region::kRipe},
+    {{Asn{6912}, Asn{7466}}, Region::kArin},
+    {{Asn{7467}, Asn{7722}}, Region::kApnic},
+    {{Asn{7723}, Asn{8191}}, Region::kArin},
+    {{Asn{8192}, Asn{9215}}, Region::kRipe},
+    {{Asn{9216}, Asn{10239}}, Region::kApnic},
+    {{Asn{10240}, Asn{12287}}, Region::kArin},
+    {{Asn{12288}, Asn{13311}}, Region::kRipe},
+    {{Asn{13312}, Asn{15359}}, Region::kArin},
+    {{Asn{15360}, Asn{16383}}, Region::kRipe},
+    {{Asn{16384}, Asn{17407}}, Region::kArin},
+    {{Asn{17408}, Asn{18431}}, Region::kApnic},
+    {{Asn{18432}, Asn{20479}}, Region::kArin},
+    {{Asn{20480}, Asn{21503}}, Region::kRipe},
+    {{Asn{21504}, Asn{23455}}, Region::kArin},
+    // 23456 is AS_TRANS -- reserved gap.
+    {{Asn{23457}, Asn{24575}}, Region::kApnic},
+    {{Asn{24576}, Asn{25599}}, Region::kRipe},
+    {{Asn{25600}, Asn{26623}}, Region::kArin},
+    {{Asn{26624}, Asn{27647}}, Region::kLacnic},
+    {{Asn{27648}, Asn{28671}}, Region::kLacnic},
+    {{Asn{28672}, Asn{29695}}, Region::kRipe},
+    {{Asn{29696}, Asn{30719}}, Region::kArin},
+    {{Asn{30720}, Asn{31743}}, Region::kRipe},
+    {{Asn{31744}, Asn{32767}}, Region::kArin},
+    {{Asn{32768}, Asn{33791}}, Region::kArin},
+    {{Asn{33792}, Asn{34815}}, Region::kRipe},
+    {{Asn{34816}, Asn{35839}}, Region::kRipe},
+    {{Asn{35840}, Asn{36863}}, Region::kArin},
+    {{Asn{36864}, Asn{37887}}, Region::kAfrinic},
+    {{Asn{37888}, Asn{38911}}, Region::kApnic},
+    {{Asn{38912}, Asn{39935}}, Region::kRipe},
+    {{Asn{39936}, Asn{40959}}, Region::kArin},
+    {{Asn{40960}, Asn{41983}}, Region::kRipe},
+    {{Asn{41984}, Asn{43007}}, Region::kRipe},
+    {{Asn{43008}, Asn{44031}}, Region::kRipe},
+    {{Asn{44032}, Asn{45055}}, Region::kRipe},
+    {{Asn{45056}, Asn{46079}}, Region::kApnic},
+    {{Asn{46080}, Asn{47103}}, Region::kArin},
+    {{Asn{47104}, Asn{48127}}, Region::kRipe},
+    {{Asn{48128}, Asn{49151}}, Region::kRipe},
+    {{Asn{49152}, Asn{50175}}, Region::kRipe},
+    {{Asn{50176}, Asn{51199}}, Region::kRipe},
+    {{Asn{51200}, Asn{52223}}, Region::kRipe},
+    {{Asn{52224}, Asn{53247}}, Region::kLacnic},
+    {{Asn{53248}, Asn{54271}}, Region::kArin},
+    {{Asn{54272}, Asn{55295}}, Region::kArin},
+    {{Asn{55296}, Asn{56319}}, Region::kApnic},
+    {{Asn{56320}, Asn{57343}}, Region::kRipe},
+    {{Asn{57344}, Asn{58367}}, Region::kRipe},
+    {{Asn{58368}, Asn{59391}}, Region::kApnic},
+    {{Asn{59392}, Asn{60415}}, Region::kRipe},
+    {{Asn{60416}, Asn{61439}}, Region::kRipe},
+    {{Asn{61440}, Asn{61951}}, Region::kLacnic},
+    {{Asn{61952}, Asn{62463}}, Region::kRipe},
+    {{Asn{62464}, Asn{63487}}, Region::kArin},
+    {{Asn{63488}, Asn{64098}}, Region::kApnic},
+    {{Asn{64099}, Asn{64197}}, Region::kLacnic},
+    {{Asn{64198}, Asn{64297}}, Region::kArin},
+    {{Asn{64298}, Asn{64395}}, Region::kApnic},
+    {{Asn{64396}, Asn{64495}}, Region::kAfrinic},
+    // 64496-131071 is reserved space (documentation, private, AS 65535,
+    // IANA reserved) -- gap.
+    // --- 32-bit space, delegated in blocks of 1024 ---
+    {{Asn{131072}, Asn{132095}}, Region::kApnic},
+    {{Asn{132096}, Asn{133119}}, Region::kApnic},
+    {{Asn{133120}, Asn{134144}}, Region::kApnic},
+    {{Asn{134145}, Asn{135580}}, Region::kApnic},
+    {{Asn{135581}, Asn{136505}}, Region::kApnic},
+    {{Asn{136506}, Asn{137529}}, Region::kApnic},
+    {{Asn{137530}, Asn{138553}}, Region::kApnic},
+    {{Asn{196608}, Asn{197631}}, Region::kRipe},
+    {{Asn{197632}, Asn{198655}}, Region::kRipe},
+    {{Asn{198656}, Asn{199679}}, Region::kRipe},
+    {{Asn{199680}, Asn{200703}}, Region::kRipe},
+    {{Asn{200704}, Asn{201727}}, Region::kRipe},
+    {{Asn{201728}, Asn{202751}}, Region::kRipe},
+    {{Asn{202752}, Asn{203775}}, Region::kRipe},
+    {{Asn{203776}, Asn{204799}}, Region::kRipe},
+    {{Asn{204800}, Asn{205823}}, Region::kRipe},
+    {{Asn{205824}, Asn{206847}}, Region::kRipe},
+    {{Asn{206848}, Asn{207871}}, Region::kRipe},
+    {{Asn{207872}, Asn{208895}}, Region::kRipe},
+    {{Asn{262144}, Asn{263167}}, Region::kLacnic},
+    {{Asn{263168}, Asn{264191}}, Region::kLacnic},
+    {{Asn{264192}, Asn{265215}}, Region::kLacnic},
+    {{Asn{265216}, Asn{266239}}, Region::kLacnic},
+    {{Asn{266240}, Asn{267263}}, Region::kLacnic},
+    {{Asn{267264}, Asn{268287}}, Region::kLacnic},
+    {{Asn{268288}, Asn{269311}}, Region::kLacnic},
+    {{Asn{327680}, Asn{328703}}, Region::kAfrinic},
+    {{Asn{328704}, Asn{329727}}, Region::kAfrinic},
+    {{Asn{393216}, Asn{394239}}, Region::kArin},
+    {{Asn{394240}, Asn{395164}}, Region::kArin},
+    {{Asn{395165}, Asn{396188}}, Region::kArin},
+    {{Asn{396189}, Asn{397212}}, Region::kArin},
+};
+
+}  // namespace
+
+std::span<const IanaBlock> iana_asn_blocks() { return kBlocks; }
+
+Region iana_region_of(asn::Asn asn) {
+  const auto it = std::upper_bound(
+      std::begin(kBlocks), std::end(kBlocks), asn,
+      [](asn::Asn value, const IanaBlock& block) {
+        return value < block.range.first;
+      });
+  if (it == std::begin(kBlocks)) return Region::kUnknown;
+  const IanaBlock& block = *std::prev(it);
+  return block.range.contains(asn) ? block.region : Region::kUnknown;
+}
+
+}  // namespace asrel::rir

@@ -1,0 +1,34 @@
+// IANA's initial ASN-block assignment table.
+//
+// The paper (§5) bootstraps its ASN -> service-region mapping from IANA's
+// list of initial assignments and then refines it with RIR delegation files.
+// We ship a block table modeled on the real IANA "Autonomous System (AS)
+// Numbers" registry: interleaved legacy 16-bit blocks (historically dominated
+// by ARIN and RIPE), later 16-bit blocks handed to all five RIRs, and 32-bit
+// space delegated in blocks of 1024. The synthetic world allocates ASNs out
+// of exactly these blocks, so the bootstrap-then-refine pipeline behaves as
+// it does on real data (including inter-region transfers that make the
+// bootstrap stale).
+#pragma once
+
+#include <span>
+
+#include "asn/asn.hpp"
+#include "rir/region.hpp"
+
+namespace asrel::rir {
+
+/// One IANA assignment: an inclusive ASN range handed to one registry.
+struct IanaBlock {
+  asn::AsnRange range;
+  Region region;
+};
+
+/// The full block table, ordered by range start, non-overlapping.
+[[nodiscard]] std::span<const IanaBlock> iana_asn_blocks();
+
+/// Region of the block containing `asn`, or kUnknown if the ASN falls in a
+/// reserved gap (AS_TRANS, private use, documentation, ...).
+[[nodiscard]] Region iana_region_of(asn::Asn asn);
+
+}  // namespace asrel::rir

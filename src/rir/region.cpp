@@ -1,0 +1,50 @@
+#include "rir/region.hpp"
+
+namespace asrel::rir {
+
+std::string_view registry_name(Region region) {
+  switch (region) {
+    case Region::kAfrinic:
+      return "afrinic";
+    case Region::kApnic:
+      return "apnic";
+    case Region::kArin:
+      return "arin";
+    case Region::kLacnic:
+      return "lacnic";
+    case Region::kRipe:
+      return "ripencc";
+    case Region::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::string_view abbreviation(Region region) {
+  switch (region) {
+    case Region::kAfrinic:
+      return "AF";
+    case Region::kApnic:
+      return "AP";
+    case Region::kArin:
+      return "AR";
+    case Region::kLacnic:
+      return "L";
+    case Region::kRipe:
+      return "R";
+    case Region::kUnknown:
+      return "?";
+  }
+  return "?";
+}
+
+std::optional<Region> parse_registry(std::string_view name) {
+  if (name == "afrinic") return Region::kAfrinic;
+  if (name == "apnic") return Region::kApnic;
+  if (name == "arin") return Region::kArin;
+  if (name == "lacnic") return Region::kLacnic;
+  if (name == "ripencc" || name == "ripe") return Region::kRipe;
+  return std::nullopt;
+}
+
+}  // namespace asrel::rir

@@ -1,0 +1,35 @@
+// Regional Internet Registry service regions and their paper abbreviations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace asrel::rir {
+
+/// The five RIR service regions plus a sentinel for unmapped/reserved ASNs.
+enum class Region : std::uint8_t {
+  kAfrinic,
+  kApnic,
+  kArin,
+  kLacnic,
+  kRipe,
+  kUnknown,
+};
+
+inline constexpr std::array<Region, 5> kAllRegions{
+    Region::kAfrinic, Region::kApnic, Region::kArin, Region::kLacnic,
+    Region::kRipe};
+
+/// Full registry name as used in delegation files ("afrinic", "ripencc", ...).
+[[nodiscard]] std::string_view registry_name(Region region);
+
+/// The paper's abbreviation (Fig. 1): AF, AP, AR, L, R; "?" for unknown.
+[[nodiscard]] std::string_view abbreviation(Region region);
+
+/// Inverse of registry_name; accepts both "ripencc" and "ripe".
+[[nodiscard]] std::optional<Region> parse_registry(std::string_view name);
+
+}  // namespace asrel::rir

@@ -1,0 +1,60 @@
+#include "rir/region_mapper.hpp"
+
+#include <algorithm>
+
+#include "rir/iana_table.hpp"
+
+namespace asrel::rir {
+
+std::size_t RegionMapper::apply(const DelegationFile& file) {
+  return apply(std::span{file.records});
+}
+
+std::size_t RegionMapper::apply(std::span<const DelegationRecord> records) {
+  std::size_t changed = 0;
+  for (const auto& record : records) {
+    if (record.type != ResourceType::kAsn) continue;
+    if (record.status == AllocationStatus::kAvailable ||
+        record.status == AllocationStatus::kReserved) {
+      continue;
+    }
+    const auto range = record.asn_range();
+    if (!range) continue;
+    for (std::uint64_t v = range->first.value(); v <= range->last.value();
+         ++v) {
+      const asn::Asn asn{static_cast<std::uint32_t>(v)};
+      if (asn::is_reserved(asn)) continue;
+      auto& entry = refined_[asn];
+      entry.region = record.registry;
+      entry.country = record.country_code;
+      if (record.registry != iana_region_of(asn)) ++changed;
+    }
+  }
+  return changed;
+}
+
+Region RegionMapper::region_of(asn::Asn asn) const {
+  if (asn::is_reserved(asn)) return Region::kUnknown;
+  if (const auto it = refined_.find(asn); it != refined_.end()) {
+    return it->second.region;
+  }
+  return iana_region_of(asn);
+}
+
+std::string RegionMapper::country_of(asn::Asn asn) const {
+  if (const auto it = refined_.find(asn); it != refined_.end()) {
+    return it->second.country;
+  }
+  return "ZZ";
+}
+
+std::vector<asn::Asn> RegionMapper::transferred_asns() const {
+  std::vector<asn::Asn> out;
+  for (const auto& [asn, entry] : refined_) {
+    if (entry.region != iana_region_of(asn)) out.push_back(asn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace asrel::rir

@@ -1,0 +1,52 @@
+// ASN -> service-region mapping, built the way the paper builds it (§5):
+// bootstrap every ASN from IANA's initial block assignments, then refine
+// with the per-RIR delegated-extended files (which reflect later transfers
+// between regions).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "rir/delegation.hpp"
+#include "rir/region.hpp"
+
+namespace asrel::rir {
+
+class RegionMapper {
+ public:
+  /// Bootstrap-only mapper (IANA table, no refinements).
+  RegionMapper() = default;
+
+  /// Applies the ASN records of a delegation file. Later applications
+  /// override earlier ones (matching "daily files correct the mapping").
+  /// Records with status available/reserved are skipped. Returns the number
+  /// of ASNs whose mapping changed relative to the IANA bootstrap.
+  std::size_t apply(const DelegationFile& file);
+  std::size_t apply(std::span<const DelegationRecord> records);
+
+  /// Region for an ASN: refined mapping if present, IANA bootstrap
+  /// otherwise; kUnknown for reserved ASNs.
+  [[nodiscard]] Region region_of(asn::Asn asn) const;
+
+  /// Country code from the delegation data, or "ZZ" if unknown.
+  [[nodiscard]] std::string country_of(asn::Asn asn) const;
+
+  /// ASNs whose refined region differs from their IANA bootstrap region —
+  /// i.e. resources transferred between regions after initial assignment.
+  [[nodiscard]] std::vector<asn::Asn> transferred_asns() const;
+
+  [[nodiscard]] std::size_t refined_count() const { return refined_.size(); }
+
+ private:
+  struct Entry {
+    Region region = Region::kUnknown;
+    std::string country;
+  };
+  std::unordered_map<asn::Asn, Entry> refined_;
+};
+
+}  // namespace asrel::rir

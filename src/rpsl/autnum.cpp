@@ -1,0 +1,209 @@
+#include "rpsl/autnum.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace asrel::rpsl {
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return text;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses "from AS3356 accept ANY" / "to AS3356 announce AS-FOO".
+std::optional<PolicyLine> parse_policy(PolicyLine::Direction direction,
+                                       std::string_view body) {
+  std::vector<std::string_view> tokens;
+  while (!body.empty()) {
+    body = trim(body);
+    const auto space = body.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      if (!body.empty()) tokens.push_back(body);
+      break;
+    }
+    tokens.push_back(body.substr(0, space));
+    body.remove_prefix(space + 1);
+  }
+  const std::string_view peer_keyword =
+      direction == PolicyLine::Direction::kImport ? "from" : "to";
+  const std::string_view filter_keyword =
+      direction == PolicyLine::Direction::kImport ? "accept" : "announce";
+
+  PolicyLine line;
+  line.direction = direction;
+  bool have_peer = false;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (iequals(tokens[i], peer_keyword)) {
+      const auto asn = asn::parse_asn(tokens[i + 1]);
+      if (!asn) return std::nullopt;
+      line.peer = *asn;
+      have_peer = true;
+    } else if (iequals(tokens[i], filter_keyword)) {
+      line.filter = std::string{tokens[i + 1]};
+    }
+  }
+  // "accept"/"announce" may also be the last token's predecessor; a missing
+  // filter makes the line useless for the heuristic.
+  if (!have_peer || line.filter.empty()) return std::nullopt;
+  return line;
+}
+
+}  // namespace
+
+std::vector<AutNum> parse_autnums(std::istream& in) {
+  std::vector<AutNum> objects;
+  AutNum current;
+  bool in_object = false;
+
+  const auto flush = [&] {
+    if (in_object && current.asn.value() != 0) {
+      objects.push_back(std::move(current));
+    }
+    current = AutNum{};
+    in_object = false;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) {
+      flush();
+      continue;
+    }
+    if (trimmed.front() == '#' || trimmed.front() == '%') continue;
+    const auto colon = trimmed.find(':');
+    if (colon == std::string_view::npos) continue;
+    const auto key = trim(trimmed.substr(0, colon));
+    const auto value = trim(trimmed.substr(colon + 1));
+
+    if (iequals(key, "aut-num")) {
+      flush();
+      const auto asn = asn::parse_asn(value);
+      if (asn) {
+        current.asn = *asn;
+        in_object = true;
+      }
+    } else if (!in_object) {
+      continue;
+    } else if (iequals(key, "as-name")) {
+      current.as_name = std::string{value};
+    } else if (iequals(key, "import")) {
+      if (auto policy = parse_policy(PolicyLine::Direction::kImport, value)) {
+        current.policies.push_back(std::move(*policy));
+      }
+    } else if (iequals(key, "export")) {
+      if (auto policy = parse_policy(PolicyLine::Direction::kExport, value)) {
+        current.policies.push_back(std::move(*policy));
+      }
+    } else if (iequals(key, "mnt-by")) {
+      current.mnt_by = std::string{value};
+    } else if (iequals(key, "changed")) {
+      current.changed = std::string{value};
+    } else if (iequals(key, "source")) {
+      current.source = std::string{value};
+    }
+  }
+  flush();
+  return objects;
+}
+
+std::vector<AutNum> parse_autnums_text(std::string_view text) {
+  std::istringstream in{std::string{text}};
+  return parse_autnums(in);
+}
+
+void write_autnum(const AutNum& object, std::ostream& out) {
+  out << "aut-num:        AS" << object.asn.value() << '\n';
+  if (!object.as_name.empty()) out << "as-name:        " << object.as_name
+                                   << '\n';
+  for (const auto& policy : object.policies) {
+    if (policy.direction == PolicyLine::Direction::kImport) {
+      out << "import:         from AS" << policy.peer.value() << " accept "
+          << policy.filter << '\n';
+    } else {
+      out << "export:         to AS" << policy.peer.value() << " announce "
+          << policy.filter << '\n';
+    }
+  }
+  if (!object.mnt_by.empty()) out << "mnt-by:         " << object.mnt_by
+                                  << '\n';
+  if (!object.changed.empty()) out << "changed:        " << object.changed
+                                   << '\n';
+  if (!object.source.empty()) out << "source:         " << object.source
+                                  << '\n';
+  out << '\n';
+}
+
+std::string to_text(const std::vector<AutNum>& objects) {
+  std::ostringstream out;
+  for (const auto& object : objects) write_autnum(object, out);
+  return out.str();
+}
+
+std::vector<RpslRelationship> extract_relationships(const AutNum& object) {
+  struct Pair {
+    std::optional<std::string> import_filter;
+    std::optional<std::string> export_filter;
+  };
+  std::map<asn::Asn, Pair> by_peer;  // ordered: deterministic output
+  for (const auto& policy : object.policies) {
+    auto& pair = by_peer[policy.peer];
+    if (policy.direction == PolicyLine::Direction::kImport) {
+      pair.import_filter = policy.filter;
+    } else {
+      pair.export_filter = policy.filter;
+    }
+  }
+
+  const auto is_any = [](const std::string& filter) {
+    return iequals(filter, "ANY") || iequals(filter, "AS-ANY");
+  };
+
+  std::vector<RpslRelationship> out;
+  for (const auto& [peer, pair] : by_peer) {
+    if (!pair.import_filter || !pair.export_filter) continue;
+    RpslRelationship rel;
+    rel.subject = object.asn;
+    rel.neighbor = peer;
+    const bool imports_any = is_any(*pair.import_filter);
+    const bool exports_any = is_any(*pair.export_filter);
+    if (imports_any && !exports_any) {
+      // Subject takes a full table from the neighbor: neighbor provides.
+      rel.rel = topo::RelType::kP2C;
+      rel.subject_is_provider = false;
+    } else if (!imports_any && exports_any) {
+      // Subject gives a full table: subject provides.
+      rel.rel = topo::RelType::kP2C;
+      rel.subject_is_provider = true;
+    } else if (!imports_any && !exports_any) {
+      rel.rel = topo::RelType::kP2P;
+    } else {
+      // ANY in both directions: mutual transit, typical of siblings.
+      rel.rel = topo::RelType::kS2S;
+    }
+    out.push_back(rel);
+  }
+  return out;
+}
+
+}  // namespace asrel::rpsl

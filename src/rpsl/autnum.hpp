@@ -1,0 +1,66 @@
+// RPSL aut-num objects (RFC 2622): model, parser, writer, and the classic
+// import/export-policy heuristic for recovering AS relationships.
+//
+// WHOIS/IRR autnum records were one of Luckie et al.'s three validation
+// sources (§3.2). They are added and maintained voluntarily, so records go
+// stale — a failure mode the synthesizer below reproduces and the paper
+// explicitly warns about.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "topology/rel_type.hpp"
+
+namespace asrel::rpsl {
+
+/// One `import:` or `export:` policy line, reduced to the parts the
+/// relationship heuristic needs.
+struct PolicyLine {
+  enum class Direction : std::uint8_t { kImport, kExport };
+  Direction direction = Direction::kImport;
+  asn::Asn peer;          ///< the AS after "from"/"to"
+  std::string filter;     ///< what is accepted/announced ("ANY", "AS-FOO", ...)
+};
+
+struct AutNum {
+  asn::Asn asn;
+  std::string as_name;
+  std::vector<PolicyLine> policies;
+  std::string mnt_by;
+  std::string changed;  ///< YYYYMMDD of last maintenance
+  std::string source;   ///< IRR database name, e.g. "RADB"
+};
+
+/// Parses a stream of RPSL objects separated by blank lines. Unknown
+/// attributes are skipped; objects without a valid aut-num line are dropped.
+[[nodiscard]] std::vector<AutNum> parse_autnums(std::istream& in);
+[[nodiscard]] std::vector<AutNum> parse_autnums_text(std::string_view text);
+
+void write_autnum(const AutNum& object, std::ostream& out);
+[[nodiscard]] std::string to_text(const std::vector<AutNum>& objects);
+
+/// A relationship recovered from one autnum's policy pair with a neighbor.
+struct RpslRelationship {
+  asn::Asn subject;   ///< the aut-num owner
+  asn::Asn neighbor;
+  /// Relationship from the subject's perspective: kP2C means "subject is the
+  /// provider of neighbor".
+  topo::RelType rel = topo::RelType::kP2P;
+  bool subject_is_provider = false;  ///< valid when rel == kP2C
+};
+
+/// Di Battista-style heuristic over one object's policies:
+///  * import from N accept ANY            -> N is subject's provider
+///  * export to   N announce ANY          -> N is subject's customer
+///  * symmetric restricted import/export  -> peering
+/// Lines that reference a neighbor only once (import or export but not both)
+/// are ignored as underspecified.
+[[nodiscard]] std::vector<RpslRelationship> extract_relationships(
+    const AutNum& object);
+
+}  // namespace asrel::rpsl

@@ -1,0 +1,117 @@
+#include "rpsl/synthesize.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "topology/random.hpp"
+
+namespace asrel::rpsl {
+
+namespace {
+
+using asn::Asn;
+using topo::Neighbor;
+using topo::RelType;
+
+void append_policies(AutNum& object, Asn neighbor, RelType rel,
+                     bool subject_is_provider) {
+  const std::string peer = std::to_string(neighbor.value());
+  const std::string own_set = "AS-SET" + std::to_string(object.asn.value());
+  PolicyLine import;
+  import.direction = PolicyLine::Direction::kImport;
+  import.peer = neighbor;
+  PolicyLine exported;
+  exported.direction = PolicyLine::Direction::kExport;
+  exported.peer = neighbor;
+
+  switch (rel) {
+    case RelType::kP2C:
+      if (subject_is_provider) {
+        import.filter = "AS" + peer;      // accept the customer's routes
+        exported.filter = "ANY";          // give them a full table
+      } else {
+        import.filter = "ANY";            // take a full table
+        exported.filter = own_set;        // announce own cone
+      }
+      break;
+    case RelType::kP2P:
+      import.filter = "AS" + peer;
+      exported.filter = own_set;
+      break;
+    case RelType::kS2S:
+      import.filter = "ANY";
+      exported.filter = "ANY";
+      break;
+  }
+  object.policies.push_back(std::move(import));
+  object.policies.push_back(std::move(exported));
+}
+
+}  // namespace
+
+std::vector<AutNum> synthesize_irr(const topo::World& world,
+                                   const IrrParams& params) {
+  topo::Rng rng{params.seed};
+  std::vector<AutNum> objects;
+  const std::vector<Asn> all_nodes(world.graph.nodes().begin(),
+                                   world.graph.nodes().end());
+
+  for (const Asn asn : world.graph.nodes()) {
+    const auto& attrs = world.attrs.at(asn);
+    if (!attrs.maintains_rpsl) continue;
+
+    AutNum object;
+    object.asn = asn;
+    object.as_name = "AS" + std::to_string(asn.value()) + "-NET";
+    object.mnt_by = "MNT-" + std::to_string(asn.value());
+    object.source = "RADB";
+
+    const bool stale = rng.chance(params.stale_fraction);
+    object.changed = stale ? "20120214" : "20180301";
+
+    const auto node = world.graph.node_of(asn);
+    for (const auto& nb : world.graph.neighbors(*node)) {
+      const Asn neighbor = world.graph.asn_of(nb.node);
+      RelType rel;
+      bool subject_is_provider = false;
+      switch (nb.role) {
+        case Neighbor::Role::kProvider:
+          rel = RelType::kP2C;
+          subject_is_provider = true;
+          break;
+        case Neighbor::Role::kCustomer:
+          rel = RelType::kP2C;
+          break;
+        case Neighbor::Role::kPeer:
+          rel = RelType::kP2P;
+          break;
+        case Neighbor::Role::kSibling:
+          rel = RelType::kS2S;
+          break;
+        default:
+          continue;
+      }
+      if (stale && rng.chance(params.stale_flip)) {
+        // The record predates a relationship change.
+        if (rel == RelType::kP2P) {
+          rel = RelType::kP2C;
+          subject_is_provider = rng.chance(0.5);
+        } else if (rel == RelType::kP2C) {
+          rel = RelType::kP2P;
+        }
+      }
+      append_policies(object, neighbor, rel, subject_is_provider);
+    }
+    if (stale && rng.chance(params.ghost_neighbor)) {
+      // A neighbor that was disconnected years ago but never cleaned up.
+      const Asn ghost = rng.pick(all_nodes);
+      if (!world.graph.find_edge(asn, ghost) && ghost != asn) {
+        append_policies(object, ghost, RelType::kP2C, true);
+      }
+    }
+    objects.push_back(std::move(object));
+  }
+  return objects;
+}
+
+}  // namespace asrel::rpsl

@@ -1,0 +1,31 @@
+// Synthesizes an IRR database (a pile of aut-num objects) from the
+// ground-truth world, including the real-world failure modes: only ASes that
+// maintain RPSL have objects, and a fraction of objects is stale — they
+// still describe relationships that have since changed or disappeared.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rpsl/autnum.hpp"
+#include "topology/generator.hpp"
+
+namespace asrel::rpsl {
+
+struct IrrParams {
+  std::uint64_t seed = 1337;
+  /// Probability that a maintained object is stale.
+  double stale_fraction = 0.12;
+  /// Within a stale object: chance per neighbor that the recorded
+  /// relationship is the outdated one (P2C recorded as P2P or vice versa).
+  double stale_flip = 0.3;
+  /// Chance that a stale object lists a neighbor that no longer exists.
+  double ghost_neighbor = 0.25;
+};
+
+/// One object per AS with `maintains_rpsl`; policies derived from the
+/// ground-truth edges. Deterministic in (world, params).
+[[nodiscard]] std::vector<AutNum> synthesize_irr(const topo::World& world,
+                                                 const IrrParams& params);
+
+}  // namespace asrel::rpsl

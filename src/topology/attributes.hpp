@@ -1,0 +1,107 @@
+// Per-AS attributes: where an AS sits (region, tier, hypergiant flag) and
+// how its operators behave (community documentation, RPSL maintenance,
+// meeting attendance, prepending). The behavioural attributes drive the
+// validation-data compilation and are exactly the mechanisms the paper names
+// as sources of bias (§2, §5, §7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "rir/region.hpp"
+
+namespace asrel::topo {
+
+/// Position in the transit hierarchy, assigned by the generator.
+enum class Tier : std::uint8_t {
+  kClique,        ///< provider-free Tier-1 (paper class T1)
+  kLargeTransit,  ///< continental/national carrier
+  kMidTransit,    ///< regional transit provider
+  kSmallTransit,  ///< local ISP with a handful of customers
+  kStub,          ///< no customers (paper class S)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Tier tier) {
+  switch (tier) {
+    case Tier::kClique:
+      return "clique";
+    case Tier::kLargeTransit:
+      return "large-transit";
+    case Tier::kMidTransit:
+      return "mid-transit";
+    case Tier::kSmallTransit:
+      return "small-transit";
+    case Tier::kStub:
+      return "stub";
+  }
+  return "?";
+}
+
+/// Stub business models (§6: the paper attributes the S-T1 peering confusion
+/// to "the broad aggregation of many diverse business models into a single
+/// Stub class").
+enum class StubKind : std::uint8_t {
+  kEyeball,     ///< access network, plain customer
+  kEnterprise,  ///< multihomed enterprise
+  kResearch,    ///< research/education network, peers widely
+  kAnycastDns,  ///< anycast DNS provider, peers with Tier-1s
+  kCdn,         ///< content delivery network
+  kCloud,       ///< cloud provider
+  kNotStub,     ///< placeholder for transit ASes
+};
+
+struct AsAttributes {
+  rir::Region region = rir::Region::kUnknown;
+  std::string country = "ZZ";
+  Tier tier = Tier::kStub;
+  StubKind stub_kind = StubKind::kNotStub;
+  bool hypergiant = false;
+
+  /// Operator behaviour (drives validation bias):
+  bool documents_communities = false;  ///< publishes community meanings
+  bool maintains_rpsl = false;         ///< keeps autnum import/export fresh
+  bool attends_meetings = false;       ///< candidate for direct reports
+  bool strips_communities = false;     ///< removes communities on export
+  double prepend_propensity = 0.0;     ///< chance to prepend on export
+
+  [[nodiscard]] bool is_transit() const { return tier != Tier::kStub; }
+  [[nodiscard]] bool is_tier1() const { return tier == Tier::kClique; }
+};
+
+/// Attribute store keyed by ASN.
+class AsAttributeMap {
+ public:
+  AsAttributes& operator[](asn::Asn asn) { return map_[asn]; }
+
+  [[nodiscard]] const AsAttributes& at(asn::Asn asn) const {
+    static const AsAttributes kDefault{};
+    const auto it = map_.find(asn);
+    return it == map_.end() ? kDefault : it->second;
+  }
+
+  [[nodiscard]] bool contains(asn::Asn asn) const {
+    return map_.contains(asn);
+  }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  [[nodiscard]] std::vector<asn::Asn> asns_where(auto&& predicate) const {
+    std::vector<asn::Asn> out;
+    for (const auto& [asn, attrs] : map_) {
+      if (predicate(attrs)) out.push_back(asn);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  std::unordered_map<asn::Asn, AsAttributes> map_;
+};
+
+}  // namespace asrel::topo

@@ -1,0 +1,70 @@
+#include "topology/cone.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace asrel::topo {
+
+std::vector<asn::Asn> customer_cone(const AsGraph& graph, asn::Asn asn) {
+  std::vector<asn::Asn> out;
+  const auto start = graph.node_of(asn);
+  if (!start) return out;
+
+  std::vector<bool> visited(graph.node_count(), false);
+  std::vector<NodeId> stack{*start};
+  visited[*start] = true;
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    for (const auto& neighbor : graph.neighbors(node)) {
+      if (neighbor.role != Neighbor::Role::kProvider) continue;
+      if (visited[neighbor.node]) continue;
+      visited[neighbor.node] = true;
+      out.push_back(graph.asn_of(neighbor.node));
+      stack.push_back(neighbor.node);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> customer_cone_sizes(const AsGraph& graph) {
+  // Per-node DFS with memoized cone sets would need O(V^2) memory in the
+  // worst case; instead run one bounded DFS per node counting reachable
+  // customers. The P2C subgraph is shallow (hierarchy depth ~5), so this is
+  // fast in practice and exact in all cases, including cycles.
+  const std::size_t n = graph.node_count();
+  std::vector<std::uint32_t> sizes(n, 0);
+  std::vector<std::uint32_t> mark(n, ~std::uint32_t{0});
+  std::vector<NodeId> stack;
+
+  for (NodeId start = 0; start < n; ++start) {
+    std::uint32_t count = 0;
+    stack.assign(1, start);
+    mark[start] = start;
+    while (!stack.empty()) {
+      const NodeId node = stack.back();
+      stack.pop_back();
+      for (const auto& neighbor : graph.neighbors(node)) {
+        if (neighbor.role != Neighbor::Role::kProvider) continue;
+        if (mark[neighbor.node] == start) continue;
+        mark[neighbor.node] = start;
+        ++count;
+        stack.push_back(neighbor.node);
+      }
+    }
+    sizes[start] = count;
+  }
+  return sizes;
+}
+
+bool is_transit_as(const AsGraph& graph, asn::Asn asn) {
+  const auto node = graph.node_of(asn);
+  if (!node) return false;
+  const auto neighbors = graph.neighbors(*node);
+  return std::any_of(neighbors.begin(), neighbors.end(), [](const auto& nb) {
+    return nb.role == Neighbor::Role::kProvider;
+  });
+}
+
+}  // namespace asrel::topo

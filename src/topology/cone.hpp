@@ -1,0 +1,32 @@
+// Customer-cone computation over the ground-truth graph.
+//
+// The paper uses CAIDA's customer-cone data to split ASes into Stub vs
+// Transit (§5); here the cone is computed directly from the graph's P2C
+// edges. Cycles (which can occur in inferred graphs fed back through this
+// API) are tolerated: the cone is the set of nodes reachable through
+// provider->customer edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "topology/graph.hpp"
+
+namespace asrel::topo {
+
+/// Customer cone of one AS: every AS reachable by repeatedly following
+/// provider->customer edges, excluding the AS itself. Sorted by ASN.
+[[nodiscard]] std::vector<asn::Asn> customer_cone(const AsGraph& graph,
+                                                  asn::Asn asn);
+
+/// Cone sizes (|customer_cone|) for all nodes, indexed by NodeId.
+/// Computed in one pass (reverse topological order over the P2C DAG with
+/// cycle tolerance via iterative set union).
+[[nodiscard]] std::vector<std::uint32_t> customer_cone_sizes(
+    const AsGraph& graph);
+
+/// True if the AS has at least one customer (the paper's Transit test).
+[[nodiscard]] bool is_transit_as(const AsGraph& graph, asn::Asn asn);
+
+}  // namespace asrel::topo

@@ -1,0 +1,991 @@
+#include "topology/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <string>
+
+#include "rir/iana_table.hpp"
+#include "topology/random.hpp"
+
+namespace asrel::topo {
+
+namespace {
+
+using asn::Asn;
+using rir::Region;
+
+constexpr std::size_t index_of(Region region) {
+  return static_cast<std::size_t>(region);
+}
+
+const std::vector<std::string>& countries_of(Region region) {
+  static const std::vector<std::string> kAf{"ZA", "NG", "KE", "EG", "GH"};
+  static const std::vector<std::string> kAp{"CN", "IN", "JP", "AU",
+                                            "ID", "SG", "HK", "KR"};
+  static const std::vector<std::string> kAr{"US", "US", "US", "CA"};
+  static const std::vector<std::string> kL{"BR", "AR", "CL", "MX", "CO"};
+  static const std::vector<std::string> kR{"DE", "GB", "FR", "NL",
+                                           "RU", "IT", "SE", "PL"};
+  static const std::vector<std::string> kUnknown{"ZZ"};
+  switch (region) {
+    case Region::kAfrinic:
+      return kAf;
+    case Region::kApnic:
+      return kAp;
+    case Region::kArin:
+      return kAr;
+    case Region::kLacnic:
+      return kL;
+    case Region::kRipe:
+      return kR;
+    case Region::kUnknown:
+      return kUnknown;
+  }
+  return kUnknown;
+}
+
+/// First-octet pools for per-region IPv4 allocations (loosely modeled on the
+/// real RIR address holdings; only used to make delegation files and
+/// originated prefixes look plausible).
+const std::vector<std::uint8_t>& octets_of(Region region) {
+  static const std::vector<std::uint8_t> kAf{41, 102, 105, 154, 196, 197};
+  static const std::vector<std::uint8_t> kAp{1,   14,  27,  36,  39, 42,
+                                             58,  59,  60,  61,  101, 103,
+                                             106, 110, 111, 112, 113, 114};
+  static const std::vector<std::uint8_t> kAr{3,  4,  6,  7,  8,  9,  11, 12,
+                                             13, 15, 16, 18, 20, 23, 24, 26,
+                                             32, 34, 35, 40, 44, 45, 47, 50};
+  static const std::vector<std::uint8_t> kL{177, 179, 181, 186, 187,
+                                            189, 190, 191, 200, 201};
+  static const std::vector<std::uint8_t> kR{2,  5,  31, 37, 46, 62, 77, 78,
+                                            79, 80, 81, 82, 83, 84, 85, 86,
+                                            87, 88, 89, 90, 91, 92, 93, 94};
+  static const std::vector<std::uint8_t> kUnknown{10};
+  switch (region) {
+    case Region::kAfrinic:
+      return kAf;
+    case Region::kApnic:
+      return kAp;
+    case Region::kArin:
+      return kAr;
+    case Region::kLacnic:
+      return kL;
+    case Region::kRipe:
+      return kR;
+    case Region::kUnknown:
+      return kUnknown;
+  }
+  return kUnknown;
+}
+
+/// Peering openness scale per AS, used inside IXPs. Larger networks run
+/// restrictive policies; content-heavy networks run open ones (cf. Lodhi et
+/// al. [42] in the paper).
+double openness(const AsAttributes& attrs) {
+  if (attrs.hypergiant) return 1.0;
+  switch (attrs.tier) {
+    case Tier::kClique:
+      return 0.03;
+    case Tier::kLargeTransit:
+      return 0.15;
+    case Tier::kMidTransit:
+      return 0.45;
+    case Tier::kSmallTransit:
+      return 0.9;
+    case Tier::kStub:
+      break;
+  }
+  switch (attrs.stub_kind) {
+    case StubKind::kResearch:
+      return 0.8;
+    case StubKind::kAnycastDns:
+      return 0.9;
+    case StubKind::kCdn:
+    case StubKind::kCloud:
+      return 0.8;
+    case StubKind::kEnterprise:
+      return 0.3;
+    case StubKind::kEyeball:
+    default:
+      return 0.3;
+  }
+}
+
+class Builder {
+ public:
+  explicit Builder(const TopologyParams& params)
+      : params_(params), rng_(params.seed) {}
+
+  World build() {
+    world_.params = params_;
+    allocate_asns();
+    assign_tiers_and_attributes();
+    wire_clique();
+    wire_transit_hierarchy();
+    wire_stub_providers();
+    wire_ixps();
+    wire_direct_peering();
+    configure_partial_transit();
+    mark_hybrid_links();
+    build_sibling_orgs();
+    allocate_prefixes();
+    synthesize_delegations();
+    return std::move(world_);
+  }
+
+ private:
+  // ---- ASN allocation -----------------------------------------------------
+
+  void allocate_asns() {
+    // ASN pools per region, drawn from the IANA block table.
+    std::array<std::vector<Asn>, 5> pools;
+    for (const auto& block : rir::iana_asn_blocks()) {
+      auto& pool = pools[index_of(block.region)];
+      for (std::uint64_t v = block.range.first.value();
+           v <= block.range.last.value(); ++v) {
+        pool.push_back(Asn{static_cast<std::uint32_t>(v)});
+      }
+    }
+    for (auto& pool : pools) rng_.shuffle(pool);
+    std::array<std::size_t, 5> next{};  // consumption cursor per pool
+
+    // Region head counts from the profile weights.
+    double total_weight = 0;
+    for (const auto region : rir::kAllRegions) {
+      total_weight += params_.profile(region).as_weight;
+    }
+    std::array<int, 5> counts{};
+    int assigned = 0;
+    for (const auto region : rir::kAllRegions) {
+      const auto idx = index_of(region);
+      counts[idx] = static_cast<int>(params_.as_count *
+                                     params_.profile(region).as_weight /
+                                     total_weight);
+      assigned += counts[idx];
+    }
+    counts[index_of(Region::kRipe)] += params_.as_count - assigned;
+
+    const auto draw_asn = [&](Region home) {
+      // With a small probability the ASN comes from a block IANA gave to a
+      // *different* region (inter-RIR transfer); the delegation file still
+      // records the true service region.
+      std::size_t pool_idx = index_of(home);
+      if (rng_.chance(params_.transferred_fraction)) {
+        pool_idx = rng_.below(5);
+      }
+      // Fall back to the home pool if the chosen one ran dry.
+      if (next[pool_idx] >= pools[pool_idx].size())
+        pool_idx = index_of(home);
+      assert(next[pool_idx] < pools[pool_idx].size());
+      return pools[pool_idx][next[pool_idx]++];
+    };
+
+    for (const auto region : rir::kAllRegions) {
+      auto& members = region_ases_[index_of(region)];
+      members.reserve(static_cast<std::size_t>(counts[index_of(region)]));
+      for (int i = 0; i < counts[index_of(region)]; ++i) {
+        const Asn asn = draw_asn(region);
+        members.push_back(asn);
+        auto& attrs = world_.attrs[asn];
+        attrs.region = region;
+        attrs.country = rng_.pick(countries_of(region));
+        world_.graph.add_node(asn);
+      }
+    }
+  }
+
+  // ---- Tier & behaviour assignment ---------------------------------------
+
+  void assign_tiers_and_attributes() {
+    for (const auto region : rir::kAllRegions) {
+      const auto idx = index_of(region);
+      const auto& profile = params_.profile(region);
+      auto members = region_ases_[idx];  // copy; keep original order stable
+      rng_.shuffle(members);
+      std::size_t cursor = 0;
+
+      // Clique members first.
+      for (int i = 0; i < params_.clique_by_region[idx] &&
+                      cursor < members.size();
+           ++i) {
+        const Asn asn = members[cursor++];
+        world_.attrs[asn].tier = Tier::kClique;
+        world_.clique.push_back(asn);
+      }
+      // Hypergiants: content-heavy stubs with open peering everywhere.
+      for (int i = 0; i < params_.hypergiants_by_region[idx] &&
+                      cursor < members.size();
+           ++i) {
+        const Asn asn = members[cursor++];
+        auto& attrs = world_.attrs[asn];
+        attrs.tier = Tier::kStub;
+        attrs.stub_kind = rng_.chance(0.5) ? StubKind::kCdn : StubKind::kCloud;
+        attrs.hypergiant = true;
+        world_.hypergiants.push_back(asn);
+      }
+      // Transit tiers.
+      const auto remaining = members.size() - cursor;
+      const auto transit_count =
+          static_cast<std::size_t>(profile.transit_fraction *
+                                   static_cast<double>(remaining));
+      const auto large_count = static_cast<std::size_t>(
+          params_.transit_large_fraction * static_cast<double>(transit_count));
+      const auto mid_count = static_cast<std::size_t>(
+          params_.transit_mid_fraction * static_cast<double>(transit_count));
+      for (std::size_t i = 0; i < transit_count && cursor < members.size();
+           ++i) {
+        const Asn asn = members[cursor++];
+        auto& attrs = world_.attrs[asn];
+        if (i < large_count) {
+          attrs.tier = Tier::kLargeTransit;
+          tier_list(region, Tier::kLargeTransit).push_back(asn);
+        } else if (i < large_count + mid_count) {
+          attrs.tier = Tier::kMidTransit;
+          tier_list(region, Tier::kMidTransit).push_back(asn);
+        } else {
+          attrs.tier = Tier::kSmallTransit;
+          tier_list(region, Tier::kSmallTransit).push_back(asn);
+        }
+      }
+      // Everything else is a stub with a sampled business model.
+      while (cursor < members.size()) {
+        const Asn asn = members[cursor++];
+        auto& attrs = world_.attrs[asn];
+        attrs.tier = Tier::kStub;
+        attrs.stub_kind = sample_stub_kind();
+        stubs_[idx].push_back(asn);
+      }
+
+      // Behaviour flags for every AS of the region.
+      for (const Asn asn : region_ases_[idx]) {
+        auto& attrs = world_.attrs[asn];
+        const bool transit_like =
+            attrs.tier != Tier::kStub || attrs.hypergiant;
+        const auto& factors = params_.doc_factors;
+        double doc_prob = profile.doc_communities_stub;
+        switch (attrs.tier) {
+          case Tier::kLargeTransit:
+            doc_prob = profile.doc_communities_transit * factors.large;
+            break;
+          case Tier::kMidTransit:
+            doc_prob = profile.doc_communities_transit * factors.mid;
+            break;
+          case Tier::kSmallTransit:
+            doc_prob = profile.doc_communities_transit * factors.small;
+            break;
+          default:
+            break;
+        }
+        if (attrs.hypergiant) {
+          doc_prob = profile.doc_communities_transit * factors.large;
+        }
+        attrs.documents_communities = rng_.chance(doc_prob);
+        attrs.maintains_rpsl = rng_.chance(profile.maintains_rpsl *
+                                           (transit_like ? 1.5 : 0.6));
+        attrs.attends_meetings = rng_.chance(profile.attends_meetings *
+                                             (transit_like ? 2.0 : 0.5));
+        attrs.strips_communities = rng_.chance(
+            profile.strips_communities * (transit_like ? 0.7 : 1.2));
+        attrs.prepend_propensity =
+            profile.prepend_propensity * (0.5 + rng_.uniform());
+        // Clique members document communities at their own (high) rate and
+        // show up at meetings (they are the best-covered networks in the
+        // paper's data).
+        if (attrs.tier == Tier::kClique) {
+          attrs.documents_communities =
+              rng_.chance(params_.doc_factors.clique_prob);
+          attrs.attends_meetings = true;
+          attrs.maintains_rpsl = true;
+          // Tier-1 carriers keep communities intact; their collector feeds
+          // are exactly where the community validation labels come from.
+          attrs.strips_communities = rng_.chance(0.05);
+        }
+      }
+    }
+  }
+
+  StubKind sample_stub_kind() {
+    static constexpr double kWeights[] = {0.55, 0.30, 0.06, 0.02, 0.04, 0.03};
+    static constexpr StubKind kKinds[] = {
+        StubKind::kEyeball,  StubKind::kEnterprise, StubKind::kResearch,
+        StubKind::kAnycastDns, StubKind::kCdn,      StubKind::kCloud};
+    return kKinds[rng_.weighted(kWeights)];
+  }
+
+  // ---- Wiring -------------------------------------------------------------
+
+  void wire_clique() {
+    for (std::size_t i = 0; i < world_.clique.size(); ++i) {
+      for (std::size_t j = i + 1; j < world_.clique.size(); ++j) {
+        world_.graph.add_edge(world_.clique[i], world_.clique[j],
+                              RelType::kP2P);
+      }
+    }
+    // The Cogent analogue: first ARIN clique member (falls back to clique[0]).
+    world_.cogent_like = world_.clique.front();
+    for (const Asn asn : world_.clique) {
+      if (world_.attrs.at(asn).region == Region::kArin) {
+        world_.cogent_like = asn;
+        break;
+      }
+    }
+  }
+
+  void add_p2c(Asn provider, Asn customer) {
+    if (world_.graph.add_edge(provider, customer, RelType::kP2C)) {
+      ++customer_count_[provider];
+    }
+  }
+
+  /// Tournament selection approximating preferential attachment: draw a few
+  /// uniform candidates and keep the one with the most customers.
+  Asn pick_preferential(const std::vector<Asn>& pool) {
+    assert(!pool.empty());
+    Asn best = rng_.pick(pool);
+    for (int i = 0; i < 2; ++i) {
+      const Asn candidate = rng_.pick(pool);
+      if (customer_count_[candidate] > customer_count_[best]) {
+        best = candidate;
+      }
+    }
+    return best;
+  }
+
+  /// A provider pool for `region`/`tier`, possibly from another region.
+  const std::vector<Asn>& provider_pool(Region region, Tier tier,
+                                        bool allow_cross_region) {
+    const auto& own = tier_list(region, tier);
+    if (!allow_cross_region && !own.empty()) return own;
+    // Cross-region fallback: pick a random region with a non-empty list,
+    // weighted toward the big transit markets (ARIN/RIPE).
+    static constexpr double kRegionWeights[] = {0.05, 0.15, 0.4, 0.05, 0.35};
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const auto idx = rng_.weighted(kRegionWeights);
+      const auto& pool =
+          tier_list(static_cast<Region>(idx), tier);
+      if (!pool.empty()) return pool;
+    }
+    return own.empty() ? world_.clique : own;
+  }
+
+  void wire_transit_hierarchy() {
+    // Large transits buy from several clique members (and will later also
+    // peer with some — the true P2P portion of the T1-TR class).
+    for (const auto region : rir::kAllRegions) {
+      for (const Asn asn : tier_list(region, Tier::kLargeTransit)) {
+        const unsigned count =
+            3 + rng_.geometric(params_.transit_extra_provider_p, 3);
+        for (unsigned i = 0; i < count; ++i) {
+          add_p2c(rng_.pick(world_.clique), asn);
+        }
+      }
+    }
+    // Mid transits: mostly large transits of the same region, some clique.
+    for (const auto region : rir::kAllRegions) {
+      const auto& profile = params_.profile(region);
+      for (const Asn asn : tier_list(region, Tier::kMidTransit)) {
+        const unsigned count =
+            1 + rng_.geometric(params_.transit_extra_provider_p,
+                               params_.transit_provider_cap - 1);
+        for (unsigned i = 0; i < count; ++i) {
+          static constexpr double kChoice[] = {0.5, 0.3, 0.2};
+          switch (rng_.weighted(kChoice)) {
+            case 0:
+              add_p2c(pick_preferential(provider_pool(
+                          region, Tier::kLargeTransit, false)),
+                      asn);
+              break;
+            case 1:
+              add_p2c(rng_.pick(world_.clique), asn);
+              break;
+            default:
+              add_p2c(pick_preferential(provider_pool(
+                          region, Tier::kLargeTransit,
+                          rng_.chance(profile.cross_region_provider_prob))),
+                      asn);
+          }
+        }
+      }
+    }
+    // Small transits: mid/large of the same region, rarely clique or abroad.
+    for (const auto region : rir::kAllRegions) {
+      const auto& profile = params_.profile(region);
+      for (const Asn asn : tier_list(region, Tier::kSmallTransit)) {
+        const unsigned count =
+            1 + rng_.geometric(params_.transit_extra_provider_p,
+                               params_.transit_provider_cap - 1);
+        for (unsigned i = 0; i < count; ++i) {
+          static constexpr double kChoice[] = {0.5, 0.28, 0.12, 0.1};
+          switch (rng_.weighted(kChoice)) {
+            case 0:
+              add_p2c(pick_preferential(
+                          provider_pool(region, Tier::kMidTransit, false)),
+                      asn);
+              break;
+            case 1:
+              add_p2c(pick_preferential(
+                          provider_pool(region, Tier::kLargeTransit, false)),
+                      asn);
+              break;
+            case 2:
+              add_p2c(rng_.pick(world_.clique), asn);
+              break;
+            default:
+              add_p2c(pick_preferential(provider_pool(
+                          region, Tier::kMidTransit,
+                          rng_.chance(profile.cross_region_provider_prob))),
+                      asn);
+          }
+        }
+      }
+    }
+  }
+
+  void wire_stub_providers() {
+    // Hypergiants first: they are content networks but multihome to several
+    // Tier-1s / large transits, and carry a handful of captive customers
+    // (subsidiaries, hosted ASes) — which keeps their transit degree
+    // non-zero, as in reality.
+    for (const Asn giant : world_.hypergiants) {
+      const auto region = world_.attrs.at(giant).region;
+      const unsigned count = 2 + static_cast<unsigned>(rng_.below(3));
+      for (unsigned i = 0; i < count; ++i) {
+        if (rng_.chance(0.5)) {
+          add_p2c(rng_.pick(world_.clique), giant);
+        } else {
+          const auto& pool = provider_pool(region, Tier::kLargeTransit, false);
+          if (!pool.empty()) add_p2c(pick_preferential(pool), giant);
+        }
+      }
+      const auto& local_stubs = stubs_[index_of(region)];
+      if (!local_stubs.empty()) {
+        const unsigned captives = 3 + static_cast<unsigned>(rng_.below(5));
+        for (unsigned i = 0; i < captives; ++i) {
+          add_p2c(giant, rng_.pick(local_stubs));
+        }
+      }
+    }
+    for (const auto region : rir::kAllRegions) {
+      const auto& profile = params_.profile(region);
+      for (const Asn asn : stubs_[index_of(region)]) {
+        const unsigned count =
+            1 + rng_.geometric(params_.stub_extra_provider_p,
+                               params_.stub_provider_cap - 1);
+        for (unsigned i = 0; i < count; ++i) {
+          if (rng_.chance(profile.t1_provider_prob)) {
+            add_p2c(rng_.pick(world_.clique), asn);
+            continue;
+          }
+          const bool cross =
+              rng_.chance(profile.cross_region_provider_prob * 0.5);
+          static constexpr double kChoice[] = {0.45, 0.35, 0.2};
+          Tier tier = Tier::kSmallTransit;
+          switch (rng_.weighted(kChoice)) {
+            case 0:
+              tier = Tier::kSmallTransit;
+              break;
+            case 1:
+              tier = Tier::kMidTransit;
+              break;
+            default:
+              tier = Tier::kLargeTransit;
+          }
+          const auto& pool = provider_pool(region, tier, cross);
+          if (!pool.empty()) add_p2c(pick_preferential(pool), asn);
+        }
+      }
+    }
+  }
+
+  void wire_ixps() {
+    int ixp_id = 0;
+    for (const auto region : rir::kAllRegions) {
+      const auto& profile = params_.profile(region);
+      for (int i = 0; i < profile.ixp_count; ++i) {
+        Ixp ixp;
+        ixp.id = ixp_id++;
+        ixp.region = region;
+        // Local membership.
+        for (const Asn asn : region_ases_[index_of(region)]) {
+          const auto& attrs = world_.attrs.at(asn);
+          double join = 0.0;
+          switch (attrs.tier) {
+            case Tier::kClique:
+              join = 0.05;
+              break;
+            case Tier::kLargeTransit:
+              join = 0.15;  // big carriers avoid route servers
+              break;
+            case Tier::kMidTransit:
+              join = 0.6;
+              break;
+            case Tier::kSmallTransit:
+              join = 0.75;
+              break;
+            case Tier::kStub:
+              join = attrs.stub_kind == StubKind::kEyeball      ? 0.12
+                     : attrs.stub_kind == StubKind::kEnterprise ? 0.08
+                                                                : 0.45;
+              break;
+          }
+          join /= static_cast<double>(profile.ixp_count);
+          if (attrs.hypergiant) join = 0.7;
+          if (rng_.chance(join)) ixp.members.push_back(asn);
+        }
+        // Remote members (remote peering is rare; hypergiants are the
+        // exception and were handled above for their own region only).
+        for (const Asn asn : world_.hypergiants) {
+          if (world_.attrs.at(asn).region == region) continue;
+          if (rng_.chance(0.45)) ixp.members.push_back(asn);
+        }
+        wire_ixp_peering(ixp, profile);
+        world_.ixps.push_back(std::move(ixp));
+      }
+    }
+  }
+
+  void wire_ixp_peering(const Ixp& ixp, const RegionProfile& profile) {
+    const auto is_rs_tier = [&](const AsAttributes& attrs) {
+      return attrs.tier == Tier::kMidTransit ||
+             attrs.tier == Tier::kSmallTransit;
+    };
+    for (std::size_t i = 0; i < ixp.members.size(); ++i) {
+      const Asn a = ixp.members[i];
+      const auto& attrs_a = world_.attrs.at(a);
+      const double open_a = openness(attrs_a);
+      for (std::size_t j = i + 1; j < ixp.members.size(); ++j) {
+        const Asn b = ixp.members[j];
+        const auto& attrs_b = world_.attrs.at(b);
+        double p =
+            profile.ixp_peering_base * open_a * openness(attrs_b);
+        // Route servers: small/mid transit members interconnect
+        // multilaterally, which makes transit-transit peering the bulk of
+        // the visible TR-TR link mass (Fig. 2/3).
+        if (is_rs_tier(attrs_a) && is_rs_tier(attrs_b)) p *= 6.0;
+        if (rng_.chance(p)) {
+          world_.graph.add_edge(a, b, RelType::kP2P);
+        }
+      }
+    }
+  }
+
+  void wire_direct_peering() {
+    // Hypergiants: private interconnects with Tier-1s, transits, eyeballs.
+    for (const Asn giant : world_.hypergiants) {
+      for (const Asn t1 : world_.clique) {
+        if (rng_.chance(0.55)) world_.graph.add_edge(giant, t1, RelType::kP2P);
+      }
+      for (const auto region : rir::kAllRegions) {
+        for (const Asn transit : tier_list(region, Tier::kLargeTransit)) {
+          if (rng_.chance(0.3))
+            world_.graph.add_edge(giant, transit, RelType::kP2P);
+        }
+        for (const Asn transit : tier_list(region, Tier::kMidTransit)) {
+          if (rng_.chance(0.06))
+            world_.graph.add_edge(giant, transit, RelType::kP2P);
+        }
+        // A few eyeball PNIs per region.
+        const auto& stubs = stubs_[index_of(region)];
+        const std::size_t picks = std::min<std::size_t>(8, stubs.size());
+        for (std::size_t k = 0; k < picks; ++k) {
+          if (rng_.chance(0.5))
+            world_.graph.add_edge(giant, rng_.pick(stubs), RelType::kP2P);
+        }
+      }
+    }
+    // Tier-1 <-> large transit settlement-free peering (true P2P T1-TR).
+    for (const Asn t1 : world_.clique) {
+      for (const auto region : rir::kAllRegions) {
+        for (const Asn transit : tier_list(region, Tier::kLargeTransit)) {
+          if (rng_.chance(params_.t1_large_transit_peering)) {
+            world_.graph.add_edge(t1, transit, RelType::kP2P);
+          }
+        }
+        for (const Asn transit : tier_list(region, Tier::kMidTransit)) {
+          if (rng_.chance(params_.t1_mid_transit_peering)) {
+            world_.graph.add_edge(t1, transit, RelType::kP2P);
+          }
+        }
+      }
+    }
+    // Research / anycast / CDN / cloud stubs peer directly with Tier-1s:
+    // the paper's S-T1 peering population (§6).
+    for (const auto region : rir::kAllRegions) {
+      for (const Asn asn : stubs_[index_of(region)]) {
+        const auto& attrs = world_.attrs.at(asn);
+        if (attrs.hypergiant) continue;
+        double p = 0.0;
+        switch (attrs.stub_kind) {
+          case StubKind::kResearch:
+            p = 0.001;
+            break;
+          case StubKind::kAnycastDns:
+            p = 0.005;
+            break;
+          case StubKind::kCdn:
+          case StubKind::kCloud:
+            p = 0.0015;
+            break;
+          default:
+            break;
+        }
+        if (p == 0.0) continue;
+        for (const Asn t1 : world_.clique) {
+          if (rng_.chance(p)) world_.graph.add_edge(asn, t1, RelType::kP2P);
+        }
+      }
+    }
+  }
+
+  void configure_partial_transit() {
+    const auto& pt = params_.partial_transit;
+
+    const auto transit_customer_edges = [&](Asn provider) {
+      std::vector<EdgeId> edges;
+      const auto node = world_.graph.node_of(provider);
+      if (!node) return edges;
+      for (const auto& neighbor : world_.graph.neighbors(*node)) {
+        if (neighbor.role != Neighbor::Role::kProvider) continue;
+        const Asn customer = world_.graph.asn_of(neighbor.node);
+        const auto tier = world_.attrs.at(customer).tier;
+        // Partial-transit arrangements are made with sizable transit
+        // networks (the paper's targets are other transit providers).
+        if (tier == Tier::kMidTransit || tier == Tier::kLargeTransit) {
+          edges.push_back(neighbor.edge);
+        }
+      }
+      return edges;
+    };
+
+    // The Cogent analogue: community-tagged customers-only partial transit.
+    // Its community documentation is always published (Cogent's is), so the
+    // §6.1 investigation has something to decode.
+    world_.attrs[world_.cogent_like].documents_communities = true;
+    {
+      auto edges = transit_customer_edges(world_.cogent_like);
+      // Top up with extra transit customers if the hierarchy didn't give the
+      // designated Tier-1 enough of them.
+      int needed = pt.community_tagged_customers -
+                   static_cast<int>(edges.size());
+      for (const auto region : rir::kAllRegions) {
+        if (needed <= 0) break;
+        for (const Asn candidate : tier_list(region, Tier::kMidTransit)) {
+          if (needed <= 0) break;
+          if (world_.graph.find_edge(world_.cogent_like, candidate)) continue;
+          if (const auto id = world_.graph.add_edge(
+                  world_.cogent_like, candidate, RelType::kP2C)) {
+            edges.push_back(*id);
+            --needed;
+          }
+        }
+      }
+      rng_.shuffle(edges);
+      const auto count = std::min<std::size_t>(
+          edges.size(), static_cast<std::size_t>(pt.community_tagged_customers));
+      for (std::size_t i = 0; i < count; ++i) {
+        auto& edge = world_.graph.mutable_edge(edges[i]);
+        edge.scope = ExportScope::kCustomersOnly;
+        edge.scope_via_community = true;
+      }
+    }
+    // One link whose published documentation is simply wrong: a real peer
+    // of the Cogent analogue recorded as a customer (the paper's single
+    // "inaccurate validation data" case).
+    for (const auto region : rir::kAllRegions) {
+      bool planted = false;
+      for (const Asn candidate : tier_list(region, Tier::kMidTransit)) {
+        if (world_.graph.find_edge(world_.cogent_like, candidate)) continue;
+        Edge proto;
+        proto.rel = RelType::kP2P;
+        proto.misdocumented = true;
+        if (world_.graph.add_edge(world_.cogent_like, candidate, proto)) {
+          planted = true;
+          break;
+        }
+      }
+      if (planted) break;
+    }
+
+    // Silent partial transit at a few other clique members.
+    int providers_done = 0;
+    for (const Asn t1 : world_.clique) {
+      if (t1 == world_.cogent_like) continue;
+      if (providers_done >= pt.silent_providers) break;
+      auto edges = transit_customer_edges(t1);
+      if (edges.empty()) continue;
+      rng_.shuffle(edges);
+      const auto count = std::min<std::size_t>(
+          edges.size(), static_cast<std::size_t>(pt.silent_customers_each));
+      for (std::size_t i = 0; i < count; ++i) {
+        auto& edge = world_.graph.mutable_edge(edges[i]);
+        edge.scope = ExportScope::kCustomersOnly;
+        edge.scope_via_community = false;
+      }
+      ++providers_done;
+    }
+  }
+
+  void mark_hybrid_links() {
+    for (EdgeId id = 0; id < world_.graph.edge_count(); ++id) {
+      auto& edge = world_.graph.mutable_edge(id);
+      if (edge.scope != ExportScope::kFull) continue;  // keep §6.1 links clean
+      const auto& attrs_u = world_.attrs.at(world_.graph.asn_of(edge.u));
+      const auto& attrs_v = world_.attrs.at(world_.graph.asn_of(edge.v));
+      if (!attrs_u.is_transit() || !attrs_v.is_transit()) continue;
+      // Clique-incident links stay simple: a hybrid edge at a Tier-1 lets
+      // descents cross the clique member for peer-mode origins, fabricating
+      // the very C|T1|X triplets whose absence §6.1 depends on (and a
+      // hybrid mesh would poison clique inference for every algorithm).
+      if (attrs_u.is_tier1() || attrs_v.is_tier1()) continue;
+      if (!rng_.chance(params_.hybrid_fraction)) continue;
+      edge.hybrid_rel =
+          edge.rel == RelType::kP2P ? RelType::kP2C : RelType::kP2P;
+    }
+  }
+
+  void build_sibling_orgs() {
+    // Group a slice of ASes into multi-AS organizations. Clique members
+    // stay single-ASN: a Tier-1 sibling would re-export partial-transit
+    // routes around the §6.1 export scopes and muddy the case study.
+    std::vector<Asn> all;
+    for (const auto& members : region_ases_) {
+      for (const Asn asn : members) {
+        if (world_.attrs.at(asn).tier != Tier::kClique) all.push_back(asn);
+      }
+    }
+    std::sort(all.begin(), all.end());
+    rng_.shuffle(all);
+
+    const auto grouped = static_cast<std::size_t>(
+        params_.sibling_org_fraction * static_cast<double>(all.size()));
+    std::size_t cursor = 0;
+    int org_seq = 0;
+    const auto next_org_id = [&org_seq] {
+      return "ORG-M" + std::to_string(++org_seq);
+    };
+
+    while (cursor + 1 < grouped) {
+      const std::size_t size =
+          std::min<std::size_t>(2 + rng_.below(3), grouped - cursor);
+      if (size < 2) break;
+      const std::string org_id = next_org_id();
+      org::Organization org;
+      org.org_id = org_id;
+      org.changed = "20180301";
+      org.name = "MultiAS Holdings " + std::to_string(org_seq);
+      org.country = world_.attrs.at(all[cursor]).country;
+      org.source = "SYNTH";
+      world_.as2org.organizations.push_back(org);
+      std::vector<Asn> members(all.begin() + static_cast<std::ptrdiff_t>(cursor),
+                               all.begin() +
+                                   static_cast<std::ptrdiff_t>(cursor + size));
+      cursor += size;
+      for (const Asn member : members) {
+        world_.as2org.ases.push_back({member, "20180301",
+                                      "AS" + std::to_string(member.value()),
+                                      org_id, "", "SYNTH"});
+      }
+      // Sibling links between organization members.
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+          if (rng_.chance(0.8)) {
+            world_.graph.add_edge(members[i], members[j], RelType::kS2S);
+          }
+        }
+      }
+    }
+    // Single-AS organizations for ~92 % of the remaining ASes (as2org does
+    // not cover everything in reality either).
+    for (std::size_t i = cursor; i < all.size(); ++i) {
+      if (!rng_.chance(0.92)) continue;
+      const Asn asn = all[i];
+      const std::string org_id = "ORG-S" + std::to_string(asn.value());
+      world_.as2org.organizations.push_back(
+          {org_id, "20180301", "AS" + std::to_string(asn.value()) + " Org",
+           world_.attrs.at(asn).country, "SYNTH"});
+      world_.as2org.ases.push_back({asn, "20180301",
+                                    "AS" + std::to_string(asn.value()), org_id,
+                                    "", "SYNTH"});
+    }
+  }
+
+  void allocate_prefixes() {
+    // Sequential /20 carving per region from its first-octet pool; each AS
+    // originates a heavy-tailed number of /24-/20 prefixes.
+    std::array<std::uint32_t, 5> cursor{};  // /20 index within region space
+    for (const auto region : rir::kAllRegions) {
+      const auto& octets = octets_of(region);
+      for (const Asn asn : region_ases_[index_of(region)]) {
+        const auto& attrs = world_.attrs.at(asn);
+        unsigned count = 1 + rng_.geometric(0.35, 6);
+        if (attrs.tier != Tier::kStub) count += 1 + rng_.geometric(0.5, 8);
+        if (attrs.hypergiant) count += 6;
+        auto& list = world_.prefixes[asn];
+        for (unsigned i = 0; i < count; ++i) {
+          const std::uint32_t slot = cursor[index_of(region)]++;
+          // 12 bits of /20s per /8: 2^12 slots per first octet.
+          const std::uint8_t octet =
+              octets[(slot >> 12) % octets.size()];
+          const std::uint32_t base = (std::uint32_t{octet} << 24) |
+                                     ((slot & 0xFFFu) << 12);
+          list.emplace_back(net::Ipv4Addr{base}, 20u);
+        }
+      }
+    }
+  }
+
+  void synthesize_delegations() {
+    for (const auto region : rir::kAllRegions) {
+      rir::DelegationFile file;
+      file.registry = region;
+      file.serial = "20180405";
+      file.start_date = "19930101";
+      file.end_date = "20180405";
+      for (const Asn asn : region_ases_[index_of(region)]) {
+        rir::DelegationRecord record;
+        record.registry = region;
+        record.country_code = world_.attrs.at(asn).country;
+        record.type = rir::ResourceType::kAsn;
+        record.start = std::to_string(asn.value());
+        record.count = 1;
+        record.date = random_date();
+        record.status = rng_.chance(0.7) ? rir::AllocationStatus::kAllocated
+                                         : rir::AllocationStatus::kAssigned;
+        record.opaque_id = "opaque-" + std::to_string(asn.value());
+        file.records.push_back(std::move(record));
+      }
+      // IPv4 records for the originated space.
+      for (const Asn asn : region_ases_[index_of(region)]) {
+        const auto it = world_.prefixes.find(asn);
+        if (it == world_.prefixes.end()) continue;
+        for (const auto& prefix : it->second) {
+          rir::DelegationRecord record;
+          record.registry = region;
+          record.country_code = world_.attrs.at(asn).country;
+          record.type = rir::ResourceType::kIpv4;
+          record.start = net::to_string(prefix.network());
+          record.count = prefix.address_count();
+          record.date = random_date();
+          record.status = rir::AllocationStatus::kAllocated;
+          file.records.push_back(std::move(record));
+        }
+      }
+      world_.delegations.push_back(std::move(file));
+    }
+  }
+
+  std::string random_date() {
+    const int year = 1995 + static_cast<int>(rng_.below(24));
+    const int month = 1 + static_cast<int>(rng_.below(12));
+    const int day = 1 + static_cast<int>(rng_.below(28));
+    char buffer[9];
+    std::snprintf(buffer, sizeof buffer, "%04d%02d%02d", year, month, day);
+    return buffer;
+  }
+
+  std::vector<Asn>& tier_list(Region region, Tier tier) {
+    auto& lists = tiers_[index_of(region)];
+    switch (tier) {
+      case Tier::kLargeTransit:
+        return lists[0];
+      case Tier::kMidTransit:
+        return lists[1];
+      case Tier::kSmallTransit:
+        return lists[2];
+      default:
+        return lists[3];  // unused bucket
+    }
+  }
+
+  const TopologyParams& params_;
+  Rng rng_;
+  World world_;
+  std::array<std::vector<Asn>, 5> region_ases_;
+  std::array<std::array<std::vector<Asn>, 4>, 5> tiers_;
+  std::array<std::vector<Asn>, 5> stubs_;
+  std::unordered_map<Asn, int> customer_count_;
+};
+
+}  // namespace
+
+std::array<RegionProfile, 5> TopologyParams::default_region_profiles() {
+  std::array<RegionProfile, 5> profiles;
+  // AFRINIC
+  profiles[0] = {.as_weight = 0.03,
+                 .transit_fraction = 0.15,
+                 .ixp_count = 1,
+                 .ixp_peering_base = 0.11,
+                 .t1_provider_prob = 0.04,
+                 .cross_region_provider_prob = 0.12,
+                 .doc_communities_transit = 0.08,
+                 .doc_communities_stub = 0.01,
+                 .maintains_rpsl = 0.15,
+                 .attends_meetings = 0.05,
+                 .prepend_propensity = 0.12,
+                 .strips_communities = 0.55,
+                 .vp_weight = 0.02};
+  // APNIC
+  profiles[1] = {.as_weight = 0.13,
+                 .transit_fraction = 0.16,
+                 .ixp_count = 3,
+                 .ixp_peering_base = 0.14,
+                 .t1_provider_prob = 0.06,
+                 .cross_region_provider_prob = 0.08,
+                 .doc_communities_transit = 0.3,
+                 .doc_communities_stub = 0.03,
+                 .maintains_rpsl = 0.25,
+                 .attends_meetings = 0.08,
+                 .prepend_propensity = 0.08,
+                 .strips_communities = 0.45,
+                 .vp_weight = 0.08};
+  // ARIN
+  profiles[2] = {.as_weight = 0.18,
+                 .transit_fraction = 0.18,
+                 .ixp_count = 4,
+                 .ixp_peering_base = 0.17,
+                 .t1_provider_prob = 0.24,
+                 .cross_region_provider_prob = 0.05,
+                 .doc_communities_transit = 0.75,
+                 .doc_communities_stub = 0.08,
+                 .maintains_rpsl = 0.3,
+                 .attends_meetings = 0.15,
+                 .prepend_propensity = 0.04,
+                 .strips_communities = 0.35,
+                 .vp_weight = 0.3};
+  // LACNIC
+  profiles[3] = {.as_weight = 0.16,
+                 .transit_fraction = 0.15,
+                 .ixp_count = 3,
+                 .ixp_peering_base = 0.22,
+                 .t1_provider_prob = 0.04,
+                 .cross_region_provider_prob = 0.1,
+                 .doc_communities_transit = 0.005,
+                 .doc_communities_stub = 0.001,
+                 .maintains_rpsl = 0.1,
+                 .attends_meetings = 0.04,
+                 .prepend_propensity = 0.15,
+                 .strips_communities = 0.5,
+                 .vp_weight = 0.02};
+  // RIPE
+  profiles[4] = {.as_weight = 0.37,
+                 .transit_fraction = 0.17,
+                 .ixp_count = 6,
+                 .ixp_peering_base = 0.20,
+                 .t1_provider_prob = 0.17,
+                 .cross_region_provider_prob = 0.06,
+                 .doc_communities_transit = 0.5,
+                 .doc_communities_stub = 0.06,
+                 .maintains_rpsl = 0.45,
+                 .attends_meetings = 0.18,
+                 .prepend_propensity = 0.05,
+                 .strips_communities = 0.35,
+                 .vp_weight = 0.55};
+  return profiles;
+}
+
+World generate(const TopologyParams& params) {
+  return Builder{params}.build();
+}
+
+}  // namespace asrel::topo

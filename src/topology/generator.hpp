@@ -1,0 +1,151 @@
+// Synthetic Internet generator.
+//
+// Produces a region-aware, hierarchical AS topology with known ground truth:
+// a provider-free clique, per-region transit hierarchies, stubs with diverse
+// business models, hypergiants, IXP-mediated peering, partial-transit
+// customers of Tier-1s (the §6.1 "Cogent" mechanism), hybrid links, and
+// sibling organizations. It also synthesizes the companion data sets the
+// paper consumes: RIR delegated-extended files and a CAIDA-style as2org file.
+//
+// The behavioural knobs (who documents BGP communities, who maintains RPSL,
+// who attends operator meetings, who strips communities) are set here per
+// (region, tier); the validation-compilation pipeline later turns them into
+// the coverage bias the paper measures. Nothing downstream ever reads the
+// ground truth to decide coverage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "netbase/ip.hpp"
+#include "org/as2org.hpp"
+#include "rir/delegation.hpp"
+#include "rir/region.hpp"
+#include "topology/attributes.hpp"
+#include "topology/graph.hpp"
+
+namespace asrel::topo {
+
+/// Per-region tuning. Defaults are chosen so the generated world's link-class
+/// shares approximate Fig. 1/2 of the paper; see DESIGN.md §5.
+struct RegionProfile {
+  double as_weight = 0.2;        ///< share of all ASes in this region
+  double transit_fraction = 0.15;///< fraction of the region's ASes w/ customers
+  int ixp_count = 2;             ///< IXPs hosted in the region
+  double ixp_peering_base = 0.08;///< base pairwise peering probability
+  double t1_provider_prob = 0.1; ///< stub picks a Tier-1 as direct provider
+  double cross_region_provider_prob = 0.08;
+
+  // Operator behaviour (drives validation bias):
+  double doc_communities_transit = 0.4;  ///< transit AS documents communities
+  double doc_communities_stub = 0.05;
+  double maintains_rpsl = 0.3;
+  double attends_meetings = 0.1;
+  double prepend_propensity = 0.05;
+  double strips_communities = 0.3;
+
+  /// Weight for placing route-collector vantage points (RIS/Route Views are
+  /// strongly euro/us-centric).
+  double vp_weight = 0.1;
+};
+
+struct PartialTransitProfile {
+  /// Transit customers of the designated "Cogent-like" clique member whose
+  /// routes carry a no-export-to-peers action community (§6.1).
+  int community_tagged_customers = 45;
+  /// Additional clique members with silently configured customers-only
+  /// partial transit (no community visible).
+  int silent_providers = 3;
+  int silent_customers_each = 12;
+};
+
+/// Tier multipliers on a region's `doc_communities_transit` probability —
+/// big carriers publish community dictionaries, small ISPs rarely do. This
+/// is what concentrates validation coverage on clique-adjacent links
+/// (Fig. 2's S-T1/T1-TR coverage spike vs the S-TR/TR° desert).
+struct DocTierFactors {
+  double clique_prob = 0.8;  ///< absolute probability for clique members
+  double large = 1.0;
+  double mid = 0.45;
+  double small = 0.1;
+};
+
+struct TopologyParams {
+  std::uint64_t seed = 42;
+  int as_count = 12000;
+
+  int clique_size = 16;
+  /// Clique members per region (must sum to clique_size).
+  std::array<int, 5> clique_by_region = {0, 2, 8, 0, 6};  // AF,AP,AR,L,R order
+
+  int hypergiant_count = 15;
+  std::array<int, 5> hypergiants_by_region = {0, 2, 9, 0, 4};
+
+  /// Tier split among transit ASes: large/mid/small.
+  double transit_large_fraction = 0.07;
+  double transit_mid_fraction = 0.24;
+
+  /// Multihoming: provider count = 1 + geometric(p, cap).
+  double stub_extra_provider_p = 0.55;
+  unsigned stub_provider_cap = 4;
+  double transit_extra_provider_p = 0.5;
+  unsigned transit_provider_cap = 5;
+
+  /// Tier-1 <-> large-transit settlement-free peering probability.
+  double t1_large_transit_peering = 0.4;
+  /// Tier-1 <-> mid-transit peering probability.
+  double t1_mid_transit_peering = 0.02;
+
+  /// Fraction of ASes placed in multi-AS organizations (siblings).
+  double sibling_org_fraction = 0.05;
+  /// Fraction of P2P transit links that are hybrid (P2C at another PoP)
+  /// and of P2C links that are hybrid (P2P at another PoP).
+  double hybrid_fraction = 0.02;
+
+  DocTierFactors doc_factors;
+
+  /// Fraction of ASes whose ASN comes from a block IANA assigned to a
+  /// different region (inter-RIR transfers; delegation files correct these).
+  double transferred_fraction = 0.01;
+
+  PartialTransitProfile partial_transit;
+
+  std::array<RegionProfile, 5> regions = default_region_profiles();
+
+  [[nodiscard]] static std::array<RegionProfile, 5> default_region_profiles();
+  [[nodiscard]] const RegionProfile& profile(rir::Region region) const {
+    return regions[static_cast<std::size_t>(region)];
+  }
+};
+
+/// An Internet Exchange Point: a co-location of member ASes in one region.
+struct Ixp {
+  int id = 0;
+  rir::Region region = rir::Region::kUnknown;
+  std::vector<asn::Asn> members;
+};
+
+/// The generated world: ground truth plus companion data sets.
+struct World {
+  TopologyParams params;  ///< the parameters that generated this world
+  AsGraph graph;
+  AsAttributeMap attrs;
+  std::vector<asn::Asn> clique;
+  std::vector<asn::Asn> hypergiants;
+  std::vector<Ixp> ixps;
+  /// The clique member whose customers tag the no-export community (§6.1).
+  asn::Asn cogent_like;
+  /// Synthesized companion data sets.
+  std::vector<rir::DelegationFile> delegations;  // one per RIR
+  org::As2OrgFile as2org;
+  /// Prefixes originated per AS (count follows a heavy-tailed law).
+  std::unordered_map<asn::Asn, std::vector<net::Prefix4>> prefixes;
+};
+
+/// Deterministic: same params -> bit-identical world.
+[[nodiscard]] World generate(const TopologyParams& params);
+
+}  // namespace asrel::topo

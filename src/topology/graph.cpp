@@ -1,0 +1,115 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+
+namespace asrel::topo {
+
+NodeId AsGraph::add_node(asn::Asn asn) {
+  if (const auto it = index_.find(asn); it != index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(asn);
+  adjacency_.emplace_back();
+  index_.emplace(asn, id);
+  return id;
+}
+
+std::optional<EdgeId> AsGraph::add_edge(asn::Asn a, asn::Asn b, RelType rel) {
+  Edge proto;
+  proto.rel = rel;
+  return add_edge(a, b, proto);
+}
+
+std::optional<EdgeId> AsGraph::add_edge(asn::Asn a, asn::Asn b,
+                                        const Edge& proto) {
+  if (a == b) return std::nullopt;
+  if (find_edge(a, b)) return std::nullopt;
+  const NodeId na = add_node(a);
+  const NodeId nb = add_node(b);
+
+  Edge edge = proto;
+  if (edge.rel == RelType::kP2C) {
+    edge.u = na;  // provider
+    edge.v = nb;  // customer
+  } else {
+    // Canonical orientation: lower ASN first.
+    edge.u = a < b ? na : nb;
+    edge.v = a < b ? nb : na;
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(edge);
+
+  const auto role_from = [&](NodeId self) {
+    switch (edge.rel) {
+      case RelType::kP2C:
+        return self == edge.u ? Neighbor::Role::kProvider
+                              : Neighbor::Role::kCustomer;
+      case RelType::kP2P:
+        return Neighbor::Role::kPeer;
+      case RelType::kS2S:
+        return Neighbor::Role::kSibling;
+    }
+    return Neighbor::Role::kPeer;
+  };
+  adjacency_[na].push_back({nb, id, role_from(na)});
+  adjacency_[nb].push_back({na, id, role_from(nb)});
+  return id;
+}
+
+std::optional<NodeId> AsGraph::node_of(asn::Asn asn) const {
+  const auto it = index_.find(asn);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EdgeId> AsGraph::find_edge(asn::Asn a, asn::Asn b) const {
+  const auto na = node_of(a);
+  const auto nb = node_of(b);
+  if (!na || !nb) return std::nullopt;
+  // Scan the smaller adjacency list.
+  const NodeId from = degree(*na) <= degree(*nb) ? *na : *nb;
+  const NodeId to = from == *na ? *nb : *na;
+  for (const auto& neighbor : adjacency_[from]) {
+    if (neighbor.node == to) return neighbor.edge;
+  }
+  return std::nullopt;
+}
+
+std::optional<Neighbor::Role> AsGraph::role_of(asn::Asn a, asn::Asn b) const {
+  const auto na = node_of(a);
+  const auto nb = node_of(b);
+  if (!na || !nb) return std::nullopt;
+  for (const auto& neighbor : adjacency_[*na]) {
+    if (neighbor.node == *nb) return neighbor.role;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::vector<asn::Asn> collect_by_role(const AsGraph& graph, asn::Asn asn,
+                                      Neighbor::Role role) {
+  std::vector<asn::Asn> out;
+  const auto node = graph.node_of(asn);
+  if (!node) return out;
+  for (const auto& neighbor : graph.neighbors(*node)) {
+    if (neighbor.role == role) out.push_back(graph.asn_of(neighbor.node));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<asn::Asn> AsGraph::providers_of(asn::Asn asn) const {
+  return collect_by_role(*this, asn, Neighbor::Role::kCustomer);
+}
+
+std::vector<asn::Asn> AsGraph::customers_of(asn::Asn asn) const {
+  return collect_by_role(*this, asn, Neighbor::Role::kProvider);
+}
+
+std::vector<asn::Asn> AsGraph::peers_of(asn::Asn asn) const {
+  return collect_by_role(*this, asn, Neighbor::Role::kPeer);
+}
+
+}  // namespace asrel::topo

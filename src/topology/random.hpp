@@ -1,0 +1,82 @@
+// Deterministic sampling helpers.
+//
+// std::mt19937_64 is fully specified, but the standard *distributions* are
+// not (their algorithms are implementation-defined), so the same seed could
+// yield different worlds on different standard libraries. Everything here is
+// implemented directly on top of the engine to keep generated scenarios
+// bit-identical across platforms.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace asrel::topo {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    // 53 random mantissa bits, the usual (engine() >> 11) * 2^-53 trick.
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t value = engine_();
+    while (value >= limit) value = engine_();
+    return value % bound;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double probability) { return uniform() < probability; }
+
+  /// Index drawn proportionally to `weights` (non-negative, not all zero).
+  std::size_t weighted(std::span<const double> weights) {
+    double total = 0;
+    for (const double w : weights) total += w;
+    assert(total > 0);
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Geometric count: number of successes with probability `p` before the
+  /// first failure, capped at `cap`. Used for "1 + geometric" multihoming.
+  unsigned geometric(double p, unsigned cap) {
+    unsigned count = 0;
+    while (count < cap && chance(p)) ++count;
+    return count;
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[below(i)]);
+    }
+  }
+
+  /// One element drawn uniformly. Container must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& values) {
+    return values[below(values.size())];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace asrel::topo

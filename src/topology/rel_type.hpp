@@ -1,0 +1,79 @@
+// AS business-relationship types and export-scope annotations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace asrel::topo {
+
+/// The three canonical relationship types (§1 of the paper).
+enum class RelType : std::uint8_t {
+  kP2C,  ///< provider-to-customer (directed: provider -> customer)
+  kP2P,  ///< settlement-free peering (undirected)
+  kS2S,  ///< sibling: same organization (undirected)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(RelType rel) {
+  switch (rel) {
+    case RelType::kP2C:
+      return "p2c";
+    case RelType::kP2P:
+      return "p2p";
+    case RelType::kS2S:
+      return "s2s";
+  }
+  return "?";
+}
+
+/// CAIDA serial-1 as-rel encoding: -1 = p2c, 0 = p2p, 1 = s2s (extension).
+[[nodiscard]] constexpr int to_caida_code(RelType rel) {
+  switch (rel) {
+    case RelType::kP2C:
+      return -1;
+    case RelType::kP2P:
+      return 0;
+    case RelType::kS2S:
+      return 1;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr std::optional<RelType> from_caida_code(int code) {
+  switch (code) {
+    case -1:
+      return RelType::kP2C;
+    case 0:
+      return RelType::kP2P;
+    case 1:
+      return RelType::kS2S;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// How far a provider redistributes the routes it learns from a customer.
+/// kFull is a normal P2C; the other two are the paper's partial-transit
+/// variants (§3.1, §6.1): kNoProviders exports the customer's routes to
+/// customers and peers only; kCustomersOnly (the Cogent 174:990 analogue)
+/// exports them to customers only, so no `clique|T1|X` triplet is ever
+/// observable.
+enum class ExportScope : std::uint8_t {
+  kFull,
+  kNoProviders,
+  kCustomersOnly,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ExportScope scope) {
+  switch (scope) {
+    case ExportScope::kFull:
+      return "full";
+    case ExportScope::kNoProviders:
+      return "no-providers";
+    case ExportScope::kCustomersOnly:
+      return "customers-only";
+  }
+  return "?";
+}
+
+}  // namespace asrel::topo

@@ -1,0 +1,95 @@
+#include "validation/cleaner.hpp"
+
+#include <unordered_set>
+
+namespace asrel::val {
+
+std::vector<CleanLabel> clean(const ValidationSet& raw,
+                              const org::OrgMap& orgs,
+                              const CleaningOptions& options,
+                              CleaningStats* stats) {
+  CleaningStats local;
+  local.input_entries = raw.size();
+  std::vector<CleanLabel> out;
+  std::unordered_set<std::uint32_t> multi_label_asns;
+
+  for (const auto& entry : raw.entries()) {
+    const auto& link = entry.link;
+
+    if (options.drop_spurious) {
+      if (link.a == asn::kAsTrans || link.b == asn::kAsTrans) {
+        ++local.as_trans_removed;
+        continue;
+      }
+      if (asn::is_reserved(link.a) || asn::is_reserved(link.b)) {
+        ++local.reserved_removed;
+        continue;
+      }
+    }
+    if (options.drop_siblings && orgs.are_siblings(link.a, link.b)) {
+      ++local.sibling_removed;
+      continue;
+    }
+
+    // Distinct assertions, in first-seen order.
+    std::vector<Label> assertions;
+    for (const auto& label : entry.labels) {
+      bool seen = false;
+      for (const auto& prior : assertions) {
+        if (prior.same_assertion(label)) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) assertions.push_back(label);
+    }
+
+    Label chosen = assertions.front();
+    if (assertions.size() > 1) {
+      ++local.multi_label_entries;
+      multi_label_asns.insert(link.a.value());
+      multi_label_asns.insert(link.b.value());
+      switch (options.ambiguity) {
+        case AmbiguityPolicy::kIgnore:
+          continue;
+        case AmbiguityPolicy::kFirstP2PWins:
+          if (assertions.front().rel != topo::RelType::kP2P) {
+            // "otherwise as P2C": find a P2C assertion.
+            for (const auto& label : assertions) {
+              if (label.rel == topo::RelType::kP2C) {
+                chosen = label;
+                break;
+              }
+            }
+          }
+          break;
+        case AmbiguityPolicy::kAlwaysP2C:
+          chosen.rel = topo::RelType::kS2S;  // sentinel: not found yet
+          for (const auto& label : assertions) {
+            if (label.rel == topo::RelType::kP2C) {
+              chosen = label;
+              break;
+            }
+          }
+          if (chosen.rel == topo::RelType::kS2S) chosen = assertions.front();
+          break;
+      }
+    }
+
+    if (chosen.rel == topo::RelType::kS2S) {
+      ++local.s2s_label_removed;
+      continue;
+    }
+    CleanLabel record;
+    record.link = link;
+    record.rel = chosen.rel;
+    record.provider = chosen.provider;
+    out.push_back(record);
+    ++local.kept;
+  }
+  local.multi_label_ases = multi_label_asns.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace asrel::val

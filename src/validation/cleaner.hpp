@@ -1,0 +1,67 @@
+// §4.2 "Label Quality & Treatment": spurious-label removal, ambiguous
+// (multi-label) entry policies, and sibling filtering.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "org/as2org.hpp"
+#include "validation/label.hpp"
+
+namespace asrel::val {
+
+/// How entries with multiple, conflicting labels are treated. The paper
+/// shows the choice silently differs between published works: kFirstP2PWins
+/// reproduces the TopoScope counts, kAlwaysP2C the ProbLink counts, and
+/// kIgnore is what the paper argues for.
+enum class AmbiguityPolicy : std::uint8_t {
+  kIgnore,        ///< drop multi-label entries entirely
+  kFirstP2PWins,  ///< P2P if the entry starts with a P2P label, else P2C
+  kAlwaysP2C,     ///< any conflicting entry becomes P2C
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AmbiguityPolicy policy) {
+  switch (policy) {
+    case AmbiguityPolicy::kIgnore:
+      return "ignore";
+    case AmbiguityPolicy::kFirstP2PWins:
+      return "first-p2p-wins";
+    case AmbiguityPolicy::kAlwaysP2C:
+      return "always-p2c";
+  }
+  return "?";
+}
+
+/// A cleaned, single-label validation record ready for metric computation.
+struct CleanLabel {
+  AsLink link;
+  topo::RelType rel = topo::RelType::kP2P;  // kP2C or kP2P only
+  asn::Asn provider;                        // valid when rel == kP2C
+};
+
+struct CleaningStats {
+  std::size_t input_entries = 0;
+  std::size_t as_trans_removed = 0;     // paper: 15
+  std::size_t reserved_removed = 0;     // paper: 112
+  std::size_t multi_label_entries = 0;  // paper: 246
+  std::size_t multi_label_ases = 0;     // paper: 233
+  std::size_t sibling_removed = 0;      // paper: 210
+  std::size_t s2s_label_removed = 0;
+  std::size_t kept = 0;
+};
+
+struct CleaningOptions {
+  AmbiguityPolicy ambiguity = AmbiguityPolicy::kIgnore;
+  bool drop_siblings = true;   ///< use as2org to remove sibling links
+  bool drop_spurious = true;   ///< AS_TRANS + reserved ASNs
+};
+
+/// Applies the §4.2 treatment. Deterministic; output in input entry order.
+[[nodiscard]] std::vector<CleanLabel> clean(const ValidationSet& raw,
+                                            const org::OrgMap& orgs,
+                                            const CleaningOptions& options,
+                                            CleaningStats* stats = nullptr);
+
+}  // namespace asrel::val

@@ -1,0 +1,47 @@
+// Luckie-style compilation of validation data from BGP communities (§3.2).
+//
+// The extractor walks every collector-observed AS path, reconstructs which
+// informational ingress tags would still be attached when the route reaches
+// the collector (each traversed AS may strip communities), decodes the
+// surviving tags against the *published* community schemes, and turns each
+// decoded tag into a relationship label for the tagged link.
+//
+// Coverage bias is emergent: a link can only be validated if (a) one of its
+// endpoints publishes its scheme, (b) a route crossing the link reaches a
+// collector, and (c) no AS between the tagger and the collector strips
+// communities. Nothing here reads the ground-truth relationship of a link
+// to decide whether to cover it.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/propagation.hpp"
+#include "validation/label.hpp"
+#include "validation/scheme.hpp"
+
+namespace asrel::val {
+
+struct ExtractParams {
+  std::uint64_t salt = 0xC0FFEEull;
+  /// Chance that a published scheme's documentation is outdated for one
+  /// particular neighbor, yielding a wrong label (the paper's §6.1 found
+  /// exactly one such case in the Cogent study).
+  double stale_documentation = 0.002;
+};
+
+struct ExtractStats {
+  std::size_t paths_scanned = 0;
+  std::size_t tags_attached = 0;
+  std::size_t tags_survived = 0;
+  std::size_t tags_decoded = 0;
+  std::size_t ambiguous_keys_skipped = 0;
+};
+
+/// Runs the extraction over every path. Returns entries in deterministic
+/// (path-scan) order.
+[[nodiscard]] ValidationSet extract_from_communities(
+    const bgp::Propagator& propagator, const bgp::PathTable& paths,
+    const SchemeDirectory& schemes, const ExtractParams& params,
+    ExtractStats* stats = nullptr);
+
+}  // namespace asrel::val

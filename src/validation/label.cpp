@@ -1,0 +1,35 @@
+#include "validation/label.hpp"
+
+namespace asrel::val {
+
+void ValidationSet::add(const AsLink& link, const Label& label) {
+  const auto k = key(link);
+  const auto it = index_.find(k);
+  if (it == index_.end()) {
+    index_.emplace(k, entries_.size());
+    entries_.push_back({link, {label}});
+    return;
+  }
+  auto& entry = entries_[it->second];
+  for (const auto& existing : entry.labels) {
+    if (existing.same_assertion(label) && existing.source == label.source) {
+      return;
+    }
+  }
+  entry.labels.push_back(label);
+}
+
+const Entry* ValidationSet::find(const AsLink& link) const {
+  const auto it = index_.find(key(link));
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+void ValidationSet::merge(const ValidationSet& other) {
+  for (const auto& entry : other.entries()) {
+    for (const auto& label : entry.labels) {
+      add(entry.link, label);
+    }
+  }
+}
+
+}  // namespace asrel::val

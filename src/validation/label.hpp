@@ -1,0 +1,108 @@
+// Validation-data model: links, labels, sources, and the multi-label
+// ValidationSet the extractors fill.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "topology/rel_type.hpp"
+
+namespace asrel::val {
+
+/// An undirected AS link, canonicalized to a < b.
+struct AsLink {
+  asn::Asn a;
+  asn::Asn b;
+
+  AsLink() = default;
+  AsLink(asn::Asn x, asn::Asn y) : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  friend constexpr auto operator<=>(const AsLink&, const AsLink&) = default;
+};
+
+/// Where a validation label came from (§3.2: Luckie et al.'s three sources).
+enum class Source : std::uint8_t {
+  kCommunities,   ///< decoded from published BGP community schemes
+  kRpsl,          ///< WHOIS autnum import/export policies
+  kDirectReport,  ///< reported by an operator
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Source source) {
+  switch (source) {
+    case Source::kCommunities:
+      return "communities";
+    case Source::kRpsl:
+      return "rpsl";
+    case Source::kDirectReport:
+      return "direct";
+  }
+  return "?";
+}
+
+/// One label for a link. For kP2C, `provider` names the provider side.
+struct Label {
+  topo::RelType rel = topo::RelType::kP2P;
+  asn::Asn provider;  ///< meaningful only when rel == kP2C
+  Source source = Source::kCommunities;
+
+  /// Labels are equal if they assert the same relationship (source ignored).
+  [[nodiscard]] bool same_assertion(const Label& other) const {
+    return rel == other.rel &&
+           (rel != topo::RelType::kP2C || provider == other.provider);
+  }
+};
+
+/// All labels collected for one link, in first-seen order (the paper shows
+/// that "treat as P2P if the entry *starts with* P2P" reproduces the
+/// TopoScope counts, so acquisition order is part of the data model).
+struct Entry {
+  AsLink link;
+  std::vector<Label> labels;
+
+  [[nodiscard]] bool multi_label() const {
+    for (std::size_t i = 1; i < labels.size(); ++i) {
+      if (!labels[i].same_assertion(labels[0])) return true;
+    }
+    return false;
+  }
+};
+
+class ValidationSet {
+ public:
+  /// Appends a label unless the same assertion from the same source is
+  /// already present.
+  void add(const AsLink& link, const Label& label);
+
+  [[nodiscard]] const Entry* find(const AsLink& link) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Entries in insertion order (deterministic).
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Merges another set into this one (label order preserved per entry).
+  void merge(const ValidationSet& other);
+
+ private:
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+
+  [[nodiscard]] static std::uint64_t key(const AsLink& link) {
+    return (std::uint64_t{link.a.value()} << 32) | link.b.value();
+  }
+};
+
+}  // namespace asrel::val
+
+template <>
+struct std::hash<asrel::val::AsLink> {
+  std::size_t operator()(const asrel::val::AsLink& link) const noexcept {
+    const std::uint64_t k =
+        (std::uint64_t{link.a.value()} << 32) | link.b.value();
+    return std::hash<std::uint64_t>{}(k);
+  }
+};

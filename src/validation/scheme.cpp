@@ -1,0 +1,103 @@
+#include "validation/scheme.hpp"
+
+#include "topology/random.hpp"
+
+namespace asrel::val {
+
+bgp::Community CommunityScheme::tag_for(TagMeaning meaning) const {
+  switch (meaning) {
+    case TagMeaning::kFromCustomer:
+      return {key, customer_value};
+    case TagMeaning::kFromPeer:
+      return {key, peer_value};
+    case TagMeaning::kFromProvider:
+      return {key, provider_value};
+    case TagMeaning::kBlackhole:
+      return {key, 666};
+  }
+  return {key, 0};
+}
+
+std::optional<TagMeaning> CommunityScheme::meaning_of(
+    bgp::Community community) const {
+  if (community.high() != key) return std::nullopt;
+  if (community.low() == customer_value) return TagMeaning::kFromCustomer;
+  if (community.low() == peer_value) return TagMeaning::kFromPeer;
+  if (community.low() == provider_value) return TagMeaning::kFromProvider;
+  return std::nullopt;
+}
+
+bgp::Community no_export_to_peers_community(asn::Asn provider) {
+  return {static_cast<std::uint16_t>(provider.value() & 0xFFFFu), 990};
+}
+
+SchemeDirectory SchemeDirectory::build(const topo::World& world,
+                                       std::uint64_t seed) {
+  topo::Rng rng{seed};
+  SchemeDirectory directory;
+
+  // Common value styles seen in the wild.
+  struct Style {
+    std::uint16_t customer, peer, provider;
+  };
+  static constexpr Style kStyles[] = {
+      {1000, 2000, 3000}, {100, 200, 300},   {3001, 3002, 3003},
+      {110, 120, 130},    {65101, 65102, 65103},
+  };
+  // The ambiguous style: peer routes tagged with 666 (the paper's 3356:666
+  // example — same value the blackhole convention uses).
+  static constexpr Style kAmbiguous{1000, 666, 3000};
+
+  for (const asn::Asn asn : world.graph.nodes()) {
+    const auto& attrs = world.attrs.at(asn);
+    const bool transit_like =
+        attrs.tier != topo::Tier::kStub || attrs.hypergiant;
+    // Nearly all transit networks run ingress tagging internally; stubs
+    // rarely bother.
+    const double uses = transit_like ? 0.9 : 0.1;
+    if (!rng.chance(uses)) continue;
+
+    CommunityScheme scheme;
+    scheme.owner = asn;
+    scheme.key = static_cast<std::uint16_t>(asn.value() & 0xFFFFu);
+    const Style& style =
+        rng.chance(0.04) ? kAmbiguous
+                         : kStyles[rng.below(std::size(kStyles))];
+    scheme.customer_value = style.customer;
+    scheme.peer_value = style.peer;
+    scheme.provider_value = style.provider;
+    scheme.published = attrs.documents_communities;
+
+    directory.by_owner_.emplace(asn, directory.schemes_.size());
+    directory.by_key_[scheme.key].push_back(directory.schemes_.size());
+    directory.schemes_.push_back(scheme);
+  }
+  return directory;
+}
+
+const CommunityScheme* SchemeDirectory::scheme_of(asn::Asn owner) const {
+  const auto it = by_owner_.find(owner);
+  return it == by_owner_.end() ? nullptr : &schemes_[it->second];
+}
+
+std::span<const std::size_t> SchemeDirectory::key_matches(
+    std::uint16_t key) const {
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) return {};
+  return it->second;
+}
+
+std::vector<const CommunityScheme*> SchemeDirectory::schemes_for_key(
+    std::uint16_t key) const {
+  std::vector<const CommunityScheme*> out;
+  for (const auto index : key_matches(key)) out.push_back(&schemes_[index]);
+  return out;
+}
+
+std::size_t SchemeDirectory::published_count() const {
+  std::size_t count = 0;
+  for (const auto& scheme : schemes_) count += scheme.published ? 1 : 0;
+  return count;
+}
+
+}  // namespace asrel::val

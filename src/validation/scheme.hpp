@@ -1,0 +1,90 @@
+// Per-AS BGP community conventions.
+//
+// Every transit network tags routes at ingress with informational
+// communities that encode the relationship with the sending neighbor; only
+// some networks *publish* what their values mean (IRR remarks, websites).
+// Published schemes are what the Luckie-style extractor can decode — and
+// whether a network publishes is exactly where the paper's regional/
+// topological validation bias comes from.
+//
+// Classic communities only carry a 16-bit key, so a scheme's key is the low
+// 16 bits of the owner's ASN. Two ASes can therefore collide on the same
+// key (e.g. AS5 and AS196613), and one AS's "blackhole" value can be
+// another's "peer route" (the 3356:666 example in §3.2): the directory
+// exposes these ambiguities instead of hiding them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "bgp/community.hpp"
+#include "topology/generator.hpp"
+#include "topology/rel_type.hpp"
+
+namespace asrel::val {
+
+/// What an ingress tag means, from the tagging AS's point of view.
+enum class TagMeaning : std::uint8_t {
+  kFromCustomer,
+  kFromPeer,
+  kFromProvider,
+  kBlackhole,  ///< action community, not a relationship statement
+};
+
+struct CommunityScheme {
+  asn::Asn owner;
+  std::uint16_t key = 0;  ///< low 16 bits of owner ASN
+  std::uint16_t customer_value = 0;
+  std::uint16_t peer_value = 0;
+  std::uint16_t provider_value = 0;
+  bool published = false;  ///< decodable by the validation extractor
+
+  [[nodiscard]] bgp::Community tag_for(TagMeaning meaning) const;
+  [[nodiscard]] std::optional<TagMeaning> meaning_of(
+      bgp::Community community) const;
+};
+
+/// The action community a provider honors as "do not export to peers"
+/// (the 174:990 analogue from §6.1).
+[[nodiscard]] bgp::Community no_export_to_peers_community(asn::Asn provider);
+
+/// All schemes of a world plus lookup by community key.
+class SchemeDirectory {
+ public:
+  /// Builds schemes for every transit-like AS. Which ASes publish follows
+  /// their `documents_communities` attribute. Value styles are drawn
+  /// deterministically; a small fraction uses 666 as its peer value,
+  /// colliding with the well-known blackhole meaning.
+  static SchemeDirectory build(const topo::World& world, std::uint64_t seed);
+
+  [[nodiscard]] const CommunityScheme* scheme_of(asn::Asn owner) const;
+
+  /// All schemes whose key matches the community's high 16 bits
+  /// (allocation-free; indices into the directory).
+  [[nodiscard]] std::span<const std::size_t> key_matches(
+      std::uint16_t key) const;
+  [[nodiscard]] const CommunityScheme& scheme_at(std::size_t index) const {
+    return schemes_[index];
+  }
+
+  /// Convenience wrapper over key_matches for tests and tooling.
+  [[nodiscard]] std::vector<const CommunityScheme*> schemes_for_key(
+      std::uint16_t key) const;
+
+  [[nodiscard]] std::size_t size() const { return schemes_.size(); }
+  [[nodiscard]] std::size_t published_count() const;
+
+  auto begin() const { return schemes_.begin(); }
+  auto end() const { return schemes_.end(); }
+
+ private:
+  std::vector<CommunityScheme> schemes_;
+  std::unordered_map<asn::Asn, std::size_t> by_owner_;
+  std::unordered_map<std::uint16_t, std::vector<std::size_t>> by_key_;
+};
+
+}  // namespace asrel::val

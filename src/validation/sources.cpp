@@ -1,0 +1,98 @@
+#include "validation/sources.hpp"
+
+#include "topology/random.hpp"
+
+namespace asrel::val {
+
+ValidationSet extract_from_rpsl(const std::vector<rpsl::AutNum>& objects,
+                                bool require_agreement) {
+  // First pass: gather each side's assertions.
+  struct Assertion {
+    asn::Asn subject;
+    Label label;
+  };
+  std::unordered_map<AsLink, std::vector<Assertion>> by_link;
+  for (const auto& object : objects) {
+    for (const auto& rel : rpsl::extract_relationships(object)) {
+      Label label;
+      label.source = Source::kRpsl;
+      label.rel = rel.rel;
+      if (rel.rel == topo::RelType::kP2C) {
+        label.provider = rel.subject_is_provider ? rel.subject : rel.neighbor;
+      }
+      by_link[AsLink{rel.subject, rel.neighbor}].push_back(
+          {rel.subject, label});
+    }
+  }
+
+  // Second pass in deterministic order.
+  std::vector<AsLink> links;
+  links.reserve(by_link.size());
+  for (const auto& [link, assertions] : by_link) links.push_back(link);
+  std::sort(links.begin(), links.end());
+
+  ValidationSet set;
+  for (const auto& link : links) {
+    const auto& assertions = by_link[link];
+    if (require_agreement) {
+      bool all_agree = true;
+      for (std::size_t i = 1; i < assertions.size(); ++i) {
+        if (!assertions[i].label.same_assertion(assertions[0].label)) {
+          all_agree = false;
+          break;
+        }
+      }
+      if (!all_agree || assertions.size() < 2) continue;
+      set.add(link, assertions[0].label);
+    } else {
+      for (const auto& assertion : assertions) set.add(link, assertion.label);
+    }
+  }
+  return set;
+}
+
+ValidationSet collect_direct_reports(const topo::World& world,
+                                     const DirectReportParams& params) {
+  topo::Rng rng{params.seed};
+  ValidationSet set;
+  for (const asn::Asn asn : world.graph.nodes()) {
+    const auto& attrs = world.attrs.at(asn);
+    if (!attrs.attends_meetings) continue;
+    const auto node = world.graph.node_of(asn);
+    for (const auto& nb : world.graph.neighbors(*node)) {
+      if (!rng.chance(params.report_fraction)) continue;
+      const asn::Asn neighbor = world.graph.asn_of(nb.node);
+      Label label;
+      label.source = Source::kDirectReport;
+      switch (nb.role) {
+        case topo::Neighbor::Role::kProvider:
+          label.rel = topo::RelType::kP2C;
+          label.provider = asn;
+          break;
+        case topo::Neighbor::Role::kCustomer:
+          label.rel = topo::RelType::kP2C;
+          label.provider = neighbor;
+          break;
+        case topo::Neighbor::Role::kPeer:
+          label.rel = topo::RelType::kP2P;
+          break;
+        case topo::Neighbor::Role::kSibling:
+          label.rel = topo::RelType::kS2S;
+          break;
+      }
+      if (rng.chance(params.error_rate)) {
+        // Misreport: flip P2P <-> P2C.
+        if (label.rel == topo::RelType::kP2P) {
+          label.rel = topo::RelType::kP2C;
+          label.provider = rng.chance(0.5) ? asn : neighbor;
+        } else if (label.rel == topo::RelType::kP2C) {
+          label.rel = topo::RelType::kP2P;
+        }
+      }
+      set.add(AsLink{asn, neighbor}, label);
+    }
+  }
+  return set;
+}
+
+}  // namespace asrel::val

@@ -1,0 +1,35 @@
+// The two secondary validation sources of Luckie et al. (§3.2): WHOIS/IRR
+// RPSL policies and directly reported relationships. Recent validation
+// efforts (ProbLink, TopoScope) dropped both and rely on communities only;
+// keeping them implemented lets the benches ablate that choice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rpsl/autnum.hpp"
+#include "topology/generator.hpp"
+#include "validation/label.hpp"
+
+namespace asrel::val {
+
+/// Converts IRR autnum objects into validation labels. Only relationships
+/// asserted by *both* sides (or asserted by one side with no contradiction)
+/// are kept when `require_agreement` is set.
+[[nodiscard]] ValidationSet extract_from_rpsl(
+    const std::vector<rpsl::AutNum>& objects, bool require_agreement = false);
+
+struct DirectReportParams {
+  std::uint64_t seed = 4711;
+  /// Fraction of an attending operator's relationships it reports.
+  double report_fraction = 0.25;
+  /// Operators occasionally misreport (fat fingers, stale memory).
+  double error_rate = 0.005;
+};
+
+/// Operators that attend meetings report a sample of their relationships
+/// through the web interface / hallway-track channel.
+[[nodiscard]] ValidationSet collect_direct_reports(
+    const topo::World& world, const DirectReportParams& params);
+
+}  // namespace asrel::val

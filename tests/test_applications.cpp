@@ -1,0 +1,220 @@
+// Tests for the application-consequence modules (§2 spoof guard, §7
+// Peerlock).
+#include <gtest/gtest.h>
+
+#include "core/peerlock.hpp"
+#include "core/spoof_guard.hpp"
+#include "infer/asrank.hpp"
+#include "test_support.hpp"
+
+namespace asrel::core {
+namespace {
+
+using asn::Asn;
+
+infer::Inference ground_truth_inference(const topo::World& world) {
+  infer::Inference inference;
+  for (const auto& edge : world.graph.edges()) {
+    infer::InferredRel rel;
+    rel.rel = edge.rel;
+    rel.provider = world.graph.asn_of(edge.u);
+    inference.set(val::AsLink{world.graph.asn_of(edge.u),
+                              world.graph.asn_of(edge.v)},
+                  rel);
+  }
+  return inference;
+}
+
+// ------------------------------------------------------------ spoof guard --
+
+TEST(SpoofGuard, GroundTruthFiltersNeverFlagLegitimateTraffic) {
+  const auto& scenario = test::shared_scenario();
+  const SpoofGuard guard{scenario,
+                         ground_truth_inference(scenario.world())};
+  const auto stats = guard.evaluate(/*ixp_id=*/-1);
+  ASSERT_GT(stats.legitimate_total, 0u);
+  EXPECT_EQ(stats.legitimate_flagged, 0u);
+  EXPECT_GT(stats.detection_rate(), 0.95);
+}
+
+TEST(SpoofGuard, InferredFiltersFlagSomeLegitimateTraffic) {
+  // §2's warning: relationship errors turn into false spoofing flags.
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = infer::run_asrank(scenario.observed());
+  const SpoofGuard guard{scenario, asrank.inference};
+  const auto stats = guard.evaluate(/*ixp_id=*/-1);
+  EXPECT_GT(stats.legitimate_flagged, 0u);
+  EXPECT_LT(stats.false_flag_rate(), 0.5);
+  EXPECT_GT(stats.detection_rate(), 0.9);
+}
+
+TEST(SpoofGuard, WouldFlagIsConsistentWithFilters) {
+  const auto& scenario = test::shared_scenario();
+  const SpoofGuard guard{scenario,
+                         ground_truth_inference(scenario.world())};
+  // A member never flags itself under ground-truth filters.
+  const auto& ixps = scenario.world().ixps;
+  ASSERT_FALSE(ixps.empty());
+  ASSERT_FALSE(ixps.front().members.empty());
+  const Asn member = ixps.front().members.front();
+  EXPECT_FALSE(guard.would_flag(member, member));
+  // Unknown members flag everything.
+  EXPECT_TRUE(guard.would_flag(Asn{4999999}, member));
+}
+
+TEST(SpoofGuard, RegionBreakdownCoversAllIxpRegions) {
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = infer::run_asrank(scenario.observed());
+  const SpoofGuard guard{scenario, asrank.inference};
+  const auto by_region = guard.evaluate_by_region();
+  std::size_t regions_with_ixps = 0;
+  std::unordered_set<int> seen;
+  for (const auto& ixp : scenario.world().ixps) {
+    if (seen.insert(static_cast<int>(ixp.region)).second) {
+      ++regions_with_ixps;
+    }
+  }
+  EXPECT_EQ(by_region.size(), regions_with_ixps);
+}
+
+// --------------------------------------------------------------- peerlock --
+
+TEST(Peerlock, GroundTruthBlocksAllLeaks) {
+  const auto& scenario = test::shared_scenario();
+  const auto report = simulate_route_leaks(
+      scenario, lookup_from_ground_truth(scenario.world()), 500);
+  ASSERT_GT(report.leaks_simulated, 100u);
+  EXPECT_EQ(report.blocked, report.leaks_simulated);
+}
+
+TEST(Peerlock, ValidationOnlyLeavesMostSessionsOpen) {
+  // §7: passive validation data covers too few links to protect much.
+  const auto& scenario = test::shared_scenario();
+  const auto truth = simulate_route_leaks(
+      scenario, lookup_from_ground_truth(scenario.world()), 500);
+  const auto validated = simulate_route_leaks(
+      scenario, lookup_from_validation(scenario.validation()), 500);
+  EXPECT_LT(validated.block_rate(), 0.8 * truth.block_rate());
+  EXPECT_GT(validated.passed_unknown_session, 0u);
+}
+
+TEST(Peerlock, InferenceBlocksMostLeaks) {
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = infer::run_asrank(scenario.observed());
+  const auto report = simulate_route_leaks(
+      scenario, lookup_from_inference(asrank.inference), 500);
+  EXPECT_GT(report.block_rate(), 0.8);
+}
+
+TEST(Peerlock, PolicyPartitionsNeighborSessions) {
+  const auto& scenario = test::shared_scenario();
+  const auto& world = scenario.world();
+  const Asn owner = world.clique.front();
+  const auto policy = build_peerlock_policy(
+      world, lookup_from_ground_truth(world), owner);
+  const auto node = world.graph.node_of(owner);
+  ASSERT_TRUE(node);
+  // Every neighbor lands in exactly one bucket; with ground truth there are
+  // no unknowns.
+  EXPECT_EQ(policy.filtered_sessions.size() + policy.unknown_sessions.size(),
+            world.graph.neighbors(*node).size());
+  EXPECT_TRUE(policy.unknown_sessions.empty());
+  // A Tier-1 has no providers: every session is filtered.
+  EXPECT_EQ(policy.filtered_sessions.size(),
+            world.graph.neighbors(*node).size());
+}
+
+TEST(Peerlock, ConfigRendersFiltersAndProtectedSet) {
+  const auto& scenario = test::shared_scenario();
+  const auto& world = scenario.world();
+  const Asn owner = world.clique.front();
+  const auto policy = build_peerlock_policy(
+      world, lookup_from_ground_truth(world), owner);
+  const auto config = render_peerlock_config(world, policy);
+  EXPECT_NE(config.find("PROTECTED-T1"), std::string::npos);
+  EXPECT_NE(config.find("filter-list"), std::string::npos);
+  EXPECT_NE(config.find(std::to_string(world.clique.back().value())),
+            std::string::npos);
+}
+
+TEST(Peerlock, LeakSimulationDeterministic) {
+  const auto& scenario = test::shared_scenario();
+  const auto a = simulate_route_leaks(
+      scenario, lookup_from_ground_truth(scenario.world()), 300, 7);
+  const auto b = simulate_route_leaks(
+      scenario, lookup_from_ground_truth(scenario.world()), 300, 7);
+  EXPECT_EQ(a.leaks_simulated, b.leaks_simulated);
+  EXPECT_EQ(a.blocked, b.blocked);
+}
+
+}  // namespace
+}  // namespace asrel::core
+
+#include "core/v6_world.hpp"
+
+namespace asrel::core {
+namespace {
+
+TEST(V6World, SubsetsTheV4World) {
+  const auto& scenario = test::shared_scenario();
+  const auto v6 = build_v6_world(scenario.world());
+  EXPECT_LT(v6.graph.node_count(), scenario.world().graph.node_count());
+  EXPECT_GT(v6.graph.node_count(), scenario.world().graph.node_count() / 4);
+  EXPECT_LT(v6.graph.edge_count(), scenario.world().graph.edge_count());
+  // Every v6 edge exists in v4 with the same relationship.
+  for (const auto& edge : v6.graph.edges()) {
+    const auto v4_edge = scenario.world().graph.find_edge(
+        v6.graph.asn_of(edge.u), v6.graph.asn_of(edge.v));
+    ASSERT_TRUE(v4_edge);
+    EXPECT_EQ(scenario.world().graph.edge(*v4_edge).rel, edge.rel);
+  }
+}
+
+TEST(V6World, CliqueAdoptsFully) {
+  const auto& scenario = test::shared_scenario();
+  const auto v6 = build_v6_world(scenario.world());
+  EXPECT_EQ(v6.clique.size(), scenario.world().clique.size());
+}
+
+TEST(V6World, Deterministic) {
+  const auto& scenario = test::shared_scenario();
+  const auto a = build_v6_world(scenario.world());
+  const auto b = build_v6_world(scenario.world());
+  EXPECT_EQ(a.graph.node_count(), b.graph.node_count());
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+}
+
+TEST(V6World, ScarceRegionsAdoptMore) {
+  const auto& scenario = test::shared_scenario();
+  const auto& world = scenario.world();
+  const V6Params params;
+  std::array<int, 5> capable{};
+  std::array<int, 5> total{};
+  for (const auto asn : world.graph.nodes()) {
+    const auto& attrs = world.attrs.at(asn);
+    if (attrs.tier != topo::Tier::kStub) continue;  // same base rate
+    const auto idx = static_cast<std::size_t>(attrs.region);
+    ++total[idx];
+    if (v6_capable(world, asn, params)) ++capable[idx];
+  }
+  const auto rate = [&](rir::Region region) {
+    const auto idx = static_cast<std::size_t>(region);
+    return total[idx] == 0 ? 0.0
+                           : static_cast<double>(capable[idx]) / total[idx];
+  };
+  EXPECT_GT(rate(rir::Region::kLacnic), rate(rir::Region::kRipe));
+  EXPECT_GT(rate(rir::Region::kApnic), rate(rir::Region::kArin));
+}
+
+TEST(V6World, CongruenceOfIdenticalInferencesIsPerfect) {
+  infer::Inference inference;
+  infer::InferredRel rel;
+  rel.rel = topo::RelType::kP2P;
+  inference.set(val::AsLink{asn::Asn{1}, asn::Asn{2}}, rel);
+  const auto report = compare_stacks(inference, inference);
+  EXPECT_EQ(report.shared_links, 1u);
+  EXPECT_DOUBLE_EQ(report.congruence(), 1.0);
+}
+
+}  // namespace
+}  // namespace asrel::core

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "bgp/community.hpp"
+#include "bgp/propagation.hpp"
+#include "bgp/vantage.hpp"
+#include "test_support.hpp"
+
+namespace asrel::bgp {
+namespace {
+
+using asn::Asn;
+using test::micro_world;
+using test::MicroWorld;
+
+// ------------------------------------------------------------ communities --
+
+TEST(Community, PartsAndFormat) {
+  const Community c{3356, 666};
+  EXPECT_EQ(c.high(), 3356);
+  EXPECT_EQ(c.low(), 666);
+  EXPECT_EQ(to_string(c), "3356:666");
+}
+
+TEST(Community, ParseRoundTrip) {
+  const auto c = parse_community("174:990");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(*c, (Community{174, 990}));
+  EXPECT_EQ(parse_community(to_string(*c)), c);
+}
+
+TEST(Community, ParseRejects) {
+  EXPECT_FALSE(parse_community("174"));
+  EXPECT_FALSE(parse_community("174:"));
+  EXPECT_FALSE(parse_community(":990"));
+  EXPECT_FALSE(parse_community("70000:1"));
+  EXPECT_FALSE(parse_community("174:70000"));
+  EXPECT_FALSE(parse_community("a:b"));
+}
+
+TEST(Community, WellKnownValues) {
+  EXPECT_EQ(to_string(kBlackhole), "65535:666");
+  EXPECT_EQ(to_string(kNoExport), "65535:65281");
+}
+
+TEST(LargeCommunity, ParseAndFormat) {
+  const auto c = parse_large_community("3356:100:200");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->global, 3356u);
+  EXPECT_EQ(to_string(*c), "3356:100:200");
+  EXPECT_FALSE(parse_large_community("3356:100"));
+}
+
+// ------------------------------------------------------------ propagation --
+
+PropagationParams quiet_params() {
+  PropagationParams params;
+  params.enable_prepending = false;
+  params.private_asn_leak = 0.0;
+  params.threads = 1;
+  return params;
+}
+
+TEST(Propagation, CustomerRouteClimbsProviders) {
+  const MicroWorld mw = micro_world();
+  const Propagator prop{mw.world, quiet_params()};
+  const auto rib = prop.propagate(mw.s1);
+  // S1 -> M1 -> L1 -> T1a: everyone on the chain has a customer route.
+  for (const Asn asn : {mw.m1, mw.l1, mw.t1a}) {
+    const auto node = *mw.world.graph.node_of(asn);
+    EXPECT_EQ(rib.pref[node], static_cast<std::uint8_t>(RoutePref::kCustomer));
+  }
+}
+
+TEST(Propagation, PeerRouteDoesNotChain) {
+  const MicroWorld mw = micro_world();
+  const Propagator prop{mw.world, quiet_params()};
+  const auto rib = prop.propagate(mw.s1);
+  // T1b hears S1 via peer T1a; T1b's peer S4 must NOT receive that peer
+  // route over the (S4, T1b) peering — S4 reaches S1 via its provider M4.
+  const auto t1b = *mw.world.graph.node_of(mw.t1b);
+  EXPECT_EQ(rib.pref[t1b], static_cast<std::uint8_t>(RoutePref::kPeer));
+  const auto s4 = *mw.world.graph.node_of(mw.s4);
+  EXPECT_EQ(rib.pref[s4], static_cast<std::uint8_t>(RoutePref::kProvider));
+  EXPECT_EQ(rib.parent[s4], *mw.world.graph.node_of(mw.m4));
+}
+
+TEST(Propagation, EveryoneReachesEveryOrigin) {
+  const MicroWorld mw = micro_world();
+  const Propagator prop{mw.world, quiet_params()};
+  for (const Asn origin : mw.world.graph.nodes()) {
+    const auto rib = prop.propagate(origin);
+    for (topo::NodeId node = 0; node < mw.world.graph.node_count(); ++node) {
+      EXPECT_TRUE(rib.reachable(node))
+          << "AS" << mw.world.graph.asn_of(node).value()
+          << " cannot reach AS" << origin.value();
+    }
+  }
+}
+
+TEST(Propagation, PathReconstructionEndsAtOrigin) {
+  const MicroWorld mw = micro_world();
+  const Propagator prop{mw.world, quiet_params()};
+  const auto rib = prop.propagate(mw.s3);
+  const auto path = prop.path_at(rib, *mw.world.graph.node_of(mw.s1));
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), mw.s1);
+  EXPECT_EQ(path.back(), mw.s3);
+}
+
+TEST(Propagation, PartialTransitHidesCustomerFromPeers) {
+  const MicroWorld mw = micro_world();
+  const Propagator prop{mw.world, quiet_params()};
+  // L2 tags customers-only at T1a; T1a must not export L2's routes to its
+  // peer T1b. But L2 is multihomed to T1b directly, so T1b still reaches it
+  // as a customer route.
+  const auto rib = prop.propagate(mw.s3);  // S3 sits under L2 (and L3)
+  const auto t1b = *mw.world.graph.node_of(mw.t1b);
+  EXPECT_TRUE(rib.reachable(t1b));
+  // T1b's route must go via its own customers (L2 or L3), never via T1a.
+  const auto path = prop.path_at(rib, t1b);
+  for (const Asn hop : path) {
+    EXPECT_NE(hop, mw.t1a);
+  }
+}
+
+TEST(Propagation, PartialTransitCustomersOnlyOriginVisibility) {
+  const MicroWorld mw = micro_world();
+  const Propagator prop{mw.world, quiet_params()};
+  // Routes ORIGINATED by L2 reach T1a (customer route) but T1a must not
+  // give them to T1b; T1b uses its own customer link to L2.
+  const auto rib = prop.propagate(mw.l2);
+  const auto t1b = *mw.world.graph.node_of(mw.t1b);
+  EXPECT_EQ(rib.parent[t1b], *mw.world.graph.node_of(mw.l2));
+}
+
+TEST(Propagation, ScopesCanBeDisabledForAblation) {
+  const MicroWorld mw = micro_world();
+  auto params = quiet_params();
+  params.honor_export_scopes = false;
+  const Propagator prop{mw.world, params};
+  // With scopes ignored, T1b may hear L2's origin via peer T1a — but the
+  // direct customer route still wins by preference. Check instead at the
+  // path level for S1: nothing should change structurally. Just assert the
+  // propagation remains total.
+  const auto rib = prop.propagate(mw.l2);
+  for (topo::NodeId node = 0; node < mw.world.graph.node_count(); ++node) {
+    EXPECT_TRUE(rib.reachable(node));
+  }
+}
+
+TEST(Propagation, ValleyFreePathsEverywhere) {
+  // Property: every path collected at any VP is valley-free with respect to
+  // the (hybrid-resolved) ground truth: ascending hops, at most one flat
+  // peer hop, then descending hops. Sibling hops may appear anywhere.
+  const MicroWorld mw = micro_world();
+  const Propagator prop{mw.world, quiet_params()};
+  const auto& graph = mw.world.graph;
+  for (const Asn origin : graph.nodes()) {
+    const auto rib = prop.propagate(origin);
+    for (topo::NodeId node = 0; node < graph.node_count(); ++node) {
+      const auto path = prop.path_at(rib, node);
+      if (path.size() < 2) continue;
+      // Phases: 0 = ascending (right is provider of left), 1 = peer used,
+      // 2 = descending.
+      int phase = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto edge_id = graph.find_edge(path[i], path[i + 1]);
+        ASSERT_TRUE(edge_id);
+        const auto rel = prop.effective_rel(graph.edge(*edge_id), origin);
+        if (rel == topo::RelType::kS2S) continue;
+        if (rel == topo::RelType::kP2P) {
+          EXPECT_EQ(phase, 0) << "peer hop after the peak";
+          phase = 2;
+          continue;
+        }
+        const auto& edge = graph.edge(*edge_id);
+        const bool left_is_provider = graph.asn_of(edge.u) == path[i];
+        if (phase == 0 && !left_is_provider) continue;  // still ascending
+        EXPECT_TRUE(left_is_provider) << "ascent after descent";
+        phase = 2;
+      }
+    }
+  }
+}
+
+TEST(Propagation, DeterministicAcrossThreadCounts) {
+  core::ScenarioParams params;
+  params.topology.as_count = 800;
+  params.vantage.target_count = 40;
+  params.propagation.threads = 1;
+  const auto single = core::Scenario::build(params);
+  params.propagation.threads = 4;
+  const auto multi = core::Scenario::build(params);
+  EXPECT_EQ(single->paths().path_count(), multi->paths().path_count());
+  EXPECT_EQ(single->observed().link_count(), multi->observed().link_count());
+  EXPECT_EQ(single->raw_validation().size(), multi->raw_validation().size());
+}
+
+TEST(Propagation, PrependingInflatesPathsDeterministically) {
+  const auto& world = test::shared_scenario().world();
+  PropagationParams params;
+  params.threads = 1;
+  const Propagator prop{world, params};
+  // prepend_count must be deterministic and bounded.
+  const Asn origin = world.graph.nodes()[0];
+  for (topo::NodeId node = 0; node < 100; ++node) {
+    const auto a = prop.prepend_count(node, origin);
+    const auto b = prop.prepend_count(node, origin);
+    EXPECT_EQ(a, b);
+    EXPECT_LE(a, 3u);
+  }
+}
+
+TEST(Propagation, LeakedPrivateAsnIsPrivate) {
+  const auto& world = test::shared_scenario().world();
+  PropagationParams params;
+  params.private_asn_leak = 1.0;  // force leaks
+  const Propagator prop{world, params};
+  const auto leak = prop.leaked_private_asn(world.graph.nodes()[0]);
+  ASSERT_TRUE(leak);
+  EXPECT_TRUE(asn::is_private_use(*leak));
+}
+
+// ---------------------------------------------------------------- vantage --
+
+TEST(Vantage, IncludesEveryCliqueMember) {
+  const auto& scenario = test::shared_scenario();
+  std::unordered_set<Asn> vps;
+  for (const auto& vp : scenario.vantage_points()) vps.insert(vp.asn);
+  for (const Asn member : scenario.world().clique)
+    EXPECT_TRUE(vps.contains(member));
+}
+
+TEST(Vantage, RespectsTargetCount) {
+  const auto& world = test::shared_scenario().world();
+  VantageParams params;
+  params.target_count = 50;
+  const auto vps = select_vantage_points(world, params);
+  EXPECT_EQ(vps.size(), 50u);
+}
+
+TEST(Vantage, DeterministicSelection) {
+  const auto& world = test::shared_scenario().world();
+  VantageParams params;
+  const auto a = select_vantage_points(world, params);
+  const auto b = select_vantage_points(world, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].asn, b[i].asn);
+    EXPECT_EQ(a[i].full_feed, b[i].full_feed);
+  }
+}
+
+TEST(Vantage, NoDuplicates) {
+  const auto& scenario = test::shared_scenario();
+  std::unordered_set<Asn> seen;
+  for (const auto& vp : scenario.vantage_points()) {
+    EXPECT_TRUE(seen.insert(vp.asn).second);
+  }
+}
+
+// ------------------------------------------------------------- collection --
+
+TEST(Collection, PathsStartAtVpAndEndAtOrigin) {
+  const auto& scenario = test::shared_scenario();
+  const auto vps = scenario.paths().vantage_points();
+  std::size_t checked = 0;
+  scenario.paths().for_each_path([&](const PathTable::PathRef& ref) {
+    if (checked > 2000) return;
+    // Legacy 16-bit sessions may show the VP itself as AS_TRANS.
+    if (vps[ref.vp_index].legacy_16bit) return;
+    ++checked;
+    ASSERT_FALSE(ref.path.empty());
+    EXPECT_EQ(ref.path.front(), vps[ref.vp_index].asn);
+  });
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Collection, PartialFeedsExportOnlyCustomerRoutes) {
+  // A partial-feed VP's paths must all start with a customer/sibling route:
+  // verify by recomputing the route preference for a sample.
+  const auto& scenario = test::shared_scenario();
+  const auto prop = scenario.propagator();
+  const auto vps = scenario.paths().vantage_points();
+  const auto& graph = scenario.world().graph;
+
+  int checked = 0;
+  scenario.paths().for_each_path([&](const PathTable::PathRef& ref) {
+    if (checked >= 60) return;
+    const auto& vp = vps[ref.vp_index];
+    if (vp.full_feed || vp.legacy_16bit) return;
+    if (ref.path.size() < 2) return;
+    ++checked;
+    const auto rib = prop.propagate(graph.asn_of(ref.origin));
+    const auto vp_node = graph.node_of(vp.asn);
+    ASSERT_TRUE(vp_node);
+    EXPECT_EQ(rib.pref[*vp_node],
+              static_cast<std::uint8_t>(RoutePref::kCustomer));
+  });
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Collection, PathCountMatchesRecount) {
+  const auto& scenario = test::shared_scenario();
+  std::size_t counted = 0;
+  scenario.paths().for_each_path([&](const auto&) { ++counted; });
+  EXPECT_EQ(counted, scenario.paths().path_count());
+}
+
+}  // namespace
+}  // namespace asrel::bgp

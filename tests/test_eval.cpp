@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/coverage.hpp"
+#include "eval/heatmap.hpp"
+#include "eval/link_class.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "eval/sampling.hpp"
+#include "test_support.hpp"
+
+namespace asrel::eval {
+namespace {
+
+using asn::Asn;
+using val::AsLink;
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(ConfusionMatrix, BasicRates) {
+  const ConfusionMatrix m{.tp = 8, .fp = 2, .tn = 85, .fn = 5};
+  EXPECT_DOUBLE_EQ(m.ppv(), 0.8);
+  EXPECT_NEAR(m.tpr(), 8.0 / 13.0, 1e-12);
+  EXPECT_NEAR(m.tnr(), 85.0 / 87.0, 1e-12);
+  EXPECT_EQ(m.total(), 100u);
+}
+
+TEST(ConfusionMatrix, PerfectClassifier) {
+  const ConfusionMatrix m{.tp = 10, .fp = 0, .tn = 90, .fn = 0};
+  EXPECT_DOUBLE_EQ(m.ppv(), 1.0);
+  EXPECT_DOUBLE_EQ(m.tpr(), 1.0);
+  EXPECT_DOUBLE_EQ(m.mcc(), 1.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(m.fowlkes_mallows(), 1.0);
+}
+
+TEST(ConfusionMatrix, InvertedClassifierHasNegativeMcc) {
+  const ConfusionMatrix m{.tp = 0, .fp = 90, .tn = 0, .fn = 10};
+  EXPECT_DOUBLE_EQ(m.mcc(), -1.0);
+}
+
+TEST(ConfusionMatrix, EmptyMarginalsGiveZero) {
+  const ConfusionMatrix nothing{};
+  EXPECT_DOUBLE_EQ(nothing.ppv(), 0.0);
+  EXPECT_DOUBLE_EQ(nothing.mcc(), 0.0);
+  const ConfusionMatrix no_positives{.tp = 0, .fp = 0, .tn = 50, .fn = 0};
+  EXPECT_DOUBLE_EQ(no_positives.mcc(), 0.0);
+}
+
+TEST(ConfusionMatrix, KnownMccValue) {
+  // Chicco et al. style example: tp=90, fp=4, tn=1, fn=5.
+  const ConfusionMatrix m{.tp = 90, .fp = 4, .tn = 1, .fn = 5};
+  const double expected =
+      (90.0 * 1 - 4.0 * 5) /
+      std::sqrt((90.0 + 4) * (90.0 + 5) * (1.0 + 4) * (1.0 + 5));
+  EXPECT_NEAR(m.mcc(), expected, 1e-12);
+}
+
+TEST(ConfusionMatrix, MccInvariantUnderClassSwap) {
+  const ConfusionMatrix m{.tp = 37, .fp = 9, .tn = 61, .fn = 13};
+  EXPECT_NEAR(m.mcc(), m.inverted().mcc(), 1e-12);
+}
+
+TEST(ConfusionMatrix, InvertedSwapsRoles) {
+  const ConfusionMatrix m{.tp = 1, .fp = 2, .tn = 3, .fn = 4};
+  const auto inv = m.inverted();
+  EXPECT_EQ(inv.tp, 3u);
+  EXPECT_EQ(inv.fp, 4u);
+  EXPECT_EQ(inv.tn, 1u);
+  EXPECT_EQ(inv.fn, 2u);
+}
+
+TEST(ConfusionMatrix, Accumulation) {
+  ConfusionMatrix m{.tp = 1, .fp = 1, .tn = 1, .fn = 1};
+  m += ConfusionMatrix{.tp = 2, .fp = 0, .tn = 0, .fn = 0};
+  EXPECT_EQ(m.tp, 3u);
+  EXPECT_EQ(m.total(), 6u);
+}
+
+// ------------------------------------------------------------ link classes --
+
+TEST(LinkClass, RegionalNaming) {
+  const rir::RegionMapper mapper;  // IANA bootstrap
+  // 8192 RIPE, 1 ARIN, 27000 LACNIC.
+  EXPECT_EQ(regional_class(mapper, AsLink{Asn{8192}, Asn{8193}}), "R°");
+  EXPECT_EQ(regional_class(mapper, AsLink{Asn{1}, Asn{8192}}), "AR-R");
+  EXPECT_EQ(regional_class(mapper, AsLink{Asn{1}, Asn{27000}}), "AR-L");
+  EXPECT_EQ(regional_class(mapper, AsLink{Asn{27000}, Asn{8192}}), "L-R");
+  // Reserved endpoint -> unknown class.
+  EXPECT_EQ(regional_class(mapper, AsLink{Asn{1}, asn::kAsTrans}), "?");
+}
+
+TEST(LinkClass, TopologicalNamingAndOrder) {
+  const TopoClassifier classifier{
+      [](Asn asn) { return asn == Asn{1}; },          // hypergiant
+      [](Asn asn) { return asn == Asn{2}; },          // tier-1
+      [](Asn asn) { return asn.value() >= 10; }};     // transit
+  EXPECT_EQ(classifier.class_of(AsLink{Asn{5}, Asn{6}}), "S°");
+  EXPECT_EQ(classifier.class_of(AsLink{Asn{5}, Asn{10}}), "S-TR");
+  EXPECT_EQ(classifier.class_of(AsLink{Asn{10}, Asn{11}}), "TR°");
+  EXPECT_EQ(classifier.class_of(AsLink{Asn{2}, Asn{10}}), "T1-TR");
+  EXPECT_EQ(classifier.class_of(AsLink{Asn{2}, Asn{5}}), "S-T1");
+  EXPECT_EQ(classifier.class_of(AsLink{Asn{1}, Asn{10}}), "H-TR");
+  EXPECT_EQ(classifier.class_of(AsLink{Asn{1}, Asn{5}}), "H-S");
+  EXPECT_EQ(classifier.class_of(AsLink{Asn{1}, Asn{2}}), "H-T1");
+}
+
+TEST(LinkClass, HypergiantPrecedesTier1) {
+  const TopoClassifier classifier{[](Asn) { return true; },
+                                  [](Asn) { return true; },
+                                  [](Asn) { return true; }};
+  EXPECT_EQ(classifier.category_of(Asn{1}), TopoCategory::kHypergiant);
+}
+
+TEST(LinkClass, FromWorldMatchesAttributes) {
+  const auto& scenario = test::shared_scenario();
+  const auto classifier = TopoClassifier::from_world(scenario.world());
+  for (const Asn member : scenario.world().clique) {
+    EXPECT_EQ(classifier.category_of(member), TopoCategory::kTier1);
+  }
+  for (const Asn giant : scenario.world().hypergiants) {
+    EXPECT_EQ(classifier.category_of(giant), TopoCategory::kHypergiant);
+  }
+}
+
+// ---------------------------------------------------------------- coverage --
+
+TEST(Coverage, CountsAndShares) {
+  const std::vector<AsLink> inferred{
+      {Asn{1}, Asn{8192}}, {Asn{1}, Asn{2}}, {Asn{2}, Asn{3}},
+      {Asn{8192}, Asn{8193}}};
+  std::vector<val::CleanLabel> validated(1);
+  validated[0].link = AsLink{Asn{1}, Asn{2}};
+  validated[0].rel = topo::RelType::kP2P;
+  const rir::RegionMapper mapper;
+  const auto report = coverage_by_class(
+      inferred, validated,
+      [&](const AsLink& link) { return regional_class(mapper, link); });
+  EXPECT_EQ(report.total_inferred, 4u);
+  EXPECT_EQ(report.total_validated, 1u);
+  ASSERT_FALSE(report.rows.empty());
+  // AR° holds 2 of 4 links and 1 of them is validated.
+  EXPECT_EQ(report.rows[0].name, "AR°");
+  EXPECT_DOUBLE_EQ(report.rows[0].share, 0.5);
+  EXPECT_DOUBLE_EQ(report.rows[0].coverage, 0.5);
+}
+
+TEST(Coverage, ValidationOutsideInferredIgnored) {
+  const std::vector<AsLink> inferred{{Asn{1}, Asn{2}}};
+  std::vector<val::CleanLabel> validated(1);
+  validated[0].link = AsLink{Asn{5}, Asn{6}};  // not inferred
+  const rir::RegionMapper mapper;
+  const auto report = coverage_by_class(
+      inferred, validated,
+      [&](const AsLink& link) { return regional_class(mapper, link); });
+  EXPECT_EQ(report.total_validated, 0u);
+}
+
+// ----------------------------------------------------------------- heatmap --
+
+TEST(Heatmap, BinsByLargerAndSmaller) {
+  Heatmap map{HeatmapSpec{.x_cap = 100, .y_cap = 10, .x_bins = 10,
+                          .y_bins = 10}};
+  map.add(5, 95);   // larger 95 -> x bin 9; smaller 5 -> y bin 5
+  map.add(95, 5);   // symmetric
+  EXPECT_EQ(map.count(9, 5), 2u);
+  EXPECT_EQ(map.total(), 2u);
+  EXPECT_DOUBLE_EQ(map.fraction(9, 5), 1.0);
+}
+
+TEST(Heatmap, CapsCatchAll) {
+  Heatmap map{HeatmapSpec{.x_cap = 100, .y_cap = 10, .x_bins = 10,
+                          .y_bins = 10}};
+  map.add(5000, 700);  // both beyond cap: last bins
+  EXPECT_EQ(map.count(9, 9), 1u);
+}
+
+TEST(Heatmap, BottomLeftMass) {
+  Heatmap map{HeatmapSpec{.x_cap = 100, .y_cap = 100, .x_bins = 10,
+                          .y_bins = 10}};
+  map.add(1, 1);
+  map.add(99, 99);
+  EXPECT_DOUBLE_EQ(map.bottom_left_mass(0.25), 0.5);
+}
+
+TEST(Heatmap, CsvHasHeaderAndRows) {
+  Heatmap map{HeatmapSpec{.x_cap = 10, .y_cap = 10, .x_bins = 2,
+                          .y_bins = 2}};
+  map.add(1, 1);
+  const auto csv = map.to_csv();
+  EXPECT_NE(csv.find("x_low,y_low,fraction"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,1.000000"), std::string::npos);
+}
+
+TEST(Heatmap, BuildFromLinks) {
+  const std::vector<AsLink> links{{Asn{1}, Asn{2}}, {Asn{2}, Asn{3}}};
+  const auto map = build_link_heatmap(
+      links, [](Asn asn) { return asn.value() * 10; },
+      HeatmapSpec{.x_cap = 100, .y_cap = 50, .x_bins = 10, .y_bins = 5});
+  EXPECT_EQ(map.total(), 2u);
+}
+
+// ------------------------------------------------------------------ report --
+
+std::vector<EvalPair> synthetic_pairs() {
+  std::vector<EvalPair> pairs;
+  const auto add = [&](std::uint32_t a, std::uint32_t b, bool val_p2p,
+                       bool inf_p2p, std::uint32_t provider = 0) {
+    EvalPair pair;
+    pair.link = AsLink{Asn{a}, Asn{b}};
+    pair.validated = val_p2p ? topo::RelType::kP2P : topo::RelType::kP2C;
+    pair.validated_provider = Asn{provider ? provider : a};
+    pair.inferred = inf_p2p ? topo::RelType::kP2P : topo::RelType::kP2C;
+    pair.inferred_provider = Asn{provider ? provider : a};
+    pairs.push_back(pair);
+  };
+  for (int i = 0; i < 8; ++i) add(100 + i, 200 + i, true, true);    // tp
+  for (int i = 0; i < 2; ++i) add(300 + i, 400 + i, false, true);   // fp
+  for (int i = 0; i < 1; ++i) add(500 + i, 600 + i, true, false);   // fn
+  for (int i = 0; i < 9; ++i) add(700 + i, 800 + i, false, false);  // tn
+  return pairs;
+}
+
+TEST(Report, ClassMetricsFromPairs) {
+  const auto metrics = compute_class_metrics(synthetic_pairs(), "Total°");
+  EXPECT_EQ(metrics.p2p.tp, 8u);
+  EXPECT_EQ(metrics.p2p.fp, 2u);
+  EXPECT_EQ(metrics.p2p.fn, 1u);
+  EXPECT_EQ(metrics.p2p.tn, 9u);
+  EXPECT_EQ(metrics.p2p_links, 9u);
+  EXPECT_EQ(metrics.p2c_links, 11u);
+  EXPECT_DOUBLE_EQ(metrics.p2p.ppv(), 0.8);
+  // P2C-positive matrix is the inversion.
+  EXPECT_EQ(metrics.p2c.tp, 9u);
+  EXPECT_EQ(metrics.p2c.fp, 1u);
+  EXPECT_DOUBLE_EQ(metrics.orientation_accuracy, 1.0);
+}
+
+TEST(Report, OrientationMismatchTracked) {
+  std::vector<EvalPair> pairs(1);
+  pairs[0].link = AsLink{Asn{1}, Asn{2}};
+  pairs[0].validated = topo::RelType::kP2C;
+  pairs[0].validated_provider = Asn{1};
+  pairs[0].inferred = topo::RelType::kP2C;
+  pairs[0].inferred_provider = Asn{2};  // flipped
+  const auto metrics = compute_class_metrics(pairs, "x");
+  EXPECT_DOUBLE_EQ(metrics.orientation_accuracy, 0.0);
+}
+
+TEST(Report, TableFiltersSmallClasses) {
+  const auto pairs = synthetic_pairs();
+  const auto table = build_validation_table(
+      pairs, [](const AsLink&) { return std::string{"X°"}; }, 5);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0].name, "X°");
+  const auto empty_table = build_validation_table(
+      pairs, [](const AsLink&) { return std::string{"X°"}; }, 100);
+  EXPECT_TRUE(empty_table.rows.empty());
+}
+
+TEST(Report, RenderingContainsHeaderAndRows) {
+  const auto pairs = synthetic_pairs();
+  const auto table = build_validation_table(
+      pairs, [](const AsLink&) { return std::string{"X°"}; }, 5);
+  const auto text = render_validation_table(table, /*color=*/false);
+  EXPECT_NE(text.find("PPV_P"), std::string::npos);
+  EXPECT_NE(text.find("Total°"), std::string::npos);
+  EXPECT_NE(text.find("X°"), std::string::npos);
+  EXPECT_EQ(text.find('\x1b'), std::string::npos);  // no ANSI without color
+}
+
+TEST(Report, ColorRenderingMarksBigDrops) {
+  auto pairs = synthetic_pairs();
+  // A class with terrible P2P precision.
+  std::vector<EvalPair> bad;
+  for (int i = 0; i < 6; ++i) {
+    EvalPair pair;
+    pair.link = AsLink{Asn{9000u + i}, Asn{9100u + i}};
+    pair.validated = topo::RelType::kP2C;
+    pair.validated_provider = pair.link.a;
+    pair.inferred = topo::RelType::kP2P;
+    bad.push_back(pair);
+  }
+  pairs.insert(pairs.end(), bad.begin(), bad.end());
+  const auto table = build_validation_table(
+      pairs,
+      [&](const AsLink& link) {
+        return link.a.value() >= 9000 ? std::string{"BAD"} : std::string{"OK"};
+      },
+      5);
+  const auto text = render_validation_table(table, /*color=*/true);
+  EXPECT_NE(text.find("\x1b[31m"), std::string::npos);  // red somewhere
+}
+
+TEST(Report, MakeEvalPairsIntersects) {
+  const auto& scenario = test::shared_scenario();
+  infer::Inference inference;
+  // Label only one validated link.
+  ASSERT_FALSE(scenario.validation().empty());
+  const auto& first = scenario.validation().front();
+  infer::InferredRel rel;
+  rel.rel = topo::RelType::kP2P;
+  inference.set(first.link, rel);
+  const auto pairs = make_eval_pairs(scenario.validation(), inference);
+  EXPECT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].link, first.link);
+}
+
+// ---------------------------------------------------------------- sampling --
+
+TEST(Sampling, FullSampleMatchesExactMetrics) {
+  const auto pairs = synthetic_pairs();
+  SamplingParams params;
+  params.min_percent = 100;
+  params.max_percent = 100;
+  params.repetitions = 5;
+  const auto result = run_sampling_experiment(pairs, params);
+  ASSERT_EQ(result.points.size(), 1u);
+  const auto exact = compute_class_metrics(pairs, "x");
+  EXPECT_NEAR(result.points[0].ppv_p_median, exact.p2p.ppv(), 1e-12);
+  EXPECT_NEAR(result.points[0].tpr_p_median, exact.p2p.tpr(), 1e-12);
+  EXPECT_NEAR(result.points[0].mcc_median, exact.mcc, 1e-12);
+}
+
+TEST(Sampling, QuartilesAreOrdered) {
+  const auto pairs = synthetic_pairs();
+  SamplingParams params;
+  params.min_percent = 50;
+  params.max_percent = 90;
+  params.step = 10;
+  params.repetitions = 30;
+  const auto result = run_sampling_experiment(pairs, params);
+  for (const auto& point : result.points) {
+    EXPECT_LE(point.ppv_p_q1, point.ppv_p_median);
+    EXPECT_LE(point.ppv_p_median, point.ppv_p_q3);
+    EXPECT_LE(point.mcc_q1, point.mcc_q3);
+  }
+}
+
+TEST(Sampling, DeterministicForSeed) {
+  const auto pairs = synthetic_pairs();
+  SamplingParams params;
+  params.repetitions = 10;
+  const auto a = run_sampling_experiment(pairs, params);
+  const auto b = run_sampling_experiment(pairs, params);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].mcc_median, b.points[i].mcc_median);
+  }
+}
+
+TEST(Sampling, CsvContainsAllPoints) {
+  const auto pairs = synthetic_pairs();
+  SamplingParams params;
+  params.min_percent = 50;
+  params.max_percent = 52;
+  params.repetitions = 3;
+  const auto result = run_sampling_experiment(pairs, params);
+  const auto csv = to_csv(result);
+  EXPECT_NE(csv.find("percent,"), std::string::npos);
+  EXPECT_NE(csv.find("\n50,"), std::string::npos);
+  EXPECT_NE(csv.find("\n52,"), std::string::npos);
+}
+
+TEST(Sampling, EmptyInputYieldsEmptyResult) {
+  const auto result = run_sampling_experiment({}, {});
+  EXPECT_TRUE(result.points.empty());
+}
+
+}  // namespace
+}  // namespace asrel::eval

@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "infer/asrank.hpp"
+#include "infer/clique.hpp"
+#include "infer/gao.hpp"
+#include "infer/inference.hpp"
+#include "infer/observed.hpp"
+#include "infer/problink.hpp"
+#include "infer/toposcope.hpp"
+#include "test_support.hpp"
+
+namespace asrel::infer {
+namespace {
+
+using asn::Asn;
+
+// A tiny hand-rolled path table:
+//   vp0 = AS1 (full feed), vp1 = AS5
+//   paths as annotated below.
+bgp::PathTable tiny_table() {
+  bgp::PathTable table;
+  table.set_vantage_points({{Asn{1}, true, false}, {Asn{5}, true, false}});
+  table.resize_origins(8);
+  const auto add = [&](topo::NodeId origin, std::uint32_t vp,
+                       std::initializer_list<std::uint32_t> hops) {
+    std::vector<Asn> path;
+    for (const auto value : hops) path.push_back(Asn{value});
+    table.add_path(origin, vp, path);
+  };
+  add(0, 0, {1, 2, 3});        // AS1 -> AS2 -> AS3
+  add(1, 0, {1, 2, 4});        // AS1 -> AS2 -> AS4
+  add(2, 0, {1, 2, 2, 2, 4});  // prepending on AS2
+  add(3, 1, {5, 2, 3});        // AS5 -> AS2 -> AS3
+  add(4, 0, {1, 6, 1, 3});     // loop: dropped
+  add(5, 0, {1, 2, 23456});    // AS_TRANS: dropped
+  add(6, 0, {1, 2, 64512});    // private ASN: dropped
+  table.recount();
+  return table;
+}
+
+TEST(ObservedPaths, SanitizesLoopsReservedAndPrepending) {
+  SanitizeStats stats;
+  const auto observed = ObservedPaths::build(tiny_table(), &stats);
+  EXPECT_EQ(stats.input_paths, 7u);
+  EXPECT_EQ(stats.dropped_loop, 1u);
+  EXPECT_EQ(stats.dropped_reserved, 2u);
+  EXPECT_EQ(stats.kept, 4u);
+  EXPECT_EQ(observed.path_count(), 4u);
+  // The prepended path collapsed to 3 hops.
+  EXPECT_EQ(observed.path(2).size(), 3u);
+}
+
+TEST(ObservedPaths, TransitDegreeCountsMiddleNeighbors) {
+  const auto observed = ObservedPaths::build(tiny_table(), nullptr);
+  // AS2 appears in the middle next to {1, 3, 4, 5}: transit degree 4.
+  const auto as2 = observed.index_of(Asn{2});
+  ASSERT_TRUE(as2);
+  EXPECT_EQ(observed.transit_degree(*as2), 4u);
+  // Path-end ASes have transit degree 0.
+  EXPECT_EQ(observed.transit_degree(*observed.index_of(Asn{3})), 0u);
+  EXPECT_EQ(observed.transit_degree(*observed.index_of(Asn{1})), 0u);
+}
+
+TEST(ObservedPaths, NodeDegreeCountsDistinctNeighbors) {
+  const auto observed = ObservedPaths::build(tiny_table(), nullptr);
+  EXPECT_EQ(observed.node_degree(*observed.index_of(Asn{2})), 4u);
+  EXPECT_EQ(observed.node_degree(*observed.index_of(Asn{3})), 1u);
+}
+
+TEST(ObservedPaths, LinkStatisticsTrackVps) {
+  const auto observed = ObservedPaths::build(tiny_table(), nullptr);
+  const auto* info = observed.link(val::AsLink{Asn{2}, Asn{3}});
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->vp_count, 2u);       // seen from both VPs
+  EXPECT_EQ(info->occurrences, 2u);
+  const auto* single = observed.link(val::AsLink{Asn{2}, Asn{4}});
+  ASSERT_NE(single, nullptr);
+  EXPECT_EQ(single->vp_count, 1u);
+  EXPECT_EQ(observed.link(val::AsLink{Asn{1}, Asn{9}}), nullptr);
+}
+
+TEST(ObservedPaths, RankOrderIsTransitDegreeFirst) {
+  const auto observed = ObservedPaths::build(tiny_table(), nullptr);
+  const auto rank = observed.rank_order();
+  EXPECT_EQ(observed.asn_at(rank[0]), Asn{2});  // highest transit degree
+}
+
+TEST(ObservedPaths, FirstHopCoverage) {
+  const auto observed = ObservedPaths::build(tiny_table(), nullptr);
+  EXPECT_EQ(observed.first_hop_count(0, Asn{2}), 3u);
+  EXPECT_EQ(observed.origin_count(0), 3u);  // after sanitization
+  EXPECT_EQ(observed.first_hop_count(1, Asn{2}), 1u);
+}
+
+// ----------------------------------------------------------------- clique --
+
+TEST(Clique, RecoversGroundTruthTier1s) {
+  const auto& scenario = test::shared_scenario();
+  const auto clique = infer_clique(scenario.observed(), {});
+  std::unordered_set<Asn> truth(scenario.world().clique.begin(),
+                                scenario.world().clique.end());
+  std::size_t correct = 0;
+  for (const Asn member : clique) {
+    if (truth.contains(member)) ++correct;
+  }
+  ASSERT_FALSE(clique.empty());
+  // High precision; recall may miss a few members in small worlds.
+  EXPECT_GE(static_cast<double>(correct),
+            0.9 * static_cast<double>(clique.size()));
+  EXPECT_GE(correct, truth.size() / 2);
+}
+
+// ----------------------------------------------------------------- asrank --
+
+TEST(AsRank, LabelsEveryVisibleLink) {
+  const auto& scenario = test::shared_scenario();
+  const auto result = run_asrank(scenario.observed());
+  EXPECT_EQ(result.inference.size(), scenario.observed().link_count());
+}
+
+TEST(AsRank, Deterministic) {
+  const auto& scenario = test::shared_scenario();
+  const auto a = run_asrank(scenario.observed());
+  const auto b = run_asrank(scenario.observed());
+  EXPECT_EQ(a.clique, b.clique);
+  EXPECT_EQ(a.inference.agreement_with(b.inference), 1.0);
+}
+
+TEST(AsRank, CliqueMeshInferredAsPeering) {
+  const auto& scenario = test::shared_scenario();
+  const auto result = run_asrank(scenario.observed());
+  for (std::size_t i = 0; i < result.clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.clique.size(); ++j) {
+      const auto* rel =
+          result.inference.find(val::AsLink{result.clique[i],
+                                            result.clique[j]});
+      if (rel == nullptr) continue;
+      EXPECT_EQ(rel->rel, topo::RelType::kP2P);
+    }
+  }
+}
+
+TEST(AsRank, TaggedPartialTransitLinksInferredAsPeering) {
+  // The §6.1 mechanism: community-tagged customers of the Cogent analogue
+  // lack clique triplets and must overwhelmingly be inferred P2P.
+  const auto& scenario = test::shared_scenario();
+  const auto& world = scenario.world();
+  const auto result = run_asrank(scenario.observed());
+  int p2p = 0;
+  int p2c = 0;
+  for (const auto& edge : world.graph.edges()) {
+    if (!edge.scope_via_community) continue;
+    const auto* rel = result.inference.find(val::AsLink{
+        world.graph.asn_of(edge.u), world.graph.asn_of(edge.v)});
+    if (rel == nullptr) continue;
+    rel->rel == topo::RelType::kP2P ? ++p2p : ++p2c;
+  }
+  ASSERT_GT(p2p + p2c, 0);
+  EXPECT_GT(p2p, 2 * p2c);
+}
+
+TEST(AsRank, OrdinaryTier1CustomersInferredAsCustomers) {
+  const auto& scenario = test::shared_scenario();
+  const auto& world = scenario.world();
+  const auto result = run_asrank(scenario.observed());
+  std::unordered_set<Asn> clique(world.clique.begin(), world.clique.end());
+  int correct = 0;
+  int wrong = 0;
+  for (const auto& edge : world.graph.edges()) {
+    if (edge.rel != topo::RelType::kP2C) continue;
+    if (edge.scope != topo::ExportScope::kFull) continue;
+    const Asn provider = world.graph.asn_of(edge.u);
+    const Asn customer = world.graph.asn_of(edge.v);
+    if (!clique.contains(provider)) continue;
+    if (world.attrs.at(customer).tier == topo::Tier::kStub) continue;
+    const auto* rel = result.inference.find(val::AsLink{provider, customer});
+    if (rel == nullptr) continue;
+    const bool ok =
+        rel->rel == topo::RelType::kP2C && rel->provider == provider;
+    ok ? ++correct : ++wrong;
+  }
+  ASSERT_GT(correct, 0);
+  EXPECT_GT(correct, 4 * wrong);
+}
+
+TEST(AsRank, OverallAccuracyAgainstGroundTruth) {
+  const auto& scenario = test::shared_scenario();
+  const auto& world = scenario.world();
+  const auto result = run_asrank(scenario.observed());
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (const auto& link : scenario.observed().link_order()) {
+    const auto edge_id = world.graph.find_edge(link.a, link.b);
+    if (!edge_id) continue;
+    const auto& edge = world.graph.edge(*edge_id);
+    if (edge.hybrid_rel || edge.rel == topo::RelType::kS2S) continue;
+    const auto* rel = result.inference.find(link);
+    ASSERT_NE(rel, nullptr);
+    ++total;
+    if (rel->rel == edge.rel &&
+        (edge.rel != topo::RelType::kP2C ||
+         rel->provider == world.graph.asn_of(edge.u))) {
+      ++correct;
+    }
+  }
+  ASSERT_GT(total, 1000u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+TEST(AsRank, SubsetModeLabelsOnlySubsetLinks) {
+  const auto& scenario = test::shared_scenario();
+  std::vector<std::uint32_t> half;
+  for (std::uint32_t p = 0; p < scenario.observed().path_count(); p += 2) {
+    half.push_back(p);
+  }
+  const auto global = run_asrank(scenario.observed());
+  const auto subset = run_asrank_subset(scenario.observed(), {}, half,
+                                        global.clique);
+  EXPECT_LT(subset.inference.size(), global.inference.size());
+  EXPECT_GT(subset.inference.size(), 0u);
+}
+
+// -------------------------------------------------------------------- gao --
+
+TEST(Gao, LabelsEverythingAndIsDeterministic) {
+  const auto& scenario = test::shared_scenario();
+  const auto a = run_gao(scenario.observed());
+  const auto b = run_gao(scenario.observed());
+  EXPECT_EQ(a.size(), scenario.observed().link_count());
+  EXPECT_EQ(a.agreement_with(b), 1.0);
+}
+
+TEST(Gao, ReasonableAgreementWithAsRank) {
+  const auto& scenario = test::shared_scenario();
+  const auto gao = run_gao(scenario.observed());
+  const auto asrank = run_asrank(scenario.observed());
+  EXPECT_GT(gao.agreement_with(asrank.inference), 0.6);
+}
+
+// --------------------------------------------------------------- problink --
+
+TEST(ProbLink, ConvergesAndLabelsEverything) {
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = run_asrank(scenario.observed());
+  const auto result =
+      run_problink(scenario.observed(), asrank, scenario.validation());
+  EXPECT_EQ(result.inference.size(), scenario.observed().link_count());
+  EXPECT_GT(result.training_links, 100u);
+  EXPECT_GT(result.iterations_used, 0);
+}
+
+TEST(ProbLink, Deterministic) {
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = run_asrank(scenario.observed());
+  const auto a =
+      run_problink(scenario.observed(), asrank, scenario.validation());
+  const auto b =
+      run_problink(scenario.observed(), asrank, scenario.validation());
+  EXPECT_EQ(a.inference.agreement_with(b.inference), 1.0);
+}
+
+TEST(ProbLink, StaysCloseToInitialLabeling) {
+  // ProbLink refines ASRank; it should not rewrite the world wholesale.
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = run_asrank(scenario.observed());
+  const auto result =
+      run_problink(scenario.observed(), asrank, scenario.validation());
+  EXPECT_GT(result.inference.agreement_with(asrank.inference), 0.7);
+}
+
+// -------------------------------------------------------------- toposcope --
+
+TEST(TopoScope, UsesRequestedGroups) {
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = run_asrank(scenario.observed());
+  TopoScopeParams params;
+  params.vp_groups = 4;
+  const auto result = run_toposcope(scenario.observed(), asrank,
+                                    scenario.validation(), params);
+  EXPECT_EQ(result.groups_used, 4);
+  EXPECT_EQ(result.inference.size(), scenario.observed().link_count());
+}
+
+TEST(TopoScope, HiddenLinksAreActuallyHidden) {
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = run_asrank(scenario.observed());
+  const auto result =
+      run_toposcope(scenario.observed(), asrank, scenario.validation());
+  for (const auto& hidden : result.hidden_links) {
+    EXPECT_EQ(scenario.observed().link(hidden.link), nullptr);
+    EXPECT_GT(hidden.confidence, 0.0);
+    EXPECT_LE(hidden.confidence, 1.0);
+  }
+}
+
+TEST(TopoScope, SomeHiddenLinksAreRealGroundTruthLinks) {
+  // The whole point of the stage: links the collectors miss often exist.
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = run_asrank(scenario.observed());
+  const auto result =
+      run_toposcope(scenario.observed(), asrank, scenario.validation());
+  if (result.hidden_links.empty()) GTEST_SKIP() << "no hidden predictions";
+  std::size_t real = 0;
+  for (const auto& hidden : result.hidden_links) {
+    if (scenario.world().graph.find_edge(hidden.link.a, hidden.link.b)) {
+      ++real;
+    }
+  }
+  EXPECT_GT(real, 0u);
+}
+
+TEST(TopoScope, Deterministic) {
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = run_asrank(scenario.observed());
+  const auto a =
+      run_toposcope(scenario.observed(), asrank, scenario.validation());
+  const auto b =
+      run_toposcope(scenario.observed(), asrank, scenario.validation());
+  EXPECT_EQ(a.inference.agreement_with(b.inference), 1.0);
+  EXPECT_EQ(a.hidden_links.size(), b.hidden_links.size());
+}
+
+// ---------------------------------------------------------------- common --
+
+TEST(Inference, AgreementWithSelfIsOne) {
+  Inference inference;
+  InferredRel rel;
+  rel.rel = topo::RelType::kP2P;
+  inference.set(val::AsLink{Asn{1}, Asn{2}}, rel);
+  EXPECT_EQ(inference.agreement_with(inference), 1.0);
+}
+
+TEST(Inference, SetOverwrites) {
+  Inference inference;
+  InferredRel rel;
+  rel.rel = topo::RelType::kP2P;
+  inference.set(val::AsLink{Asn{1}, Asn{2}}, rel);
+  rel.rel = topo::RelType::kP2C;
+  rel.provider = Asn{1};
+  inference.set(val::AsLink{Asn{1}, Asn{2}}, rel);
+  EXPECT_EQ(inference.size(), 1u);
+  EXPECT_EQ(inference.find(val::AsLink{Asn{1}, Asn{2}})->rel,
+            topo::RelType::kP2C);
+}
+
+}  // namespace
+}  // namespace asrel::infer
+
+namespace asrel::infer {
+namespace {
+
+TEST(ProbLink, ConfidenceCoversAllLinksAndIsCalibratedish) {
+  const auto& scenario = test::shared_scenario();
+  const auto asrank = run_asrank(scenario.observed());
+  const auto result =
+      run_problink(scenario.observed(), asrank, scenario.validation());
+  ASSERT_EQ(result.confidence.size(), scenario.observed().link_count());
+  double low = 1.0;
+  for (const auto& [link, confidence] : result.confidence) {
+    EXPECT_GE(confidence, 1.0 / 3.0 - 1e-9);  // argmax of a 3-class softmax
+    EXPECT_LE(confidence, 1.0 + 1e-9);
+    low = std::min(low, confidence);
+  }
+  // Hard links exist: not everything is certain.
+  EXPECT_LT(low, 0.9);
+}
+
+}  // namespace
+}  // namespace asrel::infer

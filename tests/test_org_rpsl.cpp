@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "org/as2org.hpp"
+#include "rpsl/autnum.hpp"
+#include "rpsl/synthesize.hpp"
+#include "test_support.hpp"
+
+namespace asrel {
+namespace {
+
+using asn::Asn;
+
+// ---------------------------------------------------------------- as2org --
+
+constexpr const char* kAs2OrgSample =
+    "# format: org_id|changed|org_name|country|source\n"
+    "ORG-1|20180301|Example Holdings|US|SYNTH\n"
+    "ORG-2|20180301|Solo Networks|DE|SYNTH\n"
+    "# format: aut|changed|aut_name|org_id|opaque_id|source\n"
+    "100|20180301|AS100|ORG-1||SYNTH\n"
+    "200|20180301|AS200|ORG-1||SYNTH\n"
+    "300|20180301|AS300|ORG-2||SYNTH\n";
+
+TEST(As2Org, ParsesBothSections) {
+  const auto file = org::parse_as2org_text(kAs2OrgSample);
+  EXPECT_EQ(file.organizations.size(), 2u);
+  ASSERT_EQ(file.ases.size(), 3u);
+  EXPECT_EQ(file.ases[0].asn, Asn{100});
+  EXPECT_EQ(file.ases[0].org_id, "ORG-1");
+}
+
+TEST(As2Org, WriteParseRoundTrip) {
+  const auto file = org::parse_as2org_text(kAs2OrgSample);
+  const auto reparsed = org::parse_as2org_text(org::to_text(file));
+  EXPECT_EQ(reparsed.organizations.size(), file.organizations.size());
+  EXPECT_EQ(reparsed.ases.size(), file.ases.size());
+}
+
+TEST(OrgMap, SiblingDetection) {
+  const org::OrgMap map{org::parse_as2org_text(kAs2OrgSample)};
+  EXPECT_TRUE(map.are_siblings(Asn{100}, Asn{200}));
+  EXPECT_FALSE(map.are_siblings(Asn{100}, Asn{300}));
+  EXPECT_FALSE(map.are_siblings(Asn{100}, Asn{999}));  // unmapped
+  EXPECT_EQ(map.org_of(Asn{300}), "ORG-2");
+  EXPECT_TRUE(map.org_of(Asn{999}).empty());
+}
+
+TEST(OrgMap, SiblingsOfIncludesSelf) {
+  const org::OrgMap map{org::parse_as2org_text(kAs2OrgSample)};
+  EXPECT_EQ(map.siblings_of(Asn{100}), (std::vector<Asn>{Asn{100}, Asn{200}}));
+  EXPECT_TRUE(map.siblings_of(Asn{999}).empty());
+}
+
+TEST(OrgMap, GeneratedWorldIsConsistent) {
+  const auto& scenario = test::shared_scenario();
+  const auto& orgs = scenario.orgs();
+  EXPECT_GT(orgs.as_count(), 0u);
+  // Every S2S ground-truth edge should connect two siblings.
+  const auto& world = scenario.world();
+  for (const auto& edge : world.graph.edges()) {
+    if (edge.rel != topo::RelType::kS2S) continue;
+    EXPECT_TRUE(orgs.are_siblings(world.graph.asn_of(edge.u),
+                                  world.graph.asn_of(edge.v)));
+  }
+}
+
+// ------------------------------------------------------------------ rpsl --
+
+constexpr const char* kAutnumSample =
+    "aut-num:        AS100\n"
+    "as-name:        HUNDRED-NET\n"
+    "import:         from AS10 accept ANY\n"
+    "export:         to AS10 announce AS-SET100\n"
+    "import:         from AS20 accept AS20\n"
+    "export:         to AS20 announce AS-SET100\n"
+    "import:         from AS30 accept AS30\n"
+    "export:         to AS30 announce ANY\n"
+    "mnt-by:         MNT-100\n"
+    "changed:        20180301\n"
+    "source:         RADB\n"
+    "\n"
+    "aut-num:        AS200\n"
+    "import:         from AS100 accept ANY\n"
+    "export:         to AS100 announce AS-SET200\n"
+    "\n";
+
+TEST(Rpsl, ParsesObjects) {
+  const auto objects = rpsl::parse_autnums_text(kAutnumSample);
+  ASSERT_EQ(objects.size(), 2u);
+  EXPECT_EQ(objects[0].asn, Asn{100});
+  EXPECT_EQ(objects[0].as_name, "HUNDRED-NET");
+  EXPECT_EQ(objects[0].policies.size(), 6u);
+  EXPECT_EQ(objects[0].source, "RADB");
+}
+
+TEST(Rpsl, WriteParseRoundTrip) {
+  const auto objects = rpsl::parse_autnums_text(kAutnumSample);
+  const auto reparsed = rpsl::parse_autnums_text(rpsl::to_text(objects));
+  ASSERT_EQ(reparsed.size(), objects.size());
+  EXPECT_EQ(reparsed[0].policies.size(), objects[0].policies.size());
+}
+
+TEST(Rpsl, ExtractsRelationshipsFromPolicyPairs) {
+  const auto objects = rpsl::parse_autnums_text(kAutnumSample);
+  const auto rels = rpsl::extract_relationships(objects[0]);
+  ASSERT_EQ(rels.size(), 3u);
+  // AS10: import ANY, export own set -> AS10 is the provider.
+  EXPECT_EQ(rels[0].neighbor, Asn{10});
+  EXPECT_EQ(rels[0].rel, topo::RelType::kP2C);
+  EXPECT_FALSE(rels[0].subject_is_provider);
+  // AS20: restricted both ways -> peering.
+  EXPECT_EQ(rels[1].neighbor, Asn{20});
+  EXPECT_EQ(rels[1].rel, topo::RelType::kP2P);
+  // AS30: import restricted, export ANY -> subject provides AS30.
+  EXPECT_EQ(rels[2].neighbor, Asn{30});
+  EXPECT_EQ(rels[2].rel, topo::RelType::kP2C);
+  EXPECT_TRUE(rels[2].subject_is_provider);
+}
+
+TEST(Rpsl, MutualAnyIsSibling) {
+  const auto objects = rpsl::parse_autnums_text(
+      "aut-num: AS1\n"
+      "import: from AS2 accept ANY\n"
+      "export: to AS2 announce ANY\n");
+  const auto rels = rpsl::extract_relationships(objects.at(0));
+  ASSERT_EQ(rels.size(), 1u);
+  EXPECT_EQ(rels[0].rel, topo::RelType::kS2S);
+}
+
+TEST(Rpsl, OneSidedPoliciesIgnored) {
+  const auto objects = rpsl::parse_autnums_text(
+      "aut-num: AS1\n"
+      "import: from AS2 accept ANY\n");
+  EXPECT_TRUE(rpsl::extract_relationships(objects.at(0)).empty());
+}
+
+TEST(Rpsl, SynthesizedIrrCoversMaintainers) {
+  const auto& scenario = test::shared_scenario();
+  const auto& world = scenario.world();
+  rpsl::IrrParams params;
+  const auto objects = rpsl::synthesize_irr(world, params);
+  std::size_t maintainers = 0;
+  for (const auto asn : world.graph.nodes()) {
+    if (world.attrs.at(asn).maintains_rpsl) ++maintainers;
+  }
+  EXPECT_EQ(objects.size(), maintainers);
+  // Some staleness exists but most objects are fresh.
+  std::size_t stale = 0;
+  for (const auto& object : objects) {
+    if (object.changed < "20150101") ++stale;
+  }
+  EXPECT_GT(stale, 0u);
+  EXPECT_LT(stale, objects.size() / 2);
+}
+
+TEST(Rpsl, SynthesizedIrrIsDeterministic) {
+  const auto& world = test::shared_scenario().world();
+  rpsl::IrrParams params;
+  const auto a = rpsl::synthesize_irr(world, params);
+  const auto b = rpsl::synthesize_irr(world, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].asn, b[i].asn);
+    EXPECT_EQ(a[i].changed, b[i].changed);
+    EXPECT_EQ(a[i].policies.size(), b[i].policies.size());
+  }
+}
+
+}  // namespace
+}  // namespace asrel

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rir/delegation.hpp"
+#include "rir/iana_table.hpp"
+#include "rir/region.hpp"
+#include "rir/region_mapper.hpp"
+
+namespace asrel::rir {
+namespace {
+
+using asn::Asn;
+
+TEST(Region, NamesAndAbbreviations) {
+  EXPECT_EQ(registry_name(Region::kRipe), "ripencc");
+  EXPECT_EQ(registry_name(Region::kLacnic), "lacnic");
+  EXPECT_EQ(abbreviation(Region::kAfrinic), "AF");
+  EXPECT_EQ(abbreviation(Region::kApnic), "AP");
+  EXPECT_EQ(abbreviation(Region::kArin), "AR");
+  EXPECT_EQ(abbreviation(Region::kLacnic), "L");
+  EXPECT_EQ(abbreviation(Region::kRipe), "R");
+}
+
+TEST(Region, ParseRegistryAcceptsAliases) {
+  EXPECT_EQ(parse_registry("ripencc"), Region::kRipe);
+  EXPECT_EQ(parse_registry("ripe"), Region::kRipe);
+  EXPECT_EQ(parse_registry("arin"), Region::kArin);
+  EXPECT_FALSE(parse_registry("icann"));
+}
+
+TEST(IanaTable, BlocksAreSortedAndDisjoint) {
+  const auto blocks = iana_asn_blocks();
+  ASSERT_FALSE(blocks.empty());
+  for (std::size_t i = 0; i + 1 < blocks.size(); ++i) {
+    EXPECT_LE(blocks[i].range.first, blocks[i].range.last);
+    EXPECT_LT(blocks[i].range.last, blocks[i + 1].range.first)
+        << "blocks " << i << " and " << i + 1 << " overlap or are unsorted";
+  }
+}
+
+TEST(IanaTable, ReservedAsnsFallInGaps) {
+  // AS_TRANS, documentation, private-use and last-ASN values must never be
+  // inside an assignment block.
+  for (const std::uint32_t value :
+       {23456u, 64496u, 64512u, 65535u, 65536u, 131071u, 4200000000u,
+        4294967295u}) {
+    EXPECT_EQ(iana_region_of(Asn{value}), Region::kUnknown)
+        << "AS" << value << " should be unassigned";
+  }
+}
+
+TEST(IanaTable, KnownBlockLookups) {
+  EXPECT_EQ(iana_region_of(Asn{1}), Region::kArin);
+  EXPECT_EQ(iana_region_of(Asn{8192}), Region::kRipe);      // RIPE block
+  EXPECT_EQ(iana_region_of(Asn{9216}), Region::kApnic);
+  EXPECT_EQ(iana_region_of(Asn{27000}), Region::kLacnic);
+  EXPECT_EQ(iana_region_of(Asn{37000}), Region::kAfrinic);
+  EXPECT_EQ(iana_region_of(Asn{131072}), Region::kApnic);   // first 32-bit
+  EXPECT_EQ(iana_region_of(Asn{196608}), Region::kRipe);
+  EXPECT_EQ(iana_region_of(Asn{262144}), Region::kLacnic);
+  EXPECT_EQ(iana_region_of(Asn{327680}), Region::kAfrinic);
+  EXPECT_EQ(iana_region_of(Asn{393216}), Region::kArin);
+}
+
+TEST(IanaTable, EveryBlockMapsToItsRegion) {
+  for (const auto& block : iana_asn_blocks()) {
+    EXPECT_EQ(iana_region_of(block.range.first), block.region);
+    EXPECT_EQ(iana_region_of(block.range.last), block.region);
+  }
+}
+
+constexpr const char* kSampleFile =
+    "2|lacnic|20180405|4|19930101|20180405|+0000\n"
+    "lacnic|*|asn|*|2|summary\n"
+    "lacnic|*|ipv4|*|1|summary\n"
+    "lacnic|*|ipv6|*|1|summary\n"
+    "lacnic|BR|asn|28000|1|20020101|allocated|opaque-28000\n"
+    "lacnic|AR|asn|52224|8|20100101|assigned\n"
+    "lacnic|BR|ipv4|200.0.0.0|4096|20020101|allocated\n"
+    "lacnic|BR|ipv6|2801:80::|32|20120101|allocated\n";
+
+TEST(Delegation, ParsesHeaderAndRecords) {
+  ParseDiagnostics diag;
+  const auto file = parse_delegation_text(kSampleFile, &diag);
+  EXPECT_TRUE(diag.ok()) << (diag.issues.empty() ? "" : diag.issues[0].message);
+  EXPECT_EQ(file.registry, Region::kLacnic);
+  EXPECT_EQ(file.serial, "20180405");
+  ASSERT_EQ(file.records.size(), 4u);
+  EXPECT_EQ(file.record_count(ResourceType::kAsn), 2u);
+  EXPECT_EQ(file.record_count(ResourceType::kIpv4), 1u);
+  EXPECT_EQ(file.record_count(ResourceType::kIpv6), 1u);
+
+  const auto& first = file.records[0];
+  EXPECT_EQ(first.country_code, "BR");
+  EXPECT_EQ(first.start, "28000");
+  EXPECT_EQ(first.count, 1u);
+  EXPECT_EQ(first.status, AllocationStatus::kAllocated);
+  EXPECT_EQ(first.opaque_id, "opaque-28000");
+
+  const auto range = file.records[1].asn_range();
+  ASSERT_TRUE(range);
+  EXPECT_EQ(range->first, Asn{52224});
+  EXPECT_EQ(range->last, Asn{52231});
+}
+
+TEST(Delegation, ReportsBrokenLines) {
+  ParseDiagnostics diag;
+  const auto file = parse_delegation_text(
+      "2|arin|20180405|1|19930101|20180405|+0000\n"
+      "arin|US|asn|notanumber|1|20020101|allocated\n"
+      "arin|US|asn|12|1|20020101|allocated\n",
+      &diag);
+  EXPECT_EQ(file.records.size(), 1u);  // good line survives
+  EXPECT_EQ(diag.issues.size(), 1u);
+}
+
+TEST(Delegation, MissingVersionLineIsFlagged) {
+  ParseDiagnostics diag;
+  (void)parse_delegation_text("arin|US|asn|12|1|20020101|allocated\n", &diag);
+  EXPECT_FALSE(diag.ok());
+}
+
+TEST(Delegation, WriteParseRoundTrip) {
+  ParseDiagnostics diag;
+  const auto file = parse_delegation_text(kSampleFile, &diag);
+  const auto text = to_text(file);
+  const auto reparsed = parse_delegation_text(text, &diag);
+  ASSERT_EQ(reparsed.records.size(), file.records.size());
+  for (std::size_t i = 0; i < file.records.size(); ++i) {
+    EXPECT_EQ(reparsed.records[i].start, file.records[i].start);
+    EXPECT_EQ(reparsed.records[i].count, file.records[i].count);
+    EXPECT_EQ(reparsed.records[i].country_code, file.records[i].country_code);
+    EXPECT_EQ(reparsed.records[i].type, file.records[i].type);
+  }
+}
+
+TEST(RegionMapper, BootstrapsFromIana) {
+  const RegionMapper mapper;
+  EXPECT_EQ(mapper.region_of(Asn{1}), Region::kArin);
+  EXPECT_EQ(mapper.region_of(Asn{8192}), Region::kRipe);
+  EXPECT_EQ(mapper.region_of(Asn{23456}), Region::kUnknown);  // AS_TRANS
+  EXPECT_EQ(mapper.refined_count(), 0u);
+}
+
+TEST(RegionMapper, DelegationRefinesMapping) {
+  RegionMapper mapper;
+  DelegationRecord record;
+  record.registry = Region::kLacnic;
+  record.country_code = "BR";
+  record.type = ResourceType::kAsn;
+  record.start = "8192";  // IANA says RIPE
+  record.count = 1;
+  record.status = AllocationStatus::kAllocated;
+  const auto changed = mapper.apply(std::span{&record, 1});
+  EXPECT_EQ(changed, 1u);
+  EXPECT_EQ(mapper.region_of(Asn{8192}), Region::kLacnic);
+  EXPECT_EQ(mapper.country_of(Asn{8192}), "BR");
+  EXPECT_EQ(mapper.transferred_asns(), std::vector<Asn>{Asn{8192}});
+}
+
+TEST(RegionMapper, AvailableAndReservedRecordsIgnored) {
+  RegionMapper mapper;
+  DelegationRecord record;
+  record.registry = Region::kLacnic;
+  record.type = ResourceType::kAsn;
+  record.start = "8192";
+  record.count = 1;
+  record.status = AllocationStatus::kAvailable;
+  EXPECT_EQ(mapper.apply(std::span{&record, 1}), 0u);
+  EXPECT_EQ(mapper.region_of(Asn{8192}), Region::kRipe);
+}
+
+TEST(RegionMapper, ReservedAsnsNeverMapped) {
+  RegionMapper mapper;
+  DelegationRecord record;
+  record.registry = Region::kArin;
+  record.type = ResourceType::kAsn;
+  record.start = "23456";
+  record.count = 1;
+  record.status = AllocationStatus::kAssigned;
+  mapper.apply(std::span{&record, 1});
+  EXPECT_EQ(mapper.region_of(asn::kAsTrans), Region::kUnknown);
+}
+
+TEST(RegionMapper, MultiAsnRecordCoversRange) {
+  RegionMapper mapper;
+  DelegationRecord record;
+  record.registry = Region::kApnic;
+  record.type = ResourceType::kAsn;
+  record.start = "196608";  // IANA: RIPE
+  record.count = 4;
+  record.status = AllocationStatus::kAllocated;
+  mapper.apply(std::span{&record, 1});
+  for (std::uint32_t value = 196608; value < 196612; ++value) {
+    EXPECT_EQ(mapper.region_of(Asn{value}), Region::kApnic);
+  }
+  EXPECT_EQ(mapper.region_of(Asn{196612}), Region::kRipe);
+}
+
+TEST(RegionMapper, LaterApplicationsOverride) {
+  RegionMapper mapper;
+  DelegationRecord record;
+  record.type = ResourceType::kAsn;
+  record.start = "1000";
+  record.count = 1;
+  record.status = AllocationStatus::kAllocated;
+  record.registry = Region::kApnic;
+  mapper.apply(std::span{&record, 1});
+  record.registry = Region::kAfrinic;
+  mapper.apply(std::span{&record, 1});
+  EXPECT_EQ(mapper.region_of(Asn{1000}), Region::kAfrinic);
+}
+
+}  // namespace
+}  // namespace asrel::rir

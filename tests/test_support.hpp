@@ -1,0 +1,112 @@
+// Shared test scaffolding: cached small scenarios (building one takes a
+// second or two; most tests can share a single immutable instance) and
+// hand-built micro-worlds with known-by-construction properties.
+#pragma once
+
+#include <memory>
+
+#include "core/scenario.hpp"
+
+namespace asrel::test {
+
+/// A small (but fully wired) scenario shared by all tests in a binary.
+/// Never mutate it — build a private one with custom_scenario() instead.
+inline const core::Scenario& shared_scenario() {
+  static const std::unique_ptr<core::Scenario> scenario = [] {
+    core::ScenarioParams params;
+    params.topology.as_count = 2500;
+    params.topology.seed = 42;
+    params.vantage.target_count = 120;
+    return core::Scenario::build(params);
+  }();
+  return *scenario;
+}
+
+/// A tiny hand-built world with an exactly known topology:
+///
+///        T1a ---- T1b ---- T1c   (clique, full P2P mesh)
+///        +--+       +
+///      L1    L2     L3          (large transits, customers of the T1s)
+///     +--+     +   +--+
+///    M1   M2    M3     M4       (mid transits; M1--M2 peer at an "IXP")
+///    |     |    |       |
+///   S1    S2   S3      S4       (stubs)
+///
+/// plus: L2 is a *partial-transit* customer of T1a (customers-only, tagged
+/// via community), S4 peers with T1b (the anycast-stub pattern), and
+/// M3--M4 is a hybrid link (P2P primary, P2C secondary).
+struct MicroWorld {
+  topo::World world;
+  asn::Asn t1a{100}, t1b{101}, t1c{102};
+  asn::Asn l1{200}, l2{201}, l3{202};
+  asn::Asn m1{300}, m2{301}, m3{302}, m4{303};
+  asn::Asn s1{400}, s2{401}, s3{402}, s4{403};
+};
+
+inline MicroWorld micro_world() {
+  MicroWorld mw;
+  auto& graph = mw.world.graph;
+  auto& attrs = mw.world.attrs;
+  using topo::RelType;
+  using topo::Tier;
+
+  const auto set = [&](asn::Asn asn, Tier tier) {
+    auto& a = attrs[asn];
+    a.tier = tier;
+    a.region = rir::Region::kArin;
+    a.documents_communities = true;
+    graph.add_node(asn);
+  };
+  set(mw.t1a, Tier::kClique);
+  set(mw.t1b, Tier::kClique);
+  set(mw.t1c, Tier::kClique);  // third member: triplet witness for the
+                               // multihomed legs of partial-transit customers
+  mw.world.clique = {mw.t1a, mw.t1b, mw.t1c};
+  mw.world.cogent_like = mw.t1a;
+  set(mw.l1, Tier::kLargeTransit);
+  set(mw.l2, Tier::kLargeTransit);
+  set(mw.l3, Tier::kLargeTransit);
+  set(mw.m1, Tier::kMidTransit);
+  set(mw.m2, Tier::kMidTransit);
+  set(mw.m3, Tier::kMidTransit);
+  set(mw.m4, Tier::kMidTransit);
+  set(mw.s1, Tier::kStub);
+  set(mw.s2, Tier::kStub);
+  set(mw.s3, Tier::kStub);
+  set(mw.s4, Tier::kStub);
+
+  graph.add_edge(mw.t1a, mw.t1b, RelType::kP2P);
+  graph.add_edge(mw.t1a, mw.t1c, RelType::kP2P);
+  graph.add_edge(mw.t1b, mw.t1c, RelType::kP2P);
+  graph.add_edge(mw.t1a, mw.l1, RelType::kP2C);
+  // L2: community-tagged customers-only partial transit under T1a.
+  {
+    topo::Edge proto;
+    proto.rel = RelType::kP2C;
+    proto.scope = topo::ExportScope::kCustomersOnly;
+    proto.scope_via_community = true;
+    graph.add_edge(mw.t1a, mw.l2, proto);
+  }
+  graph.add_edge(mw.t1b, mw.l3, RelType::kP2C);
+  graph.add_edge(mw.t1b, mw.l2, RelType::kP2C);  // L2 is multihomed
+  graph.add_edge(mw.l1, mw.m1, RelType::kP2C);
+  graph.add_edge(mw.l1, mw.m2, RelType::kP2C);
+  graph.add_edge(mw.l2, mw.m3, RelType::kP2C);
+  graph.add_edge(mw.l3, mw.m3, RelType::kP2C);
+  graph.add_edge(mw.l3, mw.m4, RelType::kP2C);
+  graph.add_edge(mw.m1, mw.m2, RelType::kP2P);  // IXP peering
+  {
+    topo::Edge proto;  // hybrid: peer at one PoP, P2C at another
+    proto.rel = RelType::kP2P;
+    proto.hybrid_rel = RelType::kP2C;
+    graph.add_edge(mw.m3, mw.m4, proto);
+  }
+  graph.add_edge(mw.m1, mw.s1, RelType::kP2C);
+  graph.add_edge(mw.m2, mw.s2, RelType::kP2C);
+  graph.add_edge(mw.m3, mw.s3, RelType::kP2C);
+  graph.add_edge(mw.m4, mw.s4, RelType::kP2C);
+  graph.add_edge(mw.s4, mw.t1b, RelType::kP2P);  // anycast-style stub peering
+  return mw;
+}
+
+}  // namespace asrel::test

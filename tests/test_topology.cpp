@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "rir/iana_table.hpp"
+#include "test_support.hpp"
+#include "topology/cone.hpp"
+#include "topology/generator.hpp"
+#include "topology/graph.hpp"
+#include "topology/random.hpp"
+
+namespace asrel::topo {
+namespace {
+
+using asn::Asn;
+
+// ------------------------------------------------------------------ graph --
+
+TEST(AsGraph, AddNodeIsIdempotent) {
+  AsGraph graph;
+  const auto a = graph.add_node(Asn{1});
+  const auto b = graph.add_node(Asn{1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(graph.node_count(), 1u);
+}
+
+TEST(AsGraph, RejectsSelfLoopsAndDuplicates) {
+  AsGraph graph;
+  EXPECT_FALSE(graph.add_edge(Asn{1}, Asn{1}, RelType::kP2P));
+  EXPECT_TRUE(graph.add_edge(Asn{1}, Asn{2}, RelType::kP2C));
+  EXPECT_FALSE(graph.add_edge(Asn{1}, Asn{2}, RelType::kP2P));
+  EXPECT_FALSE(graph.add_edge(Asn{2}, Asn{1}, RelType::kP2P));
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+TEST(AsGraph, P2cDirectionIsProviderFirst) {
+  AsGraph graph;
+  graph.add_edge(Asn{10}, Asn{20}, RelType::kP2C);
+  EXPECT_EQ(graph.providers_of(Asn{20}), std::vector<Asn>{Asn{10}});
+  EXPECT_EQ(graph.customers_of(Asn{10}), std::vector<Asn>{Asn{20}});
+  EXPECT_TRUE(graph.providers_of(Asn{10}).empty());
+}
+
+TEST(AsGraph, P2pIsSymmetric) {
+  AsGraph graph;
+  graph.add_edge(Asn{30}, Asn{10}, RelType::kP2P);
+  EXPECT_EQ(graph.peers_of(Asn{10}), std::vector<Asn>{Asn{30}});
+  EXPECT_EQ(graph.peers_of(Asn{30}), std::vector<Asn>{Asn{10}});
+  // Canonical orientation: lower ASN is u.
+  const auto& edge = graph.edge(*graph.find_edge(Asn{30}, Asn{10}));
+  EXPECT_EQ(graph.asn_of(edge.u), Asn{10});
+}
+
+TEST(AsGraph, RoleOfReportsOwnPerspective) {
+  AsGraph graph;
+  graph.add_edge(Asn{10}, Asn{20}, RelType::kP2C);
+  EXPECT_EQ(graph.role_of(Asn{10}, Asn{20}), Neighbor::Role::kProvider);
+  EXPECT_EQ(graph.role_of(Asn{20}, Asn{10}), Neighbor::Role::kCustomer);
+  EXPECT_FALSE(graph.role_of(Asn{10}, Asn{99}));
+}
+
+// ------------------------------------------------------------------- cone --
+
+TEST(CustomerCone, TransitiveReach) {
+  AsGraph graph;
+  graph.add_edge(Asn{1}, Asn{2}, RelType::kP2C);
+  graph.add_edge(Asn{2}, Asn{3}, RelType::kP2C);
+  graph.add_edge(Asn{2}, Asn{4}, RelType::kP2C);
+  graph.add_edge(Asn{1}, Asn{5}, RelType::kP2P);  // peer: not in cone
+  EXPECT_EQ(customer_cone(graph, Asn{1}),
+            (std::vector<Asn>{Asn{2}, Asn{3}, Asn{4}}));
+  EXPECT_EQ(customer_cone(graph, Asn{3}), std::vector<Asn>{});
+}
+
+TEST(CustomerCone, ToleratesCycles) {
+  AsGraph graph;
+  graph.add_edge(Asn{1}, Asn{2}, RelType::kP2C);
+  graph.add_edge(Asn{2}, Asn{3}, RelType::kP2C);
+  graph.add_edge(Asn{3}, Asn{1}, RelType::kP2C);  // pathological loop
+  const auto cone = customer_cone(graph, Asn{1});
+  EXPECT_EQ(cone.size(), 2u);  // 2 and 3, never itself
+}
+
+TEST(CustomerCone, SizesMatchPerNodeComputation) {
+  AsGraph graph;
+  graph.add_edge(Asn{1}, Asn{2}, RelType::kP2C);
+  graph.add_edge(Asn{2}, Asn{3}, RelType::kP2C);
+  graph.add_edge(Asn{4}, Asn{3}, RelType::kP2C);
+  const auto sizes = customer_cone_sizes(graph);
+  for (const Asn asn : graph.nodes()) {
+    EXPECT_EQ(sizes[*graph.node_of(asn)], customer_cone(graph, asn).size());
+  }
+}
+
+TEST(CustomerCone, TransitTest) {
+  AsGraph graph;
+  graph.add_edge(Asn{1}, Asn{2}, RelType::kP2C);
+  EXPECT_TRUE(is_transit_as(graph, Asn{1}));
+  EXPECT_FALSE(is_transit_as(graph, Asn{2}));
+  EXPECT_FALSE(is_transit_as(graph, Asn{3}));
+}
+
+// ------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{7};
+  Rng b{7};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.below(1000), b.below(1000));
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng rng{2};
+  const double weights[] = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted(weights), 1u);
+  }
+}
+
+TEST(Rng, GeometricRespectsCap) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.geometric(0.9, 3), 3u);
+  }
+}
+
+// -------------------------------------------------------------- generator --
+
+class GeneratorInvariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static World make(std::uint64_t seed) {
+    TopologyParams params;
+    params.as_count = 1500;
+    params.seed = seed;
+    return generate(params);
+  }
+};
+
+TEST_P(GeneratorInvariants, CliqueIsFullMeshOfTier1s) {
+  const auto world = make(GetParam());
+  ASSERT_EQ(world.clique.size(), 16u);
+  for (std::size_t i = 0; i < world.clique.size(); ++i) {
+    EXPECT_EQ(world.attrs.at(world.clique[i]).tier, Tier::kClique);
+    EXPECT_TRUE(world.attrs.at(world.clique[i]).is_tier1());
+    for (std::size_t j = i + 1; j < world.clique.size(); ++j) {
+      const auto edge_id =
+          world.graph.find_edge(world.clique[i], world.clique[j]);
+      ASSERT_TRUE(edge_id);
+      EXPECT_EQ(world.graph.edge(*edge_id).rel, RelType::kP2P);
+    }
+  }
+}
+
+TEST_P(GeneratorInvariants, CliqueMembersAreProviderFree) {
+  const auto world = make(GetParam());
+  for (const Asn member : world.clique) {
+    EXPECT_TRUE(world.graph.providers_of(member).empty())
+        << "AS" << member.value() << " has a provider";
+  }
+}
+
+TEST_P(GeneratorInvariants, EveryNonCliqueAsHasAProvider) {
+  const auto world = make(GetParam());
+  for (const Asn asn : world.graph.nodes()) {
+    if (world.attrs.at(asn).tier == Tier::kClique) continue;
+    EXPECT_FALSE(world.graph.providers_of(asn).empty())
+        << "AS" << asn.value() << " is disconnected from the hierarchy";
+  }
+}
+
+TEST_P(GeneratorInvariants, StubsHaveNoCustomers) {
+  const auto world = make(GetParam());
+  for (const Asn asn : world.graph.nodes()) {
+    const auto& attrs = world.attrs.at(asn);
+    if (attrs.tier != Tier::kStub || attrs.hypergiant) continue;
+    EXPECT_TRUE(world.graph.customers_of(asn).empty());
+  }
+}
+
+TEST_P(GeneratorInvariants, PartialTransitConfiguredAsRequested) {
+  const auto world = make(GetParam());
+  int tagged = 0;
+  int silent = 0;
+  for (const auto& edge : world.graph.edges()) {
+    if (edge.scope == ExportScope::kFull) continue;
+    EXPECT_EQ(edge.rel, RelType::kP2C);
+    // Restricted scopes only hang off clique members.
+    EXPECT_EQ(world.attrs.at(world.graph.asn_of(edge.u)).tier, Tier::kClique);
+    edge.scope_via_community ? ++tagged : ++silent;
+  }
+  const auto& pt = world.params.partial_transit;
+  // Small worlds may not hold enough mid/large transit customers to fill
+  // the requested counts exactly.
+  EXPECT_GT(tagged, 0);
+  EXPECT_LE(tagged, pt.community_tagged_customers);
+  EXPECT_GT(silent, 0);
+  EXPECT_LE(silent, pt.silent_providers * pt.silent_customers_each);
+  // All tagged links belong to the designated "Cogent".
+  for (const auto& edge : world.graph.edges()) {
+    if (edge.scope_via_community) {
+      EXPECT_EQ(world.graph.asn_of(edge.u), world.cogent_like);
+    }
+  }
+}
+
+TEST_P(GeneratorInvariants, ExactlyOneMisdocumentedLink) {
+  const auto world = make(GetParam());
+  int misdocumented = 0;
+  for (const auto& edge : world.graph.edges()) {
+    if (!edge.misdocumented) continue;
+    ++misdocumented;
+    EXPECT_EQ(edge.rel, RelType::kP2P);
+    EXPECT_TRUE(world.graph.asn_of(edge.u) == world.cogent_like ||
+                world.graph.asn_of(edge.v) == world.cogent_like);
+  }
+  EXPECT_EQ(misdocumented, 1);
+}
+
+TEST_P(GeneratorInvariants, HybridLinksNeverCarryRestrictedScopes) {
+  const auto world = make(GetParam());
+  for (const auto& edge : world.graph.edges()) {
+    if (edge.hybrid_rel) {
+      EXPECT_EQ(edge.scope, ExportScope::kFull);
+    }
+  }
+}
+
+TEST_P(GeneratorInvariants, DelegationFilesCoverEveryAs) {
+  const auto world = make(GetParam());
+  std::unordered_set<Asn> delegated;
+  for (const auto& file : world.delegations) {
+    for (const auto& record : file.records) {
+      if (record.type != rir::ResourceType::kAsn) continue;
+      const auto range = record.asn_range();
+      ASSERT_TRUE(range);
+      for (std::uint64_t v = range->first.value(); v <= range->last.value();
+           ++v) {
+        delegated.insert(Asn{static_cast<std::uint32_t>(v)});
+      }
+      // The delegation registry must match the AS's true region.
+      EXPECT_EQ(record.registry, world.attrs.at(range->first).region);
+    }
+  }
+  for (const Asn asn : world.graph.nodes()) {
+    EXPECT_TRUE(delegated.contains(asn));
+  }
+}
+
+TEST_P(GeneratorInvariants, SomeAsnsAreTransfers) {
+  const auto world = make(GetParam());
+  // With transferred_fraction > 0, at least one AS should sit in a block
+  // IANA assigned to a different region.
+  int transfers = 0;
+  for (const Asn asn : world.graph.nodes()) {
+    const auto iana = rir::iana_region_of(asn);
+    if (iana != rir::Region::kUnknown &&
+        iana != world.attrs.at(asn).region) {
+      ++transfers;
+    }
+  }
+  EXPECT_GT(transfers, 0);
+  EXPECT_LT(transfers, static_cast<int>(world.graph.node_count()) / 20);
+}
+
+TEST_P(GeneratorInvariants, HypergiantsAreContentStubsWithCustomers) {
+  const auto world = make(GetParam());
+  EXPECT_EQ(world.hypergiants.size(), 15u);
+  for (const Asn giant : world.hypergiants) {
+    const auto& attrs = world.attrs.at(giant);
+    EXPECT_TRUE(attrs.hypergiant);
+    EXPECT_FALSE(world.graph.providers_of(giant).empty());
+    EXPECT_FALSE(world.graph.customers_of(giant).empty());  // captives
+  }
+}
+
+TEST_P(GeneratorInvariants, RegionWeightsApproximatelyRespected) {
+  const auto world = make(GetParam());
+  std::array<int, 5> counts{};
+  for (const Asn asn : world.graph.nodes()) {
+    counts[static_cast<std::size_t>(world.attrs.at(asn).region)]++;
+  }
+  // RIPE must be the largest region, AFRINIC the smallest.
+  EXPECT_EQ(*std::max_element(counts.begin(), counts.end()),
+            counts[static_cast<std::size_t>(rir::Region::kRipe)]);
+  EXPECT_EQ(*std::min_element(counts.begin(), counts.end()),
+            counts[static_cast<std::size_t>(rir::Region::kAfrinic)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorInvariants,
+                         ::testing::Values(1u, 42u, 1337u, 90210u));
+
+TEST(Generator, DeterministicForSeed) {
+  TopologyParams params;
+  params.as_count = 800;
+  params.seed = 99;
+  const auto a = generate(params);
+  const auto b = generate(params);
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count());
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  EXPECT_EQ(a.clique, b.clique);
+  EXPECT_EQ(a.cogent_like, b.cogent_like);
+  for (std::size_t i = 0; i < a.graph.edge_count(); ++i) {
+    const auto& ea = a.graph.edges()[i];
+    const auto& eb = b.graph.edges()[i];
+    EXPECT_EQ(ea.u, eb.u);
+    EXPECT_EQ(ea.v, eb.v);
+    EXPECT_EQ(ea.rel, eb.rel);
+    EXPECT_EQ(ea.scope, eb.scope);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  TopologyParams params;
+  params.as_count = 800;
+  params.seed = 1;
+  const auto a = generate(params);
+  params.seed = 2;
+  const auto b = generate(params);
+  EXPECT_NE(a.graph.edge_count(), b.graph.edge_count());
+}
+
+}  // namespace
+}  // namespace asrel::topo

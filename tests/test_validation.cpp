@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "io/validation_io.hpp"
+#include "test_support.hpp"
+#include "validation/cleaner.hpp"
+#include "validation/extract.hpp"
+#include "validation/label.hpp"
+#include "validation/scheme.hpp"
+#include "validation/sources.hpp"
+
+namespace asrel::val {
+namespace {
+
+using asn::Asn;
+
+// ------------------------------------------------------------------ label --
+
+TEST(AsLink, Canonicalizes) {
+  const AsLink a{Asn{20}, Asn{10}};
+  EXPECT_EQ(a.a, Asn{10});
+  EXPECT_EQ(a.b, Asn{20});
+  EXPECT_EQ(a, (AsLink{Asn{10}, Asn{20}}));
+}
+
+TEST(ValidationSet, DeduplicatesSameAssertionSameSource) {
+  ValidationSet set;
+  Label label;
+  label.rel = topo::RelType::kP2P;
+  set.add(AsLink{Asn{1}, Asn{2}}, label);
+  set.add(AsLink{Asn{2}, Asn{1}}, label);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.entries()[0].labels.size(), 1u);
+}
+
+TEST(ValidationSet, KeepsConflictingLabelsInOrder) {
+  ValidationSet set;
+  Label p2p;
+  p2p.rel = topo::RelType::kP2P;
+  Label p2c;
+  p2c.rel = topo::RelType::kP2C;
+  p2c.provider = Asn{1};
+  set.add(AsLink{Asn{1}, Asn{2}}, p2p);
+  set.add(AsLink{Asn{1}, Asn{2}}, p2c);
+  const auto* entry = set.find(AsLink{Asn{1}, Asn{2}});
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->labels.size(), 2u);
+  EXPECT_TRUE(entry->multi_label());
+  EXPECT_EQ(entry->labels[0].rel, topo::RelType::kP2P);
+}
+
+TEST(ValidationSet, DifferentProvidersAreDifferentAssertions) {
+  ValidationSet set;
+  Label a;
+  a.rel = topo::RelType::kP2C;
+  a.provider = Asn{1};
+  Label b = a;
+  b.provider = Asn{2};
+  set.add(AsLink{Asn{1}, Asn{2}}, a);
+  set.add(AsLink{Asn{1}, Asn{2}}, b);
+  EXPECT_TRUE(set.find(AsLink{Asn{1}, Asn{2}})->multi_label());
+}
+
+TEST(ValidationSet, MergePreservesEntries) {
+  ValidationSet a;
+  ValidationSet b;
+  Label label;
+  label.rel = topo::RelType::kP2P;
+  a.add(AsLink{Asn{1}, Asn{2}}, label);
+  b.add(AsLink{Asn{3}, Asn{4}}, label);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+// ----------------------------------------------------------------- scheme --
+
+TEST(Scheme, TagRoundTrip) {
+  CommunityScheme scheme;
+  scheme.owner = Asn{3356};
+  scheme.key = 3356;
+  scheme.customer_value = 1000;
+  scheme.peer_value = 2000;
+  scheme.provider_value = 3000;
+  for (const auto meaning :
+       {TagMeaning::kFromCustomer, TagMeaning::kFromPeer,
+        TagMeaning::kFromProvider}) {
+    EXPECT_EQ(scheme.meaning_of(scheme.tag_for(meaning)), meaning);
+  }
+  EXPECT_FALSE(scheme.meaning_of(bgp::Community{3356, 4000}));
+  EXPECT_FALSE(scheme.meaning_of(bgp::Community{174, 1000}));
+}
+
+TEST(Scheme, NoExportCommunityUsesLow16) {
+  EXPECT_EQ(no_export_to_peers_community(Asn{174}),
+            (bgp::Community{174, 990}));
+  EXPECT_EQ(no_export_to_peers_community(Asn{196613}),
+            (bgp::Community{5, 990}));  // 196613 & 0xFFFF == 5
+}
+
+TEST(SchemeDirectory, BuildsForTransitAses) {
+  const auto& scenario = test::shared_scenario();
+  const auto& directory = scenario.schemes();
+  EXPECT_GT(directory.size(), 0u);
+  EXPECT_GT(directory.published_count(), 0u);
+  EXPECT_LT(directory.published_count(), directory.size());
+  // Published iff the owner documents communities.
+  for (const auto& scheme : directory) {
+    EXPECT_EQ(scheme.published,
+              scenario.world().attrs.at(scheme.owner).documents_communities);
+    EXPECT_EQ(scheme.key, scheme.owner.value() & 0xFFFFu);
+  }
+}
+
+TEST(SchemeDirectory, KeyLookupFindsOwners) {
+  const auto& directory = test::shared_scenario().schemes();
+  for (const auto& scheme : directory) {
+    bool found = false;
+    for (const auto index : directory.key_matches(scheme.key)) {
+      if (directory.scheme_at(index).owner == scheme.owner) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+// ------------------------------------------------------------- extraction --
+
+TEST(Extraction, LabelsAreNeverFabricatedForUnknownLinks) {
+  // Every extracted (non-spurious) link must exist in the ground truth.
+  const auto& scenario = test::shared_scenario();
+  const auto& graph = scenario.world().graph;
+  for (const auto& entry : scenario.raw_validation().entries()) {
+    const auto& link = entry.link;
+    if (asn::is_reserved(link.a) || asn::is_reserved(link.b)) continue;
+    EXPECT_TRUE(graph.find_edge(link.a, link.b))
+        << link.a.value() << "-" << link.b.value();
+  }
+}
+
+TEST(Extraction, LabelsMatchGroundTruthOverwhelmingly) {
+  const auto& scenario = test::shared_scenario();
+  const auto& world = scenario.world();
+  std::size_t correct = 0;
+  std::size_t wrong = 0;
+  for (const auto& label : scenario.validation()) {
+    const auto edge_id = world.graph.find_edge(label.link.a, label.link.b);
+    if (!edge_id) continue;
+    const auto& edge = world.graph.edge(*edge_id);
+    if (edge.hybrid_rel) continue;  // multi-PoP: either label is fine
+    bool matches = false;
+    if (label.rel == edge.rel) {
+      matches = label.rel != topo::RelType::kP2C ||
+                label.provider == world.graph.asn_of(edge.u);
+    }
+    matches ? ++correct : ++wrong;
+  }
+  ASSERT_GT(correct, 0u);
+  // Only misdocumentation/stale-doc noise may disagree (well below 1 %).
+  EXPECT_LT(static_cast<double>(wrong),
+            0.01 * static_cast<double>(correct + wrong));
+}
+
+TEST(Extraction, LacnicInternalLinksAreUncovered) {
+  // The headline §5 finding must hold mechanically: LACNIC-internal links
+  // get (essentially) no validation labels.
+  const auto& scenario = test::shared_scenario();
+  const auto& mapper = scenario.region_mapper();
+  std::size_t lacnic = 0;
+  for (const auto& label : scenario.validation()) {
+    if (mapper.region_of(label.link.a) == rir::Region::kLacnic &&
+        mapper.region_of(label.link.b) == rir::Region::kLacnic) {
+      ++lacnic;
+    }
+  }
+  EXPECT_LE(lacnic, 5u);
+}
+
+TEST(Extraction, SpuriousEntriesExist) {
+  // AS_TRANS / private-ASN entries appear in the raw data (and are later
+  // removed by the cleaner).
+  const auto& scenario = test::shared_scenario();
+  std::size_t spurious = 0;
+  for (const auto& entry : scenario.raw_validation().entries()) {
+    if (asn::is_reserved(entry.link.a) || asn::is_reserved(entry.link.b)) {
+      ++spurious;
+    }
+  }
+  EXPECT_GT(spurious, 0u);
+}
+
+TEST(Extraction, StatsAreCoherent) {
+  const auto& stats = test::shared_scenario().extract_stats();
+  EXPECT_GT(stats.paths_scanned, 0u);
+  EXPECT_GE(stats.tags_attached, stats.tags_survived);
+  EXPECT_GE(stats.tags_survived, stats.tags_decoded);
+  EXPECT_GT(stats.tags_decoded, 0u);
+}
+
+// ---------------------------------------------------------------- sources --
+
+TEST(Sources, DirectReportsAreMostlyAccurate) {
+  const auto& world = test::shared_scenario().world();
+  DirectReportParams params;
+  const auto set = collect_direct_reports(world, params);
+  EXPECT_GT(set.size(), 0u);
+  std::size_t wrong = 0;
+  for (const auto& entry : set.entries()) {
+    const auto edge_id = world.graph.find_edge(entry.link.a, entry.link.b);
+    ASSERT_TRUE(edge_id);
+    if (entry.labels[0].rel != world.graph.edge(*edge_id).rel) ++wrong;
+  }
+  EXPECT_LT(static_cast<double>(wrong), 0.02 * static_cast<double>(set.size()));
+}
+
+TEST(Sources, RpslExtractionProducesLabels) {
+  const auto& world = test::shared_scenario().world();
+  const auto irr = rpsl::synthesize_irr(world, {});
+  const auto set = extract_from_rpsl(irr);
+  EXPECT_GT(set.size(), 0u);
+  for (const auto& entry : set.entries()) {
+    for (const auto& label : entry.labels) {
+      EXPECT_EQ(label.source, Source::kRpsl);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- cleaner --
+
+ValidationSet make_raw() {
+  ValidationSet raw;
+  Label p2p;
+  p2p.rel = topo::RelType::kP2P;
+  Label p2c;
+  p2c.rel = topo::RelType::kP2C;
+  p2c.provider = Asn{1};
+  Label s2s;
+  s2s.rel = topo::RelType::kS2S;
+
+  raw.add(AsLink{Asn{1}, Asn{2}}, p2c);            // clean P2C
+  raw.add(AsLink{Asn{3}, Asn{4}}, p2p);            // clean P2P
+  raw.add(AsLink{Asn{5}, asn::kAsTrans}, p2c);     // AS_TRANS
+  raw.add(AsLink{Asn{6}, Asn{64512}}, p2c);        // private ASN
+  raw.add(AsLink{Asn{7}, Asn{8}}, p2p);            // multi-label (P2P first)
+  {
+    Label other;
+    other.rel = topo::RelType::kP2C;
+    other.provider = Asn{7};
+    raw.add(AsLink{Asn{7}, Asn{8}}, other);
+  }
+  raw.add(AsLink{Asn{100}, Asn{200}}, p2c);        // siblings (see org map)
+  raw.add(AsLink{Asn{9}, Asn{10}}, s2s);           // explicit S2S label
+  return raw;
+}
+
+org::OrgMap sibling_orgs() {
+  return org::OrgMap{org::parse_as2org_text(
+      "# format: org_id|changed|org_name|country|source\n"
+      "ORG-1|20180301|X|US|T\n"
+      "# format: aut|changed|aut_name|org_id|opaque_id|source\n"
+      "100|20180301|AS100|ORG-1||T\n"
+      "200|20180301|AS200|ORG-1||T\n")};
+}
+
+TEST(Cleaner, RemovesSpuriousAndSiblings) {
+  CleaningStats stats;
+  CleaningOptions options;
+  const auto clean_labels = clean(make_raw(), sibling_orgs(), options, &stats);
+  EXPECT_EQ(stats.as_trans_removed, 1u);
+  EXPECT_EQ(stats.reserved_removed, 1u);
+  EXPECT_EQ(stats.sibling_removed, 1u);
+  EXPECT_EQ(stats.s2s_label_removed, 1u);
+  EXPECT_EQ(stats.multi_label_entries, 1u);
+  EXPECT_EQ(stats.multi_label_ases, 2u);
+  // kIgnore drops the ambiguous entry: 2 clean labels remain.
+  EXPECT_EQ(clean_labels.size(), 2u);
+}
+
+TEST(Cleaner, FirstP2PWinsPolicy) {
+  CleaningOptions options;
+  options.ambiguity = AmbiguityPolicy::kFirstP2PWins;
+  const auto labels = clean(make_raw(), sibling_orgs(), options);
+  bool found = false;
+  for (const auto& label : labels) {
+    if (label.link == AsLink{Asn{7}, Asn{8}}) {
+      found = true;
+      EXPECT_EQ(label.rel, topo::RelType::kP2P);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cleaner, AlwaysP2CPolicy) {
+  CleaningOptions options;
+  options.ambiguity = AmbiguityPolicy::kAlwaysP2C;
+  const auto labels = clean(make_raw(), sibling_orgs(), options);
+  bool found = false;
+  for (const auto& label : labels) {
+    if (label.link == AsLink{Asn{7}, Asn{8}}) {
+      found = true;
+      EXPECT_EQ(label.rel, topo::RelType::kP2C);
+      EXPECT_EQ(label.provider, Asn{7});
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cleaner, SpuriousKeptWhenDisabled) {
+  CleaningOptions options;
+  options.drop_spurious = false;
+  options.drop_siblings = false;
+  const auto labels = clean(make_raw(), sibling_orgs(), options);
+  EXPECT_EQ(labels.size(), 5u);  // everything but ambiguous and s2s-labeled
+}
+
+TEST(Cleaner, PolicyNamesRender) {
+  EXPECT_EQ(to_string(AmbiguityPolicy::kIgnore), "ignore");
+  EXPECT_EQ(to_string(AmbiguityPolicy::kFirstP2PWins), "first-p2p-wins");
+  EXPECT_EQ(to_string(AmbiguityPolicy::kAlwaysP2C), "always-p2c");
+}
+
+// --------------------------------------------------------------------- io --
+
+TEST(ValidationIo, RoundTrips) {
+  const auto raw = make_raw();
+  const auto text = io::to_validation_text(raw);
+  const auto reparsed = io::parse_validation_text(text);
+  EXPECT_EQ(reparsed.size(), raw.size());
+  for (const auto& entry : raw.entries()) {
+    const auto* other = reparsed.find(entry.link);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->labels.size(), entry.labels.size());
+    for (std::size_t i = 0; i < entry.labels.size(); ++i) {
+      EXPECT_TRUE(other->labels[i].same_assertion(entry.labels[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asrel::val
