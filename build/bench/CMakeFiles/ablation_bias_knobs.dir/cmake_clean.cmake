@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bias_knobs.dir/ablation_bias_knobs.cpp.o"
+  "CMakeFiles/ablation_bias_knobs.dir/ablation_bias_knobs.cpp.o.d"
+  "ablation_bias_knobs"
+  "ablation_bias_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bias_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

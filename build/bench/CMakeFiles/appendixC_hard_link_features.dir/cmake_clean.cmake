@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixC_hard_link_features.dir/appendixC_hard_link_features.cpp.o"
+  "CMakeFiles/appendixC_hard_link_features.dir/appendixC_hard_link_features.cpp.o.d"
+  "appendixC_hard_link_features"
+  "appendixC_hard_link_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixC_hard_link_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

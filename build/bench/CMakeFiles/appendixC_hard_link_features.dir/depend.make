@@ -1,0 +1,2 @@
+# Empty dependencies file for appendixC_hard_link_features.
+# This may be replaced when dependencies are built.

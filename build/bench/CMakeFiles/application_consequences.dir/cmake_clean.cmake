@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/application_consequences.dir/application_consequences.cpp.o"
+  "CMakeFiles/application_consequences.dir/application_consequences.cpp.o.d"
+  "application_consequences"
+  "application_consequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_consequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

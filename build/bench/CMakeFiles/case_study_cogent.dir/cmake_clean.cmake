@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_cogent.dir/case_study_cogent.cpp.o"
+  "CMakeFiles/case_study_cogent.dir/case_study_cogent.cpp.o.d"
+  "case_study_cogent"
+  "case_study_cogent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_cogent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_regional_imbalance.cpp" "bench/CMakeFiles/fig1_regional_imbalance.dir/fig1_regional_imbalance.cpp.o" "gcc" "bench/CMakeFiles/fig1_regional_imbalance.dir/fig1_regional_imbalance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asrel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/asrel_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/asrel_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/asrel_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/asrel_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/asrel_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpsl/CMakeFiles/asrel_rpsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asrel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rir/CMakeFiles/asrel_rir.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/asrel_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/org/CMakeFiles/asrel_org.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrel_asn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_regional_imbalance.dir/fig1_regional_imbalance.cpp.o"
+  "CMakeFiles/fig1_regional_imbalance.dir/fig1_regional_imbalance.cpp.o.d"
+  "fig1_regional_imbalance"
+  "fig1_regional_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_regional_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig456_sampling_correlation.dir/fig456_sampling_correlation.cpp.o"
+  "CMakeFiles/fig456_sampling_correlation.dir/fig456_sampling_correlation.cpp.o.d"
+  "fig456_sampling_correlation"
+  "fig456_sampling_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig456_sampling_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

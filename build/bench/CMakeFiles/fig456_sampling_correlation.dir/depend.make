@@ -1,0 +1,2 @@
+# Empty dependencies file for fig456_sampling_correlation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig789_alternative_metrics.dir/fig789_alternative_metrics.cpp.o"
+  "CMakeFiles/fig789_alternative_metrics.dir/fig789_alternative_metrics.cpp.o.d"
+  "fig789_alternative_metrics"
+  "fig789_alternative_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig789_alternative_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig789_alternative_metrics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_cleaning_census.dir/label_cleaning_census.cpp.o"
+  "CMakeFiles/label_cleaning_census.dir/label_cleaning_census.cpp.o.d"
+  "label_cleaning_census"
+  "label_cleaning_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_cleaning_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

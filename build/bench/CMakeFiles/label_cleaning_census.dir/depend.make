@@ -1,0 +1,2 @@
+# Empty dependencies file for label_cleaning_census.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlook_validation_futures.dir/outlook_validation_futures.cpp.o"
+  "CMakeFiles/outlook_validation_futures.dir/outlook_validation_futures.cpp.o.d"
+  "outlook_validation_futures"
+  "outlook_validation_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlook_validation_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

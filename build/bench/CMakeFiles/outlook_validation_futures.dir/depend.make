@@ -1,0 +1,2 @@
+# Empty dependencies file for outlook_validation_futures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_asrank.dir/table1_asrank.cpp.o"
+  "CMakeFiles/table1_asrank.dir/table1_asrank.cpp.o.d"
+  "table1_asrank"
+  "table1_asrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_asrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_problink.dir/table2_problink.cpp.o"
+  "CMakeFiles/table2_problink.dir/table2_problink.cpp.o.d"
+  "table2_problink"
+  "table2_problink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_problink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_toposcope.dir/table3_toposcope.cpp.o"
+  "CMakeFiles/table3_toposcope.dir/table3_toposcope.cpp.o.d"
+  "table3_toposcope"
+  "table3_toposcope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_toposcope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

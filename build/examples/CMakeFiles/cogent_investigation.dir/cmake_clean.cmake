@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cogent_investigation.dir/cogent_investigation.cpp.o"
+  "CMakeFiles/cogent_investigation.dir/cogent_investigation.cpp.o.d"
+  "cogent_investigation"
+  "cogent_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cogent_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

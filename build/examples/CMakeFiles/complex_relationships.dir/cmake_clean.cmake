@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_relationships.dir/complex_relationships.cpp.o"
+  "CMakeFiles/complex_relationships.dir/complex_relationships.cpp.o.d"
+  "complex_relationships"
+  "complex_relationships.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_relationships.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

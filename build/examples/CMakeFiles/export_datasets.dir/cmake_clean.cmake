@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_datasets.dir/export_datasets.cpp.o"
+  "CMakeFiles/export_datasets.dir/export_datasets.cpp.o.d"
+  "export_datasets"
+  "export_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_congruence.dir/v6_congruence.cpp.o"
+  "CMakeFiles/v6_congruence.dir/v6_congruence.cpp.o.d"
+  "v6_congruence"
+  "v6_congruence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_congruence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

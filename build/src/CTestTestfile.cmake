@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("asn")
+subdirs("netbase")
+subdirs("rir")
+subdirs("org")
+subdirs("topology")
+subdirs("bgp")
+subdirs("rpsl")
+subdirs("validation")
+subdirs("infer")
+subdirs("eval")
+subdirs("io")
+subdirs("core")

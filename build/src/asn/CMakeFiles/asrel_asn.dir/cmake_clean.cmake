@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_asn.dir/asn.cpp.o"
+  "CMakeFiles/asrel_asn.dir/asn.cpp.o.d"
+  "libasrel_asn.a"
+  "libasrel_asn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_asn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

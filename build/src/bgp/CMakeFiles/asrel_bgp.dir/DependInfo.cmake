@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/community.cpp" "src/bgp/CMakeFiles/asrel_bgp.dir/community.cpp.o" "gcc" "src/bgp/CMakeFiles/asrel_bgp.dir/community.cpp.o.d"
+  "/root/repo/src/bgp/propagation.cpp" "src/bgp/CMakeFiles/asrel_bgp.dir/propagation.cpp.o" "gcc" "src/bgp/CMakeFiles/asrel_bgp.dir/propagation.cpp.o.d"
+  "/root/repo/src/bgp/vantage.cpp" "src/bgp/CMakeFiles/asrel_bgp.dir/vantage.cpp.o" "gcc" "src/bgp/CMakeFiles/asrel_bgp.dir/vantage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/asrel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rir/CMakeFiles/asrel_rir.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/asrel_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/org/CMakeFiles/asrel_org.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrel_asn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_bgp.dir/community.cpp.o"
+  "CMakeFiles/asrel_bgp.dir/community.cpp.o.d"
+  "CMakeFiles/asrel_bgp.dir/propagation.cpp.o"
+  "CMakeFiles/asrel_bgp.dir/propagation.cpp.o.d"
+  "CMakeFiles/asrel_bgp.dir/vantage.cpp.o"
+  "CMakeFiles/asrel_bgp.dir/vantage.cpp.o.d"
+  "libasrel_bgp.a"
+  "libasrel_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_core.dir/bias_audit.cpp.o"
+  "CMakeFiles/asrel_core.dir/bias_audit.cpp.o.d"
+  "CMakeFiles/asrel_core.dir/case_study.cpp.o"
+  "CMakeFiles/asrel_core.dir/case_study.cpp.o.d"
+  "CMakeFiles/asrel_core.dir/link_features.cpp.o"
+  "CMakeFiles/asrel_core.dir/link_features.cpp.o.d"
+  "CMakeFiles/asrel_core.dir/looking_glass.cpp.o"
+  "CMakeFiles/asrel_core.dir/looking_glass.cpp.o.d"
+  "CMakeFiles/asrel_core.dir/peerlock.cpp.o"
+  "CMakeFiles/asrel_core.dir/peerlock.cpp.o.d"
+  "CMakeFiles/asrel_core.dir/scenario.cpp.o"
+  "CMakeFiles/asrel_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/asrel_core.dir/spoof_guard.cpp.o"
+  "CMakeFiles/asrel_core.dir/spoof_guard.cpp.o.d"
+  "CMakeFiles/asrel_core.dir/v6_world.cpp.o"
+  "CMakeFiles/asrel_core.dir/v6_world.cpp.o.d"
+  "libasrel_core.a"
+  "libasrel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/coverage.cpp" "src/eval/CMakeFiles/asrel_eval.dir/coverage.cpp.o" "gcc" "src/eval/CMakeFiles/asrel_eval.dir/coverage.cpp.o.d"
+  "/root/repo/src/eval/heatmap.cpp" "src/eval/CMakeFiles/asrel_eval.dir/heatmap.cpp.o" "gcc" "src/eval/CMakeFiles/asrel_eval.dir/heatmap.cpp.o.d"
+  "/root/repo/src/eval/link_class.cpp" "src/eval/CMakeFiles/asrel_eval.dir/link_class.cpp.o" "gcc" "src/eval/CMakeFiles/asrel_eval.dir/link_class.cpp.o.d"
+  "/root/repo/src/eval/ppdc.cpp" "src/eval/CMakeFiles/asrel_eval.dir/ppdc.cpp.o" "gcc" "src/eval/CMakeFiles/asrel_eval.dir/ppdc.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/asrel_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/asrel_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/sampling.cpp" "src/eval/CMakeFiles/asrel_eval.dir/sampling.cpp.o" "gcc" "src/eval/CMakeFiles/asrel_eval.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infer/CMakeFiles/asrel_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/asrel_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/rir/CMakeFiles/asrel_rir.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpsl/CMakeFiles/asrel_rpsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/asrel_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asrel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/org/CMakeFiles/asrel_org.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrel_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/asrel_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

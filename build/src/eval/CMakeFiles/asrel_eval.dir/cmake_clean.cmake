@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_eval.dir/coverage.cpp.o"
+  "CMakeFiles/asrel_eval.dir/coverage.cpp.o.d"
+  "CMakeFiles/asrel_eval.dir/heatmap.cpp.o"
+  "CMakeFiles/asrel_eval.dir/heatmap.cpp.o.d"
+  "CMakeFiles/asrel_eval.dir/link_class.cpp.o"
+  "CMakeFiles/asrel_eval.dir/link_class.cpp.o.d"
+  "CMakeFiles/asrel_eval.dir/ppdc.cpp.o"
+  "CMakeFiles/asrel_eval.dir/ppdc.cpp.o.d"
+  "CMakeFiles/asrel_eval.dir/report.cpp.o"
+  "CMakeFiles/asrel_eval.dir/report.cpp.o.d"
+  "CMakeFiles/asrel_eval.dir/sampling.cpp.o"
+  "CMakeFiles/asrel_eval.dir/sampling.cpp.o.d"
+  "libasrel_eval.a"
+  "libasrel_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infer/asrank.cpp" "src/infer/CMakeFiles/asrel_infer.dir/asrank.cpp.o" "gcc" "src/infer/CMakeFiles/asrel_infer.dir/asrank.cpp.o.d"
+  "/root/repo/src/infer/clique.cpp" "src/infer/CMakeFiles/asrel_infer.dir/clique.cpp.o" "gcc" "src/infer/CMakeFiles/asrel_infer.dir/clique.cpp.o.d"
+  "/root/repo/src/infer/complex.cpp" "src/infer/CMakeFiles/asrel_infer.dir/complex.cpp.o" "gcc" "src/infer/CMakeFiles/asrel_infer.dir/complex.cpp.o.d"
+  "/root/repo/src/infer/gao.cpp" "src/infer/CMakeFiles/asrel_infer.dir/gao.cpp.o" "gcc" "src/infer/CMakeFiles/asrel_infer.dir/gao.cpp.o.d"
+  "/root/repo/src/infer/inference.cpp" "src/infer/CMakeFiles/asrel_infer.dir/inference.cpp.o" "gcc" "src/infer/CMakeFiles/asrel_infer.dir/inference.cpp.o.d"
+  "/root/repo/src/infer/observed.cpp" "src/infer/CMakeFiles/asrel_infer.dir/observed.cpp.o" "gcc" "src/infer/CMakeFiles/asrel_infer.dir/observed.cpp.o.d"
+  "/root/repo/src/infer/problink.cpp" "src/infer/CMakeFiles/asrel_infer.dir/problink.cpp.o" "gcc" "src/infer/CMakeFiles/asrel_infer.dir/problink.cpp.o.d"
+  "/root/repo/src/infer/toposcope.cpp" "src/infer/CMakeFiles/asrel_infer.dir/toposcope.cpp.o" "gcc" "src/infer/CMakeFiles/asrel_infer.dir/toposcope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/asrel_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/asrel_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpsl/CMakeFiles/asrel_rpsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asrel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rir/CMakeFiles/asrel_rir.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/asrel_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/org/CMakeFiles/asrel_org.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrel_asn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

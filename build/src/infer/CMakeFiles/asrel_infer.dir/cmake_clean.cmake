@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_infer.dir/asrank.cpp.o"
+  "CMakeFiles/asrel_infer.dir/asrank.cpp.o.d"
+  "CMakeFiles/asrel_infer.dir/clique.cpp.o"
+  "CMakeFiles/asrel_infer.dir/clique.cpp.o.d"
+  "CMakeFiles/asrel_infer.dir/complex.cpp.o"
+  "CMakeFiles/asrel_infer.dir/complex.cpp.o.d"
+  "CMakeFiles/asrel_infer.dir/gao.cpp.o"
+  "CMakeFiles/asrel_infer.dir/gao.cpp.o.d"
+  "CMakeFiles/asrel_infer.dir/inference.cpp.o"
+  "CMakeFiles/asrel_infer.dir/inference.cpp.o.d"
+  "CMakeFiles/asrel_infer.dir/observed.cpp.o"
+  "CMakeFiles/asrel_infer.dir/observed.cpp.o.d"
+  "CMakeFiles/asrel_infer.dir/problink.cpp.o"
+  "CMakeFiles/asrel_infer.dir/problink.cpp.o.d"
+  "CMakeFiles/asrel_infer.dir/toposcope.cpp.o"
+  "CMakeFiles/asrel_infer.dir/toposcope.cpp.o.d"
+  "libasrel_infer.a"
+  "libasrel_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

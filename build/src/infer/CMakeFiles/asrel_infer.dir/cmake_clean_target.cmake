@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasrel_infer.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/as_rel.cpp" "src/io/CMakeFiles/asrel_io.dir/as_rel.cpp.o" "gcc" "src/io/CMakeFiles/asrel_io.dir/as_rel.cpp.o.d"
+  "/root/repo/src/io/rib_dump.cpp" "src/io/CMakeFiles/asrel_io.dir/rib_dump.cpp.o" "gcc" "src/io/CMakeFiles/asrel_io.dir/rib_dump.cpp.o.d"
+  "/root/repo/src/io/validation_io.cpp" "src/io/CMakeFiles/asrel_io.dir/validation_io.cpp.o" "gcc" "src/io/CMakeFiles/asrel_io.dir/validation_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infer/CMakeFiles/asrel_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/asrel_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpsl/CMakeFiles/asrel_rpsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/asrel_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asrel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/org/CMakeFiles/asrel_org.dir/DependInfo.cmake"
+  "/root/repo/build/src/rir/CMakeFiles/asrel_rir.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrel_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/asrel_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

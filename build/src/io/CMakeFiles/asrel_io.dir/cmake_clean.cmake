@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_io.dir/as_rel.cpp.o"
+  "CMakeFiles/asrel_io.dir/as_rel.cpp.o.d"
+  "CMakeFiles/asrel_io.dir/rib_dump.cpp.o"
+  "CMakeFiles/asrel_io.dir/rib_dump.cpp.o.d"
+  "CMakeFiles/asrel_io.dir/validation_io.cpp.o"
+  "CMakeFiles/asrel_io.dir/validation_io.cpp.o.d"
+  "libasrel_io.a"
+  "libasrel_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_netbase.dir/ip.cpp.o"
+  "CMakeFiles/asrel_netbase.dir/ip.cpp.o.d"
+  "libasrel_netbase.a"
+  "libasrel_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_org.dir/as2org.cpp.o"
+  "CMakeFiles/asrel_org.dir/as2org.cpp.o.d"
+  "libasrel_org.a"
+  "libasrel_org.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rir/delegation.cpp" "src/rir/CMakeFiles/asrel_rir.dir/delegation.cpp.o" "gcc" "src/rir/CMakeFiles/asrel_rir.dir/delegation.cpp.o.d"
+  "/root/repo/src/rir/iana_table.cpp" "src/rir/CMakeFiles/asrel_rir.dir/iana_table.cpp.o" "gcc" "src/rir/CMakeFiles/asrel_rir.dir/iana_table.cpp.o.d"
+  "/root/repo/src/rir/region.cpp" "src/rir/CMakeFiles/asrel_rir.dir/region.cpp.o" "gcc" "src/rir/CMakeFiles/asrel_rir.dir/region.cpp.o.d"
+  "/root/repo/src/rir/region_mapper.cpp" "src/rir/CMakeFiles/asrel_rir.dir/region_mapper.cpp.o" "gcc" "src/rir/CMakeFiles/asrel_rir.dir/region_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asn/CMakeFiles/asrel_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/asrel_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_rir.dir/delegation.cpp.o"
+  "CMakeFiles/asrel_rir.dir/delegation.cpp.o.d"
+  "CMakeFiles/asrel_rir.dir/iana_table.cpp.o"
+  "CMakeFiles/asrel_rir.dir/iana_table.cpp.o.d"
+  "CMakeFiles/asrel_rir.dir/region.cpp.o"
+  "CMakeFiles/asrel_rir.dir/region.cpp.o.d"
+  "CMakeFiles/asrel_rir.dir/region_mapper.cpp.o"
+  "CMakeFiles/asrel_rir.dir/region_mapper.cpp.o.d"
+  "libasrel_rir.a"
+  "libasrel_rir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_rir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for asrel_rir.
+# This may be replaced when dependencies are built.

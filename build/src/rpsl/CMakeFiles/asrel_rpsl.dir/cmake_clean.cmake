@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_rpsl.dir/autnum.cpp.o"
+  "CMakeFiles/asrel_rpsl.dir/autnum.cpp.o.d"
+  "CMakeFiles/asrel_rpsl.dir/synthesize.cpp.o"
+  "CMakeFiles/asrel_rpsl.dir/synthesize.cpp.o.d"
+  "libasrel_rpsl.a"
+  "libasrel_rpsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_rpsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

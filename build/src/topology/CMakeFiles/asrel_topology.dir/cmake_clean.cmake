@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_topology.dir/cone.cpp.o"
+  "CMakeFiles/asrel_topology.dir/cone.cpp.o.d"
+  "CMakeFiles/asrel_topology.dir/generator.cpp.o"
+  "CMakeFiles/asrel_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/asrel_topology.dir/graph.cpp.o"
+  "CMakeFiles/asrel_topology.dir/graph.cpp.o.d"
+  "libasrel_topology.a"
+  "libasrel_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

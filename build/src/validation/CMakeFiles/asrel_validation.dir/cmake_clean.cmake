@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_validation.dir/cleaner.cpp.o"
+  "CMakeFiles/asrel_validation.dir/cleaner.cpp.o.d"
+  "CMakeFiles/asrel_validation.dir/extract.cpp.o"
+  "CMakeFiles/asrel_validation.dir/extract.cpp.o.d"
+  "CMakeFiles/asrel_validation.dir/label.cpp.o"
+  "CMakeFiles/asrel_validation.dir/label.cpp.o.d"
+  "CMakeFiles/asrel_validation.dir/scheme.cpp.o"
+  "CMakeFiles/asrel_validation.dir/scheme.cpp.o.d"
+  "CMakeFiles/asrel_validation.dir/sources.cpp.o"
+  "CMakeFiles/asrel_validation.dir/sources.cpp.o.d"
+  "libasrel_validation.a"
+  "libasrel_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

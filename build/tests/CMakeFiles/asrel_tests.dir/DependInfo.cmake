@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_applications.cpp" "tests/CMakeFiles/asrel_tests.dir/test_applications.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_applications.cpp.o.d"
+  "/root/repo/tests/test_asn.cpp" "tests/CMakeFiles/asrel_tests.dir/test_asn.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_asn.cpp.o.d"
+  "/root/repo/tests/test_bgp.cpp" "tests/CMakeFiles/asrel_tests.dir/test_bgp.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_bgp.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/asrel_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/asrel_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/asrel_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_infer.cpp" "tests/CMakeFiles/asrel_tests.dir/test_infer.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_infer.cpp.o.d"
+  "/root/repo/tests/test_micro_scenarios.cpp" "tests/CMakeFiles/asrel_tests.dir/test_micro_scenarios.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_micro_scenarios.cpp.o.d"
+  "/root/repo/tests/test_netbase.cpp" "tests/CMakeFiles/asrel_tests.dir/test_netbase.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_netbase.cpp.o.d"
+  "/root/repo/tests/test_org_rpsl.cpp" "tests/CMakeFiles/asrel_tests.dir/test_org_rpsl.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_org_rpsl.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/asrel_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rir.cpp" "tests/CMakeFiles/asrel_tests.dir/test_rir.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_rir.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/asrel_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_validation.cpp" "tests/CMakeFiles/asrel_tests.dir/test_validation.cpp.o" "gcc" "tests/CMakeFiles/asrel_tests.dir/test_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asrel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/asrel_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/asrel_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/asrel_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/asrel_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/asrel_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpsl/CMakeFiles/asrel_rpsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asrel_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rir/CMakeFiles/asrel_rir.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/asrel_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/org/CMakeFiles/asrel_org.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/asrel_asn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_tests.dir/test_applications.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_applications.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_asn.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_asn.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_bgp.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_bgp.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_core.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_eval.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_eval.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_infer.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_infer.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_micro_scenarios.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_micro_scenarios.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_netbase.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_netbase.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_org_rpsl.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_org_rpsl.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_rir.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_rir.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_topology.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_topology.cpp.o.d"
+  "CMakeFiles/asrel_tests.dir/test_validation.cpp.o"
+  "CMakeFiles/asrel_tests.dir/test_validation.cpp.o.d"
+  "asrel_tests"
+  "asrel_tests.pdb"
+  "asrel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrelbias.dir/asrelbias.cpp.o"
+  "CMakeFiles/asrelbias.dir/asrelbias.cpp.o.d"
+  "asrelbias"
+  "asrelbias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrelbias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
