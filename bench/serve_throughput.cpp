@@ -1,0 +1,225 @@
+// Serving-layer benchmark: snapshot build/save/load times, QueryEngine
+// point-lookup throughput (single- and multi-threaded, no sockets), the
+// report cache's effect on aggregate queries, and end-to-end HTTP QPS
+// against an in-process HttpServer over loopback.
+//
+// ASREL_AS_COUNT / ASREL_SEED override the world size (default here is a
+// smaller 4000-AS world so the bench stays interactive on one core).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/snapshot_builder.hpp"
+#include "io/snapshot.hpp"
+#include "serve/http_server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace asrel;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Minimal blocking GET over a fresh-per-call keep-alive connection.
+struct MiniClient {
+  int fd = -1;
+
+  bool open(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd);
+      fd = -1;
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  ~MiniClient() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  int get(const std::string& path) {
+    const std::string request =
+        "GET " + path + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+    if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(request.size())) {
+      return -1;
+    }
+    std::string data;
+    char chunk[8192];
+    std::size_t header_end = std::string::npos;
+    std::size_t content_length = 0;
+    for (;;) {
+      if (header_end == std::string::npos) {
+        header_end = data.find("\r\n\r\n");
+        if (header_end != std::string::npos) {
+          const std::size_t cl = data.find("Content-Length: ");
+          if (cl != std::string::npos && cl < header_end) {
+            content_length = static_cast<std::size_t>(
+                std::strtoull(data.c_str() + cl + 16, nullptr, 10));
+          }
+        }
+      }
+      if (header_end != std::string::npos &&
+          data.size() >= header_end + 4 + content_length) {
+        break;
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return -1;
+      data.append(chunk, static_cast<std::size_t>(n));
+    }
+    return std::atoi(data.c_str() + data.find(' ') + 1);
+  }
+};
+
+}  // namespace
+
+int main() {
+  // Smaller default than the shared bench scenario: the serving layer is
+  // measured at interactive scale; override with ASREL_AS_COUNT.
+  core::ScenarioParams params;
+  params.topology.as_count = bench::env_int("ASREL_AS_COUNT", 4000);
+  params.topology.seed =
+      static_cast<std::uint64_t>(bench::env_int("ASREL_SEED", 42));
+
+  std::printf("== serve_throughput (%d ASes, seed %llu) ==\n",
+              params.topology.as_count,
+              static_cast<unsigned long long>(params.topology.seed));
+
+  auto t0 = Clock::now();
+  const auto scenario = core::Scenario::build(params);
+  std::printf("scenario build:        %8.1f ms\n", ms_since(t0));
+
+  t0 = Clock::now();
+  io::Snapshot snapshot = core::build_snapshot(*scenario);
+  std::printf("snapshot assembly:     %8.1f ms  (3 inferences + tags)\n",
+              ms_since(t0));
+
+  t0 = Clock::now();
+  const std::string bytes = io::to_snapshot_bytes(snapshot);
+  std::printf("snapshot serialize:    %8.1f ms  (%.1f MiB)\n", ms_since(t0),
+              static_cast<double>(bytes.size()) / (1024.0 * 1024.0));
+
+  t0 = Clock::now();
+  auto loaded = io::parse_snapshot_bytes(bytes);
+  std::printf("snapshot load:         %8.1f ms\n", ms_since(t0));
+  if (!loaded) {
+    std::printf("FATAL: round-trip failed\n");
+    return 1;
+  }
+
+  t0 = Clock::now();
+  const auto engine =
+      std::make_shared<const serve::QueryEngine>(std::move(*loaded));
+  std::printf("engine index build:    %8.1f ms\n", ms_since(t0));
+
+  // ---- in-process point-lookup throughput ----
+  const auto sample = engine->sample_links(4096);
+  for (const int threads : {1, 4}) {
+    constexpr long kLookups = 200000;
+    std::atomic<long> sink{0};
+    t0 = Clock::now();
+    std::vector<std::thread> pool;
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        long found = 0;
+        for (long i = 0; i < kLookups / threads; ++i) {
+          const auto& link =
+              sample[static_cast<std::size_t>(i + w * 31) % sample.size()];
+          found += engine->rel(link.a, link.b).known() ? 1 : 0;
+        }
+        sink.fetch_add(found);
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    const double seconds = ms_since(t0) / 1000.0;
+    std::printf("engine rel() x%d:       %8.0f lookups/s (%ld found)\n",
+                threads, static_cast<double>(kLookups) / seconds,
+                sink.load());
+  }
+
+  // ---- aggregate reports: cold vs cached ----
+  t0 = Clock::now();
+  (void)engine->report_json("regional");
+  (void)engine->report_json("topological");
+  (void)engine->report_json("table:asrank");
+  const double cold_ms = ms_since(t0);
+  t0 = Clock::now();
+  constexpr int kCachedRounds = 1000;
+  for (int i = 0; i < kCachedRounds; ++i) {
+    (void)engine->report_json("regional");
+    (void)engine->report_json("table:asrank");
+  }
+  std::printf("reports cold:          %8.1f ms (3 reports)\n", cold_ms);
+  std::printf("reports cached:        %8.3f ms/report (hit rate %.2f)\n",
+              ms_since(t0) / (2.0 * kCachedRounds),
+              engine->cache_stats().hit_rate());
+
+  // ---- end-to-end HTTP over loopback ----
+  serve::AsrelService service{engine};
+  serve::HttpServerOptions options;
+  options.port = 0;
+  options.worker_threads = 4;
+  serve::HttpServer server{
+      [&service](const serve::HttpRequest& request) {
+        return service.handle(request);
+      },
+      options};
+  std::string error;
+  if (!server.start(&error)) {
+    std::printf("FATAL: %s\n", error.c_str());
+    return 1;
+  }
+
+  for (const int clients : {1, 4}) {
+    constexpr long kRequests = 20000;
+    std::atomic<long> errors{0};
+    t0 = Clock::now();
+    std::vector<std::thread> pool;
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        MiniClient client;
+        if (!client.open(server.port())) {
+          errors.fetch_add(kRequests / clients);
+          return;
+        }
+        for (long i = 0; i < kRequests / clients; ++i) {
+          const auto& link =
+              sample[static_cast<std::size_t>(i + c * 17) % sample.size()];
+          const std::string path = "/rel?a=" +
+                                   std::to_string(link.a.value()) +
+                                   "&b=" + std::to_string(link.b.value());
+          if (client.get(path) != 200) errors.fetch_add(1);
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    const double seconds = ms_since(t0) / 1000.0;
+    std::printf("http /rel x%d conn:     %8.0f req/s (%ld errors)\n",
+                clients, static_cast<double>(kRequests) / seconds,
+                errors.load());
+  }
+  server.stop();
+  return 0;
+}

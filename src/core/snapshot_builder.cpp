@@ -1,0 +1,120 @@
+#include "core/snapshot_builder.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "core/bias_audit.hpp"
+#include "infer/asrank.hpp"
+#include "infer/problink.hpp"
+#include "infer/toposcope.hpp"
+#include "topology/cone.hpp"
+
+namespace asrel::core {
+
+namespace {
+
+/// Flattens an Inference into snapshot labels in its deterministic
+/// first-inserted order.
+io::SnapshotAlgorithm flatten(std::string name,
+                              const infer::Inference& inference) {
+  io::SnapshotAlgorithm algorithm;
+  algorithm.name = std::move(name);
+  algorithm.labels.reserve(inference.size());
+  for (const auto& link : inference.order()) {
+    const infer::InferredRel* rel = inference.find(link);
+    if (rel == nullptr) continue;
+    algorithm.labels.push_back(
+        val::CleanLabel{.link = link, .rel = rel->rel,
+                        .provider = rel->provider});
+  }
+  return algorithm;
+}
+
+}  // namespace
+
+io::Snapshot build_snapshot(const Scenario& scenario) {
+  io::Snapshot snapshot;
+  snapshot.meta.as_count = scenario.params().topology.as_count;
+  snapshot.meta.seed = scenario.params().topology.seed;
+  snapshot.meta.scheme_seed = scenario.params().scheme_seed;
+
+  const auto& world = scenario.world();
+  const auto& graph = world.graph;
+  const auto& observed = scenario.observed();
+
+  // ---- per-AS table, sorted by ASN ----
+  const auto cone_sizes = topo::customer_cone_sizes(graph);
+  std::vector<asn::Asn> asns{graph.nodes().begin(), graph.nodes().end()};
+  std::sort(asns.begin(), asns.end());
+  snapshot.ases.reserve(asns.size());
+  for (const auto asn : asns) {
+    io::SnapshotAs as;
+    as.asn = asn;
+    as.attrs = world.attrs.at(asn);
+    if (const auto index = observed.index_of(asn)) {
+      as.transit_degree = observed.transit_degree(*index);
+      as.node_degree = observed.node_degree(*index);
+    }
+    if (const auto node = graph.node_of(asn)) {
+      as.cone_size = cone_sizes[*node];
+    }
+    snapshot.ases.push_back(std::move(as));
+  }
+
+  // ---- ground-truth edges ----
+  snapshot.edges.reserve(graph.edge_count());
+  for (const auto& edge : graph.edges()) {
+    snapshot.edges.push_back(io::SnapshotEdge{
+        .a = graph.asn_of(edge.u),
+        .b = graph.asn_of(edge.v),
+        .rel = edge.rel,
+        .scope = edge.scope,
+        .scope_via_community = edge.scope_via_community,
+        .misdocumented = edge.misdocumented,
+        .hybrid_rel = edge.hybrid_rel,
+    });
+  }
+  snapshot.clique = world.clique;
+  snapshot.hypergiants = world.hypergiants;
+
+  // ---- cleaned validation data ----
+  snapshot.validation = scenario.validation();
+
+  // ---- the three inferences ----
+  const auto asrank = infer::run_asrank(observed);
+  const auto problink =
+      infer::run_problink(observed, asrank, scenario.validation());
+  const auto toposcope =
+      infer::run_toposcope(observed, asrank, scenario.validation());
+  snapshot.algorithms.push_back(
+      flatten(std::string{kSnapshotAlgorithms[0]}, asrank.inference));
+  snapshot.algorithms.push_back(
+      flatten(std::string{kSnapshotAlgorithms[1]}, problink.inference));
+  snapshot.algorithms.push_back(
+      flatten(std::string{kSnapshotAlgorithms[2]}, toposcope.inference));
+
+  // ---- visible links with precomputed class tags ----
+  const BiasAudit audit{scenario};
+  std::unordered_map<std::string, std::uint32_t> interned;
+  const auto intern = [&](std::string name) {
+    const auto it = interned.find(name);
+    if (it != interned.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(snapshot.class_names.size());
+    interned.emplace(name, id);
+    snapshot.class_names.push_back(std::move(name));
+    return id;
+  };
+  snapshot.links.reserve(audit.inferred_links().size());
+  for (const auto& link : audit.inferred_links()) {
+    snapshot.links.push_back(io::SnapshotLinkTag{
+        .link = link,
+        .regional_class = intern(audit.regional_class_of(link)),
+        .topological_class = intern(audit.topological_class_of(link)),
+    });
+  }
+
+  return snapshot;
+}
+
+}  // namespace asrel::core

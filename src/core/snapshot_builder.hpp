@@ -1,0 +1,21 @@
+// Assembles an io::Snapshot from a live Scenario: runs the three inference
+// algorithms (ASRank, ProbLink, TopoScope), tags every visible link with
+// its §5 regional/topological class via BiasAudit, and flattens the ground
+// truth into the serving layer's flat tables. This is the expensive
+// batch step; everything in src/serve reads only its output.
+#pragma once
+
+#include "core/scenario.hpp"
+#include "io/snapshot.hpp"
+
+namespace asrel::core {
+
+/// Names used for the algorithm sections, in snapshot order.
+inline constexpr std::string_view kSnapshotAlgorithms[] = {
+    "asrank", "problink", "toposcope"};
+
+/// Deterministic in the scenario: the same seed yields byte-identical
+/// snapshots across runs.
+[[nodiscard]] io::Snapshot build_snapshot(const Scenario& scenario);
+
+}  // namespace asrel::core

@@ -1,0 +1,456 @@
+#include "io/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace asrel::io {
+
+namespace {
+
+// ---- encoding ----
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+void put_label(std::string& out, const val::CleanLabel& label) {
+  put_u32(out, label.link.a.value());
+  put_u32(out, label.link.b.value());
+  put_u8(out, static_cast<std::uint8_t>(label.rel));
+  put_u32(out, label.provider.value());
+}
+
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// ---- decoding ----
+
+/// Bounds-checked little-endian reader over the payload. All getters
+/// return false once `fail` is set; callers check once per section.
+struct Cursor {
+  std::string_view data;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool failed() const { return !error.empty(); }
+  [[nodiscard]] std::size_t remaining() const { return data.size() - pos; }
+
+  void fail(const std::string& message) {
+    if (error.empty()) error = message;
+  }
+
+  [[nodiscard]] bool need(std::size_t bytes, const char* what) {
+    if (failed()) return false;
+    if (remaining() < bytes) {
+      fail(std::string{"truncated payload while reading "} + what);
+      return false;
+    }
+    return true;
+  }
+
+  std::uint8_t get_u8(const char* what) {
+    if (!need(1, what)) return 0;
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+
+  std::uint32_t get_u32(const char* what) {
+    if (!need(4, what)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t{static_cast<std::uint8_t>(data[pos + i])} << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t get_u64(const char* what) {
+    if (!need(8, what)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t{static_cast<std::uint8_t>(data[pos + i])} << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+
+  double get_f64(const char* what) {
+    const std::uint64_t bits = get_u64(what);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string get_string(const char* what) {
+    const std::uint32_t size = get_u32(what);
+    if (!need(size, what)) return {};
+    std::string s{data.substr(pos, size)};
+    pos += size;
+    return s;
+  }
+
+  /// Reads an element count and sanity-checks it against the bytes left
+  /// (each element occupies at least `min_element_bytes`), so a corrupted
+  /// count cannot drive a multi-gigabyte allocation.
+  std::uint64_t get_count(const char* what, std::size_t min_element_bytes) {
+    const std::uint64_t count = get_u64(what);
+    if (failed()) return 0;
+    if (min_element_bytes > 0 &&
+        count > remaining() / min_element_bytes) {
+      fail(std::string{"implausible element count for "} + what);
+      return 0;
+    }
+    return count;
+  }
+
+  val::CleanLabel get_label(const char* what) {
+    val::CleanLabel label;
+    const asn::Asn a{get_u32(what)};
+    const asn::Asn b{get_u32(what)};
+    label.link = val::AsLink{a, b};
+    label.rel = static_cast<topo::RelType>(get_u8(what));
+    label.provider = asn::Asn{get_u32(what)};
+    return label;
+  }
+};
+
+[[nodiscard]] bool valid_rel(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(topo::RelType::kS2S);
+}
+
+[[nodiscard]] bool valid_scope(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(topo::ExportScope::kCustomersOnly);
+}
+
+constexpr std::uint8_t kAsFlagHypergiant = 1u << 0;
+constexpr std::uint8_t kAsFlagDocuments = 1u << 1;
+constexpr std::uint8_t kAsFlagRpsl = 1u << 2;
+constexpr std::uint8_t kAsFlagMeetings = 1u << 3;
+constexpr std::uint8_t kAsFlagStrips = 1u << 4;
+
+constexpr std::uint8_t kEdgeFlagScopeCommunity = 1u << 0;
+constexpr std::uint8_t kEdgeFlagMisdocumented = 1u << 1;
+constexpr std::uint8_t kEdgeFlagHybrid = 1u << 2;
+
+std::string encode_payload(const Snapshot& snapshot) {
+  std::string out;
+
+  put_u64(out, static_cast<std::uint64_t>(snapshot.meta.as_count));
+  put_u64(out, snapshot.meta.seed);
+  put_u64(out, snapshot.meta.scheme_seed);
+
+  put_u64(out, snapshot.class_names.size());
+  for (const auto& name : snapshot.class_names) put_string(out, name);
+
+  put_u64(out, snapshot.ases.size());
+  for (const auto& as : snapshot.ases) {
+    put_u32(out, as.asn.value());
+    put_u8(out, static_cast<std::uint8_t>(as.attrs.region));
+    put_u8(out, static_cast<std::uint8_t>(as.attrs.tier));
+    put_u8(out, static_cast<std::uint8_t>(as.attrs.stub_kind));
+    std::uint8_t flags = 0;
+    if (as.attrs.hypergiant) flags |= kAsFlagHypergiant;
+    if (as.attrs.documents_communities) flags |= kAsFlagDocuments;
+    if (as.attrs.maintains_rpsl) flags |= kAsFlagRpsl;
+    if (as.attrs.attends_meetings) flags |= kAsFlagMeetings;
+    if (as.attrs.strips_communities) flags |= kAsFlagStrips;
+    put_u8(out, flags);
+    put_string(out, as.attrs.country);
+    put_f64(out, as.attrs.prepend_propensity);
+    put_u32(out, as.transit_degree);
+    put_u32(out, as.node_degree);
+    put_u32(out, as.cone_size);
+  }
+
+  put_u64(out, snapshot.edges.size());
+  for (const auto& edge : snapshot.edges) {
+    put_u32(out, edge.a.value());
+    put_u32(out, edge.b.value());
+    put_u8(out, static_cast<std::uint8_t>(edge.rel));
+    put_u8(out, static_cast<std::uint8_t>(edge.scope));
+    std::uint8_t flags = 0;
+    if (edge.scope_via_community) flags |= kEdgeFlagScopeCommunity;
+    if (edge.misdocumented) flags |= kEdgeFlagMisdocumented;
+    if (edge.hybrid_rel) flags |= kEdgeFlagHybrid;
+    put_u8(out, flags);
+    put_u8(out, edge.hybrid_rel
+                    ? static_cast<std::uint8_t>(*edge.hybrid_rel)
+                    : 0);
+  }
+
+  put_u64(out, snapshot.clique.size());
+  for (const auto asn : snapshot.clique) put_u32(out, asn.value());
+  put_u64(out, snapshot.hypergiants.size());
+  for (const auto asn : snapshot.hypergiants) put_u32(out, asn.value());
+
+  put_u64(out, snapshot.validation.size());
+  for (const auto& label : snapshot.validation) put_label(out, label);
+
+  put_u64(out, snapshot.algorithms.size());
+  for (const auto& algorithm : snapshot.algorithms) {
+    put_string(out, algorithm.name);
+    put_u64(out, algorithm.labels.size());
+    for (const auto& label : algorithm.labels) put_label(out, label);
+  }
+
+  put_u64(out, snapshot.links.size());
+  for (const auto& tag : snapshot.links) {
+    put_u32(out, tag.link.a.value());
+    put_u32(out, tag.link.b.value());
+    put_u32(out, tag.regional_class);
+    put_u32(out, tag.topological_class);
+  }
+
+  return out;
+}
+
+std::optional<Snapshot> decode_payload(std::string_view payload,
+                                       std::string* error) {
+  Cursor in;
+  in.data = payload;
+  Snapshot snapshot;
+
+  snapshot.meta.as_count =
+      static_cast<std::int64_t>(in.get_u64("meta.as_count"));
+  snapshot.meta.seed = in.get_u64("meta.seed");
+  snapshot.meta.scheme_seed = in.get_u64("meta.scheme_seed");
+
+  const auto names = in.get_count("class names", 4);
+  snapshot.class_names.reserve(names);
+  for (std::uint64_t i = 0; i < names && !in.failed(); ++i) {
+    snapshot.class_names.push_back(in.get_string("class name"));
+  }
+
+  const auto ases = in.get_count("AS records", 31);
+  snapshot.ases.reserve(ases);
+  for (std::uint64_t i = 0; i < ases && !in.failed(); ++i) {
+    SnapshotAs as;
+    as.asn = asn::Asn{in.get_u32("as.asn")};
+    as.attrs.region = static_cast<rir::Region>(in.get_u8("as.region"));
+    as.attrs.tier = static_cast<topo::Tier>(in.get_u8("as.tier"));
+    as.attrs.stub_kind =
+        static_cast<topo::StubKind>(in.get_u8("as.stub_kind"));
+    const std::uint8_t flags = in.get_u8("as.flags");
+    as.attrs.hypergiant = flags & kAsFlagHypergiant;
+    as.attrs.documents_communities = flags & kAsFlagDocuments;
+    as.attrs.maintains_rpsl = flags & kAsFlagRpsl;
+    as.attrs.attends_meetings = flags & kAsFlagMeetings;
+    as.attrs.strips_communities = flags & kAsFlagStrips;
+    as.attrs.country = in.get_string("as.country");
+    as.attrs.prepend_propensity = in.get_f64("as.prepend");
+    as.transit_degree = in.get_u32("as.transit_degree");
+    as.node_degree = in.get_u32("as.node_degree");
+    as.cone_size = in.get_u32("as.cone_size");
+    if (static_cast<std::uint8_t>(as.attrs.region) >
+        static_cast<std::uint8_t>(rir::Region::kUnknown)) {
+      in.fail("invalid region code in AS record");
+    }
+    snapshot.ases.push_back(std::move(as));
+  }
+
+  const auto edges = in.get_count("edges", 12);
+  snapshot.edges.reserve(edges);
+  for (std::uint64_t i = 0; i < edges && !in.failed(); ++i) {
+    SnapshotEdge edge;
+    edge.a = asn::Asn{in.get_u32("edge.a")};
+    edge.b = asn::Asn{in.get_u32("edge.b")};
+    const std::uint8_t rel = in.get_u8("edge.rel");
+    const std::uint8_t scope = in.get_u8("edge.scope");
+    const std::uint8_t flags = in.get_u8("edge.flags");
+    const std::uint8_t hybrid = in.get_u8("edge.hybrid");
+    if (!in.failed() && (!valid_rel(rel) || !valid_scope(scope) ||
+                         ((flags & kEdgeFlagHybrid) && !valid_rel(hybrid)))) {
+      in.fail("invalid relationship/scope code in edge record");
+    }
+    edge.rel = static_cast<topo::RelType>(rel);
+    edge.scope = static_cast<topo::ExportScope>(scope);
+    edge.scope_via_community = flags & kEdgeFlagScopeCommunity;
+    edge.misdocumented = flags & kEdgeFlagMisdocumented;
+    if (flags & kEdgeFlagHybrid) {
+      edge.hybrid_rel = static_cast<topo::RelType>(hybrid);
+    }
+    snapshot.edges.push_back(edge);
+  }
+
+  const auto clique = in.get_count("clique", 4);
+  for (std::uint64_t i = 0; i < clique && !in.failed(); ++i) {
+    snapshot.clique.push_back(asn::Asn{in.get_u32("clique asn")});
+  }
+  const auto hypergiants = in.get_count("hypergiants", 4);
+  for (std::uint64_t i = 0; i < hypergiants && !in.failed(); ++i) {
+    snapshot.hypergiants.push_back(asn::Asn{in.get_u32("hypergiant asn")});
+  }
+
+  const auto validation = in.get_count("validation labels", 13);
+  snapshot.validation.reserve(validation);
+  for (std::uint64_t i = 0; i < validation && !in.failed(); ++i) {
+    snapshot.validation.push_back(in.get_label("validation label"));
+  }
+
+  const auto algorithms = in.get_count("algorithms", 12);
+  snapshot.algorithms.reserve(algorithms);
+  for (std::uint64_t i = 0; i < algorithms && !in.failed(); ++i) {
+    SnapshotAlgorithm algorithm;
+    algorithm.name = in.get_string("algorithm name");
+    const auto labels = in.get_count("algorithm labels", 13);
+    algorithm.labels.reserve(labels);
+    for (std::uint64_t j = 0; j < labels && !in.failed(); ++j) {
+      algorithm.labels.push_back(in.get_label("algorithm label"));
+    }
+    snapshot.algorithms.push_back(std::move(algorithm));
+  }
+
+  const auto links = in.get_count("link tags", 16);
+  snapshot.links.reserve(links);
+  for (std::uint64_t i = 0; i < links && !in.failed(); ++i) {
+    SnapshotLinkTag tag;
+    const asn::Asn a{in.get_u32("tag.a")};
+    const asn::Asn b{in.get_u32("tag.b")};
+    tag.link = val::AsLink{a, b};
+    tag.regional_class = in.get_u32("tag.regional");
+    tag.topological_class = in.get_u32("tag.topological");
+    if (!in.failed() && (tag.regional_class >= snapshot.class_names.size() ||
+                         tag.topological_class >=
+                             snapshot.class_names.size())) {
+      in.fail("link tag references a class name outside the string table");
+    }
+    snapshot.links.push_back(tag);
+  }
+
+  if (!in.failed() && in.remaining() != 0) {
+    in.fail("trailing bytes after the last section");
+  }
+  if (in.failed()) {
+    if (error != nullptr) *error = in.error;
+    return std::nullopt;
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+std::string to_snapshot_bytes(const Snapshot& snapshot) {
+  const std::string payload = encode_payload(snapshot);
+  std::string out;
+  out.reserve(kSnapshotMagic.size() + 20 + payload.size());
+  out.append(kSnapshotMagic);
+  put_u32(out, kSnapshotVersion);
+  put_u64(out, payload.size());
+  put_u64(out, fnv1a64(payload));
+  out.append(payload);
+  return out;
+}
+
+void write_snapshot(const Snapshot& snapshot, std::ostream& out) {
+  const std::string bytes = to_snapshot_bytes(snapshot);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::optional<Snapshot> parse_snapshot_bytes(std::string_view bytes,
+                                             std::string* error) {
+  const auto fail = [&](std::string_view message) {
+    if (error != nullptr) *error = std::string{message};
+    return std::nullopt;
+  };
+  const std::size_t header_size = kSnapshotMagic.size() + 4 + 8 + 8;
+  if (bytes.size() < header_size) {
+    return fail("file too short to hold a snapshot header");
+  }
+  if (bytes.substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
+    return fail("bad magic: not an asrel snapshot file");
+  }
+  Cursor header;
+  header.data = bytes.substr(kSnapshotMagic.size());
+  const std::uint32_t version = header.get_u32("version");
+  const std::uint64_t payload_size = header.get_u64("payload size");
+  const std::uint64_t checksum = header.get_u64("checksum");
+  if (version != kSnapshotVersion) {
+    if (error != nullptr) {
+      *error = "unsupported snapshot version " + std::to_string(version) +
+               " (this build reads version " +
+               std::to_string(kSnapshotVersion) + ")";
+    }
+    return std::nullopt;
+  }
+  const std::string_view payload = bytes.substr(header_size);
+  if (payload.size() != payload_size) {
+    if (error != nullptr) {
+      *error = "payload size mismatch: header says " +
+               std::to_string(payload_size) + " bytes, file has " +
+               std::to_string(payload.size()) +
+               " (truncated or trailing garbage)";
+    }
+    return std::nullopt;
+  }
+  if (fnv1a64(payload) != checksum) {
+    return fail("payload checksum mismatch: snapshot is corrupted");
+  }
+  return decode_payload(payload, error);
+}
+
+std::optional<Snapshot> read_snapshot(std::istream& in, std::string* error) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_snapshot_bytes(buffer.str(), error);
+}
+
+bool save_snapshot_file(const Snapshot& snapshot, const std::string& path,
+                        std::string* error) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  write_snapshot(snapshot, out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<Snapshot> load_snapshot_file(const std::string& path,
+                                           std::string* error) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return read_snapshot(in, error);
+}
+
+}  // namespace asrel::io

@@ -1,0 +1,116 @@
+// Versioned binary snapshot of one scenario's precomputed artifacts.
+//
+// A snapshot is everything the serving layer (src/serve) needs to answer
+// per-link and aggregate bias queries without re-running the pipeline:
+// the ground-truth graph + per-AS attributes, the observed ("inferred")
+// link universe with its §5 class tags, the cleaned validation data, and
+// the edge labels produced by each inference algorithm. Loading one takes
+// milliseconds where rebuilding the Scenario takes minutes — the same
+// batch-vs-serve split CAIDA makes by publishing serial-2 as-rel files
+// instead of asking consumers to re-run ASRank.
+//
+// Format (all integers little-endian, fixed width):
+//   magic "ASRELSNP" | version u32 | payload_size u64 | fnv1a64 u64 |
+//   payload. The checksum covers the payload only, so truncation and
+//   bit-flips are both detected before any section is trusted. Counts are
+//   validated against the remaining payload size while parsing, so a
+//   corrupted count fails cleanly instead of allocating garbage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "topology/attributes.hpp"
+#include "topology/graph.hpp"
+#include "topology/rel_type.hpp"
+#include "validation/cleaner.hpp"
+#include "validation/label.hpp"
+
+namespace asrel::io {
+
+inline constexpr std::string_view kSnapshotMagic = "ASRELSNP";
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Enough provenance to tell two snapshots apart and to refuse mixing
+/// artifacts from different worlds.
+struct SnapshotMeta {
+  std::int64_t as_count = 0;       ///< TopologyParams::as_count
+  std::uint64_t seed = 0;          ///< TopologyParams::seed
+  std::uint64_t scheme_seed = 0;   ///< ScenarioParams::scheme_seed
+};
+
+/// One AS: ground-truth attributes plus the observed-view degrees and the
+/// ground-truth customer-cone size.
+struct SnapshotAs {
+  asn::Asn asn;
+  topo::AsAttributes attrs;
+  std::uint32_t transit_degree = 0;  ///< 0 if never observed mid-path
+  std::uint32_t node_degree = 0;
+  std::uint32_t cone_size = 0;
+};
+
+/// One ground-truth edge (provider first for kP2C), with the annotations
+/// the §6.1 case study depends on.
+struct SnapshotEdge {
+  asn::Asn a;  ///< provider for kP2C
+  asn::Asn b;
+  topo::RelType rel = topo::RelType::kP2P;
+  topo::ExportScope scope = topo::ExportScope::kFull;
+  bool scope_via_community = false;
+  bool misdocumented = false;
+  std::optional<topo::RelType> hybrid_rel;
+};
+
+/// One algorithm's full labeling, in the inference's deterministic order.
+/// Reuses val::CleanLabel: {link, rel, provider-if-P2C}.
+struct SnapshotAlgorithm {
+  std::string name;  ///< "asrank", "problink", "toposcope"
+  std::vector<val::CleanLabel> labels;
+};
+
+/// One visible link with its precomputed §5 class tags (indices into
+/// Snapshot::class_names).
+struct SnapshotLinkTag {
+  val::AsLink link;
+  std::uint32_t regional_class = 0;
+  std::uint32_t topological_class = 0;
+};
+
+struct Snapshot {
+  SnapshotMeta meta;
+  std::vector<std::string> class_names;     ///< interned class strings
+  std::vector<SnapshotAs> ases;             ///< sorted by ASN
+  std::vector<SnapshotEdge> edges;          ///< ground truth, graph order
+  std::vector<asn::Asn> clique;
+  std::vector<asn::Asn> hypergiants;
+  std::vector<val::CleanLabel> validation;  ///< cleaned, pipeline order
+  std::vector<SnapshotAlgorithm> algorithms;
+  std::vector<SnapshotLinkTag> links;       ///< observed links, first-seen order
+};
+
+/// Serialization is deterministic: the same Snapshot value always produces
+/// byte-identical output.
+void write_snapshot(const Snapshot& snapshot, std::ostream& out);
+[[nodiscard]] std::string to_snapshot_bytes(const Snapshot& snapshot);
+
+/// Returns nullopt and fills `*error` (if given) with a one-line diagnosis
+/// for wrong magic, unsupported version, truncation, checksum mismatch, or
+/// any structurally invalid section.
+[[nodiscard]] std::optional<Snapshot> read_snapshot(
+    std::istream& in, std::string* error = nullptr);
+[[nodiscard]] std::optional<Snapshot> parse_snapshot_bytes(
+    std::string_view bytes, std::string* error = nullptr);
+
+/// Convenience file wrappers (open + read/write + diagnose open failures).
+[[nodiscard]] bool save_snapshot_file(const Snapshot& snapshot,
+                                      const std::string& path,
+                                      std::string* error = nullptr);
+[[nodiscard]] std::optional<Snapshot> load_snapshot_file(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace asrel::io

@@ -1,0 +1,455 @@
+#include "serve/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "serve/json.hpp"
+
+namespace asrel::serve {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+/// Sends the whole buffer, tolerating partial writes. MSG_NOSIGNAL keeps a
+/// dead peer from raising SIGPIPE.
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string render_response(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += status_text(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string percent_decode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '%' && i + 2 < in.size()) {
+      const int high = hex_digit(in[i + 1]);
+      const int low = hex_digit(in[i + 2]);
+      if (high >= 0 && low >= 0) {
+        out.push_back(static_cast<char>(high * 16 + low));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(in[i] == '+' ? ' ' : in[i]);
+  }
+  return out;
+}
+
+/// Parses the header block (everything before the blank line). Returns
+/// false on any structural problem.
+bool parse_request(std::string_view header_block, HttpRequest* request,
+                   std::size_t* content_length) {
+  const std::size_t line_end = header_block.find("\r\n");
+  const std::string_view request_line = header_block.substr(
+      0, line_end == std::string_view::npos ? header_block.size() : line_end);
+
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (!version.starts_with("HTTP/1.")) return false;
+
+  request->method = std::string{request_line.substr(0, sp1)};
+  request->target = std::string{request_line.substr(sp1 + 1, sp2 - sp1 - 1)};
+  request->keep_alive = version != "HTTP/1.0";
+
+  const std::string_view target = request->target;
+  const std::size_t question = target.find('?');
+  request->path = percent_decode(target.substr(0, question));
+  if (question != std::string_view::npos) {
+    std::string_view rest = target.substr(question + 1);
+    while (!rest.empty()) {
+      const std::size_t amp = rest.find('&');
+      const std::string_view pair = rest.substr(0, amp);
+      const std::size_t eq = pair.find('=');
+      if (!pair.empty()) {
+        request->query.emplace_back(
+            percent_decode(pair.substr(0, eq)),
+            eq == std::string_view::npos ? std::string{}
+                                         : percent_decode(pair.substr(eq + 1)));
+      }
+      if (amp == std::string_view::npos) break;
+      rest = rest.substr(amp + 1);
+    }
+  }
+
+  *content_length = 0;
+  std::string_view headers = line_end == std::string_view::npos
+                                 ? std::string_view{}
+                                 : header_block.substr(line_end + 2);
+  while (!headers.empty()) {
+    const std::size_t end = headers.find("\r\n");
+    const std::string_view line =
+        headers.substr(0, end == std::string_view::npos ? headers.size() : end);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string name{line.substr(0, colon)};
+      for (auto& c : name) c = static_cast<char>(std::tolower(c));
+      std::string_view value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+      if (name == "connection") {
+        std::string lowered{value};
+        for (auto& c : lowered) c = static_cast<char>(std::tolower(c));
+        if (lowered == "close") request->keep_alive = false;
+        if (lowered == "keep-alive") request->keep_alive = true;
+      } else if (name == "content-length") {
+        *content_length = static_cast<std::size_t>(
+            std::strtoull(std::string{value}.c_str(), nullptr, 10));
+      }
+    }
+    if (end == std::string_view::npos) break;
+    headers = headers.substr(end + 2);
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::query_param(std::string_view name) const {
+  for (const auto& [key, value] : query) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  if (options_.worker_threads < 1) options_.worker_threads = 1;
+  if (options_.max_pending_connections < 1) {
+    options_.max_pending_connections = 1;
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start(std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket()");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_ANY);
+  address.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return fail("bind()");
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    return fail("listen()");
+  }
+  socklen_t length = sizeof(address);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                    &length) != 0) {
+    return fail("getsockname()");
+  }
+  bound_port_ = ntohs(address.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread{[this] { accept_loop(); }};
+  workers_.reserve(static_cast<std::size_t>(options_.worker_threads));
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock{queue_mutex_};
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  queue_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock{active_mutex_};
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.responses_2xx = responses_2xx_.load(std::memory_order_relaxed);
+  stats.responses_4xx = responses_4xx_.load(std::memory_order_relaxed);
+  stats.responses_5xx = responses_5xx_.load(std::memory_order_relaxed);
+  stats.malformed = malformed_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  stats.overload_rejected = overload_rejected_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listen socket is gone; stop() handles the rest
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    bool rejected = false;
+    {
+      std::lock_guard<std::mutex> lock{queue_mutex_};
+      if (pending_.size() >= options_.max_pending_connections) {
+        rejected = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (rejected) {
+      overload_rejected_.fetch_add(1, std::memory_order_relaxed);
+      send_all(fd, render_response(
+                       HttpResponse::json(
+                           503, R"({"error":"server overloaded"})"),
+                       false));
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock{queue_mutex_};
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // only reachable when stopping
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock{active_mutex_};
+      active_fds_.insert(fd);
+    }
+    serve_connection(fd);
+    {
+      std::lock_guard<std::mutex> lock{active_mutex_};
+      active_fds_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = options_.request_timeout_ms / 1000;
+  timeout.tv_usec = (options_.request_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // ---- read one request's header block ----
+    std::size_t header_end = buffer.find("\r\n\r\n");
+    while (header_end == std::string::npos) {
+      if (buffer.size() > options_.max_request_bytes) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        send_all(fd, render_response(
+                         HttpResponse::json(
+                             413, R"({"error":"request too large"})"),
+                         false));
+        return;
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n == 0) return;  // peer closed
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if ((errno == EAGAIN || errno == EWOULDBLOCK) && !buffer.empty()) {
+          // Mid-request stall: answer 408 so the client learns why.
+          timeouts_.fetch_add(1, std::memory_order_relaxed);
+          send_all(fd, render_response(
+                           HttpResponse::json(
+                               408, R"({"error":"request timeout"})"),
+                           false));
+        }
+        return;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      header_end = buffer.find("\r\n\r\n");
+    }
+
+    // ---- parse ----
+    HttpRequest request;
+    std::size_t content_length = 0;
+    const bool parsed = parse_request(
+        std::string_view{buffer}.substr(0, header_end), &request,
+        &content_length);
+    if (!parsed) {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+      send_all(fd, render_response(
+                       HttpResponse::json(
+                           400, R"({"error":"malformed request"})"),
+                       false));
+      return;
+    }
+
+    // ---- drain (and ignore) any body ----
+    if (content_length > options_.max_request_bytes) {
+      send_all(fd, render_response(
+                       HttpResponse::json(
+                           413, R"({"error":"request too large"})"),
+                       false));
+      return;
+    }
+    std::size_t body_have = buffer.size() - header_end - 4;
+    while (body_have < content_length) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return;
+      body_have += static_cast<std::size_t>(n);
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    buffer.erase(0, header_end + 4 + content_length);
+
+    // ---- dispatch + respond ----
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const HttpResponse response = dispatch(request);
+    if (response.status >= 500) {
+      responses_5xx_.fetch_add(1, std::memory_order_relaxed);
+    } else if (response.status >= 400) {
+      responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      responses_2xx_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!send_all(fd, render_response(response, request.keep_alive))) return;
+    if (!request.keep_alive) return;
+  }
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return HttpResponse::json(405, R"({"error":"only GET is supported"})");
+  }
+  if (request.path == "/healthz") {
+    return HttpResponse::json(200, R"({"status":"ok"})");
+  }
+  if (request.path == "/statsz") {
+    return HttpResponse::json(200, statsz_body());
+  }
+  if (!handler_) {
+    return HttpResponse::json(404, R"({"error":"no handler registered"})");
+  }
+  return handler_(request);
+}
+
+std::string HttpServer::statsz_body() const {
+  const HttpServerStats s = stats();
+  JsonWriter json;
+  json.begin_object();
+  json.key("requests").begin_object();
+  json.field("accepted_connections", s.accepted);
+  json.field("total", s.requests);
+  json.field("responses_2xx", s.responses_2xx);
+  json.field("responses_4xx", s.responses_4xx);
+  json.field("responses_5xx", s.responses_5xx);
+  json.field("malformed", s.malformed);
+  json.field("timeouts", s.timeouts);
+  json.field("overload_rejected", s.overload_rejected);
+  json.end_object();
+  json.field("workers", options_.worker_threads);
+  if (options_.stats_supplement) {
+    const std::string extra = options_.stats_supplement();
+    if (!extra.empty()) json.key("app").raw(extra);
+  }
+  json.end_object();
+  return std::move(json).str();
+}
+
+}  // namespace asrel::serve

@@ -1,0 +1,138 @@
+// Minimal multi-threaded HTTP/1.1 server over POSIX sockets.
+//
+// Concurrency model: one acceptor thread pushes connections onto a
+// bounded queue; a fixed pool of worker threads pops them and serves
+// keep-alive request loops. When the queue is full the acceptor sheds
+// load with an immediate 503 instead of letting the backlog grow — the
+// bound, not the kernel backlog, is the system's admission control.
+// Per-request recv/send timeouts (SO_RCVTIMEO/SO_SNDTIMEO) bound how long
+// a slow or dead client can pin a worker.
+//
+// /healthz and /statsz are answered by the server itself; everything else
+// goes to the registered handler. Only GET is routed (anything else is
+// 405), and a request that cannot be parsed is answered 400 and the
+// connection closed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace asrel::serve {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< raw request target, e.g. "/rel?a=1&b=2"
+  std::string path;    ///< decoded path, e.g. "/rel"
+  std::vector<std::pair<std::string, std::string>> query;
+  bool keep_alive = true;
+
+  /// First value for `name`, or nullptr.
+  [[nodiscard]] const std::string* query_param(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  [[nodiscard]] static HttpResponse json(int status, std::string body) {
+    return HttpResponse{.status = status, .body = std::move(body)};
+  }
+};
+
+struct HttpServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t overload_rejected = 0;
+};
+
+struct HttpServerOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see HttpServer::port()
+  int worker_threads = 4;
+  int listen_backlog = 128;
+  std::size_t max_pending_connections = 256;  ///< bounded accept queue
+  int request_timeout_ms = 5000;
+  std::size_t max_request_bytes = 16 * 1024;
+  /// Extra JSON object spliced into /statsz under "app" (e.g. cache hit
+  /// rates). Must return a valid JSON object or an empty string.
+  std::function<std::string()> stats_supplement;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler, HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + workers. Returns false and
+  /// fills `*error` on socket errors (port in use, ...).
+  [[nodiscard]] bool start(std::string* error = nullptr);
+
+  /// Stops accepting, shuts down in-flight connections, joins all
+  /// threads. Idempotent; also called by the destructor.
+  void stop();
+
+  /// The bound port (useful with port = 0). Valid after start().
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] HttpServerStats stats() const;
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
+  [[nodiscard]] std::string statsz_body() const;
+
+  Handler handler_;
+  HttpServerOptions options_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+
+  std::mutex active_mutex_;
+  std::unordered_set<int> active_fds_;
+
+  // stats (relaxed atomics; read as a snapshot)
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_2xx_{0};
+  std::atomic<std::uint64_t> responses_4xx_{0};
+  std::atomic<std::uint64_t> responses_5xx_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> overload_rejected_{0};
+};
+
+}  // namespace asrel::serve

@@ -1,0 +1,160 @@
+// Minimal JSON emission for the serving layer: no external dependency,
+// string-building only. Values are written in call order; the writer does
+// not validate nesting beyond matched open/close, so misuse shows up as
+// malformed output in tests rather than UB.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace asrel::serve {
+
+/// Escapes `s` into a JSON string literal (quotes included). UTF-8 bytes
+/// pass through untouched; control characters are \u-escaped.
+inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Streaming object/array builder with automatic comma placement.
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& begin_object() {
+    separate();
+    out_.push_back('{');
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_.push_back('}');
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separate();
+    out_.push_back('[');
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_.push_back(']');
+    fresh_ = false;
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view name) {
+    separate();
+    out_ += json_quote(name);
+    out_.push_back(':');
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    separate();
+    out_ += json_quote(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view{s}); }
+  JsonWriter& value(bool b) {
+    separate();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double d) {
+    separate();
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", d);
+    out_ += buffer;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& null() {
+    separate();
+    out_ += "null";
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// Splices a prebuilt JSON fragment (already valid JSON) as a value.
+  JsonWriter& raw(std::string_view fragment) {
+    separate();
+    out_ += fragment;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+  [[nodiscard]] const std::string& str() const& { return out_; }
+
+ private:
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!fresh_ && !out_.empty() && out_.back() != '{' &&
+        out_.back() != '[') {
+      out_.push_back(',');
+    }
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+  bool pending_value_ = false;
+};
+
+}  // namespace asrel::serve

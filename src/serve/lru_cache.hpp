@@ -1,0 +1,120 @@
+// Sharded LRU cache for aggregate query results.
+//
+// Keys hash to one of N shards; each shard holds its own mutex, an
+// intrusive recency list, and a capacity bound, so concurrent readers on
+// different keys rarely contend. Values are shared_ptr<const V>: a hit
+// hands out a reference without copying, and eviction never invalidates a
+// value a request thread is still serializing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace asrel::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedLruCache {
+ public:
+  explicit ShardedLruCache(std::size_t shard_count = 8,
+                           std::size_t capacity_per_shard = 32)
+      : shards_(shard_count == 0 ? 1 : shard_count),
+        capacity_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {}
+
+  /// Returns the cached value for `key`, computing and inserting it with
+  /// `compute` on a miss. `compute` runs outside the shard lock, so two
+  /// racing misses may both compute; the first insert wins and both
+  /// callers observe a usable value.
+  template <typename Compute>
+  std::shared_ptr<const V> get_or_compute(const K& key, Compute&& compute) {
+    Shard& shard = shard_of(key);
+    {
+      std::lock_guard<std::mutex> lock{shard.mutex};
+      if (auto hit = lookup_locked(shard, key)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return hit;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const V> value = compute();
+    std::lock_guard<std::mutex> lock{shard.mutex};
+    if (auto raced = lookup_locked(shard, key)) return raced;
+    shard.order.push_front(Entry{key, value});
+    shard.index[key] = shard.order.begin();
+    if (shard.order.size() > capacity_) {
+      shard.index.erase(shard.order.back().key);
+      shard.order.pop_back();
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::shared_ptr<const V> get(const K& key) {
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock{shard.mutex};
+    if (auto hit = lookup_locked(shard, key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  [[nodiscard]] CacheStats stats() const {
+    CacheStats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock{shard.mutex};
+      stats.entries += shard.order.size();
+    }
+    return stats;
+  }
+
+ private:
+  struct Entry {
+    K key;
+    std::shared_ptr<const V> value;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> order;  ///< front = most recently used
+    std::unordered_map<K, typename std::list<Entry>::iterator, Hash> index;
+  };
+
+  Shard& shard_of(const K& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::shared_ptr<const V> lookup_locked(Shard& shard, const K& key) {
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) return nullptr;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    it->second = shard.order.begin();
+    return shard.order.front().value;
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace asrel::serve

@@ -1,0 +1,320 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "serve/json.hpp"
+
+namespace asrel::serve {
+
+namespace {
+
+constexpr std::string_view kUnknownClass = "?";
+
+void append_coverage_json(JsonWriter& json, std::string_view name,
+                          const eval::CoverageReport& report) {
+  json.begin_object();
+  json.field("report", name);
+  json.field("total_inferred", report.total_inferred);
+  json.field("total_validated", report.total_validated);
+  json.key("rows").begin_array();
+  for (const auto& row : report.rows) {
+    json.begin_object();
+    json.field("class", row.name);
+    json.field("inferred_links", row.inferred_links);
+    json.field("validated_links", row.validated_links);
+    json.field("share", row.share);
+    json.field("coverage", row.coverage);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void append_class_metrics_json(JsonWriter& json,
+                               const eval::ClassMetrics& metrics) {
+  json.begin_object();
+  json.field("class", metrics.name);
+  json.key("p2p").begin_object();
+  json.field("ppv", metrics.p2p.ppv());
+  json.field("tpr", metrics.p2p.tpr());
+  json.field("links", metrics.p2p_links);
+  json.end_object();
+  json.key("p2c").begin_object();
+  json.field("ppv", metrics.p2c.ppv());
+  json.field("tpr", metrics.p2c.tpr());
+  json.field("links", metrics.p2c_links);
+  json.end_object();
+  json.field("mcc", metrics.mcc);
+  json.field("orientation_accuracy", metrics.orientation_accuracy);
+  json.end_object();
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(io::Snapshot snapshot, QueryEngineOptions options)
+    : snap_(std::move(snapshot)),
+      options_(options),
+      cache_(options.cache_shards, options.cache_capacity_per_shard) {
+  as_index_.reserve(snap_.ases.size());
+  for (std::uint32_t i = 0; i < snap_.ases.size(); ++i) {
+    as_index_.emplace(snap_.ases[i].asn, i);
+  }
+  as_extra_.resize(snap_.ases.size());
+
+  const auto extra_of = [&](asn::Asn asn) -> AsExtra* {
+    const auto it = as_index_.find(asn);
+    return it == as_index_.end() ? nullptr : &as_extra_[it->second];
+  };
+
+  edge_index_.reserve(snap_.edges.size());
+  for (std::uint32_t i = 0; i < snap_.edges.size(); ++i) {
+    const auto& edge = snap_.edges[i];
+    edge_index_.emplace(val::AsLink{edge.a, edge.b}, i);
+    AsExtra* a = extra_of(edge.a);
+    AsExtra* b = extra_of(edge.b);
+    switch (edge.rel) {
+      case topo::RelType::kP2C:
+        if (a != nullptr) ++a->customers;
+        if (b != nullptr) ++b->providers;
+        break;
+      case topo::RelType::kP2P:
+        if (a != nullptr) ++a->peers;
+        if (b != nullptr) ++b->peers;
+        break;
+      case topo::RelType::kS2S:
+        if (a != nullptr) ++a->siblings;
+        if (b != nullptr) ++b->siblings;
+        break;
+    }
+  }
+
+  link_index_.reserve(snap_.links.size());
+  for (std::uint32_t i = 0; i < snap_.links.size(); ++i) {
+    const auto& tag = snap_.links[i];
+    link_index_.emplace(tag.link, i);
+    if (AsExtra* a = extra_of(tag.link.a)) ++a->observed_links;
+    if (AsExtra* b = extra_of(tag.link.b)) ++b->observed_links;
+  }
+
+  validation_index_.reserve(snap_.validation.size());
+  for (std::uint32_t i = 0; i < snap_.validation.size(); ++i) {
+    const auto& label = snap_.validation[i];
+    validation_index_.emplace(label.link, i);
+    if (AsExtra* a = extra_of(label.link.a)) ++a->validated_links;
+    if (AsExtra* b = extra_of(label.link.b)) ++b->validated_links;
+  }
+
+  verdict_index_.resize(snap_.algorithms.size());
+  for (std::size_t algo = 0; algo < snap_.algorithms.size(); ++algo) {
+    const auto& labels = snap_.algorithms[algo].labels;
+    verdict_index_[algo].reserve(labels.size());
+    for (std::uint32_t i = 0; i < labels.size(); ++i) {
+      verdict_index_[algo].emplace(labels[i].link, i);
+    }
+  }
+}
+
+RelAnswer QueryEngine::rel(asn::Asn a, asn::Asn b) const {
+  RelAnswer answer;
+  answer.link = val::AsLink{a, b};
+
+  if (const auto it = edge_index_.find(answer.link);
+      it != edge_index_.end()) {
+    const auto& edge = snap_.edges[it->second];
+    answer.in_graph = true;
+    answer.truth_rel = edge.rel;
+    if (edge.rel == topo::RelType::kP2C) answer.truth_provider = edge.a;
+    answer.scope = edge.scope;
+    answer.scope_via_community = edge.scope_via_community;
+    answer.misdocumented = edge.misdocumented;
+    answer.hybrid_rel = edge.hybrid_rel;
+  }
+
+  if (const auto it = link_index_.find(answer.link);
+      it != link_index_.end()) {
+    const auto& tag = snap_.links[it->second];
+    answer.observed = true;
+    answer.regional_class = snap_.class_names[tag.regional_class];
+    answer.topological_class = snap_.class_names[tag.topological_class];
+  }
+
+  for (std::size_t algo = 0; algo < snap_.algorithms.size(); ++algo) {
+    const auto it = verdict_index_[algo].find(answer.link);
+    if (it == verdict_index_[algo].end()) continue;
+    const auto& label = snap_.algorithms[algo].labels[it->second];
+    answer.verdicts.push_back(RelAnswer::Verdict{
+        .algorithm = snap_.algorithms[algo].name,
+        .rel = label.rel,
+        .provider = label.provider,
+    });
+  }
+
+  if (const auto it = validation_index_.find(answer.link);
+      it != validation_index_.end()) {
+    const auto& label = snap_.validation[it->second];
+    answer.validated = true;
+    answer.validated_rel = label.rel;
+    answer.validated_provider = label.provider;
+  }
+
+  return answer;
+}
+
+std::optional<AsSummary> QueryEngine::as_summary(asn::Asn asn) const {
+  const auto it = as_index_.find(asn);
+  if (it == as_index_.end()) return std::nullopt;
+  const auto& as = snap_.ases[it->second];
+  const auto& extra = as_extra_[it->second];
+  AsSummary summary;
+  summary.asn = as.asn;
+  summary.region = as.attrs.region;
+  summary.country = as.attrs.country;
+  summary.tier = as.attrs.tier;
+  summary.stub_kind = as.attrs.stub_kind;
+  summary.hypergiant = as.attrs.hypergiant;
+  summary.transit_degree = as.transit_degree;
+  summary.node_degree = as.node_degree;
+  summary.cone_size = as.cone_size;
+  summary.providers = extra.providers;
+  summary.customers = extra.customers;
+  summary.peers = extra.peers;
+  summary.siblings = extra.siblings;
+  summary.observed_links = extra.observed_links;
+  summary.validated_links = extra.validated_links;
+  return summary;
+}
+
+std::vector<val::AsLink> QueryEngine::sample_links(std::size_t limit) const {
+  std::vector<val::AsLink> out;
+  if (snap_.links.empty() || limit == 0) return out;
+  const std::size_t take = std::min(limit, snap_.links.size());
+  const std::size_t stride = snap_.links.size() / take;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(snap_.links[i * stride].link);
+  }
+  return out;
+}
+
+eval::CoverageReport QueryEngine::coverage(bool regional) const {
+  std::vector<val::AsLink> inferred;
+  inferred.reserve(snap_.links.size());
+  for (const auto& tag : snap_.links) inferred.push_back(tag.link);
+  const auto class_of = [&](const val::AsLink& link) -> std::string {
+    const auto it = link_index_.find(link);
+    if (it == link_index_.end()) return std::string{kUnknownClass};
+    const auto& tag = snap_.links[it->second];
+    return snap_.class_names[regional ? tag.regional_class
+                                      : tag.topological_class];
+  };
+  return eval::coverage_by_class(inferred, snap_.validation, class_of);
+}
+
+eval::CoverageReport QueryEngine::regional_coverage() const {
+  return coverage(true);
+}
+
+eval::CoverageReport QueryEngine::topological_coverage() const {
+  return coverage(false);
+}
+
+std::optional<eval::ValidationTable> QueryEngine::validation_table(
+    std::string_view algorithm) const {
+  const io::SnapshotAlgorithm* found = nullptr;
+  for (const auto& algo : snap_.algorithms) {
+    if (algo.name == algorithm) {
+      found = &algo;
+      break;
+    }
+  }
+  if (found == nullptr) return std::nullopt;
+
+  infer::Inference inference;
+  for (const auto& label : found->labels) {
+    inference.set(label.link,
+                  infer::InferredRel{.rel = label.rel,
+                                     .provider = label.provider});
+  }
+  const auto pairs = eval::make_eval_pairs(snap_.validation, inference);
+
+  const auto class_of = [&](bool regional) {
+    return [this, regional](const val::AsLink& link) -> std::string {
+      const auto it = link_index_.find(link);
+      if (it == link_index_.end()) return std::string{kUnknownClass};
+      const auto& tag = snap_.links[it->second];
+      return snap_.class_names[regional ? tag.regional_class
+                                        : tag.topological_class];
+    };
+  };
+
+  // Mirrors BiasAudit::validation_table: Total° row, then the regional
+  // rows, then the topological rows, each filtered by min_links.
+  eval::ValidationTable table;
+  table.total = eval::compute_class_metrics(pairs, "Total°");
+  const auto regional = eval::build_validation_table(
+      pairs, class_of(true), options_.table_min_links);
+  const auto topological = eval::build_validation_table(
+      pairs, class_of(false), options_.table_min_links);
+  table.rows = regional.rows;
+  table.rows.insert(table.rows.end(), topological.rows.begin(),
+                    topological.rows.end());
+  return table;
+}
+
+std::vector<std::string_view> QueryEngine::algorithm_names() const {
+  std::vector<std::string_view> names;
+  names.reserve(snap_.algorithms.size());
+  for (const auto& algo : snap_.algorithms) names.push_back(algo.name);
+  return names;
+}
+
+std::shared_ptr<const std::string> QueryEngine::build_report(
+    const std::string& key) const {
+  JsonWriter json;
+  if (key == "regional" || key == "topological") {
+    append_coverage_json(json, key,
+                         key == "regional" ? regional_coverage()
+                                           : topological_coverage());
+    return std::make_shared<const std::string>(std::move(json).str());
+  }
+  if (key.starts_with("table:")) {
+    const std::string_view algorithm = std::string_view{key}.substr(6);
+    const auto table = validation_table(algorithm);
+    if (!table) return nullptr;
+    json.begin_object();
+    json.field("report", "validation-table");
+    json.field("algorithm", algorithm);
+    json.field("min_links", options_.table_min_links);
+    json.key("total");
+    append_class_metrics_json(json, table->total);
+    json.key("rows").begin_array();
+    for (const auto& row : table->rows) {
+      append_class_metrics_json(json, row);
+    }
+    json.end_array();
+    json.end_object();
+    return std::make_shared<const std::string>(std::move(json).str());
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const std::string> QueryEngine::report_json(
+    const std::string& key) const {
+  // Validate the key up front so unknown keys neither poison the cache
+  // nor skew its hit/miss counters.
+  bool valid = key == "regional" || key == "topological";
+  if (!valid && key.starts_with("table:")) {
+    const std::string_view algorithm = std::string_view{key}.substr(6);
+    for (const auto& algo : snap_.algorithms) {
+      if (algo.name == algorithm) {
+        valid = true;
+        break;
+      }
+    }
+  }
+  if (!valid) return nullptr;
+  return cache_.get_or_compute(key, [&] { return build_report(key); });
+}
+
+}  // namespace asrel::serve

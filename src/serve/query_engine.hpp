@@ -1,0 +1,135 @@
+// Read-only query engine over one loaded snapshot.
+//
+// Construction builds hash indexes (ASN -> record, link -> ground
+// truth / verdicts / validation / class tags) and per-AS neighbor
+// summaries; afterwards every structure is immutable, so any number of
+// server threads may query concurrently without locks. Aggregate reports
+// (Fig. 1/2 coverage, Tables 1-3) are serialized to JSON once and kept in
+// a sharded LRU cache.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/coverage.hpp"
+#include "eval/report.hpp"
+#include "io/snapshot.hpp"
+#include "serve/lru_cache.hpp"
+
+namespace asrel::serve {
+
+/// Everything known about one AS pair, across every layer the paper
+/// compares: ground truth, the three inferences, and the validation data.
+struct RelAnswer {
+  val::AsLink link;
+
+  bool in_graph = false;  ///< ground-truth edge exists
+  topo::RelType truth_rel = topo::RelType::kP2P;
+  asn::Asn truth_provider;  ///< set when truth_rel == kP2C
+  topo::ExportScope scope = topo::ExportScope::kFull;
+  bool scope_via_community = false;
+  bool misdocumented = false;
+  std::optional<topo::RelType> hybrid_rel;
+
+  bool observed = false;  ///< visible in collector paths
+  std::string_view regional_class;      ///< set when observed
+  std::string_view topological_class;   ///< set when observed
+
+  struct Verdict {
+    std::string_view algorithm;
+    topo::RelType rel = topo::RelType::kP2P;
+    asn::Asn provider;
+  };
+  std::vector<Verdict> verdicts;  ///< one per algorithm that labeled it
+
+  bool validated = false;
+  topo::RelType validated_rel = topo::RelType::kP2P;
+  asn::Asn validated_provider;
+
+  /// True when any layer knows this pair.
+  [[nodiscard]] bool known() const {
+    return in_graph || observed || validated || !verdicts.empty();
+  }
+};
+
+/// Per-AS card: attributes, degrees, and neighbor/cone summaries.
+struct AsSummary {
+  asn::Asn asn;
+  rir::Region region = rir::Region::kUnknown;
+  std::string_view country;
+  topo::Tier tier = topo::Tier::kStub;
+  topo::StubKind stub_kind = topo::StubKind::kNotStub;
+  bool hypergiant = false;
+  std::uint32_t transit_degree = 0;
+  std::uint32_t node_degree = 0;
+  std::uint32_t cone_size = 0;
+  std::uint32_t providers = 0;
+  std::uint32_t customers = 0;
+  std::uint32_t peers = 0;
+  std::uint32_t siblings = 0;
+  std::uint32_t observed_links = 0;   ///< visible links incident to this AS
+  std::uint32_t validated_links = 0;  ///< validation entries incident
+};
+
+struct QueryEngineOptions {
+  std::size_t cache_shards = 8;
+  std::size_t cache_capacity_per_shard = 16;
+  std::size_t table_min_links = 500;  ///< Tables 1-3 row threshold
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(io::Snapshot snapshot, QueryEngineOptions options = {});
+
+  // ---- point lookups (lock-free, O(1) hash probes) ----
+  [[nodiscard]] RelAnswer rel(asn::Asn a, asn::Asn b) const;
+  [[nodiscard]] std::optional<AsSummary> as_summary(asn::Asn asn) const;
+
+  /// A deterministic sample of visible links (for load generation).
+  [[nodiscard]] std::vector<val::AsLink> sample_links(
+      std::size_t limit) const;
+
+  // ---- aggregate reports (computed once, then LRU-cached as JSON) ----
+  /// Valid keys: "regional", "topological", "table:<algorithm>".
+  /// Returns nullptr for an unknown key or unknown algorithm.
+  [[nodiscard]] std::shared_ptr<const std::string> report_json(
+      const std::string& key) const;
+
+  // ---- uncached structured aggregates (for tests / offline use) ----
+  [[nodiscard]] eval::CoverageReport regional_coverage() const;
+  [[nodiscard]] eval::CoverageReport topological_coverage() const;
+  [[nodiscard]] std::optional<eval::ValidationTable> validation_table(
+      std::string_view algorithm) const;
+
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] const io::Snapshot& snapshot() const { return snap_; }
+  [[nodiscard]] std::vector<std::string_view> algorithm_names() const;
+
+ private:
+  struct AsExtra {
+    std::uint32_t providers = 0, customers = 0, peers = 0, siblings = 0;
+    std::uint32_t observed_links = 0, validated_links = 0;
+  };
+
+  [[nodiscard]] eval::CoverageReport coverage(bool regional) const;
+  [[nodiscard]] std::shared_ptr<const std::string> build_report(
+      const std::string& key) const;
+
+  io::Snapshot snap_;
+  QueryEngineOptions options_;
+  std::unordered_map<asn::Asn, std::uint32_t> as_index_;
+  std::unordered_map<val::AsLink, std::uint32_t> edge_index_;
+  std::unordered_map<val::AsLink, std::uint32_t> link_index_;
+  std::unordered_map<val::AsLink, std::uint32_t> validation_index_;
+  /// Per algorithm: link -> label index in that algorithm's table.
+  std::vector<std::unordered_map<val::AsLink, std::uint32_t>> verdict_index_;
+  std::vector<AsExtra> as_extra_;  ///< parallel to snap_.ases
+  mutable ShardedLruCache<std::string, std::string> cache_;
+};
+
+}  // namespace asrel::serve

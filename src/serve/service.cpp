@@ -1,0 +1,217 @@
+#include "serve/service.hpp"
+
+#include <charconv>
+#include <optional>
+
+#include "rir/region.hpp"
+#include "serve/json.hpp"
+
+namespace asrel::serve {
+
+namespace {
+
+std::optional<asn::Asn> parse_asn(const std::string* value) {
+  if (value == nullptr || value->empty()) return std::nullopt;
+  std::uint32_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), parsed);
+  if (ec != std::errc{} || ptr != value->data() + value->size()) {
+    return std::nullopt;
+  }
+  return asn::Asn{parsed};
+}
+
+HttpResponse bad_request(std::string_view message) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("error", message);
+  json.end_object();
+  return HttpResponse::json(400, std::move(json).str());
+}
+
+HttpResponse not_found(std::string_view message) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("error", message);
+  json.end_object();
+  return HttpResponse::json(404, std::move(json).str());
+}
+
+void append_rel_side(JsonWriter& json, topo::RelType rel,
+                     asn::Asn provider) {
+  json.field("rel", to_string(rel));
+  if (rel == topo::RelType::kP2C) {
+    json.field("provider", std::uint64_t{provider.value()});
+  }
+}
+
+HttpResponse handle_rel(const QueryEngine& engine,
+                        const HttpRequest& request) {
+  const auto a = parse_asn(request.query_param("a"));
+  const auto b = parse_asn(request.query_param("b"));
+  if (!a || !b) {
+    return bad_request("expected numeric query parameters a and b");
+  }
+  if (*a == *b) return bad_request("a and b must differ");
+  const RelAnswer answer = engine.rel(*a, *b);
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("a", std::uint64_t{answer.link.a.value()});
+  json.field("b", std::uint64_t{answer.link.b.value()});
+  json.field("found", answer.known());
+  if (answer.in_graph) {
+    json.key("ground_truth").begin_object();
+    append_rel_side(json, answer.truth_rel, answer.truth_provider);
+    json.field("export_scope", to_string(answer.scope));
+    json.field("scope_via_community", answer.scope_via_community);
+    json.field("misdocumented", answer.misdocumented);
+    if (answer.hybrid_rel) {
+      json.field("hybrid_rel", to_string(*answer.hybrid_rel));
+    }
+    json.end_object();
+  } else {
+    json.key("ground_truth").null();
+  }
+  json.field("observed", answer.observed);
+  if (answer.observed) {
+    json.field("regional_class", answer.regional_class);
+    json.field("topological_class", answer.topological_class);
+  }
+  json.key("verdicts").begin_object();
+  for (const auto& verdict : answer.verdicts) {
+    json.key(verdict.algorithm).begin_object();
+    append_rel_side(json, verdict.rel, verdict.provider);
+    json.end_object();
+  }
+  json.end_object();
+  if (answer.validated) {
+    json.key("validation").begin_object();
+    append_rel_side(json, answer.validated_rel, answer.validated_provider);
+    json.end_object();
+  } else {
+    json.key("validation").null();
+  }
+  json.end_object();
+  return HttpResponse::json(200, std::move(json).str());
+}
+
+HttpResponse handle_as(const QueryEngine& engine,
+                       const HttpRequest& request) {
+  const auto asn = parse_asn(request.query_param("asn"));
+  if (!asn) return bad_request("expected numeric query parameter asn");
+  const auto summary = engine.as_summary(*asn);
+  if (!summary) return not_found("unknown ASN");
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("asn", std::uint64_t{summary->asn.value()});
+  json.field("region", rir::abbreviation(summary->region));
+  json.field("country", summary->country);
+  json.field("tier", to_string(summary->tier));
+  json.field("hypergiant", summary->hypergiant);
+  json.field("transit_degree", summary->transit_degree);
+  json.field("node_degree", summary->node_degree);
+  json.field("cone_size", summary->cone_size);
+  json.key("neighbors").begin_object();
+  json.field("providers", summary->providers);
+  json.field("customers", summary->customers);
+  json.field("peers", summary->peers);
+  json.field("siblings", summary->siblings);
+  json.end_object();
+  json.field("observed_links", summary->observed_links);
+  json.field("validated_links", summary->validated_links);
+  json.end_object();
+  return HttpResponse::json(200, std::move(json).str());
+}
+
+HttpResponse handle_links(const QueryEngine& engine,
+                          const HttpRequest& request) {
+  std::size_t limit = 256;
+  if (const std::string* raw = request.query_param("limit")) {
+    limit = static_cast<std::size_t>(std::strtoull(raw->c_str(), nullptr, 10));
+    if (limit == 0 || limit > 100000) {
+      return bad_request("limit must be in [1, 100000]");
+    }
+  }
+  const auto links = engine.sample_links(limit);
+  JsonWriter json;
+  json.begin_object();
+  json.field("count", links.size());
+  json.key("links").begin_array();
+  for (const auto& link : links) {
+    json.begin_array();
+    json.value(std::uint64_t{link.a.value()});
+    json.value(std::uint64_t{link.b.value()});
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+  return HttpResponse::json(200, std::move(json).str());
+}
+
+HttpResponse handle_snapshot_info(const QueryEngine& engine) {
+  const io::Snapshot& snapshot = engine.snapshot();
+  JsonWriter json;
+  json.begin_object();
+  json.field("as_count_param", std::int64_t{snapshot.meta.as_count});
+  json.field("seed", std::uint64_t{snapshot.meta.seed});
+  json.field("scheme_seed", std::uint64_t{snapshot.meta.scheme_seed});
+  json.field("ases", snapshot.ases.size());
+  json.field("edges", snapshot.edges.size());
+  json.field("observed_links", snapshot.links.size());
+  json.field("validation_labels", snapshot.validation.size());
+  json.key("algorithms").begin_array();
+  for (const auto& algorithm : snapshot.algorithms) {
+    json.value(algorithm.name);
+  }
+  json.end_array();
+  json.end_object();
+  return HttpResponse::json(200, std::move(json).str());
+}
+
+}  // namespace
+
+HttpResponse AsrelService::handle(const HttpRequest& request) const {
+  const std::string& path = request.path;
+  if (path == "/rel") return handle_rel(*engine_, request);
+  if (path == "/as") return handle_as(*engine_, request);
+  if (path == "/links") return handle_links(*engine_, request);
+  if (path == "/snapshot") return handle_snapshot_info(*engine_);
+  if (path == "/report/regional" || path == "/report/topological") {
+    const std::string key = path.substr(sizeof("/report/") - 1);
+    if (auto report = engine_->report_json(key)) {
+      return HttpResponse::json(200, *report);
+    }
+    return not_found("unknown report");
+  }
+  if (path == "/report/table") {
+    const std::string* algo = request.query_param("algo");
+    if (algo == nullptr || algo->empty()) {
+      return bad_request("expected query parameter algo");
+    }
+    if (auto report = engine_->report_json("table:" + *algo)) {
+      return HttpResponse::json(200, *report);
+    }
+    return not_found("unknown algorithm");
+  }
+  return not_found("unknown path");
+}
+
+std::string AsrelService::stats_json() const {
+  const CacheStats cache = engine_->cache_stats();
+  JsonWriter json;
+  json.begin_object();
+  json.key("report_cache").begin_object();
+  json.field("hits", cache.hits);
+  json.field("misses", cache.misses);
+  json.field("entries", cache.entries);
+  json.field("hit_rate", cache.hit_rate());
+  json.end_object();
+  json.field("observed_links", engine_->snapshot().links.size());
+  json.field("validation_labels", engine_->snapshot().validation.size());
+  json.end_object();
+  return std::move(json).str();
+}
+
+}  // namespace asrel::serve

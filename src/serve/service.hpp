@@ -1,0 +1,43 @@
+// HTTP routing for the query engine: maps paths + query strings onto
+// QueryEngine calls and renders the answers as JSON. Kept separate from
+// HttpServer so tests can exercise the routes without sockets, and from
+// QueryEngine so the engine stays transport-agnostic.
+//
+// Routes (all GET):
+//   /rel?a=ASN&b=ASN        point lookup: truth + verdicts + validation
+//   /as?asn=ASN             per-AS summary card
+//   /links?limit=N          deterministic sample of visible links
+//   /report/regional        Fig. 1 coverage (cached)
+//   /report/topological     Fig. 2 coverage (cached)
+//   /report/table?algo=A    Tables 1-3 for algorithm A (cached)
+//   /snapshot               snapshot provenance + section sizes
+// (/healthz and /statsz are answered by HttpServer itself.)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/http_server.hpp"
+#include "serve/query_engine.hpp"
+
+namespace asrel::serve {
+
+class AsrelService {
+ public:
+  explicit AsrelService(std::shared_ptr<const QueryEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  /// The HttpServer handler.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request) const;
+
+  /// JSON object with engine-side stats, for HttpServer's /statsz
+  /// supplement hook.
+  [[nodiscard]] std::string stats_json() const;
+
+  [[nodiscard]] const QueryEngine& engine() const { return *engine_; }
+
+ private:
+  std::shared_ptr<const QueryEngine> engine_;
+};
+
+}  // namespace asrel::serve

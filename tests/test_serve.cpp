@@ -1,0 +1,465 @@
+// Serving layer: snapshot format (round-trip, determinism, corruption
+// rejection), QueryEngine answers vs the in-memory pipeline (ground
+// truth, stored verdicts, validation, BiasAudit reports), the report
+// cache, and an end-to-end HTTP integration test on an ephemeral port.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/bias_audit.hpp"
+#include "core/snapshot_builder.hpp"
+#include "infer/asrank.hpp"
+#include "io/snapshot.hpp"
+#include "serve/http_server.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/service.hpp"
+#include "test_support.hpp"
+
+namespace asrel {
+namespace {
+
+using ::testing::AssertionResult;
+
+/// Snapshot of the shared scenario, built once (3 inferences + tags).
+const io::Snapshot& shared_snapshot() {
+  static const io::Snapshot snapshot =
+      core::build_snapshot(test::shared_scenario());
+  return snapshot;
+}
+
+const serve::QueryEngine& shared_engine() {
+  static const serve::QueryEngine engine{shared_snapshot()};
+  return engine;
+}
+
+// ---------------------------------------------------------------- snapshot
+
+TEST(Snapshot, RoundTripIsIdentity) {
+  const io::Snapshot& original = shared_snapshot();
+  const std::string bytes = io::to_snapshot_bytes(original);
+  ASSERT_GT(bytes.size(), 28u);  // header alone is 28 bytes
+
+  std::string error;
+  const auto loaded = io::parse_snapshot_bytes(bytes, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  // Deterministic serialization makes "re-serialize and compare bytes" a
+  // full structural-equality check without operator== on every struct.
+  EXPECT_EQ(io::to_snapshot_bytes(*loaded), bytes);
+
+  EXPECT_EQ(loaded->meta.as_count, original.meta.as_count);
+  EXPECT_EQ(loaded->meta.seed, original.meta.seed);
+  EXPECT_EQ(loaded->ases.size(), original.ases.size());
+  EXPECT_EQ(loaded->edges.size(), original.edges.size());
+  EXPECT_EQ(loaded->links.size(), original.links.size());
+  EXPECT_EQ(loaded->validation.size(), original.validation.size());
+  ASSERT_EQ(loaded->algorithms.size(), original.algorithms.size());
+  for (std::size_t i = 0; i < original.algorithms.size(); ++i) {
+    EXPECT_EQ(loaded->algorithms[i].name, original.algorithms[i].name);
+    EXPECT_EQ(loaded->algorithms[i].labels.size(),
+              original.algorithms[i].labels.size());
+  }
+  EXPECT_EQ(loaded->class_names, original.class_names);
+  EXPECT_EQ(loaded->clique, original.clique);
+  EXPECT_EQ(loaded->hypergiants, original.hypergiants);
+}
+
+TEST(Snapshot, StreamAndFileApisAgreeWithBytes) {
+  const std::string bytes = io::to_snapshot_bytes(shared_snapshot());
+
+  std::ostringstream sink;
+  io::write_snapshot(shared_snapshot(), sink);
+  EXPECT_EQ(sink.str(), bytes);
+
+  std::istringstream source{bytes};
+  std::string error;
+  const auto loaded = io::read_snapshot(source, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(io::to_snapshot_bytes(*loaded), bytes);
+
+  const std::string path =
+      ::testing::TempDir() + "/asrel_snapshot_roundtrip.bin";
+  ASSERT_TRUE(io::save_snapshot_file(shared_snapshot(), path, &error))
+      << error;
+  const auto from_file = io::load_snapshot_file(path, &error);
+  ASSERT_TRUE(from_file.has_value()) << error;
+  EXPECT_EQ(io::to_snapshot_bytes(*from_file), bytes);
+  ::unlink(path.c_str());
+}
+
+TEST(Snapshot, SameSeedIsByteIdentical) {
+  core::ScenarioParams params;
+  params.topology.as_count = 700;
+  params.topology.seed = 7;
+  const auto first = core::Scenario::build(params);
+  const auto second = core::Scenario::build(params);
+  EXPECT_EQ(io::to_snapshot_bytes(core::build_snapshot(*first)),
+            io::to_snapshot_bytes(core::build_snapshot(*second)));
+}
+
+TEST(Snapshot, RejectsCorruption) {
+  const std::string bytes = io::to_snapshot_bytes(shared_snapshot());
+  std::string error;
+
+  // Truncation, both mid-header and mid-payload.
+  EXPECT_FALSE(io::parse_snapshot_bytes(bytes.substr(0, 10), &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(
+      io::parse_snapshot_bytes(bytes.substr(0, bytes.size() / 2), &error));
+  EXPECT_FALSE(error.empty());
+
+  // Wrong magic.
+  std::string bad = bytes;
+  bad[0] = 'X';
+  error.clear();
+  EXPECT_FALSE(io::parse_snapshot_bytes(bad, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+  // Unsupported version (u32 at offset 8).
+  bad = bytes;
+  bad[8] = static_cast<char>(bad[8] + 1);
+  error.clear();
+  EXPECT_FALSE(io::parse_snapshot_bytes(bad, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  // Payload bit-flip must trip the checksum.
+  bad = bytes;
+  bad[28 + 5] = static_cast<char>(bad[28 + 5] ^ 0x40);
+  error.clear();
+  EXPECT_FALSE(io::parse_snapshot_bytes(bad, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+
+  // Trailing garbage is not silently ignored.
+  bad = bytes + "garbage";
+  error.clear();
+  EXPECT_FALSE(io::parse_snapshot_bytes(bad, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------------ query engine
+
+TEST(QueryEngine, RelMatchesGroundTruthEdges) {
+  const auto& snapshot = shared_snapshot();
+  const auto& engine = shared_engine();
+  ASSERT_FALSE(snapshot.edges.empty());
+
+  std::size_t checked = 0;
+  for (const auto& edge : snapshot.edges) {
+    if (++checked > 500) break;
+    // Argument order must not matter.
+    for (const auto& answer :
+         {engine.rel(edge.a, edge.b), engine.rel(edge.b, edge.a)}) {
+      ASSERT_TRUE(answer.in_graph)
+          << edge.a.value() << "-" << edge.b.value();
+      EXPECT_EQ(answer.truth_rel, edge.rel);
+      if (edge.rel == topo::RelType::kP2C) {
+        EXPECT_EQ(answer.truth_provider, edge.a);
+      }
+      EXPECT_EQ(answer.scope, edge.scope);
+      EXPECT_EQ(answer.misdocumented, edge.misdocumented);
+      EXPECT_EQ(answer.hybrid_rel, edge.hybrid_rel);
+    }
+  }
+
+  const auto unknown = engine.rel(asn::Asn{4200000001}, asn::Asn{4200000002});
+  EXPECT_FALSE(unknown.known());
+  EXPECT_FALSE(unknown.in_graph);
+  EXPECT_TRUE(unknown.verdicts.empty());
+}
+
+TEST(QueryEngine, RelMatchesStoredVerdictsAndValidation) {
+  const auto& snapshot = shared_snapshot();
+  const auto& engine = shared_engine();
+
+  for (const auto& algorithm : snapshot.algorithms) {
+    std::size_t checked = 0;
+    for (const auto& label : algorithm.labels) {
+      if (++checked > 200) break;
+      const auto answer = engine.rel(label.link.a, label.link.b);
+      bool found = false;
+      for (const auto& verdict : answer.verdicts) {
+        if (verdict.algorithm != algorithm.name) continue;
+        found = true;
+        EXPECT_EQ(verdict.rel, label.rel);
+        if (label.rel == topo::RelType::kP2C) {
+          EXPECT_EQ(verdict.provider, label.provider);
+        }
+      }
+      EXPECT_TRUE(found) << algorithm.name;
+    }
+  }
+
+  std::size_t checked = 0;
+  for (const auto& label : snapshot.validation) {
+    if (++checked > 200) break;
+    const auto answer = engine.rel(label.link.a, label.link.b);
+    ASSERT_TRUE(answer.validated);
+    EXPECT_EQ(answer.validated_rel, label.rel);
+    if (label.rel == topo::RelType::kP2C) {
+      EXPECT_EQ(answer.validated_provider, label.provider);
+    }
+  }
+}
+
+TEST(QueryEngine, AsSummaryMatchesSnapshotRecord) {
+  const auto& snapshot = shared_snapshot();
+  const auto& engine = shared_engine();
+  ASSERT_FALSE(snapshot.ases.empty());
+
+  const auto& record = snapshot.ases[snapshot.ases.size() / 2];
+  const auto summary = engine.as_summary(record.asn);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->asn, record.asn);
+  EXPECT_EQ(summary->region, record.attrs.region);
+  EXPECT_EQ(summary->tier, record.attrs.tier);
+  EXPECT_EQ(summary->transit_degree, record.transit_degree);
+  EXPECT_EQ(summary->node_degree, record.node_degree);
+  EXPECT_EQ(summary->cone_size, record.cone_size);
+
+  EXPECT_FALSE(engine.as_summary(asn::Asn{4200000001}).has_value());
+}
+
+AssertionResult coverage_equal(const eval::CoverageReport& served,
+                               const eval::CoverageReport& audit) {
+  if (served.total_inferred != audit.total_inferred ||
+      served.total_validated != audit.total_validated) {
+    return ::testing::AssertionFailure()
+           << "totals differ: " << served.total_inferred << "/"
+           << served.total_validated << " vs " << audit.total_inferred << "/"
+           << audit.total_validated;
+  }
+  if (served.rows.size() != audit.rows.size()) {
+    return ::testing::AssertionFailure()
+           << "row counts differ: " << served.rows.size() << " vs "
+           << audit.rows.size();
+  }
+  for (std::size_t i = 0; i < served.rows.size(); ++i) {
+    const auto& lhs = served.rows[i];
+    const auto& rhs = audit.rows[i];
+    if (lhs.name != rhs.name || lhs.inferred_links != rhs.inferred_links ||
+        lhs.validated_links != rhs.validated_links) {
+      return ::testing::AssertionFailure()
+             << "row " << i << " differs: " << lhs.name << " "
+             << lhs.inferred_links << "/" << lhs.validated_links << " vs "
+             << rhs.name << " " << rhs.inferred_links << "/"
+             << rhs.validated_links;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// The acceptance bar for the whole subsystem: answers served out of a
+// snapshot must equal the in-memory BiasAudit for the same seed.
+TEST(QueryEngine, CoverageMatchesBiasAudit) {
+  const core::BiasAudit audit{test::shared_scenario()};
+  EXPECT_TRUE(coverage_equal(shared_engine().regional_coverage(),
+                             audit.regional_coverage()));
+  EXPECT_TRUE(coverage_equal(shared_engine().topological_coverage(),
+                             audit.topological_coverage()));
+}
+
+TEST(QueryEngine, ValidationTableMatchesBiasAudit) {
+  const core::BiasAudit audit{test::shared_scenario()};
+  const auto asrank = infer::run_asrank(test::shared_scenario().observed());
+  const auto expected = audit.validation_table(asrank.inference);
+
+  const auto served = shared_engine().validation_table("asrank");
+  ASSERT_TRUE(served.has_value());
+
+  const auto expect_metrics_equal = [](const eval::ClassMetrics& lhs,
+                                       const eval::ClassMetrics& rhs) {
+    EXPECT_EQ(lhs.name, rhs.name);
+    EXPECT_EQ(lhs.p2p_links, rhs.p2p_links);
+    EXPECT_EQ(lhs.p2c_links, rhs.p2c_links);
+    EXPECT_DOUBLE_EQ(lhs.p2p.ppv(), rhs.p2p.ppv());
+    EXPECT_DOUBLE_EQ(lhs.p2p.tpr(), rhs.p2p.tpr());
+    EXPECT_DOUBLE_EQ(lhs.p2c.ppv(), rhs.p2c.ppv());
+    EXPECT_DOUBLE_EQ(lhs.p2c.tpr(), rhs.p2c.tpr());
+    EXPECT_DOUBLE_EQ(lhs.mcc, rhs.mcc);
+  };
+  expect_metrics_equal(served->total, expected.total);
+  ASSERT_EQ(served->rows.size(), expected.rows.size());
+  for (std::size_t i = 0; i < expected.rows.size(); ++i) {
+    expect_metrics_equal(served->rows[i], expected.rows[i]);
+  }
+
+  EXPECT_FALSE(shared_engine().validation_table("no-such-algo").has_value());
+}
+
+TEST(QueryEngine, ReportCacheHitsOnRepeatAndRejectsUnknownKeys) {
+  // Private engine so the shared one's cache stats stay untouched.
+  const serve::QueryEngine engine{shared_snapshot()};
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+
+  const auto first = engine.report_json("regional");
+  ASSERT_NE(first, nullptr);
+  EXPECT_NE(first->find("\"rows\""), std::string::npos);
+  const auto second = engine.report_json("regional");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*first, *second);
+
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  EXPECT_EQ(engine.report_json("bogus"), nullptr);
+  EXPECT_EQ(engine.report_json("table:no-such-algo"), nullptr);
+  EXPECT_NE(engine.report_json("table:toposcope"), nullptr);
+}
+
+TEST(QueryEngine, SampleLinksIsDeterministicAndReal) {
+  const auto& engine = shared_engine();
+  const auto sample = engine.sample_links(64);
+  ASSERT_FALSE(sample.empty());
+  EXPECT_LE(sample.size(), 64u);
+  EXPECT_EQ(sample, engine.sample_links(64));
+  for (const auto& link : sample) {
+    EXPECT_TRUE(engine.rel(link.a, link.b).observed);
+  }
+}
+
+// ------------------------------------------------------------------- HTTP
+
+/// Tiny blocking test client; one connection per object, keep-alive.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends raw bytes and reads one full response. Returns the status, or
+  /// -1 on transport failure. Fills `*body` with the response body.
+  int request(const std::string& raw, std::string* body = nullptr) {
+    if (::send(fd_, raw.data(), raw.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(raw.size())) {
+      return -1;
+    }
+    std::string data = std::move(leftover_);
+    leftover_.clear();
+    std::size_t header_end;
+    while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
+      if (!recv_more(&data)) return -1;
+    }
+    std::size_t content_length = 0;
+    const std::size_t cl = data.find("Content-Length: ");
+    if (cl != std::string::npos && cl < header_end) {
+      content_length = static_cast<std::size_t>(
+          std::strtoull(data.c_str() + cl + 16, nullptr, 10));
+    }
+    const std::size_t total = header_end + 4 + content_length;
+    while (data.size() < total) {
+      if (!recv_more(&data)) return -1;
+    }
+    if (body != nullptr) *body = data.substr(header_end + 4, content_length);
+    leftover_ = data.substr(total);
+    const std::size_t space = data.find(' ');
+    return space == std::string::npos ? -1
+                                      : std::atoi(data.c_str() + space + 1);
+  }
+
+  int get(const std::string& path, std::string* body = nullptr) {
+    return request("GET " + path + " HTTP/1.1\r\nHost: test\r\n\r\n", body);
+  }
+
+ private:
+  bool recv_more(std::string* data) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    data->append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string leftover_;
+};
+
+TEST(HttpIntegration, ServesRelReportsHealthAndErrors) {
+  auto engine = std::make_shared<const serve::QueryEngine>(
+      io::Snapshot{shared_snapshot()});
+  serve::AsrelService service{engine};
+
+  serve::HttpServerOptions options;
+  options.port = 0;  // ephemeral
+  options.worker_threads = 2;
+  options.request_timeout_ms = 2000;
+  options.stats_supplement = [&service] { return service.stats_json(); };
+  serve::HttpServer server{
+      [&service](const serve::HttpRequest& request) {
+        return service.handle(request);
+      },
+      options};
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_NE(server.port(), 0);
+
+  TestClient client{server.port()};
+  ASSERT_TRUE(client.connected());
+  std::string body;
+
+  EXPECT_EQ(client.get("/healthz", &body), 200);
+  EXPECT_NE(body.find("ok"), std::string::npos);
+
+  // Point lookup on a known ground-truth edge, full cross-layer answer.
+  const auto& edge = shared_snapshot().edges.front();
+  const std::string path = "/rel?a=" + std::to_string(edge.a.value()) +
+                           "&b=" + std::to_string(edge.b.value());
+  EXPECT_EQ(client.get(path, &body), 200);
+  EXPECT_NE(body.find("\"found\":true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"ground_truth\""), std::string::npos);
+  EXPECT_NE(body.find("\"verdicts\""), std::string::npos);
+
+  // Aggregate report: body equals the engine's cached JSON.
+  EXPECT_EQ(client.get("/report/regional", &body), 200);
+  EXPECT_EQ(body, *engine->report_json("regional"));
+
+  // Error paths: bad params, unknown route, unsupported method.
+  EXPECT_EQ(client.get("/rel?a=1", nullptr), 400);
+  EXPECT_EQ(client.get("/no/such/path", nullptr), 404);
+  EXPECT_EQ(client.request("POST /rel HTTP/1.1\r\nHost: t\r\n\r\n"), 405);
+
+  // /statsz reflects traffic and splices the app supplement.
+  EXPECT_EQ(client.get("/statsz", &body), 200);
+  EXPECT_NE(body.find("\"requests\""), std::string::npos);
+  EXPECT_NE(body.find("\"app\""), std::string::npos);
+  EXPECT_NE(body.find("\"report_cache\""), std::string::npos);
+
+  // A malformed request gets 400 and the connection closed.
+  TestClient garbage{server.port()};
+  ASSERT_TRUE(garbage.connected());
+  EXPECT_EQ(garbage.request("NOT-HTTP\r\n\r\n"), 400);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  const auto stats = server.stats();
+  EXPECT_GE(stats.requests, 7u);  // the malformed one only counts below
+  EXPECT_GE(stats.responses_2xx, 4u);
+  EXPECT_GE(stats.responses_4xx, 2u);
+  EXPECT_GE(stats.malformed, 1u);
+}
+
+}  // namespace
+}  // namespace asrel

@@ -1,0 +1,312 @@
+// asrel_loadgen — concurrent load generator for asrel_serve.
+//
+//   asrel_loadgen --port P [--host 127.0.0.1] [--connections C]
+//                 [--duration-ms MS | --requests N] [--mode rel|mixed]
+//
+// Opens C persistent (keep-alive) connections, fetches a sample of real
+// links from /links, then hammers /rel point lookups (plus periodic
+// aggregate-report hits in --mode mixed), and reports achieved QPS and
+// p50/p90/p99 latency. Any non-200 response or transport error counts as
+// an error; the tool exits non-zero if any occurred.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 4;
+  long duration_ms = 3000;
+  long requests = 0;  ///< 0 = use duration
+  std::string mode = "rel";
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: asrel_loadgen --port P [--host H] [--connections C]\n"
+               "       [--duration-ms MS | --requests N] [--mode rel|mixed]\n");
+  return 2;
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string_view flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--host") {
+      args.host = value;
+    } else if (flag == "--port") {
+      args.port = std::atoi(value);
+    } else if (flag == "--connections") {
+      args.connections = std::atoi(value);
+    } else if (flag == "--duration-ms") {
+      args.duration_ms = std::atol(value);
+    } else if (flag == "--requests") {
+      args.requests = std::atol(value);
+    } else if (flag == "--mode") {
+      args.mode = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return std::nullopt;
+    }
+  }
+  if (args.port <= 0 || args.connections <= 0) return std::nullopt;
+  if (args.mode != "rel" && args.mode != "mixed") return std::nullopt;
+  return args;
+}
+
+/// One persistent keep-alive HTTP connection.
+class Connection {
+ public:
+  ~Connection() { close(); }
+
+  bool open(const std::string& host, int port) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+      close();
+      return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      close();
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    leftover_.clear();
+    return true;
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+  /// Sends one GET and reads the full response. Returns the HTTP status,
+  /// or -1 on transport/parse failure.
+  int get(const std::string& path, std::string* body = nullptr) {
+    const std::string request =
+        "GET " + path + " HTTP/1.1\r\nHost: loadgen\r\n\r\n";
+    if (!send_all(request)) return -1;
+
+    // Read until the header block is complete.
+    std::string data = std::move(leftover_);
+    leftover_.clear();
+    std::size_t header_end;
+    while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
+      if (!recv_more(&data)) return -1;
+    }
+
+    // Status line: "HTTP/1.1 200 OK".
+    const std::size_t space = data.find(' ');
+    if (space == std::string::npos || space + 4 > data.size()) return -1;
+    const int status = std::atoi(data.c_str() + space + 1);
+
+    // Body: Content-Length is always present in our server's responses.
+    std::size_t content_length = 0;
+    const std::size_t cl = data.find("Content-Length: ");
+    if (cl != std::string::npos && cl < header_end) {
+      content_length = static_cast<std::size_t>(
+          std::strtoull(data.c_str() + cl + 16, nullptr, 10));
+    }
+    const std::size_t total = header_end + 4 + content_length;
+    while (data.size() < total) {
+      if (!recv_more(&data)) return -1;
+    }
+    if (body != nullptr) {
+      *body = data.substr(header_end + 4, content_length);
+    }
+    leftover_ = data.substr(total);
+    return status;
+  }
+
+ private:
+  bool send_all(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent,
+                               bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool recv_more(std::string* data) {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    data->append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string leftover_;
+};
+
+/// Pulls the [[a,b],...] pairs out of the /links response without a JSON
+/// parser: scan for integers after the "links" key.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> parse_links(
+    const std::string& body) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> links;
+  const std::size_t start = body.find("\"links\"");
+  if (start == std::string::npos) return links;
+  std::vector<std::uint32_t> numbers;
+  std::uint64_t current = 0;
+  bool in_number = false;
+  for (std::size_t i = start; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<std::uint64_t>(c - '0');
+      in_number = true;
+    } else if (in_number) {
+      numbers.push_back(static_cast<std::uint32_t>(current));
+      current = 0;
+      in_number = false;
+    }
+  }
+  for (std::size_t i = 0; i + 1 < numbers.size(); i += 2) {
+    links.emplace_back(numbers[i], numbers[i + 1]);
+  }
+  return links;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_us;
+  long requests = 0;
+  long errors = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) return usage();
+
+  // ---- fetch a sample of real links to query ----
+  Connection bootstrap;
+  if (!bootstrap.open(args->host, args->port)) {
+    std::fprintf(stderr, "cannot connect to %s:%d\n", args->host.c_str(),
+                 args->port);
+    return 1;
+  }
+  std::string body;
+  if (bootstrap.get("/links?limit=1024", &body) != 200) {
+    std::fprintf(stderr, "GET /links failed\n");
+    return 1;
+  }
+  const auto links = parse_links(body);
+  if (links.empty()) {
+    std::fprintf(stderr, "server returned no links\n");
+    return 1;
+  }
+  bootstrap.close();
+  std::fprintf(stderr, "sampling %zu links with %d connections\n",
+               links.size(), args->connections);
+
+  // ---- hammer ----
+  std::atomic<long> budget{args->requests > 0 ? args->requests
+                                              : (1L << 62)};
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(args->requests > 0 ? (1L << 40)
+                                                   : args->duration_ms);
+  const bool mixed = args->mode == "mixed";
+
+  std::vector<WorkerResult> results(
+      static_cast<std::size_t>(args->connections));
+  std::vector<std::thread> workers;
+  const auto started = std::chrono::steady_clock::now();
+  for (int w = 0; w < args->connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerResult& result = results[static_cast<std::size_t>(w)];
+      Connection connection;
+      if (!connection.open(args->host, args->port)) {
+        ++result.errors;
+        return;
+      }
+      std::size_t cursor = static_cast<std::size_t>(w) * 7919;
+      const char* reports[] = {"/report/regional", "/report/topological",
+                               "/report/table?algo=asrank"};
+      while (budget.fetch_sub(1, std::memory_order_relaxed) > 0 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::string path;
+        if (mixed && result.requests % 64 == 63) {
+          path = reports[cursor % 3];
+        } else {
+          const auto& [a, b] = links[cursor % links.size()];
+          path = "/rel?a=" + std::to_string(a) + "&b=" + std::to_string(b);
+        }
+        ++cursor;
+        const auto t0 = std::chrono::steady_clock::now();
+        const int status = connection.get(path);
+        const auto t1 = std::chrono::steady_clock::now();
+        ++result.requests;
+        if (status != 200) {
+          ++result.errors;
+          if (status < 0 && !connection.open(args->host, args->port)) {
+            return;  // server gone
+          }
+          continue;
+        }
+        result.latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  // ---- report ----
+  std::vector<double> latencies;
+  long total = 0, errors = 0;
+  for (auto& result : results) {
+    total += result.requests;
+    errors += result.errors;
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::printf("requests:    %ld\n", total);
+  std::printf("errors:      %ld\n", errors);
+  std::printf("elapsed:     %.3f s\n", elapsed_s);
+  std::printf("throughput:  %.0f req/s\n",
+              elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0);
+  std::printf("latency p50: %.0f us\n", percentile(latencies, 0.50));
+  std::printf("latency p90: %.0f us\n", percentile(latencies, 0.90));
+  std::printf("latency p99: %.0f us\n", percentile(latencies, 0.99));
+  std::printf("latency max: %.0f us\n",
+              latencies.empty() ? 0.0 : latencies.back());
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,178 @@
+// asrel_serve — always-on query daemon over a precomputed snapshot.
+//
+//   asrel_serve --snapshot FILE [--port P] [--threads N]
+//       Load a snapshot from disk (milliseconds) and serve it.
+//
+//   asrel_serve --generate [--as-count N] [--seed S] [--save FILE]
+//               [--port P] [--threads N]
+//       Run the batch pipeline once (minutes at paper scale), optionally
+//       persist the snapshot, then serve it.
+//
+// Endpoints: /rel /as /links /report/{regional,topological} /report/table
+// /snapshot /healthz /statsz — see src/serve/service.hpp.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/scenario.hpp"
+#include "core/snapshot_builder.hpp"
+#include "io/snapshot.hpp"
+#include "serve/http_server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace asrel;
+
+struct Args {
+  std::string snapshot;
+  bool generate = false;
+  int as_count = 12000;
+  std::uint64_t seed = 42;
+  std::string save;
+  int port = 8642;
+  int threads = 4;
+  int timeout_ms = 5000;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  asrel_serve --snapshot FILE [--port P] [--threads N]\n"
+      "  asrel_serve --generate [--as-count N] [--seed S] [--save FILE]\n"
+      "              [--port P] [--threads N]\n");
+  return 2;
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (flag == "--generate") {
+      args.generate = true;
+      continue;
+    }
+    if (i + 1 >= argc) return std::nullopt;
+    const char* value = argv[++i];
+    if (flag == "--snapshot") {
+      args.snapshot = value;
+    } else if (flag == "--as-count") {
+      args.as_count = std::atoi(value);
+    } else if (flag == "--seed") {
+      args.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--save") {
+      args.save = value;
+    } else if (flag == "--port") {
+      args.port = std::atoi(value);
+    } else if (flag == "--threads") {
+      args.threads = std::atoi(value);
+    } else if (flag == "--timeout-ms") {
+      args.timeout_ms = std::atoi(value);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i - 1]);
+      return std::nullopt;
+    }
+  }
+  if (args.snapshot.empty() == !args.generate) return std::nullopt;
+  return args;
+}
+
+std::atomic<bool> g_shutdown{false};
+
+void on_signal(int) { g_shutdown.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) return usage();
+
+  io::Snapshot snapshot;
+  if (args->generate) {
+    std::fprintf(stderr, "building scenario (%d ASes, seed %llu)...\n",
+                 args->as_count,
+                 static_cast<unsigned long long>(args->seed));
+    const auto started = std::chrono::steady_clock::now();
+    core::ScenarioParams params;
+    params.topology.as_count = args->as_count;
+    params.topology.seed = args->seed;
+    const auto scenario = core::Scenario::build(params);
+    std::fprintf(stderr, "running inference + audit...\n");
+    snapshot = core::build_snapshot(*scenario);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - started);
+    std::fprintf(stderr, "batch pipeline took %lld ms\n",
+                 static_cast<long long>(elapsed.count()));
+    if (!args->save.empty()) {
+      std::string error;
+      if (!io::save_snapshot_file(snapshot, args->save, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "saved snapshot to %s\n", args->save.c_str());
+    }
+  } else {
+    const auto started = std::chrono::steady_clock::now();
+    std::string error;
+    auto loaded = io::load_snapshot_file(args->snapshot, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "error loading %s: %s\n", args->snapshot.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    snapshot = std::move(*loaded);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - started);
+    std::fprintf(stderr, "loaded snapshot in %lld ms\n",
+                 static_cast<long long>(elapsed.count()));
+  }
+  std::fprintf(
+      stderr, "snapshot: %zu ASes, %zu edges, %zu links, %zu labels\n",
+      snapshot.ases.size(), snapshot.edges.size(), snapshot.links.size(),
+      snapshot.validation.size());
+
+  const auto engine =
+      std::make_shared<const serve::QueryEngine>(std::move(snapshot));
+  serve::AsrelService service{engine};
+
+  serve::HttpServerOptions options;
+  options.port = static_cast<std::uint16_t>(args->port);
+  options.worker_threads = args->threads;
+  options.request_timeout_ms = args->timeout_ms;
+  options.stats_supplement = [&service] { return service.stats_json(); };
+  serve::HttpServer server{
+      [&service](const serve::HttpRequest& request) {
+        return service.handle(request);
+      },
+      options};
+
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::fprintf(stderr, "serving on port %u with %d workers (Ctrl-C stops)\n",
+               server.port(), args->threads);
+
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "shutting down...\n");
+  server.stop();
+  const auto stats = server.stats();
+  std::fprintf(stderr,
+               "served %llu requests (%llu connections, %llu rejected)\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.overload_rejected));
+  return 0;
+}

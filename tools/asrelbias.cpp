@@ -5,9 +5,13 @@
 //       TABLE_DUMP2 RIB dump, raw validation, delegated-extended files,
 //       as2org, IRR) in its native on-disk format.
 //
-//   asrelbias infer --rib FILE [--algo gao|asrank] [--out FILE]
+//   asrelbias infer --rib FILE [--algo gao|asrank|problink|toposcope]
+//                   [--validation FILE] [--out FILE]
 //       Run a classifier on a bgpdump-style RIB dump (ours or a real one)
-//       and write the result in CAIDA as-rel format.
+//       and write the result in CAIDA as-rel format. ProbLink and
+//       TopoScope train on validation data, so they additionally require
+//       --validation (the §6 setup: the training subset is exactly the
+//       biased validation data).
 //
 //   asrelbias eval --inferred FILE --validation FILE
 //       Score an as-rel file against a validation file: the §6 metrics
@@ -86,7 +90,8 @@ int usage() {
       stderr,
       "usage:\n"
       "  asrelbias generate --out DIR [--as-count N] [--seed S]\n"
-      "  asrelbias infer --rib FILE [--algo gao|asrank] [--out FILE]\n"
+      "  asrelbias infer --rib FILE [--algo gao|asrank|problink|toposcope]\n"
+      "                  [--validation FILE] [--out FILE]\n"
       "  asrelbias eval --inferred FILE --validation FILE\n"
       "  asrelbias audit [--as-count N] [--seed S]\n");
   return 2;
@@ -155,6 +160,26 @@ int cmd_infer(const Args& args) {
                observed.path_count(), observed.as_count(),
                observed.link_count());
 
+  // ProbLink and TopoScope train on validation labels (§6: the original
+  // systems do exactly this, inheriting the data's bias).
+  std::vector<val::CleanLabel> training;
+  if (args.algo == "problink" || args.algo == "toposcope") {
+    if (args.validation.empty()) {
+      std::fprintf(stderr, "--algo %s requires --validation FILE\n",
+                   args.algo.c_str());
+      return 2;
+    }
+    std::ifstream validation_in{args.validation};
+    if (!validation_in) {
+      std::fprintf(stderr, "cannot open %s\n", args.validation.c_str());
+      return 1;
+    }
+    const auto raw = io::parse_validation(validation_in);
+    training = val::clean(raw, org::OrgMap{}, {});
+    std::fprintf(stderr, "training on %zu cleaned validation labels\n",
+                 training.size());
+  }
+
   infer::Inference inference;
   if (args.algo == "gao") {
     inference = infer::run_gao(observed);
@@ -163,11 +188,21 @@ int cmd_infer(const Args& args) {
     std::fprintf(stderr, "inferred clique of %zu ASes\n",
                  result.clique.size());
     inference = std::move(result.inference);
-  } else {
+  } else if (args.algo == "problink") {
+    const auto base = infer::run_asrank(observed);
+    auto result = infer::run_problink(observed, base, training);
+    std::fprintf(stderr, "problink converged after %d iterations\n",
+                 result.iterations_used);
+    inference = std::move(result.inference);
+  } else if (args.algo == "toposcope") {
+    const auto base = infer::run_asrank(observed);
+    auto result = infer::run_toposcope(observed, base, training);
     std::fprintf(stderr,
-                 "unknown --algo %s (problink/toposcope need validation "
-                 "data; use `audit`)\n",
-                 args.algo.c_str());
+                 "toposcope used %d VP groups, predicted %zu hidden links\n",
+                 result.groups_used, result.hidden_links.size());
+    inference = std::move(result.inference);
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", args.algo.c_str());
     return 2;
   }
 
