@@ -5,6 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/scenario.hpp"
 #include "infer/asrank.hpp"
@@ -154,4 +157,29 @@ BENCHMARK(BM_CustomerConeSizes)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the JSON reporter to BENCH_micro.json
+// so CI and scripts always get a machine-readable result file alongside the
+// console output. An explicit --benchmark_out= on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args{argv, argv + argc};
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]}.starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int forwarded = static_cast<int>(args.size());
+  benchmark::Initialize(&forwarded, args.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

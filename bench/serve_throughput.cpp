@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -21,6 +22,7 @@
 #include "core/snapshot_builder.hpp"
 #include "io/snapshot.hpp"
 #include "serve/http_server.hpp"
+#include "serve/json.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -107,23 +109,38 @@ int main() {
               params.topology.as_count,
               static_cast<unsigned long long>(params.topology.seed));
 
+  serve::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "serve_throughput");
+  json.field("as_count", params.topology.as_count);
+  json.field("seed", static_cast<std::uint64_t>(params.topology.seed));
+
   auto t0 = Clock::now();
   const auto scenario = core::Scenario::build(params);
-  std::printf("scenario build:        %8.1f ms\n", ms_since(t0));
+  const double build_ms = ms_since(t0);
+  std::printf("scenario build:        %8.1f ms\n", build_ms);
+  json.field("scenario_build_ms", build_ms);
 
   t0 = Clock::now();
   io::Snapshot snapshot = core::build_snapshot(*scenario);
+  const double assembly_ms = ms_since(t0);
   std::printf("snapshot assembly:     %8.1f ms  (3 inferences + tags)\n",
-              ms_since(t0));
+              assembly_ms);
+  json.field("snapshot_assembly_ms", assembly_ms);
 
   t0 = Clock::now();
   const std::string bytes = io::to_snapshot_bytes(snapshot);
-  std::printf("snapshot serialize:    %8.1f ms  (%.1f MiB)\n", ms_since(t0),
+  const double serialize_ms = ms_since(t0);
+  std::printf("snapshot serialize:    %8.1f ms  (%.1f MiB)\n", serialize_ms,
               static_cast<double>(bytes.size()) / (1024.0 * 1024.0));
+  json.field("snapshot_serialize_ms", serialize_ms);
+  json.field("snapshot_bytes", static_cast<std::uint64_t>(bytes.size()));
 
   t0 = Clock::now();
   auto loaded = io::parse_snapshot_bytes(bytes);
-  std::printf("snapshot load:         %8.1f ms\n", ms_since(t0));
+  const double load_ms = ms_since(t0);
+  std::printf("snapshot load:         %8.1f ms\n", load_ms);
+  json.field("snapshot_load_ms", load_ms);
   if (!loaded) {
     std::printf("FATAL: round-trip failed\n");
     return 1;
@@ -132,10 +149,13 @@ int main() {
   t0 = Clock::now();
   const auto engine =
       std::make_shared<const serve::QueryEngine>(std::move(*loaded));
-  std::printf("engine index build:    %8.1f ms\n", ms_since(t0));
+  const double index_ms = ms_since(t0);
+  std::printf("engine index build:    %8.1f ms\n", index_ms);
+  json.field("engine_index_build_ms", index_ms);
 
   // ---- in-process point-lookup throughput ----
   const auto sample = engine->sample_links(4096);
+  json.key("rel_lookup").begin_array();
   for (const int threads : {1, 4}) {
     constexpr long kLookups = 200000;
     std::atomic<long> sink{0};
@@ -154,10 +174,15 @@ int main() {
     }
     for (auto& worker : pool) worker.join();
     const double seconds = ms_since(t0) / 1000.0;
+    const double rate = static_cast<double>(kLookups) / seconds;
     std::printf("engine rel() x%d:       %8.0f lookups/s (%ld found)\n",
-                threads, static_cast<double>(kLookups) / seconds,
-                sink.load());
+                threads, rate, sink.load());
+    json.begin_object()
+        .field("threads", threads)
+        .field("lookups_per_s", rate)
+        .end_object();
   }
+  json.end_array();
 
   // ---- aggregate reports: cold vs cached ----
   t0 = Clock::now();
@@ -171,10 +196,13 @@ int main() {
     (void)engine->report_json("regional");
     (void)engine->report_json("table:asrank");
   }
+  const double cached_ms = ms_since(t0) / (2.0 * kCachedRounds);
   std::printf("reports cold:          %8.1f ms (3 reports)\n", cold_ms);
   std::printf("reports cached:        %8.3f ms/report (hit rate %.2f)\n",
-              ms_since(t0) / (2.0 * kCachedRounds),
-              engine->cache_stats().hit_rate());
+              cached_ms, engine->cache_stats().hit_rate());
+  json.field("reports_cold_ms", cold_ms);
+  json.field("reports_cached_ms_per_report", cached_ms);
+  json.field("report_cache_hit_rate", engine->cache_stats().hit_rate());
 
   // ---- end-to-end HTTP over loopback ----
   serve::AsrelService service{engine};
@@ -192,6 +220,7 @@ int main() {
     return 1;
   }
 
+  json.key("http_rel").begin_array();
   for (const int clients : {1, 4}) {
     constexpr long kRequests = 20000;
     std::atomic<long> errors{0};
@@ -216,10 +245,27 @@ int main() {
     }
     for (auto& worker : pool) worker.join();
     const double seconds = ms_since(t0) / 1000.0;
+    const double rate = static_cast<double>(kRequests) / seconds;
     std::printf("http /rel x%d conn:     %8.0f req/s (%ld errors)\n",
-                clients, static_cast<double>(kRequests) / seconds,
-                errors.load());
+                clients, rate, errors.load());
+    json.begin_object()
+        .field("clients", clients)
+        .field("requests_per_s", rate)
+        .field("errors", static_cast<std::int64_t>(errors.load()))
+        .end_object();
   }
+  json.end_array();
   server.stop();
+
+  json.end_object();
+  const char* out_path = "BENCH_serve.json";
+  std::ofstream out{out_path, std::ios::binary};
+  out << json.str() << '\n';
+  if (out) {
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::printf("FATAL: cannot write %s\n", out_path);
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,63 @@
+// Fuzz target: the RPSL aut-num parser (src/rpsl/autnum).
+//
+// Oracle: parsing arbitrary text never crashes, and the writer's output is
+// a fixed point — parse(write(parse(x))) must equal parse(x) object for
+// object (compared through the writer, which is deterministic). Every
+// parsed object is also pushed through the relationship heuristic, the
+// consumer the validation pipeline actually runs.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpsl/autnum.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace asrel::rpsl;
+  const std::string_view text{reinterpret_cast<const char*>(data), size};
+
+  const std::vector<AutNum> first = parse_autnums_text(text);
+  for (const AutNum& object : first) {
+    (void)extract_relationships(object);
+  }
+
+  const std::string written = to_text(first);
+  const std::vector<AutNum> second = parse_autnums_text(written);
+  if (second.size() != first.size() || to_text(second) != written) {
+    std::fprintf(stderr,
+                 "fuzz_autnum: writer output is not a parser fixed point "
+                 "(%zu objects -> %zu)\n",
+                 first.size(), second.size());
+    std::abort();
+  }
+  return 0;
+}
+
+std::vector<std::string> asrel_fuzz_seeds() {
+  return {
+      "aut-num: AS64500\n"
+      "as-name: EXAMPLE-NET\n"
+      "import: from AS64501 accept ANY\n"
+      "export: to AS64501 announce AS64500\n"
+      "import: from AS64502 accept AS64502\n"
+      "export: to AS64502 announce AS64500\n"
+      "mnt-by: MAINT-EXAMPLE\n"
+      "changed: 20210401\n"
+      "source: RADB\n",
+
+      "aut-num: AS1\nimport: from AS2 accept ANY\n\n"
+      "aut-num: AS2\nexport: to AS1 announce ANY\n",
+
+      "aut-num: not-an-asn\nas-name: BROKEN\n",
+      "as-name: NO-AUTNUM-LINE\nsource: RIPE\n",
+      "aut-num: AS4294967295\nimport: from AS0 accept ANY\n",
+      "aut-num: AS64500\nimport: malformed policy line\n",
+      "aut-num: AS64500\r\nas-name: CRLF-OBJECT\r\n\r\n",
+      "# comment only\n\n\n",
+      "",
+  };
+}

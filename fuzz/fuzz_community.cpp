@@ -1,0 +1,58 @@
+// Fuzz target: the BGP community parsers (src/bgp/community).
+//
+// Oracle: parsing arbitrary text never crashes, and any accepted value
+// survives a to_string -> parse round trip unchanged. The reverse also
+// holds for the canonical rendering, so "65535:666" style text has exactly
+// one in-memory meaning.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/community.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace asrel::bgp;
+  const std::string_view text{reinterpret_cast<const char*>(data), size};
+
+  if (const auto community = parse_community(text)) {
+    const auto again = parse_community(to_string(*community));
+    if (!again.has_value() || *again != *community) {
+      std::fprintf(stderr, "fuzz_community: classic round trip broken\n");
+      std::abort();
+    }
+  }
+  if (const auto large = parse_large_community(text)) {
+    const auto again = parse_large_community(to_string(*large));
+    if (!again.has_value() || *again != *large) {
+      std::fprintf(stderr, "fuzz_community: large round trip broken\n");
+      std::abort();
+    }
+  }
+  return 0;
+}
+
+std::vector<std::string> asrel_fuzz_seeds() {
+  return {
+      "65535:666",
+      "3356:2010",
+      "0:0",
+      "65536:1",        // high half out of 16-bit range
+      "1:2:3",          // large community shape
+      "4294967295:4294967295:4294967295",
+      "4294967296:0:0",  // overflows u32
+      ":1",
+      "1:",
+      "1:2:",
+      " 1:2",
+      "1:2 ",
+      "0x10:10",
+      "-1:5",
+      "65535:666:extra",
+      "",
+  };
+}

@@ -1,0 +1,25 @@
+// Entry point for the standalone (non-libFuzzer) fuzz binaries.
+//
+// Each fuzz target object file defines LLVMFuzzerTestOneInput plus
+// asrel_fuzz_seeds(); this main replays the corpus and runs the driver's
+// deterministic mutation loop. Under -DASREL_LIBFUZZER=ON the target is
+// linked with -fsanitize=fuzzer instead and this file is left out.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/corpus.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+/// Seeds synthesized in code, so the target still fuzzes structure-aware
+/// inputs even when pointed at an empty corpus directory.
+std::vector<std::string> asrel_fuzz_seeds();
+
+int main(int argc, char** argv) {
+  return asrel::testing::fuzz_driver_main(argc, argv,
+                                          &LLVMFuzzerTestOneInput,
+                                          asrel_fuzz_seeds());
+}

@@ -59,6 +59,22 @@ void put_label(std::string& out, const val::CleanLabel& label) {
 
 // ---- decoding ----
 
+[[nodiscard]] bool valid_rel(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(topo::RelType::kS2S);
+}
+
+[[nodiscard]] bool valid_scope(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(topo::ExportScope::kCustomersOnly);
+}
+
+[[nodiscard]] bool valid_tier(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(topo::Tier::kStub);
+}
+
+[[nodiscard]] bool valid_stub_kind(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(topo::StubKind::kNotStub);
+}
+
 /// Bounds-checked little-endian reader over the payload. All getters
 /// return false once `fail` is set; callers check once per section.
 struct Cursor {
@@ -136,24 +152,25 @@ struct Cursor {
     return count;
   }
 
+  /// Labels are stored with the link in canonical (a < b) order; anything
+  /// else would silently re-serialize differently, so reject it here.
   val::CleanLabel get_label(const char* what) {
     val::CleanLabel label;
     const asn::Asn a{get_u32(what)};
     const asn::Asn b{get_u32(what)};
+    if (!failed() && !(a < b)) {
+      fail(std::string{"link not in canonical order in "} + what);
+    }
     label.link = val::AsLink{a, b};
-    label.rel = static_cast<topo::RelType>(get_u8(what));
+    const std::uint8_t rel = get_u8(what);
+    if (!failed() && !valid_rel(rel)) {
+      fail(std::string{"invalid relationship code in "} + what);
+    }
+    label.rel = static_cast<topo::RelType>(rel);
     label.provider = asn::Asn{get_u32(what)};
     return label;
   }
 };
-
-[[nodiscard]] bool valid_rel(std::uint8_t v) {
-  return v <= static_cast<std::uint8_t>(topo::RelType::kS2S);
-}
-
-[[nodiscard]] bool valid_scope(std::uint8_t v) {
-  return v <= static_cast<std::uint8_t>(topo::ExportScope::kCustomersOnly);
-}
 
 constexpr std::uint8_t kAsFlagHypergiant = 1u << 0;
 constexpr std::uint8_t kAsFlagDocuments = 1u << 1;
@@ -161,9 +178,16 @@ constexpr std::uint8_t kAsFlagRpsl = 1u << 2;
 constexpr std::uint8_t kAsFlagMeetings = 1u << 3;
 constexpr std::uint8_t kAsFlagStrips = 1u << 4;
 
+constexpr std::uint8_t kAsFlagsMask =
+    kAsFlagHypergiant | kAsFlagDocuments | kAsFlagRpsl | kAsFlagMeetings |
+    kAsFlagStrips;
+
 constexpr std::uint8_t kEdgeFlagScopeCommunity = 1u << 0;
 constexpr std::uint8_t kEdgeFlagMisdocumented = 1u << 1;
 constexpr std::uint8_t kEdgeFlagHybrid = 1u << 2;
+
+constexpr std::uint8_t kEdgeFlagsMask =
+    kEdgeFlagScopeCommunity | kEdgeFlagMisdocumented | kEdgeFlagHybrid;
 
 std::string encode_payload(const Snapshot& snapshot) {
   std::string out;
@@ -264,6 +288,14 @@ std::optional<Snapshot> decode_payload(std::string_view payload,
     as.attrs.stub_kind =
         static_cast<topo::StubKind>(in.get_u8("as.stub_kind"));
     const std::uint8_t flags = in.get_u8("as.flags");
+    if (!in.failed() && (flags & ~kAsFlagsMask) != 0) {
+      in.fail("unknown flag bits in AS record");
+    }
+    if (!in.failed() &&
+        (!valid_tier(static_cast<std::uint8_t>(as.attrs.tier)) ||
+         !valid_stub_kind(static_cast<std::uint8_t>(as.attrs.stub_kind)))) {
+      in.fail("invalid tier/stub code in AS record");
+    }
     as.attrs.hypergiant = flags & kAsFlagHypergiant;
     as.attrs.documents_communities = flags & kAsFlagDocuments;
     as.attrs.maintains_rpsl = flags & kAsFlagRpsl;
@@ -294,6 +326,12 @@ std::optional<Snapshot> decode_payload(std::string_view payload,
     if (!in.failed() && (!valid_rel(rel) || !valid_scope(scope) ||
                          ((flags & kEdgeFlagHybrid) && !valid_rel(hybrid)))) {
       in.fail("invalid relationship/scope code in edge record");
+    }
+    if (!in.failed() && (flags & ~kEdgeFlagsMask) != 0) {
+      in.fail("unknown flag bits in edge record");
+    }
+    if (!in.failed() && !(flags & kEdgeFlagHybrid) && hybrid != 0) {
+      in.fail("nonzero hybrid byte on a non-hybrid edge");
     }
     edge.rel = static_cast<topo::RelType>(rel);
     edge.scope = static_cast<topo::ExportScope>(scope);
@@ -339,6 +377,9 @@ std::optional<Snapshot> decode_payload(std::string_view payload,
     SnapshotLinkTag tag;
     const asn::Asn a{in.get_u32("tag.a")};
     const asn::Asn b{in.get_u32("tag.b")};
+    if (!in.failed() && !(a < b)) {
+      in.fail("link tag not in canonical order");
+    }
     tag.link = val::AsLink{a, b};
     tag.regional_class = in.get_u32("tag.regional");
     tag.topological_class = in.get_u32("tag.topological");

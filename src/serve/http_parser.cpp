@@ -1,0 +1,179 @@
+#include "serve/http_parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <limits>
+
+namespace asrel::serve {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Removes one line (up to LF or end) from `*rest` and returns it with any
+/// trailing CR stripped, so CRLF and bare-LF input parse identically.
+std::string_view take_line(std::string_view* rest) {
+  const std::size_t lf = rest->find('\n');
+  std::string_view line;
+  if (lf == std::string_view::npos) {
+    line = *rest;
+    *rest = {};
+  } else {
+    line = rest->substr(0, lf);
+    *rest = rest->substr(lf + 1);
+  }
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+HttpParse fail(std::string reason) {
+  HttpParse result;
+  result.ok = false;
+  result.error = std::move(reason);
+  return result;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::query_param(std::string_view name) const {
+  for (const auto& [key, value] : query) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string percent_decode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '%' && i + 2 < in.size()) {
+      const int high = hex_digit(in[i + 1]);
+      const int low = hex_digit(in[i + 2]);
+      if (high >= 0 && low >= 0) {
+        out.push_back(static_cast<char>(high * 16 + low));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(in[i] == '+' ? ' ' : in[i]);
+  }
+  return out;
+}
+
+std::size_t find_header_end(std::string_view buffer,
+                            std::size_t* header_len) {
+  // The header block ends at the first empty line. Scanning LF-to-LF
+  // handles CRLF, bare LF, and mixtures in one pass.
+  std::size_t pos = 0;
+  while (pos < buffer.size()) {
+    const std::size_t lf = buffer.find('\n', pos);
+    if (lf == std::string_view::npos) return std::string_view::npos;
+    const std::size_t line_len =
+        lf - pos - (lf > pos && buffer[lf - 1] == '\r' ? 1 : 0);
+    if (line_len == 0) {
+      if (header_len != nullptr) *header_len = pos;
+      return lf + 1;
+    }
+    pos = lf + 1;
+  }
+  return std::string_view::npos;
+}
+
+HttpParse parse_http_request(std::string_view header_block,
+                             HttpRequest* request) {
+  std::string_view rest = header_block;
+  const std::string_view request_line = take_line(&rest);
+  if (request_line.size() > kMaxRequestLineBytes) {
+    return fail("request line too long");
+  }
+
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) {
+    return fail("malformed request line");
+  }
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+    return fail("malformed request line");
+  }
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (!version.starts_with("HTTP/1.")) {
+    return fail("unsupported protocol version");
+  }
+
+  request->method = std::string{request_line.substr(0, sp1)};
+  request->target = std::string{request_line.substr(sp1 + 1, sp2 - sp1 - 1)};
+  request->keep_alive = version != "HTTP/1.0";
+
+  const std::string_view target = request->target;
+  const std::size_t question = target.find('?');
+  request->path = percent_decode(target.substr(0, question));
+  if (question != std::string_view::npos) {
+    std::string_view pairs = target.substr(question + 1);
+    while (!pairs.empty()) {
+      const std::size_t amp = pairs.find('&');
+      const std::string_view pair = pairs.substr(0, amp);
+      const std::size_t eq = pair.find('=');
+      if (!pair.empty()) {
+        request->query.emplace_back(
+            percent_decode(pair.substr(0, eq)),
+            eq == std::string_view::npos ? std::string{}
+                                         : percent_decode(pair.substr(eq + 1)));
+      }
+      if (amp == std::string_view::npos) break;
+      pairs = pairs.substr(amp + 1);
+    }
+  }
+
+  HttpParse result;
+  result.ok = true;
+  bool have_content_length = false;
+  while (!rest.empty()) {
+    const std::string_view line = take_line(&rest);
+    if (line.empty()) break;  // defensive: callers stop at the blank line
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // tolerated, ignored
+    std::string name{line.substr(0, colon)};
+    for (auto& c : name) c = static_cast<char>(std::tolower(
+                             static_cast<unsigned char>(c)));
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+      value.remove_suffix(1);
+    }
+    if (name == "connection") {
+      std::string lowered{value};
+      for (auto& c : lowered) c = static_cast<char>(std::tolower(
+                                  static_cast<unsigned char>(c)));
+      if (lowered == "close") request->keep_alive = false;
+      if (lowered == "keep-alive") request->keep_alive = true;
+    } else if (name == "content-length") {
+      // Digits only, full-width, no overflow: anything else is either a
+      // broken client or a smuggling attempt, and both get a 400.
+      std::uint64_t parsed = 0;
+      const char* begin = value.data();
+      const char* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (value.empty() || ec != std::errc{} || ptr != end ||
+          parsed > std::numeric_limits<std::size_t>::max()) {
+        return fail("invalid Content-Length");
+      }
+      if (have_content_length &&
+          result.content_length != static_cast<std::size_t>(parsed)) {
+        return fail("conflicting Content-Length headers");
+      }
+      result.content_length = static_cast<std::size_t>(parsed);
+      have_content_length = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace asrel::serve

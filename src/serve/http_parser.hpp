@@ -1,0 +1,63 @@
+// HTTP/1.1 request parsing, split out of HttpServer so that unit tests and
+// fuzz targets can drive it byte-for-byte without sockets.
+//
+// The parser is deliberately strict where laxness enables smuggling and
+// lenient where real clients are sloppy:
+//   * line endings: CRLF and bare LF are both accepted (curl pre-7.64,
+//     netcat-driven health checks, and fuzzers all produce bare LF),
+//   * request line: capped at kMaxRequestLineBytes, must be
+//     METHOD SP TARGET SP HTTP/1.x,
+//   * Content-Length: digits only, must fit in size_t, and duplicate
+//     headers must agree (RFC 7230 §3.3.2 — conflicting values are the
+//     classic request-smuggling vector and are rejected outright).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace asrel::serve {
+
+/// Longest request line (method + target + version) we accept. 8 KiB
+/// matches Apache/nginx defaults; anything longer is 400'd instead of
+/// buffered.
+inline constexpr std::size_t kMaxRequestLineBytes = 8192;
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< raw request target, e.g. "/rel?a=1&b=2"
+  std::string path;    ///< decoded path, e.g. "/rel"
+  std::vector<std::pair<std::string, std::string>> query;
+  bool keep_alive = true;
+
+  /// First value for `name`, or nullptr.
+  [[nodiscard]] const std::string* query_param(std::string_view name) const;
+};
+
+struct HttpParse {
+  bool ok = false;
+  std::string error;  ///< one-line reason when !ok (for tests and logs)
+  std::size_t content_length = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Finds the blank line terminating the header block. Accepts CRLF and
+/// bare-LF line endings (also mixed). Returns the offset of the first body
+/// byte, or npos while the block is still incomplete; `*header_len` gets
+/// the length of the header block itself (request line + headers, without
+/// the blank line).
+[[nodiscard]] std::size_t find_header_end(std::string_view buffer,
+                                          std::size_t* header_len);
+
+/// Parses the header block (request line + header fields, no body).
+[[nodiscard]] HttpParse parse_http_request(std::string_view header_block,
+                                           HttpRequest* request);
+
+/// Decodes %XX escapes and '+' (as space). Malformed escapes pass through
+/// verbatim. Exposed for tests.
+[[nodiscard]] std::string percent_decode(std::string_view in);
+
+}  // namespace asrel::serve

@@ -73,108 +73,7 @@ std::string render_response(const HttpResponse& response, bool keep_alive) {
   return out;
 }
 
-int hex_digit(char c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  return -1;
-}
-
-std::string percent_decode(std::string_view in) {
-  std::string out;
-  out.reserve(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    if (in[i] == '%' && i + 2 < in.size()) {
-      const int high = hex_digit(in[i + 1]);
-      const int low = hex_digit(in[i + 2]);
-      if (high >= 0 && low >= 0) {
-        out.push_back(static_cast<char>(high * 16 + low));
-        i += 2;
-        continue;
-      }
-    }
-    out.push_back(in[i] == '+' ? ' ' : in[i]);
-  }
-  return out;
-}
-
-/// Parses the header block (everything before the blank line). Returns
-/// false on any structural problem.
-bool parse_request(std::string_view header_block, HttpRequest* request,
-                   std::size_t* content_length) {
-  const std::size_t line_end = header_block.find("\r\n");
-  const std::string_view request_line = header_block.substr(
-      0, line_end == std::string_view::npos ? header_block.size() : line_end);
-
-  const std::size_t sp1 = request_line.find(' ');
-  if (sp1 == std::string_view::npos || sp1 == 0) return false;
-  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
-  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
-  const std::string_view version = request_line.substr(sp2 + 1);
-  if (!version.starts_with("HTTP/1.")) return false;
-
-  request->method = std::string{request_line.substr(0, sp1)};
-  request->target = std::string{request_line.substr(sp1 + 1, sp2 - sp1 - 1)};
-  request->keep_alive = version != "HTTP/1.0";
-
-  const std::string_view target = request->target;
-  const std::size_t question = target.find('?');
-  request->path = percent_decode(target.substr(0, question));
-  if (question != std::string_view::npos) {
-    std::string_view rest = target.substr(question + 1);
-    while (!rest.empty()) {
-      const std::size_t amp = rest.find('&');
-      const std::string_view pair = rest.substr(0, amp);
-      const std::size_t eq = pair.find('=');
-      if (!pair.empty()) {
-        request->query.emplace_back(
-            percent_decode(pair.substr(0, eq)),
-            eq == std::string_view::npos ? std::string{}
-                                         : percent_decode(pair.substr(eq + 1)));
-      }
-      if (amp == std::string_view::npos) break;
-      rest = rest.substr(amp + 1);
-    }
-  }
-
-  *content_length = 0;
-  std::string_view headers = line_end == std::string_view::npos
-                                 ? std::string_view{}
-                                 : header_block.substr(line_end + 2);
-  while (!headers.empty()) {
-    const std::size_t end = headers.find("\r\n");
-    const std::string_view line =
-        headers.substr(0, end == std::string_view::npos ? headers.size() : end);
-    const std::size_t colon = line.find(':');
-    if (colon != std::string_view::npos) {
-      std::string name{line.substr(0, colon)};
-      for (auto& c : name) c = static_cast<char>(std::tolower(c));
-      std::string_view value = line.substr(colon + 1);
-      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
-      if (name == "connection") {
-        std::string lowered{value};
-        for (auto& c : lowered) c = static_cast<char>(std::tolower(c));
-        if (lowered == "close") request->keep_alive = false;
-        if (lowered == "keep-alive") request->keep_alive = true;
-      } else if (name == "content-length") {
-        *content_length = static_cast<std::size_t>(
-            std::strtoull(std::string{value}.c_str(), nullptr, 10));
-      }
-    }
-    if (end == std::string_view::npos) break;
-    headers = headers.substr(end + 2);
-  }
-  return true;
-}
-
 }  // namespace
-
-const std::string* HttpRequest::query_param(std::string_view name) const {
-  for (const auto& [key, value] : query) {
-    if (key == name) return &value;
-  }
-  return nullptr;
-}
 
 HttpServer::HttpServer(Handler handler, HttpServerOptions options)
     : handler_(std::move(handler)), options_(std::move(options)) {
@@ -337,8 +236,9 @@ void HttpServer::serve_connection(int fd) {
   char chunk[4096];
   while (!stopping_.load(std::memory_order_acquire)) {
     // ---- read one request's header block ----
-    std::size_t header_end = buffer.find("\r\n\r\n");
-    while (header_end == std::string::npos) {
+    std::size_t header_len = 0;
+    std::size_t body_start = find_header_end(buffer, &header_len);
+    while (body_start == std::string::npos) {
       if (buffer.size() > options_.max_request_bytes) {
         malformed_.fetch_add(1, std::memory_order_relaxed);
         send_all(fd, render_response(
@@ -362,15 +262,13 @@ void HttpServer::serve_connection(int fd) {
         return;
       }
       buffer.append(chunk, static_cast<std::size_t>(n));
-      header_end = buffer.find("\r\n\r\n");
+      body_start = find_header_end(buffer, &header_len);
     }
 
     // ---- parse ----
     HttpRequest request;
-    std::size_t content_length = 0;
-    const bool parsed = parse_request(
-        std::string_view{buffer}.substr(0, header_end), &request,
-        &content_length);
+    const HttpParse parsed = parse_http_request(
+        std::string_view{buffer}.substr(0, header_len), &request);
     if (!parsed) {
       malformed_.fetch_add(1, std::memory_order_relaxed);
       responses_4xx_.fetch_add(1, std::memory_order_relaxed);
@@ -380,6 +278,7 @@ void HttpServer::serve_connection(int fd) {
                        false));
       return;
     }
+    const std::size_t content_length = parsed.content_length;
 
     // ---- drain (and ignore) any body ----
     if (content_length > options_.max_request_bytes) {
@@ -389,14 +288,14 @@ void HttpServer::serve_connection(int fd) {
                        false));
       return;
     }
-    std::size_t body_have = buffer.size() - header_end - 4;
+    std::size_t body_have = buffer.size() - body_start;
     while (body_have < content_length) {
       const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
       if (n <= 0) return;
       body_have += static_cast<std::size_t>(n);
       buffer.append(chunk, static_cast<std::size_t>(n));
     }
-    buffer.erase(0, header_end + 4 + content_length);
+    buffer.erase(0, body_start + content_length);
 
     // ---- dispatch + respond ----
     requests_.fetch_add(1, std::memory_order_relaxed);

@@ -26,18 +26,9 @@
 #include <utility>
 #include <vector>
 
+#include "serve/http_parser.hpp"
+
 namespace asrel::serve {
-
-struct HttpRequest {
-  std::string method;
-  std::string target;  ///< raw request target, e.g. "/rel?a=1&b=2"
-  std::string path;    ///< decoded path, e.g. "/rel"
-  std::vector<std::pair<std::string, std::string>> query;
-  bool keep_alive = true;
-
-  /// First value for `name`, or nullptr.
-  [[nodiscard]] const std::string* query_param(std::string_view name) const;
-};
 
 struct HttpResponse {
   int status = 200;

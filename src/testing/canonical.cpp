@@ -1,0 +1,33 @@
+#include "testing/canonical.hpp"
+
+#include "core/snapshot_builder.hpp"
+#include "serve/query_engine.hpp"
+
+namespace asrel::testing {
+
+core::ScenarioParams canonical_scenario_params() {
+  core::ScenarioParams params;
+  params.topology.as_count = 2500;
+  params.topology.seed = 42;
+  params.vantage.target_count = 120;
+  return params;
+}
+
+std::vector<GoldenReport> build_golden_reports(
+    const core::Scenario& scenario) {
+  const serve::QueryEngine engine{core::build_snapshot(scenario)};
+
+  const auto report = [&](const char* filename, const std::string& key) {
+    const auto json = engine.report_json(key);
+    return GoldenReport{filename, json ? *json : std::string{}};
+  };
+  return {
+      report("fig1_regional.json", "regional"),
+      report("fig2_topological.json", "topological"),
+      report("table1_asrank.json", "table:asrank"),
+      report("table2_problink.json", "table:problink"),
+      report("table3_toposcope.json", "table:toposcope"),
+  };
+}
+
+}  // namespace asrel::testing

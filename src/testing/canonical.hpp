@@ -1,0 +1,35 @@
+// The canonical seed scenario and its golden reports.
+//
+// One place defines the world every correctness gate agrees on: the test
+// suite's shared scenario, the golden files under tests/golden/, and
+// tools/asrel_golden all build from canonical_scenario_params(). Changing
+// these parameters is a deliberate act that forces a golden-file update in
+// the same PR — exactly the review hook the golden layer exists for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace asrel::testing {
+
+/// 2500 ASes, topology seed 42, 120 vantage points: big enough that every
+/// §5/§6 class is populated, small enough to build in about a second.
+[[nodiscard]] core::ScenarioParams canonical_scenario_params();
+
+/// One golden artifact: the file name under tests/golden/ and its exact
+/// byte content (JSON emitted by the serving layer).
+struct GoldenReport {
+  std::string filename;
+  std::string json;
+};
+
+/// Builds the Fig. 1/2 coverage reports and the Table 1-3 validation
+/// tables for `scenario` via the snapshot + QueryEngine path, so the
+/// golden files also pin the serialization format's semantics. Output
+/// order and bytes are deterministic.
+[[nodiscard]] std::vector<GoldenReport> build_golden_reports(
+    const core::Scenario& scenario);
+
+}  // namespace asrel::testing

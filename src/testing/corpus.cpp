@@ -1,0 +1,144 @@
+#include "testing/corpus.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "testing/mutate.hpp"
+#include "testing/prng.hpp"
+
+namespace asrel::testing {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::pair<std::string, std::string>> load_corpus(
+    const std::vector<std::string>& dirs) {
+  std::vector<std::pair<std::string, std::string>> entries;  // name, bytes
+  for (const auto& dir : dirs) {
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+      std::fprintf(stderr, "[fuzz] warning: corpus dir %s is not readable\n",
+                   dir.c_str());
+      continue;
+    }
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream in{entry.path(), std::ios::binary};
+      std::ostringstream bytes;
+      bytes << in.rdbuf();
+      entries.emplace_back(entry.path().filename().string(), bytes.str());
+    }
+  }
+  // Directory iteration order is filesystem-dependent; sort for
+  // reproducible mutation schedules.
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+}  // namespace
+
+bool parse_fuzz_driver_args(int argc, char** argv,
+                            FuzzDriverOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--seed") {
+      options->seed = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--iterations") {
+      options->iterations = std::strtol(next_value(), nullptr, 10);
+    } else if (arg == "--max-len") {
+      options->max_len = static_cast<std::size_t>(
+          std::strtoull(next_value(), nullptr, 10));
+    } else if (arg == "--emit-seeds") {
+      options->emit_seeds_dir = next_value();
+    } else if (arg.starts_with("--")) {
+      std::fprintf(stderr,
+                   "usage: %s [corpus_dir ...] [--iterations N] [--seed N] "
+                   "[--max-len N] [--emit-seeds DIR]\n",
+                   argv[0]);
+      return false;
+    } else {
+      options->corpus_dirs.emplace_back(arg);
+    }
+  }
+  return true;
+}
+
+int run_fuzz_driver(const FuzzDriverOptions& options, FuzzTarget target,
+                    const std::vector<std::string>& synthesized_seeds) {
+  if (!options.emit_seeds_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options.emit_seeds_dir, ec);
+    int index = 0;
+    for (const auto& seed : synthesized_seeds) {
+      const fs::path path = fs::path{options.emit_seeds_dir} /
+                            ("seed-" + std::to_string(index++) + ".bin");
+      std::ofstream out{path, std::ios::binary};
+      out.write(seed.data(), static_cast<std::streamsize>(seed.size()));
+      if (!out) {
+        std::fprintf(stderr, "[fuzz] cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("[fuzz] wrote %s (%zu bytes)\n", path.c_str(), seed.size());
+    }
+    return 0;
+  }
+
+  auto corpus = load_corpus(options.corpus_dirs);
+  const std::size_t file_count = corpus.size();
+  for (const auto& seed : synthesized_seeds) {
+    corpus.emplace_back("<synthesized>", seed);
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "[fuzz] no corpus entries and no synthesized seeds\n");
+    return 1;
+  }
+
+  // Phase 1: replay every entry verbatim (regression check — a crash on a
+  // checked-in file means a previously-fixed bug came back).
+  for (const auto& [name, bytes] : corpus) {
+    target(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+
+  // Phase 2: seeded mutation loop.
+  Rng rng{options.seed};
+  MutateOptions mutate_options;
+  mutate_options.max_len = options.max_len;
+  const auto start = std::chrono::steady_clock::now();
+  for (long i = 0; i < options.iterations; ++i) {
+    const auto& base = corpus[rng.below(corpus.size())].second;
+    const std::string mutated = mutate_bytes(base, rng, mutate_options);
+    target(reinterpret_cast<const std::uint8_t*>(mutated.data()),
+           mutated.size());
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf(
+      "[fuzz] ok: %zu corpus files + %zu synthesized seeds replayed, "
+      "%ld mutation iterations in %.2fs (%.0f exec/s), seed %llu\n",
+      file_count, synthesized_seeds.size(), options.iterations, seconds,
+      seconds > 0 ? static_cast<double>(options.iterations) / seconds : 0.0,
+      static_cast<unsigned long long>(options.seed));
+  return 0;
+}
+
+int fuzz_driver_main(int argc, char** argv, FuzzTarget target,
+                     const std::vector<std::string>& synthesized_seeds) {
+  FuzzDriverOptions options;
+  if (!parse_fuzz_driver_args(argc, argv, &options)) return 2;
+  return run_fuzz_driver(options, target, synthesized_seeds);
+}
+
+}  // namespace asrel::testing

@@ -1,0 +1,48 @@
+// Standalone fuzzing driver: runs an LLVMFuzzerTestOneInput-style target
+// over a checked-in corpus plus a deterministic mutation loop.
+//
+// libFuzzer needs clang; our tier-1 CI is GCC. This driver gives every
+// fuzz target a second life as a plain binary: replay each corpus file,
+// then run N iterations of seeded mutations over randomly chosen corpus
+// entries. Crashes and sanitizer reports abort the process, which is the
+// CI failure signal. With clang and -DASREL_LIBFUZZER=ON the same target
+// object links against the real libFuzzer instead of this driver.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asrel::testing {
+
+using FuzzTarget = int (*)(const std::uint8_t* data, std::size_t size);
+
+struct FuzzDriverOptions {
+  std::vector<std::string> corpus_dirs;
+  std::uint64_t seed = 1;
+  long iterations = 10000;
+  std::size_t max_len = 1 << 16;
+  /// When set, write the target's synthesized seeds into this directory
+  /// (used to materialize binary corpora from code) and exit.
+  std::string emit_seeds_dir;
+};
+
+/// Parses `--seed N --iterations N --max-len N --emit-seeds DIR` plus bare
+/// corpus directory arguments. Returns false (after printing usage) on an
+/// unknown flag.
+[[nodiscard]] bool parse_fuzz_driver_args(int argc, char** argv,
+                                          FuzzDriverOptions* options);
+
+/// Replays corpus files, then mutates for `options.iterations` rounds.
+/// `synthesized_seeds` are treated as extra corpus entries that live in the
+/// binary (every target provides at least one so an empty corpus dir still
+/// fuzzes meaningfully). Returns the process exit code.
+int run_fuzz_driver(const FuzzDriverOptions& options, FuzzTarget target,
+                    const std::vector<std::string>& synthesized_seeds);
+
+/// Convenience main body used by fuzz/standalone_main.cpp.
+int fuzz_driver_main(int argc, char** argv, FuzzTarget target,
+                     const std::vector<std::string>& synthesized_seeds);
+
+}  // namespace asrel::testing

@@ -1,0 +1,139 @@
+#include "testing/mutate.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+namespace asrel::testing {
+
+namespace {
+
+constexpr std::uint64_t kInteresting[] = {
+    0,    1,       0x7F,       0x80,       0xFF,       0x7FFF,
+    0xFFFF, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 0x100000000ull,
+    0x7FFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull};
+
+void write_le(std::string& out, std::size_t pos, std::uint64_t value,
+              std::size_t width) {
+  for (std::size_t i = 0; i < width && pos + i < out.size(); ++i) {
+    out[pos + i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+/// One mutation round; returns false when the strategy was a no-op (e.g.
+/// erase on an empty buffer) so the caller can retry another strategy.
+bool mutate_once(std::string& bytes, Rng& rng, const MutateOptions& options) {
+  switch (rng.below(8)) {
+    case 0: {  // flip one bit
+      if (bytes.empty()) return false;
+      const std::size_t pos = rng.below(bytes.size());
+      bytes[pos] = static_cast<char>(bytes[pos] ^ (1u << rng.below(8)));
+      return true;
+    }
+    case 1: {  // overwrite one byte with a random value
+      if (bytes.empty()) return false;
+      bytes[rng.below(bytes.size())] = static_cast<char>(rng.below(256));
+      return true;
+    }
+    case 2: {  // overwrite an aligned-width integer with an interesting value
+      if (bytes.empty()) return false;
+      const std::size_t width = std::size_t{1} << rng.below(4);  // 1/2/4/8
+      if (bytes.size() < width) return false;
+      const std::size_t pos = rng.below(bytes.size() - width + 1);
+      write_le(bytes, pos,
+               kInteresting[rng.below(std::size(kInteresting))], width);
+      return true;
+    }
+    case 3: {  // truncate
+      if (bytes.empty()) return false;
+      bytes.resize(rng.below(bytes.size()));
+      return true;
+    }
+    case 4: {  // erase a chunk
+      if (bytes.size() < 2) return false;
+      const std::size_t pos = rng.below(bytes.size());
+      const std::size_t len = 1 + rng.below(
+          std::min<std::size_t>(bytes.size() - pos, 64));
+      bytes.erase(pos, len);
+      return true;
+    }
+    case 5: {  // duplicate a chunk in place
+      if (bytes.empty() || bytes.size() >= options.max_len) return false;
+      const std::size_t pos = rng.below(bytes.size());
+      const std::size_t len = 1 + rng.below(
+          std::min<std::size_t>(bytes.size() - pos, 32));
+      bytes.insert(pos, bytes.substr(pos, len));
+      return true;
+    }
+    case 6: {  // insert random bytes
+      if (bytes.size() >= options.max_len) return false;
+      const std::size_t pos = bytes.empty() ? 0 : rng.below(bytes.size() + 1);
+      std::string garbage;
+      const std::size_t len = 1 + rng.below(16);
+      for (std::size_t i = 0; i < len; ++i) {
+        garbage.push_back(static_cast<char>(rng.below(256)));
+      }
+      bytes.insert(pos, garbage);
+      return true;
+    }
+    default: {  // splice: overwrite a window with bytes from elsewhere
+      if (bytes.size() < 4) return false;
+      const std::size_t len = 1 + rng.below(bytes.size() / 2);
+      const std::size_t from = rng.below(bytes.size() - len + 1);
+      const std::size_t to = rng.below(bytes.size() - len + 1);
+      std::memmove(bytes.data() + to, bytes.data() + from, len);
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+std::string mutate_bytes(std::string_view input, Rng& rng,
+                         const MutateOptions& options) {
+  std::string bytes{input};
+  const int rounds = 1 + static_cast<int>(rng.below(
+      static_cast<std::uint64_t>(options.max_stacked)));
+  int applied = 0;
+  for (int attempts = 0; applied < rounds && attempts < rounds * 8;
+       ++attempts) {
+    if (mutate_once(bytes, rng, options)) ++applied;
+  }
+  if (bytes.size() > options.max_len) bytes.resize(options.max_len);
+  // Guarantee progress: a stubbornly unchanged buffer gets a fresh byte.
+  if (bytes == input && bytes.size() < options.max_len) {
+    bytes.push_back(static_cast<char>(rng.below(256)));
+  }
+  return bytes;
+}
+
+std::vector<std::string> shrink_bytes(const std::string& input) {
+  std::vector<std::string> candidates;
+  const std::size_t n = input.size();
+  if (n == 0) return candidates;
+
+  // Halves first (fast size reduction), then smaller chunks, then single
+  // bytes for short inputs, then structure-preserving zeroing.
+  candidates.push_back(input.substr(0, n / 2));
+  candidates.push_back(input.substr(n / 2));
+  for (std::size_t chunk = n / 4; chunk >= 1; chunk /= 2) {
+    for (std::size_t pos = 0; pos + chunk <= n; pos += chunk) {
+      std::string shorter = input;
+      shorter.erase(pos, chunk);
+      candidates.push_back(std::move(shorter));
+      if (candidates.size() > 64) return candidates;
+    }
+    if (chunk == 1) break;
+  }
+  if (n <= 64) {
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      if (input[pos] == '\0') continue;
+      std::string zeroed = input;
+      zeroed[pos] = '\0';
+      candidates.push_back(std::move(zeroed));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace asrel::testing

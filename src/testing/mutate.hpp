@@ -1,0 +1,36 @@
+// Raw byte mutations shared by the property tests and the standalone fuzz
+// driver.
+//
+// The strategies are the structure-agnostic half of structure-aware
+// fuzzing: bit flips, interesting-integer overwrites (the values that break
+// length/count fields: 0, 1, 0x7F.., 0xFF..), chunk erase/duplicate/insert,
+// truncation, and self-splice. Targets layer their own format knowledge on
+// top by seeding the corpus with valid inputs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "testing/prng.hpp"
+
+namespace asrel::testing {
+
+struct MutateOptions {
+  std::size_t max_len = 1 << 16;
+  /// Mutations applied per call (a small stack, like libFuzzer's default).
+  int max_stacked = 4;
+};
+
+/// Returns a mutated copy of `input`. Never returns a byte-identical copy
+/// unless `input` is empty and growth is impossible under `options`.
+[[nodiscard]] std::string mutate_bytes(std::string_view input, Rng& rng,
+                                       const MutateOptions& options = {});
+
+/// Stock shrinker for byte strings (for check_property counterexamples):
+/// drop halves, then chunks, then zero single bytes — classic
+/// delta-debugging candidates.
+[[nodiscard]] std::vector<std::string> shrink_bytes(const std::string& input);
+
+}  // namespace asrel::testing

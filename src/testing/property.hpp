@@ -1,0 +1,89 @@
+// Minimal property-based testing driver with shrinking.
+//
+// A property check runs `cases` generated inputs through a predicate; the
+// first failure is shrunk greedily (repeatedly replaced by the smallest
+// failing candidate a user-supplied shrinker proposes) before being
+// reported. The counterexample plus the case seed land in the failure
+// message, so any red run is reproducible with a one-line unit test.
+//
+// The framework is deliberately tiny — three function objects and a loop —
+// because the interesting logic lives in the generators (scenario knobs,
+// ASN permutations, raw byte mutations in mutate.hpp), not the driver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testing/prng.hpp"
+
+namespace asrel::testing {
+
+struct PropertyConfig {
+  std::uint64_t seed = 0xA5BE11;
+  int cases = 50;
+  int max_shrink_steps = 200;
+};
+
+template <typename T>
+struct PropertyResult {
+  bool ok = true;
+  std::string message;          ///< failure description from the predicate
+  std::optional<T> counterexample;
+  std::uint64_t failing_seed = 0;  ///< seed of the failing case's Rng
+  int failing_case = -1;
+  int shrink_steps = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Runs `property` against `cases` inputs drawn from `generate`.
+///   generate: (Rng&) -> T
+///   property: (const T&) -> std::optional<std::string>  (nullopt = pass)
+///   shrink:   (const T&) -> std::vector<T>              (may be empty)
+template <typename T>
+PropertyResult<T> check_property(
+    const PropertyConfig& config,
+    const std::function<T(Rng&)>& generate,
+    const std::function<std::optional<std::string>(const T&)>& property,
+    const std::function<std::vector<T>(const T&)>& shrink = nullptr) {
+  Rng master{config.seed};
+  for (int case_index = 0; case_index < config.cases; ++case_index) {
+    const std::uint64_t case_seed = master.next();
+    Rng rng{case_seed};
+    T input = generate(rng);
+    auto failure = property(input);
+    if (!failure) continue;
+
+    PropertyResult<T> result;
+    result.ok = false;
+    result.failing_seed = case_seed;
+    result.failing_case = case_index;
+
+    // Greedy shrink: adopt the first failing candidate each round.
+    if (shrink) {
+      bool progressed = true;
+      while (progressed && result.shrink_steps < config.max_shrink_steps) {
+        progressed = false;
+        for (T& candidate : shrink(input)) {
+          if (result.shrink_steps >= config.max_shrink_steps) break;
+          ++result.shrink_steps;
+          if (auto shrunk_failure = property(candidate)) {
+            input = std::move(candidate);
+            failure = std::move(shrunk_failure);
+            progressed = true;
+            break;
+          }
+        }
+      }
+    }
+    result.message = *failure;
+    result.counterexample = std::move(input);
+    return result;
+  }
+  return {};
+}
+
+}  // namespace asrel::testing

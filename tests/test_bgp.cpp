@@ -302,6 +302,44 @@ TEST(Collection, PartialFeedsExportOnlyCustomerRoutes) {
   EXPECT_GT(checked, 0);
 }
 
+TEST(Collection, SerialAndParallelPathTablesByteIdentical) {
+  // Thread striping must be invisible in the output: the serialized table
+  // from a single-threaded run and a multi-threaded run have to match
+  // byte for byte, not just in aggregate counts.
+  topo::TopologyParams topo_params;
+  topo_params.as_count = 700;
+  topo_params.seed = 5;
+  const topo::World world = topo::generate(topo_params);
+  VantageParams vantage_params;
+  vantage_params.target_count = 30;
+  const auto vps = select_vantage_points(world, vantage_params);
+
+  const auto serialize = [](const PathTable& table) {
+    std::string out;
+    table.for_each_path([&](const PathTable::PathRef& ref) {
+      out += std::to_string(ref.vp_index);
+      out += '/';
+      out += std::to_string(ref.origin);
+      for (const Asn asn : ref.path) {
+        out += ':';
+        out += std::to_string(asn.value());
+      }
+      out += '\n';
+    });
+    return out;
+  };
+
+  PropagationParams params;
+  params.threads = 1;
+  PathTable serial = collect_paths(Propagator{world, params}, vps);
+  params.threads = 4;
+  PathTable parallel = collect_paths(Propagator{world, params}, vps);
+  serial.recount();
+  parallel.recount();
+  EXPECT_EQ(serial.path_count(), parallel.path_count());
+  EXPECT_EQ(serialize(serial), serialize(parallel));
+}
+
 TEST(Collection, PathCountMatchesRecount) {
   const auto& scenario = test::shared_scenario();
   std::size_t counted = 0;

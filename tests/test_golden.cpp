@@ -1,0 +1,44 @@
+// Golden-file regression: the canonical scenario's Fig. 1/2 and Table 1-3
+// JSON reports are checked in under tests/golden/ and must match the
+// current pipeline byte for byte. Regenerate deliberately with
+// `tools/asrel_golden --update` when an output change is intended.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "test_support.hpp"
+#include "testing/canonical.hpp"
+
+namespace asrel {
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Golden, ReportsMatchCheckedInFiles) {
+  const auto reports = testing::build_golden_reports(test::shared_scenario());
+  ASSERT_FALSE(reports.empty());
+  for (const auto& report : reports) {
+    const std::string path =
+        std::string{ASREL_GOLDEN_DIR} + "/" + report.filename;
+    const auto checked_in = read_file(path);
+    ASSERT_TRUE(checked_in.has_value())
+        << path << " is missing; generate it with `asrel_golden --update`";
+    EXPECT_EQ(*checked_in, report.json)
+        << report.filename
+        << " drifted from the checked-in golden file. If the change is "
+           "intended, regenerate with `asrel_golden --update` and commit "
+           "the diff.";
+  }
+}
+
+}  // namespace
+}  // namespace asrel

@@ -1,0 +1,170 @@
+// Unit tests for the extracted HTTP/1.1 request parser. Every request
+// string here is also a seed in fuzz/corpus/http/, so a parser regression
+// fails both this suite and the fuzz smoke run.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/http_parser.hpp"
+
+namespace asrel::serve {
+namespace {
+
+HttpParse parse(std::string_view text, HttpRequest* request) {
+  std::size_t header_len = 0;
+  const std::size_t body_start = find_header_end(text, &header_len);
+  EXPECT_NE(body_start, std::string_view::npos) << "incomplete header block";
+  return parse_http_request(text.substr(0, header_len), request);
+}
+
+TEST(HttpParser, ParsesRequestLineAndQuery) {
+  HttpRequest request;
+  const auto result = parse(
+      "GET /links?algo=asrank&class=T1-TR HTTP/1.1\r\n"
+      "Host: localhost\r\nConnection: keep-alive\r\n\r\n",
+      &request);
+  ASSERT_TRUE(result) << result.error;
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/links");
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(request.query_param("algo"), nullptr);
+  EXPECT_EQ(*request.query_param("algo"), "asrank");
+  ASSERT_NE(request.query_param("class"), nullptr);
+  EXPECT_EQ(*request.query_param("class"), "T1-TR");
+  EXPECT_EQ(request.query_param("missing"), nullptr);
+}
+
+TEST(HttpParser, BareLfLineEndingsParseLikeCrlf) {
+  HttpRequest crlf_request;
+  HttpRequest lf_request;
+  const auto crlf = parse("GET /healthz HTTP/1.0\r\nHost: a\r\n\r\n",
+                          &crlf_request);
+  const auto lf = parse("GET /healthz HTTP/1.0\nHost: a\n\n", &lf_request);
+  ASSERT_TRUE(crlf) << crlf.error;
+  ASSERT_TRUE(lf) << lf.error;
+  EXPECT_EQ(crlf_request.path, lf_request.path);
+  EXPECT_EQ(crlf_request.keep_alive, lf_request.keep_alive);
+  EXPECT_FALSE(lf_request.keep_alive);  // HTTP/1.0 defaults to close
+}
+
+TEST(HttpParser, OversizedRequestLineRejected) {
+  const std::string request_line =
+      "GET /" + std::string(kMaxRequestLineBytes, 'a') + " HTTP/1.1\r\n\r\n";
+  HttpRequest request;
+  const auto result = parse(request_line, &request);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.error, "request line too long");
+}
+
+TEST(HttpParser, RequestLineJustUnderTheCapParses) {
+  std::string line = "GET /";
+  line += std::string(kMaxRequestLineBytes - line.size() - 9, 'a');
+  line += " HTTP/1.1";
+  ASSERT_EQ(line.size(), kMaxRequestLineBytes);
+  HttpRequest request;
+  EXPECT_TRUE(parse(line + "\r\n\r\n", &request));
+}
+
+TEST(HttpParser, MissingContentLengthMeansZero) {
+  HttpRequest request;
+  const auto result = parse("GET /x HTTP/1.1\r\n\r\n", &request);
+  ASSERT_TRUE(result) << result.error;
+  EXPECT_EQ(result.content_length, 0u);
+}
+
+TEST(HttpParser, ContentLengthParsed) {
+  HttpRequest request;
+  const auto result =
+      parse("POST /report HTTP/1.1\r\nContent-Length: 5\r\n\r\n", &request);
+  ASSERT_TRUE(result) << result.error;
+  EXPECT_EQ(result.content_length, 5u);
+}
+
+TEST(HttpParser, DuplicateEqualContentLengthAccepted) {
+  HttpRequest request;
+  const auto result = parse(
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n",
+      &request);
+  ASSERT_TRUE(result) << result.error;
+  EXPECT_EQ(result.content_length, 5u);
+}
+
+TEST(HttpParser, ConflictingContentLengthRejected) {
+  // The classic request-smuggling vector: two bodies' worth of ambiguity.
+  HttpRequest request;
+  const auto result = parse(
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n",
+      &request);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.error, "conflicting Content-Length headers");
+}
+
+TEST(HttpParser, NonCanonicalContentLengthRejected) {
+  for (const char* header :
+       {"Content-Length: +5", "Content-Length: 5x", "Content-Length: 0x5",
+        "Content-Length: -1", "Content-Length:",
+        "Content-Length: 99999999999999999999"}) {
+    HttpRequest request;
+    const auto result = parse(
+        std::string{"POST /x HTTP/1.1\r\n"} + header + "\r\n\r\n", &request);
+    EXPECT_FALSE(result) << header;
+  }
+}
+
+TEST(HttpParser, PipelinedKeepAliveRequestsSplitCleanly) {
+  const std::string stream =
+      "GET /one HTTP/1.1\r\n\r\n"
+      "GET /two HTTP/1.1\r\nConnection: close\r\n\r\n";
+  std::size_t header_len = 0;
+  const std::size_t first_end = find_header_end(stream, &header_len);
+  ASSERT_NE(first_end, std::string_view::npos);
+  HttpRequest first;
+  ASSERT_TRUE(parse_http_request(
+      std::string_view{stream}.substr(0, header_len), &first));
+  EXPECT_EQ(first.path, "/one");
+  EXPECT_TRUE(first.keep_alive);
+
+  const std::string_view rest = std::string_view{stream}.substr(first_end);
+  const std::size_t second_end = find_header_end(rest, &header_len);
+  ASSERT_NE(second_end, std::string_view::npos);
+  EXPECT_EQ(second_end, rest.size());
+  HttpRequest second;
+  ASSERT_TRUE(parse_http_request(rest.substr(0, header_len), &second));
+  EXPECT_EQ(second.path, "/two");
+  EXPECT_FALSE(second.keep_alive);
+}
+
+TEST(HttpParser, MalformedRequestLinesRejected) {
+  for (const char* text :
+       {"BADLINE\r\n\r\n", "GET  /double-space HTTP/1.1\r\n\r\n",
+        "GET /x SMTP/1.1\r\n\r\n", " GET /x HTTP/1.1\r\n\r\n",
+        "\r\n\r\n"}) {
+    HttpRequest request;
+    EXPECT_FALSE(parse(text, &request)) << text;
+  }
+}
+
+TEST(HttpParser, PercentDecoding) {
+  HttpRequest request;
+  const auto result =
+      parse("GET /a%2Fb%zz+c?x=%41&y&=v HTTP/1.1\r\n\r\n", &request);
+  ASSERT_TRUE(result) << result.error;
+  // %2F decodes, %zz passes through verbatim, '+' becomes a space.
+  EXPECT_EQ(request.path, "/a/b%zz c");
+  ASSERT_NE(request.query_param("x"), nullptr);
+  EXPECT_EQ(*request.query_param("x"), "A");
+  ASSERT_NE(request.query_param("y"), nullptr);
+  EXPECT_EQ(*request.query_param("y"), "");
+}
+
+TEST(HttpParser, FindHeaderEndNeedsBlankLine) {
+  std::size_t header_len = 0;
+  EXPECT_EQ(find_header_end("GET /x HTTP/1.1\r\nHost: a\r\n", &header_len),
+            std::string_view::npos);
+  EXPECT_EQ(find_header_end("", &header_len), std::string_view::npos);
+  EXPECT_EQ(find_header_end("no newline at all", &header_len),
+            std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace asrel::serve

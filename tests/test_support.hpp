@@ -6,18 +6,17 @@
 #include <memory>
 
 #include "core/scenario.hpp"
+#include "testing/canonical.hpp"
 
 namespace asrel::test {
 
 /// A small (but fully wired) scenario shared by all tests in a binary.
 /// Never mutate it — build a private one with custom_scenario() instead.
+/// Uses the canonical parameters so the suite exercises exactly the world
+/// the golden files under tests/golden/ pin.
 inline const core::Scenario& shared_scenario() {
   static const std::unique_ptr<core::Scenario> scenario = [] {
-    core::ScenarioParams params;
-    params.topology.as_count = 2500;
-    params.topology.seed = 42;
-    params.vantage.target_count = 120;
-    return core::Scenario::build(params);
+    return core::Scenario::build(testing::canonical_scenario_params());
   }();
   return *scenario;
 }
