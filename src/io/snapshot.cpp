@@ -1,5 +1,11 @@
 #include "io/snapshot.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -468,18 +474,77 @@ std::optional<Snapshot> read_snapshot(std::istream& in, std::string* error) {
   return parse_snapshot_bytes(buffer.str(), error);
 }
 
+namespace {
+
+// Fault-injection hooks; relaxed atomics because arming happens strictly
+// before the faulted I/O in any sane test, and a torn install at worst
+// delays one injection by a call.
+std::atomic<std::size_t (*)()> g_read_cap{nullptr};
+std::atomic<std::size_t (*)()> g_write_cap{nullptr};
+
+[[nodiscard]] std::size_t hooked_cap(
+    const std::atomic<std::size_t (*)()>& hook) {
+  const auto fn = hook.load(std::memory_order_relaxed);
+  return fn == nullptr ? static_cast<std::size_t>(-1) : fn();
+}
+
+}  // namespace
+
+void set_snapshot_io_hooks(SnapshotIoHooks hooks) {
+  g_read_cap.store(hooks.read_cap, std::memory_order_relaxed);
+  g_write_cap.store(hooks.write_cap, std::memory_order_relaxed);
+}
+
 bool save_snapshot_file(const Snapshot& snapshot, const std::string& path,
                         std::string* error) {
-  std::ofstream out{path, std::ios::binary};
-  if (!out) {
-    if (error != nullptr) *error = "cannot open " + path + " for writing";
+  const std::string bytes = to_snapshot_bytes(snapshot);
+  const std::string temp = path + ".tmp";
+  const auto fail = [&](const std::string& message, int fd) {
+    if (error != nullptr) {
+      *error = message + ": " + std::strerror(errno);
+    }
+    if (fd >= 0) ::close(fd);
+    ::unlink(temp.c_str());  // never leave a torn temp behind
     return false;
+  };
+
+  // Write the whole image to a temp file first: readers either see the
+  // previous snapshot at `path` or the new one, never a prefix.
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("cannot open " + temp + " for writing", -1);
+
+  const std::size_t cap = hooked_cap(g_write_cap);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    if (written >= cap) {
+      errno = ENOSPC;  // the injected failure presents as a full disk
+      return fail("write to " + temp + " failed (fault injected)", fd);
+    }
+    const std::size_t want = std::min(bytes.size() - written, cap - written);
+    const ssize_t n = ::write(fd, bytes.data() + written, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write to " + temp + " failed", fd);
+    }
+    written += static_cast<std::size_t>(n);
   }
-  write_snapshot(snapshot, out);
-  out.flush();
-  if (!out) {
-    if (error != nullptr) *error = "write to " + path + " failed";
-    return false;
+  // fsync before rename: otherwise the rename can become durable before
+  // the data, which is exactly the torn-file crash window.
+  if (::fsync(fd) != 0) return fail("fsync of " + temp + " failed", fd);
+  if (::close(fd) != 0) return fail("close of " + temp + " failed", -1);
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    return fail("rename " + temp + " -> " + path + " failed", -1);
+  }
+
+  // Make the rename itself durable by syncing the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string{"."}
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best effort: some filesystems refuse dir fsync
+    ::close(dir_fd);
   }
   return true;
 }
@@ -490,6 +555,15 @@ std::optional<Snapshot> load_snapshot_file(const std::string& path,
   if (!in) {
     if (error != nullptr) *error = "cannot open " + path;
     return std::nullopt;
+  }
+  const std::size_t cap = hooked_cap(g_read_cap);
+  if (cap != static_cast<std::size_t>(-1)) {
+    // Injected mid-file read failure: parse only the prefix the "failing"
+    // read delivered. The header's size+checksum reject it cleanly.
+    std::string bytes(cap, '\0');
+    in.read(bytes.data(), static_cast<std::streamsize>(cap));
+    bytes.resize(static_cast<std::size_t>(in.gcount()));
+    return parse_snapshot_bytes(bytes, error);
   }
   return read_snapshot(in, error);
 }

@@ -107,10 +107,27 @@ void write_snapshot(const Snapshot& snapshot, std::ostream& out);
     std::string_view bytes, std::string* error = nullptr);
 
 /// Convenience file wrappers (open + read/write + diagnose open failures).
+///
+/// save_snapshot_file is crash-safe: bytes go to `path + ".tmp"`, are
+/// fsync'd, and are renamed over `path` in one atomic step (then the
+/// directory is fsync'd so the rename itself is durable). A crash or
+/// write failure at any point leaves either the old file or no file at
+/// `path` — never a half-written snapshot — and the reader independently
+/// rejects torn files via the header's payload size + checksum.
 [[nodiscard]] bool save_snapshot_file(const Snapshot& snapshot,
                                       const std::string& path,
                                       std::string* error = nullptr);
 [[nodiscard]] std::optional<Snapshot> load_snapshot_file(
     const std::string& path, std::string* error = nullptr);
+
+/// Fault-injection hooks (see serve/fault_inject.*): when set, file reads
+/// are truncated to read_cap() bytes and file writes fail after
+/// write_cap() bytes, simulating torn I/O. Null members = no limit.
+/// Not for production use; installed/cleared by FaultInjector.
+struct SnapshotIoHooks {
+  std::size_t (*read_cap)() = nullptr;
+  std::size_t (*write_cap)() = nullptr;
+};
+void set_snapshot_io_hooks(SnapshotIoHooks hooks);
 
 }  // namespace asrel::io

@@ -1,0 +1,59 @@
+#include "serve/engine_hub.hpp"
+
+#include <utility>
+
+namespace asrel::serve {
+
+EngineHub::EngineHub(std::shared_ptr<const QueryEngine> initial,
+                     SnapshotLoader loader)
+    : engine_(std::move(initial)), loader_(std::move(loader)) {}
+
+EngineHub::ReloadResult EngineHub::reload() {
+  std::lock_guard<std::mutex> lock{reload_mutex_};
+  ReloadResult result;
+  const auto fail = [&](std::string message) {
+    ++reloads_failed_;
+    last_error_ = message;
+    result.ok = false;
+    result.epoch = epoch();
+    result.error = std::move(message);
+    return result;
+  };
+
+  if (!loader_) {
+    return fail("no snapshot loader configured (static deployment)");
+  }
+  std::string error;
+  auto snapshot = loader_(&error);
+  if (!snapshot) {
+    return fail(error.empty() ? "snapshot loader failed" : error);
+  }
+
+  // The expensive part — index building — happens before publication, on
+  // the reloading thread, while every worker keeps serving the old epoch.
+  auto next =
+      std::make_shared<const QueryEngine>(std::move(*snapshot));
+  engine_.store(std::move(next), std::memory_order_release);
+  const std::uint64_t epoch =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  ++reloads_ok_;
+  last_error_.clear();
+  result.ok = true;
+  result.epoch = epoch;
+  return result;
+}
+
+EngineHub::Stats EngineHub::stats() const {
+  Stats stats;
+  stats.epoch = epoch();
+  // reload_mutex_ also guards the counters; stats() is cold (one /statsz
+  // hit), so taking it here is fine.
+  std::lock_guard<std::mutex> lock{reload_mutex_};
+  stats.reloads_ok = reloads_ok_;
+  stats.reloads_failed = reloads_failed_;
+  stats.last_error = last_error_;
+  return stats;
+}
+
+}  // namespace asrel::serve

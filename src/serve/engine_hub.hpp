@@ -1,0 +1,96 @@
+// Hot-reloadable engine publication — the RCU of the serving layer.
+//
+// The daemon must swap in a freshly written snapshot (operator SIGHUP or
+// POST /reloadz) without dropping a single in-flight request. The hub
+// owns the current QueryEngine behind an atomic shared_ptr: readers pin
+// one epoch with a single `current()` call and keep serving from that
+// engine even while a reload publishes a successor; the old engine is
+// destroyed when its last in-flight reader drops the reference. Each
+// QueryEngine carries its own report LRU cache, so publication implicitly
+// invalidates every cached report from the previous epoch.
+//
+// Reloads are serialized (one at a time) and fail closed: if the loader
+// cannot produce a valid snapshot — missing file, torn write, checksum
+// mismatch — the previous engine stays published and the error is
+// recorded for /statsz.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "io/snapshot.hpp"
+#include "serve/query_engine.hpp"
+
+namespace asrel::serve {
+
+class EngineHub {
+ public:
+  /// Produces the next snapshot on reload (typically io::load_snapshot_file
+  /// on the daemon's --snapshot path). Returns nullopt + error to abort
+  /// the reload and keep the current epoch live.
+  using SnapshotLoader =
+      std::function<std::optional<io::Snapshot>(std::string* error)>;
+
+  /// A hub starts at epoch 1 with `initial`; a null loader makes reload()
+  /// fail cleanly (static deployments keep working unchanged).
+  explicit EngineHub(std::shared_ptr<const QueryEngine> initial,
+                     SnapshotLoader loader = {});
+
+  /// The engine for this request. One call per request: the returned
+  /// shared_ptr pins the epoch for the request's whole lifetime.
+  [[nodiscard]] std::shared_ptr<const QueryEngine> current() const {
+    return engine_.load(std::memory_order_acquire);
+  }
+
+  /// Epoch of the currently published engine (starts at 1, +1 per
+  /// successful reload).
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  struct ReloadResult {
+    bool ok = false;
+    std::uint64_t epoch = 0;   ///< published epoch after the attempt
+    std::string error;         ///< set when !ok
+  };
+
+  /// Loads, builds, and publishes a new engine. Serialized; concurrent
+  /// callers queue up. On failure the previous engine stays published.
+  ReloadResult reload();
+
+  // ---- async-signal-safe reload request (SIGHUP) ----
+  /// Safe to call from a signal handler: just sets a flag.
+  void request_reload() {
+    reload_requested_.store(true, std::memory_order_release);
+  }
+  /// Consumes a pending request; the daemon's main loop polls this.
+  [[nodiscard]] bool take_reload_request() {
+    return reload_requested_.exchange(false, std::memory_order_acq_rel);
+  }
+
+  struct Stats {
+    std::uint64_t epoch = 0;
+    std::uint64_t reloads_ok = 0;
+    std::uint64_t reloads_failed = 0;
+    std::string last_error;  ///< most recent failed reload's diagnosis
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  std::atomic<std::shared_ptr<const QueryEngine>> engine_;
+  SnapshotLoader loader_;
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<bool> reload_requested_{false};
+
+  mutable std::mutex reload_mutex_;  ///< serializes reload(); guards counters
+  std::uint64_t reloads_ok_ = 0;
+  std::uint64_t reloads_failed_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace asrel::serve

@@ -1,0 +1,181 @@
+#include "serve/fault_inject.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+#include "io/snapshot.hpp"
+
+namespace asrel::serve::fault {
+
+namespace {
+
+/// SplitMix64 — the same generator src/testing uses; one full scramble of
+/// a 64-bit state is enough to decorrelate (seed, site, n) triples.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kAccept:
+      return "accept";
+    case Site::kRecv:
+      return "recv";
+    case Site::kSend:
+      return "send";
+    case Site::kSnapshotRead:
+      return "snapshot_read";
+    case Site::kSnapshotWrite:
+      return "snapshot_write";
+    case Site::kCount:
+      break;
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+std::uint32_t FaultInjector::draw(std::uint64_t seed, Site site,
+                                  std::uint64_t n) {
+  // Two scramble rounds: the first mixes the site into the seed stream,
+  // the second mixes the call index, so neighboring (site, n) pairs share
+  // no low-bit structure.
+  const std::uint64_t mixed =
+      splitmix64(splitmix64(seed + static_cast<std::uint64_t>(site) *
+                                       0x9e3779b97f4a7c15ull) +
+                 n);
+  return static_cast<std::uint32_t>(mixed % 1000);
+}
+
+std::uint32_t FaultInjector::next_draw(Site site) {
+  const std::uint64_t n = calls_[static_cast<std::size_t>(site)].fetch_add(
+      1, std::memory_order_relaxed);
+  return draw(plan_.seed, site, n);
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  disarm();  // quiesce wrappers while the plan is being replaced
+  plan_ = plan;
+  for (auto& counter : calls_) counter.store(0, std::memory_order_relaxed);
+  accept_faults_.store(0, std::memory_order_relaxed);
+  recv_faults_.store(0, std::memory_order_relaxed);
+  send_faults_.store(0, std::memory_order_relaxed);
+  snapshot_read_faults_.store(0, std::memory_order_relaxed);
+  snapshot_write_faults_.store(0, std::memory_order_relaxed);
+  io::set_snapshot_io_hooks(io::SnapshotIoHooks{
+      .read_cap = [] { return FaultInjector::instance().snapshot_read_cap(); },
+      .write_cap =
+          [] { return FaultInjector::instance().snapshot_write_cap(); },
+  });
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  enabled_.store(false, std::memory_order_release);
+  io::set_snapshot_io_hooks(io::SnapshotIoHooks{});
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats stats;
+  stats.accept_faults = accept_faults_.load(std::memory_order_relaxed);
+  stats.recv_faults = recv_faults_.load(std::memory_order_relaxed);
+  stats.send_faults = send_faults_.load(std::memory_order_relaxed);
+  stats.snapshot_read_faults =
+      snapshot_read_faults_.load(std::memory_order_relaxed);
+  stats.snapshot_write_faults =
+      snapshot_write_faults_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ssize_t FaultInjector::recv(int fd, void* buf, std::size_t len, int flags) {
+  if (!enabled()) return ::recv(fd, buf, len, flags);
+  const std::uint32_t roll = next_draw(Site::kRecv);
+  // Bands are stacked so one draw picks at most one fault; rates add up.
+  std::uint32_t band = plan_.recv_eintr_permille;
+  if (roll < band) {
+    recv_faults_.fetch_add(1, std::memory_order_relaxed);
+    errno = EINTR;
+    return -1;
+  }
+  band += plan_.recv_eagain_permille;
+  if (roll < band) {
+    recv_faults_.fetch_add(1, std::memory_order_relaxed);
+    errno = EAGAIN;
+    return -1;
+  }
+  band += plan_.recv_short_permille;
+  if (roll < band && len > 1) {
+    recv_faults_.fetch_add(1, std::memory_order_relaxed);
+    return ::recv(fd, buf, 1, flags);  // short read: one byte at a time
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t FaultInjector::send(int fd, const void* buf, std::size_t len,
+                            int flags) {
+  if (!enabled()) return ::send(fd, buf, len, flags);
+  const std::uint32_t roll = next_draw(Site::kSend);
+  std::uint32_t band = plan_.send_eintr_permille;
+  if (roll < band) {
+    send_faults_.fetch_add(1, std::memory_order_relaxed);
+    errno = EINTR;
+    return -1;
+  }
+  band += plan_.send_short_permille;
+  if (roll < band && len > 1) {
+    send_faults_.fetch_add(1, std::memory_order_relaxed);
+    return ::send(fd, buf, 1, flags);  // short write
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+int FaultInjector::accept(int fd) {
+  if (!enabled()) return ::accept(fd, nullptr, nullptr);
+  const std::uint32_t roll = next_draw(Site::kAccept);
+  std::uint32_t band = plan_.accept_eintr_permille;
+  if (roll < band) {
+    accept_faults_.fetch_add(1, std::memory_order_relaxed);
+    errno = EINTR;
+    return -1;
+  }
+  band += plan_.accept_econnaborted_permille;
+  if (roll < band) {
+    accept_faults_.fetch_add(1, std::memory_order_relaxed);
+    errno = ECONNABORTED;
+    return -1;
+  }
+  band += plan_.accept_emfile_permille;
+  if (roll < band) {
+    accept_faults_.fetch_add(1, std::memory_order_relaxed);
+    errno = EMFILE;
+    return -1;
+  }
+  return ::accept(fd, nullptr, nullptr);
+}
+
+std::size_t FaultInjector::snapshot_read_cap() {
+  if (!enabled()) return static_cast<std::size_t>(-1);
+  if (plan_.snapshot_read_cap != static_cast<std::size_t>(-1)) {
+    snapshot_read_faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return plan_.snapshot_read_cap;
+}
+
+std::size_t FaultInjector::snapshot_write_cap() {
+  if (!enabled()) return static_cast<std::size_t>(-1);
+  if (plan_.snapshot_write_cap != static_cast<std::size_t>(-1)) {
+    snapshot_write_faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return plan_.snapshot_write_cap;
+}
+
+}  // namespace asrel::serve::fault

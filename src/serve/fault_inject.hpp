@@ -1,0 +1,137 @@
+// Deterministic fault-injection layer for the serving stack.
+//
+// Chaos tests need to force the failure modes production meets rarely but
+// reliably — EINTR mid-recv, short writes to slow clients, EMFILE storms
+// on accept, a snapshot file torn halfway through a write — without
+// patching libc or depending on timing. This layer sits between the
+// server and the raw syscalls: every socket call in HttpServer and every
+// snapshot file read/write routes through FaultInjector, which either
+// passes straight through (the always-compiled-in, zero-cost-when-idle
+// path: one relaxed atomic load) or consults a seeded plan.
+//
+// Determinism contract: the decision for the Nth call at a given site is
+// a pure function of (seed, site, N) — SplitMix64 over a per-site call
+// counter — so a fault schedule is byte-reproducible from its seed no
+// matter how worker threads interleave, and a failing chaos run can be
+// replayed exactly by re-arming the same plan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <sys/types.h>
+
+namespace asrel::serve::fault {
+
+/// Syscall sites the injector can perturb. Each site draws from its own
+/// deterministic stream.
+enum class Site : std::size_t {
+  kAccept = 0,
+  kRecv,
+  kSend,
+  kSnapshotRead,
+  kSnapshotWrite,
+  kCount,
+};
+
+[[nodiscard]] const char* site_name(Site site);
+
+/// Per-mille rates (0 = never, 1000 = every call) for each injected
+/// failure, plus byte caps for torn snapshot I/O. Rates are integers so a
+/// plan is trivially printable and hashable into a reproduction command.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  std::uint32_t accept_eintr_permille = 0;
+  std::uint32_t accept_econnaborted_permille = 0;
+  std::uint32_t accept_emfile_permille = 0;
+
+  std::uint32_t recv_eintr_permille = 0;
+  std::uint32_t recv_eagain_permille = 0;  ///< only once buffer has bytes
+  std::uint32_t recv_short_permille = 0;   ///< deliver 1 byte instead of n
+
+  std::uint32_t send_eintr_permille = 0;
+  std::uint32_t send_short_permille = 0;  ///< accept 1 byte instead of n
+
+  /// Snapshot file I/O: fail (reader: truncate; writer: ENOSPC-style
+  /// error) once this many bytes have been moved. SIZE_MAX = never.
+  std::size_t snapshot_read_cap = static_cast<std::size_t>(-1);
+  std::size_t snapshot_write_cap = static_cast<std::size_t>(-1);
+};
+
+/// Counts of faults actually injected, for test assertions ("the run
+/// really did hit N EINTRs") and for /statsz debugging.
+struct FaultStats {
+  std::uint64_t accept_faults = 0;
+  std::uint64_t recv_faults = 0;
+  std::uint64_t send_faults = 0;
+  std::uint64_t snapshot_read_faults = 0;
+  std::uint64_t snapshot_write_faults = 0;
+};
+
+/// Process-wide injector. All serving-layer syscalls funnel through the
+/// wrappers below; arm()/disarm() bracket a chaos experiment.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Installs `plan`, resets per-site counters and stats, and enables
+  /// injection. Also installs the snapshot I/O hooks (io::snapshot).
+  void arm(const FaultPlan& plan);
+  /// Disables injection; wrappers revert to raw syscalls.
+  void disarm();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] FaultStats stats() const;
+
+  /// The deterministic per-site decision stream: returns the uniform
+  /// [0, 1000) draw for call number `n` at `site` under seed `seed`.
+  /// Exposed so tests can verify byte-reproducibility directly.
+  [[nodiscard]] static std::uint32_t draw(std::uint64_t seed, Site site,
+                                          std::uint64_t n);
+
+  // ---- syscall wrappers (used by HttpServer) ----
+  [[nodiscard]] ssize_t recv(int fd, void* buf, std::size_t len, int flags);
+  [[nodiscard]] ssize_t send(int fd, const void* buf, std::size_t len,
+                             int flags);
+  [[nodiscard]] int accept(int fd);
+
+  // ---- snapshot I/O caps (consulted by io::snapshot via hooks) ----
+  /// Bytes a snapshot file read may return before simulated truncation.
+  [[nodiscard]] std::size_t snapshot_read_cap();
+  /// Bytes a snapshot file write may persist before simulated failure.
+  [[nodiscard]] std::size_t snapshot_write_cap();
+
+ private:
+  FaultInjector() = default;
+
+  /// Advances `site`'s counter and returns its draw; never called unless
+  /// enabled. Thread-safe via per-site atomic counters.
+  [[nodiscard]] std::uint32_t next_draw(Site site);
+
+  std::atomic<bool> enabled_{false};
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> calls_[static_cast<std::size_t>(Site::kCount)];
+
+  std::atomic<std::uint64_t> accept_faults_{0};
+  std::atomic<std::uint64_t> recv_faults_{0};
+  std::atomic<std::uint64_t> send_faults_{0};
+  std::atomic<std::uint64_t> snapshot_read_faults_{0};
+  std::atomic<std::uint64_t> snapshot_write_faults_{0};
+};
+
+/// RAII arm/disarm for tests: faults stay scoped to one experiment even
+/// when an ASSERT unwinds early.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const FaultPlan& plan) {
+    FaultInjector::instance().arm(plan);
+  }
+  ~ScopedFaults() { FaultInjector::instance().disarm(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace asrel::serve::fault

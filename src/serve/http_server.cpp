@@ -1,6 +1,7 @@
 #include "serve/http_server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -8,13 +9,17 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "serve/fault_inject.hpp"
 #include "serve/json.hpp"
 
 namespace asrel::serve {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 const char* status_text(int status) {
   switch (status) {
@@ -39,13 +44,15 @@ const char* status_text(int status) {
   }
 }
 
-/// Sends the whole buffer, tolerating partial writes. MSG_NOSIGNAL keeps a
-/// dead peer from raising SIGPIPE.
+/// Sends the whole buffer, tolerating partial writes and EINTR. Routed
+/// through the fault injector so chaos tests can force short writes.
+/// MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE.
 bool send_all(int fd, std::string_view bytes) {
+  auto& faults = fault::FaultInjector::instance();
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
+    const ssize_t n = faults.send(fd, bytes.data() + sent,
+                                  bytes.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;
@@ -57,7 +64,7 @@ bool send_all(int fd, std::string_view bytes) {
 
 std::string render_response(const HttpResponse& response, bool keep_alive) {
   std::string out;
-  out.reserve(128 + response.body.size());
+  out.reserve(160 + response.body.size());
   out += "HTTP/1.1 ";
   out += std::to_string(response.status);
   out += ' ';
@@ -68,6 +75,12 @@ std::string render_response(const HttpResponse& response, bool keep_alive) {
   out += std::to_string(response.body.size());
   out += "\r\nConnection: ";
   out += keep_alive ? "keep-alive" : "close";
+  for (const auto& [name, value] : response.headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
   out += "\r\n\r\n";
   out += response.body;
   return out;
@@ -81,6 +94,7 @@ HttpServer::HttpServer(Handler handler, HttpServerOptions options)
   if (options_.max_pending_connections < 1) {
     options_.max_pending_connections = 1;
   }
+  if (options_.request_deadline_ms < 1) options_.request_deadline_ms = 1;
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -118,7 +132,13 @@ bool HttpServer::start(std::string* error) {
   }
   bound_port_ = ntohs(address.sin_port);
 
+  // The emergency fd: held open so that under EMFILE the acceptor can
+  // close it, accept the waiting connection, shed it politely, and
+  // reopen the reserve — instead of spinning on accept() forever.
+  reserve_fd_ = ::open("/dev/null", O_RDONLY);
+
   stopping_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread{[this] { accept_loop(); }};
   workers_.reserve(static_cast<std::size_t>(options_.worker_threads));
@@ -128,30 +148,97 @@ bool HttpServer::start(std::string* error) {
   return true;
 }
 
-void HttpServer::stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  stopping_.store(true, std::memory_order_release);
-
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  {
-    std::lock_guard<std::mutex> lock{queue_mutex_};
-    for (const int fd : pending_) ::close(fd);
-    pending_.clear();
-  }
-  queue_cv_.notify_all();
-  {
-    std::lock_guard<std::mutex> lock{active_mutex_};
-    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
+void HttpServer::join_all() {
   if (acceptor_.joinable()) acceptor_.join();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (reserve_fd_ >= 0) {
+    ::close(reserve_fd_);
+    reserve_fd_ = -1;
+  }
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock{queue_mutex_};
+    for (const int fd : pending_) {
+      ::close(fd);
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pending_.clear();
+  }
+  queue_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock{active_mutex_};
+    for (const int fd : active_fds_) {
+      aborted_fds_.insert(fd);
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  join_all();
+}
+
+DrainReport HttpServer::drain() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    // Already stopped (or drained): report the recorded counts.
+    return DrainReport{.drained = drained_.load(std::memory_order_relaxed),
+                       .aborted = aborted_.load(std::memory_order_relaxed)};
+  }
+  draining_.store(true, std::memory_order_release);
+
+  // Phase 1: stop admitting. Shutting down the listen socket pops the
+  // acceptor out of accept(); joining it here means no new connection can
+  // race into the queue after this point.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  queue_cv_.notify_all();
+
+  // Phase 2: let workers finish the queue and in-flight connections.
+  // Keep-alive loops exit after the request they are currently serving
+  // (serve_connection checks draining_), so "drained" converges fast for
+  // busy connections; idle keep-alives wait here until the deadline.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.drain_deadline_ms);
+  for (;;) {
+    {
+      std::scoped_lock lock{queue_mutex_, active_mutex_};
+      if (pending_.empty() && active_fds_.empty()) break;
+    }
+    if (Clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Phase 3: the grace period is over — abort stragglers.
+  {
+    std::lock_guard<std::mutex> lock{queue_mutex_};
+    for (const int fd : pending_) {
+      ::close(fd);
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pending_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock{active_mutex_};
+    for (const int fd : active_fds_) {
+      aborted_fds_.insert(fd);
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  stopping_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  join_all();
+  return DrainReport{.drained = drained_.load(std::memory_order_relaxed),
+                     .aborted = aborted_.load(std::memory_order_relaxed)};
 }
 
 HttpServerStats HttpServer::stats() const {
@@ -164,15 +251,72 @@ HttpServerStats HttpServer::stats() const {
   stats.malformed = malformed_.load(std::memory_order_relaxed);
   stats.timeouts = timeouts_.load(std::memory_order_relaxed);
   stats.overload_rejected = overload_rejected_.load(std::memory_order_relaxed);
+  stats.accept_retried = accept_retried_.load(std::memory_order_relaxed);
+  stats.emfile_recoveries =
+      emfile_recoveries_.load(std::memory_order_relaxed);
+  stats.drained = drained_.load(std::memory_order_relaxed);
+  stats.aborted = aborted_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
   return stats;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+HttpServer::deadline_exceeded_by_route() const {
+  std::lock_guard<std::mutex> lock{deadline_mutex_};
+  std::vector<std::pair<std::string, std::uint64_t>> routes{
+      deadline_by_route_.begin(), deadline_by_route_.end()};
+  return routes;
+}
+
+void HttpServer::note_deadline_exceeded(const std::string& route) {
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock{deadline_mutex_};
+  ++deadline_by_route_[route];
+}
+
+/// Answers 503 + Retry-After on a connection we will not serve, then
+/// closes it. Used by both shed paths (queue full, fd exhaustion).
+void HttpServer::shed_connection(int fd) {
+  overload_rejected_.fetch_add(1, std::memory_order_relaxed);
+  HttpResponse response =
+      HttpResponse::json(503, R"({"error":"server overloaded"})");
+  response.headers.emplace_back("Retry-After",
+                                std::to_string(options_.retry_after_hint_s));
+  send_all(fd, render_response(response, false));
+  ::close(fd);
+}
+
 void HttpServer::accept_loop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  auto& faults = fault::FaultInjector::instance();
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
+    const int fd = faults.accept(listen_fd_);
     if (fd < 0) {
-      if (stopping_.load(std::memory_order_acquire)) break;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (stopping_.load(std::memory_order_acquire) ||
+          draining_.load(std::memory_order_acquire)) {
+        break;
+      }
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        accept_retried_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd exhaustion: free the reserve, accept the waiting connection
+        // with it, shed it (503 is better than leaving it in SYN limbo),
+        // then restore the reserve. Without this, accept() fails in a
+        // hot loop while the backlog never shrinks.
+        emfile_recoveries_.fetch_add(1, std::memory_order_relaxed);
+        if (reserve_fd_ >= 0) {
+          ::close(reserve_fd_);
+          reserve_fd_ = -1;
+        }
+        const int victim = ::accept(listen_fd_, nullptr, nullptr);
+        if (victim >= 0) shed_connection(victim);
+        reserve_fd_ = ::open("/dev/null", O_RDONLY);
+        continue;
+      }
       break;  // listen socket is gone; stop() handles the rest
     }
     accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -186,12 +330,7 @@ void HttpServer::accept_loop() {
       }
     }
     if (rejected) {
-      overload_rejected_.fetch_add(1, std::memory_order_relaxed);
-      send_all(fd, render_response(
-                       HttpResponse::json(
-                           503, R"({"error":"server overloaded"})"),
-                       false));
-      ::close(fd);
+      shed_connection(fd);
     } else {
       queue_cv_.notify_one();
     }
@@ -204,9 +343,11 @@ void HttpServer::worker_loop() {
     {
       std::unique_lock<std::mutex> lock{queue_mutex_};
       queue_cv_.wait(lock, [this] {
-        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+        return stopping_.load(std::memory_order_acquire) ||
+               draining_.load(std::memory_order_acquire) ||
+               !pending_.empty();
       });
-      if (pending_.empty()) return;  // only reachable when stopping
+      if (pending_.empty()) return;  // only reachable when stopping/draining
       fd = pending_.front();
       pending_.pop_front();
     }
@@ -215,9 +356,16 @@ void HttpServer::worker_loop() {
       active_fds_.insert(fd);
     }
     serve_connection(fd);
+    bool was_aborted = false;
     {
       std::lock_guard<std::mutex> lock{active_mutex_};
       active_fds_.erase(fd);
+      was_aborted = aborted_fds_.erase(fd) > 0;
+    }
+    if (was_aborted) {
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+    } else if (draining_.load(std::memory_order_acquire)) {
+      drained_.fetch_add(1, std::memory_order_relaxed);
     }
     ::close(fd);
   }
@@ -232,9 +380,26 @@ void HttpServer::serve_connection(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
+  auto& faults = fault::FaultInjector::instance();
   std::string buffer;
   char chunk[4096];
   while (!stopping_.load(std::memory_order_acquire)) {
+    // The deadline covers the whole request: reading it (so a client
+    // trickling one byte per socket-timeout cannot hold a worker
+    // forever), the handler, and queuing the response.
+    const auto started = Clock::now();
+    const auto deadline =
+        started + std::chrono::milliseconds(options_.request_deadline_ms);
+
+    const auto read_deadline_exceeded = [&] {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      note_deadline_exceeded("(read)");
+      send_all(fd, render_response(
+                       HttpResponse::json(
+                           408, R"({"error":"request deadline exceeded"})"),
+                       false));
+    };
+
     // ---- read one request's header block ----
     std::size_t header_len = 0;
     std::size_t body_start = find_header_end(buffer, &header_len);
@@ -247,7 +412,11 @@ void HttpServer::serve_connection(int fd) {
                          false));
         return;
       }
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (!buffer.empty() && Clock::now() >= deadline) {
+        read_deadline_exceeded();
+        return;
+      }
+      const ssize_t n = faults.recv(fd, chunk, sizeof(chunk), 0);
       if (n == 0) return;  // peer closed
       if (n < 0) {
         if (errno == EINTR) continue;
@@ -290,8 +459,16 @@ void HttpServer::serve_connection(int fd) {
     }
     std::size_t body_have = buffer.size() - body_start;
     while (body_have < content_length) {
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) return;
+      if (Clock::now() >= deadline) {
+        read_deadline_exceeded();
+        return;
+      }
+      const ssize_t n = faults.recv(fd, chunk, sizeof(chunk), 0);
+      if (n == 0) return;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
       body_have += static_cast<std::size_t>(n);
       buffer.append(chunk, static_cast<std::size_t>(n));
     }
@@ -307,20 +484,31 @@ void HttpServer::serve_connection(int fd) {
     } else {
       responses_2xx_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (!send_all(fd, render_response(response, request.keep_alive))) return;
-    if (!request.keep_alive) return;
+    if (Clock::now() >= deadline) {
+      // The response is still sent (it is ready and the client is live);
+      // the overrun is recorded per route so operators can see which
+      // endpoints blow their budget.
+      note_deadline_exceeded(request.path);
+    }
+    // During a drain the response closes the connection: keep-alive loops
+    // would otherwise pin the drain until its deadline.
+    const bool keep_alive = request.keep_alive &&
+                            !draining_.load(std::memory_order_acquire) &&
+                            !stopping_.load(std::memory_order_acquire);
+    if (!send_all(fd, render_response(response, keep_alive))) return;
+    if (!keep_alive) return;
   }
 }
 
 HttpResponse HttpServer::dispatch(const HttpRequest& request) {
-  if (request.method != "GET") {
-    return HttpResponse::json(405, R"({"error":"only GET is supported"})");
-  }
   if (request.path == "/healthz") {
     return HttpResponse::json(200, R"({"status":"ok"})");
   }
   if (request.path == "/statsz") {
     return HttpResponse::json(200, statsz_body());
+  }
+  if (request.method != "GET" && request.method != "POST") {
+    return HttpResponse::json(405, R"({"error":"method not allowed"})");
   }
   if (!handler_) {
     return HttpResponse::json(404, R"({"error":"no handler registered"})");
@@ -340,7 +528,19 @@ std::string HttpServer::statsz_body() const {
   json.field("responses_5xx", s.responses_5xx);
   json.field("malformed", s.malformed);
   json.field("timeouts", s.timeouts);
-  json.field("overload_rejected", s.overload_rejected);
+  json.end_object();
+  json.key("resilience").begin_object();
+  json.field("shed", s.overload_rejected);
+  json.field("accept_retried", s.accept_retried);
+  json.field("emfile_recoveries", s.emfile_recoveries);
+  json.field("drained", s.drained);
+  json.field("aborted", s.aborted);
+  json.field("deadline_exceeded", s.deadline_exceeded);
+  json.key("deadline_exceeded_by_route").begin_object();
+  for (const auto& [route, count] : deadline_exceeded_by_route()) {
+    json.field(route, count);
+  }
+  json.end_object();
   json.end_object();
   json.field("workers", options_.worker_threads);
   if (options_.stats_supplement) {

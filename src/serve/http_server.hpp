@@ -3,15 +3,29 @@
 // Concurrency model: one acceptor thread pushes connections onto a
 // bounded queue; a fixed pool of worker threads pops them and serves
 // keep-alive request loops. When the queue is full the acceptor sheds
-// load with an immediate 503 instead of letting the backlog grow — the
-// bound, not the kernel backlog, is the system's admission control.
-// Per-request recv/send timeouts (SO_RCVTIMEO/SO_SNDTIMEO) bound how long
-// a slow or dead client can pin a worker.
+// load with an immediate 503 + Retry-After instead of letting the backlog
+// grow — the bound, not the kernel backlog, is the system's admission
+// control. Per-request recv/send timeouts (SO_RCVTIMEO/SO_SNDTIMEO) bound
+// how long a slow or dead client can pin a worker, and a total per-request
+// deadline bounds slow-trickle (slowloris-style) uploads that would
+// otherwise reset the socket timeout byte by byte.
 //
-// /healthz and /statsz are answered by the server itself; everything else
-// goes to the registered handler. Only GET is routed (anything else is
-// 405), and a request that cannot be parsed is answered 400 and the
-// connection closed.
+// Robustness: the accept loop retries EINTR/ECONNABORTED and survives fd
+// exhaustion (EMFILE/ENFILE) via a reserved emergency fd — close it,
+// accept the waiting connection, close that, reopen the reserve — instead
+// of spinning. All socket syscalls route through the deterministic
+// fault-injection layer (serve/fault_inject.*), which is zero-cost unless
+// a chaos test arms it.
+//
+// Shutdown comes in two shapes: stop() aborts everything immediately;
+// drain() stops accepting, lets in-flight connections finish within a
+// deadline, force-closes stragglers, and reports drained/aborted counts.
+//
+// /healthz and /statsz are answered by the server itself; GET and POST
+// are routed to the registered handler (which owns method policy for its
+// routes — the bundled AsrelService 405s POST everywhere except
+// /reloadz); other methods are 405. A request that cannot be parsed is
+// answered 400 and the connection closed.
 #pragma once
 
 #include <atomic>
@@ -22,6 +36,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -34,9 +49,14 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers (e.g. Retry-After), rendered verbatim.
+  std::vector<std::pair<std::string, std::string>> headers;
 
   [[nodiscard]] static HttpResponse json(int status, std::string body) {
-    return HttpResponse{.status = status, .body = std::move(body)};
+    HttpResponse response;
+    response.status = status;
+    response.body = std::move(body);
+    return response;
   }
 };
 
@@ -48,7 +68,18 @@ struct HttpServerStats {
   std::uint64_t responses_5xx = 0;
   std::uint64_t malformed = 0;
   std::uint64_t timeouts = 0;
-  std::uint64_t overload_rejected = 0;
+  std::uint64_t overload_rejected = 0;   ///< shed with 503 at admission
+  std::uint64_t accept_retried = 0;      ///< EINTR/ECONNABORTED retries
+  std::uint64_t emfile_recoveries = 0;   ///< fd-exhaustion emergency path
+  std::uint64_t drained = 0;             ///< connections finished in drain
+  std::uint64_t aborted = 0;             ///< connections force-closed
+  std::uint64_t deadline_exceeded = 0;   ///< requests over the deadline
+};
+
+/// Outcome of a graceful drain (subset of stats, for the caller's log).
+struct DrainReport {
+  std::uint64_t drained = 0;
+  std::uint64_t aborted = 0;
 };
 
 struct HttpServerOptions {
@@ -56,7 +87,10 @@ struct HttpServerOptions {
   int worker_threads = 4;
   int listen_backlog = 128;
   std::size_t max_pending_connections = 256;  ///< bounded accept queue
-  int request_timeout_ms = 5000;
+  int request_timeout_ms = 5000;   ///< per-recv/send socket timeout
+  int request_deadline_ms = 10000; ///< total wall clock per request
+  int drain_deadline_ms = 5000;    ///< grace period for drain()
+  int retry_after_hint_s = 1;      ///< Retry-After on shed 503s
   std::size_t max_request_bytes = 16 * 1024;
   /// Extra JSON object spliced into /statsz under "app" (e.g. cache hit
   /// rates). Must return a valid JSON object or an empty string.
@@ -77,9 +111,15 @@ class HttpServer {
   /// fills `*error` on socket errors (port in use, ...).
   [[nodiscard]] bool start(std::string* error = nullptr);
 
-  /// Stops accepting, shuts down in-flight connections, joins all
-  /// threads. Idempotent; also called by the destructor.
+  /// Hard stop: closes everything immediately, joins all threads.
+  /// Idempotent; also called by the destructor.
   void stop();
+
+  /// Graceful stop: stops accepting, serves queued + in-flight
+  /// connections to completion within options.drain_deadline_ms, then
+  /// force-closes the rest. Idempotent with stop(); returns how many
+  /// connections finished vs were aborted.
+  DrainReport drain();
 
   /// The bound port (useful with port = 0). Valid after start().
   [[nodiscard]] std::uint16_t port() const { return bound_port_; }
@@ -90,20 +130,30 @@ class HttpServer {
 
   [[nodiscard]] HttpServerStats stats() const;
 
+  /// Routes that blew their deadline, with counts; "(read)" covers
+  /// requests that timed out before the route was known.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  deadline_exceeded_by_route() const;
+
  private:
   void accept_loop();
   void worker_loop();
   void serve_connection(int fd);
+  void shed_connection(int fd);
+  void note_deadline_exceeded(const std::string& route);
   [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
   [[nodiscard]] std::string statsz_body() const;
+  void join_all();
 
   Handler handler_;
   HttpServerOptions options_;
 
   int listen_fd_ = -1;
+  int reserve_fd_ = -1;  ///< emergency fd released to survive EMFILE
   std::uint16_t bound_port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;
@@ -112,8 +162,12 @@ class HttpServer {
   std::condition_variable queue_cv_;
   std::deque<int> pending_;
 
-  std::mutex active_mutex_;
+  mutable std::mutex active_mutex_;
   std::unordered_set<int> active_fds_;
+  std::unordered_set<int> aborted_fds_;  ///< force-closed during drain
+
+  mutable std::mutex deadline_mutex_;
+  std::unordered_map<std::string, std::uint64_t> deadline_by_route_;
 
   // stats (relaxed atomics; read as a snapshot)
   std::atomic<std::uint64_t> accepted_{0};
@@ -124,6 +178,11 @@ class HttpServer {
   std::atomic<std::uint64_t> malformed_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> overload_rejected_{0};
+  std::atomic<std::uint64_t> accept_retried_{0};
+  std::atomic<std::uint64_t> emfile_recoveries_{0};
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<std::uint64_t> aborted_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
 };
 
 }  // namespace asrel::serve

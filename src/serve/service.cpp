@@ -150,6 +150,20 @@ HttpResponse handle_links(const QueryEngine& engine,
   return HttpResponse::json(200, std::move(json).str());
 }
 
+/// POST /reloadz: synchronous snapshot swap. 200 with the new epoch on
+/// success; 503 with the diagnosis (and the old epoch still serving) on
+/// failure — an operator retry loop can key off the status alone.
+HttpResponse handle_reload(EngineHub& hub) {
+  const EngineHub::ReloadResult result = hub.reload();
+  JsonWriter json;
+  json.begin_object();
+  json.field("ok", result.ok);
+  json.field("epoch", result.epoch);
+  if (!result.ok) json.field("error", result.error);
+  json.end_object();
+  return HttpResponse::json(result.ok ? 200 : 503, std::move(json).str());
+}
+
 HttpResponse handle_snapshot_info(const QueryEngine& engine) {
   const io::Snapshot& snapshot = engine.snapshot();
   JsonWriter json;
@@ -174,13 +188,26 @@ HttpResponse handle_snapshot_info(const QueryEngine& engine) {
 
 HttpResponse AsrelService::handle(const HttpRequest& request) const {
   const std::string& path = request.path;
-  if (path == "/rel") return handle_rel(*engine_, request);
-  if (path == "/as") return handle_as(*engine_, request);
-  if (path == "/links") return handle_links(*engine_, request);
-  if (path == "/snapshot") return handle_snapshot_info(*engine_);
+
+  if (request.method == "POST") {
+    if (path == "/reloadz") return handle_reload(*hub_);
+    return HttpResponse::json(405, R"({"error":"only GET is supported"})");
+  }
+  if (request.method != "GET") {
+    return HttpResponse::json(405, R"({"error":"only GET is supported"})");
+  }
+
+  // Pin one epoch for the whole request: a concurrent reload publishes a
+  // new engine, but this request finishes on the snapshot it started on.
+  const std::shared_ptr<const QueryEngine> engine = hub_->current();
+
+  if (path == "/rel") return handle_rel(*engine, request);
+  if (path == "/as") return handle_as(*engine, request);
+  if (path == "/links") return handle_links(*engine, request);
+  if (path == "/snapshot") return handle_snapshot_info(*engine);
   if (path == "/report/regional" || path == "/report/topological") {
     const std::string key = path.substr(sizeof("/report/") - 1);
-    if (auto report = engine_->report_json(key)) {
+    if (auto report = engine->report_json(key)) {
       return HttpResponse::json(200, *report);
     }
     return not_found("unknown report");
@@ -190,7 +217,7 @@ HttpResponse AsrelService::handle(const HttpRequest& request) const {
     if (algo == nullptr || algo->empty()) {
       return bad_request("expected query parameter algo");
     }
-    if (auto report = engine_->report_json("table:" + *algo)) {
+    if (auto report = engine->report_json("table:" + *algo)) {
       return HttpResponse::json(200, *report);
     }
     return not_found("unknown algorithm");
@@ -199,7 +226,9 @@ HttpResponse AsrelService::handle(const HttpRequest& request) const {
 }
 
 std::string AsrelService::stats_json() const {
-  const CacheStats cache = engine_->cache_stats();
+  const std::shared_ptr<const QueryEngine> engine = hub_->current();
+  const CacheStats cache = engine->cache_stats();
+  const EngineHub::Stats reload = hub_->stats();
   JsonWriter json;
   json.begin_object();
   json.key("report_cache").begin_object();
@@ -208,8 +237,16 @@ std::string AsrelService::stats_json() const {
   json.field("entries", cache.entries);
   json.field("hit_rate", cache.hit_rate());
   json.end_object();
-  json.field("observed_links", engine_->snapshot().links.size());
-  json.field("validation_labels", engine_->snapshot().validation.size());
+  json.key("reload").begin_object();
+  json.field("epoch", reload.epoch);
+  json.field("ok", reload.reloads_ok);
+  json.field("failed", reload.reloads_failed);
+  if (!reload.last_error.empty()) {
+    json.field("last_error", reload.last_error);
+  }
+  json.end_object();
+  json.field("observed_links", engine->snapshot().links.size());
+  json.field("validation_labels", engine->snapshot().validation.size());
   json.end_object();
   return std::move(json).str();
 }

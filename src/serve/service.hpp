@@ -3,7 +3,7 @@
 // HttpServer so tests can exercise the routes without sockets, and from
 // QueryEngine so the engine stays transport-agnostic.
 //
-// Routes (all GET):
+// Routes (GET unless noted):
 //   /rel?a=ASN&b=ASN        point lookup: truth + verdicts + validation
 //   /as?asn=ASN             per-AS summary card
 //   /links?limit=N          deterministic sample of visible links
@@ -11,12 +11,17 @@
 //   /report/topological     Fig. 2 coverage (cached)
 //   /report/table?algo=A    Tables 1-3 for algorithm A (cached)
 //   /snapshot               snapshot provenance + section sizes
+//   POST /reloadz           swap in a fresh snapshot (see EngineHub)
 // (/healthz and /statsz are answered by HttpServer itself.)
+//
+// Every request pins the engine epoch once, up front: a hot reload that
+// lands mid-request cannot change the answer halfway through.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "serve/engine_hub.hpp"
 #include "serve/http_server.hpp"
 #include "serve/query_engine.hpp"
 
@@ -24,20 +29,25 @@ namespace asrel::serve {
 
 class AsrelService {
  public:
+  explicit AsrelService(std::shared_ptr<EngineHub> hub)
+      : hub_(std::move(hub)) {}
+
+  /// Static deployments: wraps the engine in a hub with no reload loader
+  /// (POST /reloadz then fails cleanly with 503).
   explicit AsrelService(std::shared_ptr<const QueryEngine> engine)
-      : engine_(std::move(engine)) {}
+      : hub_(std::make_shared<EngineHub>(std::move(engine))) {}
 
   /// The HttpServer handler.
   [[nodiscard]] HttpResponse handle(const HttpRequest& request) const;
 
-  /// JSON object with engine-side stats, for HttpServer's /statsz
+  /// JSON object with engine + reload stats, for HttpServer's /statsz
   /// supplement hook.
   [[nodiscard]] std::string stats_json() const;
 
-  [[nodiscard]] const QueryEngine& engine() const { return *engine_; }
+  [[nodiscard]] EngineHub& hub() const { return *hub_; }
 
  private:
-  std::shared_ptr<const QueryEngine> engine_;
+  std::shared_ptr<EngineHub> hub_;
 };
 
 }  // namespace asrel::serve

@@ -2,12 +2,21 @@
 //
 //   asrel_loadgen --port P [--host 127.0.0.1] [--connections C]
 //                 [--duration-ms MS | --requests N] [--mode rel|mixed]
+//                 [--retries R] [--backoff-us US] [--jitter-seed S]
 //
 // Opens C persistent (keep-alive) connections, fetches a sample of real
 // links from /links, then hammers /rel point lookups (plus periodic
 // aggregate-report hits in --mode mixed), and reports achieved QPS and
-// p50/p90/p99 latency. Any non-200 response or transport error counts as
-// an error; the tool exits non-zero if any occurred.
+// p50/p90/p99 latency.
+//
+// Responses are bucketed three ways: success (200), shed (503 — the
+// server's admission control asked us to back off; this is the server
+// working as designed, not an error), and error (transport failure or any
+// other status). Connect failures and sheds are retried with jittered
+// exponential backoff (base --backoff-us, doubling per attempt, up to
+// --retries attempts per request); the jitter stream is seeded so two
+// runs with the same seed replay the same backoff schedule. The tool
+// exits non-zero only if true errors occurred.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -34,12 +43,17 @@ struct Args {
   long duration_ms = 3000;
   long requests = 0;  ///< 0 = use duration
   std::string mode = "rel";
+  int retries = 3;           ///< extra attempts per request on connect/5xx
+  long backoff_us = 2000;    ///< first backoff; doubles per attempt
+  std::uint64_t jitter_seed = 1;
 };
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: asrel_loadgen --port P [--host H] [--connections C]\n"
-               "       [--duration-ms MS | --requests N] [--mode rel|mixed]\n");
+  std::fprintf(
+      stderr,
+      "usage: asrel_loadgen --port P [--host H] [--connections C]\n"
+      "       [--duration-ms MS | --requests N] [--mode rel|mixed]\n"
+      "       [--retries R] [--backoff-us US] [--jitter-seed S]\n");
   return 2;
 }
 
@@ -60,6 +74,12 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.requests = std::atol(value);
     } else if (flag == "--mode") {
       args.mode = value;
+    } else if (flag == "--retries") {
+      args.retries = std::atoi(value);
+    } else if (flag == "--backoff-us") {
+      args.backoff_us = std::atol(value);
+    } else if (flag == "--jitter-seed") {
+      args.jitter_seed = std::strtoull(value, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return std::nullopt;
@@ -67,7 +87,28 @@ std::optional<Args> parse_args(int argc, char** argv) {
   }
   if (args.port <= 0 || args.connections <= 0) return std::nullopt;
   if (args.mode != "rel" && args.mode != "mixed") return std::nullopt;
+  if (args.retries < 0) args.retries = 0;
   return args;
+}
+
+/// SplitMix64: deterministic jitter so a backoff schedule can be replayed.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Exponential backoff with full jitter: sleep uniform[0, base << attempt).
+void backoff_sleep(long base_us, int attempt, std::uint64_t& rng) {
+  const long window = base_us << std::min(attempt, 16);
+  const long sleep_us =
+      window <= 0 ? 0 : static_cast<long>(splitmix64(rng) %
+                                          static_cast<std::uint64_t>(window));
+  if (sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
 }
 
 /// One persistent keep-alive HTTP connection.
@@ -138,7 +179,14 @@ class Connection {
     if (body != nullptr) {
       *body = data.substr(header_end + 4, content_length);
     }
-    leftover_ = data.substr(total);
+    // A shed or error response carries "Connection: close": the server
+    // will not read another request on this socket.
+    if (data.find("Connection: close") < header_end) {
+      leftover_.clear();
+      close();
+    } else {
+      leftover_ = data.substr(total);
+    }
     return status;
   }
 
@@ -195,8 +243,11 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> parse_links(
 
 struct WorkerResult {
   std::vector<double> latencies_us;
-  long requests = 0;
-  long errors = 0;
+  long requests = 0;   ///< requests attempted (not counting retries)
+  long success = 0;    ///< final status 200
+  long shed = 0;       ///< saw at least one 503 (even if a retry succeeded)
+  long retried = 0;    ///< retry attempts spent
+  long errors = 0;     ///< exhausted retries without a 200/503, or hard fail
 };
 
 double percentile(std::vector<double>& sorted, double p) {
@@ -249,11 +300,8 @@ int main(int argc, char** argv) {
   for (int w = 0; w < args->connections; ++w) {
     workers.emplace_back([&, w] {
       WorkerResult& result = results[static_cast<std::size_t>(w)];
+      std::uint64_t rng = args->jitter_seed + static_cast<std::uint64_t>(w);
       Connection connection;
-      if (!connection.open(args->host, args->port)) {
-        ++result.errors;
-        return;
-      }
       std::size_t cursor = static_cast<std::size_t>(w) * 7919;
       const char* reports[] = {"/report/regional", "/report/topological",
                                "/report/table?algo=asrank"};
@@ -267,19 +315,47 @@ int main(int argc, char** argv) {
           path = "/rel?a=" + std::to_string(a) + "&b=" + std::to_string(b);
         }
         ++cursor;
-        const auto t0 = std::chrono::steady_clock::now();
-        const int status = connection.get(path);
-        const auto t1 = std::chrono::steady_clock::now();
         ++result.requests;
-        if (status != 200) {
-          ++result.errors;
-          if (status < 0 && !connection.open(args->host, args->port)) {
-            return;  // server gone
+
+        // One request = up to 1 + retries attempts. Connect failures and
+        // 503 sheds back off (jittered exponential) and retry; anything
+        // else resolves the request immediately.
+        bool resolved = false;
+        for (int attempt = 0; attempt <= args->retries; ++attempt) {
+          if (attempt > 0) {
+            ++result.retried;
+            backoff_sleep(args->backoff_us, attempt - 1, rng);
           }
-          continue;
+          if (!connection.is_open() &&
+              !connection.open(args->host, args->port)) {
+            continue;  // connect refused/reset: back off and retry
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          const int status = connection.get(path);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (status == 200) {
+            ++result.success;
+            result.latencies_us.push_back(
+                std::chrono::duration<double, std::micro>(t1 - t0).count());
+            resolved = true;
+            break;
+          }
+          if (status == 503) {
+            // Shed by admission control: record it, back off, retry.
+            ++result.shed;
+            resolved = true;  // server answered; not an error even if
+                              // every retry is shed too
+            continue;
+          }
+          if (status < 0) {
+            connection.close();  // transport failure: reconnect on retry
+            continue;
+          }
+          ++result.errors;  // unexpected status (4xx/5xx): no retry
+          resolved = true;
+          break;
         }
-        result.latencies_us.push_back(
-            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        if (!resolved) ++result.errors;  // retry budget exhausted
       }
     });
   }
@@ -290,19 +366,25 @@ int main(int argc, char** argv) {
 
   // ---- report ----
   std::vector<double> latencies;
-  long total = 0, errors = 0;
+  long total = 0, success = 0, shed = 0, retried = 0, errors = 0;
   for (auto& result : results) {
     total += result.requests;
+    success += result.success;
+    shed += result.shed;
+    retried += result.retried;
     errors += result.errors;
     latencies.insert(latencies.end(), result.latencies_us.begin(),
                      result.latencies_us.end());
   }
   std::sort(latencies.begin(), latencies.end());
   std::printf("requests:    %ld\n", total);
+  std::printf("success:     %ld\n", success);
+  std::printf("shed (503):  %ld\n", shed);
+  std::printf("retries:     %ld\n", retried);
   std::printf("errors:      %ld\n", errors);
   std::printf("elapsed:     %.3f s\n", elapsed_s);
   std::printf("throughput:  %.0f req/s\n",
-              elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0);
+              elapsed_s > 0 ? static_cast<double>(success) / elapsed_s : 0.0);
   std::printf("latency p50: %.0f us\n", percentile(latencies, 0.50));
   std::printf("latency p90: %.0f us\n", percentile(latencies, 0.90));
   std::printf("latency p99: %.0f us\n", percentile(latencies, 0.99));

@@ -8,6 +8,13 @@
 //       Run the batch pipeline once (minutes at paper scale), optionally
 //       persist the snapshot, then serve it.
 //
+// Operations:
+//   SIGHUP          hot-reload the snapshot file (zero downtime; in-flight
+//                   requests finish on the old epoch)
+//   POST /reloadz   same swap over HTTP; answers the new epoch or the error
+//   SIGINT/SIGTERM  graceful drain: stop accepting, finish in-flight
+//                   connections within --drain-ms, then exit
+//
 // Endpoints: /rel /as /links /report/{regional,topological} /report/table
 // /snapshot /healthz /statsz — see src/serve/service.hpp.
 #include <atomic>
@@ -23,6 +30,7 @@
 #include "core/scenario.hpp"
 #include "core/snapshot_builder.hpp"
 #include "io/snapshot.hpp"
+#include "serve/engine_hub.hpp"
 #include "serve/http_server.hpp"
 #include "serve/service.hpp"
 
@@ -39,6 +47,8 @@ struct Args {
   int port = 8642;
   int threads = 4;
   int timeout_ms = 5000;
+  int deadline_ms = 10000;
+  int drain_ms = 5000;
 };
 
 int usage() {
@@ -46,8 +56,10 @@ int usage() {
       stderr,
       "usage:\n"
       "  asrel_serve --snapshot FILE [--port P] [--threads N]\n"
+      "              [--timeout-ms MS] [--deadline-ms MS] [--drain-ms MS]\n"
       "  asrel_serve --generate [--as-count N] [--seed S] [--save FILE]\n"
-      "              [--port P] [--threads N]\n");
+      "              [--port P] [--threads N]\n"
+      "signals: SIGHUP = hot snapshot reload, SIGINT/SIGTERM = drain+exit\n");
   return 2;
 }
 
@@ -75,6 +87,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.threads = std::atoi(value);
     } else if (flag == "--timeout-ms") {
       args.timeout_ms = std::atoi(value);
+    } else if (flag == "--deadline-ms") {
+      args.deadline_ms = std::atoi(value);
+    } else if (flag == "--drain-ms") {
+      args.drain_ms = std::atoi(value);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i - 1]);
       return std::nullopt;
@@ -85,8 +101,14 @@ std::optional<Args> parse_args(int argc, char** argv) {
 }
 
 std::atomic<bool> g_shutdown{false};
+serve::EngineHub* g_hub = nullptr;  ///< for the SIGHUP handler only
 
-void on_signal(int) { g_shutdown.store(true); }
+void on_shutdown_signal(int) { g_shutdown.store(true); }
+
+// Async-signal-safe: just flips an atomic flag; the main loop reloads.
+void on_sighup(int) {
+  if (g_hub != nullptr) g_hub->request_reload();
+}
 
 }  // namespace
 
@@ -138,14 +160,27 @@ int main(int argc, char** argv) {
       snapshot.ases.size(), snapshot.edges.size(), snapshot.links.size(),
       snapshot.validation.size());
 
-  const auto engine =
-      std::make_shared<const serve::QueryEngine>(std::move(snapshot));
-  serve::AsrelService service{engine};
+  // Reloads re-read the file the daemon serves from: --snapshot when
+  // loading, --save when generating. Without a path, reloads fail closed.
+  const std::string reload_path =
+      !args->snapshot.empty() ? args->snapshot : args->save;
+  serve::EngineHub::SnapshotLoader loader;
+  if (!reload_path.empty()) {
+    loader = [reload_path](std::string* error) {
+      return io::load_snapshot_file(reload_path, error);
+    };
+  }
+  const auto hub = std::make_shared<serve::EngineHub>(
+      std::make_shared<const serve::QueryEngine>(std::move(snapshot)),
+      std::move(loader));
+  serve::AsrelService service{hub};
 
   serve::HttpServerOptions options;
   options.port = static_cast<std::uint16_t>(args->port);
   options.worker_threads = args->threads;
   options.request_timeout_ms = args->timeout_ms;
+  options.request_deadline_ms = args->deadline_ms;
+  options.drain_deadline_ms = args->drain_ms;
   options.stats_supplement = [&service] { return service.stats_json(); };
   serve::HttpServer server{
       [&service](const serve::HttpRequest& request) {
@@ -158,21 +193,42 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
-  std::fprintf(stderr, "serving on port %u with %d workers (Ctrl-C stops)\n",
+  g_hub = hub.get();
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+  std::signal(SIGHUP, on_sighup);
+  std::fprintf(stderr,
+               "serving on port %u with %d workers "
+               "(SIGHUP reloads, Ctrl-C drains)\n",
                server.port(), args->threads);
 
   while (!g_shutdown.load()) {
+    if (hub->take_reload_request()) {
+      const auto result = hub->reload();
+      if (result.ok) {
+        std::fprintf(stderr, "reloaded %s (epoch %llu)\n",
+                     reload_path.c_str(),
+                     static_cast<unsigned long long>(result.epoch));
+      } else {
+        std::fprintf(stderr,
+                     "reload failed, still serving epoch %llu: %s\n",
+                     static_cast<unsigned long long>(result.epoch),
+                     result.error.c_str());
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  std::fprintf(stderr, "shutting down...\n");
-  server.stop();
+  std::fprintf(stderr, "draining (deadline %d ms)...\n", args->drain_ms);
+  const serve::DrainReport drained = server.drain();
+  g_hub = nullptr;
   const auto stats = server.stats();
   std::fprintf(stderr,
-               "served %llu requests (%llu connections, %llu rejected)\n",
+               "served %llu requests (%llu connections, %llu shed); "
+               "drain: %llu finished, %llu aborted\n",
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.accepted),
-               static_cast<unsigned long long>(stats.overload_rejected));
+               static_cast<unsigned long long>(stats.overload_rejected),
+               static_cast<unsigned long long>(drained.drained),
+               static_cast<unsigned long long>(drained.aborted));
   return 0;
 }
