@@ -2,8 +2,10 @@
 //
 // Every bench builds the same default scenario (the "April 2018 snapshot" of
 // the simulated world) and caches it per process. The world size can be
-// overridden with the ASREL_AS_COUNT environment variable (default 12000)
-// and the seed with ASREL_SEED (default 42) to study scale/seed stability.
+// overridden with the ASREL_AS_COUNT environment variable (default 12000),
+// the seed with ASREL_SEED (default 42) to study scale/seed stability, and
+// the worker count with ASREL_THREADS (default 0 = auto; results are
+// byte-identical for every setting).
 #pragma once
 
 #include <algorithm>
@@ -34,6 +36,7 @@ inline core::ScenarioParams default_params() {
   params.topology.as_count = env_int("ASREL_AS_COUNT", 12000);
   params.topology.seed =
       static_cast<std::uint64_t>(env_int("ASREL_SEED", 42));
+  params.threads = static_cast<unsigned>(env_int("ASREL_THREADS", 0));
   return params;
 }
 
@@ -73,8 +76,10 @@ inline const infer::AsRankResult& asrank() {
 inline const infer::ProbLinkResult& problink() {
   static const infer::ProbLinkResult result = [] {
     std::printf("[setup] running ProbLink ...\n");
+    infer::ProbLinkParams params;
+    params.threads = scenario().params().threads;
     return infer::run_problink(scenario().observed(), asrank(),
-                               scenario().validation());
+                               scenario().validation(), params);
   }();
   return result;
 }
@@ -82,8 +87,10 @@ inline const infer::ProbLinkResult& problink() {
 inline const infer::TopoScopeResult& toposcope() {
   static const infer::TopoScopeResult result = [] {
     std::printf("[setup] running TopoScope ...\n");
+    infer::TopoScopeParams params;
+    params.threads = scenario().params().threads;
     return infer::run_toposcope(scenario().observed(), asrank(),
-                                scenario().validation());
+                                scenario().validation(), params);
   }();
   return result;
 }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <thread>
 
+#include "core/parallel.hpp"
+
 namespace asrel::bgp {
 
 namespace {
@@ -339,60 +341,51 @@ PathTable collect_paths(const Propagator& propagator,
   }
   table.set_vantage_points(std::move(vps));
 
+  // threads == 0 auto-sizes to hardware concurrency, capped at 32 so the
+  // auto default stays sane on very wide machines; an *explicit* setting is
+  // honored as-is, above or below the cap.
   unsigned thread_count = propagator.params().threads;
   if (thread_count == 0) {
-    thread_count = std::max(1u, std::thread::hardware_concurrency());
+    thread_count =
+        std::min(32u, std::max(1u, std::thread::hardware_concurrency()));
   }
-  thread_count = std::min<unsigned>(thread_count, 32);
 
-  const auto worker = [&](unsigned worker_index) {
-    std::vector<asn::Asn> scratch;
-    for (std::size_t origin = worker_index; origin < n;
-         origin += thread_count) {
-      const asn::Asn origin_asn = graph.asn_of(static_cast<NodeId>(origin));
-      const OriginRib rib = propagator.propagate(origin_asn);
-      const auto leak = propagator.leaked_private_asn(origin_asn);
-      for (std::uint32_t vp_index = 0; vp_index < vp_nodes.size();
-           ++vp_index) {
-        const auto& vp = vp_nodes[vp_index];
-        if (!rib.reachable(vp.node)) continue;
-        if (vp.node == rib.origin) continue;  // own announcement
-        // Partial feeds export only customer/sibling routes to collectors.
-        if (!vp.full_feed &&
-            rib.pref[vp.node] !=
-                static_cast<std::uint8_t>(RoutePref::kCustomer)) {
-          continue;
-        }
-        scratch = propagator.path_at(rib, vp.node);
-        if (leak) scratch.push_back(*leak);
-        if (vp.legacy) {
-          // Mangling is rare: AS4_PATH usually restores the 32-bit hops.
-          const std::uint64_t h = mix(origin_asn.value(), vp.node,
-                                      propagator.params().salt ^ 0x16B17ull);
-          const double roll = static_cast<double>(h >> 11) * 0x1.0p-53;
-          if (roll < propagator.params().legacy_mangle) {
-            for (auto& hop : scratch) {
-              if (!hop.is_16bit()) hop = asn::kAsTrans;
+  // Each origin writes only its own bucket, so origins parallelize freely;
+  // the path count is fixed up below because add_path's counter is not
+  // synchronized.
+  core::ThreadPool::shared().run_indexed(
+      n, thread_count, [&](std::size_t origin) {
+        const asn::Asn origin_asn = graph.asn_of(static_cast<NodeId>(origin));
+        const OriginRib rib = propagator.propagate(origin_asn);
+        const auto leak = propagator.leaked_private_asn(origin_asn);
+        std::vector<asn::Asn> scratch;
+        for (std::uint32_t vp_index = 0; vp_index < vp_nodes.size();
+             ++vp_index) {
+          const auto& vp = vp_nodes[vp_index];
+          if (!rib.reachable(vp.node)) continue;
+          if (vp.node == rib.origin) continue;  // own announcement
+          // Partial feeds export only customer/sibling routes to collectors.
+          if (!vp.full_feed &&
+              rib.pref[vp.node] !=
+                  static_cast<std::uint8_t>(RoutePref::kCustomer)) {
+            continue;
+          }
+          scratch = propagator.path_at(rib, vp.node);
+          if (leak) scratch.push_back(*leak);
+          if (vp.legacy) {
+            // Mangling is rare: AS4_PATH usually restores the 32-bit hops.
+            const std::uint64_t h = mix(origin_asn.value(), vp.node,
+                                        propagator.params().salt ^ 0x16B17ull);
+            const double roll = static_cast<double>(h >> 11) * 0x1.0p-53;
+            if (roll < propagator.params().legacy_mangle) {
+              for (auto& hop : scratch) {
+                if (!hop.is_16bit()) hop = asn::kAsTrans;
+              }
             }
           }
+          table.add_path(static_cast<NodeId>(origin), vp_index, scratch);
         }
-        table.add_path(static_cast<NodeId>(origin), vp_index, scratch);
-      }
-    }
-  };
-
-  if (thread_count <= 1) {
-    worker(0);
-  } else {
-    // Each worker writes to disjoint origin buckets; counts are fixed up
-    // below because add_path's counter is not synchronized.
-    std::vector<std::thread> threads;
-    threads.reserve(thread_count);
-    for (unsigned t = 0; t < thread_count; ++t) {
-      threads.emplace_back(worker, t);
-    }
-    for (auto& thread : threads) thread.join();
-  }
+      });
   table.recount();
   return table;
 }

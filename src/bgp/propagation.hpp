@@ -48,7 +48,11 @@ struct PropagationParams {
   /// the 32-bit path (AS4_PATH loss) and shows AS_TRANS placeholders.
   double legacy_mangle = 0.005;
   std::uint64_t salt = 0x9E3779B97F4A7C15ull;  ///< hash salt for det. choices
-  unsigned threads = 0;  ///< 0 = hardware concurrency
+  /// Worker count for collect_paths. 0 auto-sizes to hardware concurrency
+  /// (capped at 32); any explicit value — including one above 32 — is
+  /// honored exactly. The observed paths are byte-identical for every
+  /// setting; this knob only trades wall-clock for cores.
+  unsigned threads = 0;
 };
 
 /// Best routes of every AS toward one origin.

@@ -2,33 +2,58 @@
 
 #include <unordered_set>
 
+#include "core/parallel.hpp"
 #include "eval/ppdc.hpp"
 
 namespace asrel::core {
 
-BiasAudit::BiasAudit(const Scenario& scenario)
+BiasAudit::BiasAudit(const Scenario& scenario, unsigned threads)
     : scenario_(&scenario),
       topo_(eval::TopoClassifier::from_world(scenario.world())) {
   const auto& observed = scenario.observed();
   inferred_links_.assign(observed.link_order().begin(),
                          observed.link_order().end());
 
+  // Tabulate both class names per link up front. The classifiers are pure
+  // functions of read-only state, so the links partition freely across
+  // workers; slots land by index, making the caches (and everything derived
+  // from them) independent of the thread count.
+  core::ThreadPool& pool = core::ThreadPool::shared();
+  const unsigned workers = core::ThreadPool::effective_threads(threads);
+  regional_cache_.resize(inferred_links_.size());
+  topological_cache_.resize(inferred_links_.size());
+  pool.run_indexed(inferred_links_.size(), workers, [&](std::size_t i) {
+    regional_cache_[i] =
+        eval::regional_class(scenario_->region_mapper(), inferred_links_[i]);
+    topological_cache_[i] = topo_.class_of(inferred_links_[i]);
+  });
+  link_slot_.reserve(inferred_links_.size());
+  for (std::size_t i = 0; i < inferred_links_.size(); ++i) {
+    link_slot_.emplace(inferred_links_[i], static_cast<std::uint32_t>(i));
+  }
+
   std::unordered_set<val::AsLink> validated;
   for (const auto& label : scenario.validation()) validated.insert(label.link);
 
-  for (const auto& link : inferred_links_) {
-    if (topological_class_of(link) == "TR°") {
-      transit_links_.push_back(link);
-      if (validated.contains(link)) validated_transit_links_.push_back(link);
+  for (std::size_t i = 0; i < inferred_links_.size(); ++i) {
+    if (topological_cache_[i] == "TR°") {
+      transit_links_.push_back(inferred_links_[i]);
+      if (validated.contains(inferred_links_[i])) {
+        validated_transit_links_.push_back(inferred_links_[i]);
+      }
     }
   }
 }
 
 std::string BiasAudit::regional_class_of(const val::AsLink& link) const {
+  const auto it = link_slot_.find(link);
+  if (it != link_slot_.end()) return regional_cache_[it->second];
   return eval::regional_class(scenario_->region_mapper(), link);
 }
 
 std::string BiasAudit::topological_class_of(const val::AsLink& link) const {
+  const auto it = link_slot_.find(link);
+  if (it != link_slot_.end()) return topological_cache_[it->second];
   return topo_.class_of(link);
 }
 

@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -22,7 +23,13 @@ namespace asrel::core {
 
 class BiasAudit {
  public:
-  explicit BiasAudit(const Scenario& scenario);
+  /// Uses the scenario's own `threads` knob for the per-link tabulation.
+  explicit BiasAudit(const Scenario& scenario)
+      : BiasAudit(scenario, scenario.params().threads) {}
+  /// `threads`: worker count for the per-link class tabulation
+  /// (0 = hardware concurrency, 1 = serial). Reports are byte-identical
+  /// for every setting.
+  BiasAudit(const Scenario& scenario, unsigned threads);
 
   // ---- §5: is the validation data biased? ----
   [[nodiscard]] eval::CoverageReport regional_coverage() const;    // Fig. 1
@@ -76,6 +83,11 @@ class BiasAudit {
   std::vector<val::AsLink> inferred_links_;
   std::vector<val::AsLink> transit_links_;
   std::vector<val::AsLink> validated_transit_links_;
+  // Per-link class names, tabulated once (in parallel) over the inferred
+  // links; class_of falls back to direct computation for other links.
+  std::unordered_map<val::AsLink, std::uint32_t> link_slot_;
+  std::vector<std::string> regional_cache_;
+  std::vector<std::string> topological_cache_;
 };
 
 }  // namespace asrel::core

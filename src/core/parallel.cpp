@@ -1,0 +1,146 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <limits>
+
+namespace asrel::core {
+
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<unsigned> open_slots{0};  ///< worker join permits
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+namespace {
+
+/// Set while the current thread executes batch indices; a nested
+/// run_indexed call from inside fn falls back to inline serial execution
+/// instead of deadlocking on submit_mutex_.
+thread_local bool t_in_batch = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = effective_threads(0);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+unsigned ThreadPool::effective_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool{effective_threads(0)};
+  return pool;
+}
+
+void ThreadPool::drain_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    if (!batch.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*batch.fn)(i);
+      } catch (...) {
+        batch.failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock{batch.error_mutex};
+        if (i < batch.error_index) {
+          batch.error_index = i;
+          batch.error = std::current_exception();
+        }
+      }
+    }
+    batch.remaining.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_in_batch = true;  // nested calls from inside fn stay serial
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      batch = batch_;
+    }
+    // Acquire a join permit; batches capped below the pool size leave the
+    // surplus workers idle.
+    unsigned slots = batch->open_slots.load(std::memory_order_relaxed);
+    bool joined = false;
+    while (slots > 0 && !joined) {
+      joined = batch->open_slots.compare_exchange_weak(
+          slots, slots - 1, std::memory_order_acq_rel);
+    }
+    if (!joined) continue;
+    drain_batch(*batch);
+    if (batch->remaining.load(std::memory_order_acquire) == 0) {
+      std::lock_guard<std::mutex> lock{mutex_};
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t count, unsigned parallelism,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const unsigned limit = parallelism == 0 ? worker_count() + 1 : parallelism;
+  if (limit <= 1 || count == 1 || workers_.empty() || t_in_batch) {
+    // Serial path: in order, stop at the first failure (which is by
+    // construction the lowest failing index).
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit{submit_mutex_};
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->count = count;
+  batch->remaining.store(count, std::memory_order_relaxed);
+  batch->open_slots.store(limit - 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    batch_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  t_in_batch = true;
+  drain_batch(*batch);
+  t_in_batch = false;
+
+  {
+    std::unique_lock<std::mutex> lock{mutex_};
+    done_cv_.wait(lock, [&] {
+      return batch->remaining.load(std::memory_order_acquire) == 0;
+    });
+    batch_ = nullptr;
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace asrel::core

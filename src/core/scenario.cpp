@@ -5,6 +5,11 @@ namespace asrel::core {
 std::unique_ptr<Scenario> Scenario::build(const ScenarioParams& params) {
   auto scenario = std::unique_ptr<Scenario>(new Scenario);
   scenario->params_ = params;
+  if (params.threads != 0) {
+    scenario->params_.propagation.threads = params.threads;
+    scenario->params_.extract.threads = params.threads;
+  }
+  const ScenarioParams& effective = scenario->params_;
 
   // 1. The world and its companion data sets.
   scenario->world_ = topo::generate(params.topology);
@@ -12,7 +17,7 @@ std::unique_ptr<Scenario> Scenario::build(const ScenarioParams& params) {
   // 2. Observation: collectors, propagation, sanitized paths.
   scenario->vps_ = bgp::select_vantage_points(scenario->world_,
                                               params.vantage);
-  const bgp::Propagator propagator{scenario->world_, params.propagation};
+  const bgp::Propagator propagator{scenario->world_, effective.propagation};
   scenario->paths_ = bgp::collect_paths(propagator, scenario->vps_);
   scenario->observed_ = infer::ObservedPaths::build(
       scenario->paths_, &scenario->sanitize_stats_);
@@ -22,7 +27,7 @@ std::unique_ptr<Scenario> Scenario::build(const ScenarioParams& params) {
   scenario->schemes_ =
       val::SchemeDirectory::build(scenario->world_, params.scheme_seed);
   scenario->raw_validation_ = val::extract_from_communities(
-      propagator, scenario->paths_, scenario->schemes_, params.extract,
+      propagator, scenario->paths_, scenario->schemes_, effective.extract,
       &scenario->extract_stats_);
   if (params.include_rpsl_source) {
     const auto irr = rpsl::synthesize_irr(scenario->world_, params.irr);

@@ -42,6 +42,12 @@ struct ScenarioParams {
   val::DirectReportParams reports;
 
   std::uint64_t scheme_seed = 2718;
+
+  /// One knob for the whole pipeline: when nonzero, overrides the
+  /// per-stage worker counts (propagation, extraction — and callers pass
+  /// it on to inference and audits). 0 leaves each stage's own setting in
+  /// force. Every stage is byte-identical for every value.
+  unsigned threads = 0;
 };
 
 class Scenario {

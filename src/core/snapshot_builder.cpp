@@ -82,11 +82,17 @@ io::Snapshot build_snapshot(const Scenario& scenario) {
   snapshot.validation = scenario.validation();
 
   // ---- the three inferences ----
+  infer::ProbLinkParams problink_params;
+  problink_params.threads = scenario.params().threads;
+  infer::TopoScopeParams toposcope_params;
+  toposcope_params.threads = scenario.params().threads;
   const auto asrank = infer::run_asrank(observed);
-  const auto problink =
-      infer::run_problink(observed, asrank, scenario.validation());
-  const auto toposcope =
-      infer::run_toposcope(observed, asrank, scenario.validation());
+  const auto problink = infer::run_problink(observed, asrank,
+                                            scenario.validation(),
+                                            problink_params);
+  const auto toposcope = infer::run_toposcope(observed, asrank,
+                                              scenario.validation(),
+                                              toposcope_params);
   snapshot.algorithms.push_back(
       flatten(std::string{kSnapshotAlgorithms[0]}, asrank.inference));
   snapshot.algorithms.push_back(

@@ -1,0 +1,48 @@
+// The three-way link classification shared by the learning classifiers.
+//
+// ProbLink and TopoScope both reduce an InferredRel to one of three classes
+// relative to the canonical (a < b) link orientation and back. The two
+// copies of these helpers had already drifted (exhaustive switch vs
+// default: fallthrough), so they live here once: a future change to the
+// P2C orientation convention cannot land in only one algorithm.
+#pragma once
+
+#include "infer/inference.hpp"
+#include "validation/label.hpp"
+
+namespace asrel::infer {
+
+/// Class labels, relative to the canonical (a < b) link orientation.
+enum LinkClass : int {
+  kLinkP2cAB = 0,  ///< link.a is the provider
+  kLinkP2cBA = 1,  ///< link.b is the provider
+  kLinkP2P = 2,
+};
+inline constexpr int kLinkClassCount = 3;
+
+[[nodiscard]] inline LinkClass link_class_of(const val::AsLink& link,
+                                             const InferredRel& rel) {
+  if (rel.rel != topo::RelType::kP2C) return kLinkP2P;
+  return rel.provider == link.a ? kLinkP2cAB : kLinkP2cBA;
+}
+
+[[nodiscard]] inline InferredRel rel_of_link_class(const val::AsLink& link,
+                                                   LinkClass cls) {
+  InferredRel rel;
+  switch (cls) {
+    case kLinkP2cAB:
+      rel.rel = topo::RelType::kP2C;
+      rel.provider = link.a;
+      break;
+    case kLinkP2cBA:
+      rel.rel = topo::RelType::kP2C;
+      rel.provider = link.b;
+      break;
+    case kLinkP2P:
+      rel.rel = topo::RelType::kP2P;
+      break;
+  }
+  return rel;
+}
+
+}  // namespace asrel::infer

@@ -5,6 +5,10 @@
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "infer/link_class.hpp"
 
 namespace asrel::infer {
 
@@ -12,33 +16,6 @@ namespace {
 
 using asn::Asn;
 using val::AsLink;
-
-/// Class labels, relative to the canonical (a < b) link orientation.
-enum Class : int { kP2cAB = 0, kP2cBA = 1, kP2P = 2 };
-constexpr int kClassCount = 3;
-
-Class class_of(const AsLink& link, const InferredRel& rel) {
-  if (rel.rel != topo::RelType::kP2C) return kP2P;
-  return rel.provider == link.a ? kP2cAB : kP2cBA;
-}
-
-InferredRel rel_of(const AsLink& link, Class cls) {
-  InferredRel rel;
-  switch (cls) {
-    case kP2cAB:
-      rel.rel = topo::RelType::kP2C;
-      rel.provider = link.a;
-      break;
-    case kP2cBA:
-      rel.rel = topo::RelType::kP2C;
-      rel.provider = link.b;
-      break;
-    case kP2P:
-      rel.rel = topo::RelType::kP2P;
-      break;
-  }
-  return rel;
-}
 
 /// Feature value counts per feature family (categorical naive Bayes).
 struct FeatureSpec {
@@ -83,6 +60,8 @@ ProbLinkResult run_problink(const ObservedPaths& observed,
   ProbLinkResult result;
   const auto& links = observed.link_order();
   const std::size_t link_count = links.size();
+  core::ThreadPool& pool = core::ThreadPool::shared();
+  const unsigned threads = core::ThreadPool::effective_threads(params.threads);
 
   // Current labels, indexed like link_order.
   std::vector<InferredRel> current(link_count);
@@ -150,6 +129,12 @@ ProbLinkResult run_problink(const ObservedPaths& observed,
     }
   }
 
+  // Flattened adjacency for the per-round refresh: contiguous slices chunk
+  // across workers, and because the per-(link, orientation) tallies are
+  // plain integer sums, no chunking choice can change the totals.
+  const std::vector<std::pair<AdjKey, std::uint32_t>> adjacency_flat(
+      adjacency.begin(), adjacency.end());
+
   // Assemble static feature parts.
   std::vector<LinkFeatures> features(link_count);
   for (std::size_t i = 0; i < link_count; ++i) {
@@ -170,23 +155,48 @@ ProbLinkResult run_problink(const ObservedPaths& observed,
   }
 
   // Dynamic feature 0 (triplet context) from the current labeling.
+  using TripletCounts =
+      std::vector<std::array<std::array<std::uint32_t, 4>, 2>>;
   const auto refresh_triplet_feature = [&] {
-    // Per (link, orientation): counts of predecessor categories.
-    std::vector<std::array<std::array<std::uint32_t, 4>, 2>> counts(
-        link_count, {{{0, 0, 0, 0}, {0, 0, 0, 0}}});
-    for (const auto& [key, count] : adjacency) {
-      const auto& prev_link = links[key.prev];
-      const auto& prev_rel = current[key.prev];
-      // Direction of travel across the predecessor: from x to y where the
-      // pair (x, y) is (a, b) if prev_forward, else (b, a).
-      const Asn from = key.prev_forward ? prev_link.a : prev_link.b;
-      Pred category = kPredPeer;
-      if (prev_rel.rel == topo::RelType::kP2C) {
-        category = prev_rel.provider == from ? kPredDown : kPredUp;
-      }
-      counts[key.cur][key.cur_forward][static_cast<int>(category)] += count;
-    }
-    for (std::size_t i = 0; i < link_count; ++i) {
+    // Per (link, orientation): counts of predecessor categories, summed
+    // over adjacency chunks (one per worker; integer sums are merge-order
+    // independent, so the result matches the serial accumulation exactly).
+    const std::size_t chunks = std::max<std::size_t>(
+        1, std::min<std::size_t>(threads, adjacency_flat.size()));
+    const TripletCounts counts = core::parallel_reduce_ordered(
+        pool, chunks, threads,
+        TripletCounts(link_count, {{{0, 0, 0, 0}, {0, 0, 0, 0}}}),
+        [&](std::size_t chunk) {
+          TripletCounts local(link_count, {{{0, 0, 0, 0}, {0, 0, 0, 0}}});
+          const std::size_t begin = chunk * adjacency_flat.size() / chunks;
+          const std::size_t end =
+              (chunk + 1) * adjacency_flat.size() / chunks;
+          for (std::size_t k = begin; k < end; ++k) {
+            const auto& [key, count] = adjacency_flat[k];
+            const auto& prev_link = links[key.prev];
+            const auto& prev_rel = current[key.prev];
+            // Direction of travel across the predecessor: from x to y where
+            // the pair (x, y) is (a, b) if prev_forward, else (b, a).
+            const Asn from = key.prev_forward ? prev_link.a : prev_link.b;
+            Pred category = kPredPeer;
+            if (prev_rel.rel == topo::RelType::kP2C) {
+              category = prev_rel.provider == from ? kPredDown : kPredUp;
+            }
+            local[key.cur][key.cur_forward][static_cast<int>(category)] +=
+                count;
+          }
+          return local;
+        },
+        [&](TripletCounts& acc, TripletCounts&& partial) {
+          for (std::size_t i = 0; i < link_count; ++i) {
+            for (int orient = 0; orient < 2; ++orient) {
+              for (int c = 0; c < 4; ++c) {
+                acc[i][orient][c] += partial[i][orient][c];
+              }
+            }
+          }
+        });
+    pool.run_indexed(link_count, threads, [&](std::size_t i) {
       std::array<int, 2> dominant{kPredNone, kPredNone};
       for (int orient = 0; orient < 2; ++orient) {
         std::uint32_t best = 0;
@@ -198,18 +208,18 @@ ProbLinkResult run_problink(const ObservedPaths& observed,
         }
       }
       features[i].value[0] = dominant[0] * 4 + dominant[1];
-    }
+    });
   };
 
   // ---- Training labels ------------------------------------------------------
-  std::vector<std::pair<std::uint32_t, Class>> train;
+  std::vector<std::pair<std::uint32_t, LinkClass>> train;
   for (const auto& label : training) {
     const auto it = link_index.find(label.link);
     if (it == link_index.end()) continue;
     InferredRel rel;
     rel.rel = label.rel;
     rel.provider = label.provider;
-    train.emplace_back(it->second, class_of(label.link, rel));
+    train.emplace_back(it->second, link_class_of(label.link, rel));
   }
   result.training_links = train.size();
 
@@ -220,8 +230,9 @@ ProbLinkResult run_problink(const ObservedPaths& observed,
 
     // Estimate priors and conditionals from the training set under the
     // *current* dynamic features.
-    std::array<double, kClassCount> prior{};
-    std::array<std::vector<std::array<double, kClassCount>>, kFeatures.size()>
+    std::array<double, kLinkClassCount> prior{};
+    std::array<std::vector<std::array<double, kLinkClassCount>>,
+               kFeatures.size()>
         conditional;
     for (std::size_t f = 0; f < kFeatures.size(); ++f) {
       conditional[f].assign(kFeatures[f].cardinality, {});
@@ -232,19 +243,19 @@ ProbLinkResult run_problink(const ObservedPaths& observed,
         conditional[f][features[index].value[f]][cls] += 1.0;
       }
     }
-    std::array<double, kClassCount> log_prior{};
+    std::array<double, kLinkClassCount> log_prior{};
     const double total = prior[0] + prior[1] + prior[2];
-    for (int c = 0; c < kClassCount; ++c) {
+    for (int c = 0; c < kLinkClassCount; ++c) {
       log_prior[c] = std::log((prior[c] + params.laplace) /
-                              (total + kClassCount * params.laplace));
+                              (total + kLinkClassCount * params.laplace));
     }
-    std::array<std::vector<std::array<double, kClassCount>>,
+    std::array<std::vector<std::array<double, kLinkClassCount>>,
                kFeatures.size()>
         log_cond;
     for (std::size_t f = 0; f < kFeatures.size(); ++f) {
       log_cond[f].assign(kFeatures[f].cardinality, {});
       for (int v = 0; v < kFeatures[f].cardinality; ++v) {
-        for (int c = 0; c < kClassCount; ++c) {
+        for (int c = 0; c < kLinkClassCount; ++c) {
           log_cond[f][v][c] =
               std::log((conditional[f][v][c] + params.laplace) /
                        (prior[c] + kFeatures[f].cardinality * params.laplace));
@@ -252,28 +263,37 @@ ProbLinkResult run_problink(const ObservedPaths& observed,
       }
     }
 
-    // Re-classify every link.
+    // Re-classify every link. Each link's verdict reads only the frozen
+    // model and its own features, so the scores parallelize; the verdicts
+    // are applied on the caller thread in link order below.
+    struct Verdict {
+      LinkClass best;
+      double confidence;
+    };
+    const auto verdicts = core::parallel_map_ordered<Verdict>(
+        pool, link_count, threads, [&](std::size_t i) {
+          std::array<double, kLinkClassCount> score = log_prior;
+          for (std::size_t f = 0; f < kFeatures.size(); ++f) {
+            for (int c = 0; c < kLinkClassCount; ++c) {
+              score[c] += log_cond[f][features[i].value[f]][c];
+            }
+          }
+          const auto best = static_cast<LinkClass>(
+              std::max_element(score.begin(), score.end()) - score.begin());
+          // Normalized posterior of the winning class (softmax over the
+          // three log scores, stabilized by the max).
+          const double peak = score[best];
+          double exp_total = 0;
+          for (int c = 0; c < kLinkClassCount; ++c) {
+            exp_total += std::exp(score[c] - peak);
+          }
+          return Verdict{best, 1.0 / exp_total};
+        });
+
     std::size_t changed = 0;
     for (std::size_t i = 0; i < link_count; ++i) {
-      std::array<double, kClassCount> score = log_prior;
-      for (std::size_t f = 0; f < kFeatures.size(); ++f) {
-        for (int c = 0; c < kClassCount; ++c) {
-          score[c] += log_cond[f][features[i].value[f]][c];
-        }
-      }
-      const Class best = static_cast<Class>(
-          std::max_element(score.begin(), score.end()) - score.begin());
-      // Normalized posterior of the winning class (softmax over the three
-      // log scores, stabilized by the max).
-      {
-        const double peak = score[best];
-        double total = 0;
-        for (int c = 0; c < kClassCount; ++c) {
-          total += std::exp(score[c] - peak);
-        }
-        result.confidence[links[i]] = 1.0 / total;
-      }
-      const InferredRel updated = rel_of(links[i], best);
+      result.confidence[links[i]] = verdicts[i].confidence;
+      const InferredRel updated = rel_of_link_class(links[i], verdicts[i].best);
       const bool same = updated.rel == current[i].rel &&
                         (updated.rel != topo::RelType::kP2C ||
                          updated.provider == current[i].provider);

@@ -29,6 +29,10 @@ struct ProbLinkParams {
   double laplace = 1.0;  ///< additive smoothing for the conditionals
   /// Stop when fewer than this fraction of links change per iteration.
   double convergence_fraction = 0.001;
+  /// Worker count for the per-round scoring and triplet refresh
+  /// (0 = hardware concurrency, 1 = serial). The inference is
+  /// byte-identical for every setting.
+  unsigned threads = 0;
 };
 
 struct ProbLinkResult {

@@ -6,37 +6,15 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/parallel.hpp"
+#include "infer/link_class.hpp"
+
 namespace asrel::infer {
 
 namespace {
 
 using asn::Asn;
 using val::AsLink;
-
-enum Class : int { kP2cAB = 0, kP2cBA = 1, kP2P = 2 };
-constexpr int kClassCount = 3;
-
-Class class_of(const AsLink& link, const InferredRel& rel) {
-  if (rel.rel != topo::RelType::kP2C) return kP2P;
-  return rel.provider == link.a ? kP2cAB : kP2cBA;
-}
-
-InferredRel rel_of(const AsLink& link, Class cls) {
-  InferredRel rel;
-  switch (cls) {
-    case kP2cAB:
-      rel.rel = topo::RelType::kP2C;
-      rel.provider = link.a;
-      break;
-    case kP2cBA:
-      rel.rel = topo::RelType::kP2C;
-      rel.provider = link.b;
-      break;
-    default:
-      rel.rel = topo::RelType::kP2P;
-  }
-  return rel;
-}
 
 int bucket_votes(int votes) { return std::min(votes, 4); }
 
@@ -56,6 +34,8 @@ TopoScopeResult run_toposcope(const ObservedPaths& observed,
                               const TopoScopeParams& params) {
   TopoScopeResult result;
   result.clique = global.clique;
+  core::ThreadPool& pool = core::ThreadPool::shared();
+  const unsigned threads = core::ThreadPool::effective_threads(params.threads);
 
   // ---- Vantage-point grouping ----------------------------------------------
   // Sort VPs by feed size, deal them round-robin so groups get comparable
@@ -89,14 +69,17 @@ TopoScopeResult run_toposcope(const ObservedPaths& observed,
   }
 
   // ---- Per-group base inference ---------------------------------------------
-  std::vector<Inference> group_inference;
-  group_inference.reserve(group_count);
-  for (int g = 0; g < group_count; ++g) {
-    group_inference.push_back(
-        run_asrank_subset(observed, params.base, group_paths[g],
-                          global.clique)
-            .inference);
-  }
+  // The ensemble members see disjoint path subsets and share only read-only
+  // inputs, so they run concurrently; collecting them in group-index order
+  // keeps the result invariant under scheduling.
+  const std::vector<Inference> group_inference =
+      core::parallel_map_ordered<Inference>(
+          pool, static_cast<std::size_t>(group_count), threads,
+          [&](std::size_t g) {
+            return run_asrank_subset(observed, params.base, group_paths[g],
+                                     global.clique)
+                .inference;
+          });
 
   // ---- Feature assembly -------------------------------------------------------
   const auto& links = observed.link_order();
@@ -106,18 +89,18 @@ TopoScopeResult run_toposcope(const ObservedPaths& observed,
     int visibility;
   };
   std::vector<Features> features(links.size());
-  for (std::size_t i = 0; i < links.size(); ++i) {
+  pool.run_indexed(links.size(), threads, [&](std::size_t i) {
     int ab = 0;
     int ba = 0;
     int pp = 0;
     for (const auto& inference : group_inference) {
       const auto* rel = inference.find(links[i]);
       if (rel == nullptr) continue;
-      switch (class_of(links[i], *rel)) {
-        case kP2cAB:
+      switch (link_class_of(links[i], *rel)) {
+        case kLinkP2cAB:
           ++ab;
           break;
-        case kP2cBA:
+        case kLinkP2cBA:
           ++ba;
           break;
         default:
@@ -127,23 +110,24 @@ TopoScopeResult run_toposcope(const ObservedPaths& observed,
     const auto* global_rel = global.inference.find(links[i]);
     const auto* info = observed.link(links[i]);
     features[i] = {bucket_votes(ab), bucket_votes(ba), bucket_votes(pp),
-                   global_rel ? class_of(links[i], *global_rel) : kP2P,
+                   global_rel ? link_class_of(links[i], *global_rel)
+                              : kLinkP2P,
                    bucket_visibility(info ? info->vp_count : 0)};
-  }
+  });
 
   // ---- Ensemble: naive Bayes trained on the validation data -----------------
   std::unordered_map<AsLink, std::uint32_t> link_index;
   for (std::size_t i = 0; i < links.size(); ++i) {
     link_index.emplace(links[i], static_cast<std::uint32_t>(i));
   }
-  std::vector<std::pair<std::uint32_t, Class>> train;
+  std::vector<std::pair<std::uint32_t, LinkClass>> train;
   for (const auto& label : training) {
     const auto it = link_index.find(label.link);
     if (it == link_index.end()) continue;
     InferredRel rel;
     rel.rel = label.rel;
     rel.provider = label.provider;
-    train.emplace_back(it->second, class_of(label.link, rel));
+    train.emplace_back(it->second, link_class_of(label.link, rel));
   }
   result.training_links = train.size();
 
@@ -163,8 +147,8 @@ TopoScopeResult run_toposcope(const ObservedPaths& observed,
     }
   };
 
-  std::array<double, kClassCount> prior{};
-  std::array<std::vector<std::array<double, kClassCount>>, 5> conditional;
+  std::array<double, kLinkClassCount> prior{};
+  std::array<std::vector<std::array<double, kLinkClassCount>>, 5> conditional;
   for (int f = 0; f < 5; ++f) conditional[f].assign(kCardinality[f], {});
   for (const auto& [index, cls] : train) {
     prior[cls] += 1.0;
@@ -173,16 +157,16 @@ TopoScopeResult run_toposcope(const ObservedPaths& observed,
     }
   }
   const double total = prior[0] + prior[1] + prior[2];
-  std::array<double, kClassCount> log_prior{};
-  for (int c = 0; c < kClassCount; ++c) {
+  std::array<double, kLinkClassCount> log_prior{};
+  for (int c = 0; c < kLinkClassCount; ++c) {
     log_prior[c] = std::log((prior[c] + params.laplace) /
-                            (total + kClassCount * params.laplace));
+                            (total + kLinkClassCount * params.laplace));
   }
-  std::array<std::vector<std::array<double, kClassCount>>, 5> log_cond;
+  std::array<std::vector<std::array<double, kLinkClassCount>>, 5> log_cond;
   for (int f = 0; f < 5; ++f) {
     log_cond[f].assign(kCardinality[f], {});
     for (int v = 0; v < kCardinality[f]; ++v) {
-      for (int c = 0; c < kClassCount; ++c) {
+      for (int c = 0; c < kLinkClassCount; ++c) {
         log_cond[f][v][c] =
             std::log((conditional[f][v][c] + params.laplace) /
                      (prior[c] + kCardinality[f] * params.laplace));
@@ -190,16 +174,22 @@ TopoScopeResult run_toposcope(const ObservedPaths& observed,
     }
   }
 
+  // Score links concurrently; apply in index order so Inference's internal
+  // bookkeeping (insertion order) matches the serial run exactly.
+  const std::vector<LinkClass> verdicts =
+      core::parallel_map_ordered<LinkClass>(
+          pool, links.size(), threads, [&](std::size_t i) {
+            std::array<double, kLinkClassCount> score = log_prior;
+            for (int f = 0; f < 5; ++f) {
+              for (int c = 0; c < kLinkClassCount; ++c) {
+                score[c] += log_cond[f][value_of(features[i], f)][c];
+              }
+            }
+            return static_cast<LinkClass>(
+                std::max_element(score.begin(), score.end()) - score.begin());
+          });
   for (std::size_t i = 0; i < links.size(); ++i) {
-    std::array<double, kClassCount> score = log_prior;
-    for (int f = 0; f < 5; ++f) {
-      for (int c = 0; c < kClassCount; ++c) {
-        score[c] += log_cond[f][value_of(features[i], f)][c];
-      }
-    }
-    const Class best = static_cast<Class>(
-        std::max_element(score.begin(), score.end()) - score.begin());
-    result.inference.set(links[i], rel_of(links[i], best));
+    result.inference.set(links[i], rel_of_link_class(links[i], verdicts[i]));
   }
 
   // ---- Hidden-link prediction -------------------------------------------------

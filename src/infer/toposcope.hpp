@@ -30,6 +30,10 @@ struct TopoScopeParams {
   /// Hidden-link prediction: two collector peers sharing at least this many
   /// observed neighbors (but no observed link) are predicted to interconnect.
   std::uint32_t hidden_min_common_neighbors = 8;
+  /// Worker count for the per-group ensemble members and per-link feature /
+  /// scoring passes (0 = hardware concurrency, 1 = serial). The inference is
+  /// byte-identical for every setting.
+  unsigned threads = 0;
 };
 
 struct HiddenLink {

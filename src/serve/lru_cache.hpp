@@ -42,7 +42,10 @@ class ShardedLruCache {
   /// Returns the cached value for `key`, computing and inserting it with
   /// `compute` on a miss. `compute` runs outside the shard lock, so two
   /// racing misses may both compute; the first insert wins and both
-  /// callers observe a usable value.
+  /// callers observe a usable value. Accounting is settled at insert time:
+  /// the race loser is served the winner's cached value, so it counts as a
+  /// hit — only the caller whose value actually enters the cache records a
+  /// miss.
   template <typename Compute>
   std::shared_ptr<const V> get_or_compute(const K& key, Compute&& compute) {
     Shard& shard = shard_of(key);
@@ -53,10 +56,13 @@ class ShardedLruCache {
         return hit;
       }
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
     std::shared_ptr<const V> value = compute();
     std::lock_guard<std::mutex> lock{shard.mutex};
-    if (auto raced = lookup_locked(shard, key)) return raced;
+    if (auto raced = lookup_locked(shard, key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return raced;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
     shard.order.push_front(Entry{key, value});
     shard.index[key] = shard.order.begin();
     if (shard.order.size() > capacity_) {

@@ -1,6 +1,9 @@
 #include "validation/extract.hpp"
 
+#include <algorithm>
 #include <vector>
+
+#include "core/parallel.hpp"
 
 namespace asrel::val {
 
@@ -36,11 +39,10 @@ ValidationSet extract_from_communities(const bgp::Propagator& propagator,
                                        ExtractStats* stats) {
   const auto& world = propagator.world();
   const auto& graph = world.graph;
-  ValidationSet set;
-  ExtractStats local;
 
-  std::vector<Asn> hops;
-  paths.for_each_path([&](const bgp::PathTable::PathRef& ref) {
+  const auto scan_path = [&](const bgp::PathTable::PathRef& ref,
+                             ValidationSet& set, ExtractStats& local,
+                             std::vector<Asn>& hops) {
     ++local.paths_scanned;
     collapse(ref.path, hops);
     const Asn origin = graph.asn_of(ref.origin);
@@ -193,7 +195,45 @@ ValidationSet extract_from_communities(const bgp::Propagator& propagator,
       }
       set.add(AsLink{owner, owner_neighbor}, label);
     }
-  });
+  };
+
+  // Origins are scanned in contiguous chunks; merging the chunk-local sets
+  // back in chunk (= origin) order replays the exact add() sequence of the
+  // serial scan, so the result is byte-identical for any thread count.
+  struct Shard {
+    ValidationSet set;
+    ExtractStats stats;
+  };
+  core::ThreadPool& pool = core::ThreadPool::shared();
+  const unsigned threads = core::ThreadPool::effective_threads(params.threads);
+  const std::size_t origins = paths.origin_count();
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min<std::size_t>(threads, origins));
+  std::vector<Shard> shards = core::parallel_map_ordered<Shard>(
+      pool, chunks, threads, [&](std::size_t chunk) {
+        Shard shard;
+        std::vector<Asn> hops;
+        const std::size_t begin = chunk * origins / chunks;
+        const std::size_t end = (chunk + 1) * origins / chunks;
+        for (std::size_t origin = begin; origin < end; ++origin) {
+          for (const auto& ref :
+               paths.paths_for_origin(static_cast<topo::NodeId>(origin))) {
+            scan_path(ref, shard.set, shard.stats, hops);
+          }
+        }
+        return shard;
+      });
+
+  ValidationSet set;
+  ExtractStats local;
+  for (const Shard& shard : shards) {
+    set.merge(shard.set);
+    local.paths_scanned += shard.stats.paths_scanned;
+    local.tags_attached += shard.stats.tags_attached;
+    local.tags_survived += shard.stats.tags_survived;
+    local.tags_decoded += shard.stats.tags_decoded;
+    local.ambiguous_keys_skipped += shard.stats.ambiguous_keys_skipped;
+  }
 
   if (stats != nullptr) *stats = local;
   return set;

@@ -27,6 +27,11 @@ struct ExtractParams {
   /// particular neighbor, yielding a wrong label (the paper's §6.1 found
   /// exactly one such case in the Cogent study).
   double stale_documentation = 0.002;
+  /// Worker count for the per-origin path scan (0 = hardware concurrency,
+  /// 1 = serial). The resulting set is byte-identical for every setting:
+  /// origin chunks are merged back in origin order, replaying the exact
+  /// serial add() sequence.
+  unsigned threads = 0;
 };
 
 struct ExtractStats {

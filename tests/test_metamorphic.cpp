@@ -24,10 +24,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/bias_audit.hpp"
 #include "core/snapshot_builder.hpp"
 #include "eval/report.hpp"
 #include "eval/sampling.hpp"
 #include "infer/observed.hpp"
+#include "infer/problink.hpp"
+#include "infer/toposcope.hpp"
+#include "validation/extract.hpp"
 #include "io/snapshot.hpp"
 #include "serve/query_engine.hpp"
 #include "test_support.hpp"
@@ -318,6 +322,96 @@ TEST(Metamorphic, SamplingExperimentIsDeterministicAndBounded) {
     EXPECT_LE(point.mcc_q1, point.mcc_median);
     EXPECT_LE(point.mcc_median, point.mcc_q3);
   }
+}
+
+// ---- serial vs threaded: every parallel stage byte-compares equal --------
+
+std::string stage_bytes_at(const core::Scenario& scenario,
+                           const infer::AsRankResult& asrank,
+                           unsigned threads) {
+  std::string bytes;
+  const auto append_rel = [&bytes](const infer::Inference& inference) {
+    for (const auto& link : inference.order()) {
+      const auto* rel = inference.find(link);
+      bytes += std::to_string(link.a.value()) + '|' +
+               std::to_string(link.b.value()) + '|' +
+               std::to_string(static_cast<int>(rel->rel)) + '|' +
+               std::to_string(rel->provider.value()) + '\n';
+    }
+  };
+
+  // Stage 1: route propagation / path collection.
+  bgp::PropagationParams prop = scenario.params().propagation;
+  prop.threads = threads;
+  const bgp::Propagator propagator{scenario.world(), prop};
+  const auto table = bgp::collect_paths(propagator,
+                                        scenario.vantage_points());
+  table.for_each_path([&](const bgp::PathTable::PathRef& ref) {
+    bytes += std::to_string(ref.vp_index) + '@' +
+             std::to_string(ref.origin) + ':';
+    for (const auto hop : ref.path) bytes += std::to_string(hop.value()) + ',';
+    bytes += '\n';
+  });
+
+  // Stage 2: community extraction.
+  val::ExtractParams extract = scenario.params().extract;
+  extract.threads = threads;
+  val::ExtractStats stats;
+  const auto validation = val::extract_from_communities(
+      propagator, table, scenario.schemes(), extract, &stats);
+  for (const auto& entry : validation.entries()) {
+    bytes += std::to_string(entry.link.a.value()) + '-' +
+             std::to_string(entry.link.b.value()) + ':';
+    for (const auto& label : entry.labels) {
+      bytes += std::to_string(static_cast<int>(label.rel)) + '/' +
+               std::to_string(label.provider.value()) + ';';
+    }
+    bytes += '\n';
+  }
+  bytes += std::to_string(stats.tags_attached) + '|' +
+           std::to_string(stats.tags_survived) + '|' +
+           std::to_string(stats.tags_decoded) + '\n';
+
+  // Stages 3+4: the learning classifiers.
+  infer::ProbLinkParams problink;
+  problink.threads = threads;
+  append_rel(infer::run_problink(scenario.observed(), asrank,
+                                 scenario.validation(), problink)
+                 .inference);
+  infer::TopoScopeParams toposcope;
+  toposcope.threads = threads;
+  append_rel(infer::run_toposcope(scenario.observed(), asrank,
+                                  scenario.validation(), toposcope)
+                 .inference);
+
+  // Stage 5: the audit's per-class tabulation.
+  const core::BiasAudit audit{scenario, threads};
+  bytes += eval::render_coverage(audit.regional_coverage());
+  bytes += eval::render_coverage(audit.topological_coverage());
+  bytes += eval::render_validation_table(
+      audit.validation_table(asrank.inference));
+  return bytes;
+}
+
+TEST(Metamorphic, ParallelStagesAreByteIdenticalToSerial) {
+  const core::Scenario& scenario = test::shared_scenario();
+  const auto asrank = infer::run_asrank(scenario.observed());
+  const std::string serial = stage_bytes_at(scenario, asrank, 1);
+  ASSERT_FALSE(serial.empty());
+
+  PropertyConfig config;
+  config.cases = 2;  // each case reruns every pipeline stage
+  const auto result = testing::check_property<unsigned>(
+      config, [](Rng& rng) { return 2 + static_cast<unsigned>(rng.below(7)); },
+      [&](const unsigned& threads) -> std::optional<std::string> {
+        if (stage_bytes_at(scenario, asrank, threads) != serial) {
+          return "pipeline output diverged from serial at threads=" +
+                 std::to_string(threads);
+        }
+        return std::nullopt;
+      });
+  EXPECT_TRUE(result.ok) << result.message << " (case " << result.failing_case
+                         << ", seed " << result.failing_seed << ")";
 }
 
 TEST(Metamorphic, GoldenReportsAreByteStableAcrossRebuilds) {

@@ -1,0 +1,150 @@
+// ThreadPool unit tests plus end-to-end serial-vs-threaded byte-equality
+// of the Fig. 1/2 and Table 1-3 reports.
+//
+// The pool's contract is stronger than "no data races": every primitive's
+// result must be a pure function of (inputs, count) — independent of how
+// many workers participated. The unit tests pin the sharp edges of that
+// contract (order-sensitive merges, exception choice, empty batches,
+// nesting); the report tests check the whole pipeline keeps it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "test_support.hpp"
+#include "testing/canonical.hpp"
+
+namespace asrel {
+namespace {
+
+TEST(ThreadPool, OrderedReductionMatchesSerialForOrderSensitiveMerge) {
+  core::ThreadPool pool{4};
+  constexpr std::size_t kCount = 97;
+
+  // String concatenation is order-sensitive: any merge that happened out of
+  // index order (or dropped/duplicated an index) changes the bytes.
+  std::string serial;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    serial += std::to_string(i) + ";";
+  }
+  for (const unsigned threads : {0u, 1u, 2u, 3u, 8u}) {
+    const std::string merged = core::parallel_reduce_ordered(
+        pool, kCount, threads, std::string{},
+        [](std::size_t i) { return std::to_string(i) + ";"; },
+        [](std::string& acc, std::string&& partial) { acc += partial; });
+    EXPECT_EQ(merged, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, MapOrderedReturnsResultsInIndexOrder) {
+  core::ThreadPool pool{4};
+  const auto out = core::parallel_map_ordered<std::size_t>(
+      pool, 1000, 4, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  core::ThreadPool pool{2};
+  std::atomic<int> calls{0};
+  pool.run_indexed(0, 4, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+
+  const auto mapped = core::parallel_map_ordered<int>(
+      pool, 0, 4, [](std::size_t) { return 1; });
+  EXPECT_TRUE(mapped.empty());
+
+  const int reduced = core::parallel_reduce_ordered(
+      pool, 0, 4, 7, [](std::size_t) { return 1; },
+      [](int& acc, int&& partial) { acc += partial; });
+  EXPECT_EQ(reduced, 7);
+}
+
+TEST(ThreadPool, PropagatesExceptionOfLowestFailingIndex) {
+  core::ThreadPool pool{4};
+  // Several indices throw; the contract picks the lowest one so the error a
+  // caller sees does not depend on scheduling.
+  for (const unsigned threads : {1u, 4u}) {
+    try {
+      pool.run_indexed(64, threads, [](std::size_t i) {
+        if (i % 10 == 3) {
+          throw std::runtime_error{"boom at " + std::to_string(i)};
+        }
+      });
+      FAIL() << "expected run_indexed to rethrow (threads=" << threads << ")";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "boom at 3") << "threads=" << threads;
+    }
+  }
+  // The pool must stay usable after a failed batch.
+  std::atomic<std::size_t> sum{0};
+  pool.run_indexed(10, 4, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, NestedBatchesRunInlineWithoutDeadlock) {
+  core::ThreadPool pool{2};
+  std::vector<std::size_t> totals(8, 0);
+  pool.run_indexed(totals.size(), 4, [&](std::size_t i) {
+    // A stage calling another parallelized helper must not deadlock on the
+    // shared pool; the inner batch runs serially inline.
+    totals[i] = core::parallel_reduce_ordered(
+        core::ThreadPool::shared(), 5, 4, std::size_t{0},
+        [&](std::size_t j) { return i * j; },
+        [](std::size_t& acc, std::size_t&& partial) { acc += partial; });
+  });
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    EXPECT_EQ(totals[i], i * 10);
+  }
+}
+
+TEST(ThreadPool, EffectiveThreadsResolvesAutoOnly) {
+  EXPECT_GE(core::ThreadPool::effective_threads(0), 1u);
+  EXPECT_EQ(core::ThreadPool::effective_threads(1), 1u);
+  EXPECT_EQ(core::ThreadPool::effective_threads(64), 64u);
+}
+
+// ---- end-to-end: reports are byte-identical at every thread count --------
+
+std::vector<asrel::testing::GoldenReport> reports_at(std::uint64_t seed,
+                                                     unsigned threads) {
+  core::ScenarioParams params;
+  params.topology.as_count = 600;
+  params.topology.seed = seed;
+  params.vantage.target_count = 40;
+  params.threads = threads;
+  const auto scenario = core::Scenario::build(params);
+  return asrel::testing::build_golden_reports(*scenario);
+}
+
+class PipelineByteEquality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineByteEquality, SerialAndThreadedReportsMatch) {
+  const std::uint64_t seed = GetParam();
+  const auto serial = reports_at(seed, 1);
+  ASSERT_FALSE(serial.empty());
+  for (const unsigned threads : {2u, 8u}) {
+    const auto threaded = reports_at(seed, threads);
+    ASSERT_EQ(threaded.size(), serial.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_FALSE(serial[i].json.empty()) << serial[i].filename;
+      EXPECT_EQ(threaded[i].filename, serial[i].filename);
+      EXPECT_EQ(threaded[i].json, serial[i].json)
+          << serial[i].filename << " diverged at threads=" << threads
+          << ", seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineByteEquality,
+                         ::testing::Values(7u, 42u, 1337u));
+
+}  // namespace
+}  // namespace asrel

@@ -8,9 +8,11 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <latch>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -19,6 +21,7 @@
 #include "infer/asrank.hpp"
 #include "io/snapshot.hpp"
 #include "serve/http_server.hpp"
+#include "serve/lru_cache.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/service.hpp"
 #include "test_support.hpp"
@@ -315,6 +318,36 @@ TEST(QueryEngine, ReportCacheHitsOnRepeatAndRejectsUnknownKeys) {
   EXPECT_EQ(engine.report_json("bogus"), nullptr);
   EXPECT_EQ(engine.report_json("table:no-such-algo"), nullptr);
   EXPECT_NE(engine.report_json("table:toposcope"), nullptr);
+}
+
+TEST(LruCache, RacingMissCountsLoserAsHit) {
+  // Two threads miss on the same key and both run compute(); the first
+  // insert wins and the loser is handed the winner's cached value — which
+  // must be accounted as a hit (it was served from the cache), not a
+  // second miss. Regression test: a latch forces both threads into
+  // compute() before either can insert.
+  serve::ShardedLruCache<int, int> cache{1, 4};
+  std::latch both_computing{2};
+  std::shared_ptr<const int> results[2];
+  std::thread racers[2];
+  for (int t = 0; t < 2; ++t) {
+    racers[t] = std::thread{[&, t] {
+      results[t] = cache.get_or_compute(42, [&] {
+        both_computing.arrive_and_wait();
+        return std::make_shared<const int>(t);
+      });
+    }};
+  }
+  for (auto& racer : racers) racer.join();
+
+  ASSERT_NE(results[0], nullptr);
+  ASSERT_NE(results[1], nullptr);
+  // Both callers observe the single cached value (the insert winner's).
+  EXPECT_EQ(results[0], results[1]);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
 }
 
 TEST(QueryEngine, SampleLinksIsDeterministicAndReal) {

@@ -49,6 +49,7 @@ struct Args {
   std::string command;
   int as_count = 12000;
   std::uint64_t seed = 42;
+  unsigned threads = 0;  ///< 0 = auto; results identical for every value
   std::string out;
   std::string rib;
   std::string algo = "asrank";
@@ -67,6 +68,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.as_count = std::atoi(value);
     } else if (flag == "--seed") {
       args.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--threads") {
+      args.threads = static_cast<unsigned>(std::atoi(value));
     } else if (flag == "--out") {
       args.out = value;
     } else if (flag == "--rib") {
@@ -93,7 +96,9 @@ int usage() {
       "  asrelbias infer --rib FILE [--algo gao|asrank|problink|toposcope]\n"
       "                  [--validation FILE] [--out FILE]\n"
       "  asrelbias eval --inferred FILE --validation FILE\n"
-      "  asrelbias audit [--as-count N] [--seed S]\n");
+      "  asrelbias audit [--as-count N] [--seed S]\n"
+      "common: --threads N  worker count (0 = auto); output is identical\n"
+      "        for every setting\n");
   return 2;
 }
 
@@ -101,6 +106,7 @@ std::unique_ptr<core::Scenario> build_scenario(const Args& args) {
   core::ScenarioParams params;
   params.topology.as_count = args.as_count;
   params.topology.seed = args.seed;
+  params.threads = args.threads;
   std::fprintf(stderr, "building scenario (%d ASes, seed %llu)...\n",
                args.as_count, static_cast<unsigned long long>(args.seed));
   return core::Scenario::build(params);
@@ -190,13 +196,17 @@ int cmd_infer(const Args& args) {
     inference = std::move(result.inference);
   } else if (args.algo == "problink") {
     const auto base = infer::run_asrank(observed);
-    auto result = infer::run_problink(observed, base, training);
+    infer::ProbLinkParams params;
+    params.threads = args.threads;
+    auto result = infer::run_problink(observed, base, training, params);
     std::fprintf(stderr, "problink converged after %d iterations\n",
                  result.iterations_used);
     inference = std::move(result.inference);
   } else if (args.algo == "toposcope") {
     const auto base = infer::run_asrank(observed);
-    auto result = infer::run_toposcope(observed, base, training);
+    infer::TopoScopeParams params;
+    params.threads = args.threads;
+    auto result = infer::run_toposcope(observed, base, training, params);
     std::fprintf(stderr,
                  "toposcope used %d VP groups, predicted %zu hidden links\n",
                  result.groups_used, result.hidden_links.size());
