@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace asrel::bgp {
 
@@ -321,6 +322,7 @@ std::vector<PathTable::PathRef> PathTable::paths_for_origin(
 
 PathTable collect_paths(const Propagator& propagator,
                         std::vector<VantagePoint> vps) {
+  obs::StageScope stage{"bgp.collect_paths"};
   const auto& world = propagator.world();
   const auto& graph = world.graph;
   const std::size_t n = graph.node_count();

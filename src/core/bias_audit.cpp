@@ -4,12 +4,14 @@
 
 #include "core/parallel.hpp"
 #include "eval/ppdc.hpp"
+#include "obs/trace.hpp"
 
 namespace asrel::core {
 
 BiasAudit::BiasAudit(const Scenario& scenario, unsigned threads)
     : scenario_(&scenario),
       topo_(eval::TopoClassifier::from_world(scenario.world())) {
+  obs::StageScope stage{"audit.tabulate"};
   const auto& observed = scenario.observed();
   inferred_links_.assign(observed.link_order().begin(),
                          observed.link_order().end());

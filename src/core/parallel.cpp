@@ -3,6 +3,9 @@
 #include <atomic>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace asrel::core {
 
 struct ThreadPool::Batch {
@@ -23,6 +26,36 @@ namespace {
 /// run_indexed call from inside fn falls back to inline serial execution
 /// instead of deadlocking on submit_mutex_.
 thread_local bool t_in_batch = false;
+
+/// Pool instruments, bound once to the global registry so the claim loop
+/// only touches striped relaxed atomics.
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Counter& serial_tasks;
+  obs::Counter& batches;
+  obs::Counter& worker_claims;
+  obs::Counter& caller_claims;
+  obs::Gauge& queue_depth;
+
+  static PoolMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static PoolMetrics metrics{
+        reg.counter("asrel_pool_tasks_total",
+                    "Batch indices executed on the shared thread pool"),
+        reg.counter("asrel_pool_serial_tasks_total",
+                    "Indices executed on the serial fallback path"),
+        reg.counter("asrel_pool_batches_total",
+                    "Parallel batches submitted to the pool"),
+        reg.counter("asrel_pool_worker_claims_total",
+                    "Indices claimed by pool worker threads"),
+        reg.counter("asrel_pool_caller_claims_total",
+                    "Indices claimed by the submitting (caller) thread"),
+        reg.gauge("asrel_pool_queue_depth",
+                  "Unclaimed indices in the in-flight batch"),
+    };
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -54,24 +87,37 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-void ThreadPool::drain_batch(Batch& batch) {
-  for (;;) {
-    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= batch.count) return;
-    if (!batch.failed.load(std::memory_order_relaxed)) {
-      try {
-        (*batch.fn)(i);
-      } catch (...) {
-        batch.failed.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock{batch.error_mutex};
-        if (i < batch.error_index) {
-          batch.error_index = i;
-          batch.error = std::current_exception();
+void ThreadPool::drain_batch(Batch& batch, bool on_worker) {
+  PoolMetrics& metrics = PoolMetrics::get();
+  obs::Counter& claims =
+      on_worker ? metrics.worker_claims : metrics.caller_claims;
+  std::uint64_t executed = 0;
+  {
+    // One participation span per (thread, batch); recording happens after
+    // the scope closes, outside the claim loop.
+    obs::TraceSpan span{on_worker ? "pool.drain.worker" : "pool.drain.caller"};
+    for (;;) {
+      const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch.count) break;
+      metrics.queue_depth.add(-1);
+      ++executed;
+      if (!batch.failed.load(std::memory_order_relaxed)) {
+        try {
+          (*batch.fn)(i);
+        } catch (...) {
+          batch.failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock{batch.error_mutex};
+          if (i < batch.error_index) {
+            batch.error_index = i;
+            batch.error = std::current_exception();
+          }
         }
       }
+      batch.remaining.fetch_sub(1, std::memory_order_acq_rel);
     }
-    batch.remaining.fetch_sub(1, std::memory_order_acq_rel);
   }
+  metrics.tasks.add(executed);
+  claims.add(executed);
 }
 
 void ThreadPool::worker_loop() {
@@ -97,7 +143,7 @@ void ThreadPool::worker_loop() {
           slots, slots - 1, std::memory_order_acq_rel);
     }
     if (!joined) continue;
-    drain_batch(*batch);
+    drain_batch(*batch, /*on_worker=*/true);
     if (batch->remaining.load(std::memory_order_acquire) == 0) {
       std::lock_guard<std::mutex> lock{mutex_};
       done_cv_.notify_all();
@@ -108,11 +154,13 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_indexed(std::size_t count, unsigned parallelism,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  PoolMetrics& metrics = PoolMetrics::get();
   const unsigned limit = parallelism == 0 ? worker_count() + 1 : parallelism;
   if (limit <= 1 || count == 1 || workers_.empty() || t_in_batch) {
     // Serial path: in order, stop at the first failure (which is by
     // construction the lowest failing index).
     for (std::size_t i = 0; i < count; ++i) fn(i);
+    metrics.serial_tasks.add(count);
     return;
   }
 
@@ -122,6 +170,8 @@ void ThreadPool::run_indexed(std::size_t count, unsigned parallelism,
   batch->count = count;
   batch->remaining.store(count, std::memory_order_relaxed);
   batch->open_slots.store(limit - 1, std::memory_order_relaxed);
+  metrics.batches.inc();
+  metrics.queue_depth.add(static_cast<std::int64_t>(count));
   {
     std::lock_guard<std::mutex> lock{mutex_};
     batch_ = batch;
@@ -130,7 +180,7 @@ void ThreadPool::run_indexed(std::size_t count, unsigned parallelism,
   work_cv_.notify_all();
 
   t_in_batch = true;
-  drain_batch(*batch);
+  drain_batch(*batch, /*on_worker=*/false);
   t_in_batch = false;
 
   {

@@ -72,7 +72,7 @@ class ThreadPool {
   struct Batch;
 
   void worker_loop();
-  static void drain_batch(Batch& batch);
+  static void drain_batch(Batch& batch, bool on_worker);
 
   std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers: a new batch is available

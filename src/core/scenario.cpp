@@ -1,8 +1,11 @@
 #include "core/scenario.hpp"
 
+#include "obs/trace.hpp"
+
 namespace asrel::core {
 
 std::unique_ptr<Scenario> Scenario::build(const ScenarioParams& params) {
+  obs::StageScope scenario_scope{"pipeline.build"};
   auto scenario = std::unique_ptr<Scenario>(new Scenario);
   scenario->params_ = params;
   if (params.threads != 0) {
@@ -12,20 +15,32 @@ std::unique_ptr<Scenario> Scenario::build(const ScenarioParams& params) {
   const ScenarioParams& effective = scenario->params_;
 
   // 1. The world and its companion data sets.
-  scenario->world_ = topo::generate(params.topology);
+  {
+    obs::StageScope scope{"pipeline.topology"};
+    scenario->world_ = topo::generate(params.topology);
+  }
 
   // 2. Observation: collectors, propagation, sanitized paths.
-  scenario->vps_ = bgp::select_vantage_points(scenario->world_,
-                                              params.vantage);
+  {
+    obs::StageScope scope{"pipeline.vantage_points"};
+    scenario->vps_ = bgp::select_vantage_points(scenario->world_,
+                                                params.vantage);
+  }
   const bgp::Propagator propagator{scenario->world_, effective.propagation};
   scenario->paths_ = bgp::collect_paths(propagator, scenario->vps_);
-  scenario->observed_ = infer::ObservedPaths::build(
-      scenario->paths_, &scenario->sanitize_stats_);
+  {
+    obs::StageScope scope{"pipeline.sanitize"};
+    scenario->observed_ = infer::ObservedPaths::build(
+        scenario->paths_, &scenario->sanitize_stats_);
+  }
 
   // 3. Validation compilation (Luckie-style communities, plus optional
   //    secondary sources).
-  scenario->schemes_ =
-      val::SchemeDirectory::build(scenario->world_, params.scheme_seed);
+  {
+    obs::StageScope scope{"pipeline.schemes"};
+    scenario->schemes_ =
+        val::SchemeDirectory::build(scenario->world_, params.scheme_seed);
+  }
   scenario->raw_validation_ = val::extract_from_communities(
       propagator, scenario->paths_, scenario->schemes_, effective.extract,
       &scenario->extract_stats_);
@@ -39,15 +54,21 @@ std::unique_ptr<Scenario> Scenario::build(const ScenarioParams& params) {
   }
 
   // 4. Cleaning (§4.2) against the as2org data.
-  scenario->orgs_ = org::OrgMap{scenario->world_.as2org};
-  scenario->validation_ =
-      val::clean(scenario->raw_validation_, scenario->orgs_, params.cleaning,
-                 &scenario->cleaning_stats_);
+  {
+    obs::StageScope scope{"pipeline.clean"};
+    scenario->orgs_ = org::OrgMap{scenario->world_.as2org};
+    scenario->validation_ =
+        val::clean(scenario->raw_validation_, scenario->orgs_, params.cleaning,
+                   &scenario->cleaning_stats_);
+  }
 
   // 5. ASN -> region mapping: IANA bootstrap refined by the synthesized
   //    delegation files (§5).
-  for (const auto& file : scenario->world_.delegations) {
-    scenario->mapper_.apply(file);
+  {
+    obs::StageScope scope{"pipeline.regions"};
+    for (const auto& file : scenario->world_.delegations) {
+      scenario->mapper_.apply(file);
+    }
   }
   return scenario;
 }

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/trace.hpp"
+
 namespace asrel::infer {
 
 namespace {
@@ -258,6 +260,7 @@ AsRankResult run_impl(const ObservedPaths& observed,
 
 AsRankResult run_asrank(const ObservedPaths& observed,
                         const AsRankParams& params) {
+  obs::StageScope stage{"infer.asrank"};
   std::vector<std::uint32_t> all(observed.path_count());
   std::iota(all.begin(), all.end(), 0u);
   return run_impl(observed, params, all, {}, /*subset_mode=*/false);

@@ -9,6 +9,7 @@
 
 #include "core/parallel.hpp"
 #include "infer/link_class.hpp"
+#include "obs/trace.hpp"
 
 namespace asrel::infer {
 
@@ -57,6 +58,7 @@ ProbLinkResult run_problink(const ObservedPaths& observed,
                             const AsRankResult& initial,
                             std::span<const val::CleanLabel> training,
                             const ProbLinkParams& params) {
+  obs::StageScope stage{"infer.problink"};
   ProbLinkResult result;
   const auto& links = observed.link_order();
   const std::size_t link_count = links.size();
@@ -167,6 +169,7 @@ ProbLinkResult run_problink(const ObservedPaths& observed,
         pool, chunks, threads,
         TripletCounts(link_count, {{{0, 0, 0, 0}, {0, 0, 0, 0}}}),
         [&](std::size_t chunk) {
+          obs::TraceSpan span{"infer.problink.triplet_chunk"};
           TripletCounts local(link_count, {{{0, 0, 0, 0}, {0, 0, 0, 0}}});
           const std::size_t begin = chunk * adjacency_flat.size() / chunks;
           const std::size_t end =

@@ -8,6 +8,7 @@
 
 #include "core/parallel.hpp"
 #include "infer/link_class.hpp"
+#include "obs/trace.hpp"
 
 namespace asrel::infer {
 
@@ -32,6 +33,7 @@ TopoScopeResult run_toposcope(const ObservedPaths& observed,
                               const AsRankResult& global,
                               std::span<const val::CleanLabel> training,
                               const TopoScopeParams& params) {
+  obs::StageScope stage{"infer.toposcope"};
   TopoScopeResult result;
   result.clique = global.clique;
   core::ThreadPool& pool = core::ThreadPool::shared();
@@ -76,6 +78,7 @@ TopoScopeResult run_toposcope(const ObservedPaths& observed,
       core::parallel_map_ordered<Inference>(
           pool, static_cast<std::size_t>(group_count), threads,
           [&](std::size_t g) {
+            obs::TraceSpan span{"infer.toposcope.group"};
             return run_asrank_subset(observed, params.base, group_paths[g],
                                      global.clique)
                 .inference;

@@ -1,0 +1,315 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace asrel::obs {
+
+namespace detail {
+
+unsigned thread_slot() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      stripes_(new Stripe[detail::kStripes]) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (std::size_t s = 0; s < detail::kStripes; ++s) {
+    stripes_[s].buckets.reset(
+        new std::atomic<std::uint64_t>[bounds_.size() + 1]{});
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  // First bucket whose upper bound is >= value (Prometheus `le`); past the
+  // last finite bound lands in the +Inf bucket.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Stripe& stripe = stripes_[detail::thread_slot() % detail::kStripes];
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> via CAS: portable across libstdc++ vintages.
+  double sum = stripe.sum.load(std::memory_order_relaxed);
+  while (!stripe.sum.compare_exchange_weak(sum, sum + value,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (std::size_t s = 0; s < detail::kStripes; ++s) {
+    const Stripe& stripe = stripes_[s];
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.counts[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += stripe.count.load(std::memory_order_relaxed);
+    snap.sum += stripe.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double histogram_quantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank, 1-based: rank r means "the r-th smallest observation".
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(snapshot.count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < snapshot.counts.size(); ++b) {
+    const std::uint64_t in_bucket = snapshot.counts[b];
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double lower = b == 0 ? 0.0 : snapshot.bounds[b - 1];
+    if (b >= snapshot.bounds.size()) {
+      // +Inf bucket: the best defensible point estimate is its lower edge.
+      return lower;
+    }
+    const double upper = snapshot.bounds[b];
+    const double position = in_bucket == 0
+                                ? 1.0
+                                : static_cast<double>(rank - cumulative) /
+                                      static_cast<double>(in_bucket);
+    return lower + (upper - lower) * position;
+  }
+  return snapshot.bounds.empty() ? 0.0 : snapshot.bounds.back();
+}
+
+const std::vector<double>& latency_buckets_us() {
+  static const std::vector<double> buckets = [] {
+    std::vector<double> b;
+    for (double edge = 50.0; edge <= 850000.0; edge *= 2.0) {
+      b.push_back(edge);  // 50 us .. 819.2 ms
+    }
+    return b;
+  }();
+  return buckets;
+}
+
+const std::vector<double>& stage_buckets_us() {
+  static const std::vector<double> buckets = [] {
+    std::vector<double> b;
+    for (double edge = 100.0; edge <= 1e8; edge *= std::sqrt(10.0)) {
+      b.push_back(std::round(edge));  // 100 us .. 100 s, half-decade steps
+    }
+    return b;
+  }();
+  return buckets;
+}
+
+// --------------------------------------------------------- MetricsRegistry
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string{name}, Entry{}).first;
+    it->second.help = help;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string{name}, Entry{}).first;
+    it->second.help = help;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      std::string_view help) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string{name}, Entry{}).first;
+    it->second.help = help;
+    it->second.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *it->second.histogram;
+}
+
+void MetricsRegistry::add_collector(Collector collector) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  collectors_.push_back(std::move(collector));
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      MetricSnapshot snap;
+      snap.name = name;
+      snap.help = entry.help;
+      if (entry.counter) {
+        snap.type = MetricType::kCounter;
+        snap.value = static_cast<double>(entry.counter->value());
+      } else if (entry.gauge) {
+        snap.type = MetricType::kGauge;
+        snap.value = static_cast<double>(entry.gauge->value());
+      } else {
+        snap.type = MetricType::kHistogram;
+        snap.hist = entry.histogram->snapshot();
+      }
+      out.push_back(std::move(snap));
+    }
+    collectors = collectors_;
+  }
+  // Collectors run outside the registry lock: they typically lock their
+  // own subsystem (cache shards, engine hub) and must not nest under ours.
+  for (const auto& collector : collectors) collector(out);
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+// -------------------------------------------------------------- exposition
+
+namespace {
+
+/// "asrel_x_total{route=\"/rel\"}" -> base "asrel_x_total".
+std::string_view base_name(std::string_view series) {
+  const std::size_t brace = series.find('{');
+  return brace == std::string_view::npos ? series : series.substr(0, brace);
+}
+
+/// Splices an `le` label into a series name, preserving existing labels:
+///   name            -> name_bucket{le="10"}
+///   name{a="b"}     -> name_bucket{a="b",le="10"}
+std::string bucket_series(std::string_view series, std::string_view le) {
+  const std::size_t brace = series.find('{');
+  std::string out;
+  if (brace == std::string_view::npos) {
+    out = std::string{series} + "_bucket{le=\"" + std::string{le} + "\"}";
+  } else {
+    out = std::string{series.substr(0, brace)} + "_bucket" +
+          std::string{series.substr(brace, series.size() - brace - 1)} +
+          ",le=\"" + std::string{le} + "\"}";
+  }
+  return out;
+}
+
+/// Appends `suffix` to the base name, keeping any label block:
+///   name{a="b"} + _sum -> name_sum{a="b"}
+std::string suffixed_series(std::string_view series, std::string_view suffix) {
+  const std::size_t brace = series.find('{');
+  if (brace == std::string_view::npos) {
+    return std::string{series} + std::string{suffix};
+  }
+  return std::string{series.substr(0, brace)} + std::string{suffix} +
+         std::string{series.substr(brace)};
+}
+
+void append_number(std::string& out, double v) {
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(v));
+    out += buffer;
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string render_prometheus(std::vector<MetricSnapshot> snapshots) {
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  std::string out;
+  out.reserve(snapshots.size() * 64);
+  std::string last_family;
+  for (const MetricSnapshot& snap : snapshots) {
+    const std::string family{base_name(snap.name)};
+    if (family != last_family) {
+      last_family = family;
+      if (!snap.help.empty()) {
+        out += "# HELP " + family + " " + snap.help + "\n";
+      }
+      out += "# TYPE " + family + " ";
+      switch (snap.type) {
+        case MetricType::kCounter:
+          out += "counter";
+          break;
+        case MetricType::kGauge:
+          out += "gauge";
+          break;
+        case MetricType::kHistogram:
+          out += "histogram";
+          break;
+      }
+      out += "\n";
+    }
+    if (snap.type != MetricType::kHistogram) {
+      out += snap.name;
+      out += ' ';
+      append_number(out, snap.value);
+      out += '\n';
+      continue;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < snap.hist.bounds.size(); ++b) {
+      cumulative += snap.hist.counts[b];
+      std::string le;
+      append_number(le, snap.hist.bounds[b]);
+      out += bucket_series(snap.name, le);
+      out += ' ';
+      append_number(out, static_cast<double>(cumulative));
+      out += '\n';
+    }
+    out += bucket_series(snap.name, "+Inf");
+    out += ' ';
+    append_number(out, static_cast<double>(snap.hist.count));
+    out += '\n';
+    out += suffixed_series(snap.name, "_sum");
+    out += ' ';
+    append_number(out, snap.hist.sum);
+    out += '\n';
+    out += suffixed_series(snap.name, "_count");
+    out += ' ';
+    append_number(out, static_cast<double>(snap.hist.count));
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace asrel::obs

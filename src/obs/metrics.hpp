@@ -1,0 +1,203 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket latency
+// histograms, exported in Prometheus text exposition format.
+//
+// Hot-path design: counters and histograms stripe their cells across
+// cacheline-padded atomics indexed by a per-thread slot, so concurrent
+// writers on different threads touch different cachelines and never take a
+// lock — a write is one relaxed fetch_add. Reads (scrapes) sum the stripes
+// into a consistent-enough snapshot; Prometheus semantics only require
+// monotonicity per stripe, which relaxed increments preserve.
+//
+// Naming convention: `asrel_<subsystem>_<what>_<unit>` with optional
+// Prometheus labels spelled inline in the metric name, e.g.
+// `asrel_http_requests_total{route="/rel"}`. The registry treats the whole
+// string as the identity; the renderer splits base name and labels so
+// HELP/TYPE lines and histogram `le` labels come out right. Cardinality
+// rule: label values must come from a small closed set decided at compile
+// time (routes from an allowlist, shard indices, site names) — never from
+// request input.
+//
+// A registry is an instance, not a singleton: the serving layer gives each
+// HttpServer its own registry (test servers stay isolated) while
+// process-wide subsystems (ThreadPool, pipeline stages, reloads, fault
+// injection) share MetricsRegistry::global(). Handles returned by
+// counter()/gauge()/histogram() are stable for the registry's lifetime, so
+// callers bind them once and write lock-free afterwards.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asrel::obs {
+
+namespace detail {
+/// Stable small slot for the calling thread, assigned round-robin on first
+/// use; stripe arrays index with `slot % stripes`.
+[[nodiscard]] unsigned thread_slot() noexcept;
+constexpr std::size_t kStripes = 8;
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotonic counter. add() is lock-free and wait-free on the hot path.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    stripes_[detail::thread_slot() % detail::kStripes].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& stripe : stripes_) {
+      total += stripe.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedU64, detail::kStripes> stripes_;
+};
+
+/// Last-write-wins signed gauge (queue depths, entry counts, epochs).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: buckets are cumulative
+/// counts of observations <= upper bound; an implicit +Inf bucket catches
+/// the rest). observe() is lock-free: one bucket fetch_add on the stripe
+/// owned by the calling thread's slot, plus count/sum updates.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; +Inf is implicit.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< finite upper bounds
+    std::vector<std::uint64_t> counts;   ///< per-bucket (not cumulative);
+                                         ///< size bounds.size() + 1 (+Inf)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct Stripe {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+/// The quantile estimator shared by the load generator and the serving
+/// side, so client- and server-reported percentiles are computed by the
+/// same algorithm: nearest-rank (rank = ceil(q * count), 1-based) at
+/// bucket granularity, linearly interpolated inside the bucket. The
+/// 1-based ceil is deliberate — the old sorted-vector form
+/// `v[floor(q * (n - 1))]` under-reports high quantiles for small n (for
+/// n = 10, p99 picked index 8 instead of the true maximum at index 9).
+[[nodiscard]] double histogram_quantile(const Histogram::Snapshot& snapshot,
+                                        double q);
+
+/// Latency buckets (microseconds) shared by the HTTP server's per-route
+/// histograms and asrel_loadgen, 50 us .. ~0.8 s, doubling.
+[[nodiscard]] const std::vector<double>& latency_buckets_us();
+
+/// Duration buckets (microseconds) for pipeline stages, 100 us .. 100 s.
+[[nodiscard]] const std::vector<double>& stage_buckets_us();
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One metric at scrape time. `name` is the full series name including any
+/// inline labels. Counters/gauges carry `value`; histograms carry `hist`.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;
+  Histogram::Snapshot hist;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. The returned reference is stable for the registry's
+  /// lifetime; re-registration returns the existing instrument (the help
+  /// text and bounds of the first registration win).
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       std::string_view help = {});
+
+  /// Scrape-time metric sources (e.g. per-engine cache stats that live and
+  /// die with a snapshot epoch). Run on every snapshot() call.
+  using Collector = std::function<void(std::vector<MetricSnapshot>&)>;
+  void add_collector(Collector collector);
+
+  /// Deterministic export order: every registered instrument plus every
+  /// collector's output, sorted by series name.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// The process-wide registry for subsystems that exist once per process
+  /// (thread pool, pipeline stages, snapshot reloads, fault injection).
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::vector<Collector> collectors_;
+};
+
+/// Renders snapshots (from one or more registries, pre-merged by the
+/// caller) as Prometheus text exposition format, version 0.0.4. Input
+/// order is preserved except that the caller is expected to pass a
+/// name-sorted list (render_prometheus sorts defensively) so series of one
+/// family are contiguous under a single # HELP / # TYPE header.
+[[nodiscard]] std::string render_prometheus(
+    std::vector<MetricSnapshot> snapshots);
+
+/// Content-Type for /metricsz responses.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4";
+
+}  // namespace asrel::obs

@@ -1,8 +1,35 @@
 #include "serve/engine_hub.hpp"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace asrel::serve {
+
+namespace {
+
+/// Reload telemetry lives in the global registry: a process hosts one
+/// logical snapshot lineage even when tests spin up several hubs.
+struct ReloadMetrics {
+  obs::Counter& ok;
+  obs::Counter& failed;
+  obs::Histogram& duration_us;
+
+  static ReloadMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ReloadMetrics metrics{
+        reg.counter("asrel_reloads_total{result=\"ok\"}",
+                    "Snapshot hot reloads by outcome"),
+        reg.counter("asrel_reloads_total{result=\"failed\"}"),
+        reg.histogram("asrel_reload_duration_us", obs::stage_buckets_us(),
+                      "Wall time per reload attempt (microseconds)"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 EngineHub::EngineHub(std::shared_ptr<const QueryEngine> initial,
                      SnapshotLoader loader)
@@ -10,9 +37,19 @@ EngineHub::EngineHub(std::shared_ptr<const QueryEngine> initial,
 
 EngineHub::ReloadResult EngineHub::reload() {
   std::lock_guard<std::mutex> lock{reload_mutex_};
+  ReloadMetrics& metrics = ReloadMetrics::get();
+  const auto reload_started = std::chrono::steady_clock::now();
+  const auto observe_duration = [&] {
+    metrics.duration_us.observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - reload_started)
+            .count()));
+  };
   ReloadResult result;
   const auto fail = [&](std::string message) {
     ++reloads_failed_;
+    metrics.failed.inc();
+    observe_duration();
     last_error_ = message;
     result.ok = false;
     result.epoch = epoch();
@@ -38,6 +75,8 @@ EngineHub::ReloadResult EngineHub::reload() {
       epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
 
   ++reloads_ok_;
+  metrics.ok.inc();
+  observe_duration();
   last_error_.clear();
   result.ok = true;
   result.epoch = epoch;

@@ -2,9 +2,12 @@
 
 #include <sys/socket.h>
 
+#include <array>
 #include <cerrno>
+#include <string>
 
 #include "io/snapshot.hpp"
+#include "obs/metrics.hpp"
 
 namespace asrel::serve::fault {
 
@@ -17,6 +20,27 @@ namespace {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
+}
+
+}  // namespace
+
+/// Mirrors each injected fault into the global registry so /metricsz can
+/// show chaos activity per site without polling FaultStats.
+namespace {
+
+void note_injected(Site site) {
+  static std::array<obs::Counter*, static_cast<std::size_t>(Site::kCount)>
+      counters = [] {
+        std::array<obs::Counter*, static_cast<std::size_t>(Site::kCount)> c{};
+        for (std::size_t i = 0; i < c.size(); ++i) {
+          c[i] = &obs::MetricsRegistry::global().counter(
+              std::string{"asrel_fault_injected_total{site=\""} +
+                  site_name(static_cast<Site>(i)) + "\"}",
+              "Faults injected by the chaos layer, per syscall site");
+        }
+        return c;
+      }();
+  counters[static_cast<std::size_t>(site)]->inc();
 }
 
 }  // namespace
@@ -103,18 +127,21 @@ ssize_t FaultInjector::recv(int fd, void* buf, std::size_t len, int flags) {
   std::uint32_t band = plan_.recv_eintr_permille;
   if (roll < band) {
     recv_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kRecv);
     errno = EINTR;
     return -1;
   }
   band += plan_.recv_eagain_permille;
   if (roll < band) {
     recv_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kRecv);
     errno = EAGAIN;
     return -1;
   }
   band += plan_.recv_short_permille;
   if (roll < band && len > 1) {
     recv_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kRecv);
     return ::recv(fd, buf, 1, flags);  // short read: one byte at a time
   }
   return ::recv(fd, buf, len, flags);
@@ -127,12 +154,14 @@ ssize_t FaultInjector::send(int fd, const void* buf, std::size_t len,
   std::uint32_t band = plan_.send_eintr_permille;
   if (roll < band) {
     send_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kSend);
     errno = EINTR;
     return -1;
   }
   band += plan_.send_short_permille;
   if (roll < band && len > 1) {
     send_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kSend);
     return ::send(fd, buf, 1, flags);  // short write
   }
   return ::send(fd, buf, len, flags);
@@ -144,18 +173,21 @@ int FaultInjector::accept(int fd) {
   std::uint32_t band = plan_.accept_eintr_permille;
   if (roll < band) {
     accept_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kAccept);
     errno = EINTR;
     return -1;
   }
   band += plan_.accept_econnaborted_permille;
   if (roll < band) {
     accept_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kAccept);
     errno = ECONNABORTED;
     return -1;
   }
   band += plan_.accept_emfile_permille;
   if (roll < band) {
     accept_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kAccept);
     errno = EMFILE;
     return -1;
   }
@@ -166,6 +198,7 @@ std::size_t FaultInjector::snapshot_read_cap() {
   if (!enabled()) return static_cast<std::size_t>(-1);
   if (plan_.snapshot_read_cap != static_cast<std::size_t>(-1)) {
     snapshot_read_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kSnapshotRead);
   }
   return plan_.snapshot_read_cap;
 }
@@ -174,6 +207,7 @@ std::size_t FaultInjector::snapshot_write_cap() {
   if (!enabled()) return static_cast<std::size_t>(-1);
   if (plan_.snapshot_write_cap != static_cast<std::size_t>(-1)) {
     snapshot_write_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kSnapshotWrite);
   }
   return plan_.snapshot_write_cap;
 }

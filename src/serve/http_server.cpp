@@ -7,11 +7,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <iterator>
 
+#include "obs/trace.hpp"
 #include "serve/fault_inject.hpp"
 #include "serve/json.hpp"
 
@@ -46,20 +50,25 @@ const char* status_text(int status) {
 
 /// Sends the whole buffer, tolerating partial writes and EINTR. Routed
 /// through the fault injector so chaos tests can force short writes.
-/// MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE.
-bool send_all(int fd, std::string_view bytes) {
+/// MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE. Bytes that made it
+/// onto the wire are credited to `bytes_out` even on a failed send.
+bool send_all(int fd, std::string_view bytes,
+              obs::Counter* bytes_out = nullptr) {
   auto& faults = fault::FaultInjector::instance();
   std::size_t sent = 0;
+  bool ok = true;
   while (sent < bytes.size()) {
     const ssize_t n = faults.send(fd, bytes.data() + sent,
                                   bytes.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return false;
+      ok = false;
+      break;
     }
     sent += static_cast<std::size_t>(n);
   }
-  return true;
+  if (bytes_out != nullptr && sent > 0) bytes_out->add(sent);
+  return ok;
 }
 
 std::string render_response(const HttpResponse& response, bool keep_alive) {
@@ -95,6 +104,58 @@ HttpServer::HttpServer(Handler handler, HttpServerOptions options)
     options_.max_pending_connections = 1;
   }
   if (options_.request_deadline_ms < 1) options_.request_deadline_ms = 1;
+
+  accepted_ = &metrics_.counter("asrel_http_connections_accepted_total",
+                                "Connections accepted by the listener");
+  requests_ = &metrics_.counter("asrel_http_requests_total",
+                                "Requests dispatched to a handler");
+  responses_2xx_ = &metrics_.counter(
+      "asrel_http_responses_total{code=\"2xx\"}", "Responses by status class");
+  responses_4xx_ =
+      &metrics_.counter("asrel_http_responses_total{code=\"4xx\"}");
+  responses_5xx_ =
+      &metrics_.counter("asrel_http_responses_total{code=\"5xx\"}");
+  malformed_ = &metrics_.counter("asrel_http_malformed_total",
+                                 "Requests rejected as unparseable");
+  timeouts_ = &metrics_.counter("asrel_http_timeouts_total",
+                                "Requests that hit a read timeout/deadline");
+  overload_rejected_ = &metrics_.counter(
+      "asrel_http_shed_total", "Connections shed with 503 at admission");
+  accept_retried_ = &metrics_.counter("asrel_http_accept_retried_total",
+                                      "EINTR/ECONNABORTED accept retries");
+  emfile_recoveries_ =
+      &metrics_.counter("asrel_http_emfile_recoveries_total",
+                        "fd-exhaustion emergency-path activations");
+  drained_ = &metrics_.counter("asrel_http_drained_total",
+                               "Connections finished during drain");
+  aborted_ = &metrics_.counter("asrel_http_aborted_total",
+                               "Connections force-closed");
+  deadline_exceeded_ =
+      &metrics_.counter("asrel_http_deadline_exceeded_total",
+                        "Requests that overran the total deadline");
+  bytes_read_ = &metrics_.counter("asrel_http_bytes_read_total",
+                                  "Request bytes received");
+  bytes_written_ = &metrics_.counter("asrel_http_bytes_written_total",
+                                     "Response bytes sent");
+
+  // Per-route latency histograms come from a closed set fixed here;
+  // anything else lands in the "other" series (cardinality rule).
+  std::vector<std::string> routes{"/healthz", "/statsz", "/metricsz",
+                                  "/tracez"};
+  routes.insert(routes.end(), options_.metrics_routes.begin(),
+                options_.metrics_routes.end());
+  for (const std::string& route : routes) {
+    route_latency_[route] = RouteObs{
+        &metrics_.histogram(
+            "asrel_http_request_duration_us{route=\"" + route + "\"}",
+            obs::latency_buckets_us(),
+            "Request latency from dispatch to response queued "
+            "(microseconds)"),
+        "http " + route};
+  }
+  other_route_latency_ = &metrics_.histogram(
+      "asrel_http_request_duration_us{route=\"other\"}",
+      obs::latency_buckets_us());
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -173,7 +234,7 @@ void HttpServer::stop() {
     std::lock_guard<std::mutex> lock{queue_mutex_};
     for (const int fd : pending_) {
       ::close(fd);
-      aborted_.fetch_add(1, std::memory_order_relaxed);
+      aborted_->inc();
     }
     pending_.clear();
   }
@@ -191,8 +252,8 @@ void HttpServer::stop() {
 DrainReport HttpServer::drain() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     // Already stopped (or drained): report the recorded counts.
-    return DrainReport{.drained = drained_.load(std::memory_order_relaxed),
-                       .aborted = aborted_.load(std::memory_order_relaxed)};
+    return DrainReport{.drained = drained_->value(),
+                       .aborted = aborted_->value()};
   }
   draining_.store(true, std::memory_order_release);
 
@@ -223,7 +284,7 @@ DrainReport HttpServer::drain() {
     std::lock_guard<std::mutex> lock{queue_mutex_};
     for (const int fd : pending_) {
       ::close(fd);
-      aborted_.fetch_add(1, std::memory_order_relaxed);
+      aborted_->inc();
     }
     pending_.clear();
   }
@@ -237,27 +298,27 @@ DrainReport HttpServer::drain() {
   stopping_.store(true, std::memory_order_release);
   queue_cv_.notify_all();
   join_all();
-  return DrainReport{.drained = drained_.load(std::memory_order_relaxed),
-                     .aborted = aborted_.load(std::memory_order_relaxed)};
+  return DrainReport{.drained = drained_->value(),
+                     .aborted = aborted_->value()};
 }
 
 HttpServerStats HttpServer::stats() const {
   HttpServerStats stats;
-  stats.accepted = accepted_.load(std::memory_order_relaxed);
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.responses_2xx = responses_2xx_.load(std::memory_order_relaxed);
-  stats.responses_4xx = responses_4xx_.load(std::memory_order_relaxed);
-  stats.responses_5xx = responses_5xx_.load(std::memory_order_relaxed);
-  stats.malformed = malformed_.load(std::memory_order_relaxed);
-  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
-  stats.overload_rejected = overload_rejected_.load(std::memory_order_relaxed);
-  stats.accept_retried = accept_retried_.load(std::memory_order_relaxed);
-  stats.emfile_recoveries =
-      emfile_recoveries_.load(std::memory_order_relaxed);
-  stats.drained = drained_.load(std::memory_order_relaxed);
-  stats.aborted = aborted_.load(std::memory_order_relaxed);
-  stats.deadline_exceeded =
-      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_->value();
+  stats.requests = requests_->value();
+  stats.responses_2xx = responses_2xx_->value();
+  stats.responses_4xx = responses_4xx_->value();
+  stats.responses_5xx = responses_5xx_->value();
+  stats.malformed = malformed_->value();
+  stats.timeouts = timeouts_->value();
+  stats.overload_rejected = overload_rejected_->value();
+  stats.accept_retried = accept_retried_->value();
+  stats.emfile_recoveries = emfile_recoveries_->value();
+  stats.drained = drained_->value();
+  stats.aborted = aborted_->value();
+  stats.deadline_exceeded = deadline_exceeded_->value();
+  stats.bytes_read = bytes_read_->value();
+  stats.bytes_written = bytes_written_->value();
   return stats;
 }
 
@@ -270,7 +331,7 @@ HttpServer::deadline_exceeded_by_route() const {
 }
 
 void HttpServer::note_deadline_exceeded(const std::string& route) {
-  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  deadline_exceeded_->inc();
   std::lock_guard<std::mutex> lock{deadline_mutex_};
   ++deadline_by_route_[route];
 }
@@ -278,12 +339,12 @@ void HttpServer::note_deadline_exceeded(const std::string& route) {
 /// Answers 503 + Retry-After on a connection we will not serve, then
 /// closes it. Used by both shed paths (queue full, fd exhaustion).
 void HttpServer::shed_connection(int fd) {
-  overload_rejected_.fetch_add(1, std::memory_order_relaxed);
+  overload_rejected_->inc();
   HttpResponse response =
       HttpResponse::json(503, R"({"error":"server overloaded"})");
   response.headers.emplace_back("Retry-After",
                                 std::to_string(options_.retry_after_hint_s));
-  send_all(fd, render_response(response, false));
+  send_all(fd, render_response(response, false), bytes_written_);
   ::close(fd);
 }
 
@@ -299,7 +360,7 @@ void HttpServer::accept_loop() {
       }
       if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
           errno == EWOULDBLOCK) {
-        accept_retried_.fetch_add(1, std::memory_order_relaxed);
+        accept_retried_->inc();
         continue;
       }
       if (errno == EMFILE || errno == ENFILE) {
@@ -307,7 +368,7 @@ void HttpServer::accept_loop() {
         // with it, shed it (503 is better than leaving it in SYN limbo),
         // then restore the reserve. Without this, accept() fails in a
         // hot loop while the backlog never shrinks.
-        emfile_recoveries_.fetch_add(1, std::memory_order_relaxed);
+        emfile_recoveries_->inc();
         if (reserve_fd_ >= 0) {
           ::close(reserve_fd_);
           reserve_fd_ = -1;
@@ -319,7 +380,7 @@ void HttpServer::accept_loop() {
       }
       break;  // listen socket is gone; stop() handles the rest
     }
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_->inc();
     bool rejected = false;
     {
       std::lock_guard<std::mutex> lock{queue_mutex_};
@@ -363,9 +424,9 @@ void HttpServer::worker_loop() {
       was_aborted = aborted_fds_.erase(fd) > 0;
     }
     if (was_aborted) {
-      aborted_.fetch_add(1, std::memory_order_relaxed);
+      aborted_->inc();
     } else if (draining_.load(std::memory_order_acquire)) {
-      drained_.fetch_add(1, std::memory_order_relaxed);
+      drained_->inc();
     }
     ::close(fd);
   }
@@ -392,12 +453,13 @@ void HttpServer::serve_connection(int fd) {
         started + std::chrono::milliseconds(options_.request_deadline_ms);
 
     const auto read_deadline_exceeded = [&] {
-      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      timeouts_->inc();
       note_deadline_exceeded("(read)");
       send_all(fd, render_response(
                        HttpResponse::json(
                            408, R"({"error":"request deadline exceeded"})"),
-                       false));
+                       false),
+               bytes_written_);
     };
 
     // ---- read one request's header block ----
@@ -405,11 +467,12 @@ void HttpServer::serve_connection(int fd) {
     std::size_t body_start = find_header_end(buffer, &header_len);
     while (body_start == std::string::npos) {
       if (buffer.size() > options_.max_request_bytes) {
-        malformed_.fetch_add(1, std::memory_order_relaxed);
+        malformed_->inc();
         send_all(fd, render_response(
                          HttpResponse::json(
                              413, R"({"error":"request too large"})"),
-                         false));
+                         false),
+                 bytes_written_);
         return;
       }
       if (!buffer.empty() && Clock::now() >= deadline) {
@@ -422,14 +485,16 @@ void HttpServer::serve_connection(int fd) {
         if (errno == EINTR) continue;
         if ((errno == EAGAIN || errno == EWOULDBLOCK) && !buffer.empty()) {
           // Mid-request stall: answer 408 so the client learns why.
-          timeouts_.fetch_add(1, std::memory_order_relaxed);
+          timeouts_->inc();
           send_all(fd, render_response(
                            HttpResponse::json(
                                408, R"({"error":"request timeout"})"),
-                           false));
+                           false),
+                   bytes_written_);
         }
         return;
       }
+      bytes_read_->add(static_cast<std::uint64_t>(n));
       buffer.append(chunk, static_cast<std::size_t>(n));
       body_start = find_header_end(buffer, &header_len);
     }
@@ -439,12 +504,13 @@ void HttpServer::serve_connection(int fd) {
     const HttpParse parsed = parse_http_request(
         std::string_view{buffer}.substr(0, header_len), &request);
     if (!parsed) {
-      malformed_.fetch_add(1, std::memory_order_relaxed);
-      responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+      malformed_->inc();
+      responses_4xx_->inc();
       send_all(fd, render_response(
                        HttpResponse::json(
                            400, R"({"error":"malformed request"})"),
-                       false));
+                       false),
+               bytes_written_);
       return;
     }
     const std::size_t content_length = parsed.content_length;
@@ -454,7 +520,8 @@ void HttpServer::serve_connection(int fd) {
       send_all(fd, render_response(
                        HttpResponse::json(
                            413, R"({"error":"request too large"})"),
-                       false));
+                       false),
+               bytes_written_);
       return;
     }
     std::size_t body_have = buffer.size() - body_start;
@@ -469,34 +536,73 @@ void HttpServer::serve_connection(int fd) {
         if (errno == EINTR) continue;
         return;
       }
+      bytes_read_->add(static_cast<std::uint64_t>(n));
       body_have += static_cast<std::size_t>(n);
       buffer.append(chunk, static_cast<std::size_t>(n));
     }
     buffer.erase(0, body_start + content_length);
 
     // ---- dispatch + respond ----
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    requests_->inc();
+    // Latency is measured from dispatch, not from `started`: on an idle
+    // keep-alive connection `started` predates the wait for the next
+    // request, which is client think time, not server latency.
+    const auto dispatch_started = Clock::now();
+    const bool tracing = obs::Tracer::instance().enabled();
+    const std::uint64_t trace_start_us =
+        tracing ? obs::Tracer::instance().to_trace_us(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          dispatch_started.time_since_epoch())
+                          .count())
+                : 0;
     const HttpResponse response = dispatch(request);
     if (response.status >= 500) {
-      responses_5xx_.fetch_add(1, std::memory_order_relaxed);
+      responses_5xx_->inc();
     } else if (response.status >= 400) {
-      responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+      responses_4xx_->inc();
     } else {
-      responses_2xx_.fetch_add(1, std::memory_order_relaxed);
+      responses_2xx_->inc();
     }
-    if (Clock::now() >= deadline) {
+    const auto finished = Clock::now();
+    if (finished >= deadline) {
       // The response is still sent (it is ready and the client is live);
       // the overrun is recorded per route so operators can see which
       // endpoints blow their budget.
       note_deadline_exceeded(request.path);
     }
+    observe_request(request.path,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::microseconds>(
+                            finished - dispatch_started)
+                            .count()),
+                    trace_start_us, tracing);
     // During a drain the response closes the connection: keep-alive loops
     // would otherwise pin the drain until its deadline.
     const bool keep_alive = request.keep_alive &&
                             !draining_.load(std::memory_order_acquire) &&
                             !stopping_.load(std::memory_order_acquire);
-    if (!send_all(fd, render_response(response, keep_alive))) return;
+    if (!send_all(fd, render_response(response, keep_alive),
+                  bytes_written_)) {
+      return;
+    }
     if (!keep_alive) return;
+  }
+}
+
+void HttpServer::observe_request(const std::string& path,
+                                 std::uint64_t duration_us,
+                                 std::uint64_t trace_start_us, bool tracing) {
+  const auto it = route_latency_.find(path);
+  const bool known = it != route_latency_.end();
+  (known ? it->second.latency : other_route_latency_)
+      ->observe(static_cast<double>(duration_us));
+  if (tracing) {
+    // Request spans are depth-0 roots; the label follows the same
+    // closed-set rule as the histograms so traces stay bounded too, and
+    // the names are preassembled so tracing adds no allocations here.
+    obs::Tracer::instance().record(
+        known ? it->second.span_name : std::string_view{"http other"},
+        trace_start_us, duration_us, /*cpu_us=*/0, /*depth=*/0);
   }
 }
 
@@ -507,6 +613,14 @@ HttpResponse HttpServer::dispatch(const HttpRequest& request) {
   if (request.path == "/statsz") {
     return HttpResponse::json(200, statsz_body());
   }
+  if (request.path == "/metricsz") {
+    HttpResponse response = HttpResponse::json(200, metricsz_body());
+    response.content_type = obs::kPrometheusContentType;
+    return response;
+  }
+  if (request.path == "/tracez") {
+    return HttpResponse::json(200, tracez_body(request));
+  }
   if (request.method != "GET" && request.method != "POST") {
     return HttpResponse::json(405, R"({"error":"method not allowed"})");
   }
@@ -514,6 +628,49 @@ HttpResponse HttpServer::dispatch(const HttpRequest& request) {
     return HttpResponse::json(404, R"({"error":"no handler registered"})");
   }
   return handler_(request);
+}
+
+std::string HttpServer::metricsz_body() const {
+  // One exposition covers this server's registry, the process-global one
+  // (pool, stages, reloads, faults), and any scrape-time supplement.
+  std::vector<obs::MetricSnapshot> snapshots = metrics_.snapshot();
+  std::vector<obs::MetricSnapshot> global =
+      obs::MetricsRegistry::global().snapshot();
+  snapshots.insert(snapshots.end(),
+                   std::make_move_iterator(global.begin()),
+                   std::make_move_iterator(global.end()));
+  if (options_.metrics_supplement) options_.metrics_supplement(snapshots);
+  return obs::render_prometheus(std::move(snapshots));
+}
+
+std::string HttpServer::tracez_body(const HttpRequest& request) const {
+  std::size_t n = options_.tracez_default_spans;
+  if (const std::string* param = request.query_param("n")) {
+    const long parsed = std::strtol(param->c_str(), nullptr, 10);
+    if (parsed > 0) n = static_cast<std::size_t>(parsed);
+  }
+  n = std::min<std::size_t>(n, 16384);
+  const auto& tracer = obs::Tracer::instance();
+  const std::vector<obs::SpanRecord> spans = tracer.recent(n);
+  JsonWriter json;
+  json.begin_object();
+  json.field("enabled", tracer.enabled());
+  json.field("dropped", tracer.dropped());
+  json.key("spans").begin_array();
+  for (const obs::SpanRecord& span : spans) {
+    json.begin_object();
+    json.field("name", span.name);
+    json.field("start_us", span.start_us);
+    json.field("dur_us", span.dur_us);
+    json.field("cpu_us", span.cpu_us);
+    json.field("tid", span.tid);
+    json.field("depth", span.depth);
+    json.field("seq", span.seq);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
 }
 
 std::string HttpServer::statsz_body() const {
@@ -528,6 +685,8 @@ std::string HttpServer::statsz_body() const {
   json.field("responses_5xx", s.responses_5xx);
   json.field("malformed", s.malformed);
   json.field("timeouts", s.timeouts);
+  json.field("bytes_read", s.bytes_read);
+  json.field("bytes_written", s.bytes_written);
   json.end_object();
   json.key("resilience").begin_object();
   json.field("shed", s.overload_rejected);

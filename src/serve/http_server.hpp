@@ -21,7 +21,8 @@
 // drain() stops accepting, lets in-flight connections finish within a
 // deadline, force-closes stragglers, and reports drained/aborted counts.
 //
-// /healthz and /statsz are answered by the server itself; GET and POST
+// /healthz, /statsz, /metricsz (Prometheus text exposition), and /tracez
+// (recent spans as JSON) are answered by the server itself; GET and POST
 // are routed to the registered handler (which owns method policy for its
 // routes — the bundled AsrelService 405s POST everywhere except
 // /reloadz); other methods are 405. A request that cannot be parsed is
@@ -41,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/http_parser.hpp"
 
 namespace asrel::serve {
@@ -74,6 +76,8 @@ struct HttpServerStats {
   std::uint64_t drained = 0;             ///< connections finished in drain
   std::uint64_t aborted = 0;             ///< connections force-closed
   std::uint64_t deadline_exceeded = 0;   ///< requests over the deadline
+  std::uint64_t bytes_read = 0;          ///< request bytes received
+  std::uint64_t bytes_written = 0;       ///< response bytes sent
 };
 
 /// Outcome of a graceful drain (subset of stats, for the caller's log).
@@ -95,6 +99,16 @@ struct HttpServerOptions {
   /// Extra JSON object spliced into /statsz under "app" (e.g. cache hit
   /// rates). Must return a valid JSON object or an empty string.
   std::function<std::string()> stats_supplement;
+  /// Routes (beyond the built-in /healthz /statsz /metricsz /tracez) that
+  /// get their own request-latency histogram. Cardinality rule: this is a
+  /// closed set fixed at construction — any other path is folded into the
+  /// "other" series, so client-controlled paths can never mint metrics.
+  std::vector<std::string> metrics_routes;
+  /// Extra scrape-time metrics appended to /metricsz (e.g. cache stats of
+  /// the current snapshot epoch).
+  std::function<void(std::vector<obs::MetricSnapshot>&)> metrics_supplement;
+  /// Default span count served by /tracez (override per request with ?n=).
+  std::size_t tracez_default_spans = 256;
 };
 
 class HttpServer {
@@ -135,14 +149,23 @@ class HttpServer {
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
   deadline_exceeded_by_route() const;
 
+  /// This server's own registry (request counters, per-route latency).
+  /// /metricsz merges it with MetricsRegistry::global(); exposing it lets
+  /// tests scrape without sockets.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
  private:
   void accept_loop();
   void worker_loop();
   void serve_connection(int fd);
   void shed_connection(int fd);
   void note_deadline_exceeded(const std::string& route);
+  void observe_request(const std::string& path, std::uint64_t duration_us,
+                       std::uint64_t trace_start_us, bool tracing);
   [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
   [[nodiscard]] std::string statsz_body() const;
+  [[nodiscard]] std::string metricsz_body() const;
+  [[nodiscard]] std::string tracez_body(const HttpRequest& request) const;
   void join_all();
 
   Handler handler_;
@@ -169,20 +192,32 @@ class HttpServer {
   mutable std::mutex deadline_mutex_;
   std::unordered_map<std::string, std::uint64_t> deadline_by_route_;
 
-  // stats (relaxed atomics; read as a snapshot)
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> responses_2xx_{0};
-  std::atomic<std::uint64_t> responses_4xx_{0};
-  std::atomic<std::uint64_t> responses_5xx_{0};
-  std::atomic<std::uint64_t> malformed_{0};
-  std::atomic<std::uint64_t> timeouts_{0};
-  std::atomic<std::uint64_t> overload_rejected_{0};
-  std::atomic<std::uint64_t> accept_retried_{0};
-  std::atomic<std::uint64_t> emfile_recoveries_{0};
-  std::atomic<std::uint64_t> drained_{0};
-  std::atomic<std::uint64_t> aborted_{0};
-  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  // Stats live in the per-server registry; these are handles bound once in
+  // the constructor (writes are striped relaxed atomics, reads sum them).
+  obs::MetricsRegistry metrics_;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* responses_2xx_ = nullptr;
+  obs::Counter* responses_4xx_ = nullptr;
+  obs::Counter* responses_5xx_ = nullptr;
+  obs::Counter* malformed_ = nullptr;
+  obs::Counter* timeouts_ = nullptr;
+  obs::Counter* overload_rejected_ = nullptr;
+  obs::Counter* accept_retried_ = nullptr;
+  obs::Counter* emfile_recoveries_ = nullptr;
+  obs::Counter* drained_ = nullptr;
+  obs::Counter* aborted_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
+  obs::Counter* bytes_read_ = nullptr;
+  obs::Counter* bytes_written_ = nullptr;
+  /// Per-route instruments, bound once at construction so the request
+  /// path does no string building (the span name is preassembled).
+  struct RouteObs {
+    obs::Histogram* latency = nullptr;
+    std::string span_name;  ///< "http <route>"
+  };
+  std::unordered_map<std::string, RouteObs> route_latency_;
+  obs::Histogram* other_route_latency_ = nullptr;
 };
 
 }  // namespace asrel::serve

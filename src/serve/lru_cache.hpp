@@ -5,9 +5,12 @@
 // different keys rarely contend. Values are shared_ptr<const V>: a hit
 // hands out a reference without copying, and eviction never invalidates a
 // value a request thread is still serializing.
+//
+// Accounting is per shard — hits, misses, and evictions are plain counters
+// guarded by the shard mutex the operation already holds, so telemetry adds
+// no atomics to the hot path and /metricsz can report shard balance.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -19,10 +22,19 @@
 
 namespace asrel::serve {
 
+struct ShardStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
   std::size_t entries = 0;
+  std::vector<ShardStats> shards;
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -52,22 +64,23 @@ class ShardedLruCache {
     {
       std::lock_guard<std::mutex> lock{shard.mutex};
       if (auto hit = lookup_locked(shard, key)) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        ++shard.hits;
         return hit;
       }
     }
     std::shared_ptr<const V> value = compute();
     std::lock_guard<std::mutex> lock{shard.mutex};
     if (auto raced = lookup_locked(shard, key)) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      ++shard.hits;
       return raced;
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     shard.order.push_front(Entry{key, value});
     shard.index[key] = shard.order.begin();
     if (shard.order.size() > capacity_) {
       shard.index.erase(shard.order.back().key);
       shard.order.pop_back();
+      ++shard.evictions;
     }
     return value;
   }
@@ -76,23 +89,33 @@ class ShardedLruCache {
     Shard& shard = shard_of(key);
     std::lock_guard<std::mutex> lock{shard.mutex};
     if (auto hit = lookup_locked(shard, key)) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      ++shard.hits;
       return hit;
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return nullptr;
   }
 
   [[nodiscard]] CacheStats stats() const {
     CacheStats stats;
-    stats.hits = hits_.load(std::memory_order_relaxed);
-    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.shards.reserve(shards_.size());
     for (const auto& shard : shards_) {
+      ShardStats s;
       std::lock_guard<std::mutex> lock{shard.mutex};
-      stats.entries += shard.order.size();
+      s.hits = shard.hits;
+      s.misses = shard.misses;
+      s.evictions = shard.evictions;
+      s.entries = shard.order.size();
+      stats.hits += s.hits;
+      stats.misses += s.misses;
+      stats.evictions += s.evictions;
+      stats.entries += s.entries;
+      stats.shards.push_back(s);
     }
     return stats;
   }
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
  private:
   struct Entry {
@@ -103,6 +126,9 @@ class ShardedLruCache {
     mutable std::mutex mutex;
     std::list<Entry> order;  ///< front = most recently used
     std::unordered_map<K, typename std::list<Entry>::iterator, Hash> index;
+    std::uint64_t hits = 0;       ///< guarded by mutex
+    std::uint64_t misses = 0;     ///< guarded by mutex
+    std::uint64_t evictions = 0;  ///< guarded by mutex
   };
 
   Shard& shard_of(const K& key) {
@@ -119,8 +145,6 @@ class ShardedLruCache {
 
   std::vector<Shard> shards_;
   std::size_t capacity_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace asrel::serve

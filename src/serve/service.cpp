@@ -234,6 +234,7 @@ std::string AsrelService::stats_json() const {
   json.key("report_cache").begin_object();
   json.field("hits", cache.hits);
   json.field("misses", cache.misses);
+  json.field("evictions", cache.evictions);
   json.field("entries", cache.entries);
   json.field("hit_rate", cache.hit_rate());
   json.end_object();
@@ -249,6 +250,62 @@ std::string AsrelService::stats_json() const {
   json.field("validation_labels", engine->snapshot().validation.size());
   json.end_object();
   return std::move(json).str();
+}
+
+void AsrelService::collect_metrics(
+    std::vector<obs::MetricSnapshot>& out) const {
+  const auto counter = [&out](std::string name, double value,
+                              std::string_view help = {}) {
+    obs::MetricSnapshot snap;
+    snap.name = std::move(name);
+    snap.help = std::string{help};
+    snap.type = obs::MetricType::kCounter;
+    snap.value = value;
+    out.push_back(std::move(snap));
+  };
+  const auto gauge = [&out](std::string name, double value,
+                            std::string_view help = {}) {
+    obs::MetricSnapshot snap;
+    snap.name = std::move(name);
+    snap.help = std::string{help};
+    snap.type = obs::MetricType::kGauge;
+    snap.value = value;
+    out.push_back(std::move(snap));
+  };
+
+  const std::shared_ptr<const QueryEngine> engine = hub_->current();
+  const CacheStats cache = engine->cache_stats();
+  for (std::size_t i = 0; i < cache.shards.size(); ++i) {
+    const ShardStats& shard = cache.shards[i];
+    const std::string label = "{shard=\"" + std::to_string(i) + "\"}";
+    counter("asrel_cache_hits_total" + label,
+            static_cast<double>(shard.hits),
+            "Report-cache hits per shard (current snapshot epoch)");
+    counter("asrel_cache_misses_total" + label,
+            static_cast<double>(shard.misses));
+    counter("asrel_cache_evictions_total" + label,
+            static_cast<double>(shard.evictions));
+    gauge("asrel_cache_entries" + label,
+          static_cast<double>(shard.entries));
+  }
+  const EngineHub::Stats reload = hub_->stats();
+  gauge("asrel_engine_epoch", static_cast<double>(reload.epoch),
+        "Snapshot epoch currently serving");
+  gauge("asrel_engine_observed_links",
+        static_cast<double>(engine->snapshot().links.size()));
+  gauge("asrel_engine_validation_labels",
+        static_cast<double>(engine->snapshot().validation.size()));
+}
+
+std::vector<std::string> AsrelService::metric_routes() {
+  return {"/rel",
+          "/as",
+          "/links",
+          "/snapshot",
+          "/report/regional",
+          "/report/topological",
+          "/report/table",
+          "/reloadz"};
 }
 
 }  // namespace asrel::serve

@@ -20,7 +20,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/engine_hub.hpp"
 #include "serve/http_server.hpp"
 #include "serve/query_engine.hpp"
@@ -43,6 +45,15 @@ class AsrelService {
   /// JSON object with engine + reload stats, for HttpServer's /statsz
   /// supplement hook.
   [[nodiscard]] std::string stats_json() const;
+
+  /// Scrape-time metrics (per-shard cache counters, engine gauges) for
+  /// HttpServer's /metricsz supplement hook. Reads the current epoch's
+  /// cache, so numbers reset on reload — exactly what the cache does.
+  void collect_metrics(std::vector<obs::MetricSnapshot>& out) const;
+
+  /// The service's route set, for HttpServerOptions::metrics_routes (the
+  /// per-route latency allowlist).
+  [[nodiscard]] static std::vector<std::string> metric_routes();
 
   [[nodiscard]] EngineHub& hub() const { return *hub_; }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace asrel::val {
 
@@ -37,6 +38,7 @@ ValidationSet extract_from_communities(const bgp::Propagator& propagator,
                                        const SchemeDirectory& schemes,
                                        const ExtractParams& params,
                                        ExtractStats* stats) {
+  obs::StageScope stage{"validation.extract_communities"};
   const auto& world = propagator.world();
   const auto& graph = world.graph;
 
@@ -211,6 +213,7 @@ ValidationSet extract_from_communities(const bgp::Propagator& propagator,
       std::max<std::size_t>(1, std::min<std::size_t>(threads, origins));
   std::vector<Shard> shards = core::parallel_map_ordered<Shard>(
       pool, chunks, threads, [&](std::size_t chunk) {
+        obs::TraceSpan span{"validation.extract.chunk"};
         Shard shard;
         std::vector<Asn> hops;
         const std::size_t begin = chunk * origins / chunks;

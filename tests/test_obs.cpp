@@ -1,0 +1,467 @@
+// Observability layer: lock-free counters/histograms under concurrent
+// hammering (the TSan job runs the Obs.* filter), Prometheus bucket
+// semantics and the nearest-rank quantile rule, span nesting/export
+// determinism, the /metricsz exposition format, and the layer's central
+// invariant — analysis reports are byte-identical with tracing enabled.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bias_audit.hpp"
+#include "core/scenario.hpp"
+#include "eval/coverage.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/http_server.hpp"
+
+namespace asrel {
+namespace {
+
+// ---------------------------------------------------------------- counters
+
+TEST(Obs, CounterConcurrentHammering) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Obs, GaugeSetAndAdd) {
+  obs::Gauge gauge;
+  gauge.set(7);
+  gauge.add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+}
+
+// -------------------------------------------------------------- histograms
+
+TEST(Obs, HistogramBucketBoundariesAreLessOrEqual) {
+  // Prometheus `le` semantics: an observation exactly at a bound belongs
+  // to that bound's bucket, not the next one.
+  obs::Histogram hist{{1.0, 2.0, 4.0}};
+  hist.observe(1.0);   // bucket le=1
+  hist.observe(1.5);   // bucket le=2
+  hist.observe(2.0);   // bucket le=2
+  hist.observe(4.0);   // bucket le=4
+  hist.observe(4.01);  // +Inf
+  const auto snap = hist.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1.0 + 1.5 + 2.0 + 4.0 + 4.01);
+}
+
+TEST(Obs, HistogramConcurrentObserve) {
+  obs::Histogram hist{obs::latency_buckets_us()};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.observe(static_cast<double>(50 + (i * 37 + t) % 1000));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t bucket_total = 0;
+  for (const auto c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(Obs, QuantileNearestRankSmallSample) {
+  // The regression the shared estimator exists for: with 10 samples
+  // 1..10, p99 must be the maximum. The old sorted-vector form
+  // `v[floor(0.99 * 9)]` picked the 9th-smallest (index 8) instead.
+  obs::Histogram hist{{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}};
+  for (int v = 1; v <= 10; ++v) hist.observe(static_cast<double>(v));
+  const auto snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(snap, 0.99), 10.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(snap, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(snap, 0.0), 1.0);  // rank >= 1
+}
+
+TEST(Obs, QuantileInterpolatesInsideBucket) {
+  // 4 observations in one [0, 100] bucket: rank r sits at r/4 of the way.
+  obs::Histogram hist{{100.0, 200.0}};
+  for (int i = 0; i < 4; ++i) hist.observe(50.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(hist.snapshot(), 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(hist.snapshot(), 1.0), 100.0);
+}
+
+TEST(Obs, QuantileEmptyAndInfBucket) {
+  obs::Histogram hist{{10.0}};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(hist.snapshot(), 0.99), 0.0);
+  hist.observe(1e9);  // lands in +Inf: estimate clamps to the last bound
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(hist.snapshot(), 0.99), 10.0);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(Obs, RegistryReturnsStableInstruments) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("asrel_test_total", "first help wins");
+  obs::Counter& b = registry.counter("asrel_test_total", "ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Obs, RegistrySnapshotIsNameSortedAndIncludesCollectors) {
+  obs::MetricsRegistry registry;
+  registry.counter("asrel_zz_total").add(2);
+  registry.gauge("asrel_aa_depth").set(5);
+  registry.add_collector([](std::vector<obs::MetricSnapshot>& out) {
+    obs::MetricSnapshot snap;
+    snap.name = "asrel_mm_total";
+    snap.type = obs::MetricType::kCounter;
+    snap.value = 9.0;
+    out.push_back(std::move(snap));
+  });
+  const auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "asrel_aa_depth");
+  EXPECT_EQ(snaps[1].name, "asrel_mm_total");
+  EXPECT_EQ(snaps[2].name, "asrel_zz_total");
+}
+
+TEST(Obs, PrometheusRenderGolden) {
+  obs::MetricsRegistry registry;
+  registry.counter("asrel_req_total{route=\"/rel\"}", "Requests by route")
+      .add(3);
+  registry.counter("asrel_req_total{route=\"other\"}").add(1);
+  registry.gauge("asrel_depth", "Queue depth").set(4);
+  auto& hist = registry.histogram("asrel_lat_us{route=\"/rel\"}",
+                                  {1.0, 2.5}, "Latency");
+  hist.observe(1.0);
+  hist.observe(2.0);
+  hist.observe(9.0);
+  const std::string text = obs::render_prometheus(registry.snapshot());
+  EXPECT_EQ(text,
+            "# HELP asrel_depth Queue depth\n"
+            "# TYPE asrel_depth gauge\n"
+            "asrel_depth 4\n"
+            "# HELP asrel_lat_us Latency\n"
+            "# TYPE asrel_lat_us histogram\n"
+            "asrel_lat_us_bucket{route=\"/rel\",le=\"1\"} 1\n"
+            "asrel_lat_us_bucket{route=\"/rel\",le=\"2.5\"} 2\n"
+            "asrel_lat_us_bucket{route=\"/rel\",le=\"+Inf\"} 3\n"
+            "asrel_lat_us_sum{route=\"/rel\"} 12\n"
+            "asrel_lat_us_count{route=\"/rel\"} 3\n"
+            "# HELP asrel_req_total Requests by route\n"
+            "# TYPE asrel_req_total counter\n"
+            "asrel_req_total{route=\"/rel\"} 3\n"
+            "asrel_req_total{route=\"other\"} 1\n");
+}
+
+/// A Prometheus text page: every line is a comment or `series value` with
+/// a parseable number. Returns the number of sample lines.
+std::size_t check_exposition(const std::string& text) {
+  std::size_t samples = 0;
+  std::istringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      ADD_FAILURE() << "blank line in exposition";
+      continue;
+    }
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      ADD_FAILURE() << "sample line without a value: " << line;
+      continue;
+    }
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_TRUE(end != nullptr && *end == '\0') << line;
+    ++samples;
+  }
+  return samples;
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(Obs, SpanNestingAndDeterministicOrder) {
+  auto& tracer = obs::Tracer::instance();
+  obs::ScopedTracing tracing{true, /*clear_on_exit=*/true};
+  tracer.clear();
+  {
+    obs::TraceSpan outer{"obs.test.outer"};
+    { obs::TraceSpan inner{"obs.test.inner"}; }
+  }
+  { obs::TraceSpan second{"obs.test.second"}; }
+
+  std::vector<obs::SpanRecord> mine;
+  for (const auto& span : tracer.collect()) {
+    if (span.name.rfind("obs.test.", 0) == 0) mine.push_back(span);
+  }
+  ASSERT_EQ(mine.size(), 3u);
+  // One thread: completion order is inner, outer, second — and stays that
+  // way on every run.
+  EXPECT_EQ(mine[0].name, "obs.test.inner");
+  EXPECT_EQ(mine[1].name, "obs.test.outer");
+  EXPECT_EQ(mine[2].name, "obs.test.second");
+  EXPECT_EQ(mine[0].depth, 1u);
+  EXPECT_EQ(mine[1].depth, 0u);
+  EXPECT_EQ(mine[2].depth, 0u);
+  EXPECT_LT(mine[0].seq, mine[1].seq);
+  EXPECT_LT(mine[1].seq, mine[2].seq);
+  // The inner span nests inside the outer one's wall-clock window.
+  EXPECT_GE(mine[0].start_us, mine[1].start_us);
+  EXPECT_LE(mine[0].start_us + mine[0].dur_us,
+            mine[1].start_us + mine[1].dur_us);
+
+  // recent(1) returns the newest by global sequence.
+  const auto recent = tracer.recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].name, "obs.test.second");
+}
+
+TEST(Obs, SpanDisabledRecordsNothing) {
+  auto& tracer = obs::Tracer::instance();
+  obs::ScopedTracing tracing{false, /*clear_on_exit=*/true};
+  tracer.clear();
+  { obs::TraceSpan span{"obs.test.silent"}; }
+  for (const auto& span : tracer.collect()) {
+    EXPECT_NE(span.name, "obs.test.silent");
+  }
+}
+
+TEST(Obs, SpanRingOverwritesOldestAndCountsDrops) {
+  auto& tracer = obs::Tracer::instance();
+  obs::ScopedTracing tracing{true, /*clear_on_exit=*/true};
+  tracer.clear();
+  tracer.set_capacity_per_thread(4);
+  const std::uint64_t dropped_before = tracer.dropped();
+  // Capacity applies to threads that register after the call, so record
+  // from a fresh thread.
+  std::thread([] {
+    for (int i = 0; i < 10; ++i) {
+      obs::TraceSpan span{"obs.test.ring." + std::to_string(i)};
+    }
+  }).join();
+  tracer.set_capacity_per_thread(4096);  // restore the default
+
+  std::vector<std::string> names;
+  for (const auto& span : obs::Tracer::instance().collect()) {
+    if (span.name.rfind("obs.test.ring.", 0) == 0) {
+      names.push_back(span.name);
+    }
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "obs.test.ring.6", "obs.test.ring.7",
+                       "obs.test.ring.8", "obs.test.ring.9"}));
+  EXPECT_EQ(tracer.dropped() - dropped_before, 6u);
+}
+
+TEST(Obs, ChromeTraceJsonHasOneEventPerSpan) {
+  auto& tracer = obs::Tracer::instance();
+  obs::ScopedTracing tracing{true, /*clear_on_exit=*/true};
+  tracer.clear();
+  { obs::TraceSpan span{"obs.test.chrome"}; }
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs.test.chrome\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// ------------------------------------------- tracing never changes output
+
+TEST(Obs, ReportsByteIdenticalWithTracingEnabled) {
+  core::ScenarioParams params;
+  params.topology.as_count = 400;
+  params.topology.seed = 7;
+
+  const auto render = [&] {
+    const auto scenario = core::Scenario::build(params);
+    const core::BiasAudit audit{*scenario};
+    return eval::render_coverage(audit.regional_coverage()) + "\n" +
+           eval::render_coverage(audit.topological_coverage());
+  };
+
+  std::string plain, traced;
+  {
+    obs::ScopedTracing tracing{false, /*clear_on_exit=*/true};
+    plain = render();
+  }
+  {
+    obs::ScopedTracing tracing{true, /*clear_on_exit=*/true};
+    traced = render();
+    // The traced run actually recorded pipeline spans...
+    bool saw_stage = false;
+    for (const auto& span : obs::Tracer::instance().collect()) {
+      saw_stage = saw_stage || span.name == "pipeline.build";
+    }
+    EXPECT_TRUE(saw_stage);
+  }
+  // ...and produced the exact same bytes.
+  EXPECT_EQ(plain, traced);
+
+  // The build also fed the always-on stage metrics in the global registry.
+  const std::string text =
+      obs::render_prometheus(obs::MetricsRegistry::global().snapshot());
+  EXPECT_NE(text.find("asrel_stage_runs_total{stage=\"pipeline.build\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("asrel_stage_duration_us_bucket"), std::string::npos);
+  EXPECT_NE(text.find("asrel_pool_"), std::string::npos);
+  check_exposition(text);
+}
+
+// ------------------------------------------------------- /metricsz, /tracez
+
+/// Minimal blocking keep-alive client (same shape as test_serve.cpp's).
+class ObsTestClient {
+ public:
+  explicit ObsTestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~ObsTestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  int get(const std::string& path, std::string* body = nullptr) {
+    const std::string raw =
+        "GET " + path + " HTTP/1.1\r\nHost: test\r\n\r\n";
+    if (::send(fd_, raw.data(), raw.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(raw.size())) {
+      return -1;
+    }
+    std::string data = std::move(leftover_);
+    leftover_.clear();
+    std::size_t header_end;
+    while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
+      if (!recv_more(&data)) return -1;
+    }
+    std::size_t content_length = 0;
+    const std::size_t cl = data.find("Content-Length: ");
+    if (cl != std::string::npos && cl < header_end) {
+      content_length = static_cast<std::size_t>(
+          std::strtoull(data.c_str() + cl + 16, nullptr, 10));
+    }
+    const std::size_t total = header_end + 4 + content_length;
+    while (data.size() < total) {
+      if (!recv_more(&data)) return -1;
+    }
+    if (body != nullptr) *body = data.substr(header_end + 4, content_length);
+    leftover_ = data.substr(total);
+    return std::atoi(data.c_str() + data.find(' ') + 1);
+  }
+
+ private:
+  bool recv_more(std::string* data) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    data->append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string leftover_;
+};
+
+TEST(Obs, HttpMetricszAndTracez) {
+  obs::ScopedTracing tracing{true, /*clear_on_exit=*/true};
+  obs::Tracer::instance().clear();
+
+  serve::HttpServerOptions options;
+  options.port = 0;
+  options.worker_threads = 2;
+  options.metrics_routes = {"/ping"};
+  options.metrics_supplement = [](std::vector<obs::MetricSnapshot>& out) {
+    obs::MetricSnapshot snap;
+    snap.name = "asrel_supplement_gauge";
+    snap.type = obs::MetricType::kGauge;
+    snap.value = 42.0;
+    out.push_back(std::move(snap));
+  };
+  serve::HttpServer server{
+      [](const serve::HttpRequest&) {
+        return serve::HttpResponse::json(200, "{\"pong\":true}");
+      },
+      options};
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ObsTestClient client{server.port()};
+  ASSERT_TRUE(client.connected());
+  std::string body;
+  EXPECT_EQ(client.get("/ping", &body), 200);
+  EXPECT_EQ(client.get("/elsewhere", &body), 200);  // folds into "other"
+
+  EXPECT_EQ(client.get("/metricsz", &body), 200);
+  EXPECT_GT(check_exposition(body), 10u);
+  EXPECT_NE(body.find("# TYPE asrel_http_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("asrel_http_responses_total{code=\"2xx\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("asrel_http_request_duration_us_bucket{route=\"/ping\""),
+      std::string::npos);
+  EXPECT_NE(
+      body.find("asrel_http_request_duration_us_count{route=\"other\"} 1"),
+      std::string::npos);
+  EXPECT_NE(body.find("asrel_supplement_gauge 42"), std::string::npos);
+  // Global-registry families (pool/stage metrics from earlier tests in
+  // this binary) merge into the same page.
+  EXPECT_NE(body.find("asrel_http_bytes_read_total"), std::string::npos);
+
+  // /tracez serves the most recent spans; the /ping requests above were
+  // recorded because tracing is on.
+  EXPECT_EQ(client.get("/tracez?n=64", &body), 200);
+  EXPECT_NE(body.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(body.find("\"http /ping\""), std::string::npos);
+  EXPECT_NE(body.find("\"http other\""), std::string::npos);
+
+  // An unparseable n falls back to the default window rather than erroring.
+  EXPECT_EQ(client.get("/tracez?n=bogus", &body), 200);
+
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_GE(stats.requests, 5u);
+  EXPECT_GT(stats.bytes_read, 0u);
+  EXPECT_GT(stats.bytes_written, 0u);
+}
+
+}  // namespace
+}  // namespace asrel

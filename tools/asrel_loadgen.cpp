@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace {
 
 struct Args {
@@ -242,20 +244,13 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> parse_links(
 }
 
 struct WorkerResult {
-  std::vector<double> latencies_us;
+  double max_latency_us = 0.0;
   long requests = 0;   ///< requests attempted (not counting retries)
   long success = 0;    ///< final status 200
   long shed = 0;       ///< saw at least one 503 (even if a retry succeeded)
   long retried = 0;    ///< retry attempts spent
   long errors = 0;     ///< exhausted retries without a 200/503, or hard fail
 };
-
-double percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto index = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1));
-  return sorted[index];
-}
 
 }  // namespace
 
@@ -292,6 +287,12 @@ int main(int argc, char** argv) {
       std::chrono::milliseconds(args->requests > 0 ? (1L << 40)
                                                    : args->duration_ms);
   const bool mixed = args->mode == "mixed";
+
+  // The same histogram type + quantile estimator the server uses for its
+  // per-route /metricsz latencies, so client- and server-side percentiles
+  // are directly comparable. observe() is thread-striped, so every worker
+  // writes into this one instance without contention.
+  asrel::obs::Histogram latency_hist{asrel::obs::latency_buckets_us()};
 
   std::vector<WorkerResult> results(
       static_cast<std::size_t>(args->connections));
@@ -335,8 +336,11 @@ int main(int argc, char** argv) {
           const auto t1 = std::chrono::steady_clock::now();
           if (status == 200) {
             ++result.success;
-            result.latencies_us.push_back(
-                std::chrono::duration<double, std::micro>(t1 - t0).count());
+            const double latency_us =
+                std::chrono::duration<double, std::micro>(t1 - t0).count();
+            latency_hist.observe(latency_us);
+            result.max_latency_us = std::max(result.max_latency_us,
+                                             latency_us);
             resolved = true;
             break;
           }
@@ -365,7 +369,7 @@ int main(int argc, char** argv) {
           .count();
 
   // ---- report ----
-  std::vector<double> latencies;
+  double max_latency_us = 0.0;
   long total = 0, success = 0, shed = 0, retried = 0, errors = 0;
   for (auto& result : results) {
     total += result.requests;
@@ -373,10 +377,9 @@ int main(int argc, char** argv) {
     shed += result.shed;
     retried += result.retried;
     errors += result.errors;
-    latencies.insert(latencies.end(), result.latencies_us.begin(),
-                     result.latencies_us.end());
+    max_latency_us = std::max(max_latency_us, result.max_latency_us);
   }
-  std::sort(latencies.begin(), latencies.end());
+  const auto latency = latency_hist.snapshot();
   std::printf("requests:    %ld\n", total);
   std::printf("success:     %ld\n", success);
   std::printf("shed (503):  %ld\n", shed);
@@ -385,10 +388,12 @@ int main(int argc, char** argv) {
   std::printf("elapsed:     %.3f s\n", elapsed_s);
   std::printf("throughput:  %.0f req/s\n",
               elapsed_s > 0 ? static_cast<double>(success) / elapsed_s : 0.0);
-  std::printf("latency p50: %.0f us\n", percentile(latencies, 0.50));
-  std::printf("latency p90: %.0f us\n", percentile(latencies, 0.90));
-  std::printf("latency p99: %.0f us\n", percentile(latencies, 0.99));
-  std::printf("latency max: %.0f us\n",
-              latencies.empty() ? 0.0 : latencies.back());
+  std::printf("latency p50: %.0f us\n",
+              asrel::obs::histogram_quantile(latency, 0.50));
+  std::printf("latency p90: %.0f us\n",
+              asrel::obs::histogram_quantile(latency, 0.90));
+  std::printf("latency p99: %.0f us\n",
+              asrel::obs::histogram_quantile(latency, 0.99));
+  std::printf("latency max: %.0f us\n", max_latency_us);
   return errors == 0 ? 0 : 1;
 }

@@ -16,7 +16,7 @@
 //                   connections within --drain-ms, then exit
 //
 // Endpoints: /rel /as /links /report/{regional,topological} /report/table
-// /snapshot /healthz /statsz — see src/serve/service.hpp.
+// /snapshot /healthz /statsz /metricsz /tracez — see src/serve/service.hpp.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -28,6 +28,7 @@
 #include <thread>
 
 #include "core/scenario.hpp"
+#include "obs/trace.hpp"
 #include "core/snapshot_builder.hpp"
 #include "io/snapshot.hpp"
 #include "serve/engine_hub.hpp"
@@ -49,6 +50,8 @@ struct Args {
   int timeout_ms = 5000;
   int deadline_ms = 10000;
   int drain_ms = 5000;
+  int max_pending = 256;   ///< admission-queue bound (503 shed beyond it)
+  bool trace = false;      ///< record server spans (served via /tracez)
 };
 
 int usage() {
@@ -57,6 +60,7 @@ int usage() {
       "usage:\n"
       "  asrel_serve --snapshot FILE [--port P] [--threads N]\n"
       "              [--timeout-ms MS] [--deadline-ms MS] [--drain-ms MS]\n"
+      "              [--max-pending N] [--trace]\n"
       "  asrel_serve --generate [--as-count N] [--seed S] [--save FILE]\n"
       "              [--port P] [--threads N]\n"
       "signals: SIGHUP = hot snapshot reload, SIGINT/SIGTERM = drain+exit\n");
@@ -69,6 +73,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
     const std::string_view flag = argv[i];
     if (flag == "--generate") {
       args.generate = true;
+      continue;
+    }
+    if (flag == "--trace") {
+      args.trace = true;
       continue;
     }
     if (i + 1 >= argc) return std::nullopt;
@@ -91,6 +99,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.deadline_ms = std::atoi(value);
     } else if (flag == "--drain-ms") {
       args.drain_ms = std::atoi(value);
+    } else if (flag == "--max-pending") {
+      args.max_pending = std::atoi(value);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i - 1]);
       return std::nullopt;
@@ -181,7 +191,15 @@ int main(int argc, char** argv) {
   options.request_timeout_ms = args->timeout_ms;
   options.request_deadline_ms = args->deadline_ms;
   options.drain_deadline_ms = args->drain_ms;
+  options.max_pending_connections =
+      static_cast<std::size_t>(args->max_pending < 1 ? 1 : args->max_pending);
   options.stats_supplement = [&service] { return service.stats_json(); };
+  options.metrics_routes = serve::AsrelService::metric_routes();
+  options.metrics_supplement =
+      [&service](std::vector<obs::MetricSnapshot>& out) {
+        service.collect_metrics(out);
+      };
+  if (args->trace) obs::Tracer::instance().set_enabled(true);
   serve::HttpServer server{
       [&service](const serve::HttpRequest& request) {
         return service.handle(request);

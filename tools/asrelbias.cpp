@@ -29,6 +29,7 @@
 #include <string>
 
 #include "core/bias_audit.hpp"
+#include "obs/trace.hpp"
 #include "core/case_study.hpp"
 #include "core/scenario.hpp"
 #include "infer/asrank.hpp"
@@ -55,6 +56,7 @@ struct Args {
   std::string algo = "asrank";
   std::string inferred;
   std::string validation;
+  std::string trace_out;  ///< Chrome-tracing JSON path; empty = tracing off
 };
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -80,6 +82,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.inferred = value;
     } else if (flag == "--validation") {
       args.validation = value;
+    } else if (flag == "--trace-out") {
+      args.trace_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return std::nullopt;
@@ -98,7 +102,9 @@ int usage() {
       "  asrelbias eval --inferred FILE --validation FILE\n"
       "  asrelbias audit [--as-count N] [--seed S]\n"
       "common: --threads N  worker count (0 = auto); output is identical\n"
-      "        for every setting\n");
+      "        for every setting\n"
+      "        --trace-out FILE  write a chrome://tracing JSON timeline of\n"
+      "        the run's pipeline stages (results are unaffected)\n");
   return 2;
 }
 
@@ -288,9 +294,33 @@ int cmd_audit(const Args& args) {
 int main(int argc, char** argv) {
   const auto args = parse_args(argc, argv);
   if (!args) return usage();
-  if (args->command == "generate") return cmd_generate(*args);
-  if (args->command == "infer") return cmd_infer(*args);
-  if (args->command == "eval") return cmd_eval(*args);
-  if (args->command == "audit") return cmd_audit(*args);
-  return usage();
+  if (!args->trace_out.empty()) {
+    asrel::obs::Tracer::instance().set_enabled(true);
+  }
+
+  int status = 2;
+  if (args->command == "generate") {
+    status = cmd_generate(*args);
+  } else if (args->command == "infer") {
+    status = cmd_infer(*args);
+  } else if (args->command == "eval") {
+    status = cmd_eval(*args);
+  } else if (args->command == "audit") {
+    status = cmd_audit(*args);
+  } else {
+    return usage();
+  }
+
+  if (!args->trace_out.empty()) {
+    std::string error;
+    if (asrel::obs::Tracer::instance().write_chrome_trace(args->trace_out,
+                                                          &error)) {
+      std::fprintf(stderr, "wrote trace %s\n", args->trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace %s: %s\n",
+                   args->trace_out.c_str(), error.c_str());
+      if (status == 0) status = 1;
+    }
+  }
+  return status;
 }
