@@ -190,6 +190,11 @@ int main() {
   json.field("as_count", params.topology.as_count);
   json.field("seed", static_cast<std::uint64_t>(params.topology.seed));
   json.field("hardware_threads", static_cast<std::uint64_t>(hardware));
+  // On a 1-hardware-thread runner every "parallel" run is time-sliced onto
+  // the same core, so the speedup columns measure scheduler overhead, not
+  // scaling. Flag it so downstream tooling does not chart these as
+  // regressions.
+  json.field("degenerate_single_thread", hardware <= 1);
   json.field("all_outputs_byte_identical", all_identical);
   json.key("stages").begin_array();
   for (const auto& stage : stages) {

@@ -1,0 +1,170 @@
+// Throughput bench for the streaming pipeline (src/stream).
+//
+// Bootstraps a StreamSession (timed — this is the full-pipeline cost the
+// incremental path is measured against), generates a seeded churn feed, and
+// applies it in publish batches while timing every apply() and publish()
+// individually. Reports events/s, per-event apply p50/p99, per-epoch
+// publish p50/p99, and the headline incremental-vs-full speedup
+// (full-pipeline ms over amortised per-event ms, publishes included).
+// The final epoch is byte-compared against a from-scratch rebuild — the
+// bench fails rather than report numbers for a wrong answer.
+//
+// Emits BENCH_stream.json. Environment overrides: ASREL_AS_COUNT (default
+// 4000), ASREL_SEED (42), ASREL_STREAM_EVENTS (300), ASREL_CHURN_SEED (1),
+// ASREL_STREAM_BATCH (25), ASREL_THREADS (0 = auto).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/snapshot.hpp"
+#include "serve/json.hpp"
+#include "stream/churn.hpp"
+#include "stream/session.hpp"
+
+namespace {
+
+using namespace asrel;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Nearest-rank quantile over raw samples (exact, unlike the bucketed
+/// estimator in obs — a bench can afford to keep every sample).
+double quantile_ms(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  core::ScenarioParams params;
+  params.topology.as_count = bench::env_int("ASREL_AS_COUNT", 4000);
+  params.topology.seed =
+      static_cast<std::uint64_t>(bench::env_int("ASREL_SEED", 42));
+  params.threads = static_cast<unsigned>(bench::env_int("ASREL_THREADS", 0));
+  const int event_count = bench::env_int("ASREL_STREAM_EVENTS", 300);
+  const auto churn_seed =
+      static_cast<std::uint64_t>(bench::env_int("ASREL_CHURN_SEED", 1));
+  int batch = bench::env_int("ASREL_STREAM_BATCH", 25);
+  if (batch < 1) batch = 1;
+
+  std::printf("== stream_throughput (%d ASes, seed %llu, %d events) ==\n",
+              params.topology.as_count,
+              static_cast<unsigned long long>(params.topology.seed),
+              event_count);
+
+  auto t0 = Clock::now();
+  stream::StreamSession session{params};
+  const double bootstrap_ms = ms_since(t0);
+  std::printf("bootstrap (full pipeline): %.1f ms\n", bootstrap_ms);
+
+  const auto events =
+      stream::generate_churn(session.world(), churn_seed,
+                             static_cast<std::size_t>(event_count));
+
+  std::vector<double> apply_ms;
+  std::vector<double> publish_ms;
+  apply_ms.reserve(events.size());
+  std::uint64_t built = 1;  // deterministic stamp so the verify can compare
+  for (std::size_t i = 0; i < events.size();) {
+    const std::size_t end =
+        std::min(events.size(), i + static_cast<std::size_t>(batch));
+    for (; i < end; ++i) {
+      t0 = Clock::now();
+      session.apply(events[i]);
+      apply_ms.push_back(ms_since(t0));
+    }
+    t0 = Clock::now();
+    session.publish(++built);
+    publish_ms.push_back(ms_since(t0));
+  }
+
+  const std::string incremental = io::to_snapshot_bytes(session.snapshot());
+  const std::string reference =
+      io::to_snapshot_bytes(session.reference_snapshot(built));
+  const bool identical = incremental == reference;
+  if (!identical) {
+    std::printf("FATAL: final epoch diverged from a from-scratch rebuild\n");
+  }
+
+  double apply_total = 0.0;
+  for (const double ms : apply_ms) apply_total += ms;
+  double publish_total = 0.0;
+  for (const double ms : publish_ms) publish_total += ms;
+  const auto processed = static_cast<double>(events.size());
+  const double events_per_s =
+      apply_total > 0 ? processed / (apply_total / 1000.0) : 0.0;
+  const double per_event_ms =
+      processed > 0 ? (apply_total + publish_total) / processed : 0.0;
+  const double speedup =
+      per_event_ms > 0 ? bootstrap_ms / per_event_ms : 0.0;
+
+  const auto& stats = session.stats();
+  std::printf("events:        %zu (%llu applied, %llu no-ops)\n",
+              events.size(),
+              static_cast<unsigned long long>(stats.events_applied),
+              static_cast<unsigned long long>(stats.events_noop));
+  std::printf("origins:       %llu re-converged, %llu proven clean\n",
+              static_cast<unsigned long long>(stats.origins_redone),
+              static_cast<unsigned long long>(stats.origins_skipped));
+  std::printf("apply:         %.0f events/s  p50 %.3f ms  p99 %.3f ms\n",
+              events_per_s, quantile_ms(apply_ms, 0.50),
+              quantile_ms(apply_ms, 0.99));
+  std::printf("publish:       %zu epochs  p50 %.1f ms  p99 %.1f ms\n",
+              publish_ms.size(), quantile_ms(publish_ms, 0.50),
+              quantile_ms(publish_ms, 0.99));
+  std::printf("incremental:   %.3f ms/event vs %.1f ms full (%.1fx cheaper)\n",
+              per_event_ms, bootstrap_ms, speedup);
+  std::printf("final epoch byte-identical to rebuild: %s\n",
+              identical ? "yes" : "NO");
+
+  serve::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "stream_throughput");
+  json.field("as_count", params.topology.as_count);
+  json.field("seed", static_cast<std::uint64_t>(params.topology.seed));
+  json.field("churn_seed", churn_seed);
+  json.field("events", events.size());
+  json.field("batch", static_cast<std::int64_t>(batch));
+  json.field("events_applied", stats.events_applied);
+  json.field("events_noop", stats.events_noop);
+  json.field("origins_redone", stats.origins_redone);
+  json.field("origins_skipped", stats.origins_skipped);
+  json.field("bootstrap_full_pipeline_ms", bootstrap_ms);
+  json.field("events_per_s", events_per_s);
+  json.key("apply_ms").begin_object();
+  json.field("p50", quantile_ms(apply_ms, 0.50));
+  json.field("p99", quantile_ms(apply_ms, 0.99));
+  json.field("total", apply_total);
+  json.end_object();
+  json.key("publish_ms").begin_object();
+  json.field("p50", quantile_ms(publish_ms, 0.50));
+  json.field("p99", quantile_ms(publish_ms, 0.99));
+  json.field("total", publish_total);
+  json.end_object();
+  json.field("per_event_ms", per_event_ms);
+  json.field("incremental_vs_full_speedup", speedup);
+  json.field("final_epoch_identical", identical);
+  json.end_object();
+
+  const char* out_path = "BENCH_stream.json";
+  std::ofstream out{out_path, std::ios::binary};
+  out << json.str() << '\n';
+  if (!out) {
+    std::printf("FATAL: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return identical ? 0 : 1;
+}

@@ -46,6 +46,8 @@ std::vector<std::string> asrel_fuzz_seeds() {
   snapshot.meta.as_count = 4;
   snapshot.meta.seed = 7;
   snapshot.meta.scheme_seed = 11;
+  snapshot.meta.epoch = 3;
+  snapshot.meta.built_unix_ms = 1700000000000ull;
   snapshot.class_names = {"T1-T1", "T1-TR", "unknown"};
 
   const asn::Asn a1{101}, a2{202}, a3{303}, a4{404};

@@ -71,6 +71,45 @@ std::optional<asn::Asn> Propagator::leaked_private_asn(asn::Asn origin) const {
   return asn::Asn{64512u + static_cast<std::uint32_t>((h >> 7) % 1022)};
 }
 
+// Role of `self` on an edge for this origin, after hybrid resolution.
+// Returns the Neighbor-style role (kProvider means self is the provider).
+Neighbor::Role Propagator::role_on(const topo::Edge& edge, NodeId self,
+                                   asn::Asn origin) const {
+  switch (effective_rel(edge, origin)) {
+    case RelType::kP2C:
+      return self == edge.u ? Neighbor::Role::kProvider
+                            : Neighbor::Role::kCustomer;
+    case RelType::kP2P:
+      return Neighbor::Role::kPeer;
+    case RelType::kS2S:
+      return Neighbor::Role::kSibling;
+  }
+  return Neighbor::Role::kPeer;
+}
+
+// May `node` re-export its selected route beyond customers? The paper's
+// partial-transit scopes (§6.1) restrict a provider that learned the route
+// directly from the tagged customer.
+bool Propagator::export_blocked(const OriginRib& rib, NodeId node,
+                                bool to_peer, asn::Asn origin) const {
+  if (!params_.honor_export_scopes) return false;
+  if (node == rib.origin) return false;
+  const EdgeId via = rib.via_edge[node];
+  if (via == ~EdgeId{0}) return false;
+  const auto& edge = world_->graph.edge(via);
+  if (effective_rel(edge, origin) != RelType::kP2C) return false;
+  if (role_on(edge, node, origin) != Neighbor::Role::kProvider) return false;
+  switch (edge.scope) {
+    case topo::ExportScope::kFull:
+      return false;
+    case topo::ExportScope::kNoProviders:
+      return !to_peer;  // blocks only the provider direction
+    case topo::ExportScope::kCustomersOnly:
+      return true;
+  }
+  return false;
+}
+
 OriginRib Propagator::propagate(asn::Asn origin) const {
   const auto& graph = world_->graph;
   const std::size_t n = graph.node_count();
@@ -97,41 +136,11 @@ OriginRib Propagator::propagate(asn::Asn origin) const {
   std::vector<std::uint8_t> settled(n, 0);
   std::vector<std::vector<NodeId>> buckets(kMaxDist);
 
-  // Role of `self` on an edge for this origin, after hybrid resolution.
-  // Returns the Neighbor-style role (kProvider means self is the provider).
   const auto role_on = [&](const topo::Edge& edge, NodeId self) {
-    switch (effective_rel(edge, origin)) {
-      case RelType::kP2C:
-        return self == edge.u ? Neighbor::Role::kProvider
-                              : Neighbor::Role::kCustomer;
-      case RelType::kP2P:
-        return Neighbor::Role::kPeer;
-      case RelType::kS2S:
-        return Neighbor::Role::kSibling;
-    }
-    return Neighbor::Role::kPeer;
+    return this->role_on(edge, self, origin);
   };
-
-  // May `node` re-export its selected route beyond customers? The paper's
-  // partial-transit scopes (§6.1) restrict a provider that learned the route
-  // directly from the tagged customer.
   const auto export_blocked = [&](NodeId node, bool to_peer) -> bool {
-    if (!params_.honor_export_scopes) return false;
-    if (node == rib.origin) return false;
-    const EdgeId via = rib.via_edge[node];
-    if (via == ~EdgeId{0}) return false;
-    const auto& edge = graph.edge(via);
-    if (effective_rel(edge, origin) != RelType::kP2C) return false;
-    if (role_on(edge, node) != Neighbor::Role::kProvider) return false;
-    switch (edge.scope) {
-      case topo::ExportScope::kFull:
-        return false;
-      case topo::ExportScope::kNoProviders:
-        return !to_peer;  // blocks only the provider direction
-      case topo::ExportScope::kCustomersOnly:
-        return true;
-    }
-    return false;
+    return this->export_blocked(rib, node, to_peer, origin);
   };
 
   const auto try_improve = [&](NodeId node, NodeId parent, EdgeId via,
@@ -254,6 +263,74 @@ OriginRib Propagator::propagate(asn::Asn origin) const {
   return rib;
 }
 
+bool Propagator::rib_affected(const OriginRib& rib,
+                              std::span<const EdgeId> touched) const {
+  const auto& graph = world_->graph;
+  const asn::Asn origin = graph.asn_of(rib.origin);
+  for (const EdgeId id : touched) {
+    const auto& edge = graph.edge(id);  // tombstones keep endpoints valid
+    // A via edge is incident to the node selecting it, so `edge` can be in
+    // use only at its own endpoints. If either routed through it, any
+    // mutation (removal, flip, scope change) can cascade — re-run.
+    if (rib.via_edge[edge.u] == id || rib.via_edge[edge.v] == id) {
+      return true;
+    }
+    // A removed edge nobody routed through never carried a selected route
+    // and can no longer make offers: replay without it is identical.
+    if (edge.removed) continue;
+    // Otherwise the edge (new, or with new policy) competes in both
+    // directions. Every phase exports the exporter's *final* values — the
+    // bucket walk settles a node only at its final distance — so comparing
+    // the best possible offer against the endpoint's final selection is
+    // exact. A strictly losing offer loses in every phase replay; a
+    // beating or tying offer conservatively marks the origin dirty.
+    for (int direction = 0; direction < 2; ++direction) {
+      const NodeId from = direction == 0 ? edge.u : edge.v;
+      const NodeId to = direction == 0 ? edge.v : edge.u;
+      if (rib.pref[from] == 0) continue;  // nothing to export
+      const auto weight =
+          static_cast<std::uint16_t>(1 + prepend_count(from, origin));
+      const std::uint32_t offer_dist = rib.dist[from] + weight;
+      const auto offer_beats = [&](RoutePref pref) {
+        if (offer_dist >= kMaxDist) return false;
+        const auto pref_value = static_cast<std::uint8_t>(pref);
+        return pref_value > rib.pref[to] ||
+               (pref_value == rib.pref[to] && offer_dist <= rib.dist[to]);
+      };
+      const bool customer_route =
+          rib.pref[from] == static_cast<std::uint8_t>(RoutePref::kCustomer);
+      switch (role_on(edge, from, origin)) {
+        case Neighbor::Role::kCustomer:  // exports up to its provider
+          if (customer_route &&
+              !export_blocked(rib, from, /*to_peer=*/false, origin) &&
+              offer_beats(RoutePref::kCustomer)) {
+            return true;
+          }
+          break;
+        case Neighbor::Role::kSibling:  // phase 1 climb and phase 3 descent
+          if (customer_route &&
+              !export_blocked(rib, from, /*to_peer=*/false, origin) &&
+              offer_beats(RoutePref::kCustomer)) {
+            return true;
+          }
+          if (offer_beats(RoutePref::kProvider)) return true;
+          break;
+        case Neighbor::Role::kPeer:  // one hop from customer-route holders
+          if (customer_route &&
+              !export_blocked(rib, from, /*to_peer=*/true, origin) &&
+              offer_beats(RoutePref::kPeer)) {
+            return true;
+          }
+          break;
+        case Neighbor::Role::kProvider:  // exports down to its customer
+          if (offer_beats(RoutePref::kProvider)) return true;
+          break;
+      }
+    }
+  }
+  return false;
+}
+
 std::vector<asn::Asn> Propagator::path_at(const OriginRib& rib,
                                           topo::NodeId node) const {
   std::vector<asn::Asn> path;
@@ -280,6 +357,13 @@ void PathTable::add_path(topo::NodeId origin, std::uint32_t vp_index,
   bucket.vp_ids.push_back(vp_index);
   bucket.offsets.push_back(static_cast<std::uint32_t>(bucket.arena.size()));
   bucket.arena.insert(bucket.arena.end(), path.begin(), path.end());
+}
+
+void PathTable::clear_origin(topo::NodeId origin) {
+  auto& bucket = per_origin_[origin];
+  bucket.offsets.clear();
+  bucket.vp_ids.clear();
+  bucket.arena.clear();
 }
 
 void PathTable::recount() {
@@ -320,6 +404,54 @@ std::vector<PathTable::PathRef> PathTable::paths_for_origin(
   return out;
 }
 
+std::vector<VpSession> resolve_vp_sessions(const topo::AsGraph& graph,
+                                           std::span<const VantagePoint> vps) {
+  std::vector<VpSession> sessions;
+  sessions.reserve(vps.size());
+  for (const auto& vp : vps) {
+    const auto node = graph.node_of(vp.asn);
+    if (!node) continue;
+    sessions.push_back(VpSession{
+        .node = *node,
+        .vp_index = static_cast<std::uint32_t>(sessions.size()),
+        .full_feed = vp.full_feed,
+        .legacy = vp.legacy_16bit,
+    });
+  }
+  return sessions;
+}
+
+void harvest_origin(const Propagator& propagator, const OriginRib& rib,
+                    std::span<const VpSession> sessions, PathTable& table) {
+  const asn::Asn origin_asn = propagator.world().graph.asn_of(rib.origin);
+  const auto leak = propagator.leaked_private_asn(origin_asn);
+  std::vector<asn::Asn> scratch;
+  for (const auto& vp : sessions) {
+    if (!rib.reachable(vp.node)) continue;
+    if (vp.node == rib.origin) continue;  // own announcement
+    // Partial feeds export only customer/sibling routes to collectors.
+    if (!vp.full_feed &&
+        rib.pref[vp.node] !=
+            static_cast<std::uint8_t>(RoutePref::kCustomer)) {
+      continue;
+    }
+    scratch = propagator.path_at(rib, vp.node);
+    if (leak) scratch.push_back(*leak);
+    if (vp.legacy) {
+      // Mangling is rare: AS4_PATH usually restores the 32-bit hops.
+      const std::uint64_t h = mix(origin_asn.value(), vp.node,
+                                  propagator.params().salt ^ 0x16B17ull);
+      const double roll = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (roll < propagator.params().legacy_mangle) {
+        for (auto& hop : scratch) {
+          if (!hop.is_16bit()) hop = asn::kAsTrans;
+        }
+      }
+    }
+    table.add_path(rib.origin, vp.vp_index, scratch);
+  }
+}
+
 PathTable collect_paths(const Propagator& propagator,
                         std::vector<VantagePoint> vps) {
   obs::StageScope stage{"bgp.collect_paths"};
@@ -330,17 +462,7 @@ PathTable collect_paths(const Propagator& propagator,
   PathTable table;
   table.resize_origins(n);
 
-  // Resolve VP node ids once.
-  struct VpNode {
-    topo::NodeId node;
-    bool full_feed;
-    bool legacy;
-  };
-  std::vector<VpNode> vp_nodes;
-  for (const auto& vp : vps) {
-    const auto node = graph.node_of(vp.asn);
-    if (node) vp_nodes.push_back({*node, vp.full_feed, vp.legacy_16bit});
-  }
+  const std::vector<VpSession> sessions = resolve_vp_sessions(graph, vps);
   table.set_vantage_points(std::move(vps));
 
   // threads == 0 auto-sizes to hardware concurrency, capped at 32 so the
@@ -359,34 +481,7 @@ PathTable collect_paths(const Propagator& propagator,
       n, thread_count, [&](std::size_t origin) {
         const asn::Asn origin_asn = graph.asn_of(static_cast<NodeId>(origin));
         const OriginRib rib = propagator.propagate(origin_asn);
-        const auto leak = propagator.leaked_private_asn(origin_asn);
-        std::vector<asn::Asn> scratch;
-        for (std::uint32_t vp_index = 0; vp_index < vp_nodes.size();
-             ++vp_index) {
-          const auto& vp = vp_nodes[vp_index];
-          if (!rib.reachable(vp.node)) continue;
-          if (vp.node == rib.origin) continue;  // own announcement
-          // Partial feeds export only customer/sibling routes to collectors.
-          if (!vp.full_feed &&
-              rib.pref[vp.node] !=
-                  static_cast<std::uint8_t>(RoutePref::kCustomer)) {
-            continue;
-          }
-          scratch = propagator.path_at(rib, vp.node);
-          if (leak) scratch.push_back(*leak);
-          if (vp.legacy) {
-            // Mangling is rare: AS4_PATH usually restores the 32-bit hops.
-            const std::uint64_t h = mix(origin_asn.value(), vp.node,
-                                        propagator.params().salt ^ 0x16B17ull);
-            const double roll = static_cast<double>(h >> 11) * 0x1.0p-53;
-            if (roll < propagator.params().legacy_mangle) {
-              for (auto& hop : scratch) {
-                if (!hop.is_16bit()) hop = asn::kAsTrans;
-              }
-            }
-          }
-          table.add_path(static_cast<NodeId>(origin), vp_index, scratch);
-        }
+        harvest_origin(propagator, rib, sessions, table);
       });
   table.recount();
   return table;

@@ -96,7 +96,30 @@ class Propagator {
   [[nodiscard]] const topo::World& world() const { return *world_; }
   [[nodiscard]] const PropagationParams& params() const { return params_; }
 
+  /// Conservative dirty test for incremental re-convergence (src/stream).
+  ///
+  /// Given a rib computed *before* a set of edge mutations and the graph
+  /// *after* them, returns false only if re-running propagate() for this
+  /// origin provably reproduces the rib byte-for-byte. The test is O(1)
+  /// per touched edge: an edge can be the selected via only at its own two
+  /// endpoints, so it checks (a) whether either endpoint routed through
+  /// the edge, and (b) whether the edge in its new state could now offer
+  /// either endpoint a route that beats — or ties, since tie_rank could
+  /// then flip the selection — the endpoint's current best. Ties and
+  /// every phase's export rule are treated conservatively, so "affected"
+  /// may re-run origins that end up unchanged, but "unaffected" is exact.
+  [[nodiscard]] bool rib_affected(const OriginRib& rib,
+                                  std::span<const topo::EdgeId> touched) const;
+
  private:
+  /// Role of `self` on `edge` for this origin, after hybrid resolution.
+  [[nodiscard]] topo::Neighbor::Role role_on(const topo::Edge& edge,
+                                             topo::NodeId self,
+                                             asn::Asn origin) const;
+  /// §6.1 partial-transit export restriction for `node`'s selected route.
+  [[nodiscard]] bool export_blocked(const OriginRib& rib, topo::NodeId node,
+                                    bool to_peer, asn::Asn origin) const;
+
   const topo::World* world_;
   PropagationParams params_;
   std::vector<double> prepend_propensity_;  // by NodeId
@@ -137,6 +160,9 @@ class PathTable {
   void resize_origins(std::size_t count) { per_origin_.resize(count); }
   void add_path(topo::NodeId origin, std::uint32_t vp_index,
                 std::span<const asn::Asn> path);
+  /// Drops one origin's paths so an incremental update can re-harvest just
+  /// that bucket (src/stream). Call recount() before trusting path_count().
+  void clear_origin(topo::NodeId origin);
   /// Rebuilds path_count_ after parallel filling (add_path's counter is not
   /// synchronized across threads).
   void recount();
@@ -151,6 +177,27 @@ class PathTable {
   std::vector<OriginPaths> per_origin_;
   std::size_t path_count_ = 0;
 };
+
+/// One collector session with its node id resolved. `vp_index` is the
+/// index recorded in PathRefs: the position within the *resolved* list
+/// (VPs whose ASN is absent from the graph are skipped), which matches
+/// what collect_paths has always written.
+struct VpSession {
+  topo::NodeId node = topo::kInvalidNode;
+  std::uint32_t vp_index = 0;
+  bool full_feed = true;
+  bool legacy = false;
+};
+
+[[nodiscard]] std::vector<VpSession> resolve_vp_sessions(
+    const topo::AsGraph& graph, std::span<const VantagePoint> vps);
+
+/// Harvests one origin's VP paths into `table` (the per-origin body of
+/// collect_paths): feed filtering, private-ASN leak, legacy 16-bit
+/// mangling. The stream session reuses it to refill a cleared bucket so
+/// incremental tables stay byte-identical to batch-collected ones.
+void harvest_origin(const Propagator& propagator, const OriginRib& rib,
+                    std::span<const VpSession> sessions, PathTable& table);
 
 /// Propagates every origin and harvests the VP paths (parallelized across
 /// origins; result independent of thread count).

@@ -28,49 +28,68 @@ std::unique_ptr<Scenario> Scenario::build(const ScenarioParams& params) {
   }
   const bgp::Propagator propagator{scenario->world_, effective.propagation};
   scenario->paths_ = bgp::collect_paths(propagator, scenario->vps_);
+  scenario->finish_from_paths();
+  return scenario;
+}
+
+std::unique_ptr<Scenario> Scenario::from_parts(
+    const ScenarioParams& params, topo::World world,
+    std::vector<bgp::VantagePoint> vps, bgp::PathTable paths) {
+  auto scenario = std::unique_ptr<Scenario>(new Scenario);
+  scenario->params_ = params;
+  if (params.threads != 0) {
+    scenario->params_.propagation.threads = params.threads;
+    scenario->params_.extract.threads = params.threads;
+  }
+  scenario->world_ = std::move(world);
+  scenario->vps_ = std::move(vps);
+  scenario->paths_ = std::move(paths);
+  scenario->finish_from_paths();
+  return scenario;
+}
+
+void Scenario::finish_from_paths() {
+  const ScenarioParams& effective = params_;
   {
     obs::StageScope scope{"pipeline.sanitize"};
-    scenario->observed_ = infer::ObservedPaths::build(
-        scenario->paths_, &scenario->sanitize_stats_);
+    observed_ = infer::ObservedPaths::build(paths_, &sanitize_stats_);
   }
 
   // 3. Validation compilation (Luckie-style communities, plus optional
   //    secondary sources).
   {
     obs::StageScope scope{"pipeline.schemes"};
-    scenario->schemes_ =
-        val::SchemeDirectory::build(scenario->world_, params.scheme_seed);
+    schemes_ = val::SchemeDirectory::build(world_, effective.scheme_seed);
   }
-  scenario->raw_validation_ = val::extract_from_communities(
-      propagator, scenario->paths_, scenario->schemes_, effective.extract,
-      &scenario->extract_stats_);
-  if (params.include_rpsl_source) {
-    const auto irr = rpsl::synthesize_irr(scenario->world_, params.irr);
-    scenario->raw_validation_.merge(val::extract_from_rpsl(irr));
+  const bgp::Propagator propagator{world_, effective.propagation};
+  raw_validation_ = val::extract_from_communities(
+      propagator, paths_, schemes_, effective.extract, &extract_stats_);
+  if (effective.include_rpsl_source) {
+    const auto irr = rpsl::synthesize_irr(world_, effective.irr);
+    raw_validation_.merge(val::extract_from_rpsl(irr));
   }
-  if (params.include_direct_reports) {
-    scenario->raw_validation_.merge(
-        val::collect_direct_reports(scenario->world_, params.reports));
+  if (effective.include_direct_reports) {
+    raw_validation_.merge(
+        val::collect_direct_reports(world_, effective.reports));
   }
 
   // 4. Cleaning (§4.2) against the as2org data.
   {
     obs::StageScope scope{"pipeline.clean"};
-    scenario->orgs_ = org::OrgMap{scenario->world_.as2org};
-    scenario->validation_ =
-        val::clean(scenario->raw_validation_, scenario->orgs_, params.cleaning,
-                   &scenario->cleaning_stats_);
+    orgs_ = org::OrgMap{world_.as2org};
+    validation_ = val::clean(raw_validation_, orgs_, effective.cleaning,
+                             &cleaning_stats_);
   }
 
   // 5. ASN -> region mapping: IANA bootstrap refined by the synthesized
   //    delegation files (§5).
   {
     obs::StageScope scope{"pipeline.regions"};
-    for (const auto& file : scenario->world_.delegations) {
-      scenario->mapper_.apply(file);
+    mapper_ = rir::RegionMapper{};
+    for (const auto& file : world_.delegations) {
+      mapper_.apply(file);
     }
   }
-  return scenario;
 }
 
 }  // namespace asrel::core

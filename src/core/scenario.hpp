@@ -56,6 +56,17 @@ class Scenario {
   [[nodiscard]] static std::unique_ptr<Scenario> build(
       const ScenarioParams& params);
 
+  /// Builds a Scenario from an already-materialized world, vantage-point
+  /// list, and collected path table, running only the downstream stages
+  /// (sanitize -> schemes -> extract -> clean -> regions). The streaming
+  /// session uses this both per epoch (with incrementally maintained
+  /// paths) and for the from-scratch reference rebuild the byte-equality
+  /// invariant is checked against. `params.topology` must describe the
+  /// world the parts came from; determinism then matches build().
+  [[nodiscard]] static std::unique_ptr<Scenario> from_parts(
+      const ScenarioParams& params, topo::World world,
+      std::vector<bgp::VantagePoint> vps, bgp::PathTable paths);
+
   const ScenarioParams& params() const { return params_; }
   const topo::World& world() const { return world_; }
   const std::vector<bgp::VantagePoint>& vantage_points() const {
@@ -83,6 +94,10 @@ class Scenario {
 
  private:
   Scenario() = default;
+
+  /// Shared tail of build()/from_parts(): everything downstream of the
+  /// path table (world_, vps_, paths_ must already be set).
+  void finish_from_paths();
 
   ScenarioParams params_;
   topo::World world_;

@@ -31,22 +31,14 @@ io::SnapshotAlgorithm flatten(std::string name,
   return algorithm;
 }
 
-}  // namespace
-
-io::Snapshot build_snapshot(const Scenario& scenario) {
-  io::Snapshot snapshot;
-  snapshot.meta.as_count = scenario.params().topology.as_count;
-  snapshot.meta.seed = scenario.params().topology.seed;
-  snapshot.meta.scheme_seed = scenario.params().scheme_seed;
-
+void rebuild_ases(io::Snapshot& snapshot, const Scenario& scenario) {
   const auto& world = scenario.world();
   const auto& graph = world.graph;
   const auto& observed = scenario.observed();
-
-  // ---- per-AS table, sorted by ASN ----
   const auto cone_sizes = topo::customer_cone_sizes(graph);
   std::vector<asn::Asn> asns{graph.nodes().begin(), graph.nodes().end()};
   std::sort(asns.begin(), asns.end());
+  snapshot.ases.clear();
   snapshot.ases.reserve(asns.size());
   for (const auto asn : asns) {
     io::SnapshotAs as;
@@ -61,10 +53,14 @@ io::Snapshot build_snapshot(const Scenario& scenario) {
     }
     snapshot.ases.push_back(std::move(as));
   }
+}
 
-  // ---- ground-truth edges ----
-  snapshot.edges.reserve(graph.edge_count());
+void rebuild_edges(io::Snapshot& snapshot, const Scenario& scenario) {
+  const auto& graph = scenario.world().graph;
+  snapshot.edges.clear();
+  snapshot.edges.reserve(graph.live_edge_count());
   for (const auto& edge : graph.edges()) {
+    if (edge.removed) continue;
     snapshot.edges.push_back(io::SnapshotEdge{
         .a = graph.asn_of(edge.u),
         .b = graph.asn_of(edge.v),
@@ -75,13 +71,10 @@ io::Snapshot build_snapshot(const Scenario& scenario) {
         .hybrid_rel = edge.hybrid_rel,
     });
   }
-  snapshot.clique = world.clique;
-  snapshot.hypergiants = world.hypergiants;
+}
 
-  // ---- cleaned validation data ----
-  snapshot.validation = scenario.validation();
-
-  // ---- the three inferences ----
+void rebuild_algorithms(io::Snapshot& snapshot, const Scenario& scenario) {
+  const auto& observed = scenario.observed();
   infer::ProbLinkParams problink_params;
   problink_params.threads = scenario.params().threads;
   infer::TopoScopeParams toposcope_params;
@@ -93,15 +86,22 @@ io::Snapshot build_snapshot(const Scenario& scenario) {
   const auto toposcope = infer::run_toposcope(observed, asrank,
                                               scenario.validation(),
                                               toposcope_params);
+  snapshot.algorithms.clear();
   snapshot.algorithms.push_back(
       flatten(std::string{kSnapshotAlgorithms[0]}, asrank.inference));
   snapshot.algorithms.push_back(
       flatten(std::string{kSnapshotAlgorithms[1]}, problink.inference));
   snapshot.algorithms.push_back(
       flatten(std::string{kSnapshotAlgorithms[2]}, toposcope.inference));
+}
 
-  // ---- visible links with precomputed class tags ----
-  const BiasAudit audit{scenario};
+void rebuild_links(io::Snapshot& snapshot, const Scenario& scenario,
+                   const SnapshotClassSource* classes) {
+  // The interned string table is derived from the links section
+  // (first-occurrence order over observed links), so both regenerate
+  // together.
+  snapshot.class_names.clear();
+  snapshot.links.clear();
   std::unordered_map<std::string, std::uint32_t> interned;
   const auto intern = [&](std::string name) {
     const auto it = interned.find(name);
@@ -111,15 +111,52 @@ io::Snapshot build_snapshot(const Scenario& scenario) {
     snapshot.class_names.push_back(std::move(name));
     return id;
   };
-  snapshot.links.reserve(audit.inferred_links().size());
-  for (const auto& link : audit.inferred_links()) {
-    snapshot.links.push_back(io::SnapshotLinkTag{
-        .link = link,
-        .regional_class = intern(audit.regional_class_of(link)),
-        .topological_class = intern(audit.topological_class_of(link)),
-    });
+  const auto fill = [&](const auto& regional, const auto& topological) {
+    // BiasAudit's inferred_links() is exactly observed().link_order(), so
+    // both callers below emit the same link sequence.
+    const auto& order = scenario.observed().link_order();
+    snapshot.links.reserve(order.size());
+    for (const auto& link : order) {
+      snapshot.links.push_back(io::SnapshotLinkTag{
+          .link = link,
+          .regional_class = intern(regional(link)),
+          .topological_class = intern(topological(link)),
+      });
+    }
+  };
+  if (classes != nullptr) {
+    fill(classes->regional_class_of, classes->topological_class_of);
+  } else {
+    const BiasAudit audit{scenario};
+    fill([&](const val::AsLink& link) { return audit.regional_class_of(link); },
+         [&](const val::AsLink& link) {
+           return audit.topological_class_of(link);
+         });
   }
+}
 
+}  // namespace
+
+void rebuild_snapshot_sections(io::Snapshot& snapshot,
+                               const Scenario& scenario,
+                               const SnapshotSections& sections,
+                               const SnapshotClassSource* classes) {
+  snapshot.meta.as_count = scenario.params().topology.as_count;
+  snapshot.meta.seed = scenario.params().topology.seed;
+  snapshot.meta.scheme_seed = scenario.params().scheme_seed;
+  snapshot.clique = scenario.world().clique;
+  snapshot.hypergiants = scenario.world().hypergiants;
+
+  if (sections.ases) rebuild_ases(snapshot, scenario);
+  if (sections.edges) rebuild_edges(snapshot, scenario);
+  if (sections.validation) snapshot.validation = scenario.validation();
+  if (sections.algorithms) rebuild_algorithms(snapshot, scenario);
+  if (sections.links) rebuild_links(snapshot, scenario, classes);
+}
+
+io::Snapshot build_snapshot(const Scenario& scenario) {
+  io::Snapshot snapshot;
+  rebuild_snapshot_sections(snapshot, scenario, SnapshotSections::all());
   return snapshot;
 }
 

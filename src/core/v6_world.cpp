@@ -60,6 +60,7 @@ topo::World build_v6_world(const topo::World& world, const V6Params& params) {
     v6.attrs[asn] = world.attrs.at(asn);
   }
   for (const auto& edge : world.graph.edges()) {
+    if (edge.removed) continue;
     const Asn a = world.graph.asn_of(edge.u);
     const Asn b = world.graph.asn_of(edge.v);
     if (!v6.graph.node_of(a) || !v6.graph.node_of(b)) continue;

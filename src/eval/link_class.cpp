@@ -40,6 +40,7 @@ TopoClassifier TopoClassifier::from_world(const topo::World& world) {
   // Transit = at least one customer in the ground-truth graph.
   auto transit = std::make_shared<std::unordered_set<asn::Asn>>();
   for (const auto& edge : world.graph.edges()) {
+    if (edge.removed) continue;
     if (edge.rel == topo::RelType::kP2C) {
       transit->insert(world.graph.asn_of(edge.u));
     }

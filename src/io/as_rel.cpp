@@ -34,6 +34,7 @@ void write_as_rel(const infer::Inference& inference, std::ostream& out) {
 void write_as_rel(const topo::AsGraph& graph, std::ostream& out) {
   out << "# ground-truth AS relationships (CAIDA as-rel serial-1 format)\n";
   for (const auto& edge : graph.edges()) {
+    if (edge.removed) continue;
     const asn::Asn u = graph.asn_of(edge.u);
     const asn::Asn v = graph.asn_of(edge.v);
     write_line(out, u, v, topo::to_caida_code(edge.rel));

@@ -201,6 +201,8 @@ std::string encode_payload(const Snapshot& snapshot) {
   put_u64(out, static_cast<std::uint64_t>(snapshot.meta.as_count));
   put_u64(out, snapshot.meta.seed);
   put_u64(out, snapshot.meta.scheme_seed);
+  put_u64(out, snapshot.meta.epoch);
+  put_u64(out, snapshot.meta.built_unix_ms);
 
   put_u64(out, snapshot.class_names.size());
   for (const auto& name : snapshot.class_names) put_string(out, name);
@@ -277,6 +279,8 @@ std::optional<Snapshot> decode_payload(std::string_view payload,
       static_cast<std::int64_t>(in.get_u64("meta.as_count"));
   snapshot.meta.seed = in.get_u64("meta.seed");
   snapshot.meta.scheme_seed = in.get_u64("meta.scheme_seed");
+  snapshot.meta.epoch = in.get_u64("meta.epoch");
+  snapshot.meta.built_unix_ms = in.get_u64("meta.built_unix_ms");
 
   const auto names = in.get_count("class names", 4);
   snapshot.class_names.reserve(names);

@@ -34,7 +34,9 @@
 namespace asrel::io {
 
 inline constexpr std::string_view kSnapshotMagic = "ASRELSNP";
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2 added epoch + built_unix_ms to the meta section (streaming
+/// publication). v1 files are no longer readable; regenerate them.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Enough provenance to tell two snapshots apart and to refuse mixing
 /// artifacts from different worlds.
@@ -42,6 +44,12 @@ struct SnapshotMeta {
   std::int64_t as_count = 0;       ///< TopologyParams::as_count
   std::uint64_t seed = 0;          ///< TopologyParams::seed
   std::uint64_t scheme_seed = 0;   ///< ScenarioParams::scheme_seed
+  /// Monotonic publication epoch: 0 for a batch build, incremented by one
+  /// for each snapshot a stream session publishes.
+  std::uint64_t epoch = 0;
+  /// Build wall-clock, milliseconds since the Unix epoch. Supplied by the
+  /// caller (not sampled here) so identical worlds serialize identically.
+  std::uint64_t built_unix_ms = 0;
 };
 
 /// One AS: ground-truth attributes plus the observed-view degrees and the

@@ -83,6 +83,26 @@ EngineHub::ReloadResult EngineHub::reload() {
   return result;
 }
 
+EngineHub::ReloadResult EngineHub::publish(io::Snapshot snapshot) {
+  std::lock_guard<std::mutex> lock{reload_mutex_};
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& publishes_total = registry.counter(
+      "asrel_stream_publishes_total",
+      "In-memory snapshot publications (streaming epochs)");
+  // Index building happens before the swap, on the publishing thread;
+  // workers keep serving the previous epoch until the single store below.
+  auto next = std::make_shared<const QueryEngine>(std::move(snapshot));
+  engine_.store(std::move(next), std::memory_order_release);
+  const std::uint64_t epoch =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  ++publishes_;
+  publishes_total.inc();
+  ReloadResult result;
+  result.ok = true;
+  result.epoch = epoch;
+  return result;
+}
+
 EngineHub::Stats EngineHub::stats() const {
   Stats stats;
   stats.epoch = epoch();
@@ -91,6 +111,7 @@ EngineHub::Stats EngineHub::stats() const {
   std::lock_guard<std::mutex> lock{reload_mutex_};
   stats.reloads_ok = reloads_ok_;
   stats.reloads_failed = reloads_failed_;
+  stats.publishes = publishes_;
   stats.last_error = last_error_;
   return stats;
 }

@@ -63,6 +63,12 @@ class EngineHub {
   /// callers queue up. On failure the previous engine stays published.
   ReloadResult reload();
 
+  /// Publishes an in-memory snapshot directly (the streaming session's
+  /// path: no file round-trip). Shares the reload mutex, so publishes and
+  /// file reloads serialize against each other; readers pin epochs the
+  /// same way. Always succeeds — the snapshot is already materialized.
+  ReloadResult publish(io::Snapshot snapshot);
+
   // ---- async-signal-safe reload request (SIGHUP) ----
   /// Safe to call from a signal handler: just sets a flag.
   void request_reload() {
@@ -77,6 +83,7 @@ class EngineHub {
     std::uint64_t epoch = 0;
     std::uint64_t reloads_ok = 0;
     std::uint64_t reloads_failed = 0;
+    std::uint64_t publishes = 0;  ///< direct publish() swaps
     std::string last_error;  ///< most recent failed reload's diagnosis
   };
   [[nodiscard]] Stats stats() const;
@@ -90,6 +97,7 @@ class EngineHub {
   mutable std::mutex reload_mutex_;  ///< serializes reload(); guards counters
   std::uint64_t reloads_ok_ = 0;
   std::uint64_t reloads_failed_ = 0;
+  std::uint64_t publishes_ = 0;
   std::string last_error_;
 };
 

@@ -242,9 +242,17 @@ std::string AsrelService::stats_json() const {
   json.field("epoch", reload.epoch);
   json.field("ok", reload.reloads_ok);
   json.field("failed", reload.reloads_failed);
+  json.field("publishes", reload.publishes);
   if (!reload.last_error.empty()) {
     json.field("last_error", reload.last_error);
   }
+  json.end_object();
+  // The epoch stamped inside the served snapshot itself (0 for batch
+  // builds; monotonic per streaming publication) — loadgen --epoch-watch
+  // polls this to catch swaps.
+  json.key("snapshot").begin_object();
+  json.field("epoch", engine->snapshot().meta.epoch);
+  json.field("built_unix_ms", engine->snapshot().meta.built_unix_ms);
   json.end_object();
   json.field("observed_links", engine->snapshot().links.size());
   json.field("validation_labels", engine->snapshot().validation.size());
@@ -291,6 +299,12 @@ void AsrelService::collect_metrics(
   const EngineHub::Stats reload = hub_->stats();
   gauge("asrel_engine_epoch", static_cast<double>(reload.epoch),
         "Snapshot epoch currently serving");
+  gauge("asrel_snapshot_epoch",
+        static_cast<double>(engine->snapshot().meta.epoch),
+        "Epoch stamped in the served snapshot header (0 = batch build)");
+  gauge("asrel_snapshot_built_unix_ms",
+        static_cast<double>(engine->snapshot().meta.built_unix_ms),
+        "Build timestamp stamped in the served snapshot header");
   gauge("asrel_engine_observed_links",
         static_cast<double>(engine->snapshot().links.size()));
   gauge("asrel_engine_validation_labels",

@@ -1,0 +1,393 @@
+#include "stream/churn.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "netbase/ip.hpp"
+
+namespace asrel::stream {
+
+namespace {
+
+using topo::EdgeId;
+using topo::ExportScope;
+using topo::RelType;
+
+/// splitmix64-style mixer, the repo's standard deterministic-choice hash.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t salt) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b + salt;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The synthetic /24 a prefix event talks about: a deterministic function
+/// of the host id, inside 10.0.0.0/8 so it never collides with the
+/// generator's delegated blocks.
+net::Prefix4 prefix_of(std::uint32_t host) {
+  return net::Prefix4{net::Ipv4Addr{(10u << 24) | (host << 8)}, 24};
+}
+
+}  // namespace
+
+std::string_view to_string(ChurnKind kind) {
+  switch (kind) {
+    case ChurnKind::kLinkAdd:
+      return "add";
+    case ChurnKind::kLinkRemove:
+      return "remove";
+    case ChurnKind::kRelFlip:
+      return "flip";
+    case ChurnKind::kScopeFlip:
+      return "scope";
+    case ChurnKind::kPrefixAnnounce:
+      return "announce";
+    case ChurnKind::kPrefixWithdraw:
+      return "withdraw";
+  }
+  return "?";
+}
+
+ApplyResult apply_churn_event(topo::World& world, const ChurnEvent& event) {
+  ApplyResult result;
+  auto& graph = world.graph;
+
+  switch (event.kind) {
+    case ChurnKind::kLinkAdd: {
+      // Both ASes must already exist: the node universe is fixed for a
+      // session (per-node propagator state is sized once).
+      if (!graph.node_of(event.a) || !graph.node_of(event.b)) return result;
+      const auto id = graph.add_edge(event.a, event.b, event.rel);
+      if (!id) return result;  // live duplicate or self-loop
+      result.applied = true;
+      result.touched.push_back(*id);
+      return result;
+    }
+    case ChurnKind::kLinkRemove: {
+      const auto id = graph.find_edge(event.a, event.b);
+      if (!id || !graph.remove_edge(*id)) return result;
+      result.applied = true;
+      result.touched.push_back(*id);
+      return result;
+    }
+    case ChurnKind::kRelFlip: {
+      const auto id = graph.find_edge(event.a, event.b);
+      if (!id) return result;
+      const auto& edge = graph.edge(*id);
+      const auto provider = graph.node_of(event.a);
+      if (!provider) return result;
+      // Flipping to the identical state (same rel; same provider for P2C;
+      // no annotations to reset) is a no-op.
+      if (edge.rel == event.rel && !edge.hybrid_rel &&
+          edge.scope == ExportScope::kFull && !edge.scope_via_community &&
+          (event.rel != RelType::kP2C || edge.u == *provider)) {
+        return result;
+      }
+      if (!graph.set_edge_rel(*id, event.rel, *provider)) return result;
+      result.applied = true;
+      result.touched.push_back(*id);
+      return result;
+    }
+    case ChurnKind::kScopeFlip: {
+      const auto id = graph.find_edge(event.a, event.b);
+      if (!id) return result;
+      const auto& edge = graph.edge(*id);
+      if (edge.rel == RelType::kP2C && edge.scope == event.scope &&
+          edge.scope_via_community == event.via_community) {
+        return result;  // already in the requested state
+      }
+      if (!graph.set_edge_scope(*id, event.scope, event.via_community)) {
+        return result;
+      }
+      result.applied = true;
+      result.touched.push_back(*id);
+      return result;
+    }
+    case ChurnKind::kPrefixAnnounce: {
+      if (!graph.node_of(event.a)) return result;
+      auto& list = world.prefixes[event.a];
+      const auto prefix = prefix_of(event.prefix_host);
+      for (const auto& existing : list) {
+        if (existing == prefix) return result;  // already announced
+      }
+      list.push_back(prefix);
+      result.applied = true;  // touched stays empty: below link granularity
+      return result;
+    }
+    case ChurnKind::kPrefixWithdraw: {
+      const auto it = world.prefixes.find(event.a);
+      if (it == world.prefixes.end()) return result;
+      const auto prefix = prefix_of(event.prefix_host);
+      for (auto entry = it->second.begin(); entry != it->second.end();
+           ++entry) {
+        if (*entry == prefix) {
+          it->second.erase(entry);
+          result.applied = true;
+          return result;
+        }
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<ChurnEvent> generate_churn(const topo::World& world,
+                                       std::uint64_t seed,
+                                       std::size_t count) {
+  // Events are validated against a scratch copy so a generated feed stays
+  // coherent (removes target live links, flips change something), while
+  // still containing the deliberate no-ops the metamorphic suite needs.
+  topo::World scratch = world;
+  auto& graph = scratch.graph;
+  const auto nodes = graph.nodes();
+
+  std::vector<ChurnEvent> events;
+  events.reserve(count);
+  std::vector<std::pair<asn::Asn, asn::Asn>> removed_pairs;
+
+  const auto roll = [&](std::uint64_t index, std::uint64_t tag) {
+    return mix(seed, (index << 8) | tag, 0x57AE11ull);
+  };
+  const auto random_live_edge =
+      [&](std::uint64_t index) -> std::optional<EdgeId> {
+    if (graph.live_edge_count() == 0) return std::nullopt;
+    for (unsigned attempt = 0; attempt < 64; ++attempt) {
+      const auto id = static_cast<EdgeId>(roll(index, 0x10 + attempt) %
+                                          graph.edge_count());
+      if (!graph.edge(id).removed) return id;
+    }
+    return std::nullopt;
+  };
+
+  for (std::size_t i = 0; events.size() < count; ++i) {
+    ChurnEvent event;
+    const std::uint64_t pick = roll(i, 1) % 100;
+    if (pick < 22) {
+      // Remove a live link; ~1 in 4 of these removes the most recently
+      // added link, producing the add-then-remove pairs the suite wants.
+      if (!events.empty() && events.back().kind == ChurnKind::kLinkAdd &&
+          roll(i, 2) % 4 == 0) {
+        event.kind = ChurnKind::kLinkRemove;
+        event.a = events.back().a;
+        event.b = events.back().b;
+      } else {
+        const auto id = random_live_edge(i);
+        if (!id) continue;
+        const auto& edge = graph.edge(*id);
+        event.kind = ChurnKind::kLinkRemove;
+        event.a = graph.asn_of(edge.u);
+        event.b = graph.asn_of(edge.v);
+      }
+    } else if (pick < 44) {
+      // Add a link: half the time resurrect a removed pair, otherwise a
+      // fresh pair of existing ASes.
+      event.kind = ChurnKind::kLinkAdd;
+      if (!removed_pairs.empty() && roll(i, 3) % 2 == 0) {
+        const auto& pair =
+            removed_pairs[roll(i, 4) % removed_pairs.size()];
+        event.a = pair.first;
+        event.b = pair.second;
+      } else {
+        event.a = graph.asn_of(
+            static_cast<topo::NodeId>(roll(i, 5) % nodes.size()));
+        event.b = graph.asn_of(
+            static_cast<topo::NodeId>(roll(i, 6) % nodes.size()));
+        if (event.a == event.b) continue;
+      }
+      const std::uint64_t rel_pick = roll(i, 7) % 10;
+      event.rel = rel_pick < 6   ? RelType::kP2C
+                  : rel_pick < 9 ? RelType::kP2P
+                                 : RelType::kS2S;
+    } else if (pick < 58) {
+      const auto id = random_live_edge(i);
+      if (!id) continue;
+      const auto& edge = graph.edge(*id);
+      event.kind = ChurnKind::kRelFlip;
+      // Orient provider-first; for P2P->P2C flips this promotes a random
+      // side to provider.
+      const bool swap_sides = roll(i, 8) % 2 == 0;
+      event.a = graph.asn_of(swap_sides ? edge.v : edge.u);
+      event.b = graph.asn_of(swap_sides ? edge.u : edge.v);
+      event.rel =
+          edge.rel == RelType::kP2C ? RelType::kP2P : RelType::kP2C;
+    } else if (pick < 68) {
+      const auto id = random_live_edge(i);
+      if (!id) continue;
+      const auto& edge = graph.edge(*id);
+      if (edge.rel != RelType::kP2C) continue;
+      event.kind = ChurnKind::kScopeFlip;
+      event.a = graph.asn_of(edge.u);
+      event.b = graph.asn_of(edge.v);
+      const std::uint64_t scope_pick = roll(i, 9) % 3;
+      event.scope = scope_pick == 0   ? ExportScope::kFull
+                    : scope_pick == 1 ? ExportScope::kNoProviders
+                                      : ExportScope::kCustomersOnly;
+      event.via_community = roll(i, 10) % 2 == 0;
+    } else if (pick < 74) {
+      // Deliberate no-op: remove a pair that (almost surely) has no link.
+      event.kind = ChurnKind::kLinkRemove;
+      event.a = graph.asn_of(
+          static_cast<topo::NodeId>(roll(i, 11) % nodes.size()));
+      event.b = graph.asn_of(
+          static_cast<topo::NodeId>(roll(i, 12) % nodes.size()));
+      if (event.a == event.b) continue;
+    } else {
+      event.kind = roll(i, 13) % 2 == 0 ? ChurnKind::kPrefixAnnounce
+                                        : ChurnKind::kPrefixWithdraw;
+      event.a = graph.asn_of(
+          static_cast<topo::NodeId>(roll(i, 14) % nodes.size()));
+      event.prefix_host = static_cast<std::uint32_t>(roll(i, 15) % 4096);
+    }
+
+    const ApplyResult applied = apply_churn_event(scratch, event);
+    if (event.kind == ChurnKind::kLinkRemove && applied.applied) {
+      removed_pairs.emplace_back(event.a, event.b);
+    }
+    // Keep the event whether or not it applied: no-ops are part of the
+    // contract. But only count structural events toward the total often
+    // enough to guarantee progress.
+    events.push_back(event);
+  }
+  return events;
+}
+
+std::string to_churn_text(std::span<const ChurnEvent> events) {
+  std::ostringstream out;
+  out << "# asrel churn feed (" << events.size() << " events)\n";
+  for (const auto& event : events) {
+    out << to_string(event.kind);
+    switch (event.kind) {
+      case ChurnKind::kLinkAdd:
+      case ChurnKind::kRelFlip:
+        out << ' ' << event.a.value() << ' ' << event.b.value() << ' '
+            << topo::to_string(event.rel);
+        break;
+      case ChurnKind::kLinkRemove:
+        out << ' ' << event.a.value() << ' ' << event.b.value();
+        break;
+      case ChurnKind::kScopeFlip:
+        out << ' ' << event.a.value() << ' ' << event.b.value() << ' '
+            << topo::to_string(event.scope) << ' '
+            << (event.via_community ? "community" : "silent");
+        break;
+      case ChurnKind::kPrefixAnnounce:
+      case ChurnKind::kPrefixWithdraw:
+        out << ' ' << event.a.value() << ' ' << event.prefix_host;
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    if (pos > start) fields.push_back(line.substr(start, pos - start));
+  }
+  return fields;
+}
+
+bool parse_u32(std::string_view text, std::uint32_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_rel(std::string_view text, RelType* out) {
+  if (text == "p2c") *out = RelType::kP2C;
+  else if (text == "p2p") *out = RelType::kP2P;
+  else if (text == "s2s") *out = RelType::kS2S;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<ChurnEvent> parse_churn_text(std::string_view text,
+                                         std::string* error) {
+  std::vector<ChurnEvent> events;
+  std::size_t line_number = 0;
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_number) + ": " + message;
+    }
+    return std::vector<ChurnEvent>{};
+  };
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, end == std::string_view::npos ? text.size() - pos : end - pos);
+    pos = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_number;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto fields = split_fields(line);
+    if (fields.empty()) continue;
+
+    ChurnEvent event;
+    std::uint32_t a = 0, b = 0;
+    const std::string_view verb = fields[0];
+    if (verb == "add" || verb == "flip") {
+      if (fields.size() != 4 || !parse_u32(fields[1], &a) ||
+          !parse_u32(fields[2], &b) || !parse_rel(fields[3], &event.rel)) {
+        return fail("expected '" + std::string{verb} + " <a> <b> <rel>'");
+      }
+      event.kind = verb == "add" ? ChurnKind::kLinkAdd : ChurnKind::kRelFlip;
+      event.a = asn::Asn{a};
+      event.b = asn::Asn{b};
+    } else if (verb == "remove") {
+      if (fields.size() != 3 || !parse_u32(fields[1], &a) ||
+          !parse_u32(fields[2], &b)) {
+        return fail("expected 'remove <a> <b>'");
+      }
+      event.kind = ChurnKind::kLinkRemove;
+      event.a = asn::Asn{a};
+      event.b = asn::Asn{b};
+    } else if (verb == "scope") {
+      if (fields.size() != 5 || !parse_u32(fields[1], &a) ||
+          !parse_u32(fields[2], &b)) {
+        return fail("expected 'scope <a> <b> <scope> community|silent'");
+      }
+      if (fields[3] == "full") event.scope = ExportScope::kFull;
+      else if (fields[3] == "no-providers")
+        event.scope = ExportScope::kNoProviders;
+      else if (fields[3] == "customers-only")
+        event.scope = ExportScope::kCustomersOnly;
+      else return fail("unknown scope '" + std::string{fields[3]} + "'");
+      if (fields[4] == "community") event.via_community = true;
+      else if (fields[4] == "silent") event.via_community = false;
+      else return fail("expected 'community' or 'silent'");
+      event.kind = ChurnKind::kScopeFlip;
+      event.a = asn::Asn{a};
+      event.b = asn::Asn{b};
+    } else if (verb == "announce" || verb == "withdraw") {
+      if (fields.size() != 3 || !parse_u32(fields[1], &a) ||
+          !parse_u32(fields[2], &event.prefix_host)) {
+        return fail("expected '" + std::string{verb} + " <asn> <net>'");
+      }
+      event.kind = verb == "announce" ? ChurnKind::kPrefixAnnounce
+                                      : ChurnKind::kPrefixWithdraw;
+      event.a = asn::Asn{a};
+    } else {
+      return fail("unknown event verb '" + std::string{verb} + "'");
+    }
+    events.push_back(event);
+  }
+  if (error != nullptr) error->clear();
+  return events;
+}
+
+}  // namespace asrel::stream

@@ -1,0 +1,87 @@
+// Churn feed: the deterministic event model driving the live pipeline.
+//
+// A ChurnEvent is one unit of topology or routing-policy change — link
+// appearance/disappearance, relationship or export-policy flips, prefix
+// (re)announcements — the same churn a production pipeline sees from
+// successive RIB dumps. Events come from two sources: a seeded generator
+// that perturbs an existing world (tests, benches, soak runs) and a
+// line-oriented replay file (operational driving). Both produce the same
+// struct, and apply_churn_event is the single mutation path shared by the
+// generator, the streaming session, and the reference rebuild — so a
+// replayed sequence is bit-reproducible everywhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "topology/generator.hpp"
+#include "topology/graph.hpp"
+
+namespace asrel::stream {
+
+enum class ChurnKind : std::uint8_t {
+  kLinkAdd = 0,     ///< new adjacency between two existing ASes
+  kLinkRemove,      ///< session teardown (edge tombstoned)
+  kRelFlip,         ///< relationship renegotiated in place
+  kScopeFlip,       ///< §6.1 partial-transit policy change on a P2C edge
+  kPrefixAnnounce,  ///< origin announces one more prefix
+  kPrefixWithdraw,  ///< origin withdraws one prefix
+};
+
+[[nodiscard]] std::string_view to_string(ChurnKind kind);
+
+struct ChurnEvent {
+  ChurnKind kind = ChurnKind::kLinkAdd;
+  /// Link endpoints. For kLinkAdd/kRelFlip with rel == kP2C, `a` is the
+  /// provider. For prefix events `a` is the origin and `b` is unused.
+  asn::Asn a;
+  asn::Asn b;
+  topo::RelType rel = topo::RelType::kP2P;              ///< add / rel-flip
+  topo::ExportScope scope = topo::ExportScope::kFull;   ///< scope-flip
+  bool via_community = false;                           ///< scope-flip
+  std::uint32_t prefix_host = 0;  ///< synthetic /24 network id for prefix events
+};
+
+struct ApplyResult {
+  /// False when the event was a structural no-op: removing a link that
+  /// does not exist, re-adding a live one, flipping to the current
+  /// relationship, or prefix math on an unknown AS. No-ops leave the
+  /// world untouched and are expected in any replayed feed.
+  bool applied = false;
+  /// Edges whose state changed — the seeds for the propagator's dirty
+  /// frontier. Empty for prefix events: prefix churn sits below link
+  /// granularity, so it never perturbs paths, validation, or the audit.
+  std::vector<topo::EdgeId> touched;
+};
+
+/// Applies one event to the world. Never adds or removes AS nodes (the
+/// streaming propagator's per-node state relies on a fixed node universe);
+/// events naming an unknown ASN are rejected as no-ops.
+ApplyResult apply_churn_event(topo::World& world, const ChurnEvent& event);
+
+/// Deterministic, seedable generator: perturbs `world` (a scratch copy is
+/// taken; the argument is not modified) into `count` events. The mix
+/// includes link adds/removes (with occasional add-then-remove pairs of
+/// the same link), relationship and scope flips, prefix churn, and a few
+/// deliberate no-ops — the shapes the metamorphic suite must survive.
+[[nodiscard]] std::vector<ChurnEvent> generate_churn(const topo::World& world,
+                                                     std::uint64_t seed,
+                                                     std::size_t count);
+
+/// Replay file format: one event per line,
+///   add <a> <b> p2c|p2p|s2s
+///   remove <a> <b>
+///   flip <a> <b> p2c|p2p|s2s
+///   scope <a> <b> full|no-providers|customers-only community|silent
+///   announce <asn> <net>
+///   withdraw <asn> <net>
+/// '#' starts a comment. Parsing is strict: any malformed line fails.
+[[nodiscard]] std::string to_churn_text(std::span<const ChurnEvent> events);
+[[nodiscard]] std::vector<ChurnEvent> parse_churn_text(
+    std::string_view text, std::string* error = nullptr);
+
+}  // namespace asrel::stream

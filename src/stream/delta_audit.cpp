@@ -1,0 +1,96 @@
+#include "stream/delta_audit.hpp"
+
+#include <utility>
+
+namespace asrel::stream {
+
+DeltaAudit::DeltaAudit(const topo::World& world)
+    : hypergiants_(world.hypergiants.begin(), world.hypergiants.end()),
+      tier1_(world.clique.begin(), world.clique.end()),
+      topo_([this](asn::Asn asn) { return hypergiants_.contains(asn); },
+            [this](asn::Asn asn) { return tier1_.contains(asn); },
+            [this](asn::Asn asn) {
+              const auto it = transit_.find(asn);
+              return it != transit_.end() && it->second;
+            }) {
+  for (const auto& file : world.delegations) mapper_.apply(file);
+  const auto& graph = world.graph;
+  transit_.reserve(graph.node_count());
+  for (const auto& edge : graph.edges()) {
+    if (edge.removed) continue;
+    if (edge.rel == topo::RelType::kP2C) {
+      transit_[graph.asn_of(edge.u)] = true;
+    }
+  }
+}
+
+void DeltaAudit::on_edges_touched(const topo::AsGraph& graph,
+                                  std::span<const topo::EdgeId> touched) {
+  std::vector<asn::Asn> flipped;
+  const auto refresh = [&](topo::NodeId node) {
+    const asn::Asn asn = graph.asn_of(node);
+    bool now = false;
+    for (const auto& neighbor : graph.neighbors(node)) {
+      if (neighbor.role == topo::Neighbor::Role::kProvider) {
+        now = true;
+        break;
+      }
+    }
+    bool& bit = transit_[asn];
+    if (bit == now) return;
+    bit = now;
+    // The transit bit only matters for cone-classified ASes: hypergiant
+    // and Tier-1 membership shadows it in category_of.
+    if (!hypergiants_.contains(asn) && !tier1_.contains(asn)) {
+      flipped.push_back(asn);
+    }
+  };
+  for (const auto id : touched) {
+    const auto& edge = graph.edge(id);  // endpoints valid even if removed
+    refresh(edge.u);
+    refresh(edge.v);
+  }
+  // Re-classify after every bit is final, so a link whose two endpoints
+  // both flipped in this batch is recomputed against the settled state.
+  for (const auto asn : flipped) {
+    const auto it = incident_.find(asn);
+    if (it == incident_.end()) continue;
+    for (const auto slot : it->second) {
+      topological_cache_[slot] = topo_.class_of(link_of_slot_[slot]);
+    }
+  }
+}
+
+std::uint32_t DeltaAudit::slot_of(const val::AsLink& link) {
+  const auto it = slot_.find(link);
+  if (it != slot_.end()) return it->second;
+  const auto slot = static_cast<std::uint32_t>(link_of_slot_.size());
+  link_of_slot_.push_back(link);
+  regional_cache_.push_back(eval::regional_class(mapper_, link));
+  topological_cache_.push_back(topo_.class_of(link));
+  slot_.emplace(link, slot);
+  incident_[link.a].push_back(slot);
+  if (link.b != link.a) incident_[link.b].push_back(slot);
+  return slot;
+}
+
+const std::string& DeltaAudit::regional_class_of(const val::AsLink& link) {
+  return regional_cache_[slot_of(link)];
+}
+
+const std::string& DeltaAudit::topological_class_of(const val::AsLink& link) {
+  return topological_cache_[slot_of(link)];
+}
+
+core::SnapshotClassSource DeltaAudit::class_source() {
+  return core::SnapshotClassSource{
+      .regional_class_of =
+          [this](const val::AsLink& link) { return regional_class_of(link); },
+      .topological_class_of =
+          [this](const val::AsLink& link) {
+            return topological_class_of(link);
+          },
+  };
+}
+
+}  // namespace asrel::stream

@@ -1,0 +1,213 @@
+#include "stream/session.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "core/snapshot_builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "topology/generator.hpp"
+
+namespace asrel::stream {
+
+namespace {
+
+struct StreamMetrics {
+  obs::Counter& events_applied;
+  obs::Counter& events_noop;
+  obs::Counter& origins_redone;
+  obs::Counter& origins_clean;
+  obs::Histogram& event_us;
+  obs::Histogram& publish_us;
+  obs::Gauge& epoch;
+
+  static StreamMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static StreamMetrics metrics{
+        reg.counter("asrel_stream_events_total{result=\"applied\"}",
+                    "Churn events by outcome"),
+        reg.counter("asrel_stream_events_total{result=\"noop\"}"),
+        reg.counter("asrel_stream_origins_repropagated_total",
+                    "Origins re-converged by the incremental propagator"),
+        reg.counter("asrel_stream_origins_clean_total",
+                    "Origins proven unaffected (re-propagation skipped)"),
+        reg.histogram("asrel_stream_event_duration_us",
+                      obs::stage_buckets_us(),
+                      "Per-event apply + re-convergence wall time (us)"),
+        reg.histogram("asrel_stream_publish_duration_us",
+                      obs::stage_buckets_us(),
+                      "Per-epoch snapshot publication wall time (us)"),
+        reg.gauge("asrel_stream_epoch",
+                  "Streaming session's last published epoch"),
+    };
+    return metrics;
+  }
+};
+
+unsigned worker_count(unsigned requested) {
+  if (requested != 0) return requested;
+  return std::min(32u, std::max(1u, std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+StreamSession::StreamSession(const core::ScenarioParams& params)
+    : params_(params) {
+  obs::StageScope stage{"stream.bootstrap"};
+  if (params.threads != 0) {
+    params_.propagation.threads = params.threads;
+    params_.extract.threads = params.threads;
+  }
+  world_ = topo::generate(params_.topology);
+  vps_ = bgp::select_vantage_points(world_, params_.vantage);
+  // The propagator keeps a pointer to world_; the member is mutated in
+  // place by apply(), never reseated, so the pointer stays valid.
+  propagator_ =
+      std::make_unique<bgp::Propagator>(world_, params_.propagation);
+  sessions_ = bgp::resolve_vp_sessions(world_.graph, vps_);
+
+  // Same per-origin loop as bgp::collect_paths, but the ribs are kept:
+  // they are the baseline the dirty test diffs against.
+  const std::size_t n = world_.graph.node_count();
+  ribs_.resize(n);
+  paths_.resize_origins(n);
+  paths_.set_vantage_points(vps_);
+  const unsigned threads = worker_count(params_.propagation.threads);
+  core::ThreadPool::shared().run_indexed(n, threads, [&](std::size_t i) {
+    const auto origin = static_cast<topo::NodeId>(i);
+    ribs_[i] = propagator_->propagate(world_.graph.asn_of(origin));
+    bgp::harvest_origin(*propagator_, ribs_[i], sessions_, paths_);
+  });
+  paths_.recount();
+
+  audit_ = std::make_unique<DeltaAudit>(world_);
+  scenario_ = core::Scenario::from_parts(params_, world_, vps_, paths_);
+  // Build the epoch-1 snapshot through the audit's class source: identical
+  // bytes to a fresh BiasAudit, and it warms the per-link cache that later
+  // epochs invalidate incrementally.
+  auto source = audit_->class_source();
+  core::rebuild_snapshot_sections(snapshot_, *scenario_,
+                                  core::SnapshotSections::all(), &source);
+  epoch_ = 1;
+  snapshot_.meta.epoch = epoch_;
+  StreamMetrics::get().epoch.set(static_cast<std::int64_t>(epoch_));
+}
+
+StreamSession::EventOutcome StreamSession::apply(const ChurnEvent& event) {
+  obs::StageScope stage{"stream.apply"};
+  StreamMetrics& metrics = StreamMetrics::get();
+  const auto started = std::chrono::steady_clock::now();
+
+  EventOutcome outcome;
+  const ApplyResult result = apply_churn_event(world_, event);
+  outcome.applied = result.applied;
+  if (!result.applied) {
+    ++stats_.events_noop;
+    metrics.events_noop.inc();
+    return outcome;
+  }
+  ++stats_.events_applied;
+  metrics.events_applied.inc();
+
+  if (!result.touched.empty()) {
+    graph_dirty_ = true;
+    audit_->on_edges_touched(world_.graph, result.touched);
+    const std::uint64_t redone_before = stats_.origins_redone;
+    reconverge(result.touched);
+    outcome.dirty_origins =
+        static_cast<std::size_t>(stats_.origins_redone - redone_before);
+  }
+  // Prefix events leave touched empty: they mutate world_.prefixes only,
+  // which no snapshot section reads — a true pipeline no-op.
+
+  metrics.event_us.observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count()));
+  return outcome;
+}
+
+void StreamSession::reconverge(std::span<const topo::EdgeId> touched) {
+  obs::StageScope stage{"stream.reconverge"};
+  const std::size_t n = ribs_.size();
+  const unsigned threads = worker_count(params_.propagation.threads);
+  core::ThreadPool& pool = core::ThreadPool::shared();
+
+  // Pass 1: conservative dirty scan — O(touched) per origin.
+  std::vector<std::uint8_t> dirty(n, 0);
+  pool.run_indexed(n, threads, [&](std::size_t i) {
+    dirty[i] = propagator_->rib_affected(ribs_[i], touched) ? 1 : 0;
+  });
+
+  // Pass 2: full re-propagation for the dirty frontier only; each origin
+  // refills its own path-table bucket, exactly like the batch build.
+  pool.run_indexed(n, threads, [&](std::size_t i) {
+    if (dirty[i] == 0) return;
+    const auto origin = static_cast<topo::NodeId>(i);
+    ribs_[i] = propagator_->propagate(world_.graph.asn_of(origin));
+    paths_.clear_origin(origin);
+    bgp::harvest_origin(*propagator_, ribs_[i], sessions_, paths_);
+  });
+  paths_.recount();
+
+  std::uint64_t redone = 0;
+  for (const auto flag : dirty) redone += flag;
+  stats_.origins_redone += redone;
+  stats_.origins_skipped += n - redone;
+  StreamMetrics& metrics = StreamMetrics::get();
+  metrics.origins_redone.add(redone);
+  metrics.origins_clean.add(n - redone);
+  if (redone != 0) paths_dirty_ = true;
+}
+
+const io::Snapshot& StreamSession::publish(std::uint64_t built_unix_ms) {
+  obs::StageScope stage{"stream.publish"};
+  StreamMetrics& metrics = StreamMetrics::get();
+  const auto started = std::chrono::steady_clock::now();
+
+  if (graph_dirty_ || paths_dirty_) {
+    // Downstream stages (sanitize -> schemes -> extract -> clean ->
+    // regions) are re-run over the maintained parts; the expensive
+    // upstream — topology and all-origin propagation — is what
+    // incrementality avoided.
+    scenario_ = core::Scenario::from_parts(params_, world_, vps_, paths_);
+    core::SnapshotSections sections;
+    sections.ases = true;
+    sections.validation = true;
+    sections.algorithms = true;
+    sections.links = true;
+    sections.edges = graph_dirty_;
+    auto source = audit_->class_source();
+    core::rebuild_snapshot_sections(snapshot_, *scenario_, sections,
+                                    &source);
+    graph_dirty_ = false;
+    paths_dirty_ = false;
+  }
+  ++epoch_;
+  ++stats_.epochs_published;
+  snapshot_.meta.epoch = epoch_;
+  snapshot_.meta.built_unix_ms = built_unix_ms;
+  metrics.epoch.set(static_cast<std::int64_t>(epoch_));
+  metrics.publish_us.observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count()));
+  return snapshot_;
+}
+
+io::Snapshot StreamSession::reference_snapshot(
+    std::uint64_t built_unix_ms) const {
+  obs::StageScope stage{"stream.reference"};
+  const bgp::Propagator propagator{world_, params_.propagation};
+  auto paths = bgp::collect_paths(propagator, vps_);
+  const auto scenario =
+      core::Scenario::from_parts(params_, world_, vps_, std::move(paths));
+  io::Snapshot snapshot = core::build_snapshot(*scenario);
+  snapshot.meta.epoch = epoch_;
+  snapshot.meta.built_unix_ms = built_unix_ms;
+  return snapshot;
+}
+
+}  // namespace asrel::stream

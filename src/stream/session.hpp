@@ -1,0 +1,108 @@
+// StreamSession: the live end-to-end pipeline.
+//
+// A session owns the mutable world plus every piece of derived state the
+// batch pipeline computes once — per-origin ribs, the collector path
+// table, link classes, the serving snapshot — and keeps them all
+// consistent under a stream of ChurnEvents at a fraction of a full
+// rebuild's cost:
+//
+//   apply(event)   mutate graph -> update audit transit bits ->
+//                  rib_affected scan over all origins (conservative,
+//                  O(events) per origin) -> re-propagate only the dirty
+//                  origins and re-harvest just their path-table buckets.
+//   publish()      re-run the downstream stages (sanitize/schemes/
+//                  extract/clean/regions) over the maintained paths, then
+//                  rebuild only the snapshot sections the epoch's events
+//                  could have changed, classes served from the DeltaAudit
+//                  cache.
+//
+// The invariant the metamorphic suite enforces: after ANY event sequence,
+// publish()'s snapshot is byte-identical to reference_snapshot() — a
+// from-scratch rebuild of the same final world. Incrementality changes
+// cost, never bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bgp/propagation.hpp"
+#include "core/scenario.hpp"
+#include "io/snapshot.hpp"
+#include "stream/churn.hpp"
+#include "stream/delta_audit.hpp"
+
+namespace asrel::stream {
+
+class StreamSession {
+ public:
+  /// Runs the batch pipeline once (same stages as Scenario::build) to
+  /// establish epoch 1 state. `params.threads` governs both the initial
+  /// build and the per-event re-convergence scans.
+  explicit StreamSession(const core::ScenarioParams& params);
+
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  struct EventOutcome {
+    bool applied = false;          ///< false: structural no-op
+    std::size_t dirty_origins = 0; ///< origins re-propagated
+  };
+
+  /// Applies one event and re-converges the affected origins. Cheap for
+  /// no-ops (nothing touched -> nothing scanned).
+  EventOutcome apply(const ChurnEvent& event);
+
+  /// Ends the epoch: refreshes derived pipeline state if any event since
+  /// the last publish changed the graph or paths, rebuilds the dirty
+  /// snapshot sections, and stamps meta.epoch/built_unix_ms. Returns the
+  /// maintained snapshot (copy it to hand to EngineHub::publish).
+  const io::Snapshot& publish(std::uint64_t built_unix_ms);
+
+  /// From-scratch rebuild of the current world — the oracle for the
+  /// byte-equality invariant. Stamps the same epoch/built_unix_ms the
+  /// last publish() used, so equal state implies equal bytes.
+  [[nodiscard]] io::Snapshot reference_snapshot(
+      std::uint64_t built_unix_ms) const;
+
+  struct Stats {
+    std::uint64_t events_applied = 0;
+    std::uint64_t events_noop = 0;
+    std::uint64_t origins_redone = 0;   ///< re-propagated origins, cumulative
+    std::uint64_t origins_skipped = 0;  ///< proven-clean origins, cumulative
+    std::uint64_t epochs_published = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Published epoch counter: 1 after construction, +1 per publish() —
+  /// aligned with EngineHub's epoch when every publish is forwarded.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] const topo::World& world() const { return world_; }
+  [[nodiscard]] const io::Snapshot& snapshot() const { return snapshot_; }
+  [[nodiscard]] const core::Scenario& scenario() const { return *scenario_; }
+
+ private:
+  void reconverge(std::span<const topo::EdgeId> touched);
+
+  core::ScenarioParams params_;  ///< effective (threads override applied)
+  topo::World world_;
+  std::vector<bgp::VantagePoint> vps_;
+  std::vector<bgp::VpSession> sessions_;
+  std::unique_ptr<bgp::Propagator> propagator_;
+  std::vector<bgp::OriginRib> ribs_;  ///< by origin NodeId
+  bgp::PathTable paths_;
+  std::unique_ptr<DeltaAudit> audit_;
+  std::unique_ptr<core::Scenario> scenario_;
+  io::Snapshot snapshot_;
+  std::uint64_t epoch_ = 0;
+  Stats stats_;
+
+  // Dirtiness accumulated since the last publish. Any structural event
+  // dirties the graph-derived sections; origin changes additionally dirty
+  // everything path-derived. Prefix-only epochs leave both false and
+  // publish() just restamps the meta.
+  bool graph_dirty_ = false;
+  bool paths_dirty_ = false;
+};
+
+}  // namespace asrel::stream

@@ -52,7 +52,81 @@ std::optional<EdgeId> AsGraph::add_edge(asn::Asn a, asn::Asn b,
   };
   adjacency_[na].push_back({nb, id, role_from(na)});
   adjacency_[nb].push_back({na, id, role_from(nb)});
+  ++live_edge_count_;
   return id;
+}
+
+namespace {
+
+Neighbor::Role role_on_edge(const Edge& edge, NodeId self) {
+  switch (edge.rel) {
+    case RelType::kP2C:
+      return self == edge.u ? Neighbor::Role::kProvider
+                            : Neighbor::Role::kCustomer;
+    case RelType::kP2P:
+      return Neighbor::Role::kPeer;
+    case RelType::kS2S:
+      return Neighbor::Role::kSibling;
+  }
+  return Neighbor::Role::kPeer;
+}
+
+}  // namespace
+
+bool AsGraph::remove_edge(EdgeId id) {
+  if (id >= edges_.size() || edges_[id].removed) return false;
+  Edge& edge = edges_[id];
+  const auto drop_entry = [&](NodeId node) {
+    auto& adjacency = adjacency_[node];
+    for (auto it = adjacency.begin(); it != adjacency.end(); ++it) {
+      if (it->edge == id) {
+        adjacency.erase(it);
+        return;
+      }
+    }
+  };
+  drop_entry(edge.u);
+  drop_entry(edge.v);
+  edge.removed = true;
+  --live_edge_count_;
+  return true;
+}
+
+bool AsGraph::set_edge_rel(EdgeId id, RelType rel, NodeId provider) {
+  if (id >= edges_.size() || edges_[id].removed) return false;
+  Edge& edge = edges_[id];
+  if (rel == RelType::kP2C) {
+    if (provider != edge.u && provider != edge.v) return false;
+    if (provider != edge.u) std::swap(edge.u, edge.v);
+  } else {
+    // Canonical lower-ASN-first orientation, matching add_edge.
+    if (asn_of(edge.v) < asn_of(edge.u)) std::swap(edge.u, edge.v);
+  }
+  edge.rel = rel;
+  edge.scope = ExportScope::kFull;
+  edge.scope_via_community = false;
+  edge.hybrid_rel.reset();
+  const auto patch_entry = [&](NodeId node) {
+    for (auto& neighbor : adjacency_[node]) {
+      if (neighbor.edge == id) {
+        neighbor.role = role_on_edge(edge, node);
+        return;
+      }
+    }
+  };
+  patch_entry(edge.u);
+  patch_entry(edge.v);
+  return true;
+}
+
+bool AsGraph::set_edge_scope(EdgeId id, ExportScope scope,
+                             bool via_community) {
+  if (id >= edges_.size() || edges_[id].removed) return false;
+  Edge& edge = edges_[id];
+  if (edge.rel != RelType::kP2C) return false;
+  edge.scope = scope;
+  edge.scope_via_community = via_community;
+  return true;
 }
 
 std::optional<NodeId> AsGraph::node_of(asn::Asn asn) const {

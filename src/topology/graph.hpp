@@ -45,6 +45,13 @@ struct Edge {
   /// such case in the Cogent study).
   bool misdocumented = false;
 
+  /// Tombstone set by remove_edge: the edge stays in the edge table so
+  /// EdgeIds remain stable (cached per-origin ribs reference them), but it
+  /// is absent from both adjacency lists and skipped by every consumer
+  /// that walks edges(). The endpoints u/v stay valid so the incremental
+  /// propagator can seed its dirty frontier from a removal event.
+  bool removed = false;
+
   [[nodiscard]] bool is_hybrid() const { return hybrid_rel.has_value(); }
 };
 
@@ -70,6 +77,31 @@ class AsGraph {
 
   /// Full-control overload used by the generator.
   std::optional<EdgeId> add_edge(asn::Asn a, asn::Asn b, const Edge& proto);
+
+  // ---- streaming mutation API (src/stream) ----
+  // Mutations keep EdgeIds stable: removal tombstones the slot, and a
+  // later re-add of the same AS pair appends a fresh edge.
+
+  /// Tombstones an edge: clears both adjacency entries and marks it
+  /// removed. Returns false for an out-of-range or already-removed id.
+  bool remove_edge(EdgeId id);
+
+  /// Rewrites an edge's relationship in place. For kP2C, `provider` names
+  /// the provider-side node (must be one of the endpoints); the edge is
+  /// re-oriented so u is the provider. For kP2P/kS2S the canonical
+  /// lower-ASN-first orientation is restored. The export scope resets to
+  /// kFull and any hybrid annotation is dropped — a flipped link starts
+  /// from a clean policy slate. Adjacency roles are patched on both sides.
+  bool set_edge_rel(EdgeId id, RelType rel, NodeId provider);
+
+  /// Rewrites a kP2C edge's export scope (§6.1 partial-transit policy).
+  /// Returns false for removed ids or non-P2C edges.
+  bool set_edge_scope(EdgeId id, ExportScope scope, bool via_community);
+
+  /// Edges minus tombstones (edge_count() includes removed slots).
+  [[nodiscard]] std::size_t live_edge_count() const {
+    return live_edge_count_;
+  }
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
@@ -105,6 +137,7 @@ class AsGraph {
   std::unordered_map<asn::Asn, NodeId> index_;
   std::vector<Edge> edges_;
   std::vector<std::vector<Neighbor>> adjacency_;
+  std::size_t live_edge_count_ = 0;
 };
 
 }  // namespace asrel::topo

@@ -83,6 +83,8 @@ std::string build_payload(const PayloadSpec& spec) {
   put_u64(p, 2);    // meta.as_count
   put_u64(p, 7);    // meta.seed
   put_u64(p, 11);   // meta.scheme_seed
+  put_u64(p, 0);    // meta.epoch
+  put_u64(p, 0);    // meta.built_unix_ms
   put_u64(p, 0);    // class names
 
   put_u64(p, 1);    // AS records
@@ -220,6 +222,8 @@ TEST(SnapshotHardening, ImplausibleElementCountRejected) {
   put_u64(p, 2);
   put_u64(p, 7);
   put_u64(p, 11);
+  put_u64(p, 0);  // epoch
+  put_u64(p, 0);  // built_unix_ms
   put_u64(p, 0xFFFFFFFFFFFFull);  // class-name count, absurd
   std::string error;
   EXPECT_FALSE(parse_snapshot_bytes(wrap(p), &error).has_value());

@@ -3,6 +3,15 @@
 //   asrel_loadgen --port P [--host 127.0.0.1] [--connections C]
 //                 [--duration-ms MS | --requests N] [--mode rel|mixed]
 //                 [--retries R] [--backoff-us US] [--jitter-seed S]
+//                 [--epoch-watch]
+//
+// --epoch-watch runs a sidecar poller against /statsz for the whole run,
+// tracking the served snapshot epoch (the one stamped in the snapshot
+// header by the streaming publisher). The summary reports every distinct
+// epoch observed, whether the sequence ever regressed, and whether any
+// request error landed within +/-50 ms of an epoch swap — the smoking gun
+// for a non-atomic publication. Regressions and swap-straddling errors
+// fail the run.
 //
 // Opens C persistent (keep-alive) connections, fetches a sample of real
 // links from /links, then hammers /rel point lookups (plus periodic
@@ -48,6 +57,7 @@ struct Args {
   int retries = 3;           ///< extra attempts per request on connect/5xx
   long backoff_us = 2000;    ///< first backoff; doubles per attempt
   std::uint64_t jitter_seed = 1;
+  bool epoch_watch = false;  ///< poll /statsz for snapshot epoch swaps
 };
 
 int usage() {
@@ -55,15 +65,21 @@ int usage() {
       stderr,
       "usage: asrel_loadgen --port P [--host H] [--connections C]\n"
       "       [--duration-ms MS | --requests N] [--mode rel|mixed]\n"
-      "       [--retries R] [--backoff-us US] [--jitter-seed S]\n");
+      "       [--retries R] [--backoff-us US] [--jitter-seed S]\n"
+      "       [--epoch-watch]\n");
   return 2;
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
   Args args;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
     const std::string_view flag = argv[i];
-    const char* value = argv[i + 1];
+    if (flag == "--epoch-watch") {
+      args.epoch_watch = true;
+      continue;
+    }
+    if (i + 1 >= argc) return std::nullopt;
+    const char* value = argv[++i];
     if (flag == "--host") {
       args.host = value;
     } else if (flag == "--port") {
@@ -83,7 +99,7 @@ std::optional<Args> parse_args(int argc, char** argv) {
     } else if (flag == "--jitter-seed") {
       args.jitter_seed = std::strtoull(value, nullptr, 10);
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i - 1]);
       return std::nullopt;
     }
   }
@@ -250,7 +266,52 @@ struct WorkerResult {
   long shed = 0;       ///< saw at least one 503 (even if a retry succeeded)
   long retried = 0;    ///< retry attempts spent
   long errors = 0;     ///< exhausted retries without a 200/503, or hard fail
+  /// When each error resolved — correlated against epoch-swap times to
+  /// catch failures that straddle a snapshot publication.
+  std::vector<std::chrono::steady_clock::time_point> error_times;
 };
+
+/// Sidecar /statsz poller tracking the served snapshot-header epoch.
+struct EpochWatch {
+  std::vector<std::uint64_t> epochs;  ///< distinct values, in observed order
+  std::vector<std::chrono::steady_clock::time_point> swap_times;
+  long polls = 0;
+  long poll_failures = 0;
+  bool regressed = false;
+};
+
+/// Extracts the snapshot-header epoch from a /statsz body:
+/// ..."snapshot":{"epoch":N,... (distinct from the reload epoch).
+std::optional<std::uint64_t> parse_snapshot_epoch(const std::string& body) {
+  static constexpr std::string_view kKey = "\"snapshot\":{\"epoch\":";
+  const std::size_t at = body.find(kKey);
+  if (at == std::string::npos) return std::nullopt;
+  return std::strtoull(body.c_str() + at + kKey.size(), nullptr, 10);
+}
+
+void run_epoch_watch(const Args& args, const std::atomic<bool>& stop,
+                     EpochWatch& watch) {
+  Connection connection;
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::string body;
+    const bool ok = (connection.is_open() ||
+                     connection.open(args.host, args.port)) &&
+                    connection.get("/statsz", &body) == 200;
+    ++watch.polls;
+    const auto epoch = ok ? parse_snapshot_epoch(body) : std::nullopt;
+    if (!epoch) {
+      ++watch.poll_failures;
+      connection.close();
+    } else if (watch.epochs.empty() || watch.epochs.back() != *epoch) {
+      if (!watch.epochs.empty()) {
+        watch.swap_times.push_back(std::chrono::steady_clock::now());
+        if (*epoch < watch.epochs.back()) watch.regressed = true;
+      }
+      watch.epochs.push_back(*epoch);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
 
 }  // namespace
 
@@ -297,6 +358,13 @@ int main(int argc, char** argv) {
   std::vector<WorkerResult> results(
       static_cast<std::size_t>(args->connections));
   std::vector<std::thread> workers;
+  std::atomic<bool> watch_stop{false};
+  EpochWatch watch;
+  std::thread watcher;
+  if (args->epoch_watch) {
+    watcher = std::thread{
+        [&] { run_epoch_watch(*args, watch_stop, watch); }};
+  }
   const auto started = std::chrono::steady_clock::now();
   for (int w = 0; w < args->connections; ++w) {
     workers.emplace_back([&, w] {
@@ -356,14 +424,22 @@ int main(int argc, char** argv) {
             continue;
           }
           ++result.errors;  // unexpected status (4xx/5xx): no retry
+          result.error_times.push_back(t1);
           resolved = true;
           break;
         }
-        if (!resolved) ++result.errors;  // retry budget exhausted
+        if (!resolved) {
+          ++result.errors;  // retry budget exhausted
+          result.error_times.push_back(std::chrono::steady_clock::now());
+        }
       }
     });
   }
   for (auto& worker : workers) worker.join();
+  if (watcher.joinable()) {
+    watch_stop.store(true, std::memory_order_relaxed);
+    watcher.join();
+  }
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
@@ -395,5 +471,37 @@ int main(int argc, char** argv) {
   std::printf("latency p99: %.0f us\n",
               asrel::obs::histogram_quantile(latency, 0.99));
   std::printf("latency max: %.0f us\n", max_latency_us);
-  return errors == 0 ? 0 : 1;
+
+  bool watch_failed = false;
+  if (args->epoch_watch) {
+    // A request error within +/-50 ms of an epoch swap would mean the
+    // publication was visible to clients as anything but atomic.
+    long straddling = 0;
+    for (const auto& result : results) {
+      for (const auto& when : result.error_times) {
+        for (const auto& swap : watch.swap_times) {
+          const auto gap = when > swap ? when - swap : swap - when;
+          if (gap <= std::chrono::milliseconds(50)) {
+            ++straddling;
+            break;
+          }
+        }
+      }
+    }
+    std::printf("epochs:      %zu distinct (", watch.epochs.size());
+    for (std::size_t i = 0; i < watch.epochs.size(); ++i) {
+      std::printf("%s%llu", i == 0 ? "" : " -> ",
+                  static_cast<unsigned long long>(watch.epochs[i]));
+    }
+    std::printf(") over %ld polls (%ld failed)\n", watch.polls,
+                watch.poll_failures);
+    std::printf("epoch regressions: %s\n", watch.regressed ? "YES" : "none");
+    std::printf("errors within 50ms of a swap: %ld\n", straddling);
+    if (watch.epochs.empty()) {
+      std::fprintf(stderr, "epoch-watch: never observed an epoch\n");
+      watch_failed = true;
+    }
+    watch_failed = watch_failed || watch.regressed || straddling > 0;
+  }
+  return errors == 0 && !watch_failed ? 0 : 1;
 }

@@ -8,6 +8,14 @@
 //       Run the batch pipeline once (minutes at paper scale), optionally
 //       persist the snapshot, then serve it.
 //
+//   asrel_serve --generate --stream-events N [--stream-interval-ms MS]
+//               [--stream-batch K] [--churn-seed S] ...
+//       Live mode: bootstrap a streaming session, then apply N generated
+//       churn events in batches of K every MS milliseconds, publishing a
+//       fresh epoch (atomic in-memory swap, zero dropped requests) after
+//       each batch. When --save is set, each epoch is also written to the
+//       file crash-safely, so SIGHUP reloads pick up the latest epoch.
+//
 // Operations:
 //   SIGHUP          hot-reload the snapshot file (zero downtime; in-flight
 //                   requests finish on the old epoch)
@@ -17,6 +25,7 @@
 //
 // Endpoints: /rel /as /links /report/{regional,topological} /report/table
 // /snapshot /healthz /statsz /metricsz /tracez — see src/serve/service.hpp.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -26,6 +35,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/scenario.hpp"
 #include "obs/trace.hpp"
@@ -34,6 +44,8 @@
 #include "serve/engine_hub.hpp"
 #include "serve/http_server.hpp"
 #include "serve/service.hpp"
+#include "stream/churn.hpp"
+#include "stream/session.hpp"
 
 namespace {
 
@@ -52,6 +64,12 @@ struct Args {
   int drain_ms = 5000;
   int max_pending = 256;   ///< admission-queue bound (503 shed beyond it)
   bool trace = false;      ///< record server spans (served via /tracez)
+
+  // Live mode (--generate only): nonzero stream_events enables it.
+  int stream_events = 0;
+  int stream_interval_ms = 1000;
+  int stream_batch = 10;
+  std::uint64_t churn_seed = 1;
 };
 
 int usage() {
@@ -63,6 +81,8 @@ int usage() {
       "              [--max-pending N] [--trace]\n"
       "  asrel_serve --generate [--as-count N] [--seed S] [--save FILE]\n"
       "              [--port P] [--threads N]\n"
+      "  asrel_serve --generate --stream-events N [--stream-interval-ms MS]\n"
+      "              [--stream-batch K] [--churn-seed S] ...\n"
       "signals: SIGHUP = hot snapshot reload, SIGINT/SIGTERM = drain+exit\n");
   return 2;
 }
@@ -101,12 +121,22 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.drain_ms = std::atoi(value);
     } else if (flag == "--max-pending") {
       args.max_pending = std::atoi(value);
+    } else if (flag == "--stream-events") {
+      args.stream_events = std::atoi(value);
+    } else if (flag == "--stream-interval-ms") {
+      args.stream_interval_ms = std::atoi(value);
+    } else if (flag == "--stream-batch") {
+      args.stream_batch = std::atoi(value);
+    } else if (flag == "--churn-seed") {
+      args.churn_seed = std::strtoull(value, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i - 1]);
       return std::nullopt;
     }
   }
   if (args.snapshot.empty() == !args.generate) return std::nullopt;
+  if (args.stream_events > 0 && !args.generate) return std::nullopt;
+  if (args.stream_batch < 1) args.stream_batch = 1;
   return args;
 }
 
@@ -127,7 +157,37 @@ int main(int argc, char** argv) {
   if (!args) return usage();
 
   io::Snapshot snapshot;
-  if (args->generate) {
+  std::unique_ptr<stream::StreamSession> session;
+  std::vector<stream::ChurnEvent> churn;
+  if (args->generate && args->stream_events > 0) {
+    std::fprintf(stderr,
+                 "bootstrapping streaming session (%d ASes, seed %llu)...\n",
+                 args->as_count,
+                 static_cast<unsigned long long>(args->seed));
+    const auto started = std::chrono::steady_clock::now();
+    core::ScenarioParams params;
+    params.topology.as_count = args->as_count;
+    params.topology.seed = args->seed;
+    session = std::make_unique<stream::StreamSession>(params);
+    churn = stream::generate_churn(
+        session->world(), args->churn_seed,
+        static_cast<std::size_t>(args->stream_events));
+    snapshot = session->snapshot();
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - started);
+    std::fprintf(stderr,
+                 "bootstrap took %lld ms; %zu churn events queued "
+                 "(batch %d every %d ms)\n",
+                 static_cast<long long>(elapsed.count()), churn.size(),
+                 args->stream_batch, args->stream_interval_ms);
+    if (!args->save.empty()) {
+      std::string error;
+      if (!io::save_snapshot_file(snapshot, args->save, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+    }
+  } else if (args->generate) {
     std::fprintf(stderr, "building scenario (%d ASes, seed %llu)...\n",
                  args->as_count,
                  static_cast<unsigned long long>(args->seed));
@@ -220,6 +280,9 @@ int main(int argc, char** argv) {
                "(SIGHUP reloads, Ctrl-C drains)\n",
                server.port(), args->threads);
 
+  std::size_t next_event = 0;
+  auto next_batch_at = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(args->stream_interval_ms);
   while (!g_shutdown.load()) {
     if (hub->take_reload_request()) {
       const auto result = hub->reload();
@@ -234,7 +297,44 @@ int main(int argc, char** argv) {
                      result.error.c_str());
       }
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (session && next_event < churn.size() &&
+        std::chrono::steady_clock::now() >= next_batch_at) {
+      const std::size_t end =
+          std::min(churn.size(),
+                   next_event + static_cast<std::size_t>(args->stream_batch));
+      std::size_t redone = 0;
+      for (; next_event < end; ++next_event) {
+        redone += session->apply(churn[next_event]).dirty_origins;
+      }
+      const std::uint64_t now_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      const io::Snapshot& published = session->publish(now_ms);
+      if (!args->save.empty()) {
+        // Durable epoch: crash-safe tmp+rename, so a torn write never
+        // clobbers the last good file and SIGHUP reloads stay safe.
+        std::string save_error;
+        if (!io::save_snapshot_file(published, args->save, &save_error)) {
+          std::fprintf(stderr, "epoch write failed (still serving): %s\n",
+                       save_error.c_str());
+        }
+      }
+      const auto result = hub->publish(io::Snapshot{published});
+      std::fprintf(
+          stderr,
+          "stream: epoch %llu published (%zu/%zu events, "
+          "%zu origins re-converged)\n",
+          static_cast<unsigned long long>(result.epoch), next_event,
+          churn.size(), redone);
+      if (next_event == churn.size()) {
+        std::fprintf(stderr, "stream: churn feed drained, serving on\n");
+      }
+      next_batch_at = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(args->stream_interval_ms);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        session && next_event < churn.size() ? 20 : 100));
   }
   std::fprintf(stderr, "draining (deadline %d ms)...\n", args->drain_ms);
   const serve::DrainReport drained = server.drain();
