@@ -17,12 +17,15 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "io/snapshot.hpp"
 #include "serve/json.hpp"
+#include "stream/checkpoint.hpp"
 #include "stream/churn.hpp"
+#include "stream/ingest.hpp"
 #include "stream/session.hpp"
 
 namespace {
@@ -129,6 +132,72 @@ int main() {
   std::printf("final epoch byte-identical to rebuild: %s\n",
               identical ? "yes" : "NO");
 
+  // ---- recovery: cold restart vs checkpoint restore (DESIGN.md §14) ----
+  // A cold restart re-runs the full bootstrap and replays the feed; a
+  // restore reinstalls the checkpointed ribs and skips the all-origin
+  // propagation entirely. Both must land on the same bytes.
+  const stream::StreamCheckpoint checkpoint =
+      session.checkpoint(events.size());
+  t0 = Clock::now();
+  const std::string checkpoint_bytes =
+      stream::to_checkpoint_bytes(checkpoint);
+  const double encode_ms = ms_since(t0);
+  t0 = Clock::now();
+  const auto reparsed = stream::parse_checkpoint_bytes(checkpoint_bytes);
+  const double decode_ms = ms_since(t0);
+  double restore_ms = 0.0;
+  bool restore_identical = false;
+  if (reparsed.has_value()) {
+    std::string error;
+    t0 = Clock::now();
+    const auto restored =
+        stream::StreamSession::restore(params, *reparsed, &error);
+    restore_ms = ms_since(t0);
+    restore_identical =
+        restored != nullptr &&
+        io::to_snapshot_bytes(restored->snapshot()) == incremental;
+  }
+  const double cold_restart_ms = bootstrap_ms + apply_total + publish_total;
+  const double restore_speedup =
+      restore_ms > 0 ? cold_restart_ms / restore_ms : 0.0;
+  std::printf("checkpoint:    %zu bytes  encode %.1f ms  decode %.1f ms\n",
+              checkpoint_bytes.size(), encode_ms, decode_ms);
+  std::printf("recovery:      restore %.1f ms vs cold restart %.1f ms "
+              "(%.1fx faster), bytes %s\n",
+              restore_ms, cold_restart_ms, restore_speedup,
+              restore_identical ? "identical" : "DIVERGED");
+
+  // ---- backpressure: ingest queue overhead and saturation behavior ----
+  // Overhead: the full feed through a kBlock queue with a draining
+  // consumer — the per-event cost of the bounded handoff itself.
+  t0 = Clock::now();
+  stream::EventQueue queue{1024, stream::QueuePolicy::kBlock};
+  std::thread consumer{[&queue] {
+    while (queue.pop().has_value()) {
+    }
+  }};
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    queue.push({i, events[i]});
+  }
+  queue.close();
+  consumer.join();
+  const double queue_ms = ms_since(t0);
+  const double queue_ns_per_event =
+      processed > 0 ? queue_ms * 1e6 / processed : 0.0;
+
+  // Saturation: a tiny kShed queue with a stalled consumer — everything
+  // past the cap is dropped and counted, deterministically.
+  stream::EventQueue saturated{16, stream::QueuePolicy::kShed};
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    saturated.push({i, events[i]});
+  }
+  const auto saturated_stats = saturated.stats();
+  std::printf("backpressure:  %.0f ns/event through kBlock queue; "
+              "%llu of %zu shed at cap 16\n",
+              queue_ns_per_event,
+              static_cast<unsigned long long>(saturated_stats.shed),
+              events.size());
+
   serve::JsonWriter json;
   json.begin_object();
   json.field("bench", "stream_throughput");
@@ -156,6 +225,21 @@ int main() {
   json.field("per_event_ms", per_event_ms);
   json.field("incremental_vs_full_speedup", speedup);
   json.field("final_epoch_identical", identical);
+  json.key("recovery").begin_object();
+  json.field("checkpoint_bytes", checkpoint_bytes.size());
+  json.field("encode_ms", encode_ms);
+  json.field("decode_ms", decode_ms);
+  json.field("restore_ms", restore_ms);
+  json.field("cold_restart_ms", cold_restart_ms);
+  json.field("restore_vs_cold_speedup", restore_speedup);
+  json.field("restore_identical", restore_identical);
+  json.end_object();
+  json.key("backpressure").begin_object();
+  json.field("queue_policy", "block");
+  json.field("queue_cap", std::uint64_t{1024});
+  json.field("queue_ns_per_event", queue_ns_per_event);
+  json.field("shed_at_cap16", saturated_stats.shed);
+  json.end_object();
   json.end_object();
 
   const char* out_path = "BENCH_stream.json";
@@ -166,5 +250,5 @@ int main() {
     return 1;
   }
   std::printf("wrote %s\n", out_path);
-  return identical ? 0 : 1;
+  return identical && restore_identical ? 0 : 1;
 }

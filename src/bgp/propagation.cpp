@@ -17,8 +17,6 @@ using topo::Neighbor;
 using topo::NodeId;
 using topo::RelType;
 
-constexpr std::uint16_t kMaxDist = 64;
-
 /// splitmix64-style mixer for deterministic, order-independent choices.
 std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t salt) {
   std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b + salt;
@@ -282,8 +280,14 @@ bool Propagator::rib_affected(const OriginRib& rib,
     // directions. Every phase exports the exporter's *final* values — the
     // bucket walk settles a node only at its final distance — so comparing
     // the best possible offer against the endpoint's final selection is
-    // exact. A strictly losing offer loses in every phase replay; a
-    // beating or tying offer conservatively marks the origin dirty.
+    // exact. A strictly losing offer loses in every phase replay. On an
+    // exact (pref, dist) tie the selection flips only if the new parent
+    // wins propagate()'s per-origin tie-break against the incumbent, so
+    // tie-losing offers are provably inert and need not dirty the origin.
+    const auto tie_rank = [&](NodeId parent) {
+      return mix(origin.value(), graph.asn_of(parent).value(),
+                 params_.salt ^ 0x7137ull);
+    };
     for (int direction = 0; direction < 2; ++direction) {
       const NodeId from = direction == 0 ? edge.u : edge.v;
       const NodeId to = direction == 0 ? edge.v : edge.u;
@@ -294,8 +298,11 @@ bool Propagator::rib_affected(const OriginRib& rib,
       const auto offer_beats = [&](RoutePref pref) {
         if (offer_dist >= kMaxDist) return false;
         const auto pref_value = static_cast<std::uint8_t>(pref);
-        return pref_value > rib.pref[to] ||
-               (pref_value == rib.pref[to] && offer_dist <= rib.dist[to]);
+        if (pref_value != rib.pref[to]) return pref_value > rib.pref[to];
+        if (offer_dist != rib.dist[to]) return offer_dist < rib.dist[to];
+        const NodeId incumbent = rib.parent[to];
+        if (incumbent == kInvalidNode) return true;  // conservative
+        return tie_rank(from) <= tie_rank(incumbent);
       };
       const bool customer_route =
           rib.pref[from] == static_cast<std::uint8_t>(RoutePref::kCustomer);

@@ -29,6 +29,11 @@
 
 namespace asrel::bgp {
 
+/// Exclusive upper bound on AS-path length (incl. prepending); OriginRib
+/// distances of unreachable nodes sit at this sentinel. Exported so the
+/// checkpoint decoder can validate persisted ribs.
+inline constexpr std::uint16_t kMaxDist = 64;
+
 /// Preference class of a selected route (higher is preferred).
 enum class RoutePref : std::uint8_t {
   kNone = 0,

@@ -1,0 +1,88 @@
+#include "io/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace asrel::io {
+
+bool write_file_atomic(const std::string& bytes, const std::string& path,
+                       std::string* error, std::size_t write_cap) {
+  const std::string temp = path + ".tmp";
+  const auto fail = [&](const std::string& message, int fd) {
+    if (error != nullptr) {
+      *error = message + ": " + std::strerror(errno);
+    }
+    if (fd >= 0) ::close(fd);
+    ::unlink(temp.c_str());  // never leave a torn temp behind
+    return false;
+  };
+
+  // Write the whole image to a temp file first: readers either see the
+  // previous file at `path` or the new one, never a prefix.
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("cannot open " + temp + " for writing", -1);
+
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    if (written >= write_cap) {
+      errno = ENOSPC;  // the injected failure presents as a full disk
+      return fail("write to " + temp + " failed (fault injected)", fd);
+    }
+    const std::size_t want =
+        std::min(bytes.size() - written, write_cap - written);
+    const ssize_t n = ::write(fd, bytes.data() + written, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write to " + temp + " failed", fd);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: otherwise the rename can become durable before
+  // the data, which is exactly the torn-file crash window.
+  if (::fsync(fd) != 0) return fail("fsync of " + temp + " failed", fd);
+  if (::close(fd) != 0) return fail("close of " + temp + " failed", -1);
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    return fail("rename " + temp + " -> " + path + " failed", -1);
+  }
+
+  // Make the rename itself durable by syncing the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string{"."}
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best effort: some filesystems refuse dir fsync
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+std::optional<std::string> read_file_capped(const std::string& path,
+                                            std::string* error,
+                                            std::size_t read_cap) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  if (read_cap != kNoByteCap) {
+    // Injected mid-file read failure: deliver only the prefix the
+    // "failing" read produced. Format headers reject it cleanly.
+    std::string bytes(read_cap, '\0');
+    in.read(bytes.data(), static_cast<std::streamsize>(read_cap));
+    bytes.resize(static_cast<std::size_t>(in.gcount()));
+    return bytes;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+}  // namespace asrel::io

@@ -1,0 +1,39 @@
+// Crash-safe whole-file persistence, shared by every durable artifact.
+//
+// The write protocol (extracted from the snapshot saver so checkpoints use
+// the identical sequence): bytes go to `path + ".tmp"`, are fsync'd, and
+// are renamed over `path` in one atomic step, after which the containing
+// directory is fsync'd so the rename itself is durable. A crash or write
+// failure at any point leaves either the old file or no file at `path` —
+// never a half-written image — and readers independently reject torn
+// files via each format's size + checksum header.
+//
+// Both functions take a byte cap for fault injection: writes "run out of
+// disk" after `write_cap` bytes, reads deliver only the first `read_cap`
+// bytes (simulating a torn read). SIZE_MAX = unlimited, the production
+// path.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace asrel::io {
+
+inline constexpr std::size_t kNoByteCap = static_cast<std::size_t>(-1);
+
+/// Writes `bytes` to `path` with the tmp+fsync+rename protocol above.
+/// Returns false (and fills `*error` with errno context) on any failure;
+/// the temp file is always unlinked on the failure path.
+[[nodiscard]] bool write_file_atomic(const std::string& bytes,
+                                     const std::string& path,
+                                     std::string* error,
+                                     std::size_t write_cap = kNoByteCap);
+
+/// Reads the whole file (or its first `read_cap` bytes under fault
+/// injection). nullopt with `*error` filled if the file cannot be opened.
+[[nodiscard]] std::optional<std::string> read_file_capped(
+    const std::string& path, std::string* error,
+    std::size_t read_cap = kNoByteCap);
+
+}  // namespace asrel::io

@@ -1,66 +1,35 @@
 #include "io/snapshot.hpp"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <atomic>
-#include <cerrno>
 #include <cstring>
-#include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
 
+#include "io/atomic_file.hpp"
+#include "io/wire.hpp"
+
 namespace asrel::io {
 
 namespace {
 
-// ---- encoding ----
-
-void put_u8(std::string& out, std::uint8_t v) {
-  out.push_back(static_cast<char>(v));
-}
-
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-void put_f64(std::string& out, double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  put_u64(out, bits);
-}
-
-void put_string(std::string& out, std::string_view s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s);
-}
+// Wire primitives and the bounds-checked reader are shared with the
+// checkpoint codec (io/wire.hpp); only the label helpers and the
+// section-level validation rules are snapshot-specific.
+using wire::Cursor;
+using wire::fnv1a64;
+using wire::put_f64;
+using wire::put_string;
+using wire::put_u32;
+using wire::put_u64;
+using wire::put_u8;
 
 void put_label(std::string& out, const val::CleanLabel& label) {
   put_u32(out, label.link.a.value());
   put_u32(out, label.link.b.value());
   put_u8(out, static_cast<std::uint8_t>(label.rel));
   put_u32(out, label.provider.value());
-}
-
-[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t hash = 0xcbf29ce484222325ull;
-  for (const char c : bytes) {
-    hash ^= static_cast<std::uint8_t>(c);
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
 }
 
 // ---- decoding ----
@@ -81,102 +50,24 @@ void put_label(std::string& out, const val::CleanLabel& label) {
   return v <= static_cast<std::uint8_t>(topo::StubKind::kNotStub);
 }
 
-/// Bounds-checked little-endian reader over the payload. All getters
-/// return false once `fail` is set; callers check once per section.
-struct Cursor {
-  std::string_view data;
-  std::size_t pos = 0;
-  std::string error;
-
-  [[nodiscard]] bool failed() const { return !error.empty(); }
-  [[nodiscard]] std::size_t remaining() const { return data.size() - pos; }
-
-  void fail(const std::string& message) {
-    if (error.empty()) error = message;
+/// Labels are stored with the link in canonical (a < b) order; anything
+/// else would silently re-serialize differently, so reject it here.
+val::CleanLabel get_label(Cursor& in, const char* what) {
+  val::CleanLabel label;
+  const asn::Asn a{in.get_u32(what)};
+  const asn::Asn b{in.get_u32(what)};
+  if (!in.failed() && !(a < b)) {
+    in.fail(std::string{"link not in canonical order in "} + what);
   }
-
-  [[nodiscard]] bool need(std::size_t bytes, const char* what) {
-    if (failed()) return false;
-    if (remaining() < bytes) {
-      fail(std::string{"truncated payload while reading "} + what);
-      return false;
-    }
-    return true;
+  label.link = val::AsLink{a, b};
+  const std::uint8_t rel = in.get_u8(what);
+  if (!in.failed() && !valid_rel(rel)) {
+    in.fail(std::string{"invalid relationship code in "} + what);
   }
-
-  std::uint8_t get_u8(const char* what) {
-    if (!need(1, what)) return 0;
-    return static_cast<std::uint8_t>(data[pos++]);
-  }
-
-  std::uint32_t get_u32(const char* what) {
-    if (!need(4, what)) return 0;
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= std::uint32_t{static_cast<std::uint8_t>(data[pos + i])} << (8 * i);
-    }
-    pos += 4;
-    return v;
-  }
-
-  std::uint64_t get_u64(const char* what) {
-    if (!need(8, what)) return 0;
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= std::uint64_t{static_cast<std::uint8_t>(data[pos + i])} << (8 * i);
-    }
-    pos += 8;
-    return v;
-  }
-
-  double get_f64(const char* what) {
-    const std::uint64_t bits = get_u64(what);
-    double v = 0.0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-
-  std::string get_string(const char* what) {
-    const std::uint32_t size = get_u32(what);
-    if (!need(size, what)) return {};
-    std::string s{data.substr(pos, size)};
-    pos += size;
-    return s;
-  }
-
-  /// Reads an element count and sanity-checks it against the bytes left
-  /// (each element occupies at least `min_element_bytes`), so a corrupted
-  /// count cannot drive a multi-gigabyte allocation.
-  std::uint64_t get_count(const char* what, std::size_t min_element_bytes) {
-    const std::uint64_t count = get_u64(what);
-    if (failed()) return 0;
-    if (min_element_bytes > 0 &&
-        count > remaining() / min_element_bytes) {
-      fail(std::string{"implausible element count for "} + what);
-      return 0;
-    }
-    return count;
-  }
-
-  /// Labels are stored with the link in canonical (a < b) order; anything
-  /// else would silently re-serialize differently, so reject it here.
-  val::CleanLabel get_label(const char* what) {
-    val::CleanLabel label;
-    const asn::Asn a{get_u32(what)};
-    const asn::Asn b{get_u32(what)};
-    if (!failed() && !(a < b)) {
-      fail(std::string{"link not in canonical order in "} + what);
-    }
-    label.link = val::AsLink{a, b};
-    const std::uint8_t rel = get_u8(what);
-    if (!failed() && !valid_rel(rel)) {
-      fail(std::string{"invalid relationship code in "} + what);
-    }
-    label.rel = static_cast<topo::RelType>(rel);
-    label.provider = asn::Asn{get_u32(what)};
-    return label;
-  }
-};
+  label.rel = static_cast<topo::RelType>(rel);
+  label.provider = asn::Asn{in.get_u32(what)};
+  return label;
+}
 
 constexpr std::uint8_t kAsFlagHypergiant = 1u << 0;
 constexpr std::uint8_t kAsFlagDocuments = 1u << 1;
@@ -365,7 +256,7 @@ std::optional<Snapshot> decode_payload(std::string_view payload,
   const auto validation = in.get_count("validation labels", 13);
   snapshot.validation.reserve(validation);
   for (std::uint64_t i = 0; i < validation && !in.failed(); ++i) {
-    snapshot.validation.push_back(in.get_label("validation label"));
+    snapshot.validation.push_back(get_label(in, "validation label"));
   }
 
   const auto algorithms = in.get_count("algorithms", 12);
@@ -376,7 +267,7 @@ std::optional<Snapshot> decode_payload(std::string_view payload,
     const auto labels = in.get_count("algorithm labels", 13);
     algorithm.labels.reserve(labels);
     for (std::uint64_t j = 0; j < labels && !in.failed(); ++j) {
-      algorithm.labels.push_back(in.get_label("algorithm label"));
+      algorithm.labels.push_back(get_label(in, "algorithm label"));
     }
     snapshot.algorithms.push_back(std::move(algorithm));
   }
@@ -501,75 +392,15 @@ void set_snapshot_io_hooks(SnapshotIoHooks hooks) {
 
 bool save_snapshot_file(const Snapshot& snapshot, const std::string& path,
                         std::string* error) {
-  const std::string bytes = to_snapshot_bytes(snapshot);
-  const std::string temp = path + ".tmp";
-  const auto fail = [&](const std::string& message, int fd) {
-    if (error != nullptr) {
-      *error = message + ": " + std::strerror(errno);
-    }
-    if (fd >= 0) ::close(fd);
-    ::unlink(temp.c_str());  // never leave a torn temp behind
-    return false;
-  };
-
-  // Write the whole image to a temp file first: readers either see the
-  // previous snapshot at `path` or the new one, never a prefix.
-  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return fail("cannot open " + temp + " for writing", -1);
-
-  const std::size_t cap = hooked_cap(g_write_cap);
-  std::size_t written = 0;
-  while (written < bytes.size()) {
-    if (written >= cap) {
-      errno = ENOSPC;  // the injected failure presents as a full disk
-      return fail("write to " + temp + " failed (fault injected)", fd);
-    }
-    const std::size_t want = std::min(bytes.size() - written, cap - written);
-    const ssize_t n = ::write(fd, bytes.data() + written, want);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return fail("write to " + temp + " failed", fd);
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  // fsync before rename: otherwise the rename can become durable before
-  // the data, which is exactly the torn-file crash window.
-  if (::fsync(fd) != 0) return fail("fsync of " + temp + " failed", fd);
-  if (::close(fd) != 0) return fail("close of " + temp + " failed", -1);
-  if (::rename(temp.c_str(), path.c_str()) != 0) {
-    return fail("rename " + temp + " -> " + path + " failed", -1);
-  }
-
-  // Make the rename itself durable by syncing the containing directory.
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string{"."}
-                              : path.substr(0, slash == 0 ? 1 : slash);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);  // best effort: some filesystems refuse dir fsync
-    ::close(dir_fd);
-  }
-  return true;
+  return write_file_atomic(to_snapshot_bytes(snapshot), path, error,
+                           hooked_cap(g_write_cap));
 }
 
 std::optional<Snapshot> load_snapshot_file(const std::string& path,
                                            std::string* error) {
-  std::ifstream in{path, std::ios::binary};
-  if (!in) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return std::nullopt;
-  }
-  const std::size_t cap = hooked_cap(g_read_cap);
-  if (cap != static_cast<std::size_t>(-1)) {
-    // Injected mid-file read failure: parse only the prefix the "failing"
-    // read delivered. The header's size+checksum reject it cleanly.
-    std::string bytes(cap, '\0');
-    in.read(bytes.data(), static_cast<std::streamsize>(cap));
-    bytes.resize(static_cast<std::size_t>(in.gcount()));
-    return parse_snapshot_bytes(bytes, error);
-  }
-  return read_snapshot(in, error);
+  const auto bytes = read_file_capped(path, error, hooked_cap(g_read_cap));
+  if (!bytes) return std::nullopt;
+  return parse_snapshot_bytes(*bytes, error);
 }
 
 }  // namespace asrel::io

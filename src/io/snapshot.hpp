@@ -50,6 +50,8 @@ struct SnapshotMeta {
   /// Build wall-clock, milliseconds since the Unix epoch. Supplied by the
   /// caller (not sampled here) so identical worlds serialize identically.
   std::uint64_t built_unix_ms = 0;
+
+  friend bool operator==(const SnapshotMeta&, const SnapshotMeta&) = default;
 };
 
 /// One AS: ground-truth attributes plus the observed-view degrees and the
@@ -60,6 +62,8 @@ struct SnapshotAs {
   std::uint32_t transit_degree = 0;  ///< 0 if never observed mid-path
   std::uint32_t node_degree = 0;
   std::uint32_t cone_size = 0;
+
+  friend bool operator==(const SnapshotAs&, const SnapshotAs&) = default;
 };
 
 /// One ground-truth edge (provider first for kP2C), with the annotations
@@ -72,6 +76,8 @@ struct SnapshotEdge {
   bool scope_via_community = false;
   bool misdocumented = false;
   std::optional<topo::RelType> hybrid_rel;
+
+  friend bool operator==(const SnapshotEdge&, const SnapshotEdge&) = default;
 };
 
 /// One algorithm's full labeling, in the inference's deterministic order.
@@ -79,6 +85,9 @@ struct SnapshotEdge {
 struct SnapshotAlgorithm {
   std::string name;  ///< "asrank", "problink", "toposcope"
   std::vector<val::CleanLabel> labels;
+
+  friend bool operator==(const SnapshotAlgorithm&,
+                         const SnapshotAlgorithm&) = default;
 };
 
 /// One visible link with its precomputed §5 class tags (indices into
@@ -87,6 +96,9 @@ struct SnapshotLinkTag {
   val::AsLink link;
   std::uint32_t regional_class = 0;
   std::uint32_t topological_class = 0;
+
+  friend bool operator==(const SnapshotLinkTag&,
+                         const SnapshotLinkTag&) = default;
 };
 
 struct Snapshot {

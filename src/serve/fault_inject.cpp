@@ -57,6 +57,14 @@ const char* site_name(Site site) {
       return "snapshot_read";
     case Site::kSnapshotWrite:
       return "snapshot_write";
+    case Site::kCheckpointRead:
+      return "checkpoint_read";
+    case Site::kCheckpointWrite:
+      return "checkpoint_write";
+    case Site::kStreamApply:
+      return "stream_apply";
+    case Site::kStreamDivergence:
+      return "stream_divergence";
     case Site::kCount:
       break;
   }
@@ -95,6 +103,10 @@ void FaultInjector::arm(const FaultPlan& plan) {
   send_faults_.store(0, std::memory_order_relaxed);
   snapshot_read_faults_.store(0, std::memory_order_relaxed);
   snapshot_write_faults_.store(0, std::memory_order_relaxed);
+  checkpoint_read_faults_.store(0, std::memory_order_relaxed);
+  checkpoint_write_faults_.store(0, std::memory_order_relaxed);
+  stream_apply_faults_.store(0, std::memory_order_relaxed);
+  stream_divergence_faults_.store(0, std::memory_order_relaxed);
   io::set_snapshot_io_hooks(io::SnapshotIoHooks{
       .read_cap = [] { return FaultInjector::instance().snapshot_read_cap(); },
       .write_cap =
@@ -117,6 +129,14 @@ FaultStats FaultInjector::stats() const {
       snapshot_read_faults_.load(std::memory_order_relaxed);
   stats.snapshot_write_faults =
       snapshot_write_faults_.load(std::memory_order_relaxed);
+  stats.checkpoint_read_faults =
+      checkpoint_read_faults_.load(std::memory_order_relaxed);
+  stats.checkpoint_write_faults =
+      checkpoint_write_faults_.load(std::memory_order_relaxed);
+  stats.stream_apply_faults =
+      stream_apply_faults_.load(std::memory_order_relaxed);
+  stats.stream_divergence_faults =
+      stream_divergence_faults_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -210,6 +230,45 @@ std::size_t FaultInjector::snapshot_write_cap() {
     note_injected(Site::kSnapshotWrite);
   }
   return plan_.snapshot_write_cap;
+}
+
+std::size_t FaultInjector::checkpoint_read_cap() {
+  if (!enabled()) return static_cast<std::size_t>(-1);
+  if (plan_.checkpoint_read_cap != static_cast<std::size_t>(-1)) {
+    checkpoint_read_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kCheckpointRead);
+  }
+  return plan_.checkpoint_read_cap;
+}
+
+std::size_t FaultInjector::checkpoint_write_cap() {
+  if (!enabled()) return static_cast<std::size_t>(-1);
+  if (plan_.checkpoint_write_cap != static_cast<std::size_t>(-1)) {
+    checkpoint_write_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kCheckpointWrite);
+  }
+  return plan_.checkpoint_write_cap;
+}
+
+bool FaultInjector::stream_apply_should_fail() {
+  if (!enabled() || plan_.stream_apply_fail_permille == 0) return false;
+  if (next_draw(Site::kStreamApply) >= plan_.stream_apply_fail_permille) {
+    return false;
+  }
+  stream_apply_faults_.fetch_add(1, std::memory_order_relaxed);
+  note_injected(Site::kStreamApply);
+  return true;
+}
+
+bool FaultInjector::stream_divergence_should_seed() {
+  if (!enabled() || plan_.stream_divergence_permille == 0) return false;
+  if (next_draw(Site::kStreamDivergence) >=
+      plan_.stream_divergence_permille) {
+    return false;
+  }
+  stream_divergence_faults_.fetch_add(1, std::memory_order_relaxed);
+  note_injected(Site::kStreamDivergence);
+  return true;
 }
 
 }  // namespace asrel::serve::fault

@@ -31,6 +31,10 @@ enum class Site : std::size_t {
   kSend,
   kSnapshotRead,
   kSnapshotWrite,
+  kCheckpointRead,
+  kCheckpointWrite,
+  kStreamApply,
+  kStreamDivergence,
   kCount,
 };
 
@@ -57,6 +61,19 @@ struct FaultPlan {
   /// error) once this many bytes have been moved. SIZE_MAX = never.
   std::size_t snapshot_read_cap = static_cast<std::size_t>(-1);
   std::size_t snapshot_write_cap = static_cast<std::size_t>(-1);
+
+  /// Stream checkpoint file I/O, same semantics as the snapshot caps but
+  /// on an independent site so chaos tests can tear one without the other.
+  std::size_t checkpoint_read_cap = static_cast<std::size_t>(-1);
+  std::size_t checkpoint_write_cap = static_cast<std::size_t>(-1);
+
+  /// Rate at which StreamSession::apply() fails with a simulated
+  /// allocation failure before mutating anything (drives checkpoint
+  /// recovery in-process).
+  std::uint32_t stream_apply_fail_permille = 0;
+  /// Rate at which publish() silently corrupts the incremental path state
+  /// — the drift the divergence watchdog exists to catch and heal.
+  std::uint32_t stream_divergence_permille = 0;
 };
 
 /// Counts of faults actually injected, for test assertions ("the run
@@ -67,6 +84,10 @@ struct FaultStats {
   std::uint64_t send_faults = 0;
   std::uint64_t snapshot_read_faults = 0;
   std::uint64_t snapshot_write_faults = 0;
+  std::uint64_t checkpoint_read_faults = 0;
+  std::uint64_t checkpoint_write_faults = 0;
+  std::uint64_t stream_apply_faults = 0;
+  std::uint64_t stream_divergence_faults = 0;
 };
 
 /// Process-wide injector. All serving-layer syscalls funnel through the
@@ -104,6 +125,16 @@ class FaultInjector {
   /// Bytes a snapshot file write may persist before simulated failure.
   [[nodiscard]] std::size_t snapshot_write_cap();
 
+  // ---- stream sites (consulted by src/stream directly) ----
+  /// Bytes a checkpoint file read may return before simulated truncation.
+  [[nodiscard]] std::size_t checkpoint_read_cap();
+  /// Bytes a checkpoint file write may persist before simulated failure.
+  [[nodiscard]] std::size_t checkpoint_write_cap();
+  /// Should this apply() call fail with a simulated allocation failure?
+  [[nodiscard]] bool stream_apply_should_fail();
+  /// Should this publish() seed a silent divergence for the watchdog?
+  [[nodiscard]] bool stream_divergence_should_seed();
+
  private:
   FaultInjector() = default;
 
@@ -120,6 +151,10 @@ class FaultInjector {
   std::atomic<std::uint64_t> send_faults_{0};
   std::atomic<std::uint64_t> snapshot_read_faults_{0};
   std::atomic<std::uint64_t> snapshot_write_faults_{0};
+  std::atomic<std::uint64_t> checkpoint_read_faults_{0};
+  std::atomic<std::uint64_t> checkpoint_write_faults_{0};
+  std::atomic<std::uint64_t> stream_apply_faults_{0};
+  std::atomic<std::uint64_t> stream_divergence_faults_{0};
 };
 
 /// RAII arm/disarm for tests: faults stay scoped to one experiment even

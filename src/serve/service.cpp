@@ -256,6 +256,10 @@ std::string AsrelService::stats_json() const {
   json.end_object();
   json.field("observed_links", engine->snapshot().links.size());
   json.field("validation_labels", engine->snapshot().validation.size());
+  if (stream_stats_) {
+    const std::string stream = stream_stats_();
+    if (!stream.empty()) json.key("stream").raw(stream);
+  }
   json.end_object();
   return std::move(json).str();
 }

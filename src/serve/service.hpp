@@ -18,8 +18,10 @@
 // lands mid-request cannot change the answer halfway through.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -55,10 +57,19 @@ class AsrelService {
   /// per-route latency allowlist).
   [[nodiscard]] static std::vector<std::string> metric_routes();
 
+  /// Optional supplier of a JSON object describing the live stream
+  /// pipeline (recovery ladder outcome, watchdog verdicts, ingest queue);
+  /// spliced into stats_json under "stream". Install once at startup,
+  /// before requests are served; the supplier must be thread-safe.
+  void set_stream_stats(std::function<std::string()> supplier) {
+    stream_stats_ = std::move(supplier);
+  }
+
   [[nodiscard]] EngineHub& hub() const { return *hub_; }
 
  private:
   std::shared_ptr<EngineHub> hub_;
+  std::function<std::string()> stream_stats_;
 };
 
 }  // namespace asrel::serve

@@ -286,16 +286,28 @@ std::string to_churn_text(std::span<const ChurnEvent> events) {
 
 namespace {
 
+bool is_separator(char c) { return c == ' ' || c == '\t'; }
+
 std::vector<std::string_view> split_fields(std::string_view line) {
   std::vector<std::string_view> fields;
   std::size_t pos = 0;
   while (pos < line.size()) {
-    while (pos < line.size() && line[pos] == ' ') ++pos;
+    while (pos < line.size() && is_separator(line[pos])) ++pos;
     const std::size_t start = pos;
-    while (pos < line.size() && line[pos] != ' ') ++pos;
+    while (pos < line.size() && !is_separator(line[pos])) ++pos;
     if (pos > start) fields.push_back(line.substr(start, pos - start));
   }
   return fields;
+}
+
+/// The offending line as shown in diagnostics: trimmed and bounded so a
+/// malformed multi-megabyte line cannot balloon the error string.
+std::string quoted_line(std::string_view line) {
+  while (!line.empty() && is_separator(line.front())) line.remove_prefix(1);
+  while (!line.empty() && is_separator(line.back())) line.remove_suffix(1);
+  constexpr std::size_t kMax = 80;
+  if (line.size() <= kMax) return std::string{line};
+  return std::string{line.substr(0, kMax)} + "...";
 }
 
 bool parse_u32(std::string_view text, std::uint32_t* out) {
@@ -318,9 +330,11 @@ std::vector<ChurnEvent> parse_churn_text(std::string_view text,
                                          std::string* error) {
   std::vector<ChurnEvent> events;
   std::size_t line_number = 0;
+  std::string_view current_line;
   const auto fail = [&](const std::string& message) {
     if (error != nullptr) {
-      *error = "line " + std::to_string(line_number) + ": " + message;
+      *error = "line " + std::to_string(line_number) + ": " + message +
+               " in '" + quoted_line(current_line) + "'";
     }
     return std::vector<ChurnEvent>{};
   };
@@ -331,6 +345,9 @@ std::vector<ChurnEvent> parse_churn_text(std::string_view text,
         pos, end == std::string_view::npos ? text.size() - pos : end - pos);
     pos = end == std::string_view::npos ? text.size() + 1 : end + 1;
     ++line_number;
+    // Tolerate CRLF feeds: a trailing '\r' is line framing, not content.
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    current_line = line;
     if (const auto hash = line.find('#'); hash != std::string_view::npos) {
       line = line.substr(0, hash);
     }

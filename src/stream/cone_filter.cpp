@@ -1,0 +1,64 @@
+#include "stream/cone_filter.hpp"
+
+namespace asrel::stream {
+
+namespace {
+
+using topo::Edge;
+using topo::NodeId;
+using topo::RelType;
+
+/// May a route climb from `self`'s neighbor up to `self` over this edge —
+/// equivalently, may the cone walk descend from `self` — under *any* of
+/// the edge's per-origin relationship resolutions?
+[[nodiscard]] bool can_descend(const Edge& edge, NodeId self) {
+  const auto allows = [&](RelType rel) {
+    switch (rel) {
+      case RelType::kP2C:
+        // The provider side is `u` for both primary P2C edges and the
+        // P2C-as-secondary resolution of hybrid edges.
+        return self == edge.u;
+      case RelType::kS2S:
+        return true;
+      case RelType::kP2P:
+        return false;
+    }
+    return true;  // unknown relationship: stay conservative
+  };
+  if (allows(edge.rel)) return true;
+  return edge.hybrid_rel.has_value() && allows(*edge.hybrid_rel);
+}
+
+}  // namespace
+
+bool cone_filter_applies(const topo::Edge& edge) {
+  return !edge.removed && edge.rel == RelType::kP2P && !edge.is_hybrid();
+}
+
+std::vector<std::uint8_t> p2p_add_candidates(const topo::AsGraph& graph,
+                                             const topo::Edge& edge) {
+  std::vector<std::uint8_t> candidates(graph.node_count(), 0);
+  std::vector<NodeId> frontier;
+  const auto seed = [&](NodeId node) {
+    if (candidates[node] == 0) {
+      candidates[node] = 1;
+      frontier.push_back(node);
+    }
+  };
+  seed(edge.u);
+  seed(edge.v);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.back();
+    frontier.pop_back();
+    for (const auto& neighbor : graph.neighbors(node)) {
+      if (candidates[neighbor.node] != 0) continue;
+      if (can_descend(graph.edge(neighbor.edge), node)) {
+        candidates[neighbor.node] = 1;
+        frontier.push_back(neighbor.node);
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace asrel::stream

@@ -1,0 +1,41 @@
+// Cone-intersection prefilter for incremental re-convergence.
+//
+// The conservative rib_affected scan runs for every origin on every
+// structural event; ROADMAP flags that it over-triggers on hub-edge
+// events. For one event shape the dirty set can be bounded *before* any
+// per-origin work: a brand-new pure-P2P edge. Such an edge is nobody's
+// selected via (its id is fresh), so rib_affected can only fire through
+// its offer checks — and a peer offer for origin o requires the exporting
+// endpoint to hold a *customer* route for o, i.e. o must sit in that
+// endpoint's customer cone (reachable by descending provider->customer
+// and sibling edges). Origins outside downcone(u) ∪ downcone(v) are
+// therefore provably unaffected and skip the scan entirely.
+//
+// The filter is intentionally NOT applied to removals, flips, or scope
+// changes: for those the old rib may route *through* the touched edge,
+// and rib_affected's via check — which the prefilter would bypass — is
+// what catches that. Hybrid edges along the cone walk are traversed if
+// either of their two relationships permits descent (a conservative
+// superset over every per-origin resolution); export scopes and the
+// path-length cutoff are ignored, also conservatively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace asrel::stream {
+
+/// True if `edge` (freshly added by this event) qualifies for the
+/// prefilter: a live, pure (non-hybrid) P2P edge.
+[[nodiscard]] bool cone_filter_applies(const topo::Edge& edge);
+
+/// Bitmap over NodeIds: 1 for origins that may be affected by the new
+/// edge (the union of both endpoints' customer cones, conservatively
+/// including sibling and hybrid descent), 0 for origins the incremental
+/// propagator may skip without scanning.
+[[nodiscard]] std::vector<std::uint8_t> p2p_add_candidates(
+    const topo::AsGraph& graph, const topo::Edge& edge);
+
+}  // namespace asrel::stream

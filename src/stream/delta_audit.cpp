@@ -1,5 +1,6 @@
 #include "stream/delta_audit.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace asrel::stream {
@@ -59,6 +60,16 @@ void DeltaAudit::on_edges_touched(const topo::AsGraph& graph,
       topological_cache_[slot] = topo_.class_of(link_of_slot_[slot]);
     }
   }
+}
+
+std::vector<asn::Asn> DeltaAudit::sorted_transit_asns() const {
+  std::vector<asn::Asn> asns;
+  asns.reserve(transit_.size());
+  for (const auto& [asn, bit] : transit_) {
+    if (bit) asns.push_back(asn);
+  }
+  std::sort(asns.begin(), asns.end());
+  return asns;
 }
 
 std::uint32_t DeltaAudit::slot_of(const val::AsLink& link) {

@@ -60,6 +60,12 @@ class DeltaAudit {
     return mapper_;
   }
 
+  /// ASNs whose transit bit is currently set, ascending — the audit's
+  /// effective state (a false entry and an absent one classify alike).
+  /// Used for checkpoint capture and the restore-time cross-check against
+  /// a freshly derived audit.
+  [[nodiscard]] std::vector<asn::Asn> sorted_transit_asns() const;
+
  private:
   [[nodiscard]] std::uint32_t slot_of(const val::AsLink& link);
 

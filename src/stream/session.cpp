@@ -1,13 +1,19 @@
 #include "stream/session.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <new>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "core/parallel.hpp"
 #include "core/snapshot_builder.hpp"
+#include "io/wire.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/fault_inject.hpp"
+#include "stream/cone_filter.hpp"
 #include "topology/generator.hpp"
 
 namespace asrel::stream {
@@ -18,7 +24,14 @@ struct StreamMetrics {
   obs::Counter& events_applied;
   obs::Counter& events_noop;
   obs::Counter& origins_redone;
-  obs::Counter& origins_clean;
+  obs::Counter& origins_skipped_scan;
+  obs::Counter& origins_skipped_cone;
+  obs::Counter& divergences;
+  obs::Counter& heals;
+  obs::Counter& watchdog_runs;
+  obs::Counter& recoveries_restored;
+  obs::Counter& recoveries_rejected;
+  obs::Counter& recoveries_cold;
   obs::Histogram& event_us;
   obs::Histogram& publish_us;
   obs::Gauge& epoch;
@@ -29,10 +42,23 @@ struct StreamMetrics {
         reg.counter("asrel_stream_events_total{result=\"applied\"}",
                     "Churn events by outcome"),
         reg.counter("asrel_stream_events_total{result=\"noop\"}"),
-        reg.counter("asrel_stream_origins_repropagated_total",
+        reg.counter("asrel_stream_origins_redone_total",
                     "Origins re-converged by the incremental propagator"),
-        reg.counter("asrel_stream_origins_clean_total",
+        reg.counter("asrel_stream_origins_skipped_total{reason=\"rib_scan\"}",
                     "Origins proven unaffected (re-propagation skipped)"),
+        reg.counter(
+            "asrel_stream_origins_skipped_total{reason=\"cone_prefilter\"}"),
+        reg.counter("asrel_stream_divergence_total",
+                    "Watchdog mismatches between served and reference bytes"),
+        reg.counter("asrel_stream_heals_total",
+                    "Watchdog self-heals (full incremental-state rebuilds)"),
+        reg.counter("asrel_stream_watchdog_runs_total",
+                    "Completed divergence-watchdog audits"),
+        reg.counter("asrel_stream_recoveries_total{result=\"restored\"}",
+                    "Startup recovery outcomes"),
+        reg.counter(
+            "asrel_stream_recoveries_total{result=\"rejected_checkpoint\"}"),
+        reg.counter("asrel_stream_recoveries_total{result=\"cold\"}"),
         reg.histogram("asrel_stream_event_duration_us",
                       obs::stage_buckets_us(),
                       "Per-event apply + re-convergence wall time (us)"),
@@ -51,11 +77,54 @@ unsigned worker_count(unsigned requested) {
   return std::min(32u, std::max(1u, std::thread::hardware_concurrency()));
 }
 
+CheckpointFingerprint fingerprint_of(const core::ScenarioParams& params,
+                                     const topo::AsGraph& graph) {
+  CheckpointFingerprint fp;
+  fp.as_count = params.topology.as_count;
+  fp.topo_seed = params.topology.seed;
+  fp.scheme_seed = params.scheme_seed;
+  fp.vantage_seed = params.vantage.seed;
+  fp.vantage_targets = static_cast<std::uint32_t>(params.vantage.target_count);
+  fp.node_count = graph.node_count();
+  std::string nodes;
+  nodes.reserve(graph.node_count() * 4);
+  for (const auto asn : graph.nodes()) io::wire::put_u32(nodes, asn.value());
+  fp.node_hash = io::wire::fnv1a64(nodes);
+  return fp;
+}
+
+/// Section-granular diff for watchdog diagnostics, in snapshot order. The
+/// defaulted operator==s make this a pure value comparison.
+std::string first_diff_section(const io::Snapshot& a, const io::Snapshot& b) {
+  if (!(a.meta == b.meta)) return "meta";
+  if (a.class_names != b.class_names) return "class_names";
+  if (a.ases != b.ases) return "ases";
+  if (a.edges != b.edges) return "edges";
+  if (a.clique != b.clique) return "clique";
+  if (a.hypergiants != b.hypergiants) return "hypergiants";
+  if (a.validation != b.validation) return "validation";
+  if (a.algorithms != b.algorithms) return "algorithms";
+  if (a.links != b.links) return "links";
+  return "unknown";
+}
+
 }  // namespace
 
-StreamSession::StreamSession(const core::ScenarioParams& params)
-    : params_(params) {
+StreamSession::StreamSession(const core::ScenarioParams& params) {
   obs::StageScope stage{"stream.bootstrap"};
+  init_static(params);
+  rebuild_derived_state();
+  epoch_ = 1;
+  snapshot_.meta.epoch = epoch_;
+  StreamMetrics::get().epoch.set(static_cast<std::int64_t>(epoch_));
+}
+
+StreamSession::StreamSession(const core::ScenarioParams& params, RestoreTag) {
+  init_static(params);
+}
+
+void StreamSession::init_static(const core::ScenarioParams& params) {
+  params_ = params;
   if (params.threads != 0) {
     params_.propagation.threads = params.threads;
     params_.extract.threads = params.threads;
@@ -67,11 +136,14 @@ StreamSession::StreamSession(const core::ScenarioParams& params)
   propagator_ =
       std::make_unique<bgp::Propagator>(world_, params_.propagation);
   sessions_ = bgp::resolve_vp_sessions(world_.graph, vps_);
+}
 
+void StreamSession::rebuild_derived_state() {
   // Same per-origin loop as bgp::collect_paths, but the ribs are kept:
   // they are the baseline the dirty test diffs against.
   const std::size_t n = world_.graph.node_count();
-  ribs_.resize(n);
+  ribs_.assign(n, {});
+  paths_ = bgp::PathTable{};
   paths_.resize_origins(n);
   paths_.set_vantage_points(vps_);
   const unsigned threads = worker_count(params_.propagation.threads);
@@ -84,19 +156,28 @@ StreamSession::StreamSession(const core::ScenarioParams& params)
 
   audit_ = std::make_unique<DeltaAudit>(world_);
   scenario_ = core::Scenario::from_parts(params_, world_, vps_, paths_);
-  // Build the epoch-1 snapshot through the audit's class source: identical
-  // bytes to a fresh BiasAudit, and it warms the per-link cache that later
-  // epochs invalidate incrementally.
+  // Build through the audit's class source: identical bytes to a fresh
+  // BiasAudit, and it warms the per-link cache that later epochs
+  // invalidate incrementally.
   auto source = audit_->class_source();
   core::rebuild_snapshot_sections(snapshot_, *scenario_,
                                   core::SnapshotSections::all(), &source);
-  epoch_ = 1;
-  snapshot_.meta.epoch = epoch_;
-  StreamMetrics::get().epoch.set(static_cast<std::int64_t>(epoch_));
+  graph_dirty_ = false;
+  paths_dirty_ = false;
 }
 
 StreamSession::EventOutcome StreamSession::apply(const ChurnEvent& event) {
   obs::StageScope stage{"stream.apply"};
+  if (poisoned_) {
+    throw std::logic_error{"apply() on a poisoned stream session"};
+  }
+  if (serve::fault::FaultInjector::instance().stream_apply_should_fail()) {
+    // Modeled as the allocation failure an apply-path resize can hit.
+    // Nothing has been mutated yet, but callers cannot know that in
+    // general, so the session refuses all further work until replaced.
+    poisoned_ = true;
+    throw std::bad_alloc{};
+  }
   StreamMetrics& metrics = StreamMetrics::get();
   const auto started = std::chrono::steady_clock::now();
 
@@ -114,8 +195,21 @@ StreamSession::EventOutcome StreamSession::apply(const ChurnEvent& event) {
   if (!result.touched.empty()) {
     graph_dirty_ = true;
     audit_->on_edges_touched(world_.graph, result.touched);
+    // Pure-P2P link adds admit a sound pre-scan narrowing: only origins in
+    // the endpoints' combined customer cones can even be offered the new
+    // path (see cone_filter.hpp for the argument). Every other event shape
+    // falls through to the full rib scan.
+    std::vector<std::uint8_t> cone;
+    const std::vector<std::uint8_t>* cone_ptr = nullptr;
+    if (event.kind == ChurnKind::kLinkAdd && result.touched.size() == 1) {
+      const topo::Edge& edge = world_.graph.edge(result.touched[0]);
+      if (cone_filter_applies(edge)) {
+        cone = p2p_add_candidates(world_.graph, edge);
+        cone_ptr = &cone;
+      }
+    }
     const std::uint64_t redone_before = stats_.origins_redone;
-    reconverge(result.touched);
+    reconverge(result.touched, cone_ptr);
     outcome.dirty_origins =
         static_cast<std::size_t>(stats_.origins_redone - redone_before);
   }
@@ -129,15 +223,18 @@ StreamSession::EventOutcome StreamSession::apply(const ChurnEvent& event) {
   return outcome;
 }
 
-void StreamSession::reconverge(std::span<const topo::EdgeId> touched) {
+void StreamSession::reconverge(std::span<const topo::EdgeId> touched,
+                               const std::vector<std::uint8_t>* candidates) {
   obs::StageScope stage{"stream.reconverge"};
   const std::size_t n = ribs_.size();
   const unsigned threads = worker_count(params_.propagation.threads);
   core::ThreadPool& pool = core::ThreadPool::shared();
 
-  // Pass 1: conservative dirty scan — O(touched) per origin.
+  // Pass 1: conservative dirty scan — O(touched) per origin. Origins the
+  // cone prefilter excluded skip even that.
   std::vector<std::uint8_t> dirty(n, 0);
   pool.run_indexed(n, threads, [&](std::size_t i) {
+    if (candidates != nullptr && (*candidates)[i] == 0) return;
     dirty[i] = propagator_->rib_affected(ribs_[i], touched) ? 1 : 0;
   });
 
@@ -154,16 +251,39 @@ void StreamSession::reconverge(std::span<const topo::EdgeId> touched) {
 
   std::uint64_t redone = 0;
   for (const auto flag : dirty) redone += flag;
+  std::uint64_t cone_skipped = 0;
+  if (candidates != nullptr) {
+    for (const auto flag : *candidates) cone_skipped += flag == 0 ? 1 : 0;
+  }
   stats_.origins_redone += redone;
   stats_.origins_skipped += n - redone;
+  stats_.origins_skipped_cone += cone_skipped;
   StreamMetrics& metrics = StreamMetrics::get();
   metrics.origins_redone.add(redone);
-  metrics.origins_clean.add(n - redone);
+  metrics.origins_skipped_scan.add(n - redone - cone_skipped);
+  metrics.origins_skipped_cone.add(cone_skipped);
   if (redone != 0) paths_dirty_ = true;
 }
 
 const io::Snapshot& StreamSession::publish(std::uint64_t built_unix_ms) {
   obs::StageScope stage{"stream.publish"};
+  if (poisoned_) {
+    throw std::logic_error{"publish() on a poisoned stream session"};
+  }
+  if (serve::fault::FaultInjector::instance().stream_divergence_should_seed()) {
+    // Silent corruption the incremental machinery cannot see: drop one
+    // origin's path bucket without marking anything for re-propagation.
+    // This publish serves the diverged bytes; the next watchdog audit
+    // must detect and heal it.
+    const auto n = static_cast<topo::NodeId>(ribs_.size());
+    for (topo::NodeId origin = 0; origin < n; ++origin) {
+      if (paths_.paths_for_origin(origin).empty()) continue;
+      paths_.clear_origin(origin);
+      paths_.recount();
+      paths_dirty_ = true;
+      break;
+    }
+  }
   StreamMetrics& metrics = StreamMetrics::get();
   const auto started = std::chrono::steady_clock::now();
 
@@ -208,6 +328,169 @@ io::Snapshot StreamSession::reference_snapshot(
   snapshot.meta.epoch = epoch_;
   snapshot.meta.built_unix_ms = built_unix_ms;
   return snapshot;
+}
+
+StreamCheckpoint StreamSession::checkpoint(
+    std::uint64_t feed_position) const {
+  if (poisoned_) {
+    throw std::logic_error{"checkpoint() on a poisoned stream session"};
+  }
+  obs::StageScope stage{"stream.checkpoint"};
+  StreamCheckpoint cp;
+  cp.fingerprint = fingerprint_of(params_, world_.graph);
+  cp.epoch = epoch_;
+  cp.built_unix_ms = snapshot_.meta.built_unix_ms;
+  cp.feed_position = feed_position;
+  cp.graph_dirty = graph_dirty_;
+  cp.paths_dirty = paths_dirty_;
+  const auto edges = world_.graph.edges();
+  cp.edges.assign(edges.begin(), edges.end());
+  cp.ribs = ribs_;
+  cp.prefixes.reserve(world_.prefixes.size());
+  for (const auto& [asn, list] : world_.prefixes) {
+    if (!list.empty()) cp.prefixes.emplace_back(asn, list);
+  }
+  std::sort(cp.prefixes.begin(), cp.prefixes.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.value() < b.first.value();
+            });
+  cp.transit_asns = audit_->sorted_transit_asns();
+  return cp;
+}
+
+std::unique_ptr<StreamSession> StreamSession::restore(
+    const core::ScenarioParams& params, const StreamCheckpoint& checkpoint,
+    std::string* error) {
+  obs::StageScope stage{"stream.restore"};
+  const auto fail = [&](const char* message) -> std::unique_ptr<StreamSession> {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  if (checkpoint.epoch == 0) {
+    return fail("checkpoint epoch must be >= 1");
+  }
+  std::unique_ptr<StreamSession> session{
+      new StreamSession(params, RestoreTag{})};
+  if (fingerprint_of(session->params_, session->world_.graph) !=
+      checkpoint.fingerprint) {
+    return fail("checkpoint fingerprint does not match the configured world");
+  }
+
+  // The decoder validated edges/ribs against the checkpoint's own
+  // fingerprint; the fingerprint match transfers that to the regenerated
+  // world, so the reinstallation below cannot go out of bounds.
+  session->world_.graph.restore_edges(checkpoint.edges);
+  session->world_.prefixes.clear();
+  for (const auto& [asn, list] : checkpoint.prefixes) {
+    session->world_.prefixes.emplace(asn, list);
+  }
+  session->ribs_ = checkpoint.ribs;
+
+  // Re-harvest the path table from the restored ribs — the cheap half of
+  // the batch loop; the all-origin propagation is what the checkpoint
+  // saved us.
+  const std::size_t n = session->world_.graph.node_count();
+  session->paths_ = bgp::PathTable{};
+  session->paths_.resize_origins(n);
+  session->paths_.set_vantage_points(session->vps_);
+  const unsigned threads =
+      worker_count(session->params_.propagation.threads);
+  core::ThreadPool::shared().run_indexed(n, threads, [&](std::size_t i) {
+    bgp::harvest_origin(*session->propagator_, session->ribs_[i],
+                        session->sessions_, session->paths_);
+  });
+  session->paths_.recount();
+
+  session->audit_ = std::make_unique<DeltaAudit>(session->world_);
+  if (session->audit_->sorted_transit_asns() != checkpoint.transit_asns) {
+    return fail("checkpoint transit bits disagree with the restored world");
+  }
+  session->scenario_ = core::Scenario::from_parts(
+      session->params_, session->world_, session->vps_, session->paths_);
+  // Rebuild every section: a section can differ from its last-published
+  // bytes only if its inputs changed since, and any such change set a
+  // dirty flag (restored below) that forces the same rebuild at the next
+  // publish — so rebuilding all of them here is exact, never stale.
+  auto source = session->audit_->class_source();
+  core::rebuild_snapshot_sections(session->snapshot_, *session->scenario_,
+                                  core::SnapshotSections::all(), &source);
+  session->epoch_ = checkpoint.epoch;
+  session->snapshot_.meta.epoch = checkpoint.epoch;
+  session->snapshot_.meta.built_unix_ms = checkpoint.built_unix_ms;
+  session->graph_dirty_ = checkpoint.graph_dirty;
+  session->paths_dirty_ = checkpoint.paths_dirty;
+  StreamMetrics::get().epoch.set(
+      static_cast<std::int64_t>(checkpoint.epoch));
+  return session;
+}
+
+StreamSession::WatchdogReport StreamSession::run_watchdog() {
+  obs::StageScope stage{"stream.watchdog"};
+  WatchdogReport report;
+  // Only audit a quiescent snapshot: with events pending publication the
+  // maintained bytes legitimately trail the world and a mismatch would be
+  // a false alarm, not corruption.
+  if (poisoned_ || graph_dirty_ || paths_dirty_) return report;
+  report.ran = true;
+  StreamMetrics& metrics = StreamMetrics::get();
+  metrics.watchdog_runs.inc();
+
+  const std::uint64_t built = snapshot_.meta.built_unix_ms;
+  const io::Snapshot reference = reference_snapshot(built);
+  if (io::to_snapshot_bytes(snapshot_) == io::to_snapshot_bytes(reference)) {
+    return report;
+  }
+  report.diverged = true;
+  report.first_diff_section = first_diff_section(snapshot_, reference);
+  ++stats_.divergences;
+  metrics.divergences.inc();
+
+  // Self-heal: throw away every piece of incremental state and re-derive
+  // it from the world, then restamp the same epoch/build time so the
+  // healed snapshot replaces the diverged one in place.
+  rebuild_derived_state();
+  snapshot_.meta.epoch = epoch_;
+  snapshot_.meta.built_unix_ms = built;
+  report.healed = true;
+  ++stats_.heals;
+  metrics.heals.inc();
+  return report;
+}
+
+RecoveryOutcome recover_session(const core::ScenarioParams& params,
+                                const CheckpointDir& dir) {
+  obs::StageScope stage{"stream.recover"};
+  StreamMetrics& metrics = StreamMetrics::get();
+  RecoveryOutcome outcome;
+  std::string story;
+  for (const auto& path : dir.candidates()) {
+    std::string error;
+    const auto checkpoint = load_checkpoint_file(path, &error);
+    if (!checkpoint.has_value()) {
+      ++outcome.checkpoints_rejected;
+      metrics.recoveries_rejected.inc();
+      story += path + ": " + error + "; ";
+      continue;
+    }
+    auto session = StreamSession::restore(params, *checkpoint, &error);
+    if (session == nullptr) {
+      ++outcome.checkpoints_rejected;
+      metrics.recoveries_rejected.inc();
+      story += path + ": " + error + "; ";
+      continue;
+    }
+    outcome.session = std::move(session);
+    outcome.resumed_epoch = checkpoint->epoch;
+    outcome.feed_position = checkpoint->feed_position;
+    outcome.detail = story + "restored epoch " +
+                     std::to_string(checkpoint->epoch) + " from " + path;
+    metrics.recoveries_restored.inc();
+    return outcome;
+  }
+  outcome.session = std::make_unique<StreamSession>(params);
+  outcome.detail = story + "cold bootstrap";
+  metrics.recoveries_cold.inc();
+  return outcome;
 }
 
 }  // namespace asrel::stream

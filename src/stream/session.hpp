@@ -8,8 +8,10 @@
 //
 //   apply(event)   mutate graph -> update audit transit bits ->
 //                  rib_affected scan over all origins (conservative,
-//                  O(events) per origin) -> re-propagate only the dirty
-//                  origins and re-harvest just their path-table buckets.
+//                  O(events) per origin; pure-P2P link adds first narrow
+//                  the scan to the endpoints' customer cones) ->
+//                  re-propagate only the dirty origins and re-harvest
+//                  just their path-table buckets.
 //   publish()      re-run the downstream stages (sanitize/schemes/
 //                  extract/clean/regions) over the maintained paths, then
 //                  rebuild only the snapshot sections the epoch's events
@@ -20,15 +22,24 @@
 // publish()'s snapshot is byte-identical to reference_snapshot() — a
 // from-scratch rebuild of the same final world. Incrementality changes
 // cost, never bytes.
+//
+// Resilience (DESIGN.md §14): checkpoint()/restore() extend that
+// invariant across process death — a restarted session resumes at epoch
+// K+1 with its next publish byte-identical to a never-crashed run — and
+// run_watchdog() byte-compares the maintained snapshot against the
+// reference on a cadence, self-healing by full rebuild if they ever
+// disagree.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bgp/propagation.hpp"
 #include "core/scenario.hpp"
 #include "io/snapshot.hpp"
+#include "stream/checkpoint.hpp"
 #include "stream/churn.hpp"
 #include "stream/delta_audit.hpp"
 
@@ -50,13 +61,17 @@ class StreamSession {
   };
 
   /// Applies one event and re-converges the affected origins. Cheap for
-  /// no-ops (nothing touched -> nothing scanned).
+  /// no-ops (nothing touched -> nothing scanned). Under fault injection
+  /// (Site::kStreamApply) throws std::bad_alloc before mutating anything
+  /// and poisons the session; a poisoned session refuses further work and
+  /// must be replaced via restore() or a fresh bootstrap.
   EventOutcome apply(const ChurnEvent& event);
 
   /// Ends the epoch: refreshes derived pipeline state if any event since
   /// the last publish changed the graph or paths, rebuilds the dirty
   /// snapshot sections, and stamps meta.epoch/built_unix_ms. Returns the
   /// maintained snapshot (copy it to hand to EngineHub::publish).
+  /// Throws std::logic_error on a poisoned session.
   const io::Snapshot& publish(std::uint64_t built_unix_ms);
 
   /// From-scratch rebuild of the current world — the oracle for the
@@ -65,12 +80,56 @@ class StreamSession {
   [[nodiscard]] io::Snapshot reference_snapshot(
       std::uint64_t built_unix_ms) const;
 
+  // ---- resilience ----
+
+  /// Captures the session's durable state (DESIGN.md §14 format). The
+  /// caller supplies the feed resume position it wants persisted.
+  /// Throws std::logic_error on a poisoned session.
+  [[nodiscard]] StreamCheckpoint checkpoint(std::uint64_t feed_position) const;
+
+  /// Rebuilds a session from a checkpoint: regenerates the static world
+  /// from `params`, verifies the fingerprint and the audit cross-check,
+  /// and reinstalls edges/ribs/prefixes without re-propagating. Returns
+  /// null (with `*error` filled) if the checkpoint belongs to a different
+  /// world or fails its integrity checks — callers then fall down the
+  /// recovery ladder. On success epoch() == checkpoint.epoch and the next
+  /// publish is byte-identical to a never-crashed run's.
+  [[nodiscard]] static std::unique_ptr<StreamSession> restore(
+      const core::ScenarioParams& params, const StreamCheckpoint& checkpoint,
+      std::string* error = nullptr);
+
+  struct WatchdogReport {
+    bool ran = false;      ///< false: audit skipped (dirty or poisoned)
+    bool diverged = false;
+    bool healed = false;
+    std::string first_diff_section;  ///< e.g. "links"; set iff diverged
+  };
+
+  /// Divergence watchdog: byte-compares the maintained snapshot against a
+  /// from-scratch reference of the same world. Runs only when no events
+  /// are pending publication (call it right after publish()). On
+  /// divergence it raises asrel_stream_divergence_total, reports the
+  /// first differing section, and self-heals by rebuilding every piece of
+  /// incremental state from the world — after which the maintained bytes
+  /// re-satisfy the oracle and the caller should re-publish snapshot().
+  WatchdogReport run_watchdog();
+
+  /// True after an injected apply-path failure: state may be mid-mutation
+  /// and publish()/checkpoint() refuse to run. Recover by restoring from
+  /// the last checkpoint.
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
   struct Stats {
     std::uint64_t events_applied = 0;
     std::uint64_t events_noop = 0;
     std::uint64_t origins_redone = 0;   ///< re-propagated origins, cumulative
     std::uint64_t origins_skipped = 0;  ///< proven-clean origins, cumulative
+    /// Of origins_skipped, those the cone prefilter excluded before the
+    /// rib scan even ran (pure-P2P link adds only).
+    std::uint64_t origins_skipped_cone = 0;
     std::uint64_t epochs_published = 0;
+    std::uint64_t divergences = 0;  ///< watchdog mismatches detected
+    std::uint64_t heals = 0;        ///< successful self-heals
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -82,7 +141,17 @@ class StreamSession {
   [[nodiscard]] const core::Scenario& scenario() const { return *scenario_; }
 
  private:
-  void reconverge(std::span<const topo::EdgeId> touched);
+  struct RestoreTag {};
+  /// Static-state-only construction (world/vps/propagator/sessions);
+  /// restore() fills in the rest from the checkpoint.
+  StreamSession(const core::ScenarioParams& params, RestoreTag);
+
+  void init_static(const core::ScenarioParams& params);
+  /// Re-derives ribs/paths/audit/scenario/snapshot from world_ alone (the
+  /// bootstrap body, reused by the watchdog's self-heal).
+  void rebuild_derived_state();
+  void reconverge(std::span<const topo::EdgeId> touched,
+                  const std::vector<std::uint8_t>* cone_candidates);
 
   core::ScenarioParams params_;  ///< effective (threads override applied)
   topo::World world_;
@@ -96,6 +165,7 @@ class StreamSession {
   io::Snapshot snapshot_;
   std::uint64_t epoch_ = 0;
   Stats stats_;
+  bool poisoned_ = false;
 
   // Dirtiness accumulated since the last publish. Any structural event
   // dirties the graph-derived sections; origin changes additionally dirty
@@ -104,5 +174,21 @@ class StreamSession {
   bool graph_dirty_ = false;
   bool paths_dirty_ = false;
 };
+
+/// The recovery ladder: newest checkpoint -> previous checkpoint -> cold
+/// bootstrap. Rejected candidates (torn files, foreign fingerprints) are
+/// counted and narrated in `detail`; the ladder never yields a session
+/// older than the newest *valid* checkpoint, so a restarted server cannot
+/// serve an epoch below what it last durably persisted.
+struct RecoveryOutcome {
+  std::unique_ptr<StreamSession> session;
+  std::uint64_t resumed_epoch = 0;   ///< 0 = cold bootstrap
+  std::uint64_t feed_position = 0;   ///< events already reflected
+  std::size_t checkpoints_rejected = 0;
+  std::string detail;  ///< human-readable recovery story for logs/statsz
+};
+
+[[nodiscard]] RecoveryOutcome recover_session(
+    const core::ScenarioParams& params, const CheckpointDir& dir);
 
 }  // namespace asrel::stream

@@ -70,6 +70,8 @@ struct AsAttributes {
 
   [[nodiscard]] bool is_transit() const { return tier != Tier::kStub; }
   [[nodiscard]] bool is_tier1() const { return tier == Tier::kClique; }
+
+  friend bool operator==(const AsAttributes&, const AsAttributes&) = default;
 };
 
 /// Attribute store keyed by ASN.

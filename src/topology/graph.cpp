@@ -119,6 +119,19 @@ bool AsGraph::set_edge_rel(EdgeId id, RelType rel, NodeId provider) {
   return true;
 }
 
+void AsGraph::restore_edges(std::vector<Edge> edges) {
+  edges_ = std::move(edges);
+  adjacency_.assign(nodes_.size(), {});
+  live_edge_count_ = 0;
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const Edge& edge = edges_[id];
+    if (edge.removed) continue;
+    adjacency_[edge.u].push_back({edge.v, id, role_on_edge(edge, edge.u)});
+    adjacency_[edge.v].push_back({edge.u, id, role_on_edge(edge, edge.v)});
+    ++live_edge_count_;
+  }
+}
+
 bool AsGraph::set_edge_scope(EdgeId id, ExportScope scope,
                              bool via_community) {
   if (id >= edges_.size() || edges_[id].removed) return false;

@@ -98,6 +98,15 @@ class AsGraph {
   /// Returns false for removed ids or non-P2C edges.
   bool set_edge_scope(EdgeId id, ExportScope scope, bool via_community);
 
+  /// Replaces the whole edge table (checkpoint restore) and rebuilds the
+  /// adjacency lists from it. Every mutation above keeps each adjacency
+  /// list sorted by ascending edge id — appends use strictly increasing
+  /// ids and removals/patches preserve relative order — so replaying the
+  /// edge table in id order reconstructs the lists byte-identically and
+  /// the checkpoint never needs to persist them. Node ids in `edges` must
+  /// already be valid for this graph's node set.
+  void restore_edges(std::vector<Edge> edges);
+
   /// Edges minus tombstones (edge_count() includes removed slots).
   [[nodiscard]] std::size_t live_edge_count() const {
     return live_edge_count_;

@@ -39,6 +39,8 @@ struct CleanLabel {
   AsLink link;
   topo::RelType rel = topo::RelType::kP2P;  // kP2C or kP2P only
   asn::Asn provider;                        // valid when rel == kP2C
+
+  friend bool operator==(const CleanLabel&, const CleanLabel&) = default;
 };
 
 struct CleaningStats {

@@ -80,6 +80,43 @@ TEST(Stream, ParserRejectsMalformedLines) {
   EXPECT_EQ(ok[0].kind, stream::ChurnKind::kLinkAdd);
 }
 
+TEST(Stream, ParserDiagnosticsNameTheLineAndContent) {
+  std::string error;
+  // The failure names the 1-based line number and quotes the offender.
+  EXPECT_TRUE(stream::parse_churn_text(
+                  "# header\nadd 1 2 p2p\nremove 7\n", &error)
+                  .empty());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("remove 7"), std::string::npos) << error;
+
+  // Truncated lines (missing fields) are malformed, not zero-filled.
+  EXPECT_TRUE(stream::parse_churn_text("add 1 2", &error).empty());
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_TRUE(stream::parse_churn_text("scope 1 2 full", &error).empty());
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(stream::parse_churn_text("announce 1", &error).empty());
+  EXPECT_FALSE(error.empty());
+  // Out-of-range and non-numeric ASNs are rejected, not wrapped.
+  EXPECT_TRUE(
+      stream::parse_churn_text("add 99999999999 2 p2p", &error).empty());
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(stream::parse_churn_text("add one 2 p2p", &error).empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Stream, ParserToleratesCrlfAndTabs) {
+  std::string error;
+  // CRLF framing and tab separators are accepted (operational feeds).
+  const auto events = stream::parse_churn_text(
+      "add 100 200 p2p\r\nremove\t100\t200\r\n", &error);
+  ASSERT_EQ(events.size(), 2u) << error;
+  EXPECT_EQ(events[0].kind, stream::ChurnKind::kLinkAdd);
+  EXPECT_EQ(events[1].kind, stream::ChurnKind::kLinkRemove);
+  // A '\r' inside a field is content, not framing.
+  EXPECT_TRUE(stream::parse_churn_text("add 100\r200 p2p\n", &error).empty());
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(Stream, StructuralNoOpsAreRejected) {
   const auto params = stream_params(1);
   topo::World world = topo::generate(params.topology);
@@ -201,6 +238,43 @@ TEST(Stream, PrefixChurnIsAPipelineNoOp) {
   // Sequenced: publish() bumps the epoch the reference stamps.
   const std::string incremental = io::to_snapshot_bytes(session.publish(7));
   EXPECT_EQ(incremental, io::to_snapshot_bytes(session.reference_snapshot(7)));
+}
+
+TEST(Stream, ConePrefilterNarrowsPureP2pAddsWithoutChangingBytes) {
+  const auto params = stream_params(1);
+  stream::StreamSession session{params};
+
+  // A fresh pure-P2P link: the cone prefilter limits the rib scan to the
+  // endpoints' customer cones before rib_affected even runs.
+  const auto nodes = session.world().graph.nodes();
+  std::optional<std::pair<asn::Asn, asn::Asn>> pair;
+  for (std::size_t i = 0; i < nodes.size() && !pair; ++i) {
+    for (std::size_t j = i + 1; j < nodes.size() && !pair; ++j) {
+      if (!session.world().graph.find_edge(nodes[i], nodes[j])) {
+        pair = {nodes[i], nodes[j]};
+      }
+    }
+  }
+  ASSERT_TRUE(pair.has_value());
+
+  stream::ChurnEvent add;
+  add.kind = stream::ChurnKind::kLinkAdd;
+  add.a = pair->first;
+  add.b = pair->second;
+  add.rel = topo::RelType::kP2P;
+  EXPECT_TRUE(session.apply(add).applied);
+
+  // The prefilter must have excluded origins outside both cones, and the
+  // skip accounting must stay consistent with the totals.
+  EXPECT_GT(session.stats().origins_skipped_cone, 0u);
+  EXPECT_GE(session.stats().origins_skipped,
+            session.stats().origins_skipped_cone);
+
+  // Narrowing the scan never changes the published bytes — the invariant
+  // that makes the prefilter an optimisation rather than a semantics
+  // change. (Sequenced: publish() bumps the epoch the reference stamps.)
+  const std::string incremental = io::to_snapshot_bytes(session.publish(31));
+  EXPECT_EQ(incremental, io::to_snapshot_bytes(session.reference_snapshot(31)));
 }
 
 // ----------------------------------------------------------------- chaos

@@ -9,12 +9,24 @@
 //       persist the snapshot, then serve it.
 //
 //   asrel_serve --generate --stream-events N [--stream-interval-ms MS]
-//               [--stream-batch K] [--churn-seed S] ...
+//               [--stream-batch K] [--churn-seed S] [--replay FILE] ...
 //       Live mode: bootstrap a streaming session, then apply N generated
-//       churn events in batches of K every MS milliseconds, publishing a
-//       fresh epoch (atomic in-memory swap, zero dropped requests) after
-//       each batch. When --save is set, each epoch is also written to the
-//       file crash-safely, so SIGHUP reloads pick up the latest epoch.
+//       (or replayed) churn events in batches of K every MS milliseconds,
+//       publishing a fresh epoch (atomic in-memory swap, zero dropped
+//       requests) after each batch. When --save is set, each epoch is also
+//       written to the file crash-safely, so SIGHUP reloads pick up the
+//       latest epoch.
+//
+// Resilience (DESIGN.md §14, live mode only):
+//   --checkpoint-dir DIR    resume from the newest valid checkpoint there
+//                           (ladder: newest -> previous -> cold bootstrap)
+//                           and persist one every --checkpoint-every epochs
+//                           plus one on graceful drain
+//   --watchdog-every M      byte-audit the served snapshot against a
+//                           from-scratch rebuild every M epochs; on
+//                           divergence, self-heal and republish
+//   --queue-cap N           bounded ingest queue between the churn feeder
+//   --queue-policy P        and the apply loop: block | shed | coalesce
 //
 // Operations:
 //   SIGHUP          hot-reload the snapshot file (zero downtime; in-flight
@@ -31,8 +43,11 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,9 +58,13 @@
 #include "io/snapshot.hpp"
 #include "serve/engine_hub.hpp"
 #include "serve/http_server.hpp"
+#include "serve/json.hpp"
 #include "serve/service.hpp"
+#include "stream/checkpoint.hpp"
 #include "stream/churn.hpp"
+#include "stream/ingest.hpp"
 #include "stream/session.hpp"
+#include "topology/generator.hpp"
 
 namespace {
 
@@ -65,11 +84,20 @@ struct Args {
   int max_pending = 256;   ///< admission-queue bound (503 shed beyond it)
   bool trace = false;      ///< record server spans (served via /tracez)
 
-  // Live mode (--generate only): nonzero stream_events enables it.
+  // Live mode (--generate only): nonzero stream_events or --replay
+  // enables it.
   int stream_events = 0;
   int stream_interval_ms = 1000;
   int stream_batch = 10;
   std::uint64_t churn_seed = 1;
+  std::string replay;
+
+  // Live-mode resilience.
+  std::string checkpoint_dir;
+  int checkpoint_every = 5;
+  int watchdog_every = 0;
+  int queue_cap = 1024;
+  stream::QueuePolicy queue_policy = stream::QueuePolicy::kBlock;
 };
 
 int usage() {
@@ -82,7 +110,10 @@ int usage() {
       "  asrel_serve --generate [--as-count N] [--seed S] [--save FILE]\n"
       "              [--port P] [--threads N]\n"
       "  asrel_serve --generate --stream-events N [--stream-interval-ms MS]\n"
-      "              [--stream-batch K] [--churn-seed S] ...\n"
+      "              [--stream-batch K] [--churn-seed S] [--replay FILE]\n"
+      "              [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "              [--watchdog-every M] [--queue-cap N]\n"
+      "              [--queue-policy block|shed|coalesce] ...\n"
       "signals: SIGHUP = hot snapshot reload, SIGINT/SIGTERM = drain+exit\n");
   return 2;
 }
@@ -129,14 +160,35 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.stream_batch = std::atoi(value);
     } else if (flag == "--churn-seed") {
       args.churn_seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--replay") {
+      args.replay = value;
+    } else if (flag == "--checkpoint-dir") {
+      args.checkpoint_dir = value;
+    } else if (flag == "--checkpoint-every") {
+      args.checkpoint_every = std::atoi(value);
+    } else if (flag == "--watchdog-every") {
+      args.watchdog_every = std::atoi(value);
+    } else if (flag == "--queue-cap") {
+      args.queue_cap = std::atoi(value);
+    } else if (flag == "--queue-policy") {
+      const auto policy = stream::parse_queue_policy(value);
+      if (!policy) {
+        std::fprintf(stderr, "unknown queue policy: %s\n", value);
+        return std::nullopt;
+      }
+      args.queue_policy = *policy;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i - 1]);
       return std::nullopt;
     }
   }
   if (args.snapshot.empty() == !args.generate) return std::nullopt;
-  if (args.stream_events > 0 && !args.generate) return std::nullopt;
+  const bool live = args.stream_events > 0 || !args.replay.empty();
+  if (live && !args.generate) return std::nullopt;
+  if (args.stream_events > 0 && !args.replay.empty()) return std::nullopt;
   if (args.stream_batch < 1) args.stream_batch = 1;
+  if (args.checkpoint_every < 1) args.checkpoint_every = 1;
+  if (args.queue_cap < 1) args.queue_cap = 1;
   return args;
 }
 
@@ -150,6 +202,68 @@ void on_sighup(int) {
   if (g_hub != nullptr) g_hub->request_reload();
 }
 
+/// Mutex-guarded mirror of the live pipeline's state: the main loop
+/// updates it after every publish, HTTP workers render it into /statsz
+/// via AsrelService::set_stream_stats.
+struct StreamStatus {
+  std::mutex mutex;
+  std::uint64_t resumed_epoch = 0;  ///< 0 = cold bootstrap
+  std::size_t checkpoints_rejected = 0;
+  std::string recovery_detail;
+  std::uint64_t recoveries = 0;  ///< in-process restores after poisoning
+  std::uint64_t checkpoints_written = 0;
+  std::string last_diff_section;
+  std::uint64_t feed_position = 0;
+  stream::StreamSession::Stats session;
+  stream::EventQueue::Stats queue;
+  std::size_t queue_depth = 0;
+  std::size_t queue_cap = 0;
+  std::string queue_policy;
+
+  std::string to_json() {
+    std::lock_guard lock{mutex};
+    serve::JsonWriter json;
+    json.begin_object();
+    json.key("recovery").begin_object();
+    json.field("resumed_epoch", resumed_epoch);
+    json.field("checkpoints_rejected", checkpoints_rejected);
+    json.field("in_process_restores", recoveries);
+    json.field("detail", recovery_detail);
+    json.end_object();
+    json.key("checkpoint").begin_object();
+    json.field("written", checkpoints_written);
+    json.field("feed_position", feed_position);
+    json.end_object();
+    json.key("watchdog").begin_object();
+    json.field("divergences", session.divergences);
+    json.field("heals", session.heals);
+    if (!last_diff_section.empty()) {
+      json.field("last_diff_section", last_diff_section);
+    }
+    json.end_object();
+    json.key("events").begin_object();
+    json.field("applied", session.events_applied);
+    json.field("noop", session.events_noop);
+    json.field("origins_redone", session.origins_redone);
+    json.field("origins_skipped", session.origins_skipped);
+    json.field("origins_skipped_cone", session.origins_skipped_cone);
+    json.field("epochs_published", session.epochs_published);
+    json.end_object();
+    json.key("queue").begin_object();
+    json.field("policy", queue_policy);
+    json.field("cap", queue_cap);
+    json.field("depth", queue_depth);
+    json.field("pushed", queue.pushed);
+    json.field("popped", queue.popped);
+    json.field("shed", queue.shed);
+    json.field("coalesced", queue.coalesced);
+    json.field("blocked", queue.blocked);
+    json.end_object();
+    json.end_object();
+    return std::move(json).str();
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,19 +273,59 @@ int main(int argc, char** argv) {
   io::Snapshot snapshot;
   std::unique_ptr<stream::StreamSession> session;
   std::vector<stream::ChurnEvent> churn;
-  if (args->generate && args->stream_events > 0) {
+  const bool live =
+      args->generate && (args->stream_events > 0 || !args->replay.empty());
+  core::ScenarioParams stream_params;
+  std::optional<stream::CheckpointDir> checkpoint_dir;
+  StreamStatus stream_status;
+  std::uint64_t applied_through = 0;  ///< events [0, here) are reflected
+  if (live) {
     std::fprintf(stderr,
                  "bootstrapping streaming session (%d ASes, seed %llu)...\n",
                  args->as_count,
                  static_cast<unsigned long long>(args->seed));
     const auto started = std::chrono::steady_clock::now();
-    core::ScenarioParams params;
-    params.topology.as_count = args->as_count;
-    params.topology.seed = args->seed;
-    session = std::make_unique<stream::StreamSession>(params);
-    churn = stream::generate_churn(
-        session->world(), args->churn_seed,
-        static_cast<std::size_t>(args->stream_events));
+    stream_params.topology.as_count = args->as_count;
+    stream_params.topology.seed = args->seed;
+    if (!args->checkpoint_dir.empty()) {
+      checkpoint_dir.emplace(args->checkpoint_dir);
+      auto outcome = stream::recover_session(stream_params, *checkpoint_dir);
+      session = std::move(outcome.session);
+      applied_through = outcome.feed_position;
+      std::fprintf(stderr, "recovery: %s (%zu checkpoint(s) rejected)\n",
+                   outcome.detail.c_str(), outcome.checkpoints_rejected);
+      stream_status.resumed_epoch = outcome.resumed_epoch;
+      stream_status.checkpoints_rejected = outcome.checkpoints_rejected;
+      stream_status.recovery_detail = std::move(outcome.detail);
+      stream_status.feed_position = applied_through;
+    } else {
+      session = std::make_unique<stream::StreamSession>(stream_params);
+      stream_status.recovery_detail = "cold bootstrap (no checkpoint dir)";
+    }
+    if (!args->replay.empty()) {
+      std::ifstream in{args->replay};
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", args->replay.c_str());
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      std::string parse_error;
+      churn = stream::parse_churn_text(text.str(), &parse_error);
+      if (churn.empty() && !parse_error.empty()) {
+        std::fprintf(stderr, "error parsing %s: %s\n", args->replay.c_str(),
+                     parse_error.c_str());
+        return 1;
+      }
+    } else {
+      // Generate from the pristine world, not session->world(): a resumed
+      // session's world already reflects churn and would yield a feed that
+      // disagrees with the original run's.
+      const topo::World pristine = topo::generate(stream_params.topology);
+      churn = stream::generate_churn(
+          pristine, args->churn_seed,
+          static_cast<std::size_t>(args->stream_events));
+    }
     snapshot = session->snapshot();
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - started);
@@ -244,6 +398,10 @@ int main(int argc, char** argv) {
       std::make_shared<const serve::QueryEngine>(std::move(snapshot)),
       std::move(loader));
   serve::AsrelService service{hub};
+  if (live) {
+    service.set_stream_stats(
+        [&stream_status] { return stream_status.to_json(); });
+  }
 
   serve::HttpServerOptions options;
   options.port = static_cast<std::uint16_t>(args->port);
@@ -280,7 +438,84 @@ int main(int argc, char** argv) {
                "(SIGHUP reloads, Ctrl-C drains)\n",
                server.port(), args->threads);
 
-  std::size_t next_event = 0;
+  // Backpressured ingest: a feeder thread pushes the churn feed into a
+  // bounded queue; the main loop drains up to --stream-batch events per
+  // interval. The gap between them is where a real deployment's collector
+  // feed would outrun re-convergence.
+  stream::EventQueue queue{static_cast<std::size_t>(args->queue_cap),
+                           args->queue_policy};
+  std::atomic<bool> feeder_done{!live || applied_through >= churn.size()};
+  std::thread feeder;
+  if (live) {
+    feeder = std::thread([&queue, &churn, &feeder_done,
+                          start = applied_through] {
+      for (std::uint64_t seq = start; seq < churn.size(); ++seq) {
+        queue.push({seq, churn[seq]});
+      }
+      feeder_done.store(true);
+      queue.close();
+    });
+  }
+  bool feed_drained = !live || applied_through >= churn.size();
+
+  const auto update_stream_status = [&](bool count_checkpoint,
+                                        const char* diff_section) {
+    std::lock_guard lock{stream_status.mutex};
+    stream_status.session = session->stats();
+    stream_status.queue = queue.stats();
+    stream_status.queue_depth = queue.depth();
+    stream_status.queue_cap = queue.cap();
+    stream_status.queue_policy = std::string{to_string(queue.policy())};
+    stream_status.feed_position = applied_through;
+    if (count_checkpoint) ++stream_status.checkpoints_written;
+    if (diff_section != nullptr) {
+      stream_status.last_diff_section = diff_section;
+    }
+  };
+
+  // Applies one event, recovering in process if the apply path poisons
+  // the session: restore from the newest checkpoint (or cold bootstrap),
+  // replay the in-memory feed up to this event, and apply it again.
+  const auto apply_with_recovery = [&](const stream::QueuedEvent& item)
+      -> std::size_t {
+    if (item.seq < applied_through) return 0;  // replayed post-recovery
+    try {
+      const auto outcome = session->apply(item.event);
+      applied_through = item.seq + 1;
+      return outcome.dirty_origins;
+    } catch (const std::bad_alloc&) {
+      std::fprintf(stderr,
+                   "stream: apply failed at event %llu, session poisoned; "
+                   "restoring...\n",
+                   static_cast<unsigned long long>(item.seq));
+      auto outcome = checkpoint_dir
+                         ? stream::recover_session(stream_params,
+                                                   *checkpoint_dir)
+                         : stream::RecoveryOutcome{
+                               std::make_unique<stream::StreamSession>(
+                                   stream_params),
+                               0, 0, 0, "cold bootstrap"};
+      session = std::move(outcome.session);
+      std::fprintf(stderr, "stream: %s\n", outcome.detail.c_str());
+      {
+        std::lock_guard lock{stream_status.mutex};
+        ++stream_status.recoveries;
+        stream_status.checkpoints_rejected += outcome.checkpoints_rejected;
+        stream_status.recovery_detail = outcome.detail;
+      }
+      // Catch up from the restore point using the in-memory feed, then
+      // land the event that crashed.
+      std::size_t redone = 0;
+      for (std::uint64_t seq = outcome.feed_position; seq <= item.seq;
+           ++seq) {
+        redone += session->apply(churn[seq]).dirty_origins;
+      }
+      applied_through = item.seq + 1;
+      return redone;
+    }
+  };
+
+  std::uint64_t epochs_since_checkpoint = 0;
   auto next_batch_at = std::chrono::steady_clock::now() +
                        std::chrono::milliseconds(args->stream_interval_ms);
   while (!g_shutdown.load()) {
@@ -297,14 +532,17 @@ int main(int argc, char** argv) {
                      result.error.c_str());
       }
     }
-    if (session && next_event < churn.size() &&
-        std::chrono::steady_clock::now() >= next_batch_at) {
-      const std::size_t end =
-          std::min(churn.size(),
-                   next_event + static_cast<std::size_t>(args->stream_batch));
+    if (live && !feed_drained &&
+        std::chrono::steady_clock::now() >= next_batch_at &&
+        queue.depth() > 0) {
       std::size_t redone = 0;
-      for (; next_event < end; ++next_event) {
-        redone += session->apply(churn[next_event]).dirty_origins;
+      std::size_t popped = 0;
+      while (popped < static_cast<std::size_t>(args->stream_batch) &&
+             queue.depth() > 0) {
+        const auto item = queue.pop();
+        if (!item) break;
+        ++popped;
+        redone += apply_with_recovery(*item);
       }
       const std::uint64_t now_ms = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -323,18 +561,79 @@ int main(int argc, char** argv) {
       const auto result = hub->publish(io::Snapshot{published});
       std::fprintf(
           stderr,
-          "stream: epoch %llu published (%zu/%zu events, "
+          "stream: epoch %llu published (%llu/%zu events, "
           "%zu origins re-converged)\n",
-          static_cast<unsigned long long>(result.epoch), next_event,
-          churn.size(), redone);
-      if (next_event == churn.size()) {
-        std::fprintf(stderr, "stream: churn feed drained, serving on\n");
+          static_cast<unsigned long long>(result.epoch),
+          static_cast<unsigned long long>(applied_through), churn.size(),
+          redone);
+
+      const char* diff_section = nullptr;
+      if (args->watchdog_every > 0 &&
+          session->epoch() %
+                  static_cast<std::uint64_t>(args->watchdog_every) ==
+              0) {
+        const auto report = session->run_watchdog();
+        if (report.diverged) {
+          diff_section = report.first_diff_section.c_str();
+          std::fprintf(stderr,
+                       "stream: watchdog divergence in section '%s' (%s)\n",
+                       report.first_diff_section.c_str(),
+                       report.healed ? "healed, republishing"
+                                     : "NOT healed");
+          if (report.healed) {
+            hub->publish(io::Snapshot{session->snapshot()});
+            if (!args->save.empty()) {
+              std::string save_error;
+              if (!io::save_snapshot_file(session->snapshot(), args->save,
+                                          &save_error)) {
+                std::fprintf(stderr, "healed epoch write failed: %s\n",
+                             save_error.c_str());
+              }
+            }
+          }
+        }
       }
+      bool wrote_checkpoint = false;
+      if (checkpoint_dir &&
+          ++epochs_since_checkpoint >=
+              static_cast<std::uint64_t>(args->checkpoint_every)) {
+        std::string ckpt_error;
+        if (checkpoint_dir->save(session->checkpoint(applied_through),
+                                 &ckpt_error)) {
+          epochs_since_checkpoint = 0;
+          wrote_checkpoint = true;
+        } else {
+          std::fprintf(stderr, "checkpoint write failed: %s\n",
+                       ckpt_error.c_str());
+        }
+      }
+      update_stream_status(wrote_checkpoint, diff_section);
       next_batch_at = std::chrono::steady_clock::now() +
                       std::chrono::milliseconds(args->stream_interval_ms);
     }
+    if (live && !feed_drained && feeder_done.load() && queue.depth() == 0) {
+      feed_drained = true;
+      std::fprintf(stderr, "stream: churn feed drained, serving on\n");
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(
-        session && next_event < churn.size() ? 20 : 100));
+        live && !feed_drained ? 20 : 100));
+  }
+  if (live) {
+    // Drain-aware shutdown: stop intake, let the feeder exit, and persist
+    // a final checkpoint so the restart resumes exactly here.
+    queue.close();
+    if (feeder.joinable()) feeder.join();
+    if (checkpoint_dir && !session->poisoned()) {
+      std::string ckpt_error;
+      if (checkpoint_dir->save(session->checkpoint(applied_through),
+                               &ckpt_error)) {
+        std::fprintf(stderr, "stream: final checkpoint at feed %llu\n",
+                     static_cast<unsigned long long>(applied_through));
+      } else {
+        std::fprintf(stderr, "final checkpoint failed: %s\n",
+                     ckpt_error.c_str());
+      }
+    }
   }
   std::fprintf(stderr, "draining (deadline %d ms)...\n", args->drain_ms);
   const serve::DrainReport drained = server.drain();
