@@ -390,6 +390,9 @@ void set_snapshot_io_hooks(SnapshotIoHooks hooks) {
   g_write_cap.store(hooks.write_cap, std::memory_order_relaxed);
 }
 
+std::size_t snapshot_io_read_cap() { return hooked_cap(g_read_cap); }
+std::size_t snapshot_io_write_cap() { return hooked_cap(g_write_cap); }
+
 bool save_snapshot_file(const Snapshot& snapshot, const std::string& path,
                         std::string* error) {
   return write_file_atomic(to_snapshot_bytes(snapshot), path, error,

@@ -150,4 +150,9 @@ struct SnapshotIoHooks {
 };
 void set_snapshot_io_hooks(SnapshotIoHooks hooks);
 
+/// Current hook values (SIZE_MAX when unhooked) — so sibling formats
+/// (the flat v3 codec) honor the same chaos caps as this one.
+[[nodiscard]] std::size_t snapshot_io_read_cap();
+[[nodiscard]] std::size_t snapshot_io_write_cap();
+
 }  // namespace asrel::io

@@ -35,6 +35,10 @@ EngineHub::EngineHub(std::shared_ptr<const QueryEngine> initial,
                      SnapshotLoader loader)
     : engine_(std::move(initial)), loader_(std::move(loader)) {}
 
+EngineHub::EngineHub(std::shared_ptr<const QueryEngine> initial,
+                     EngineLoader loader)
+    : engine_(std::move(initial)), engine_loader_(std::move(loader)) {}
+
 EngineHub::ReloadResult EngineHub::reload() {
   std::lock_guard<std::mutex> lock{reload_mutex_};
   ReloadMetrics& metrics = ReloadMetrics::get();
@@ -57,19 +61,27 @@ EngineHub::ReloadResult EngineHub::reload() {
     return result;
   };
 
-  if (!loader_) {
+  std::shared_ptr<const QueryEngine> next;
+  std::string error;
+  if (engine_loader_) {
+    // Flat path: the loader already produced a ready engine (mmap +
+    // validate); nothing left to build before publication.
+    next = engine_loader_(&error);
+    if (next == nullptr) {
+      return fail(error.empty() ? "engine loader failed" : error);
+    }
+  } else if (loader_) {
+    auto snapshot = loader_(&error);
+    if (!snapshot) {
+      return fail(error.empty() ? "snapshot loader failed" : error);
+    }
+    // The expensive part — index building — happens before publication,
+    // on the reloading thread, while every worker keeps serving the old
+    // epoch.
+    next = std::make_shared<const QueryEngine>(std::move(*snapshot));
+  } else {
     return fail("no snapshot loader configured (static deployment)");
   }
-  std::string error;
-  auto snapshot = loader_(&error);
-  if (!snapshot) {
-    return fail(error.empty() ? "snapshot loader failed" : error);
-  }
-
-  // The expensive part — index building — happens before publication, on
-  // the reloading thread, while every worker keeps serving the old epoch.
-  auto next =
-      std::make_shared<const QueryEngine>(std::move(*snapshot));
   engine_.store(std::move(next), std::memory_order_release);
   const std::uint64_t epoch =
       epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;

@@ -36,10 +36,19 @@ class EngineHub {
   using SnapshotLoader =
       std::function<std::optional<io::Snapshot>(std::string* error)>;
 
+  /// Produces the next *engine* on reload — the flat (v3) path: the
+  /// loader mmaps a FlatView and wraps it in a QueryEngine, so a reload
+  /// costs microseconds instead of a full parse + index build. Wins over
+  /// the snapshot loader when both are somehow set.
+  using EngineLoader = std::function<std::shared_ptr<const QueryEngine>(
+      std::string* error)>;
+
   /// A hub starts at epoch 1 with `initial`; a null loader makes reload()
   /// fail cleanly (static deployments keep working unchanged).
   explicit EngineHub(std::shared_ptr<const QueryEngine> initial,
                      SnapshotLoader loader = {});
+  explicit EngineHub(std::shared_ptr<const QueryEngine> initial,
+                     EngineLoader loader);
 
   /// The engine for this request. One call per request: the returned
   /// shared_ptr pins the epoch for the request's whole lifetime.
@@ -91,6 +100,7 @@ class EngineHub {
  private:
   std::atomic<std::shared_ptr<const QueryEngine>> engine_;
   SnapshotLoader loader_;
+  EngineLoader engine_loader_;
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<bool> reload_requested_{false};
 

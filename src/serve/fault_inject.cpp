@@ -1,6 +1,7 @@
 #include "serve/fault_inject.hpp"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 
 #include <array>
 #include <cerrno>
@@ -65,6 +66,8 @@ const char* site_name(Site site) {
       return "stream_apply";
     case Site::kStreamDivergence:
       return "stream_divergence";
+    case Site::kWritev:
+      return "writev";
     case Site::kCount:
       break;
   }
@@ -107,6 +110,7 @@ void FaultInjector::arm(const FaultPlan& plan) {
   checkpoint_write_faults_.store(0, std::memory_order_relaxed);
   stream_apply_faults_.store(0, std::memory_order_relaxed);
   stream_divergence_faults_.store(0, std::memory_order_relaxed);
+  writev_faults_.store(0, std::memory_order_relaxed);
   io::set_snapshot_io_hooks(io::SnapshotIoHooks{
       .read_cap = [] { return FaultInjector::instance().snapshot_read_cap(); },
       .write_cap =
@@ -137,6 +141,7 @@ FaultStats FaultInjector::stats() const {
       stream_apply_faults_.load(std::memory_order_relaxed);
   stats.stream_divergence_faults =
       stream_divergence_faults_.load(std::memory_order_relaxed);
+  stats.writev_faults = writev_faults_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -185,6 +190,43 @@ ssize_t FaultInjector::send(int fd, const void* buf, std::size_t len,
     return ::send(fd, buf, 1, flags);  // short write
   }
   return ::send(fd, buf, len, flags);
+}
+
+namespace {
+
+/// Gather-write via sendmsg so MSG_NOSIGNAL applies: a peer that died
+/// mid-flush must surface as EPIPE, not SIGPIPE (plain writev has no
+/// per-call signal suppression).
+ssize_t raw_writev(int fd, const struct iovec* iov, int iovcnt) {
+  msghdr message{};
+  message.msg_iov = const_cast<struct iovec*>(iov);
+  message.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  return ::sendmsg(fd, &message, MSG_NOSIGNAL);
+}
+
+}  // namespace
+
+ssize_t FaultInjector::writev(int fd, const struct iovec* iov, int iovcnt) {
+  if (!enabled()) return raw_writev(fd, iov, iovcnt);
+  const std::uint32_t roll = next_draw(Site::kWritev);
+  std::uint32_t band = plan_.writev_eintr_permille;
+  if (roll < band) {
+    writev_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kWritev);
+    errno = EINTR;
+    return -1;
+  }
+  band += plan_.writev_short_permille;
+  if (roll < band && iovcnt > 0 && iov[0].iov_len > 0) {
+    // Torn flush: persist a single byte of the first fragment so the
+    // caller must resume mid-iovec.
+    writev_faults_.fetch_add(1, std::memory_order_relaxed);
+    note_injected(Site::kWritev);
+    struct iovec one = iov[0];
+    one.iov_len = 1;
+    return raw_writev(fd, &one, 1);
+  }
+  return raw_writev(fd, iov, iovcnt);
 }
 
 int FaultInjector::accept(int fd) {

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <sys/types.h>
+#include <sys/uio.h>
 
 namespace asrel::serve::fault {
 
@@ -35,6 +36,7 @@ enum class Site : std::size_t {
   kCheckpointWrite,
   kStreamApply,
   kStreamDivergence,
+  kWritev,
   kCount,
 };
 
@@ -56,6 +58,12 @@ struct FaultPlan {
 
   std::uint32_t send_eintr_permille = 0;
   std::uint32_t send_short_permille = 0;  ///< accept 1 byte instead of n
+
+  /// The epoll flush path's own site: writev batches many responses into
+  /// one syscall, so a torn writev exercises partial-write resume logic
+  /// no send() fault can reach.
+  std::uint32_t writev_eintr_permille = 0;
+  std::uint32_t writev_short_permille = 0;  ///< accept 1 byte instead of all
 
   /// Snapshot file I/O: fail (reader: truncate; writer: ENOSPC-style
   /// error) once this many bytes have been moved. SIZE_MAX = never.
@@ -88,6 +96,7 @@ struct FaultStats {
   std::uint64_t checkpoint_write_faults = 0;
   std::uint64_t stream_apply_faults = 0;
   std::uint64_t stream_divergence_faults = 0;
+  std::uint64_t writev_faults = 0;
 };
 
 /// Process-wide injector. All serving-layer syscalls funnel through the
@@ -117,6 +126,9 @@ class FaultInjector {
   [[nodiscard]] ssize_t recv(int fd, void* buf, std::size_t len, int flags);
   [[nodiscard]] ssize_t send(int fd, const void* buf, std::size_t len,
                              int flags);
+  /// Gathered flush used by the epoll path; faults mirror send()'s
+  /// (EINTR, short write of a single byte) but draw from their own site.
+  [[nodiscard]] ssize_t writev(int fd, const struct iovec* iov, int iovcnt);
   [[nodiscard]] int accept(int fd);
 
   // ---- snapshot I/O caps (consulted by io::snapshot via hooks) ----
@@ -155,6 +167,7 @@ class FaultInjector {
   std::atomic<std::uint64_t> checkpoint_write_faults_{0};
   std::atomic<std::uint64_t> stream_apply_faults_{0};
   std::atomic<std::uint64_t> stream_divergence_faults_{0};
+  std::atomic<std::uint64_t> writev_faults_{0};
 };
 
 /// RAII arm/disarm for tests: faults stay scoped to one experiment even

@@ -18,35 +18,14 @@
 #include "obs/trace.hpp"
 #include "serve/fault_inject.hpp"
 #include "serve/json.hpp"
+#include "serve/request_assembler.hpp"
+#include "serve/response_writer.hpp"
 
 namespace asrel::serve {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-const char* status_text(int status) {
-  switch (status) {
-    case 200:
-      return "OK";
-    case 400:
-      return "Bad Request";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    case 408:
-      return "Request Timeout";
-    case 413:
-      return "Payload Too Large";
-    case 500:
-      return "Internal Server Error";
-    case 503:
-      return "Service Unavailable";
-    default:
-      return "Unknown";
-  }
-}
 
 /// Sends the whole buffer, tolerating partial writes and EINTR. Routed
 /// through the fault injector so chaos tests can force short writes.
@@ -69,30 +48,6 @@ bool send_all(int fd, std::string_view bytes,
   }
   if (bytes_out != nullptr && sent > 0) bytes_out->add(sent);
   return ok;
-}
-
-std::string render_response(const HttpResponse& response, bool keep_alive) {
-  std::string out;
-  out.reserve(160 + response.body.size());
-  out += "HTTP/1.1 ";
-  out += std::to_string(response.status);
-  out += ' ';
-  out += status_text(response.status);
-  out += "\r\nContent-Type: ";
-  out += response.content_type;
-  out += "\r\nContent-Length: ";
-  out += std::to_string(response.body.size());
-  out += "\r\nConnection: ";
-  out += keep_alive ? "keep-alive" : "close";
-  for (const auto& [name, value] : response.headers) {
-    out += "\r\n";
-    out += name;
-    out += ": ";
-    out += value;
-  }
-  out += "\r\n\r\n";
-  out += response.body;
-  return out;
 }
 
 }  // namespace
@@ -202,9 +157,18 @@ bool HttpServer::start(std::string* error) {
   draining_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread{[this] { accept_loop(); }};
-  workers_.reserve(static_cast<std::size_t>(options_.worker_threads));
-  for (int i = 0; i < options_.worker_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  if (options_.serve_model == ServeModel::kEpoll) {
+    std::string epoll_error;
+    if (!epoll_start(&epoll_error)) {
+      stop();
+      if (error != nullptr) *error = epoll_error;
+      return false;
+    }
+  } else {
+    workers_.reserve(static_cast<std::size_t>(options_.worker_threads));
+    for (int i = 0; i < options_.worker_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
   }
   return true;
 }
@@ -215,6 +179,7 @@ void HttpServer::join_all() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  loops_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -246,6 +211,7 @@ void HttpServer::stop() {
       ::shutdown(fd, SHUT_RDWR);
     }
   }
+  wake_loops();
   join_all();
 }
 
@@ -263,6 +229,7 @@ DrainReport HttpServer::drain() {
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
   queue_cv_.notify_all();
+  wake_loops();
 
   // Phase 2: let workers finish the queue and in-flight connections.
   // Keep-alive loops exit after the request they are currently serving
@@ -279,10 +246,18 @@ DrainReport HttpServer::drain() {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 
-  // Phase 3: the grace period is over — abort stragglers.
+  // Phase 3: the grace period is over — abort stragglers. Connections
+  // still queued were never served at all, so they get the standard shed
+  // 503 (Retry-After and all) before the close: from the client's side an
+  // aborted-by-drain connection looks exactly like an admission shed,
+  // just counted as aborted because it had already been accepted.
   {
     std::lock_guard<std::mutex> lock{queue_mutex_};
     for (const int fd : pending_) {
+      send_all(fd,
+               render_http_response(
+                   make_shed_response(options_.retry_after_hint_s), false),
+               bytes_written_);
       ::close(fd);
       aborted_->inc();
     }
@@ -297,6 +272,7 @@ DrainReport HttpServer::drain() {
   }
   stopping_.store(true, std::memory_order_release);
   queue_cv_.notify_all();
+  wake_loops();
   join_all();
   return DrainReport{.drained = drained_->value(),
                      .aborted = aborted_->value()};
@@ -337,14 +313,14 @@ void HttpServer::note_deadline_exceeded(const std::string& route) {
 }
 
 /// Answers 503 + Retry-After on a connection we will not serve, then
-/// closes it. Used by both shed paths (queue full, fd exhaustion).
+/// closes it. Used by both shed paths (queue full, fd exhaustion); the
+/// drain-time abort of queued connections sends the same bytes.
 void HttpServer::shed_connection(int fd) {
   overload_rejected_->inc();
-  HttpResponse response =
-      HttpResponse::json(503, R"({"error":"server overloaded"})");
-  response.headers.emplace_back("Retry-After",
-                                std::to_string(options_.retry_after_hint_s));
-  send_all(fd, render_response(response, false), bytes_written_);
+  send_all(fd,
+           render_http_response(make_shed_response(options_.retry_after_hint_s),
+                                false),
+           bytes_written_);
   ::close(fd);
 }
 
@@ -393,7 +369,8 @@ void HttpServer::accept_loop() {
     if (rejected) {
       shed_connection(fd);
     } else {
-      queue_cv_.notify_one();
+      queue_cv_.notify_one();  // thread-pool workers
+      wake_loops();            // epoll loops (no-op for the pool model)
     }
   }
 }
@@ -442,7 +419,11 @@ void HttpServer::serve_connection(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
   auto& faults = fault::FaultInjector::instance();
-  std::string buffer;
+  // The shared assembler owns the carried-over buffer: a recv segment that
+  // contains the tail of one request plus pipelined followers keeps the
+  // followers buffered across iterations, so nothing is ever dropped
+  // between keep-alive requests. The epoll front end feeds the same class.
+  RequestAssembler assembler{options_.max_request_bytes};
   char chunk[4096];
   while (!stopping_.load(std::memory_order_acquire)) {
     // The deadline covers the whole request: reading it (so a client
@@ -452,95 +433,66 @@ void HttpServer::serve_connection(int fd) {
     const auto deadline =
         started + std::chrono::milliseconds(options_.request_deadline_ms);
 
-    const auto read_deadline_exceeded = [&] {
-      timeouts_->inc();
-      note_deadline_exceeded("(read)");
-      send_all(fd, render_response(
-                       HttpResponse::json(
-                           408, R"({"error":"request deadline exceeded"})"),
-                       false),
-               bytes_written_);
-    };
-
-    // ---- read one request's header block ----
-    std::size_t header_len = 0;
-    std::size_t body_start = find_header_end(buffer, &header_len);
-    while (body_start == std::string::npos) {
-      if (buffer.size() > options_.max_request_bytes) {
-        malformed_->inc();
-        send_all(fd, render_response(
-                         HttpResponse::json(
-                             413, R"({"error":"request too large"})"),
-                         false),
+    // ---- assemble one request, reading only when more bytes are needed ----
+    HttpRequest request;
+    AssemblerStatus status;
+    for (;;) {
+      status = assembler.next(&request);
+      if (status != AssemblerStatus::kNeedMore) break;
+      if (assembler.has_partial() && Clock::now() >= deadline) {
+        timeouts_->inc();
+        note_deadline_exceeded("(read)");
+        send_all(fd,
+                 render_http_response(
+                     HttpResponse::json(
+                         408, R"({"error":"request deadline exceeded"})"),
+                     false),
                  bytes_written_);
-        return;
-      }
-      if (!buffer.empty() && Clock::now() >= deadline) {
-        read_deadline_exceeded();
         return;
       }
       const ssize_t n = faults.recv(fd, chunk, sizeof(chunk), 0);
       if (n == 0) return;  // peer closed
       if (n < 0) {
         if (errno == EINTR) continue;
-        if ((errno == EAGAIN || errno == EWOULDBLOCK) && !buffer.empty()) {
+        if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+            assembler.has_partial()) {
           // Mid-request stall: answer 408 so the client learns why.
           timeouts_->inc();
-          send_all(fd, render_response(
-                           HttpResponse::json(
-                               408, R"({"error":"request timeout"})"),
-                           false),
+          send_all(fd,
+                   render_http_response(
+                       HttpResponse::json(408,
+                                          R"({"error":"request timeout"})"),
+                       false),
                    bytes_written_);
         }
         return;
       }
       bytes_read_->add(static_cast<std::uint64_t>(n));
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      body_start = find_header_end(buffer, &header_len);
+      assembler.feed(chunk, static_cast<std::size_t>(n));
     }
-
-    // ---- parse ----
-    HttpRequest request;
-    const HttpParse parsed = parse_http_request(
-        std::string_view{buffer}.substr(0, header_len), &request);
-    if (!parsed) {
+    if (status == AssemblerStatus::kMalformed) {
       malformed_->inc();
       responses_4xx_->inc();
-      send_all(fd, render_response(
-                       HttpResponse::json(
-                           400, R"({"error":"malformed request"})"),
-                       false),
+      send_all(fd,
+               render_http_response(
+                   HttpResponse::json(400, R"({"error":"malformed request"})"),
+                   false),
                bytes_written_);
       return;
     }
-    const std::size_t content_length = parsed.content_length;
-
-    // ---- drain (and ignore) any body ----
-    if (content_length > options_.max_request_bytes) {
-      send_all(fd, render_response(
-                       HttpResponse::json(
-                           413, R"({"error":"request too large"})"),
-                       false),
+    if (status == AssemblerStatus::kTooLarge ||
+        status == AssemblerStatus::kBodyTooLarge) {
+      // Headers that never end within the limit are indistinguishable
+      // from garbage (counted malformed); an honest Content-Length over
+      // the limit is well-formed, just refused.
+      if (status == AssemblerStatus::kTooLarge) malformed_->inc();
+      send_all(fd,
+               render_http_response(
+                   HttpResponse::json(413, R"({"error":"request too large"})"),
+                   false),
                bytes_written_);
       return;
     }
-    std::size_t body_have = buffer.size() - body_start;
-    while (body_have < content_length) {
-      if (Clock::now() >= deadline) {
-        read_deadline_exceeded();
-        return;
-      }
-      const ssize_t n = faults.recv(fd, chunk, sizeof(chunk), 0);
-      if (n == 0) return;
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return;
-      }
-      bytes_read_->add(static_cast<std::uint64_t>(n));
-      body_have += static_cast<std::size_t>(n);
-      buffer.append(chunk, static_cast<std::size_t>(n));
-    }
-    buffer.erase(0, body_start + content_length);
 
     // ---- dispatch + respond ----
     requests_->inc();
@@ -581,7 +533,7 @@ void HttpServer::serve_connection(int fd) {
     const bool keep_alive = request.keep_alive &&
                             !draining_.load(std::memory_order_acquire) &&
                             !stopping_.load(std::memory_order_acquire);
-    if (!send_all(fd, render_response(response, keep_alive),
+    if (!send_all(fd, render_http_response(response, keep_alive),
                   bytes_written_)) {
       return;
     }

@@ -1,14 +1,28 @@
-// Minimal multi-threaded HTTP/1.1 server over POSIX sockets.
+// HTTP/1.1 server over POSIX sockets, with two front ends.
 //
 // Concurrency model: one acceptor thread pushes connections onto a
-// bounded queue; a fixed pool of worker threads pops them and serves
-// keep-alive request loops. When the queue is full the acceptor sheds
-// load with an immediate 503 + Retry-After instead of letting the backlog
-// grow — the bound, not the kernel backlog, is the system's admission
-// control. Per-request recv/send timeouts (SO_RCVTIMEO/SO_SNDTIMEO) bound
-// how long a slow or dead client can pin a worker, and a total per-request
-// deadline bounds slow-trickle (slowloris-style) uploads that would
-// otherwise reset the socket timeout byte by byte.
+// bounded queue; when the queue is full the acceptor sheds load with an
+// immediate 503 + Retry-After instead of letting the backlog grow — the
+// bound, not the kernel backlog, is the system's admission control.
+// Behind the queue sits one of two front ends selected by
+// HttpServerOptions::serve_model:
+//
+//  - kEpoll (default): event loops over nonblocking sockets. Each loop
+//    claims queued connections, parses pipelined requests out of a
+//    per-connection carried-over buffer (serve/request_assembler), runs
+//    handlers inline, and flushes batched responses with writev — the
+//    syscall-amortized path that serves pipelined keep-alive bursts at
+//    memory speed. Timeouts ride a timer wheel; the total per-request
+//    deadline is checked lazily on data arrival, exactly like the
+//    blocking path checks it before each recv.
+//  - kThreadPool: the original blocking pool — workers pop connections
+//    and serve keep-alive request loops with SO_RCVTIMEO/SO_SNDTIMEO
+//    bounding each recv/send. Kept as the reference implementation; CI
+//    asserts both front ends produce byte-identical responses.
+//
+// In both models a total per-request deadline bounds slow-trickle
+// (slowloris-style) uploads that would otherwise reset the socket
+// timeout byte by byte.
 //
 // Robustness: the accept loop retries EINTR/ECONNABORTED and survives fd
 // exhaustion (EMFILE/ENFILE) via a reserved emergency fd — close it,
@@ -34,6 +48,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -86,8 +101,16 @@ struct DrainReport {
   std::uint64_t aborted = 0;
 };
 
+/// Which front end serves connections behind the admission queue.
+enum class ServeModel {
+  kEpoll,       ///< nonblocking event loops, pipelined parse, writev flush
+  kThreadPool,  ///< blocking workers, one connection per thread at a time
+};
+
 struct HttpServerOptions {
   std::uint16_t port = 0;  ///< 0 = ephemeral; see HttpServer::port()
+  ServeModel serve_model = ServeModel::kEpoll;
+  /// kThreadPool: blocking worker count. kEpoll: event-loop count.
   int worker_threads = 4;
   int listen_backlog = 128;
   std::size_t max_pending_connections = 256;  ///< bounded accept queue
@@ -158,6 +181,15 @@ class HttpServer {
   void accept_loop();
   void worker_loop();
   void serve_connection(int fd);
+  // ---- epoll front end (serve/epoll_server.cpp) ----
+  /// Per-loop state: epoll fd, wake eventfd, connections, timer wheel.
+  /// Defined in epoll_server.cpp; held by shared_ptr so this header stays
+  /// free of epoll details.
+  struct EpollLoop;
+  [[nodiscard]] bool epoll_start(std::string* error);
+  void epoll_loop(EpollLoop& loop);
+  /// Kicks every event loop's eventfd (new queued connection, stop, drain).
+  void wake_loops();
   void shed_connection(int fd);
   void note_deadline_exceeded(const std::string& route);
   void observe_request(const std::string& path, std::uint64_t duration_us,
@@ -179,7 +211,8 @@ class HttpServer {
   std::atomic<bool> draining_{false};
 
   std::thread acceptor_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  ///< pool workers or event loops
+  std::vector<std::shared_ptr<EpollLoop>> loops_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -55,7 +55,44 @@ void append_class_metrics_json(JsonWriter& json,
 QueryEngine::QueryEngine(io::Snapshot snapshot, QueryEngineOptions options)
     : snap_(std::move(snapshot)),
       options_(options),
-      cache_(options.cache_shards, options.cache_capacity_per_shard) {
+      cache_(options.cache_shards, options.cache_capacity_per_shard),
+      rel_cache_(options.rel_cache_shards,
+                 options.rel_cache_capacity_per_shard) {
+  meta_ = snap_.meta;
+  build_indexes();
+  // Snapshot mode is fully indexed up front; flat mode reuses
+  // inflate_once_ to run the same build lazily.
+  std::call_once(inflate_once_, [] {});
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const io::FlatView> flat,
+                         QueryEngineOptions options)
+    : flat_(std::move(flat)),
+      options_(options),
+      cache_(options.cache_shards, options.cache_capacity_per_shard),
+      rel_cache_(options.rel_cache_shards,
+                 options.rel_cache_capacity_per_shard) {
+  const io::flat::Header& header = flat_->header();
+  meta_.as_count = header.as_count;
+  meta_.seed = header.seed;
+  meta_.scheme_seed = header.scheme_seed;
+  meta_.epoch = header.epoch;
+  meta_.built_unix_ms = header.built_unix_ms;
+}
+
+void QueryEngine::ensure_inflated() const {
+  std::call_once(inflate_once_, [this] {
+    snap_ = flat_->to_snapshot();
+    build_indexes();
+  });
+}
+
+const io::Snapshot& QueryEngine::snapshot() const {
+  if (flat_ != nullptr) ensure_inflated();
+  return snap_;
+}
+
+void QueryEngine::build_indexes() const {
   as_index_.reserve(snap_.ases.size());
   for (std::uint32_t i = 0; i < snap_.ases.size(); ++i) {
     as_index_.emplace(snap_.ases[i].asn, i);
@@ -115,7 +152,112 @@ QueryEngine::QueryEngine(io::Snapshot snapshot, QueryEngineOptions options)
   }
 }
 
+namespace {
+
+/// Flat-mode rel(): every probe reads the mapped image directly; the
+/// returned string_views point into it (the engine pins the view).
+RelAnswer flat_rel(const io::FlatView& flat, asn::Asn a, asn::Asn b) {
+  RelAnswer answer;
+  answer.link = val::AsLink{a, b};
+  const std::uint32_t qa = a.value();
+  const std::uint32_t qb = b.value();
+
+  if (const std::uint32_t i = flat.find_edge(qa, qb);
+      i != io::FlatView::npos) {
+    const io::flat::Edge& edge = flat.edges()[i];
+    answer.in_graph = true;
+    answer.truth_rel = static_cast<topo::RelType>(edge.rel);
+    if (answer.truth_rel == topo::RelType::kP2C) {
+      answer.truth_provider = asn::Asn{edge.a};
+    }
+    answer.scope = static_cast<topo::ExportScope>(edge.scope);
+    answer.scope_via_community =
+        edge.flags & io::flat::kEdgeFlagScopeCommunity;
+    answer.misdocumented = edge.flags & io::flat::kEdgeFlagMisdocumented;
+    if (edge.flags & io::flat::kEdgeFlagHybrid) {
+      answer.hybrid_rel = static_cast<topo::RelType>(edge.hybrid);
+    }
+  }
+
+  if (const std::uint32_t i = flat.find_link(qa, qb);
+      i != io::FlatView::npos) {
+    const io::flat::LinkTag& tag = flat.links()[i];
+    answer.observed = true;
+    answer.regional_class = flat.class_name(tag.regional_class);
+    answer.topological_class = flat.class_name(tag.topological_class);
+  }
+
+  const std::uint32_t algorithms = flat.header().n_algorithms;
+  for (std::uint32_t algo = 0; algo < algorithms; ++algo) {
+    const std::uint32_t i = flat.find_verdict(algo, qa, qb);
+    if (i == io::FlatView::npos) continue;
+    const io::flat::Label& label =
+        flat.algo_labels(flat.algorithms()[algo])[i];
+    answer.verdicts.push_back(RelAnswer::Verdict{
+        .algorithm = flat.algorithm_name(algo),
+        .rel = static_cast<topo::RelType>(label.rel),
+        .provider = asn::Asn{label.provider},
+    });
+  }
+
+  if (const std::uint32_t i = flat.find_validation(qa, qb);
+      i != io::FlatView::npos) {
+    const io::flat::Label& label = flat.validation()[i];
+    answer.validated = true;
+    answer.validated_rel = static_cast<topo::RelType>(label.rel);
+    answer.validated_provider = asn::Asn{label.provider};
+  }
+
+  return answer;
+}
+
+std::optional<AsSummary> flat_as_summary(const io::FlatView& flat,
+                                         asn::Asn asn) {
+  const std::uint32_t idx = flat.find_as(asn.value());
+  if (idx == io::FlatView::npos) return std::nullopt;
+  const io::flat::As& as = flat.ases()[idx];
+  AsSummary summary;
+  summary.asn = asn;
+  summary.region = static_cast<rir::Region>(as.region);
+  summary.country = flat.string_at(as.country);
+  summary.tier = static_cast<topo::Tier>(as.tier);
+  summary.stub_kind = static_cast<topo::StubKind>(as.stub_kind);
+  summary.hypergiant = as.flags & io::flat::kAsFlagHypergiant;
+  summary.transit_degree = as.transit_degree;
+  summary.node_degree = as.node_degree;
+  summary.cone_size = as.cone_size;
+  // Neighbor-role counts come from the CSR row: O(degree) over mapped
+  // memory, same classification as the eager index build.
+  const auto [begin, end] = flat.neighbors(idx);
+  const std::uint32_t n_edges = flat.header().n_edges;
+  for (const std::uint32_t* it = begin; it != end; ++it) {
+    if (*it >= n_edges) continue;  // corrupt entry under structural open
+    const io::flat::Edge& edge = flat.edges()[*it];
+    switch (static_cast<topo::RelType>(edge.rel)) {
+      case topo::RelType::kP2C:
+        if (edge.a == asn.value()) {
+          ++summary.customers;
+        } else {
+          ++summary.providers;
+        }
+        break;
+      case topo::RelType::kP2P:
+        ++summary.peers;
+        break;
+      case topo::RelType::kS2S:
+        ++summary.siblings;
+        break;
+    }
+  }
+  summary.observed_links = as.observed_links;
+  summary.validated_links = as.validated_links;
+  return summary;
+}
+
+}  // namespace
+
 RelAnswer QueryEngine::rel(asn::Asn a, asn::Asn b) const {
+  if (flat_ != nullptr) return flat_rel(*flat_, a, b);
   RelAnswer answer;
   answer.link = val::AsLink{a, b};
 
@@ -162,6 +304,7 @@ RelAnswer QueryEngine::rel(asn::Asn a, asn::Asn b) const {
 }
 
 std::optional<AsSummary> QueryEngine::as_summary(asn::Asn asn) const {
+  if (flat_ != nullptr) return flat_as_summary(*flat_, asn);
   const auto it = as_index_.find(asn);
   if (it == as_index_.end()) return std::nullopt;
   const auto& as = snap_.ases[it->second];
@@ -187,17 +330,41 @@ std::optional<AsSummary> QueryEngine::as_summary(asn::Asn asn) const {
 
 std::vector<val::AsLink> QueryEngine::sample_links(std::size_t limit) const {
   std::vector<val::AsLink> out;
-  if (snap_.links.empty() || limit == 0) return out;
-  const std::size_t take = std::min(limit, snap_.links.size());
-  const std::size_t stride = snap_.links.size() / take;
+  const std::size_t count = num_links();
+  if (count == 0 || limit == 0) return out;
+  const std::size_t take = std::min(limit, count);
+  const std::size_t stride = count / take;
   out.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
-    out.push_back(snap_.links[i * stride].link);
+    if (flat_ != nullptr) {
+      const io::flat::LinkTag& tag = flat_->links()[i * stride];
+      out.push_back(val::AsLink{asn::Asn{tag.a}, asn::Asn{tag.b}});
+    } else {
+      out.push_back(snap_.links[i * stride].link);
+    }
   }
   return out;
 }
 
+std::size_t QueryEngine::num_ases() const {
+  return flat_ != nullptr ? flat_->header().n_ases : snap_.ases.size();
+}
+
+std::size_t QueryEngine::num_edges() const {
+  return flat_ != nullptr ? flat_->header().n_edges : snap_.edges.size();
+}
+
+std::size_t QueryEngine::num_links() const {
+  return flat_ != nullptr ? flat_->header().n_links : snap_.links.size();
+}
+
+std::size_t QueryEngine::num_validation() const {
+  return flat_ != nullptr ? flat_->header().n_validation
+                          : snap_.validation.size();
+}
+
 eval::CoverageReport QueryEngine::coverage(bool regional) const {
+  ensure_inflated();
   std::vector<val::AsLink> inferred;
   inferred.reserve(snap_.links.size());
   for (const auto& tag : snap_.links) inferred.push_back(tag.link);
@@ -221,6 +388,7 @@ eval::CoverageReport QueryEngine::topological_coverage() const {
 
 std::optional<eval::ValidationTable> QueryEngine::validation_table(
     std::string_view algorithm) const {
+  ensure_inflated();
   const io::SnapshotAlgorithm* found = nullptr;
   for (const auto& algo : snap_.algorithms) {
     if (algo.name == algorithm) {
@@ -264,6 +432,14 @@ std::optional<eval::ValidationTable> QueryEngine::validation_table(
 
 std::vector<std::string_view> QueryEngine::algorithm_names() const {
   std::vector<std::string_view> names;
+  if (flat_ != nullptr) {
+    const std::uint32_t count = flat_->header().n_algorithms;
+    names.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      names.push_back(flat_->algorithm_name(i));
+    }
+    return names;
+  }
   names.reserve(snap_.algorithms.size());
   for (const auto& algo : snap_.algorithms) names.push_back(algo.name);
   return names;
@@ -299,6 +475,68 @@ std::shared_ptr<const std::string> QueryEngine::build_report(
   return nullptr;
 }
 
+namespace {
+
+void append_rel_side_json(JsonWriter& json, topo::RelType rel,
+                          asn::Asn provider) {
+  json.field("rel", to_string(rel));
+  if (rel == topo::RelType::kP2C) {
+    json.field("provider", std::uint64_t{provider.value()});
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const std::string> QueryEngine::rel_json(asn::Asn a,
+                                                         asn::Asn b) const {
+  const val::AsLink link{a, b};
+  const std::uint64_t key =
+      (std::uint64_t{link.a.value()} << 32) | link.b.value();
+  return rel_cache_.get_or_compute(key, [&] {
+    const RelAnswer answer = rel(a, b);
+    JsonWriter json;
+    json.begin_object();
+    json.field("a", std::uint64_t{answer.link.a.value()});
+    json.field("b", std::uint64_t{answer.link.b.value()});
+    json.field("found", answer.known());
+    if (answer.in_graph) {
+      json.key("ground_truth").begin_object();
+      append_rel_side_json(json, answer.truth_rel, answer.truth_provider);
+      json.field("export_scope", to_string(answer.scope));
+      json.field("scope_via_community", answer.scope_via_community);
+      json.field("misdocumented", answer.misdocumented);
+      if (answer.hybrid_rel) {
+        json.field("hybrid_rel", to_string(*answer.hybrid_rel));
+      }
+      json.end_object();
+    } else {
+      json.key("ground_truth").null();
+    }
+    json.field("observed", answer.observed);
+    if (answer.observed) {
+      json.field("regional_class", answer.regional_class);
+      json.field("topological_class", answer.topological_class);
+    }
+    json.key("verdicts").begin_object();
+    for (const auto& verdict : answer.verdicts) {
+      json.key(verdict.algorithm).begin_object();
+      append_rel_side_json(json, verdict.rel, verdict.provider);
+      json.end_object();
+    }
+    json.end_object();
+    if (answer.validated) {
+      json.key("validation").begin_object();
+      append_rel_side_json(json, answer.validated_rel,
+                           answer.validated_provider);
+      json.end_object();
+    } else {
+      json.key("validation").null();
+    }
+    json.end_object();
+    return std::make_shared<const std::string>(std::move(json).str());
+  });
+}
+
 std::shared_ptr<const std::string> QueryEngine::report_json(
     const std::string& key) const {
   // Validate the key up front so unknown keys neither poison the cache
@@ -306,8 +544,8 @@ std::shared_ptr<const std::string> QueryEngine::report_json(
   bool valid = key == "regional" || key == "topological";
   if (!valid && key.starts_with("table:")) {
     const std::string_view algorithm = std::string_view{key}.substr(6);
-    for (const auto& algo : snap_.algorithms) {
-      if (algo.name == algorithm) {
+    for (const auto name : algorithm_names()) {
+      if (name == algorithm) {
         valid = true;
         break;
       }

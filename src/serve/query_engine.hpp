@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,6 +19,7 @@
 
 #include "eval/coverage.hpp"
 #include "eval/report.hpp"
+#include "io/flat_snapshot.hpp"
 #include "io/snapshot.hpp"
 #include "serve/lru_cache.hpp"
 
@@ -80,15 +82,35 @@ struct QueryEngineOptions {
   std::size_t cache_shards = 8;
   std::size_t cache_capacity_per_shard = 16;
   std::size_t table_min_links = 500;  ///< Tables 1-3 row threshold
+  /// Rendered /rel bodies, keyed by canonical pair. Sized for the hot
+  /// set of point lookups (default 8 x 4096 entries, a few MiB of JSON).
+  std::size_t rel_cache_shards = 8;
+  std::size_t rel_cache_capacity_per_shard = 4096;
 };
 
 class QueryEngine {
  public:
   explicit QueryEngine(io::Snapshot snapshot, QueryEngineOptions options = {});
 
+  /// Flat (v3) mode: point lookups read straight from the mapped image —
+  /// no vectors, no index build, so construction is O(1) and a reload is
+  /// just mmap + validate. The first aggregate-report call lazily
+  /// inflates a v2 Snapshot (and its indexes) from the view; point
+  /// lookups never touch the inflated copy.
+  explicit QueryEngine(std::shared_ptr<const io::FlatView> flat,
+                       QueryEngineOptions options = {});
+
   // ---- point lookups (lock-free, O(1) hash probes) ----
   [[nodiscard]] RelAnswer rel(asn::Asn a, asn::Asn b) const;
   [[nodiscard]] std::optional<AsSummary> as_summary(asn::Asn asn) const;
+
+  /// Renders (and caches) the /rel response body for one AS pair. The
+  /// engine is immutable for its epoch, so a rendered body is cacheable
+  /// exactly like an aggregate report — an epoch swap replaces the engine
+  /// and with it the cache. AsLink canonicalizes the pair, so (a,b) and
+  /// (b,a) share one entry.
+  [[nodiscard]] std::shared_ptr<const std::string> rel_json(
+      asn::Asn a, asn::Asn b) const;
 
   /// A deterministic sample of visible links (for load generation).
   [[nodiscard]] std::vector<val::AsLink> sample_links(
@@ -107,8 +129,22 @@ class QueryEngine {
       std::string_view algorithm) const;
 
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
-  [[nodiscard]] const io::Snapshot& snapshot() const { return snap_; }
+  [[nodiscard]] CacheStats rel_cache_stats() const {
+    return rel_cache_.stats();
+  }
+
+  /// The in-memory snapshot. Flat mode inflates it on first call — use
+  /// the light accessors below on hot or scrape paths instead.
+  [[nodiscard]] const io::Snapshot& snapshot() const;
+
+  // ---- light accessors (never trigger inflation) ----
+  [[nodiscard]] const io::SnapshotMeta& meta() const { return meta_; }
+  [[nodiscard]] std::size_t num_ases() const;
+  [[nodiscard]] std::size_t num_edges() const;
+  [[nodiscard]] std::size_t num_links() const;
+  [[nodiscard]] std::size_t num_validation() const;
   [[nodiscard]] std::vector<std::string_view> algorithm_names() const;
+  [[nodiscard]] bool flat_mode() const { return flat_ != nullptr; }
 
  private:
   struct AsExtra {
@@ -116,20 +152,32 @@ class QueryEngine {
     std::uint32_t observed_links = 0, validated_links = 0;
   };
 
+  void build_indexes() const;  ///< writes only the mutable index members
+  /// Flat mode: materializes snap_ + indexes exactly once (thread-safe);
+  /// aggregate code then runs unchanged against the inflated copy.
+  void ensure_inflated() const;
   [[nodiscard]] eval::CoverageReport coverage(bool regional) const;
   [[nodiscard]] std::shared_ptr<const std::string> build_report(
       const std::string& key) const;
 
-  io::Snapshot snap_;
+  std::shared_ptr<const io::FlatView> flat_;  ///< null in snapshot mode
+  io::SnapshotMeta meta_;
+  mutable std::once_flag inflate_once_;
+  // Mutable because flat mode fills them lazily under inflate_once_;
+  // snapshot mode builds them in the constructor and never writes again.
+  mutable io::Snapshot snap_;
   QueryEngineOptions options_;
-  std::unordered_map<asn::Asn, std::uint32_t> as_index_;
-  std::unordered_map<val::AsLink, std::uint32_t> edge_index_;
-  std::unordered_map<val::AsLink, std::uint32_t> link_index_;
-  std::unordered_map<val::AsLink, std::uint32_t> validation_index_;
+  mutable std::unordered_map<asn::Asn, std::uint32_t> as_index_;
+  mutable std::unordered_map<val::AsLink, std::uint32_t> edge_index_;
+  mutable std::unordered_map<val::AsLink, std::uint32_t> link_index_;
+  mutable std::unordered_map<val::AsLink, std::uint32_t> validation_index_;
   /// Per algorithm: link -> label index in that algorithm's table.
-  std::vector<std::unordered_map<val::AsLink, std::uint32_t>> verdict_index_;
-  std::vector<AsExtra> as_extra_;  ///< parallel to snap_.ases
+  mutable std::vector<std::unordered_map<val::AsLink, std::uint32_t>>
+      verdict_index_;
+  mutable std::vector<AsExtra> as_extra_;  ///< parallel to snap_.ases
   mutable ShardedLruCache<std::string, std::string> cache_;
+  /// Rendered /rel bodies keyed by (min<<32)|max of the pair.
+  mutable ShardedLruCache<std::uint64_t, std::string> rel_cache_;
 };
 
 }  // namespace asrel::serve

@@ -1,0 +1,32 @@
+#include "serve/request_assembler.hpp"
+
+namespace asrel::serve {
+
+AssemblerStatus RequestAssembler::next(HttpRequest* out) {
+  std::size_t header_len = 0;
+  const std::size_t body_start = find_header_end(buffer_, &header_len);
+  if (body_start == std::string::npos) {
+    // No blank line yet: either the header is still in flight or the
+    // client is writing past the limit without ever finishing one.
+    return buffer_.size() > max_request_bytes_ ? AssemblerStatus::kTooLarge
+                                               : AssemblerStatus::kNeedMore;
+  }
+
+  HttpRequest request;
+  const HttpParse parsed = parse_http_request(
+      std::string_view{buffer_}.substr(0, header_len), &request);
+  if (!parsed) return AssemblerStatus::kMalformed;
+  if (parsed.content_length > max_request_bytes_) {
+    return AssemblerStatus::kBodyTooLarge;
+  }
+  if (buffer_.size() - body_start < parsed.content_length) {
+    return AssemblerStatus::kNeedMore;  // body still in flight
+  }
+
+  // Consume exactly this request; pipelined followers stay buffered.
+  buffer_.erase(0, body_start + parsed.content_length);
+  *out = std::move(request);
+  return AssemblerStatus::kRequest;
+}
+
+}  // namespace asrel::serve

@@ -1,0 +1,56 @@
+// Incremental HTTP/1.1 request assembly over a carried-over buffer.
+//
+// Both serve front ends feed raw recv bytes into one of these and pull
+// complete requests off the front; whatever is left after a request —
+// pipelined followers, a partial next request — stays in the buffer for
+// the next pull. Centralizing the residual-buffer carry-over here is what
+// keeps the two front ends from diverging: the blocking path loops
+// next() inline between recvs, the epoll path drains next() after every
+// readiness event, and both see the exact same request boundaries.
+//
+// The assembler owns only framing (header end, Content-Length body) and
+// size limits; header semantics stay in parse_http_request. Bodies are
+// read and discarded, mirroring the server's drain-and-ignore policy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "serve/http_parser.hpp"
+
+namespace asrel::serve {
+
+enum class AssemblerStatus {
+  kNeedMore,      ///< no complete request at the front; feed more bytes
+  kRequest,       ///< *out holds the next request; residual bytes retained
+  kMalformed,     ///< unparseable header block at the front (400, close)
+  kTooLarge,      ///< headers never ended within the limit (413, close)
+  kBodyTooLarge,  ///< declared Content-Length over the limit (413, close)
+};
+
+class RequestAssembler {
+ public:
+  explicit RequestAssembler(std::size_t max_request_bytes)
+      : max_request_bytes_(max_request_bytes) {}
+
+  /// Appends raw bytes read from the socket.
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  /// Extracts the next complete request from the front of the buffer.
+  /// On kRequest the request's bytes (header + body) are consumed and any
+  /// pipelined residue is kept; on kNeedMore nothing is consumed; on
+  /// kMalformed/kTooLarge the connection should be answered and closed.
+  AssemblerStatus next(HttpRequest* out);
+
+  /// True when the buffer holds bytes of an incomplete request — the
+  /// state the deadline/timeout machinery cares about ("mid-request").
+  [[nodiscard]] bool has_partial() const { return !buffer_.empty(); }
+
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_request_bytes_;
+  std::string buffer_;
+};
+
+}  // namespace asrel::serve

@@ -1,0 +1,108 @@
+#include "serve/response_writer.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace asrel::serve {
+
+namespace {
+
+/// Preassembled "HTTP/1.1 NNN Text\r\nContent-Type: " fragments for the
+/// statuses the server actually emits; other statuses fall back to
+/// snprintf. Indexed lookup keeps the hot 200 path to two memcpys.
+struct StatusFragment {
+  int status;
+  const char* prefix;  ///< status line + "Content-Type: "
+};
+
+constexpr std::array<StatusFragment, 8> kStatusFragments{{
+    {200, "HTTP/1.1 200 OK\r\nContent-Type: "},
+    {400, "HTTP/1.1 400 Bad Request\r\nContent-Type: "},
+    {404, "HTTP/1.1 404 Not Found\r\nContent-Type: "},
+    {405, "HTTP/1.1 405 Method Not Allowed\r\nContent-Type: "},
+    {408, "HTTP/1.1 408 Request Timeout\r\nContent-Type: "},
+    {413, "HTTP/1.1 413 Payload Too Large\r\nContent-Type: "},
+    {500, "HTTP/1.1 500 Internal Server Error\r\nContent-Type: "},
+    {503, "HTTP/1.1 503 Service Unavailable\r\nContent-Type: "},
+}};
+
+constexpr const char kContentLength[] = "\r\nContent-Length: ";
+constexpr const char kConnKeepAlive[] = "\r\nConnection: keep-alive";
+constexpr const char kConnClose[] = "\r\nConnection: close";
+
+}  // namespace
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+void append_http_response(std::string& out, const HttpResponse& response,
+                          bool keep_alive) {
+  out.reserve(out.size() + 160 + response.body.size());
+  const StatusFragment* fragment = nullptr;
+  for (const auto& candidate : kStatusFragments) {
+    if (candidate.status == response.status) {
+      fragment = &candidate;
+      break;
+    }
+  }
+  if (fragment != nullptr) {
+    out += fragment->prefix;
+  } else {
+    char line[64];
+    std::snprintf(line, sizeof(line), "HTTP/1.1 %d %s\r\nContent-Type: ",
+                  response.status, status_text(response.status));
+    out += line;
+  }
+  out += response.content_type;
+  out += kContentLength;
+  char digits[24];
+  const int n = std::snprintf(digits, sizeof(digits), "%zu",
+                              response.body.size());
+  out.append(digits, static_cast<std::size_t>(n));
+  out += keep_alive ? kConnKeepAlive : kConnClose;
+  for (const auto& [name, value] : response.headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  out += "\r\n\r\n";
+  out += response.body;
+}
+
+std::string render_http_response(const HttpResponse& response,
+                                 bool keep_alive) {
+  std::string out;
+  append_http_response(out, response, keep_alive);
+  return out;
+}
+
+HttpResponse make_shed_response(int retry_after_s) {
+  HttpResponse response =
+      HttpResponse::json(503, R"({"error":"server overloaded"})");
+  response.headers.emplace_back("Retry-After",
+                                std::to_string(retry_after_s));
+  return response;
+}
+
+}  // namespace asrel::serve

@@ -37,14 +37,6 @@ HttpResponse not_found(std::string_view message) {
   return HttpResponse::json(404, std::move(json).str());
 }
 
-void append_rel_side(JsonWriter& json, topo::RelType rel,
-                     asn::Asn provider) {
-  json.field("rel", to_string(rel));
-  if (rel == topo::RelType::kP2C) {
-    json.field("provider", std::uint64_t{provider.value()});
-  }
-}
-
 HttpResponse handle_rel(const QueryEngine& engine,
                         const HttpRequest& request) {
   const auto a = parse_asn(request.query_param("a"));
@@ -53,47 +45,9 @@ HttpResponse handle_rel(const QueryEngine& engine,
     return bad_request("expected numeric query parameters a and b");
   }
   if (*a == *b) return bad_request("a and b must differ");
-  const RelAnswer answer = engine.rel(*a, *b);
-
-  JsonWriter json;
-  json.begin_object();
-  json.field("a", std::uint64_t{answer.link.a.value()});
-  json.field("b", std::uint64_t{answer.link.b.value()});
-  json.field("found", answer.known());
-  if (answer.in_graph) {
-    json.key("ground_truth").begin_object();
-    append_rel_side(json, answer.truth_rel, answer.truth_provider);
-    json.field("export_scope", to_string(answer.scope));
-    json.field("scope_via_community", answer.scope_via_community);
-    json.field("misdocumented", answer.misdocumented);
-    if (answer.hybrid_rel) {
-      json.field("hybrid_rel", to_string(*answer.hybrid_rel));
-    }
-    json.end_object();
-  } else {
-    json.key("ground_truth").null();
-  }
-  json.field("observed", answer.observed);
-  if (answer.observed) {
-    json.field("regional_class", answer.regional_class);
-    json.field("topological_class", answer.topological_class);
-  }
-  json.key("verdicts").begin_object();
-  for (const auto& verdict : answer.verdicts) {
-    json.key(verdict.algorithm).begin_object();
-    append_rel_side(json, verdict.rel, verdict.provider);
-    json.end_object();
-  }
-  json.end_object();
-  if (answer.validated) {
-    json.key("validation").begin_object();
-    append_rel_side(json, answer.validated_rel, answer.validated_provider);
-    json.end_object();
-  } else {
-    json.key("validation").null();
-  }
-  json.end_object();
-  return HttpResponse::json(200, std::move(json).str());
+  // The engine renders (and caches) the body: it is immutable for its
+  // epoch, so point-lookup bodies are cacheable like aggregate reports.
+  return HttpResponse::json(200, *engine.rel_json(*a, *b));
 }
 
 HttpResponse handle_as(const QueryEngine& engine,
@@ -165,19 +119,21 @@ HttpResponse handle_reload(EngineHub& hub) {
 }
 
 HttpResponse handle_snapshot_info(const QueryEngine& engine) {
-  const io::Snapshot& snapshot = engine.snapshot();
+  // Light accessors only: in flat (v3) mode this route must not force
+  // the engine to inflate a full in-memory snapshot.
+  const io::SnapshotMeta& meta = engine.meta();
   JsonWriter json;
   json.begin_object();
-  json.field("as_count_param", std::int64_t{snapshot.meta.as_count});
-  json.field("seed", std::uint64_t{snapshot.meta.seed});
-  json.field("scheme_seed", std::uint64_t{snapshot.meta.scheme_seed});
-  json.field("ases", snapshot.ases.size());
-  json.field("edges", snapshot.edges.size());
-  json.field("observed_links", snapshot.links.size());
-  json.field("validation_labels", snapshot.validation.size());
+  json.field("as_count_param", std::int64_t{meta.as_count});
+  json.field("seed", std::uint64_t{meta.seed});
+  json.field("scheme_seed", std::uint64_t{meta.scheme_seed});
+  json.field("ases", engine.num_ases());
+  json.field("edges", engine.num_edges());
+  json.field("observed_links", engine.num_links());
+  json.field("validation_labels", engine.num_validation());
   json.key("algorithms").begin_array();
-  for (const auto& algorithm : snapshot.algorithms) {
-    json.value(algorithm.name);
+  for (const auto name : engine.algorithm_names()) {
+    json.value(name);
   }
   json.end_array();
   json.end_object();
@@ -238,6 +194,14 @@ std::string AsrelService::stats_json() const {
   json.field("entries", cache.entries);
   json.field("hit_rate", cache.hit_rate());
   json.end_object();
+  const CacheStats rel_cache = engine->rel_cache_stats();
+  json.key("rel_cache").begin_object();
+  json.field("hits", rel_cache.hits);
+  json.field("misses", rel_cache.misses);
+  json.field("evictions", rel_cache.evictions);
+  json.field("entries", rel_cache.entries);
+  json.field("hit_rate", rel_cache.hit_rate());
+  json.end_object();
   json.key("reload").begin_object();
   json.field("epoch", reload.epoch);
   json.field("ok", reload.reloads_ok);
@@ -251,11 +215,11 @@ std::string AsrelService::stats_json() const {
   // builds; monotonic per streaming publication) — loadgen --epoch-watch
   // polls this to catch swaps.
   json.key("snapshot").begin_object();
-  json.field("epoch", engine->snapshot().meta.epoch);
-  json.field("built_unix_ms", engine->snapshot().meta.built_unix_ms);
+  json.field("epoch", engine->meta().epoch);
+  json.field("built_unix_ms", engine->meta().built_unix_ms);
   json.end_object();
-  json.field("observed_links", engine->snapshot().links.size());
-  json.field("validation_labels", engine->snapshot().validation.size());
+  json.field("observed_links", engine->num_links());
+  json.field("validation_labels", engine->num_validation());
   if (stream_stats_) {
     const std::string stream = stream_stats_();
     if (!stream.empty()) json.key("stream").raw(stream);
@@ -300,19 +264,25 @@ void AsrelService::collect_metrics(
     gauge("asrel_cache_entries" + label,
           static_cast<double>(shard.entries));
   }
+  const CacheStats rel_cache = engine->rel_cache_stats();
+  counter("asrel_rel_cache_hits_total",
+          static_cast<double>(rel_cache.hits),
+          "Rendered /rel body cache hits (current snapshot epoch)");
+  counter("asrel_rel_cache_misses_total",
+          static_cast<double>(rel_cache.misses));
+  gauge("asrel_rel_cache_entries", static_cast<double>(rel_cache.entries));
   const EngineHub::Stats reload = hub_->stats();
   gauge("asrel_engine_epoch", static_cast<double>(reload.epoch),
         "Snapshot epoch currently serving");
-  gauge("asrel_snapshot_epoch",
-        static_cast<double>(engine->snapshot().meta.epoch),
+  gauge("asrel_snapshot_epoch", static_cast<double>(engine->meta().epoch),
         "Epoch stamped in the served snapshot header (0 = batch build)");
   gauge("asrel_snapshot_built_unix_ms",
-        static_cast<double>(engine->snapshot().meta.built_unix_ms),
+        static_cast<double>(engine->meta().built_unix_ms),
         "Build timestamp stamped in the served snapshot header");
   gauge("asrel_engine_observed_links",
-        static_cast<double>(engine->snapshot().links.size()));
+        static_cast<double>(engine->num_links()));
   gauge("asrel_engine_validation_labels",
-        static_cast<double>(engine->snapshot().validation.size()));
+        static_cast<double>(engine->num_validation()));
 }
 
 std::vector<std::string> AsrelService::metric_routes() {

@@ -1,0 +1,140 @@
+// Fixed-slot timer wheel for the epoll event loop.
+//
+// One wheel per loop thread, single-threaded by construction. Timers are
+// keyed by an opaque id (the connection fd) and use lazy cancellation:
+// re-arming bumps the id's generation, and stale wheel entries are
+// skipped when their slot comes due instead of being hunted down at
+// cancel time — O(1) arm/cancel, no per-timer allocation beyond the slot
+// vectors. Deadlines beyond the wheel horizon are re-enqueued when their
+// slot fires (a single cascade level is enough: the horizon comfortably
+// covers the serve timeouts, so cascading is the cold path).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace asrel::serve {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TimerWheel(std::chrono::milliseconds granularity =
+                          std::chrono::milliseconds{8},
+                      std::size_t slots = 512)
+      : granularity_(granularity), slots_(slots), wheel_(slots) {}
+
+  /// Arms (or re-arms) `id` to fire at `deadline`. The previous deadline
+  /// for `id`, if any, is superseded.
+  void arm(std::uint64_t id, Clock::time_point deadline) {
+    auto& state = timers_[id];
+    ++state.generation;
+    state.deadline = deadline;
+    enqueue(id, state.generation, deadline);
+  }
+
+  void cancel(std::uint64_t id) { timers_.erase(id); }
+
+  [[nodiscard]] bool armed(std::uint64_t id) const {
+    return timers_.contains(id);
+  }
+
+  /// Milliseconds until the next possibly-due slot, for the epoll_wait
+  /// timeout. Returns `idle` when nothing is armed.
+  [[nodiscard]] std::chrono::milliseconds poll_timeout(
+      Clock::time_point now, std::chrono::milliseconds idle) const {
+    if (timers_.empty()) return idle;
+    Clock::time_point nearest = Clock::time_point::max();
+    for (const auto& [id, state] : timers_) {
+      if (state.deadline < nearest) nearest = state.deadline;
+    }
+    if (nearest <= now) return std::chrono::milliseconds{0};
+    const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+        nearest - now);
+    return std::min(std::max(until, granularity_), idle);
+  }
+
+  /// Fires every timer whose deadline has passed. `fire(id)` runs after
+  /// the timer is removed, so the callback may re-arm freely.
+  template <typename Fire>
+  void expire(Clock::time_point now, Fire&& fire) {
+    // Sweep every slot from the last sweep position through `now`; slots
+    // hold lazily-cancelled entries, so each entry is revalidated against
+    // the live timer table before firing.
+    const std::uint64_t now_tick = tick_of(now);
+    if (now_tick < last_tick_) return;
+    const std::uint64_t first = last_tick_;
+    const std::uint64_t span = std::min<std::uint64_t>(
+        now_tick - first + 1, static_cast<std::uint64_t>(slots_));
+    for (std::uint64_t t = 0; t < span; ++t) {
+      // Advance the sweep cursor BEFORE running callbacks: a fire()
+      // re-arming into the tick being swept (or one already swept) must
+      // land in the next unswept slot, not wait a full wheel revolution.
+      // (The epoll stall timer re-arms to last_activity + timeout, which
+      // is usually in the past at fire time — without the clamp that
+      // timer silently stretched to the ~4 s wheel horizon.)
+      last_tick_ = first + t + 1;
+      auto& slot = wheel_[(first + t) % slots_];
+      std::vector<Entry> entries;
+      entries.swap(slot);
+      for (const Entry& entry : entries) {
+        const auto it = timers_.find(entry.id);
+        if (it == timers_.end() ||
+            it->second.generation != entry.generation) {
+          continue;  // cancelled or superseded
+        }
+        if (it->second.deadline > now) {
+          // Beyond the horizon when enqueued (or re-armed into the
+          // future): push it back out to its real slot.
+          enqueue(entry.id, entry.generation, it->second.deadline);
+          continue;
+        }
+        timers_.erase(it);
+        fire(entry.id);
+      }
+    }
+    last_tick_ = now_tick + 1;
+  }
+
+  [[nodiscard]] std::size_t armed_count() const { return timers_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::uint64_t generation = 0;
+  };
+  struct TimerState {
+    std::uint64_t generation = 0;
+    Clock::time_point deadline;
+  };
+
+  [[nodiscard]] std::uint64_t tick_of(Clock::time_point t) const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            t.time_since_epoch())
+            .count()) /
+           static_cast<std::uint64_t>(granularity_.count());
+  }
+
+  void enqueue(std::uint64_t id, std::uint64_t generation,
+               Clock::time_point deadline) {
+    // Entries past the horizon land in their modulo slot and cascade when
+    // that slot next fires (expire() re-enqueues them). Already-due
+    // deadlines (ticks the sweep has passed) clamp forward to the next
+    // unswept slot so they fire on the next expire(), not a revolution
+    // from now.
+    std::uint64_t tick = tick_of(deadline);
+    if (tick < last_tick_) tick = last_tick_;
+    wheel_[tick % slots_].push_back(Entry{id, generation});
+  }
+
+  std::chrono::milliseconds granularity_;
+  std::size_t slots_;
+  std::vector<std::vector<Entry>> wheel_;
+  std::unordered_map<std::uint64_t, TimerState> timers_;
+  std::uint64_t last_tick_ = 0;
+};
+
+}  // namespace asrel::serve

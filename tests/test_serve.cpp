@@ -13,12 +13,14 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/bias_audit.hpp"
 #include "core/snapshot_builder.hpp"
 #include "infer/asrank.hpp"
+#include "io/flat_snapshot.hpp"
 #include "io/snapshot.hpp"
 #include "serve/http_server.hpp"
 #include "serve/lru_cache.hpp"
@@ -384,8 +386,13 @@ class TestClient {
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
 
   /// Sends raw bytes and reads one full response. Returns the status, or
-  /// -1 on transport failure. Fills `*body` with the response body.
-  int request(const std::string& raw, std::string* body = nullptr) {
+  /// -1 on transport failure. Fills `*body` with the response body and
+  /// `*wire` with the complete response (status line, headers, body) —
+  /// the byte-identical-frontends test compares the latter verbatim.
+  /// Passing an empty `raw` sends nothing and just reads the next
+  /// response out of the carried-over buffer (pipelined followers).
+  int request(const std::string& raw, std::string* body = nullptr,
+              std::string* wire = nullptr) {
     if (::send(fd_, raw.data(), raw.size(), MSG_NOSIGNAL) !=
         static_cast<ssize_t>(raw.size())) {
       return -1;
@@ -407,14 +414,23 @@ class TestClient {
       if (!recv_more(&data)) return -1;
     }
     if (body != nullptr) *body = data.substr(header_end + 4, content_length);
+    if (wire != nullptr) *wire = data.substr(0, total);
     leftover_ = data.substr(total);
     const std::size_t space = data.find(' ');
     return space == std::string::npos ? -1
                                       : std::atoi(data.c_str() + space + 1);
   }
 
-  int get(const std::string& path, std::string* body = nullptr) {
-    return request("GET " + path + " HTTP/1.1\r\nHost: test\r\n\r\n", body);
+  int get(const std::string& path, std::string* body = nullptr,
+          std::string* wire = nullptr) {
+    return request("GET " + path + " HTTP/1.1\r\nHost: test\r\n\r\n", body,
+                   wire);
+  }
+
+  /// Sends bytes without reading a response (split-segment tests).
+  bool send_only(const std::string& raw) {
+    return ::send(fd_, raw.data(), raw.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(raw.size());
   }
 
  private:
@@ -492,6 +508,233 @@ TEST(HttpIntegration, ServesRelReportsHealthAndErrors) {
   EXPECT_GE(stats.responses_2xx, 4u);
   EXPECT_GE(stats.responses_4xx, 2u);
   EXPECT_GE(stats.malformed, 1u);
+}
+
+// ------------------------------------------------------------- pipelining
+
+/// One ready-to-start server + service per test, front end chosen by the
+/// test parameter — pipelining semantics must be identical across both.
+class HttpPipelining : public ::testing::TestWithParam<serve::ServeModel> {};
+
+TEST_P(HttpPipelining, TwoRequestsInOneSegmentAreBothServedInOrder) {
+  auto engine = std::make_shared<const serve::QueryEngine>(
+      io::Snapshot{shared_snapshot()});
+  serve::AsrelService service{engine};
+  serve::HttpServerOptions options;
+  options.port = 0;
+  options.serve_model = GetParam();
+  options.worker_threads = 2;
+  serve::HttpServer server{
+      [&service](const serve::HttpRequest& request) {
+        return service.handle(request);
+      },
+      options};
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client{server.port()};
+  ASSERT_TRUE(client.connected());
+  const auto& edge = shared_snapshot().edges.front();
+  const std::string rel = "GET /rel?a=" + std::to_string(edge.a.value()) +
+                          "&b=" + std::to_string(edge.b.value()) +
+                          " HTTP/1.1\r\nHost: t\r\n\r\n";
+  const std::string health = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+
+  // Both requests arrive in one segment; the second must be parsed out of
+  // the carried-over buffer, not lost or treated as a new connection.
+  std::string body;
+  EXPECT_EQ(client.request(rel + health, &body), 200);
+  EXPECT_NE(body.find("\"found\":true"), std::string::npos) << body;
+  EXPECT_EQ(client.request("", &body), 200);  // follower, already buffered
+  EXPECT_NE(body.find("ok"), std::string::npos) << body;
+
+  // A POST body followed by a GET in the same segment: the body bytes
+  // must be consumed as the body, never misread as the follower's
+  // request line.
+  const std::string post =
+      "POST /rel HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello";
+  EXPECT_EQ(client.request(post + health, &body), 405);
+  EXPECT_EQ(client.request("", &body), 200);
+  EXPECT_NE(body.find("ok"), std::string::npos) << body;
+
+  // A request split at an arbitrary byte boundary (part of the request
+  // line alone in one segment, the rest plus a follower in the next)
+  // reassembles from the residual buffer.
+  const std::size_t split = rel.size() / 3;
+  ASSERT_TRUE(client.send_only(rel.substr(0, split)));
+  EXPECT_EQ(client.request(rel.substr(split) + health, &body), 200);
+  EXPECT_NE(body.find("\"found\":true"), std::string::npos) << body;
+  EXPECT_EQ(client.request("", &body), 200);
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothFrontends, HttpPipelining,
+    ::testing::Values(serve::ServeModel::kEpoll,
+                      serve::ServeModel::kThreadPool),
+    [](const ::testing::TestParamInfo<serve::ServeModel>& info) {
+      return info.param == serve::ServeModel::kEpoll ? "Epoll" : "ThreadPool";
+    });
+
+// The contract that lets the epoll front end replace the thread pool: for
+// the same service, both produce byte-identical responses — status line,
+// headers, and body.
+TEST(HttpFrontends, ByteIdenticalResponsesAcrossServeModels) {
+  auto engine = std::make_shared<const serve::QueryEngine>(
+      io::Snapshot{shared_snapshot()});
+  serve::AsrelService service{engine};
+  const auto handler = [&service](const serve::HttpRequest& request) {
+    return service.handle(request);
+  };
+
+  serve::HttpServerOptions options;
+  options.port = 0;
+  options.worker_threads = 2;
+  options.serve_model = serve::ServeModel::kThreadPool;
+  serve::HttpServer pool_server{handler, options};
+  options.serve_model = serve::ServeModel::kEpoll;
+  serve::HttpServer epoll_server{handler, options};
+  std::string error;
+  ASSERT_TRUE(pool_server.start(&error)) << error;
+  ASSERT_TRUE(epoll_server.start(&error)) << error;
+
+  TestClient pool_client{pool_server.port()};
+  TestClient epoll_client{epoll_server.port()};
+  ASSERT_TRUE(pool_client.connected());
+  ASSERT_TRUE(epoll_client.connected());
+
+  const auto& edge = shared_snapshot().edges.front();
+  const std::vector<std::string> paths = {
+      "/rel?a=" + std::to_string(edge.a.value()) +
+          "&b=" + std::to_string(edge.b.value()),
+      "/rel?a=1",       // missing b -> 400
+      "/rel?a=x&b=2",   // non-numeric -> 400
+      "/no/such/path",  // 404
+      "/healthz",
+      "/snapshot",
+      "/links?limit=5",
+      "/report/regional",
+  };
+  for (const auto& path : paths) {
+    std::string pool_wire;
+    std::string epoll_wire;
+    const int pool_status = pool_client.get(path, nullptr, &pool_wire);
+    const int epoll_status = epoll_client.get(path, nullptr, &epoll_wire);
+    EXPECT_EQ(pool_status, epoll_status) << path;
+    EXPECT_EQ(pool_wire, epoll_wire) << path;
+  }
+
+  // Unsupported method, same bytes too.
+  const std::string trace = "TRACE / HTTP/1.1\r\nHost: t\r\n\r\n";
+  std::string pool_wire;
+  std::string epoll_wire;
+  EXPECT_EQ(pool_client.request(trace, nullptr, &pool_wire), 405);
+  EXPECT_EQ(epoll_client.request(trace, nullptr, &epoll_wire), 405);
+  EXPECT_EQ(pool_wire, epoll_wire);
+
+  pool_server.stop();
+  epoll_server.stop();
+}
+
+// ----------------------------------------------- flat (v3) query engine
+
+TEST(QueryEngineFlat, MatchesSnapshotEngineAcrossEveryLayer) {
+  std::string error;
+  const auto view = io::FlatView::from_bytes(
+      io::to_flat_snapshot_bytes(shared_snapshot()), &error);
+  ASSERT_NE(view, nullptr) << error;
+  const serve::QueryEngine flat{view};
+  const auto& reference = shared_engine();
+  ASSERT_TRUE(flat.flat_mode());
+
+  // Light accessors agree without inflating anything.
+  EXPECT_EQ(flat.num_ases(), reference.num_ases());
+  EXPECT_EQ(flat.num_edges(), reference.num_edges());
+  EXPECT_EQ(flat.num_links(), reference.num_links());
+  EXPECT_EQ(flat.num_validation(), reference.num_validation());
+  const auto flat_algos = flat.algorithm_names();
+  const auto ref_algos = reference.algorithm_names();
+  ASSERT_EQ(flat_algos.size(), ref_algos.size());
+  for (std::size_t i = 0; i < ref_algos.size(); ++i) {
+    EXPECT_EQ(flat_algos[i], ref_algos[i]);
+  }
+
+  // Point lookups: the rendered /rel body (the full cross-layer answer)
+  // is byte-equal over observed links and pure ground-truth edges.
+  for (const auto& link : reference.sample_links(128)) {
+    EXPECT_EQ(*flat.rel_json(link.a, link.b),
+              *reference.rel_json(link.a, link.b))
+        << link.a.value() << "-" << link.b.value();
+  }
+  std::size_t checked = 0;
+  for (const auto& edge : shared_snapshot().edges) {
+    if (++checked > 128) break;
+    EXPECT_EQ(*flat.rel_json(edge.a, edge.b),
+              *reference.rel_json(edge.a, edge.b))
+        << edge.a.value() << "-" << edge.b.value();
+  }
+
+  // AS cards, field by field, over a spread of the AS table.
+  const auto& ases = shared_snapshot().ases;
+  for (std::size_t i = 0; i < ases.size(); i += ases.size() / 64 + 1) {
+    const auto expect = reference.as_summary(ases[i].asn);
+    const auto got = flat.as_summary(ases[i].asn);
+    ASSERT_TRUE(expect.has_value());
+    ASSERT_TRUE(got.has_value()) << ases[i].asn.value();
+    EXPECT_EQ(got->region, expect->region);
+    EXPECT_EQ(got->country, expect->country);
+    EXPECT_EQ(got->tier, expect->tier);
+    EXPECT_EQ(got->hypergiant, expect->hypergiant);
+    EXPECT_EQ(got->transit_degree, expect->transit_degree);
+    EXPECT_EQ(got->node_degree, expect->node_degree);
+    EXPECT_EQ(got->cone_size, expect->cone_size);
+    EXPECT_EQ(got->providers, expect->providers);
+    EXPECT_EQ(got->customers, expect->customers);
+    EXPECT_EQ(got->peers, expect->peers);
+    EXPECT_EQ(got->siblings, expect->siblings);
+    EXPECT_EQ(got->observed_links, expect->observed_links);
+    EXPECT_EQ(got->validated_links, expect->validated_links);
+  }
+  EXPECT_FALSE(flat.as_summary(asn::Asn{4200000001}).has_value());
+
+  // Aggregate reports run off the lazily inflated snapshot; bodies must
+  // be byte-equal to the eager engine's.
+  for (const char* key : {"regional", "topological", "table:asrank"}) {
+    const auto flat_report = flat.report_json(key);
+    const auto ref_report = reference.report_json(key);
+    ASSERT_NE(flat_report, nullptr) << key;
+    ASSERT_NE(ref_report, nullptr) << key;
+    EXPECT_EQ(*flat_report, *ref_report) << key;
+  }
+}
+
+TEST(QueryEngine, RelJsonCacheHitsOnRepeatAndCanonicalizesOrder) {
+  // Private engine so the shared one's cache stats stay untouched.
+  const serve::QueryEngine engine{io::Snapshot{shared_snapshot()}};
+  EXPECT_EQ(engine.rel_cache_stats().hits, 0u);
+
+  const auto& edge = shared_snapshot().edges.front();
+  const auto first = engine.rel_json(edge.a, edge.b);
+  ASSERT_NE(first, nullptr);
+  EXPECT_NE(first->find("\"found\":true"), std::string::npos) << *first;
+
+  // The reversed pair is the same canonical link: it must come from the
+  // cache as the same shared body, not a re-render.
+  const auto swapped = engine.rel_json(edge.b, edge.a);
+  EXPECT_EQ(first, swapped);
+
+  const auto stats = engine.rel_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // An unknown pair still renders (found:false) and is cached like any
+  // other body.
+  const auto unknown = engine.rel_json(asn::Asn{4200000001},
+                                       asn::Asn{4200000002});
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_NE(unknown->find("\"found\":false"), std::string::npos) << *unknown;
+  EXPECT_EQ(engine.rel_cache_stats().misses, 2u);
 }
 
 }  // namespace

@@ -2,8 +2,15 @@
 //
 //   asrel_loadgen --port P [--host 127.0.0.1] [--connections C]
 //                 [--duration-ms MS | --requests N] [--mode rel|mixed]
-//                 [--retries R] [--backoff-us US] [--jitter-seed S]
-//                 [--epoch-watch]
+//                 [--pipeline N] [--retries R] [--backoff-us US]
+//                 [--jitter-seed S] [--epoch-watch]
+//
+// --pipeline N sends N keep-alive requests back-to-back in one write and
+// then reads the N responses — HTTP/1.1 pipelining. Against the epoll
+// front end this amortizes syscalls on both sides (one read picks up the
+// whole burst, one writev flushes the whole reply train), which is how
+// the serve path hits memory-speed throughput on a single core. Latency
+// is recorded per *burst* in this mode.
 //
 // --epoch-watch runs a sidecar poller against /statsz for the whole run,
 // tracking the served snapshot epoch (the one stamped in the snapshot
@@ -54,6 +61,7 @@ struct Args {
   long duration_ms = 3000;
   long requests = 0;  ///< 0 = use duration
   std::string mode = "rel";
+  int pipeline = 1;          ///< requests per pipelined burst (1 = off)
   int retries = 3;           ///< extra attempts per request on connect/5xx
   long backoff_us = 2000;    ///< first backoff; doubles per attempt
   std::uint64_t jitter_seed = 1;
@@ -65,8 +73,8 @@ int usage() {
       stderr,
       "usage: asrel_loadgen --port P [--host H] [--connections C]\n"
       "       [--duration-ms MS | --requests N] [--mode rel|mixed]\n"
-      "       [--retries R] [--backoff-us US] [--jitter-seed S]\n"
-      "       [--epoch-watch]\n");
+      "       [--pipeline N] [--retries R] [--backoff-us US]\n"
+      "       [--jitter-seed S] [--epoch-watch]\n");
   return 2;
 }
 
@@ -92,6 +100,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.requests = std::atol(value);
     } else if (flag == "--mode") {
       args.mode = value;
+    } else if (flag == "--pipeline") {
+      args.pipeline = std::atoi(value);
     } else if (flag == "--retries") {
       args.retries = std::atoi(value);
     } else if (flag == "--backoff-us") {
@@ -105,6 +115,7 @@ std::optional<Args> parse_args(int argc, char** argv) {
   }
   if (args.port <= 0 || args.connections <= 0) return std::nullopt;
   if (args.mode != "rel" && args.mode != "mixed") return std::nullopt;
+  if (args.pipeline < 1) args.pipeline = 1;
   if (args.retries < 0) args.retries = 0;
   return args;
 }
@@ -169,7 +180,36 @@ class Connection {
     const std::string request =
         "GET " + path + " HTTP/1.1\r\nHost: loadgen\r\n\r\n";
     if (!send_all(request)) return -1;
+    return read_response(body);
+  }
 
+  /// Sends `count` pipelined requests as one write and reads the response
+  /// train in order, appending each status to *statuses. Returns the
+  /// number of responses read — short when the server closes mid-train
+  /// (shed responses carry "Connection: close") or the transport dies —
+  /// or -1 if the send itself failed (nothing was consumed; the whole
+  /// burst is safe to resend on a fresh connection).
+  int burst(const std::string& blob, int count, std::vector<int>* statuses) {
+    if (!send_all(blob)) return -1;
+    int read = 0;
+    while (read < count) {
+      const int status = read_response(nullptr);
+      if (status < 0) {
+        close();
+        break;
+      }
+      statuses->push_back(status);
+      ++read;
+      if (!is_open()) break;  // response carried Connection: close
+    }
+    return read;
+  }
+
+ private:
+  /// Reads one complete response (headers + Content-Length body) from
+  /// the carried-over buffer plus the socket. Returns the HTTP status or
+  /// -1 on transport/parse failure.
+  int read_response(std::string* body) {
     // Read until the header block is complete.
     std::string data = std::move(leftover_);
     leftover_.clear();
@@ -208,7 +248,6 @@ class Connection {
     return status;
   }
 
- private:
   bool send_all(std::string_view bytes) {
     std::size_t sent = 0;
     while (sent < bytes.size()) {
@@ -337,8 +376,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   bootstrap.close();
-  std::fprintf(stderr, "sampling %zu links with %d connections\n",
-               links.size(), args->connections);
+  std::fprintf(stderr, "sampling %zu links with %d connections", links.size(),
+               args->connections);
+  if (args->pipeline > 1) {
+    std::fprintf(stderr, " (pipeline depth %d)", args->pipeline);
+  }
+  std::fprintf(stderr, "\n");
 
   // ---- hammer ----
   std::atomic<long> budget{args->requests > 0 ? args->requests
@@ -374,8 +417,7 @@ int main(int argc, char** argv) {
       std::size_t cursor = static_cast<std::size_t>(w) * 7919;
       const char* reports[] = {"/report/regional", "/report/topological",
                                "/report/table?algo=asrank"};
-      while (budget.fetch_sub(1, std::memory_order_relaxed) > 0 &&
-             std::chrono::steady_clock::now() < deadline) {
+      const auto next_path = [&]() {
         std::string path;
         if (mixed && result.requests % 64 == 63) {
           path = reports[cursor % 3];
@@ -385,6 +427,85 @@ int main(int argc, char** argv) {
         }
         ++cursor;
         ++result.requests;
+        return path;
+      };
+
+      if (args->pipeline > 1) {
+        // Burst mode: one write carries the whole request train; one
+        // latency sample covers the whole burst. A send failure (nothing
+        // consumed) retries the full burst on a fresh connection; once
+        // responses start flowing there is no per-request retry — a
+        // server close after a 503 sheds the unread tail with it, and a
+        // transport failure mid-train counts the tail as errors.
+        while (std::chrono::steady_clock::now() < deadline) {
+          const long granted =
+              budget.fetch_sub(args->pipeline, std::memory_order_relaxed);
+          if (granted <= 0) break;
+          const int batch =
+              static_cast<int>(std::min<long>(args->pipeline, granted));
+          std::string blob;
+          for (int i = 0; i < batch; ++i) {
+            blob += "GET " + next_path() + " HTTP/1.1\r\nHost: loadgen\r\n\r\n";
+          }
+          for (int attempt = 0; attempt <= args->retries; ++attempt) {
+            if (attempt > 0) {
+              ++result.retried;
+              backoff_sleep(args->backoff_us, attempt - 1, rng);
+            }
+            if (!connection.is_open() &&
+                !connection.open(args->host, args->port)) {
+              continue;  // connect refused/reset: back off and retry
+            }
+            const auto t0 = std::chrono::steady_clock::now();
+            std::vector<int> statuses;
+            const int got = connection.burst(blob, batch, &statuses);
+            const auto t1 = std::chrono::steady_clock::now();
+            if (got < 0) {
+              connection.close();  // send failed: resend the whole burst
+              continue;
+            }
+            long shed_tail = 0, error_tail = 0;
+            if (got < batch) {
+              // Server closed after a shed response: the tail was never
+              // served, which is shedding too. Any other short train is
+              // a transport failure.
+              const bool shed_close = !statuses.empty() &&
+                                      statuses.back() == 503 &&
+                                      !connection.is_open();
+              (shed_close ? shed_tail : error_tail) = batch - got;
+            }
+            long ok = 0;
+            for (const int status : statuses) {
+              if (status == 200) {
+                ++ok;
+              } else if (status == 503) {
+                ++result.shed;
+              } else {
+                ++error_tail;
+              }
+            }
+            result.success += ok;
+            result.shed += shed_tail;
+            if (error_tail > 0) {
+              result.errors += error_tail;
+              result.error_times.push_back(t1);
+            }
+            if (got == batch && ok == batch) {
+              const double latency_us =
+                  std::chrono::duration<double, std::micro>(t1 - t0).count();
+              latency_hist.observe(latency_us);
+              result.max_latency_us =
+                  std::max(result.max_latency_us, latency_us);
+            }
+            break;  // burst resolved one way or another
+          }
+        }
+        return;
+      }
+
+      while (budget.fetch_sub(1, std::memory_order_relaxed) > 0 &&
+             std::chrono::steady_clock::now() < deadline) {
+        const std::string path = next_path();
 
         // One request = up to 1 + retries attempts. Connect failures and
         // 503 sheds back off (jittered exponential) and retry; anything

@@ -3,6 +3,12 @@
 //   asrel_serve --snapshot FILE [--port P] [--threads N]
 //       Load a snapshot from disk (milliseconds) and serve it.
 //
+//   asrel_serve --flat-snapshot FILE [--port P] [--threads N]
+//       Serve a flat (v3) snapshot by mmap: open is microseconds, point
+//       lookups read the mapped image directly, and SIGHUP / POST
+//       /reloadz swap epochs without a parse or index build. Produce the
+//       file with --save-flat.
+//
 //   asrel_serve --generate [--as-count N] [--seed S] [--save FILE]
 //               [--port P] [--threads N]
 //       Run the batch pipeline once (minutes at paper scale), optionally
@@ -55,6 +61,7 @@
 #include "core/scenario.hpp"
 #include "obs/trace.hpp"
 #include "core/snapshot_builder.hpp"
+#include "io/flat_snapshot.hpp"
 #include "io/snapshot.hpp"
 #include "serve/engine_hub.hpp"
 #include "serve/http_server.hpp"
@@ -72,10 +79,13 @@ using namespace asrel;
 
 struct Args {
   std::string snapshot;
+  std::string flat_snapshot;  ///< serve an mmap'd v3 image
   bool generate = false;
   int as_count = 12000;
   std::uint64_t seed = 42;
   std::string save;
+  std::string save_flat;  ///< also write the flat (v3) image here
+  serve::ServeModel serve_model = serve::ServeModel::kEpoll;
   int port = 8642;
   int threads = 4;
   int timeout_ms = 5000;
@@ -107,8 +117,10 @@ int usage() {
       "  asrel_serve --snapshot FILE [--port P] [--threads N]\n"
       "              [--timeout-ms MS] [--deadline-ms MS] [--drain-ms MS]\n"
       "              [--max-pending N] [--trace]\n"
+      "              [--serve-model epoll|threadpool] [--save-flat FILE]\n"
+      "  asrel_serve --flat-snapshot FILE [--port P] [--threads N]\n"
       "  asrel_serve --generate [--as-count N] [--seed S] [--save FILE]\n"
-      "              [--port P] [--threads N]\n"
+      "              [--save-flat FILE] [--port P] [--threads N]\n"
       "  asrel_serve --generate --stream-events N [--stream-interval-ms MS]\n"
       "              [--stream-batch K] [--churn-seed S] [--replay FILE]\n"
       "              [--checkpoint-dir DIR] [--checkpoint-every N]\n"
@@ -134,6 +146,19 @@ std::optional<Args> parse_args(int argc, char** argv) {
     const char* value = argv[++i];
     if (flag == "--snapshot") {
       args.snapshot = value;
+    } else if (flag == "--flat-snapshot") {
+      args.flat_snapshot = value;
+    } else if (flag == "--save-flat") {
+      args.save_flat = value;
+    } else if (flag == "--serve-model") {
+      if (std::string_view{value} == "epoll") {
+        args.serve_model = serve::ServeModel::kEpoll;
+      } else if (std::string_view{value} == "threadpool") {
+        args.serve_model = serve::ServeModel::kThreadPool;
+      } else {
+        std::fprintf(stderr, "unknown serve model: %s\n", value);
+        return std::nullopt;
+      }
     } else if (flag == "--as-count") {
       args.as_count = std::atoi(value);
     } else if (flag == "--seed") {
@@ -182,7 +207,11 @@ std::optional<Args> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  if (args.snapshot.empty() == !args.generate) return std::nullopt;
+  // Exactly one source: --snapshot, --flat-snapshot, or --generate.
+  const int sources = (!args.snapshot.empty() ? 1 : 0) +
+                      (!args.flat_snapshot.empty() ? 1 : 0) +
+                      (args.generate ? 1 : 0);
+  if (sources != 1) return std::nullopt;
   const bool live = args.stream_events > 0 || !args.replay.empty();
   if (live && !args.generate) return std::nullopt;
   if (args.stream_events > 0 && !args.replay.empty()) return std::nullopt;
@@ -364,6 +393,8 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "saved snapshot to %s\n", args->save.c_str());
     }
+  } else if (!args->flat_snapshot.empty()) {
+    // Handled below: the flat image never inflates into `snapshot`.
   } else {
     const auto started = std::chrono::steady_clock::now();
     std::string error;
@@ -379,24 +410,74 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "loaded snapshot in %lld ms\n",
                  static_cast<long long>(elapsed.count()));
   }
-  std::fprintf(
-      stderr, "snapshot: %zu ASes, %zu edges, %zu links, %zu labels\n",
-      snapshot.ases.size(), snapshot.edges.size(), snapshot.links.size(),
-      snapshot.validation.size());
+
+  const bool flat_mode = !args->flat_snapshot.empty();
+  std::shared_ptr<const serve::QueryEngine> initial_engine;
+  serve::EngineHub::EngineLoader engine_loader;
+  if (flat_mode) {
+    const auto started = std::chrono::steady_clock::now();
+    std::string error;
+    // First open deep-verifies the checksum; reloads trust the atomic
+    // rename protocol and stay structural (microseconds).
+    const auto view = io::FlatView::open_file(args->flat_snapshot, &error,
+                                              /*deep_verify=*/true);
+    if (view == nullptr) {
+      std::fprintf(stderr, "error opening %s: %s\n",
+                   args->flat_snapshot.c_str(), error.c_str());
+      return 1;
+    }
+    initial_engine = std::make_shared<const serve::QueryEngine>(view);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - started);
+    std::fprintf(stderr, "mapped flat snapshot in %lld us\n",
+                 static_cast<long long>(elapsed.count()));
+    const std::string path = args->flat_snapshot;
+    engine_loader =
+        [path](std::string* error) -> std::shared_ptr<const serve::QueryEngine> {
+      const auto next =
+          io::FlatView::open_file(path, error, /*deep_verify=*/false);
+      if (next == nullptr) return nullptr;
+      return std::make_shared<const serve::QueryEngine>(next);
+    };
+    std::fprintf(
+        stderr, "snapshot: %zu ASes, %zu edges, %zu links, %zu labels\n",
+        initial_engine->num_ases(), initial_engine->num_edges(),
+        initial_engine->num_links(), initial_engine->num_validation());
+  } else {
+    std::fprintf(
+        stderr, "snapshot: %zu ASes, %zu edges, %zu links, %zu labels\n",
+        snapshot.ases.size(), snapshot.edges.size(), snapshot.links.size(),
+        snapshot.validation.size());
+    if (!args->save_flat.empty()) {
+      std::string error;
+      if (!io::save_flat_snapshot_file(snapshot, args->save_flat, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "saved flat snapshot to %s\n",
+                   args->save_flat.c_str());
+    }
+    initial_engine =
+        std::make_shared<const serve::QueryEngine>(std::move(snapshot));
+  }
 
   // Reloads re-read the file the daemon serves from: --snapshot when
-  // loading, --save when generating. Without a path, reloads fail closed.
-  const std::string reload_path =
-      !args->snapshot.empty() ? args->snapshot : args->save;
+  // loading, --save when generating, the mmap'd image in flat mode.
+  // Without a path, reloads fail closed.
+  const std::string reload_path = flat_mode ? args->flat_snapshot
+                                  : !args->snapshot.empty() ? args->snapshot
+                                                            : args->save;
   serve::EngineHub::SnapshotLoader loader;
-  if (!reload_path.empty()) {
+  if (!flat_mode && !reload_path.empty()) {
     loader = [reload_path](std::string* error) {
       return io::load_snapshot_file(reload_path, error);
     };
   }
-  const auto hub = std::make_shared<serve::EngineHub>(
-      std::make_shared<const serve::QueryEngine>(std::move(snapshot)),
-      std::move(loader));
+  const auto hub =
+      flat_mode ? std::make_shared<serve::EngineHub>(
+                      std::move(initial_engine), std::move(engine_loader))
+                : std::make_shared<serve::EngineHub>(
+                      std::move(initial_engine), std::move(loader));
   serve::AsrelService service{hub};
   if (live) {
     service.set_stream_stats(
@@ -405,6 +486,7 @@ int main(int argc, char** argv) {
 
   serve::HttpServerOptions options;
   options.port = static_cast<std::uint16_t>(args->port);
+  options.serve_model = args->serve_model;
   options.worker_threads = args->threads;
   options.request_timeout_ms = args->timeout_ms;
   options.request_deadline_ms = args->deadline_ms;
@@ -555,6 +637,16 @@ int main(int argc, char** argv) {
         std::string save_error;
         if (!io::save_snapshot_file(published, args->save, &save_error)) {
           std::fprintf(stderr, "epoch write failed (still serving): %s\n",
+                       save_error.c_str());
+        }
+      }
+      if (!args->save_flat.empty()) {
+        // Same protocol for the flat image, so a sibling daemon serving
+        // it via --flat-snapshot can SIGHUP-reload each epoch in us.
+        std::string save_error;
+        if (!io::save_flat_snapshot_file(published, args->save_flat,
+                                         &save_error)) {
+          std::fprintf(stderr, "flat epoch write failed: %s\n",
                        save_error.c_str());
         }
       }
