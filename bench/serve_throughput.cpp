@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 
 #include "bench_common.hpp"
@@ -102,6 +103,47 @@ struct MiniClient {
       data.append(chunk, static_cast<std::size_t>(n));
     }
     return std::atoi(data.c_str() + data.find(' ') + 1);
+  }
+
+  /// Sends one GET carrying a caller-fixed X-Request-Id and captures the
+  /// full wire response (status line, headers, body). Pinning the client
+  /// id pins the echo header too, so two captures of the same request
+  /// compare byte-for-byte even though server-minted ids differ per
+  /// request.
+  bool get_wire(const std::string& path, const std::string& request_id,
+                std::string* wire) {
+    const std::string request =
+        "GET " + path + " HTTP/1.1\r\nHost: bench\r\nX-Request-Id: " +
+        request_id + "\r\n\r\n";
+    if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(request.size())) {
+      return false;
+    }
+    std::string data;
+    char chunk[8192];
+    std::size_t header_end = std::string::npos;
+    std::size_t content_length = 0;
+    for (;;) {
+      if (header_end == std::string::npos) {
+        header_end = data.find("\r\n\r\n");
+        if (header_end != std::string::npos) {
+          const std::size_t cl = data.find("Content-Length: ");
+          if (cl != std::string::npos && cl < header_end) {
+            content_length = static_cast<std::size_t>(
+                std::strtoull(data.c_str() + cl + 16, nullptr, 10));
+          }
+        }
+      }
+      if (header_end != std::string::npos &&
+          data.size() >= header_end + 4 + content_length) {
+        break;
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      data.append(chunk, static_cast<std::size_t>(n));
+    }
+    *wire = data.substr(0, header_end + 4 + content_length);
+    return true;
   }
 
   /// Sends a pipelined request blob and parses the full response train.
@@ -603,6 +645,69 @@ int main() {
       return 1;
     }
     obs::Tracer::instance().set_enabled(false);
+  }
+
+  // ---- event-log overhead: the identical workload, log off then on ----
+  // Same protocol as the tracing section. The observability budget (request
+  // ids + slow rings + structured events) is < 2% throughput; recorded, not
+  // asserted, because loopback QPS is noisy at the percent level.
+  {
+    constexpr long kRequests = 20000;
+    constexpr int kRounds = 3;
+    double logging_off_rps = 0.0;
+    double logging_on_rps = 0.0;
+    for (int round = 0; round < kRounds; ++round) {
+      {
+        obs::ScopedLogging logging{false};
+        logging_off_rps = std::max(
+            logging_off_rps, run_http_rel(server.port(), 4, kRequests).first);
+      }
+      obs::ScopedLogging logging{true};
+      logging_on_rps = std::max(
+          logging_on_rps, run_http_rel(server.port(), 4, kRequests).first);
+    }
+    const double overhead_pct =
+        logging_off_rps > 0.0
+            ? (logging_off_rps - logging_on_rps) / logging_off_rps * 100.0
+            : 0.0;
+    std::printf(
+        "logging overhead:      %8.0f req/s off, %.0f req/s on (%+.2f%%)\n",
+        logging_off_rps, logging_on_rps, overhead_pct);
+    json.field("logging_off_rps", logging_off_rps);
+    json.field("logging_on_rps", logging_on_rps);
+    json.field("logging_overhead_pct", overhead_pct);
+  }
+
+  // ---- byte identity with full observability on ----
+  // The layer's central invariant, pinned at the serve path: the same
+  // request (fixed client X-Request-Id, so the echo header is pinned too)
+  // yields identical wire bytes whether tracing+logging are on or off.
+  {
+    const auto& link = sample.front();
+    const std::string path = "/rel?a=" + std::to_string(link.a.value()) +
+                             "&b=" + std::to_string(link.b.value());
+    MiniClient probe;
+    std::string wire_off;
+    std::string wire_on;
+    bool ok = probe.open(server.port());
+    if (ok) {
+      obs::ScopedTracing tracing{false};
+      obs::ScopedLogging logging{false};
+      ok = probe.get_wire(path, "00000000cafef00d", &wire_off);
+    }
+    if (ok) {
+      obs::ScopedTracing tracing{true};
+      obs::ScopedLogging logging{true};
+      ok = probe.get_wire(path, "00000000cafef00d", &wire_on);
+    }
+    obs::Tracer::instance().set_enabled(false);
+    if (!ok || wire_off.empty() || wire_off != wire_on) {
+      std::printf("FATAL: response bytes differ with observability on\n");
+      return 1;
+    }
+    std::printf("observability byte-identity: OK (%zu wire bytes)\n",
+                wire_off.size());
+    json.field("observability_byte_identical", true);
   }
   server.stop();
 

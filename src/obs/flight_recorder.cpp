@@ -1,0 +1,246 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace asrel::obs {
+
+namespace {
+
+constexpr int kHandledSignals[] = {SIGSEGV, SIGABRT, SIGBUS};
+
+const char* signal_name(int signal) {
+  switch (signal) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGBUS:
+      return "SIGBUS";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+/// Async-signal-safe unsigned decimal formatting. Returns digits written.
+std::size_t format_u64(char* out, std::uint64_t value) {
+  char reversed[20];
+  std::size_t n = 0;
+  do {
+    reversed[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = reversed[n - 1 - i];
+  return n;
+}
+
+/// Async-signal-safe append of a NUL-terminated literal.
+std::size_t append_str(char* out, const char* text) {
+  std::size_t n = 0;
+  while (text[n] != '\0') {
+    out[n] = text[n];
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t mono_us_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000;
+}
+
+extern "C" void crash_signal_handler(int signal) {
+  FlightRecorder::instance().dump_from_signal(signal);
+  // Restore the default disposition and re-raise: exit status and core
+  // dumps look exactly as they would without the recorder. signal() and
+  // raise() are both on the async-signal-safe list.
+  ::signal(signal, SIG_DFL);
+  ::raise(signal);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+bool FlightRecorder::arm(const Config& config, std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(config.crash_dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create crash dir " + config.crash_dir + ": " +
+               ec.message();
+    }
+    return false;
+  }
+  config_ = config;
+  const int written =
+      std::snprintf(path_, sizeof(path_), "%s/crash-%d.json",
+                    config.crash_dir.c_str(), static_cast<int>(::getpid()));
+  if (written < 0 || static_cast<std::size_t>(written) >= sizeof(path_)) {
+    if (error != nullptr) *error = "crash dir path too long";
+    return false;
+  }
+  refresh();
+  struct sigaction action {};
+  action.sa_handler = crash_signal_handler;
+  sigemptyset(&action.sa_mask);
+  for (const int signal : kHandledSignals) {
+    ::sigaction(signal, &action, nullptr);
+  }
+  armed_.store(true, std::memory_order_release);
+  return true;
+}
+
+void FlightRecorder::disarm_for_test() {
+  armed_.store(false, std::memory_order_release);
+  for (const int signal : kHandledSignals) {
+    ::signal(signal, SIG_DFL);
+  }
+}
+
+std::string FlightRecorder::dump_path() const {
+  return std::string{path_};
+}
+
+void FlightRecorder::refresh() {
+  std::string body;
+  body.reserve(8192);
+  body += "\"tool\":";
+  append_json_escaped(body, config_.tool);
+  body += ",\"build\":";
+  append_json_escaped(body, config_.build_info);
+  body += ",\"pid\":" + std::to_string(::getpid());
+  body += ",\"refreshed_unix_ms\":" +
+          std::to_string(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count()));
+  body += ",\"snapshot_epoch\":" +
+          std::to_string(epoch_.load(std::memory_order_relaxed));
+
+  // Last-N log events, already in /logz's JSONL object form.
+  EventLog& log = EventLog::instance();
+  body += ",\"log\":{\"dropped\":" + std::to_string(log.dropped());
+  body += ",\"suppressed\":" + std::to_string(log.suppressed());
+  body += ",\"events\":[";
+  const std::vector<LogEvent> events = log.recent(config_.log_events);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) body.push_back(',');
+    EventLog::render_event(events[i], body);
+  }
+  body += "]}";
+
+  // Tracer ring summary: totals plus the most recent spans.
+  Tracer& tracer = Tracer::instance();
+  body += ",\"trace\":{\"dropped\":" + std::to_string(tracer.dropped());
+  body += ",\"recent\":[";
+  const std::vector<SpanRecord> spans = tracer.recent(config_.trace_spans);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i != 0) body.push_back(',');
+    body += "{\"name\":";
+    append_json_escaped(body, span.name);
+    body += ",\"start_us\":" + std::to_string(span.start_us);
+    body += ",\"dur_us\":" + std::to_string(span.dur_us);
+    body += ",\"tid\":" + std::to_string(span.tid);
+    if (span.request_id != 0) {
+      body += ",\"request_id\":\"" + format_request_id(span.request_id) +
+              "\"";
+    }
+    body.push_back('}');
+  }
+  body += "]}";
+
+  // Global metrics snapshot: scalar value for counters/gauges,
+  // count+sum for histograms. Names carry their inline labels and are
+  // escaped like any other string.
+  body += ",\"metrics\":{";
+  const std::vector<MetricSnapshot> metrics =
+      MetricsRegistry::global().snapshot();
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSnapshot& metric = metrics[i];
+    if (i != 0) body.push_back(',');
+    append_json_escaped(body, metric.name);
+    body.push_back(':');
+    if (metric.type == MetricType::kHistogram) {
+      body += "{\"count\":" + std::to_string(metric.hist.count);
+      char sum[32];
+      std::snprintf(sum, sizeof(sum), "%.6g", metric.hist.sum);
+      body += ",\"sum\":";
+      body += sum;
+      body.push_back('}');
+    } else {
+      char value[32];
+      std::snprintf(value, sizeof(value), "%.17g", metric.value);
+      body += value;
+    }
+  }
+  body.push_back('}');
+
+  const int inactive = active_.load(std::memory_order_relaxed) == 0 ? 1 : 0;
+  buffers_[inactive] = std::move(body);
+  active_.store(inactive, std::memory_order_release);
+}
+
+void FlightRecorder::dump_from_signal(int signal) noexcept {
+  if (dumping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (path_[0] == '\0') return;
+  const int fd = ::open(path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+
+  // Live preamble, formatted entirely on the stack.
+  char preamble[192];
+  std::size_t n = 0;
+  n += append_str(preamble + n, "{\"signal\":");
+  n += format_u64(preamble + n, static_cast<std::uint64_t>(signal));
+  n += append_str(preamble + n, ",\"signal_name\":\"");
+  n += append_str(preamble + n, signal_name(signal));
+  n += append_str(preamble + n, "\",\"crash_epoch\":");
+  n += format_u64(preamble + n, epoch_.load(std::memory_order_relaxed));
+  n += append_str(preamble + n, ",\"crash_mono_us\":");
+  n += format_u64(preamble + n, mono_us_now());
+  (void)!::write(fd, preamble, n);
+
+  const int index = active_.load(std::memory_order_acquire);
+  if (index >= 0 && !buffers_[index].empty()) {
+    (void)!::write(fd, ",", 1);
+    (void)!::write(fd, buffers_[index].data(), buffers_[index].size());
+  }
+  (void)!::write(fd, "}\n", 2);
+  ::close(fd);
+}
+
+std::string FlightRecorder::compose_for_test(int signal) const {
+  std::string out = "{\"signal\":" + std::to_string(signal);
+  out += ",\"signal_name\":\"";
+  out += signal_name(signal);
+  out += "\",\"crash_epoch\":" +
+         std::to_string(epoch_.load(std::memory_order_relaxed));
+  out += ",\"crash_mono_us\":" + std::to_string(mono_us_now());
+  const int index = active_.load(std::memory_order_acquire);
+  if (index >= 0 && !buffers_[index].empty()) {
+    out.push_back(',');
+    out += buffers_[index];
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace asrel::obs

@@ -1,0 +1,100 @@
+// Crash flight recorder: a black box the process can dump from a fatal
+// signal handler.
+//
+// The problem with crash diagnostics is that almost nothing is legal in
+// a signal handler — no allocation, no locks, no formatting. The
+// recorder splits the work accordingly:
+//
+//   - refresh(), called from a normal thread on a cadence (the daemons'
+//     main loops), serializes the full black box — build info, snapshot
+//     epoch, the last N log events, a tracer ring summary, a metrics
+//     snapshot — into one of two pre-allocated string buffers, then
+//     flips an atomic index to publish it.
+//   - The SIGSEGV/SIGABRT/SIGBUS handler is write(2)-only: it opens
+//     `<crash_dir>/crash-<pid>.json` (path pre-rendered at arm time into
+//     a fixed buffer), writes a small live preamble (signal number/name,
+//     the epoch atomic, a monotonic stamp — integers formatted on the
+//     stack), appends the published buffer verbatim, closes, restores
+//     SIG_DFL and re-raises so exit status and core dumps are preserved.
+//
+// The dump is strictly valid JSON (CI parses it with a stock JSON
+// parser). The published buffer can be up to one refresh interval stale;
+// the preamble fields are live. A crash racing refresh() reads the
+// buffer published *before* that refresh began — never a torn one being
+// written — except in the pathological case of two refresh intervals
+// elapsing mid-handler, which a crashing process does not survive long
+// enough to hit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace asrel::obs {
+
+class FlightRecorder {
+ public:
+  struct Config {
+    std::string crash_dir;   ///< created if missing
+    std::string tool;        ///< e.g. "asrel_serve"
+    std::string build_info;  ///< free-form version/compiler string
+    std::size_t log_events = 32;   ///< last-N log events in the box
+    std::size_t trace_spans = 16;  ///< most recent spans summarized
+  };
+
+  static FlightRecorder& instance();
+
+  /// Creates the crash dir, pre-renders the dump path, runs the first
+  /// refresh and installs the SIGSEGV/SIGABRT/SIGBUS handlers. Returns
+  /// false (with `*error` set) if the directory cannot be created.
+  bool arm(const Config& config, std::string* error);
+
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  /// The epoch stamped live into the crash preamble. Async-signal-safe
+  /// to read; call whenever the served epoch advances.
+  void set_epoch(std::uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_relaxed);
+  }
+
+  /// Re-serializes the black box and publishes it. NOT async-signal-safe
+  /// — call from a normal thread on a cadence (every main-loop lap is
+  /// fine; the cost is bounded by the log/trace/metric snapshot sizes).
+  void refresh();
+
+  /// Path the handler will write (empty until armed).
+  [[nodiscard]] std::string dump_path() const;
+
+  /// Composes exactly the bytes the signal handler would write for
+  /// `signal`, without any signal machinery — lets tests validate the
+  /// JSON end-to-end in-process.
+  [[nodiscard]] std::string compose_for_test(int signal) const;
+
+  /// Restores default dispositions for the handled signals. Test-only —
+  /// a forked gtest child arms, crashes, and the parent must not stay
+  /// armed across unrelated tests.
+  void disarm_for_test();
+
+  /// Called by the installed signal handler. Public only because the
+  /// handler is a free function; not for direct use.
+  void dump_from_signal(int signal) noexcept;
+
+ private:
+  FlightRecorder() = default;
+
+  Config config_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> dumping_{false};
+
+  // Double-buffered published body: refresh() writes the inactive
+  // buffer, then flips `active_`. -1 until the first refresh lands.
+  std::string buffers_[2];
+  std::atomic<int> active_{-1};
+
+  char path_[512] = {0};  ///< pre-rendered at arm time; read by handler
+};
+
+}  // namespace asrel::obs

@@ -1,0 +1,317 @@
+#include "obs/log.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+namespace asrel::obs {
+
+namespace {
+
+std::uint64_t wall_unix_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char digits[24];
+  const int n = std::snprintf(digits, sizeof(digits), "%" PRIu64, v);
+  out.append(digits, static_cast<std::size_t>(n));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char digits[24];
+  const int n = std::snprintf(digits, sizeof(digits), "%" PRId64, v);
+  out.append(digits, static_cast<std::size_t>(n));
+}
+
+void append_f64(std::string& out, double v) {
+  char digits[32];
+  const int n = std::snprintf(digits, sizeof(digits), "%.6g", v);
+  out.append(digits, static_cast<std::size_t>(n));
+}
+
+void render_fields(std::string& out,
+                   std::initializer_list<LogField> fields) {
+  for (const LogField& field : fields) {
+    out.push_back(',');
+    append_json_escaped(out, field.key);
+    out.push_back(':');
+    switch (field.kind) {
+      case LogField::Kind::kU64:
+        append_u64(out, field.u);
+        break;
+      case LogField::Kind::kI64:
+        append_i64(out, field.i);
+        break;
+      case LogField::Kind::kF64:
+        append_f64(out, field.d);
+        break;
+      case LogField::Kind::kBool:
+        out += field.b ? "true" : "false";
+        break;
+      case LogField::Kind::kStr:
+        append_json_escaped(out, field.s);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string format_request_id(std::uint64_t id) {
+  char digits[17];
+  std::snprintf(digits, sizeof(digits), "%016" PRIx64, id);
+  return std::string{digits, 16};
+}
+
+bool parse_request_id(std::string_view text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  if (out != nullptr) *out = value;
+  return true;
+}
+
+struct EventLog::ThreadBuffer {
+  mutable std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::size_t capacity = 0;
+  std::vector<LogEvent> ring;  ///< grows to capacity, then wraps
+  std::size_t next = 0;
+  std::uint64_t written = 0;
+  std::uint64_t dropped = 0;
+};
+
+EventLog& EventLog::instance() {
+  static EventLog log;
+  return log;
+}
+
+EventLog::ThreadBuffer& EventLog::buffer_for_this_thread() {
+  // Same ownership model as the tracer: the log owns every buffer and
+  // never frees one, so a late emit from an exiting thread cannot dangle.
+  static thread_local ThreadBuffer* buffer_of_thread = nullptr;
+  if (buffer_of_thread != nullptr) return *buffer_of_thread;
+  std::lock_guard<std::mutex> lock{registry_mutex_};
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+  buffer->capacity = capacity_;
+  buffer->ring.reserve(capacity_);
+  buffer_of_thread = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  return *buffer_of_thread;
+}
+
+void EventLog::set_capacity_per_thread(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock{registry_mutex_};
+  capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+void EventLog::set_stderr_level(int level) {
+  stderr_level_.store(level, std::memory_order_relaxed);
+}
+
+void EventLog::emit(LogSite& site, LogLevel level,
+                    std::uint64_t request_id,
+                    std::initializer_list<LogField> fields) {
+  const std::uint64_t mono_us = Tracer::instance().now_us();
+
+  // Per-site rate cap: one windowed counter per monotonic second. The
+  // races here (two threads rolling the window at once) cost at most a
+  // few extra events — the cap bounds floods, it is not an invariant.
+  if (site.max_per_sec != 0) {
+    const std::uint64_t now_s = mono_us / 1000000;
+    if (site.window_s.load(std::memory_order_relaxed) != now_s) {
+      site.window_s.store(now_s, std::memory_order_relaxed);
+      site.in_window.store(0, std::memory_order_relaxed);
+    }
+    if (site.in_window.fetch_add(1, std::memory_order_relaxed) >=
+        site.max_per_sec) {
+      site.suppressed.fetch_add(1, std::memory_order_relaxed);
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock{buffer.mutex};
+  if (buffer.ring.size() < buffer.capacity) {
+    buffer.ring.emplace_back();
+  } else {
+    ++buffer.dropped;
+  }
+  LogEvent& event = buffer.ring[buffer.next];
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  event.wall_unix_ms = wall_unix_ms();
+  event.mono_us = mono_us;
+  event.request_id = request_id;
+  event.component = site.component;
+  event.event = site.event;
+  event.level = level;
+  event.tid = buffer.tid;
+  event.fields_json.clear();  // reuses the evicted event's capacity
+  render_fields(event.fields_json, fields);
+  buffer.next = (buffer.next + 1) % buffer.capacity;
+  ++buffer.written;
+
+  const int sink_level = stderr_level_.load(std::memory_order_relaxed);
+  if (sink_level >= 0 && static_cast<int>(level) >= sink_level) {
+    std::string line;
+    line.reserve(160 + event.fields_json.size());
+    render_event(event, line);
+    line.push_back('\n');
+    // One fwrite per line: stderr is unbuffered, so concurrent emitters
+    // interleave at line granularity, not mid-line.
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+std::vector<LogEvent> EventLog::recent(std::size_t n) const {
+  std::vector<LogEvent> all;
+  {
+    std::lock_guard<std::mutex> lock{registry_mutex_};
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buf{buffer->mutex};
+      for (const LogEvent& event : buffer->ring) all.push_back(event);
+    }
+  }
+  // The global sequence gives a total emission order across threads.
+  std::sort(all.begin(), all.end(),
+            [](const LogEvent& a, const LogEvent& b) { return a.seq < b.seq; });
+  if (all.size() > n) all.erase(all.begin(), all.end() - n);
+  return all;
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock{registry_mutex_};
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buf{buffer->mutex};
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+std::uint64_t EventLog::emitted() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock{registry_mutex_};
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buf{buffer->mutex};
+    total += buffer->written;
+  }
+  return total;
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> lock{registry_mutex_};
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buf{buffer->mutex};
+    buffer->ring.clear();
+    buffer->next = 0;
+    buffer->written = 0;
+    buffer->dropped = 0;
+  }
+}
+
+void EventLog::render_event(const LogEvent& event, std::string& out) {
+  out += "{\"seq\":";
+  append_u64(out, event.seq);
+  out += ",\"ts_ms\":";
+  append_u64(out, event.wall_unix_ms);
+  out += ",\"mono_us\":";
+  append_u64(out, event.mono_us);
+  out += ",\"level\":\"";
+  out += log_level_name(event.level);
+  out += "\",\"component\":";
+  append_json_escaped(out, event.component);
+  out += ",\"event\":";
+  append_json_escaped(out, event.event);
+  out += ",\"tid\":";
+  append_u64(out, event.tid);
+  if (event.request_id != 0) {
+    out += ",\"request_id\":\"";
+    out += format_request_id(event.request_id);
+    out.push_back('"');
+  }
+  out += event.fields_json;
+  out.push_back('}');
+}
+
+std::string EventLog::render_jsonl(const std::vector<LogEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 192);
+  for (const LogEvent& event : events) {
+    render_event(event, out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace asrel::obs

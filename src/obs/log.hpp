@@ -1,0 +1,222 @@
+// Structured event log with per-thread ring buffers and bounded rates.
+//
+// The event log is the narrative companion to the metrics registry and
+// the trace rings: metrics say *how much*, traces say *how long*, the
+// log says *what happened* — an engine swap, a checkpoint rejected by
+// the recovery ladder, a shed connection, a watchdog heal. Events are
+// structured (component, event name, key/value fields, both monotonic
+// and wall timestamps, an optional request id) and rendered as one JSON
+// object per line, so the same bytes serve `GET /logz`, the stderr
+// sink, and the crash flight recorder's black box.
+//
+// Design rules, mirrored from the tracer:
+//   - emit() touches only the calling thread's ring (per-buffer mutex,
+//     never contended across recording threads); a global atomic gives
+//     events a total order for merge at read time.
+//   - Rings are bounded; once full the oldest events are overwritten and
+//     a per-buffer dropped counter advances. A week-long daemon logs in
+//     constant memory.
+//   - Every call site carries a static LogSite with a per-second rate
+//     cap: a hot failure path (shed storm, malformed-request flood)
+//     cannot flood the ring or stderr — excess events are counted as
+//     suppressed, not stored.
+//   - Recording never writes anywhere a report could read; pipeline
+//     output stays byte-identical with logging enabled (tests pin the
+//     serve-path equivalent).
+//
+// This header is part of asrel_obs and must not depend on src/serve —
+// JSON escaping is local (append_json_escaped).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asrel::obs {
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+/// Minimal JSON string escaping (quotes, backslash, control chars). Local
+/// to asrel_obs so the log layer has no dependency on serve/json.hpp.
+void append_json_escaped(std::string& out, std::string_view text);
+
+/// Canonical request-id wire format: 16 lowercase hex digits. Used for
+/// the X-Request-Id echo, /logz, /slowz, /tracez and the loadgen
+/// verifier, so one grep finds a request everywhere.
+[[nodiscard]] std::string format_request_id(std::uint64_t id);
+
+/// Parses 1..16 hex digits (either case). Returns false on anything else
+/// — a client-supplied X-Request-Id that fails this is ignored and a
+/// server-generated id is used instead.
+[[nodiscard]] bool parse_request_id(std::string_view text,
+                                    std::uint64_t* out);
+
+/// One typed key/value pair attached to a log event. Construction picks
+/// the representation from the value's type; rendering happens once, at
+/// emit time, into the event's fields fragment.
+struct LogField {
+  enum class Kind : std::uint8_t { kU64, kI64, kF64, kBool, kStr };
+
+  std::string_view key;
+  Kind kind = Kind::kU64;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double d = 0;
+  bool b = false;
+  std::string_view s;
+
+  LogField(std::string_view k, std::uint64_t v)
+      : key(k), kind(Kind::kU64), u(v) {}
+  LogField(std::string_view k, unsigned v)
+      : key(k), kind(Kind::kU64), u(v) {}
+  LogField(std::string_view k, std::int64_t v)
+      : key(k), kind(Kind::kI64), i(v) {}
+  LogField(std::string_view k, int v) : key(k), kind(Kind::kI64), i(v) {}
+  LogField(std::string_view k, double v) : key(k), kind(Kind::kF64), d(v) {}
+  LogField(std::string_view k, bool v) : key(k), kind(Kind::kBool), b(v) {}
+  LogField(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kStr), s(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), kind(Kind::kStr), s(v) {}
+};
+
+/// Static per-call-site state: identity (component + event name) and the
+/// rate limiter. Declare one `static LogSite` at each emission point; the
+/// limiter is windowed per monotonic second and counts what it refuses.
+struct LogSite {
+  const char* component;
+  const char* event;
+  std::uint32_t max_per_sec;  ///< 0 = unlimited
+
+  std::atomic<std::uint64_t> window_s{0};
+  std::atomic<std::uint32_t> in_window{0};
+  std::atomic<std::uint64_t> suppressed{0};
+};
+
+struct LogEvent {
+  std::uint64_t seq = 0;          ///< global emission order
+  std::uint64_t wall_unix_ms = 0; ///< wall clock (for humans, cross-host)
+  std::uint64_t mono_us = 0;      ///< tracer-epoch monotonic (for ordering)
+  std::uint64_t request_id = 0;   ///< 0 = not request-scoped
+  const char* component = "";
+  const char* event = "";
+  LogLevel level = LogLevel::kInfo;
+  std::uint32_t tid = 0;
+  std::string fields_json;        ///< pre-rendered `"k":v,...` fragment
+};
+
+class EventLog {
+ public:
+  static EventLog& instance();
+
+  /// Ring capture on/off. Enabled by default — the bench proves the
+  /// steady-state cost is inside the <2% observability budget.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Mirrors events at `level` and above to stderr as JSON lines.
+  /// Pass -1 to turn the sink off (the default: tests and benches stay
+  /// quiet; the daemons opt in at startup).
+  void set_stderr_level(int level);
+  [[nodiscard]] int stderr_level() const {
+    return stderr_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one event (rate limit permitting). Fields are rendered to
+  /// the event's JSON fragment here, once, on the emitting thread.
+  void emit(LogSite& site, LogLevel level, std::uint64_t request_id,
+            std::initializer_list<LogField> fields);
+
+  /// The most recent `n` events in global emission order (by seq),
+  /// oldest first. This is what /logz and the flight recorder serve.
+  [[nodiscard]] std::vector<LogEvent> recent(std::size_t n) const;
+
+  /// Events overwritten after their ring filled, across all threads.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Events refused by per-site rate caps, across all sites.
+  [[nodiscard]] std::uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  /// Total events ever stored (post rate limit), across all threads.
+  [[nodiscard]] std::uint64_t emitted() const;
+
+  /// Drops every retained event. Ring registrations survive (same
+  /// contract as Tracer::clear()).
+  void clear();
+
+  /// Per-thread ring capacity; applies to threads registering after the
+  /// call. Typically set once at startup.
+  void set_capacity_per_thread(std::size_t capacity);
+
+  /// Renders one event as a JSON object (no trailing newline). Key order
+  /// is fixed — tests pin it as the /logz schema.
+  static void render_event(const LogEvent& event, std::string& out);
+
+  /// JSON-lines rendering of `events`, one object per line.
+  [[nodiscard]] static std::string render_jsonl(
+      const std::vector<LogEvent>& events);
+
+ private:
+  struct ThreadBuffer;
+  EventLog() = default;
+  ThreadBuffer& buffer_for_this_thread();
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<int> stderr_level_{-1};
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::uint64_t> suppressed_{0};
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::size_t capacity_ = 512;
+};
+
+/// The one emission entry point. A disabled log costs a relaxed load.
+inline void log_event(LogSite& site, LogLevel level,
+                      std::uint64_t request_id,
+                      std::initializer_list<LogField> fields = {}) {
+  EventLog& log = EventLog::instance();
+  if (!log.enabled()) return;
+  log.emit(site, level, request_id, fields);
+}
+
+/// Test/bench helper: flips ring capture for one scope, restoring the
+/// previous state (clearing freshly captured events on exit if asked).
+class ScopedLogging {
+ public:
+  explicit ScopedLogging(bool enabled, bool clear_on_exit = false)
+      : previous_(EventLog::instance().enabled()),
+        clear_on_exit_(clear_on_exit) {
+    EventLog::instance().set_enabled(enabled);
+  }
+  ~ScopedLogging() {
+    EventLog::instance().set_enabled(previous_);
+    if (clear_on_exit_) EventLog::instance().clear();
+  }
+  ScopedLogging(const ScopedLogging&) = delete;
+  ScopedLogging& operator=(const ScopedLogging&) = delete;
+
+ private:
+  bool previous_;
+  bool clear_on_exit_;
+};
+
+}  // namespace asrel::obs

@@ -1,0 +1,107 @@
+// Fixed-size capture of the K slowest requests seen by one route.
+//
+// The p99 histogram on /metricsz tells you a route got slow; this ring
+// tells you *which requests* — id, latency, the snapshot epoch that
+// answered, bytes moved, and how many flush stalls the epoll path ate.
+// One ring per route (routes are a closed allowlist, so cardinality is
+// bounded), served as JSON by `GET /slowz`.
+//
+// offer() keeps a relaxed floor of the current K-th latency so the
+// steady-state fast path — a request faster than everything retained —
+// is a single atomic load. Only candidates that might displace an entry
+// take the mutex.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace asrel::obs {
+
+struct SlowEntry {
+  std::uint64_t request_id = 0;
+  std::uint64_t latency_us = 0;
+  std::uint64_t epoch = 0;         ///< snapshot epoch that served it
+  std::uint64_t response_bytes = 0;
+  std::uint64_t wall_unix_ms = 0;  ///< completion wall time
+  std::uint32_t flush_stalls = 0;  ///< EAGAIN write stalls (epoll path)
+};
+
+class SlowRing {
+ public:
+  explicit SlowRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  SlowRing(const SlowRing&) = delete;
+  SlowRing& operator=(const SlowRing&) = delete;
+
+  /// Considers one finished request for retention. Keeps the `capacity`
+  /// slowest by latency; among equal latencies the most recent wins
+  /// (the newer entry carries the fresher epoch and is the one an
+  /// operator is chasing). Returns true when the entry was retained —
+  /// the caller's cue to log it while the id is hot.
+  bool offer(const SlowEntry& entry) {
+    if (entry.latency_us < floor_us_.load(std::memory_order_relaxed)) {
+      return false;  // cannot displace anything retained
+    }
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (entries_.size() < capacity_) {
+      entries_.push_back(entry);
+    } else {
+      // Evict the fastest retained entry; ties evict the oldest so the
+      // ring turns over instead of pinning the first arrivals forever.
+      std::size_t victim = 0;
+      for (std::size_t i = 1; i < entries_.size(); ++i) {
+        if (entries_[i].latency_us < entries_[victim].latency_us ||
+            (entries_[i].latency_us == entries_[victim].latency_us &&
+             entries_[i].wall_unix_ms < entries_[victim].wall_unix_ms)) {
+          victim = i;
+        }
+      }
+      if (entry.latency_us < entries_[victim].latency_us) return false;
+      entries_[victim] = entry;
+    }
+    if (entries_.size() == capacity_) {
+      std::uint64_t floor = entries_.front().latency_us;
+      for (const SlowEntry& retained : entries_) {
+        floor = std::min(floor, retained.latency_us);
+      }
+      floor_us_.store(floor, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Retained entries, slowest first (ties: most recent first). A stable,
+  /// deterministic order for /slowz and tests.
+  [[nodiscard]] std::vector<SlowEntry> snapshot() const {
+    std::vector<SlowEntry> out;
+    {
+      std::lock_guard<std::mutex> lock{mutex_};
+      out = entries_;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SlowEntry& a, const SlowEntry& b) {
+                if (a.latency_us != b.latency_us) {
+                  return a.latency_us > b.latency_us;
+                }
+                if (a.wall_unix_ms != b.wall_unix_ms) {
+                  return a.wall_unix_ms > b.wall_unix_ms;
+                }
+                return a.request_id < b.request_id;
+              });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SlowEntry> entries_;
+  std::atomic<std::uint64_t> floor_us_{0};
+};
+
+}  // namespace asrel::obs

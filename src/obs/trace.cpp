@@ -95,6 +95,12 @@ void Tracer::set_capacity_per_thread(std::size_t capacity) {
 void Tracer::record(std::string_view name, std::uint64_t start_us,
                     std::uint64_t dur_us, std::uint64_t cpu_us,
                     std::uint32_t depth) {
+  record(name, start_us, dur_us, cpu_us, depth, 0);
+}
+
+void Tracer::record(std::string_view name, std::uint64_t start_us,
+                    std::uint64_t dur_us, std::uint64_t cpu_us,
+                    std::uint32_t depth, std::uint64_t request_id) {
   ThreadBuffer& buffer = buffer_for_this_thread();
   std::lock_guard<std::mutex> lock{buffer.mutex};
   if (buffer.ring.size() < buffer.capacity) {
@@ -112,6 +118,7 @@ void Tracer::record(std::string_view name, std::uint64_t start_us,
   span.tid = buffer.tid;
   span.depth = depth;
   span.seq = buffer.written;  // per-thread completion index
+  span.request_id = request_id;
   buffer.next = (buffer.next + 1) % buffer.capacity;
   ++buffer.written;
 }

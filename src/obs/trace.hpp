@@ -45,6 +45,7 @@ struct SpanRecord {
   std::uint32_t tid = 0;       ///< thread id in registration order
   std::uint32_t depth = 0;     ///< nesting depth on its thread (0 = root)
   std::uint64_t seq = 0;       ///< completion order on its thread
+  std::uint64_t request_id = 0;  ///< 0 = not request-scoped
 };
 
 class Tracer {
@@ -97,10 +98,14 @@ class Tracer {
   }
 
   /// Called by ~TraceSpan. Public so the server can record request spans
-  /// it timed itself.
+  /// it timed itself. The second form stamps the span with the request id
+  /// it was handling, so /tracez entries join against /slowz and /logz.
   void record(std::string_view name, std::uint64_t start_us,
               std::uint64_t dur_us, std::uint64_t cpu_us,
               std::uint32_t depth);
+  void record(std::string_view name, std::uint64_t start_us,
+              std::uint64_t dur_us, std::uint64_t cpu_us,
+              std::uint32_t depth, std::uint64_t request_id);
 
  private:
   struct ThreadBuffer;

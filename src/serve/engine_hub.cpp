@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace asrel::serve {
@@ -49,11 +50,15 @@ EngineHub::ReloadResult EngineHub::reload() {
             std::chrono::steady_clock::now() - reload_started)
             .count()));
   };
+  static obs::LogSite reload_ok_site{"serve.hub", "reload_ok", 0};
+  static obs::LogSite reload_failed_site{"serve.hub", "reload_failed", 0};
   ReloadResult result;
   const auto fail = [&](std::string message) {
     ++reloads_failed_;
     metrics.failed.inc();
     observe_duration();
+    obs::log_event(reload_failed_site, obs::LogLevel::kError, 0,
+                   {{"epoch", epoch()}, {"error", message}});
     last_error_ = message;
     result.ok = false;
     result.epoch = epoch();
@@ -89,6 +94,14 @@ EngineHub::ReloadResult EngineHub::reload() {
   ++reloads_ok_;
   metrics.ok.inc();
   observe_duration();
+  obs::log_event(
+      reload_ok_site, obs::LogLevel::kInfo, 0,
+      {{"epoch", epoch},
+       {"duration_us",
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - reload_started)
+                .count())}});
   last_error_.clear();
   result.ok = true;
   result.epoch = epoch;
@@ -109,6 +122,11 @@ EngineHub::ReloadResult EngineHub::publish(io::Snapshot snapshot) {
       epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   ++publishes_;
   publishes_total.inc();
+  // Rate-capped: streaming can publish many epochs per second, and the
+  // interesting signal is that publication is happening at all, plus the
+  // latest epoch number.
+  static obs::LogSite publish_site{"serve.hub", "publish", 4};
+  obs::log_event(publish_site, obs::LogLevel::kInfo, 0, {{"epoch", epoch}});
   ReloadResult result;
   result.ok = true;
   result.epoch = epoch;

@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "serve/fault_inject.hpp"
 #include "serve/http_server.hpp"
@@ -93,10 +94,15 @@ struct HttpServer::EpollLoop {
     bool want_write = false;       ///< EPOLLOUT currently armed
     bool close_after_flush = false;
     bool peer_closed = false;      ///< recv saw EOF; serve what's buffered
+    /// Cumulative EAGAIN write stalls on this connection; stamped into
+    /// /slowz entries so a slow request can be told apart from a slow
+    /// *reader* (backpressure shows up here, handler time in latency_us).
+    std::uint32_t flush_stalls = 0;
   };
 
   int epoll_fd = -1;
   int wake_fd = -1;
+  int index = 0;  ///< loop ordinal, for lifecycle log events
   TimerWheel wheel;
   std::unordered_map<int, Conn> conns;
 
@@ -173,6 +179,7 @@ struct HttpServer::EpollLoop {
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          ++conn.flush_stalls;
           if (!conn.want_write) {
             conn.want_write = true;
             set_interest(fd, true);
@@ -260,20 +267,25 @@ struct HttpServer::EpollLoop {
         if (finished >= conn.cycle_start + std::chrono::milliseconds(
                                                server.options_
                                                    .request_deadline_ms)) {
-          server.note_deadline_exceeded(request.path);
+          server.note_deadline_exceeded(request.path, request.request_id);
         }
+        const bool keep_alive =
+            request.keep_alive &&
+            !server.draining_.load(std::memory_order_acquire) &&
+            !server.stopping_.load(std::memory_order_acquire);
+        const std::size_t queued_before = out_bytes(conn);
+        queue_response(conn, response, keep_alive);
         server.observe_request(
             request.path,
             static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::microseconds>(
                     finished - dispatch_started)
                     .count()),
-            trace_start_us, tracing);
-        const bool keep_alive =
-            request.keep_alive &&
-            !server.draining_.load(std::memory_order_acquire) &&
-            !server.stopping_.load(std::memory_order_acquire);
-        queue_response(conn, response, keep_alive);
+            trace_start_us, tracing,
+            RequestObservation{
+                request.request_id,
+                static_cast<std::uint64_t>(out_bytes(conn) - queued_before),
+                conn.flush_stalls});
         conn.cycle_start = finished;  // next request's deadline anchor
         if (!keep_alive) {
           conn.close_after_flush = true;
@@ -413,13 +425,14 @@ struct HttpServer::EpollLoop {
   /// acceptor sheds, preserving the thread-pool's admission behavior.
   void claim_pending(HttpServer& server) {
     for (;;) {
-      int fd = -1;
+      PendingConn pending;
       {
         std::lock_guard<std::mutex> lock{server.queue_mutex_};
         if (server.pending_.empty()) return;
-        fd = server.pending_.front();
+        pending = server.pending_.front();
         server.pending_.pop_front();
       }
+      const int fd = pending.fd;
       {
         std::lock_guard<std::mutex> lock{server.active_mutex_};
         server.active_fds_.insert(fd);
@@ -431,6 +444,7 @@ struct HttpServer::EpollLoop {
       const auto it =
           conns.try_emplace(fd, server.options_.max_request_bytes).first;
       Conn& conn = it->second;
+      conn.assembler.seed_request_ids(pending.sequence);
       conn.cycle_start = now;
       conn.last_activity = now;
       epoll_event event{};
@@ -454,6 +468,7 @@ bool HttpServer::epoll_start(std::string* error) {
   const int loop_count = std::max(1, options_.worker_threads);
   for (int i = 0; i < loop_count; ++i) {
     auto loop = std::make_shared<EpollLoop>();
+    loop->index = i;
     loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
     loop->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
     if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
@@ -486,6 +501,13 @@ void HttpServer::wake_loops() {
 }
 
 void HttpServer::epoll_loop(EpollLoop& loop) {
+  static obs::LogSite start_site{"serve.epoll", "loop_start", 0};
+  static obs::LogSite exit_site{"serve.epoll", "loop_exit", 0};
+  obs::log_event(start_site, obs::LogLevel::kInfo, 0,
+                 {{"loop", static_cast<std::uint64_t>(loop.index)}});
+  // Timer-wheel counters are flushed as deltas once per iteration: the
+  // wheel is single-threaded, the registry counters are shared.
+  TimerWheel::Stats flushed{};
   std::array<epoll_event, kMaxEvents> events;
   while (!stopping_.load(std::memory_order_acquire)) {
     loop.claim_pending(*this);
@@ -499,6 +521,11 @@ void HttpServer::epoll_loop(EpollLoop& loop) {
       if (errno == EINTR) continue;
       break;  // loop fd gone; stop() owns cleanup
     }
+    // Iteration latency covers the busy segment — event dispatch plus
+    // timer expiry — not the epoll_wait sleep; the histogram answers "how
+    // long can this loop go unresponsive once woken".
+    const auto iteration_started = Clock::now();
+    epoll_ready_fds_->observe(static_cast<double>(ready));
     for (int i = 0; i < ready; ++i) {
       const int fd = events[static_cast<std::size_t>(i)].data.fd;
       if (fd == loop.wake_fd) {
@@ -514,12 +541,29 @@ void HttpServer::epoll_loop(EpollLoop& loop) {
         now, [&](std::uint64_t id) {
           loop.on_timer(*this, static_cast<int>(id), now);
         });
+    const TimerWheel::Stats& wheel_stats = loop.wheel.stats();
+    timer_arms_->add(wheel_stats.arms - flushed.arms);
+    timer_lazy_cancels_->add(wheel_stats.lazy_cancels -
+                             flushed.lazy_cancels);
+    timer_fires_->add(wheel_stats.fires - flushed.fires);
+    timer_cascades_->add(wheel_stats.cascades - flushed.cascades);
+    timer_late_fires_->add(wheel_stats.late_fires - flushed.late_fires);
+    flushed = wheel_stats;
+    epoll_iteration_us_->observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - iteration_started)
+            .count()));
   }
   // Exit: every remaining connection gets the same bookkeeping close the
   // worker pool applies (stop()/drain() have already marked them aborted).
+  std::uint64_t closed_at_exit = 0;
   while (!loop.conns.empty()) {
     loop.close_conn(*this, loop.conns.begin()->first);
+    ++closed_at_exit;
   }
+  obs::log_event(exit_site, obs::LogLevel::kInfo, 0,
+                 {{"loop", static_cast<std::uint64_t>(loop.index)},
+                  {"conns_closed", closed_at_exit}});
 }
 
 }  // namespace asrel::serve

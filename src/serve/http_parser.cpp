@@ -148,7 +148,13 @@ HttpParse parse_http_request(std::string_view header_block,
     while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
       value.remove_suffix(1);
     }
-    if (name == "connection") {
+    if (name == "x-request-id") {
+      // Captured verbatim but bounded: a header longer than the canonical
+      // 16-hex form can never be honored, so don't buffer it either.
+      if (value.size() <= 64) {
+        request->client_request_id = std::string{value};
+      }
+    } else if (name == "connection") {
       std::string lowered{value};
       for (auto& c : lowered) c = static_cast<char>(std::tolower(
                                   static_cast<unsigned char>(c)));

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -31,6 +32,16 @@ struct HttpRequest {
   std::string path;    ///< decoded path, e.g. "/rel"
   std::vector<std::pair<std::string, std::string>> query;
   bool keep_alive = true;
+
+  /// Client-supplied X-Request-Id header value, verbatim (may be empty).
+  /// Only a 1..16-hex-digit value is honored downstream; anything else is
+  /// replaced by a server-generated id.
+  std::string client_request_id;
+
+  /// Resolved request id: the parsed client id when valid, otherwise a
+  /// per-connection splitmix64 id stamped by RequestAssembler. Echoed as
+  /// `X-Request-Id` and threaded through /slowz, /tracez, and /logz.
+  std::uint64_t request_id = 0;
 
   /// First value for `name`, or nullptr.
   [[nodiscard]] const std::string* query_param(std::string_view name) const;

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <iterator>
 
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "serve/fault_inject.hpp"
 #include "serve/json.hpp"
@@ -94,9 +95,11 @@ HttpServer::HttpServer(Handler handler, HttpServerOptions options)
                                      "Response bytes sent");
 
   // Per-route latency histograms come from a closed set fixed here;
-  // anything else lands in the "other" series (cardinality rule).
+  // anything else lands in the "other" series (cardinality rule). The
+  // slow rings follow the same closed set, so /slowz cardinality is
+  // bounded too.
   std::vector<std::string> routes{"/healthz", "/statsz", "/metricsz",
-                                  "/tracez"};
+                                  "/tracez",  "/logz",   "/slowz"};
   routes.insert(routes.end(), options_.metrics_routes.begin(),
                 options_.metrics_routes.end());
   for (const std::string& route : routes) {
@@ -106,11 +109,40 @@ HttpServer::HttpServer(Handler handler, HttpServerOptions options)
             obs::latency_buckets_us(),
             "Request latency from dispatch to response queued "
             "(microseconds)"),
-        "http " + route};
+        "http " + route,
+        std::make_unique<obs::SlowRing>(options_.slow_ring_capacity)};
   }
-  other_route_latency_ = &metrics_.histogram(
-      "asrel_http_request_duration_us{route=\"other\"}",
-      obs::latency_buckets_us());
+  other_route_ = RouteObs{
+      &metrics_.histogram("asrel_http_request_duration_us{route=\"other\"}",
+                          obs::latency_buckets_us()),
+      "http other",
+      std::make_unique<obs::SlowRing>(options_.slow_ring_capacity)};
+
+  // Epoll-loop internals. Registered unconditionally so every /metricsz
+  // exposition carries the same families regardless of serve model (the
+  // thread-pool model just never observes into them).
+  static const std::vector<double> kReadySetBounds{1, 2, 4, 8, 16, 32, 64,
+                                                   128, 256};
+  epoll_ready_fds_ = &metrics_.histogram(
+      "asrel_epoll_loop_ready_fds", kReadySetBounds,
+      "Ready descriptors returned per epoll_wait");
+  epoll_iteration_us_ = &metrics_.histogram(
+      "asrel_epoll_loop_iteration_us", obs::latency_buckets_us(),
+      "Wall time per event-loop iteration (microseconds)");
+  timer_arms_ = &metrics_.counter("asrel_timer_arms_total",
+                                  "Timer-wheel arm/re-arm operations");
+  timer_lazy_cancels_ = &metrics_.counter(
+      "asrel_timer_lazy_cancels_total",
+      "Stale wheel entries skipped at their slot (superseded or cancelled)");
+  timer_fires_ = &metrics_.counter("asrel_timer_fires_total",
+                                   "Timer callbacks fired");
+  timer_cascades_ = &metrics_.counter(
+      "asrel_timer_cascades_total",
+      "Beyond-horizon entries re-enqueued when their slot came due");
+  timer_late_fires_ = &metrics_.counter(
+      "asrel_timer_late_fires_total",
+      "Fires observed >= 1 full wheel revolution past their deadline "
+      "(regression guard for the sweep-cursor clamp)");
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -197,8 +229,8 @@ void HttpServer::stop() {
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   {
     std::lock_guard<std::mutex> lock{queue_mutex_};
-    for (const int fd : pending_) {
-      ::close(fd);
+    for (const PendingConn& conn : pending_) {
+      ::close(conn.fd);
       aborted_->inc();
     }
     pending_.clear();
@@ -222,6 +254,9 @@ DrainReport HttpServer::drain() {
                        .aborted = aborted_->value()};
   }
   draining_.store(true, std::memory_order_release);
+  static obs::LogSite drain_begin_site{"serve.http", "drain_begin", 0};
+  obs::log_event(drain_begin_site, obs::LogLevel::kInfo, 0,
+                 {{"deadline_ms", options_.drain_deadline_ms}});
 
   // Phase 1: stop admitting. Shutting down the listen socket pops the
   // acceptor out of accept(); joining it here means no new connection can
@@ -253,12 +288,12 @@ DrainReport HttpServer::drain() {
   // just counted as aborted because it had already been accepted.
   {
     std::lock_guard<std::mutex> lock{queue_mutex_};
-    for (const int fd : pending_) {
-      send_all(fd,
+    for (const PendingConn& conn : pending_) {
+      send_all(conn.fd,
                render_http_response(
                    make_shed_response(options_.retry_after_hint_s), false),
                bytes_written_);
-      ::close(fd);
+      ::close(conn.fd);
       aborted_->inc();
     }
     pending_.clear();
@@ -274,6 +309,10 @@ DrainReport HttpServer::drain() {
   queue_cv_.notify_all();
   wake_loops();
   join_all();
+  static obs::LogSite drain_done_site{"serve.http", "drain_done", 0};
+  obs::log_event(drain_done_site, obs::LogLevel::kInfo, 0,
+                 {{"drained", drained_->value()},
+                  {"aborted", aborted_->value()}});
   return DrainReport{.drained = drained_->value(),
                      .aborted = aborted_->value()};
 }
@@ -306,8 +345,12 @@ HttpServer::deadline_exceeded_by_route() const {
   return routes;
 }
 
-void HttpServer::note_deadline_exceeded(const std::string& route) {
+void HttpServer::note_deadline_exceeded(const std::string& route,
+                                        std::uint64_t request_id) {
   deadline_exceeded_->inc();
+  static obs::LogSite deadline_site{"serve.http", "deadline_exceeded", 10};
+  obs::log_event(deadline_site, obs::LogLevel::kWarn, request_id,
+                 {{"route", route}});
   std::lock_guard<std::mutex> lock{deadline_mutex_};
   ++deadline_by_route_[route];
 }
@@ -317,6 +360,11 @@ void HttpServer::note_deadline_exceeded(const std::string& route) {
 /// drain-time abort of queued connections sends the same bytes.
 void HttpServer::shed_connection(int fd) {
   overload_rejected_->inc();
+  // Rate-capped: a shed storm is exactly when the log must not flood.
+  static obs::LogSite shed_site{"serve.accept", "shed", 10};
+  obs::log_event(shed_site, obs::LogLevel::kWarn, 0,
+                 {{"pending_cap", options_.max_pending_connections},
+                  {"retry_after_s", options_.retry_after_hint_s}});
   send_all(fd,
            render_http_response(make_shed_response(options_.retry_after_hint_s),
                                 false),
@@ -345,6 +393,8 @@ void HttpServer::accept_loop() {
         // then restore the reserve. Without this, accept() fails in a
         // hot loop while the backlog never shrinks.
         emfile_recoveries_->inc();
+        static obs::LogSite emfile_site{"serve.accept", "emfile_recovery", 10};
+        obs::log_event(emfile_site, obs::LogLevel::kError, 0);
         if (reserve_fd_ >= 0) {
           ::close(reserve_fd_);
           reserve_fd_ = -1;
@@ -363,7 +413,10 @@ void HttpServer::accept_loop() {
       if (pending_.size() >= options_.max_pending_connections) {
         rejected = true;
       } else {
-        pending_.push_back(fd);
+        // The sequence is assigned under the queue lock but only ever
+        // written by this (single) acceptor thread; it seeds the
+        // connection's deterministic request-id stream.
+        pending_.push_back(PendingConn{fd, connection_sequence_++});
       }
     }
     if (rejected) {
@@ -377,7 +430,7 @@ void HttpServer::accept_loop() {
 
 void HttpServer::worker_loop() {
   for (;;) {
-    int fd = -1;
+    PendingConn conn;
     {
       std::unique_lock<std::mutex> lock{queue_mutex_};
       queue_cv_.wait(lock, [this] {
@@ -386,14 +439,15 @@ void HttpServer::worker_loop() {
                !pending_.empty();
       });
       if (pending_.empty()) return;  // only reachable when stopping/draining
-      fd = pending_.front();
+      conn = pending_.front();
       pending_.pop_front();
     }
+    const int fd = conn.fd;
     {
       std::lock_guard<std::mutex> lock{active_mutex_};
       active_fds_.insert(fd);
     }
-    serve_connection(fd);
+    serve_connection(fd, conn.sequence);
     bool was_aborted = false;
     {
       std::lock_guard<std::mutex> lock{active_mutex_};
@@ -409,7 +463,7 @@ void HttpServer::worker_loop() {
   }
 }
 
-void HttpServer::serve_connection(int fd) {
+void HttpServer::serve_connection(int fd, std::uint64_t connection_sequence) {
   timeval timeout{};
   timeout.tv_sec = options_.request_timeout_ms / 1000;
   timeout.tv_usec = (options_.request_timeout_ms % 1000) * 1000;
@@ -424,6 +478,7 @@ void HttpServer::serve_connection(int fd) {
   // followers buffered across iterations, so nothing is ever dropped
   // between keep-alive requests. The epoll front end feeds the same class.
   RequestAssembler assembler{options_.max_request_bytes};
+  assembler.seed_request_ids(connection_sequence);
   char chunk[4096];
   while (!stopping_.load(std::memory_order_acquire)) {
     // The deadline covers the whole request: reading it (so a client
@@ -520,21 +575,22 @@ void HttpServer::serve_connection(int fd) {
       // The response is still sent (it is ready and the client is live);
       // the overrun is recorded per route so operators can see which
       // endpoints blow their budget.
-      note_deadline_exceeded(request.path);
+      note_deadline_exceeded(request.path, request.request_id);
     }
-    observe_request(request.path,
-                    static_cast<std::uint64_t>(
-                        std::chrono::duration_cast<std::chrono::microseconds>(
-                            finished - dispatch_started)
-                            .count()),
-                    trace_start_us, tracing);
     // During a drain the response closes the connection: keep-alive loops
     // would otherwise pin the drain until its deadline.
     const bool keep_alive = request.keep_alive &&
                             !draining_.load(std::memory_order_acquire) &&
                             !stopping_.load(std::memory_order_acquire);
-    if (!send_all(fd, render_http_response(response, keep_alive),
-                  bytes_written_)) {
+    const std::string wire = render_http_response(response, keep_alive);
+    observe_request(request.path,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::microseconds>(
+                            finished - dispatch_started)
+                            .count()),
+                    trace_start_us, tracing,
+                    RequestObservation{request.request_id, wire.size(), 0});
+    if (!send_all(fd, wire, bytes_written_)) {
       return;
     }
     if (!keep_alive) return;
@@ -543,43 +599,84 @@ void HttpServer::serve_connection(int fd) {
 
 void HttpServer::observe_request(const std::string& path,
                                  std::uint64_t duration_us,
-                                 std::uint64_t trace_start_us, bool tracing) {
+                                 std::uint64_t trace_start_us, bool tracing,
+                                 const RequestObservation& observation) {
   const auto it = route_latency_.find(path);
   const bool known = it != route_latency_.end();
-  (known ? it->second.latency : other_route_latency_)
-      ->observe(static_cast<double>(duration_us));
+  const RouteObs& route = known ? it->second : other_route_;
+  route.latency->observe(static_cast<double>(duration_us));
   if (tracing) {
     // Request spans are depth-0 roots; the label follows the same
     // closed-set rule as the histograms so traces stay bounded too, and
     // the names are preassembled so tracing adds no allocations here.
-    obs::Tracer::instance().record(
-        known ? it->second.span_name : std::string_view{"http other"},
-        trace_start_us, duration_us, /*cpu_us=*/0, /*depth=*/0);
+    obs::Tracer::instance().record(route.span_name, trace_start_us,
+                                   duration_us, /*cpu_us=*/0, /*depth=*/0,
+                                   observation.request_id);
+  }
+  obs::SlowEntry entry;
+  entry.request_id = observation.request_id;
+  entry.latency_us = duration_us;
+  entry.epoch = options_.epoch_supplier ? options_.epoch_supplier() : 0;
+  entry.response_bytes = observation.response_bytes;
+  entry.flush_stalls = observation.flush_stalls;
+  entry.wall_unix_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  if (route.slow->offer(entry)) {
+    // A new route-worst request: log it while the id is hot, so /logz
+    // joins /slowz even for requests that never erred. Rate-capped — at
+    // steady state entering the top-K is rare by definition, but a cold
+    // ring would otherwise log every early request.
+    static obs::LogSite slow_site{"serve.http", "slow_request", 8};
+    const std::string_view route_name =
+        known ? std::string_view{path} : std::string_view{"other"};
+    obs::log_event(slow_site, obs::LogLevel::kInfo, observation.request_id,
+                   {{"route", route_name},
+                    {"latency_us", duration_us},
+                    {"bytes", observation.response_bytes},
+                    {"flush_stalls", observation.flush_stalls},
+                    {"epoch", entry.epoch}});
   }
 }
 
 HttpResponse HttpServer::dispatch(const HttpRequest& request) {
-  if (request.path == "/healthz") {
-    return HttpResponse::json(200, R"({"status":"ok"})");
-  }
-  if (request.path == "/statsz") {
-    return HttpResponse::json(200, statsz_body());
-  }
-  if (request.path == "/metricsz") {
-    HttpResponse response = HttpResponse::json(200, metricsz_body());
-    response.content_type = obs::kPrometheusContentType;
-    return response;
-  }
-  if (request.path == "/tracez") {
-    return HttpResponse::json(200, tracez_body(request));
-  }
-  if (request.method != "GET" && request.method != "POST") {
-    return HttpResponse::json(405, R"({"error":"method not allowed"})");
-  }
-  if (!handler_) {
-    return HttpResponse::json(404, R"({"error":"no handler registered"})");
-  }
-  return handler_(request);
+  const auto route = [&]() -> HttpResponse {
+    if (request.path == "/healthz") {
+      return HttpResponse::json(200, R"({"status":"ok"})");
+    }
+    if (request.path == "/statsz") {
+      return HttpResponse::json(200, statsz_body());
+    }
+    if (request.path == "/metricsz") {
+      HttpResponse response = HttpResponse::json(200, metricsz_body());
+      response.content_type = obs::kPrometheusContentType;
+      return response;
+    }
+    if (request.path == "/tracez") {
+      return HttpResponse::json(200, tracez_body(request));
+    }
+    if (request.path == "/logz") {
+      return HttpResponse::json(200, logz_body(request));
+    }
+    if (request.path == "/slowz") {
+      return HttpResponse::json(200, slowz_body());
+    }
+    if (request.method != "GET" && request.method != "POST") {
+      return HttpResponse::json(405, R"({"error":"method not allowed"})");
+    }
+    if (!handler_) {
+      return HttpResponse::json(404, R"({"error":"no handler registered"})");
+    }
+    return handler_(request);
+  };
+  HttpResponse response = route();
+  // Every dispatched response — handler or built-in, success or error —
+  // echoes its request id. This is the join key across /slowz, /tracez,
+  // /logz, and whatever the client logged on its side.
+  response.headers.emplace_back("X-Request-Id",
+                                obs::format_request_id(request.request_id));
+  return response;
 }
 
 std::string HttpServer::metricsz_body() const {
@@ -591,6 +688,27 @@ std::string HttpServer::metricsz_body() const {
   snapshots.insert(snapshots.end(),
                    std::make_move_iterator(global.begin()),
                    std::make_move_iterator(global.end()));
+  // Ring-health counters live in the tracer/log structures themselves;
+  // surface them as scrape-time series so dashboards can alert on
+  // observability data loss.
+  const auto scrape_counter = [&snapshots](std::string name, std::string help,
+                                           std::uint64_t value) {
+    obs::MetricSnapshot snapshot;
+    snapshot.name = std::move(name);
+    snapshot.help = std::move(help);
+    snapshot.type = obs::MetricType::kCounter;
+    snapshot.value = static_cast<double>(value);
+    snapshots.push_back(std::move(snapshot));
+  };
+  scrape_counter("asrel_trace_dropped_total",
+                 "Trace spans overwritten after their ring filled",
+                 obs::Tracer::instance().dropped());
+  scrape_counter("asrel_log_dropped_total",
+                 "Log events overwritten after their ring filled",
+                 obs::EventLog::instance().dropped());
+  scrape_counter("asrel_log_suppressed_total",
+                 "Log events refused by per-site rate caps",
+                 obs::EventLog::instance().suppressed());
   if (options_.metrics_supplement) options_.metrics_supplement(snapshots);
   return obs::render_prometheus(std::move(snapshots));
 }
@@ -602,6 +720,18 @@ std::string HttpServer::tracez_body(const HttpRequest& request) const {
     if (parsed > 0) n = static_cast<std::size_t>(parsed);
   }
   n = std::min<std::size_t>(n, 16384);
+  // ?route=/rel narrows to that route's request spans ("http /rel");
+  // ?id=<hex> narrows to one request. Both filters apply after the
+  // recency cut, matching how an operator works: pull a window, then
+  // grep it down.
+  std::string span_name_filter;
+  if (const std::string* route = request.query_param("route")) {
+    span_name_filter = "http " + *route;
+  }
+  std::uint64_t id_filter = 0;
+  if (const std::string* id = request.query_param("id")) {
+    (void)obs::parse_request_id(*id, &id_filter);
+  }
   const auto& tracer = obs::Tracer::instance();
   const std::vector<obs::SpanRecord> spans = tracer.recent(n);
   JsonWriter json;
@@ -610,6 +740,8 @@ std::string HttpServer::tracez_body(const HttpRequest& request) const {
   json.field("dropped", tracer.dropped());
   json.key("spans").begin_array();
   for (const obs::SpanRecord& span : spans) {
+    if (!span_name_filter.empty() && span.name != span_name_filter) continue;
+    if (id_filter != 0 && span.request_id != id_filter) continue;
     json.begin_object();
     json.field("name", span.name);
     json.field("start_us", span.start_us);
@@ -618,9 +750,80 @@ std::string HttpServer::tracez_body(const HttpRequest& request) const {
     json.field("tid", span.tid);
     json.field("depth", span.depth);
     json.field("seq", span.seq);
+    if (span.request_id != 0) {
+      json.field("request_id", obs::format_request_id(span.request_id));
+    }
     json.end_object();
   }
   json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+std::string HttpServer::logz_body(const HttpRequest& request) const {
+  std::size_t n = options_.logz_default_events;
+  if (const std::string* param = request.query_param("n")) {
+    const long parsed = std::strtol(param->c_str(), nullptr, 10);
+    if (parsed > 0) n = static_cast<std::size_t>(parsed);
+  }
+  n = std::min<std::size_t>(n, 16384);
+  std::uint64_t id_filter = 0;
+  if (const std::string* id = request.query_param("id")) {
+    (void)obs::parse_request_id(*id, &id_filter);
+  }
+  const obs::EventLog& log = obs::EventLog::instance();
+  JsonWriter json;
+  json.begin_object();
+  json.field("enabled", log.enabled());
+  json.field("dropped", log.dropped());
+  json.field("suppressed", log.suppressed());
+  json.key("events").begin_array();
+  std::string rendered;
+  for (const obs::LogEvent& event : log.recent(n)) {
+    if (id_filter != 0 && event.request_id != id_filter) continue;
+    rendered.clear();
+    obs::EventLog::render_event(event, rendered);
+    json.raw(rendered);
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+std::string HttpServer::slowz_body() const {
+  // Deterministic route order (sorted), entries slowest-first within each
+  // route (SlowRing::snapshot's contract).
+  std::vector<const std::string*> routes;
+  routes.reserve(route_latency_.size());
+  for (const auto& [route, _] : route_latency_) routes.push_back(&route);
+  std::sort(routes.begin(), routes.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("capacity",
+             static_cast<std::uint64_t>(options_.slow_ring_capacity));
+  json.key("routes").begin_object();
+  const auto render_route = [&json](const std::string& name,
+                                    const obs::SlowRing& ring) {
+    json.key(name).begin_array();
+    for (const obs::SlowEntry& entry : ring.snapshot()) {
+      json.begin_object();
+      json.field("request_id", obs::format_request_id(entry.request_id));
+      json.field("latency_us", entry.latency_us);
+      json.field("epoch", entry.epoch);
+      json.field("bytes", entry.response_bytes);
+      json.field("flush_stalls", entry.flush_stalls);
+      json.field("ts_ms", entry.wall_unix_ms);
+      json.end_object();
+    }
+    json.end_array();
+  };
+  for (const std::string* route : routes) {
+    render_route(*route, *route_latency_.at(*route).slow);
+  }
+  render_route("other", *other_route_.slow);
+  json.end_object();
   json.end_object();
   return std::move(json).str();
 }

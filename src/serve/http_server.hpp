@@ -35,8 +35,11 @@
 // drain() stops accepting, lets in-flight connections finish within a
 // deadline, force-closes stragglers, and reports drained/aborted counts.
 //
-// /healthz, /statsz, /metricsz (Prometheus text exposition), and /tracez
-// (recent spans as JSON) are answered by the server itself; GET and POST
+// /healthz, /statsz, /metricsz (Prometheus text exposition), /tracez
+// (recent spans as JSON), /logz (recent structured log events), and
+// /slowz (K slowest requests per route) are answered by the server
+// itself; every dispatched response echoes its request id as
+// X-Request-Id, the key that joins those views; GET and POST
 // are routed to the registered handler (which owns method policy for its
 // routes — the bundled AsrelService 405s POST everywhere except
 // /reloadz); other methods are 405. A request that cannot be parsed is
@@ -58,6 +61,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/slow_ring.hpp"
 #include "serve/http_parser.hpp"
 
 namespace asrel::serve {
@@ -132,6 +136,14 @@ struct HttpServerOptions {
   std::function<void(std::vector<obs::MetricSnapshot>&)> metrics_supplement;
   /// Default span count served by /tracez (override per request with ?n=).
   std::size_t tracez_default_spans = 256;
+  /// Default event count served by /logz (override per request with ?n=).
+  std::size_t logz_default_events = 256;
+  /// Slowest requests retained per route for /slowz.
+  std::size_t slow_ring_capacity = 8;
+  /// Supplier of the snapshot epoch currently being served, stamped into
+  /// /slowz entries so an outlier can be tied to the epoch that answered
+  /// it. Must be thread-safe; unset reads as epoch 0.
+  std::function<std::uint64_t()> epoch_supplier;
 };
 
 class HttpServer {
@@ -177,10 +189,20 @@ class HttpServer {
   /// tests scrape without sockets.
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
 
+  /// Per-request facts only the transport knows, fed to observe_request
+  /// alongside the timing: the resolved id, how many bytes the response
+  /// put on the wire, and how many flush stalls (EAGAIN on write) the
+  /// epoll path ate while getting them there.
+  struct RequestObservation {
+    std::uint64_t request_id = 0;
+    std::uint64_t response_bytes = 0;
+    std::uint32_t flush_stalls = 0;
+  };
+
  private:
   void accept_loop();
   void worker_loop();
-  void serve_connection(int fd);
+  void serve_connection(int fd, std::uint64_t connection_sequence);
   // ---- epoll front end (serve/epoll_server.cpp) ----
   /// Per-loop state: epoll fd, wake eventfd, connections, timer wheel.
   /// Defined in epoll_server.cpp; held by shared_ptr so this header stays
@@ -191,13 +213,17 @@ class HttpServer {
   /// Kicks every event loop's eventfd (new queued connection, stop, drain).
   void wake_loops();
   void shed_connection(int fd);
-  void note_deadline_exceeded(const std::string& route);
+  void note_deadline_exceeded(const std::string& route,
+                              std::uint64_t request_id = 0);
   void observe_request(const std::string& path, std::uint64_t duration_us,
-                       std::uint64_t trace_start_us, bool tracing);
+                       std::uint64_t trace_start_us, bool tracing,
+                       const RequestObservation& observation);
   [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
   [[nodiscard]] std::string statsz_body() const;
   [[nodiscard]] std::string metricsz_body() const;
   [[nodiscard]] std::string tracez_body(const HttpRequest& request) const;
+  [[nodiscard]] std::string logz_body(const HttpRequest& request) const;
+  [[nodiscard]] std::string slowz_body() const;
   void join_all();
 
   Handler handler_;
@@ -216,7 +242,15 @@ class HttpServer {
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_;
+  /// Accepted, not-yet-claimed connections. The sequence number (accept
+  /// order) seeds the connection's request-id stream, making ids a pure
+  /// function of (server, accept order, request index) in both models.
+  struct PendingConn {
+    int fd = -1;
+    std::uint64_t sequence = 0;
+  };
+  std::deque<PendingConn> pending_;
+  std::uint64_t connection_sequence_ = 0;  ///< acceptor thread only
 
   mutable std::mutex active_mutex_;
   std::unordered_set<int> active_fds_;
@@ -248,9 +282,19 @@ class HttpServer {
   struct RouteObs {
     obs::Histogram* latency = nullptr;
     std::string span_name;  ///< "http <route>"
+    std::unique_ptr<obs::SlowRing> slow;  ///< K slowest for /slowz
   };
   std::unordered_map<std::string, RouteObs> route_latency_;
-  obs::Histogram* other_route_latency_ = nullptr;
+  RouteObs other_route_;  ///< fold-in series for unknown paths
+  // Epoll-loop internals (populated only by the epoll front end; present
+  // in every exposition so scrapes have a stable schema).
+  obs::Histogram* epoll_ready_fds_ = nullptr;
+  obs::Histogram* epoll_iteration_us_ = nullptr;
+  obs::Counter* timer_arms_ = nullptr;
+  obs::Counter* timer_lazy_cancels_ = nullptr;
+  obs::Counter* timer_fires_ = nullptr;
+  obs::Counter* timer_cascades_ = nullptr;
+  obs::Counter* timer_late_fires_ = nullptr;
 };
 
 }  // namespace asrel::serve

@@ -1,6 +1,20 @@
 #include "serve/request_assembler.hpp"
 
+#include "obs/log.hpp"
+
 namespace asrel::serve {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 AssemblerStatus RequestAssembler::next(HttpRequest* out) {
   std::size_t header_len = 0;
@@ -25,6 +39,23 @@ AssemblerStatus RequestAssembler::next(HttpRequest* out) {
 
   // Consume exactly this request; pipelined followers stay buffered.
   buffer_.erase(0, body_start + parsed.content_length);
+
+  // Resolve request identity: a valid client-supplied id (1..16 hex
+  // digits, nonzero) wins; otherwise mint the next id from this
+  // connection's deterministic stream. The generator always advances so
+  // a mix of client-tagged and untagged requests still yields stable ids
+  // for the untagged ones.
+  const std::uint64_t generated = splitmix64(id_state_);
+  std::uint64_t client_id = 0;
+  if (!request.client_request_id.empty() &&
+      obs::parse_request_id(request.client_request_id, &client_id) &&
+      client_id != 0) {
+    request.request_id = client_id;
+  } else {
+    request.request_id = generated;
+    request.client_request_id.clear();  // invalid ids are not echoed
+  }
+
   *out = std::move(request);
   return AssemblerStatus::kRequest;
 }

@@ -11,9 +11,18 @@
 // The assembler owns only framing (header end, Content-Length body) and
 // size limits; header semantics stay in parse_http_request. Bodies are
 // read and discarded, mirroring the server's drain-and-ignore policy.
+//
+// The assembler is also where request identity is minted: the acceptor
+// seeds each connection with a deterministic per-connection value, and
+// every request pulled off the wire gets the next splitmix64 id from
+// that stream (unless the client supplied a valid X-Request-Id, which
+// wins). Ids are therefore a pure function of (server, accept order,
+// request index) — the property that keeps the two front ends
+// byte-identical, echo header included.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "serve/http_parser.hpp"
@@ -48,9 +57,17 @@ class RequestAssembler {
 
   [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
 
+  /// Seeds this connection's request-id stream. The acceptor passes its
+  /// per-server connection sequence number, so ids are deterministic for
+  /// a given accept order regardless of front end.
+  void seed_request_ids(std::uint64_t connection_sequence) {
+    id_state_ = connection_sequence;
+  }
+
  private:
   std::size_t max_request_bytes_;
   std::string buffer_;
+  std::uint64_t id_state_ = 0;
 };
 
 }  // namespace asrel::serve

@@ -21,6 +21,21 @@ class TimerWheel {
  public:
   using Clock = std::chrono::steady_clock;
 
+  /// Lifetime counters, single-threaded like the wheel itself. The epoll
+  /// loop flushes deltas into the server's Prometheus counters once per
+  /// iteration. `late_fires` counts timers that fired a full wheel
+  /// revolution (granularity * slots) or more past their deadline — the
+  /// symptom of the re-arm-into-swept-tick bug the enqueue clamp fixed,
+  /// kept nonzero-alarming so a regression shows up on /metricsz instead
+  /// of as a mysteriously stretched timeout.
+  struct Stats {
+    std::uint64_t arms = 0;
+    std::uint64_t lazy_cancels = 0;  ///< stale entries skipped at sweep
+    std::uint64_t fires = 0;
+    std::uint64_t cascades = 0;  ///< past-horizon entries re-enqueued
+    std::uint64_t late_fires = 0;
+  };
+
   explicit TimerWheel(std::chrono::milliseconds granularity =
                           std::chrono::milliseconds{8},
                       std::size_t slots = 512)
@@ -32,6 +47,7 @@ class TimerWheel {
     auto& state = timers_[id];
     ++state.generation;
     state.deadline = deadline;
+    ++stats_.arms;
     enqueue(id, state.generation, deadline);
   }
 
@@ -83,15 +99,23 @@ class TimerWheel {
         const auto it = timers_.find(entry.id);
         if (it == timers_.end() ||
             it->second.generation != entry.generation) {
+          ++stats_.lazy_cancels;
           continue;  // cancelled or superseded
         }
         if (it->second.deadline > now) {
           // Beyond the horizon when enqueued (or re-armed into the
           // future): push it back out to its real slot.
+          ++stats_.cascades;
           enqueue(entry.id, entry.generation, it->second.deadline);
           continue;
         }
+        const Clock::time_point deadline = it->second.deadline;
         timers_.erase(it);
+        ++stats_.fires;
+        if (now - deadline >=
+            granularity_ * static_cast<std::int64_t>(slots_)) {
+          ++stats_.late_fires;
+        }
         fire(entry.id);
       }
     }
@@ -99,6 +123,8 @@ class TimerWheel {
   }
 
   [[nodiscard]] std::size_t armed_count() const { return timers_.size(); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   struct Entry {
@@ -135,6 +161,7 @@ class TimerWheel {
   std::vector<std::vector<Entry>> wheel_;
   std::unordered_map<std::uint64_t, TimerState> timers_;
   std::uint64_t last_tick_ = 0;
+  Stats stats_;
 };
 
 }  // namespace asrel::serve

@@ -6,6 +6,7 @@
 
 #include "io/atomic_file.hpp"
 #include "io/wire.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "serve/fault_inject.hpp"
 
@@ -367,6 +368,20 @@ bool save_checkpoint_file(const StreamCheckpoint& checkpoint,
       io::write_file_atomic(to_checkpoint_bytes(checkpoint), path, error, cap);
   auto& metrics = CheckpointMetrics::get();
   (ok ? metrics.writes_ok : metrics.writes_failed).inc();
+  // Save failures are capped: a full disk fails every periodic save, and
+  // one event per second tells the story without flooding the ring.
+  static obs::LogSite save_ok_site{"stream.checkpoint", "save_ok", 4};
+  static obs::LogSite save_failed_site{"stream.checkpoint", "save_failed", 2};
+  if (ok) {
+    obs::log_event(save_ok_site, obs::LogLevel::kInfo, 0,
+                   {{"epoch", checkpoint.epoch}, {"path", path}});
+  } else {
+    obs::log_event(save_failed_site, obs::LogLevel::kError, 0,
+                   {{"epoch", checkpoint.epoch},
+                    {"path", path},
+                    {"error", error != nullptr ? std::string_view{*error}
+                                               : std::string_view{}}});
+  }
   return ok;
 }
 

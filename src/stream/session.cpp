@@ -10,6 +10,7 @@
 #include "core/parallel.hpp"
 #include "core/snapshot_builder.hpp"
 #include "io/wire.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/fault_inject.hpp"
@@ -444,6 +445,10 @@ StreamSession::WatchdogReport StreamSession::run_watchdog() {
   report.first_diff_section = first_diff_section(snapshot_, reference);
   ++stats_.divergences;
   metrics.divergences.inc();
+  static obs::LogSite diverged_site{"stream.watchdog", "diverged", 0};
+  obs::log_event(diverged_site, obs::LogLevel::kError, 0,
+                 {{"epoch", epoch_},
+                  {"first_diff_section", report.first_diff_section}});
 
   // Self-heal: throw away every piece of incremental state and re-derive
   // it from the world, then restamp the same epoch/build time so the
@@ -454,6 +459,8 @@ StreamSession::WatchdogReport StreamSession::run_watchdog() {
   report.healed = true;
   ++stats_.heals;
   metrics.heals.inc();
+  static obs::LogSite healed_site{"stream.watchdog", "healed", 0};
+  obs::log_event(healed_site, obs::LogLevel::kWarn, 0, {{"epoch", epoch_}});
   return report;
 }
 
@@ -463,12 +470,18 @@ RecoveryOutcome recover_session(const core::ScenarioParams& params,
   StreamMetrics& metrics = StreamMetrics::get();
   RecoveryOutcome outcome;
   std::string story;
+  static obs::LogSite rejected_site{"stream.recover", "checkpoint_rejected",
+                                    0};
+  static obs::LogSite restored_site{"stream.recover", "restored", 0};
+  static obs::LogSite cold_site{"stream.recover", "cold_bootstrap", 0};
   for (const auto& path : dir.candidates()) {
     std::string error;
     const auto checkpoint = load_checkpoint_file(path, &error);
     if (!checkpoint.has_value()) {
       ++outcome.checkpoints_rejected;
       metrics.recoveries_rejected.inc();
+      obs::log_event(rejected_site, obs::LogLevel::kWarn, 0,
+                     {{"path", path}, {"error", error}});
       story += path + ": " + error + "; ";
       continue;
     }
@@ -476,6 +489,8 @@ RecoveryOutcome recover_session(const core::ScenarioParams& params,
     if (session == nullptr) {
       ++outcome.checkpoints_rejected;
       metrics.recoveries_rejected.inc();
+      obs::log_event(rejected_site, obs::LogLevel::kWarn, 0,
+                     {{"path", path}, {"error", error}});
       story += path + ": " + error + "; ";
       continue;
     }
@@ -485,11 +500,16 @@ RecoveryOutcome recover_session(const core::ScenarioParams& params,
     outcome.detail = story + "restored epoch " +
                      std::to_string(checkpoint->epoch) + " from " + path;
     metrics.recoveries_restored.inc();
+    obs::log_event(restored_site, obs::LogLevel::kInfo, 0,
+                   {{"epoch", checkpoint->epoch}, {"path", path}});
     return outcome;
   }
   outcome.session = std::make_unique<StreamSession>(params);
   outcome.detail = story + "cold bootstrap";
   metrics.recoveries_cold.inc();
+  obs::log_event(
+      cold_site, obs::LogLevel::kInfo, 0,
+      {{"checkpoints_rejected", outcome.checkpoints_rejected}});
   return outcome;
 }
 

@@ -6,10 +6,16 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -20,7 +26,10 @@
 #include "core/bias_audit.hpp"
 #include "core/scenario.hpp"
 #include "eval/coverage.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slow_ring.hpp"
 #include "obs/trace.hpp"
 #include "serve/http_server.hpp"
 
@@ -358,9 +367,14 @@ class ObsTestClient {
   }
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
 
-  int get(const std::string& path, std::string* body = nullptr) {
-    const std::string raw =
-        "GET " + path + " HTTP/1.1\r\nHost: test\r\n\r\n";
+  /// `extra_header`, when nonempty, must be full header lines each ending
+  /// in "\r\n" (e.g. "X-Request-Id: beef\r\n"). `headers` receives the raw
+  /// status line + header block when non-null.
+  int get(const std::string& path, std::string* body = nullptr,
+          const std::string& extra_header = {},
+          std::string* headers = nullptr) {
+    const std::string raw = "GET " + path + " HTTP/1.1\r\nHost: test\r\n" +
+                            extra_header + "\r\n";
     if (::send(fd_, raw.data(), raw.size(), MSG_NOSIGNAL) !=
         static_cast<ssize_t>(raw.size())) {
       return -1;
@@ -371,6 +385,7 @@ class ObsTestClient {
     while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
       if (!recv_more(&data)) return -1;
     }
+    if (headers != nullptr) *headers = data.substr(0, header_end + 4);
     std::size_t content_length = 0;
     const std::size_t cl = data.find("Content-Length: ");
     if (cl != std::string::npos && cl < header_end) {
@@ -461,6 +476,428 @@ TEST(Obs, HttpMetricszAndTracez) {
   EXPECT_GE(stats.requests, 5u);
   EXPECT_GT(stats.bytes_read, 0u);
   EXPECT_GT(stats.bytes_written, 0u);
+}
+
+// ---------------------------------------------------------------- event log
+
+/// Sleeps into the next monotonic second so a rate-capped LogSite starts
+/// the test with a full per-second budget, regardless of what earlier
+/// tests in this binary consumed from the current window.
+void wait_for_fresh_rate_window() {
+  const std::uint64_t second = obs::Tracer::instance().now_us() / 1000000;
+  while (obs::Tracer::instance().now_us() / 1000000 == second) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+/// Structural JSON sanity: braces/brackets balance outside strings and
+/// every string closes. Enough to catch a torn or mis-spliced render; CI
+/// runs the real parser on crash dumps.
+bool looks_like_balanced_json(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(Obs, EventLogConcurrentEmitKeepsTotalOrder) {
+  obs::ScopedLogging logging{true, /*clear_on_exit=*/true};
+  obs::EventLog& log = obs::EventLog::instance();
+  log.clear();
+
+  static obs::LogSite site{"obs.test", "concurrent", 0};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  const std::uint64_t emitted_before = log.emitted();
+
+  // A concurrent reader exercises the emit/snapshot race under TSan.
+  std::atomic<bool> stop{false};
+  std::thread reader{[&log, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)log.recent(32);
+      (void)log.dropped();
+    }
+  }};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::log_event(site, obs::LogLevel::kInfo,
+                       static_cast<std::uint64_t>(t) + 1,
+                       {{"iter", i}, {"thread", t}});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Unlimited site: every emission is stored (per-thread rings are large
+  // enough that nothing wraps).
+  EXPECT_EQ(log.emitted() - emitted_before,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+
+  // The merged view is in strictly increasing global sequence order.
+  const std::vector<obs::LogEvent> events = log.recent(kThreads * kPerThread);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+TEST(Obs, EventLogRateCapSuppressesFloods) {
+  obs::ScopedLogging logging{true, /*clear_on_exit=*/true};
+  obs::EventLog& log = obs::EventLog::instance();
+
+  // Site unique to this test, so the cap's window starts unconsumed.
+  static obs::LogSite site{"obs.test", "capped", 4};
+  const std::uint64_t emitted_before = log.emitted();
+  const std::uint64_t site_suppressed_before = site.suppressed.load();
+  const std::uint64_t global_suppressed_before = log.suppressed();
+
+  for (int i = 0; i < 20; ++i) {
+    obs::log_event(site, obs::LogLevel::kWarn, 0, {{"i", i}});
+  }
+
+  // The burst takes microseconds, so it spans at most one window roll:
+  // between cap and 2*cap events stored, the rest counted as suppressed.
+  const std::uint64_t stored = log.emitted() - emitted_before;
+  EXPECT_GE(stored, 4u);
+  EXPECT_LE(stored, 8u);
+  EXPECT_EQ(site.suppressed.load() - site_suppressed_before, 20u - stored);
+  EXPECT_EQ(log.suppressed() - global_suppressed_before, 20u - stored);
+}
+
+TEST(Obs, EventLogRenderGolden) {
+  // The /logz and flight-recorder schema: fixed key order, request_id
+  // only when nonzero, fields spliced verbatim after the envelope.
+  obs::LogEvent event;
+  event.seq = 7;
+  event.wall_unix_ms = 1700000000123ull;
+  event.mono_us = 42000;
+  event.request_id = 0xdeadbeefull;
+  event.component = "stream.hub";
+  event.event = "swap";
+  event.level = obs::LogLevel::kWarn;
+  event.tid = 3;
+  event.fields_json = ",\"epoch\":9,\"ok\":true";
+
+  std::string out;
+  obs::EventLog::render_event(event, out);
+  EXPECT_EQ(out,
+            "{\"seq\":7,\"ts_ms\":1700000000123,\"mono_us\":42000,"
+            "\"level\":\"warn\",\"component\":\"stream.hub\","
+            "\"event\":\"swap\",\"tid\":3,"
+            "\"request_id\":\"00000000deadbeef\",\"epoch\":9,\"ok\":true}");
+  EXPECT_TRUE(looks_like_balanced_json(out));
+
+  // request_id 0 means "not request-scoped" and the key is omitted.
+  event.request_id = 0;
+  event.fields_json.clear();
+  out.clear();
+  obs::EventLog::render_event(event, out);
+  EXPECT_EQ(out.find("request_id"), std::string::npos);
+  EXPECT_TRUE(looks_like_balanced_json(out));
+}
+
+TEST(Obs, JsonEscapingCoversQuotesAndControlChars) {
+  std::string out;
+  obs::append_json_escaped(out, "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(Obs, RequestIdFormatAndParse) {
+  EXPECT_EQ(obs::format_request_id(0), "0000000000000000");
+  EXPECT_EQ(obs::format_request_id(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(obs::format_request_id(0xffffffffffffffffull),
+            "ffffffffffffffff");
+
+  std::uint64_t id = 0;
+  EXPECT_TRUE(obs::parse_request_id("ff", &id));
+  EXPECT_EQ(id, 0xffu);
+  EXPECT_TRUE(obs::parse_request_id("00000000DEADBEEF", &id));
+  EXPECT_EQ(id, 0xdeadbeefull);
+  for (const std::uint64_t value :
+       {std::uint64_t{1}, std::uint64_t{0x123456789abcdef0ull}}) {
+    EXPECT_TRUE(obs::parse_request_id(obs::format_request_id(value), &id));
+    EXPECT_EQ(id, value);
+  }
+
+  EXPECT_FALSE(obs::parse_request_id("", nullptr));
+  EXPECT_FALSE(obs::parse_request_id("12345678901234567", nullptr));  // 17
+  EXPECT_FALSE(obs::parse_request_id("xyz", nullptr));
+  EXPECT_FALSE(obs::parse_request_id("0x12", nullptr));
+  EXPECT_FALSE(obs::parse_request_id("12 34", nullptr));
+}
+
+// ---------------------------------------------------------------- slow ring
+
+TEST(Obs, SlowRingKeepsSlowestAndEvictsInOrder) {
+  const auto entry = [](std::uint64_t id, std::uint64_t latency,
+                        std::uint64_t wall) {
+    obs::SlowEntry e;
+    e.request_id = id;
+    e.latency_us = latency;
+    e.wall_unix_ms = wall;
+    return e;
+  };
+
+  obs::SlowRing ring{3};
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_TRUE(ring.offer(entry(1, 100, 1)));
+  EXPECT_TRUE(ring.offer(entry(2, 50, 2)));
+  EXPECT_TRUE(ring.offer(entry(3, 200, 3)));
+
+  // Full ring: the floor (50) rejects faster candidates without a lock...
+  EXPECT_FALSE(ring.offer(entry(4, 10, 4)));
+  // ...a slower one displaces the fastest retained entry (id 2 at 50)...
+  EXPECT_TRUE(ring.offer(entry(5, 60, 5)));
+  // ...which raises the floor to 60.
+  EXPECT_FALSE(ring.offer(entry(6, 55, 6)));
+  // A tie with the floor evicts the older equal-latency entry, so the
+  // ring turns over instead of pinning first arrivals.
+  EXPECT_TRUE(ring.offer(entry(7, 60, 7)));
+
+  const std::vector<obs::SlowEntry> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].request_id, 3u);  // 200us
+  EXPECT_EQ(snap[1].request_id, 1u);  // 100us
+  EXPECT_EQ(snap[2].request_id, 7u);  // 60us, the newer of the ties
+}
+
+TEST(Obs, SlowRingSnapshotOrdersTiesMostRecentFirst) {
+  const auto entry = [](std::uint64_t id, std::uint64_t latency,
+                        std::uint64_t wall) {
+    obs::SlowEntry e;
+    e.request_id = id;
+    e.latency_us = latency;
+    e.wall_unix_ms = wall;
+    return e;
+  };
+
+  obs::SlowRing ring{4};
+  EXPECT_TRUE(ring.offer(entry(1, 5, 10)));
+  EXPECT_TRUE(ring.offer(entry(2, 5, 20)));
+  EXPECT_TRUE(ring.offer(entry(9, 5, 20)));  // same wall: id ascending
+  EXPECT_TRUE(ring.offer(entry(3, 7, 15)));
+  const std::vector<obs::SlowEntry> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].request_id, 3u);  // slowest first
+  EXPECT_EQ(snap[1].request_id, 2u);  // tie: most recent wall, lowest id
+  EXPECT_EQ(snap[2].request_id, 9u);
+  EXPECT_EQ(snap[3].request_id, 1u);
+
+  // capacity 0 clamps to 1 rather than an unusable ring.
+  obs::SlowRing tiny{0};
+  EXPECT_EQ(tiny.capacity(), 1u);
+}
+
+// ------------------------------------------- request ids over the wire
+
+std::string header_value(const std::string& headers, const std::string& name) {
+  const std::string needle = name + ": ";
+  const std::size_t at = headers.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t end = headers.find("\r\n", at);
+  return headers.substr(at + needle.size(), end - at - needle.size());
+}
+
+class ObsHttpRequestId : public ::testing::TestWithParam<serve::ServeModel> {};
+
+TEST_P(ObsHttpRequestId, EchoAndJoinAcrossSlowzTracezLogz) {
+  obs::ScopedTracing tracing{true, /*clear_on_exit=*/true};
+  obs::ScopedLogging logging{true, /*clear_on_exit=*/true};
+  obs::Tracer::instance().clear();
+  obs::EventLog::instance().clear();
+
+  serve::HttpServerOptions options;
+  options.port = 0;
+  options.serve_model = GetParam();
+  options.worker_threads = 2;
+  options.metrics_routes = {"/ping"};
+  options.epoch_supplier = [] { return std::uint64_t{77}; };
+  serve::HttpServer server{
+      [](const serve::HttpRequest&) {
+        return serve::HttpResponse::json(200, "{\"pong\":true}");
+      },
+      options};
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // The slow_request log site is rate-capped per monotonic second; start
+  // a fresh window so this test's retentions all get logged.
+  wait_for_fresh_rate_window();
+
+  ObsTestClient client{server.port()};
+  ASSERT_TRUE(client.connected());
+  std::string body;
+  std::string headers;
+
+  // A valid client id is echoed in canonical 16-hex form...
+  EXPECT_EQ(client.get("/ping", &body,
+                       "X-Request-Id: 00000000deadbeef\r\n", &headers),
+            200);
+  EXPECT_EQ(header_value(headers, "X-Request-Id"), "00000000deadbeef");
+
+  // ...including short or uppercase ids, which normalize.
+  EXPECT_EQ(client.get("/ping", &body, "X-Request-Id: BEEF\r\n", &headers),
+            200);
+  EXPECT_EQ(header_value(headers, "X-Request-Id"), "000000000000beef");
+
+  // An unparseable id is ignored: the server mints one instead.
+  EXPECT_EQ(client.get("/ping", &body, "X-Request-Id: not-hex!\r\n",
+                       &headers),
+            200);
+  const std::string generated = header_value(headers, "X-Request-Id");
+  EXPECT_EQ(generated.size(), 16u);
+  std::uint64_t generated_id = 0;
+  EXPECT_TRUE(obs::parse_request_id(generated, &generated_id));
+  EXPECT_NE(generated_id, 0u);
+  EXPECT_NE(generated, "0000000000000000");
+
+  // No header at all: also minted, and distinct from the previous one.
+  EXPECT_EQ(client.get("/ping", &body, "", &headers), 200);
+  EXPECT_EQ(header_value(headers, "X-Request-Id").size(), 16u);
+  EXPECT_NE(header_value(headers, "X-Request-Id"), generated);
+
+  // The tagged request is findable in /slowz (a cold ring retains it),
+  // stamped with the supplier's epoch.
+  EXPECT_EQ(client.get("/slowz", &body), 200);
+  EXPECT_TRUE(looks_like_balanced_json(body)) << body;
+  EXPECT_NE(body.find("\"00000000deadbeef\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"epoch\":77"), std::string::npos);
+  EXPECT_NE(body.find("\"/ping\":["), std::string::npos);
+  EXPECT_NE(body.find("\"other\":["), std::string::npos);
+
+  // ...in /tracez, both unfiltered-by-route and via ?id=.
+  EXPECT_EQ(client.get("/tracez?id=00000000deadbeef", &body), 200);
+  EXPECT_NE(body.find("\"request_id\":\"00000000deadbeef\""),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"http /ping\""), std::string::npos);
+
+  // ?route= narrows to one route's spans.
+  EXPECT_EQ(client.get("/tracez?route=/ping", &body), 200);
+  EXPECT_NE(body.find("\"http /ping\""), std::string::npos);
+  EXPECT_EQ(body.find("\"http other\""), std::string::npos) << body;
+
+  // ...and in /logz via ?id=: retention in the slow ring logged the
+  // request while its id was hot.
+  EXPECT_EQ(client.get("/logz?id=00000000deadbeef", &body), 200);
+  EXPECT_TRUE(looks_like_balanced_json(body)) << body;
+  EXPECT_NE(body.find("\"event\":\"slow_request\""), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"request_id\":\"00000000deadbeef\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"enabled\":true"), std::string::npos);
+
+  // Unfiltered /logz serves the ring with its bookkeeping fields; a bad
+  // ?n= falls back to the default window rather than erroring.
+  EXPECT_EQ(client.get("/logz?n=128", &body), 200);
+  EXPECT_NE(body.find("\"events\":["), std::string::npos);
+  EXPECT_NE(body.find("\"dropped\":"), std::string::npos);
+  EXPECT_NE(body.find("\"suppressed\":"), std::string::npos);
+  EXPECT_EQ(client.get("/logz?n=bogus", &body), 200);
+
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServeModels, ObsHttpRequestId,
+    ::testing::Values(serve::ServeModel::kEpoll,
+                      serve::ServeModel::kThreadPool),
+    [](const ::testing::TestParamInfo<serve::ServeModel>& info) {
+      return info.param == serve::ServeModel::kEpoll ? "Epoll" : "ThreadPool";
+    });
+
+// ---------------------------------------------------------- flight recorder
+
+TEST(Obs, FlightRecorderComposesValidJsonAndDumpsOnFatalSignal) {
+  obs::ScopedLogging logging{true, /*clear_on_exit=*/true};
+  namespace fs = std::filesystem;
+  const fs::path crash_dir =
+      fs::temp_directory_path() /
+      ("asrel-obs-crash-" + std::to_string(::getpid()));
+  fs::remove_all(crash_dir);
+
+  obs::FlightRecorder::Config config;
+  config.crash_dir = crash_dir.string();
+  config.tool = "asrel_tests";
+  config.build_info = "test-build";
+  obs::FlightRecorder& flight = obs::FlightRecorder::instance();
+  std::string error;
+  ASSERT_TRUE(flight.arm(config, &error)) << error;
+  flight.set_epoch(42);
+
+  static obs::LogSite site{"obs.test", "pre_crash", 0};
+  obs::log_event(site, obs::LogLevel::kError, 0x1234,
+                 {{"detail", "boom"}});
+  flight.refresh();
+
+  // In-process: the composed dump is exactly what the handler would
+  // write, and it is structurally valid JSON with the live preamble.
+  const std::string composed = flight.compose_for_test(SIGSEGV);
+  EXPECT_TRUE(looks_like_balanced_json(composed)) << composed;
+  EXPECT_NE(composed.find("\"signal\":11"), std::string::npos);
+  EXPECT_NE(composed.find("\"signal_name\":\"SIGSEGV\""), std::string::npos);
+  EXPECT_NE(composed.find("\"crash_epoch\":42"), std::string::npos);
+  EXPECT_NE(composed.find("\"tool\":\"asrel_tests\""), std::string::npos);
+  EXPECT_NE(composed.find("\"snapshot_epoch\":42"), std::string::npos);
+  EXPECT_NE(composed.find("\"pre_crash\""), std::string::npos);
+  EXPECT_NE(composed.find("\"request_id\":\"0000000000001234\""),
+            std::string::npos);
+  EXPECT_NE(composed.find("\"metrics\":{"), std::string::npos);
+
+  // End-to-end: a forked child dies by SIGABRT; the inherited handler
+  // writes the black box (to the path rendered at arm time, i.e. this
+  // process's pid) and the re-raise preserves the signal exit status.
+  const std::string dump_path = flight.dump_path();
+  ASSERT_FALSE(dump_path.empty());
+  fs::remove(dump_path);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::raise(SIGABRT);
+    ::_exit(97);  // unreachable: the handler re-raises with SIG_DFL
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  std::ifstream in{dump_path};
+  ASSERT_TRUE(in.good()) << "no crash dump at " << dump_path;
+  const std::string dump{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  EXPECT_TRUE(looks_like_balanced_json(dump)) << dump;
+  EXPECT_NE(dump.find("\"signal\":6"), std::string::npos);
+  EXPECT_NE(dump.find("\"signal_name\":\"SIGABRT\""), std::string::npos);
+  EXPECT_NE(dump.find("\"crash_epoch\":42"), std::string::npos);
+  EXPECT_NE(dump.find("\"crash_mono_us\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"pre_crash\""), std::string::npos);
+
+  flight.disarm_for_test();
+  fs::remove_all(crash_dir);
 }
 
 }  // namespace

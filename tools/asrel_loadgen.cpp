@@ -3,7 +3,15 @@
 //   asrel_loadgen --port P [--host 127.0.0.1] [--connections C]
 //                 [--duration-ms MS | --requests N] [--mode rel|mixed]
 //                 [--pipeline N] [--retries R] [--backoff-us US]
-//                 [--jitter-seed S] [--epoch-watch]
+//                 [--jitter-seed S] [--epoch-watch] [--verify-request-id]
+//
+// --verify-request-id tags every request with a generated X-Request-Id
+// (16 hex digits, the server's canonical form) and asserts the response
+// echoes it byte-for-byte; any mismatch fails the run. The summary then
+// reports the ids of the slowest and the failed requests — paste one
+// into the server's /slowz, /tracez?id= or /logz?id= to see its whole
+// story. Single-request mode only (in a pipelined burst the echo is
+// positional, and this tool reads burst responses status-only).
 //
 // --pipeline N sends N keep-alive requests back-to-back in one write and
 // then reads the N responses — HTTP/1.1 pipelining. Against the epoll
@@ -50,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace {
@@ -66,6 +75,7 @@ struct Args {
   long backoff_us = 2000;    ///< first backoff; doubles per attempt
   std::uint64_t jitter_seed = 1;
   bool epoch_watch = false;  ///< poll /statsz for snapshot epoch swaps
+  bool verify_request_id = false;  ///< tag requests, assert the echo
 };
 
 int usage() {
@@ -74,7 +84,7 @@ int usage() {
       "usage: asrel_loadgen --port P [--host H] [--connections C]\n"
       "       [--duration-ms MS | --requests N] [--mode rel|mixed]\n"
       "       [--pipeline N] [--retries R] [--backoff-us US]\n"
-      "       [--jitter-seed S] [--epoch-watch]\n");
+      "       [--jitter-seed S] [--epoch-watch] [--verify-request-id]\n");
   return 2;
 }
 
@@ -84,6 +94,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
     const std::string_view flag = argv[i];
     if (flag == "--epoch-watch") {
       args.epoch_watch = true;
+      continue;
+    }
+    if (flag == "--verify-request-id") {
+      args.verify_request_id = true;
       continue;
     }
     if (i + 1 >= argc) return std::nullopt;
@@ -117,6 +131,12 @@ std::optional<Args> parse_args(int argc, char** argv) {
   if (args.mode != "rel" && args.mode != "mixed") return std::nullopt;
   if (args.pipeline < 1) args.pipeline = 1;
   if (args.retries < 0) args.retries = 0;
+  if (args.verify_request_id && args.pipeline > 1) {
+    std::fprintf(stderr,
+                 "--verify-request-id requires --pipeline 1 (burst "
+                 "responses are read status-only)\n");
+    return std::nullopt;
+  }
   return args;
 }
 
@@ -175,12 +195,19 @@ class Connection {
   [[nodiscard]] bool is_open() const { return fd_ >= 0; }
 
   /// Sends one GET and reads the full response. Returns the HTTP status,
-  /// or -1 on transport/parse failure.
-  int get(const std::string& path, std::string* body = nullptr) {
-    const std::string request =
-        "GET " + path + " HTTP/1.1\r\nHost: loadgen\r\n\r\n";
+  /// or -1 on transport/parse failure. A nonempty `request_id` is sent as
+  /// X-Request-Id; a non-null `echoed_id` receives the response's
+  /// X-Request-Id header value (empty if absent).
+  int get(const std::string& path, std::string* body = nullptr,
+          const std::string& request_id = std::string{},
+          std::string* echoed_id = nullptr) {
+    std::string request = "GET " + path + " HTTP/1.1\r\nHost: loadgen\r\n";
+    if (!request_id.empty()) {
+      request += "X-Request-Id: " + request_id + "\r\n";
+    }
+    request += "\r\n";
     if (!send_all(request)) return -1;
-    return read_response(body);
+    return read_response(body, echoed_id);
   }
 
   /// Sends `count` pipelined requests as one write and reads the response
@@ -209,7 +236,7 @@ class Connection {
   /// Reads one complete response (headers + Content-Length body) from
   /// the carried-over buffer plus the socket. Returns the HTTP status or
   /// -1 on transport/parse failure.
-  int read_response(std::string* body) {
+  int read_response(std::string* body, std::string* echoed_id = nullptr) {
     // Read until the header block is complete.
     std::string data = std::move(leftover_);
     leftover_.clear();
@@ -222,6 +249,18 @@ class Connection {
     const std::size_t space = data.find(' ');
     if (space == std::string::npos || space + 4 > data.size()) return -1;
     const int status = std::atoi(data.c_str() + space + 1);
+
+    if (echoed_id != nullptr) {
+      echoed_id->clear();
+      const std::size_t at = data.find("X-Request-Id: ");
+      if (at != std::string::npos && at < header_end) {
+        const std::size_t value = at + 14;
+        const std::size_t end = data.find("\r\n", value);
+        if (end != std::string::npos) {
+          *echoed_id = data.substr(value, end - value);
+        }
+      }
+    }
 
     // Body: Content-Length is always present in our server's responses.
     std::size_t content_length = 0;
@@ -308,7 +347,16 @@ struct WorkerResult {
   /// When each error resolved — correlated against epoch-swap times to
   /// catch failures that straddle a snapshot publication.
   std::vector<std::chrono::steady_clock::time_point> error_times;
+  // --verify-request-id bookkeeping.
+  long id_mismatches = 0;  ///< echoed X-Request-Id differed from the sent one
+  /// (latency_us, id) of this worker's slowest verified requests; the
+  /// report merges all workers and keeps the overall worst.
+  std::vector<std::pair<double, std::string>> slow_ids;
+  std::vector<std::string> failed_ids;  ///< ids of requests counted as errors
 };
+
+constexpr std::size_t kSlowIdsKept = 8;
+constexpr std::size_t kFailedIdsKept = 16;
 
 /// Sidecar /statsz poller tracking the served snapshot-header epoch.
 struct EpochWatch {
@@ -413,6 +461,11 @@ int main(int argc, char** argv) {
     workers.emplace_back([&, w] {
       WorkerResult& result = results[static_cast<std::size_t>(w)];
       std::uint64_t rng = args->jitter_seed + static_cast<std::uint64_t>(w);
+      // Ids come from a stream separate from the backoff jitter, so
+      // tagging requests never perturbs the replayable backoff schedule.
+      std::uint64_t id_rng =
+          (args->jitter_seed << 8) + static_cast<std::uint64_t>(w) + 1;
+      const bool verify_ids = args->verify_request_id;
       Connection connection;
       std::size_t cursor = static_cast<std::size_t>(w) * 7919;
       const char* reports[] = {"/report/regional", "/report/topological",
@@ -506,6 +559,17 @@ int main(int argc, char** argv) {
       while (budget.fetch_sub(1, std::memory_order_relaxed) > 0 &&
              std::chrono::steady_clock::now() < deadline) {
         const std::string path = next_path();
+        // One id per logical request: retries reattempt the same request,
+        // so they carry the same tag.
+        std::string sent_id;
+        if (verify_ids) {
+          sent_id = asrel::obs::format_request_id(splitmix64(id_rng));
+        }
+        const auto note_failed_id = [&] {
+          if (verify_ids && result.failed_ids.size() < kFailedIdsKept) {
+            result.failed_ids.push_back(sent_id);
+          }
+        };
 
         // One request = up to 1 + retries attempts. Connect failures and
         // 503 sheds back off (jittered exponential) and retry; anything
@@ -521,7 +585,9 @@ int main(int argc, char** argv) {
             continue;  // connect refused/reset: back off and retry
           }
           const auto t0 = std::chrono::steady_clock::now();
-          const int status = connection.get(path);
+          std::string echoed_id;
+          const int status = connection.get(
+              path, nullptr, sent_id, verify_ids ? &echoed_id : nullptr);
           const auto t1 = std::chrono::steady_clock::now();
           if (status == 200) {
             ++result.success;
@@ -530,6 +596,17 @@ int main(int argc, char** argv) {
             latency_hist.observe(latency_us);
             result.max_latency_us = std::max(result.max_latency_us,
                                              latency_us);
+            if (verify_ids) {
+              if (echoed_id != sent_id) ++result.id_mismatches;
+              result.slow_ids.emplace_back(latency_us, sent_id);
+              if (result.slow_ids.size() > 2 * kSlowIdsKept) {
+                std::partial_sort(
+                    result.slow_ids.begin(),
+                    result.slow_ids.begin() + kSlowIdsKept,
+                    result.slow_ids.end(), std::greater<>{});
+                result.slow_ids.resize(kSlowIdsKept);
+              }
+            }
             resolved = true;
             break;
           }
@@ -546,12 +623,14 @@ int main(int argc, char** argv) {
           }
           ++result.errors;  // unexpected status (4xx/5xx): no retry
           result.error_times.push_back(t1);
+          note_failed_id();
           resolved = true;
           break;
         }
         if (!resolved) {
           ++result.errors;  // retry budget exhausted
           result.error_times.push_back(std::chrono::steady_clock::now());
+          note_failed_id();
         }
       }
     });
@@ -593,6 +672,36 @@ int main(int argc, char** argv) {
               asrel::obs::histogram_quantile(latency, 0.99));
   std::printf("latency max: %.0f us\n", max_latency_us);
 
+  bool id_failed = false;
+  if (args->verify_request_id) {
+    long mismatches = 0;
+    std::vector<std::pair<double, std::string>> slow;
+    std::vector<std::string> failed;
+    for (const auto& result : results) {
+      mismatches += result.id_mismatches;
+      slow.insert(slow.end(), result.slow_ids.begin(),
+                  result.slow_ids.end());
+      failed.insert(failed.end(), result.failed_ids.begin(),
+                    result.failed_ids.end());
+    }
+    std::sort(slow.begin(), slow.end(), std::greater<>{});
+    if (slow.size() > kSlowIdsKept) slow.resize(kSlowIdsKept);
+    std::printf("request-id mismatches: %ld\n", mismatches);
+    for (const auto& [latency_us, id] : slow) {
+      std::printf("slowest: id=%s latency=%.0f us\n", id.c_str(),
+                  latency_us);
+    }
+    for (const auto& id : failed) {
+      std::printf("failed:  id=%s\n", id.c_str());
+    }
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "request-id verification FAILED: %ld echo mismatches\n",
+                   mismatches);
+      id_failed = true;
+    }
+  }
+
   bool watch_failed = false;
   if (args->epoch_watch) {
     // A request error within +/-50 ms of an epoch swap would mean the
@@ -624,5 +733,5 @@ int main(int argc, char** argv) {
     }
     watch_failed = watch_failed || watch.regressed || straddling > 0;
   }
-  return errors == 0 && !watch_failed ? 0 : 1;
+  return errors == 0 && !watch_failed && !id_failed ? 0 : 1;
 }

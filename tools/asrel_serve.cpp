@@ -41,8 +41,19 @@
 //   SIGINT/SIGTERM  graceful drain: stop accepting, finish in-flight
 //                   connections within --drain-ms, then exit
 //
+// Observability:
+//   --log-stderr LEVEL   mirror structured log events (JSON lines) at
+//                        LEVEL and above to stderr (debug|info|warn|error;
+//                        default off — the in-memory ring behind /logz is
+//                        always on)
+//   --crash-dir DIR      arm the crash flight recorder: on SIGSEGV /
+//                        SIGABRT / SIGBUS write DIR/crash-<pid>.json (build
+//                        info, served epoch, recent log events and spans,
+//                        metrics snapshot), then re-raise
+//
 // Endpoints: /rel /as /links /report/{regional,topological} /report/table
-// /snapshot /healthz /statsz /metricsz /tracez — see src/serve/service.hpp.
+// /snapshot /healthz /statsz /metricsz /tracez /logz /slowz — see
+// src/serve/service.hpp.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -59,6 +70,8 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "core/snapshot_builder.hpp"
 #include "io/flat_snapshot.hpp"
@@ -93,6 +106,8 @@ struct Args {
   int drain_ms = 5000;
   int max_pending = 256;   ///< admission-queue bound (503 shed beyond it)
   bool trace = false;      ///< record server spans (served via /tracez)
+  int log_stderr = -1;     ///< stderr log sink level; -1 = off
+  std::string crash_dir;   ///< arm the crash flight recorder here
 
   // Live mode (--generate only): nonzero stream_events or --replay
   // enables it.
@@ -117,6 +132,7 @@ int usage() {
       "  asrel_serve --snapshot FILE [--port P] [--threads N]\n"
       "              [--timeout-ms MS] [--deadline-ms MS] [--drain-ms MS]\n"
       "              [--max-pending N] [--trace]\n"
+      "              [--log-stderr debug|info|warn|error] [--crash-dir DIR]\n"
       "              [--serve-model epoll|threadpool] [--save-flat FILE]\n"
       "  asrel_serve --flat-snapshot FILE [--port P] [--threads N]\n"
       "  asrel_serve --generate [--as-count N] [--seed S] [--save FILE]\n"
@@ -128,6 +144,16 @@ int usage() {
       "              [--queue-policy block|shed|coalesce] ...\n"
       "signals: SIGHUP = hot snapshot reload, SIGINT/SIGTERM = drain+exit\n");
   return 2;
+}
+
+/// Maps a level name to the EventLog stderr threshold; -2 = unknown.
+int parse_log_level(std::string_view name) {
+  if (name == "debug") return 0;
+  if (name == "info") return 1;
+  if (name == "warn") return 2;
+  if (name == "error") return 3;
+  if (name == "off") return -1;
+  return -2;
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -177,6 +203,14 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.drain_ms = std::atoi(value);
     } else if (flag == "--max-pending") {
       args.max_pending = std::atoi(value);
+    } else if (flag == "--log-stderr") {
+      args.log_stderr = parse_log_level(value);
+      if (args.log_stderr == -2) {
+        std::fprintf(stderr, "unknown log level: %s\n", value);
+        return std::nullopt;
+      }
+    } else if (flag == "--crash-dir") {
+      args.crash_dir = value;
     } else if (flag == "--stream-events") {
       args.stream_events = std::atoi(value);
     } else if (flag == "--stream-interval-ms") {
@@ -298,6 +332,26 @@ struct StreamStatus {
 int main(int argc, char** argv) {
   const auto args = parse_args(argc, argv);
   if (!args) return usage();
+
+  obs::EventLog::instance().set_stderr_level(args->log_stderr);
+  auto& flight = obs::FlightRecorder::instance();
+  if (!args->crash_dir.empty()) {
+    // Armed before the (potentially minutes-long) bootstrap so a crash
+    // during generation still leaves a black box; the epoch reads 0 until
+    // the first snapshot is served.
+    obs::FlightRecorder::Config config;
+    config.crash_dir = args->crash_dir;
+    config.tool = "asrel_serve";
+    config.build_info = __DATE__ " " __TIME__;
+    std::string arm_error;
+    if (!flight.arm(config, &arm_error)) {
+      std::fprintf(stderr, "error arming crash recorder: %s\n",
+                   arm_error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "crash recorder armed: %s\n",
+                 flight.dump_path().c_str());
+  }
 
   io::Snapshot snapshot;
   std::unique_ptr<stream::StreamSession> session;
@@ -499,6 +553,7 @@ int main(int argc, char** argv) {
       [&service](std::vector<obs::MetricSnapshot>& out) {
         service.collect_metrics(out);
       };
+  options.epoch_supplier = [hub] { return hub->epoch(); };
   if (args->trace) obs::Tracer::instance().set_enabled(true);
   serve::HttpServer server{
       [&service](const serve::HttpRequest& request) {
@@ -600,7 +655,15 @@ int main(int argc, char** argv) {
   std::uint64_t epochs_since_checkpoint = 0;
   auto next_batch_at = std::chrono::steady_clock::now() +
                        std::chrono::milliseconds(args->stream_interval_ms);
+  auto next_flight_refresh = std::chrono::steady_clock::now();
   while (!g_shutdown.load()) {
+    if (flight.armed() &&
+        std::chrono::steady_clock::now() >= next_flight_refresh) {
+      flight.set_epoch(hub->epoch());
+      flight.refresh();
+      next_flight_refresh = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(1000);
+    }
     if (hub->take_reload_request()) {
       const auto result = hub->reload();
       if (result.ok) {

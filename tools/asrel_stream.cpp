@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "io/snapshot.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "stream/checkpoint.hpp"
 #include "stream/churn.hpp"
 #include "stream/ingest.hpp"
@@ -60,6 +62,8 @@ struct Args {
   int queue_cap = 1024;
   stream::QueuePolicy queue_policy = stream::QueuePolicy::kBlock;
   bool verify = false;
+  int log_stderr = -1;    ///< stderr log sink level; -1 = off
+  std::string crash_dir;  ///< arm the crash flight recorder here
 };
 
 int usage() {
@@ -72,6 +76,7 @@ int usage() {
       "               [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "               [--watchdog-every M] [--queue-cap N]\n"
       "               [--queue-policy block|shed|coalesce]\n"
+      "               [--log-stderr debug|info|warn|error] [--crash-dir DIR]\n"
       "  asrel_stream --as-count N --seed S --replay FILE [--batch K] ...\n");
   return 2;
 }
@@ -119,6 +124,20 @@ std::optional<Args> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       args.queue_policy = *policy;
+    } else if (flag == "--log-stderr") {
+      const std::string_view name{value};
+      args.log_stderr = name == "debug"  ? 0
+                        : name == "info" ? 1
+                        : name == "warn" ? 2
+                        : name == "error" ? 3
+                        : name == "off"   ? -1
+                                          : -2;
+      if (args.log_stderr == -2) {
+        std::fprintf(stderr, "unknown log level: %s\n", value);
+        return std::nullopt;
+      }
+    } else if (flag == "--crash-dir") {
+      args.crash_dir = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i - 1]);
       return std::nullopt;
@@ -142,6 +161,23 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 int main(int argc, char** argv) {
   const auto args = parse_args(argc, argv);
   if (!args) return usage();
+
+  obs::EventLog::instance().set_stderr_level(args->log_stderr);
+  auto& flight = obs::FlightRecorder::instance();
+  if (!args->crash_dir.empty()) {
+    obs::FlightRecorder::Config config;
+    config.crash_dir = args->crash_dir;
+    config.tool = "asrel_stream";
+    config.build_info = __DATE__ " " __TIME__;
+    std::string arm_error;
+    if (!flight.arm(config, &arm_error)) {
+      std::fprintf(stderr, "error arming crash recorder: %s\n",
+                   arm_error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "crash recorder armed: %s\n",
+                 flight.dump_path().c_str());
+  }
 
   std::fprintf(stderr, "bootstrapping session (%d ASes, seed %llu)...\n",
                args->as_count, static_cast<unsigned long long>(args->seed));
@@ -261,6 +297,12 @@ int main(int argc, char** argv) {
     const auto publish_started = std::chrono::steady_clock::now();
     const io::Snapshot& snapshot = session->publish(++built);
     publish_ms += ms_since(publish_started);
+    if (flight.armed()) {
+      // One refresh per published epoch: the black box always carries the
+      // epoch being served plus whatever the log/trace rings saw since.
+      flight.set_epoch(session->epoch());
+      flight.refresh();
+    }
 
     if (args->verify) {
       const std::string incremental = io::to_snapshot_bytes(snapshot);
